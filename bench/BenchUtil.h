@@ -1,0 +1,122 @@
+//===- bench/BenchUtil.h - Shared harness for the figure benches ----------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-figure benchmark binaries: building the 19
+/// SPEC92-shaped workloads, running every OM variant, and printing
+/// paper-style tables. Each binary regenerates the rows/series of one
+/// table or figure from the paper's section 5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_BENCH_BENCHUTIL_H
+#define OM64_BENCH_BENCHUTIL_H
+
+#include "linker/Linker.h"
+#include "om/Om.h"
+#include "sim/Simulator.h"
+#include "support/Format.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace om64 {
+namespace bench {
+
+/// Aborts the bench with a message (benches are tools; hard exit is fine).
+inline void fail(const std::string &Message) {
+  std::fprintf(stderr, "bench: %s\n", Message.c_str());
+  std::exit(1);
+}
+
+/// A workload built in both compile modes.
+struct BuiltEntry {
+  std::string Name;
+  wl::BuiltWorkload Built;
+};
+
+/// Builds every workload (compile-time scheduling on, as in the paper).
+inline std::vector<BuiltEntry> buildAllWorkloads() {
+  std::vector<BuiltEntry> Out;
+  for (const std::string &Name : wl::workloadNames()) {
+    Result<wl::BuiltWorkload> W = wl::buildWorkload(Name);
+    if (!W)
+      fail(Name + ": " + W.message());
+    Out.push_back({Name, W.take()});
+  }
+  return Out;
+}
+
+/// Runs OM and returns its statistics (image discarded).
+inline om::OmStats omStats(const wl::BuiltWorkload &W, wl::CompileMode Mode,
+                           om::OmLevel Level, bool Sched = false) {
+  om::OmOptions Opts;
+  Opts.Level = Level;
+  Opts.Reschedule = Sched;
+  Opts.AlignLoopTargets = Sched;
+  Result<om::OmResult> R = wl::linkWithOm(W, Mode, Opts);
+  if (!R)
+    fail(W.Name + ": " + R.message());
+  return R->Stats;
+}
+
+/// Links with OM and runs on the timing simulator; returns cycle count.
+inline uint64_t omCycles(const wl::BuiltWorkload &W, wl::CompileMode Mode,
+                         om::OmLevel Level, bool Sched = false) {
+  om::OmOptions Opts;
+  Opts.Level = Level;
+  Opts.Reschedule = Sched;
+  Opts.AlignLoopTargets = Sched;
+  Result<om::OmResult> R = wl::linkWithOm(W, Mode, Opts);
+  if (!R)
+    fail(W.Name + ": " + R.message());
+  Result<sim::SimResult> S = sim::run(R->Image);
+  if (!S)
+    fail(W.Name + " (om " + om::levelName(Level) + "): " + S.message());
+  return S->Cycles;
+}
+
+/// Baseline (standard linker) cycle count.
+inline uint64_t baselineCycles(const wl::BuiltWorkload &W,
+                               wl::CompileMode Mode) {
+  Result<obj::Image> Img = wl::linkBaseline(W, Mode);
+  if (!Img)
+    fail(W.Name + ": " + Img.message());
+  Result<sim::SimResult> S = sim::run(*Img);
+  if (!S)
+    fail(W.Name + " (baseline): " + S.message());
+  return S->Cycles;
+}
+
+/// Percentage with one decimal.
+inline std::string pct(double Numer, double Denom) {
+  if (Denom == 0)
+    return "   -";
+  return formatString("%5.1f", 100.0 * Numer / Denom);
+}
+
+/// Percentage improvement of New over Old.
+inline double improvementPct(uint64_t Old, uint64_t New) {
+  if (Old == 0)
+    return 0.0;
+  return 100.0 * (1.0 - static_cast<double>(New) /
+                            static_cast<double>(Old));
+}
+
+/// Prints a horizontal rule sized to \p Width.
+inline void rule(unsigned Width) {
+  for (unsigned I = 0; I < Width; ++I)
+    std::putchar('-');
+  std::putchar('\n');
+}
+
+} // namespace bench
+} // namespace om64
+
+#endif // OM64_BENCH_BENCHUTIL_H

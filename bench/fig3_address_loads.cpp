@@ -1,0 +1,71 @@
+//===- bench/fig3_address_loads.cpp - Reproduces Figure 3 -----------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 3: "Static fraction of address loads removed, whether converted
+/// (dark) or nullified (light)". For each program and each of the four
+/// configurations (compile-each/compile-all x OM-simple/OM-full) this
+/// prints the percentage of address loads converted to LDA/LDAH and the
+/// percentage nullified/deleted, plus the unweighted arithmetic mean the
+/// paper's key reports.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace om64;
+using namespace om64::bench;
+
+int main() {
+  std::vector<BuiltEntry> Suite = buildAllWorkloads();
+
+  std::printf("Figure 3: static fraction of address loads eliminated "
+              "(%% of address loads)\n");
+  std::printf("conv = converted to LDA/LDAH, null = nullified (no-op'd or "
+              "deleted)\n\n");
+  std::printf("%-10s | %-23s | %-23s | %-23s | %-23s\n", "", "each/simple",
+              "each/full", "all/simple", "all/full");
+  std::printf("%-10s | %5s %5s %5s | %5s %5s %5s | %5s %5s %5s | "
+              "%5s %5s %5s\n",
+              "program", "conv", "null", "both", "conv", "null", "both",
+              "conv", "null", "both", "conv", "null", "both");
+  rule(118);
+
+  double MeanConv[4] = {}, MeanNull[4] = {};
+  for (const BuiltEntry &E : Suite) {
+    std::printf("%-10s |", E.Name.c_str());
+    unsigned Col = 0;
+    for (wl::CompileMode Mode :
+         {wl::CompileMode::Each, wl::CompileMode::All}) {
+      for (om::OmLevel Level : {om::OmLevel::Simple, om::OmLevel::Full}) {
+        om::OmStats S = omStats(E.Built, Mode, Level);
+        double Total = static_cast<double>(S.AddressLoadsTotal);
+        double Conv = static_cast<double>(S.AddressLoadsConverted);
+        double Null = static_cast<double>(S.AddressLoadsNullified);
+        std::printf(" %s %s %s |", pct(Conv, Total).c_str(),
+                    pct(Null, Total).c_str(),
+                    pct(Conv + Null, Total).c_str());
+        MeanConv[Col] += 100.0 * Conv / Total;
+        MeanNull[Col] += 100.0 * Null / Total;
+        ++Col;
+      }
+    }
+    std::printf("\n");
+  }
+  rule(118);
+  std::printf("%-10s |", "mean");
+  for (unsigned Col = 0; Col < 4; ++Col) {
+    double C = MeanConv[Col] / Suite.size();
+    double N = MeanNull[Col] / Suite.size();
+    std::printf(" %5.1f %5.1f %5.1f |", C, N, C + N);
+  }
+  std::printf("\n\nPaper's shape: OM-simple converts essentially all "
+              "in-range loads and nullifies\nabout as many (about half of "
+              "all address loads eliminated); OM-full eliminates\nnearly "
+              "all of them, with slightly fewer conversions (GAT reduction "
+              "lets it\nnullify references OM-simple could only convert).\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+//===- bench/fig6_performance.cpp - Reproduces Figure 6 -------------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 6: "Improvement in performance relative to program without
+/// link-time optimization". Every variant executes on the dual-issue
+/// timing simulator; the improvement is in simulated cycles. The paper
+/// reports means, medians, and counts of programs above 1%% / 5%% -- all
+/// reproduced below.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <algorithm>
+
+using namespace om64;
+using namespace om64::bench;
+
+namespace {
+
+struct Summary {
+  std::vector<double> Values;
+  void add(double V) { Values.push_back(V); }
+  double mean() const {
+    double S = 0;
+    for (double V : Values)
+      S += V;
+    return Values.empty() ? 0 : S / static_cast<double>(Values.size());
+  }
+  double median() {
+    if (Values.empty())
+      return 0;
+    std::sort(Values.begin(), Values.end());
+    size_t N = Values.size();
+    return N % 2 ? Values[N / 2]
+                 : 0.5 * (Values[N / 2 - 1] + Values[N / 2]);
+  }
+  unsigned countAbove(double T) const {
+    unsigned N = 0;
+    for (double V : Values)
+      N += V > T;
+    return N;
+  }
+};
+
+} // namespace
+
+int main() {
+  std::vector<BuiltEntry> Suite = buildAllWorkloads();
+
+  std::printf("Figure 6: dynamic improvement over no link-time "
+              "optimization (%% of cycles)\n");
+  std::printf("%-10s | %-13s | %-13s\n", "", "compile-each", "compile-all");
+  std::printf("%-10s | %5s %6s | %5s %6s\n", "program", "simp", "full",
+              "simp", "full");
+  rule(46);
+
+  Summary Sums[4];
+  for (const BuiltEntry &E : Suite) {
+    std::printf("%-10s |", E.Name.c_str());
+    unsigned Col = 0;
+    for (wl::CompileMode Mode :
+         {wl::CompileMode::Each, wl::CompileMode::All}) {
+      uint64_t Base = baselineCycles(E.Built, Mode);
+      for (om::OmLevel Level : {om::OmLevel::Simple, om::OmLevel::Full}) {
+        double Impr =
+            improvementPct(Base, omCycles(E.Built, Mode, Level));
+        std::printf(" %5.2f", Impr);
+        Sums[Col++].add(Impr);
+      }
+      std::printf(" |");
+    }
+    std::printf("\n");
+  }
+  rule(46);
+  std::printf("%-10s |", "mean");
+  for (unsigned Col = 0; Col < 4; ++Col) {
+    std::printf(" %5.2f", Sums[Col].mean());
+    if (Col == 1)
+      std::printf(" |");
+  }
+  std::printf(" |\n%-10s |", "median");
+  for (unsigned Col = 0; Col < 4; ++Col) {
+    std::printf(" %5.2f", Sums[Col].median());
+    if (Col == 1)
+      std::printf(" |");
+  }
+  std::printf(" |\n\n");
+
+  std::printf("programs improved by more than 1%%:  each/simple %u, "
+              "each/full %u, all/simple %u, all/full %u (of %zu)\n",
+              Sums[0].countAbove(1.0), Sums[1].countAbove(1.0),
+              Sums[2].countAbove(1.0), Sums[3].countAbove(1.0),
+              Suite.size());
+  std::printf("programs improved by more than 5%%:  each/simple %u, "
+              "each/full %u, all/simple %u, all/full %u\n\n",
+              Sums[0].countAbove(5.0), Sums[1].countAbove(5.0),
+              Sums[2].countAbove(5.0), Sums[3].countAbove(5.0));
+
+  std::printf("Paper's shape: OM-full beats OM-simple everywhere; the "
+              "compile-all numbers\nreach about 90%% of the compile-each "
+              "improvement (paper: 1.5%%/3.8%% vs\n1.35%%/3.4%%). Absolute "
+              "magnitudes differ from the paper's because the baseline\n"
+              "code quality and memory system are synthetic -- see "
+              "EXPERIMENTS.md.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+//===- bench/fig7_build_times.cpp - Reproduces Figure 7 (the table) -------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 7: "Build times in seconds for ld from objects, compile from
+/// sources with maximum optimization, and OM from objects" at each OM
+/// level. Wall-clock medians of several repetitions. The absolute values
+/// are host-dependent; the paper's point is the ordering:
+///
+///   standard link < OM no-opt < OM-simple < OM-full << OM-full+sched
+///   and OM-full is far cheaper than an interprocedural rebuild.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace om64;
+using namespace om64::bench;
+
+namespace {
+
+/// Median wall-clock milliseconds of \p Fn over \p Reps runs.
+template <typename FnT> double timeMs(FnT Fn, unsigned Reps = 3) {
+  std::vector<double> Times;
+  for (unsigned R = 0; R < Reps; ++R) {
+    auto Start = std::chrono::steady_clock::now();
+    Fn();
+    auto End = std::chrono::steady_clock::now();
+    Times.push_back(
+        std::chrono::duration<double, std::milli>(End - Start).count());
+  }
+  std::sort(Times.begin(), Times.end());
+  return Times[Times.size() / 2];
+}
+
+} // namespace
+
+int main() {
+  std::printf("Figure 7: build times in milliseconds (medians of 3 runs)\n");
+  std::printf("%-10s %9s %9s | %9s %9s %9s %9s\n", "", "standard",
+              "interproc", "OM", "OM", "OM", "OM full");
+  std::printf("%-10s %9s %9s | %9s %9s %9s %9s\n", "program", "link",
+              "build", "no opt", "simple", "full", "w/sched");
+  rule(74);
+
+  for (const std::string &Name : wl::workloadNames()) {
+    Result<wl::BuiltWorkload> W = wl::buildWorkload(Name);
+    if (!W)
+      fail(Name + ": " + W.message());
+    std::vector<obj::ObjectFile> EachSet =
+        W->linkSet(wl::CompileMode::Each);
+
+    double LinkMs = timeMs([&] {
+      Result<obj::Image> Img = lnk::link(EachSet);
+      if (!Img)
+        fail(Img.message());
+    });
+
+    // "Compile from source with maximum optimization": parse + check +
+    // interprocedural compile of the user program + a standard link
+    // (library objects are reused, as the paper's -O4 builds did).
+    double InterprocMs = timeMs([&] {
+      Result<wl::ParsedWorkload> PW = wl::parseWorkload(Name);
+      if (!PW)
+        fail(PW.message());
+      cg::CompileOptions Opts;
+      Opts.InterUnit = true;
+      Result<obj::ObjectFile> Unit =
+          cg::compileUnit(PW->AST, PW->UserModules, Opts);
+      if (!Unit)
+        fail(Unit.message());
+      std::vector<obj::ObjectFile> Objs;
+      Objs.push_back(Unit.take());
+      for (const obj::ObjectFile &O : W->Library)
+        Objs.push_back(O);
+      Result<obj::Image> Img = lnk::link(Objs);
+      if (!Img)
+        fail(Img.message());
+    });
+
+    double OmMs[4];
+    struct {
+      om::OmLevel Level;
+      bool Sched;
+    } Configs[4] = {{om::OmLevel::None, false},
+                    {om::OmLevel::Simple, false},
+                    {om::OmLevel::Full, false},
+                    {om::OmLevel::Full, true}};
+    for (int C = 0; C < 4; ++C) {
+      OmMs[C] = timeMs([&] {
+        om::OmOptions Opts;
+        Opts.Level = Configs[C].Level;
+        Opts.Reschedule = Configs[C].Sched;
+        Opts.AlignLoopTargets = Configs[C].Sched;
+        Result<om::OmResult> R = om::optimize(EachSet, Opts);
+        if (!R)
+          fail(R.message());
+      });
+    }
+
+    std::printf("%-10s %9.2f %9.2f | %9.2f %9.2f %9.2f %9.2f\n",
+                Name.c_str(), LinkMs, InterprocMs, OmMs[0], OmMs[1],
+                OmMs[2], OmMs[3]);
+  }
+  rule(74);
+  std::printf("\nPaper's shape: OM's symbolic translation costs a small "
+              "constant factor over a\nstandard link; even OM-full handles "
+              "any program quickly; link-time scheduling\nis the expensive "
+              "step (superlinear in basic-block size -- watch fpppp and\n"
+              "doduc); a full interprocedural rebuild costs more than an "
+              "optimizing link.\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+//===- bench/micro_benchmarks.cpp - google-benchmark microbenchmarks ------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Microbenchmarks of the substrate itself (google-benchmark): simulator
+/// throughput, the list scheduler, OM's full pipeline, the traditional
+/// linker, and instruction encode/decode. These are not paper figures;
+/// they size the infrastructure behind Figure 7.
+///
+//===----------------------------------------------------------------------===//
+
+#include "isa/Inst.h"
+#include "linker/Linker.h"
+#include "om/Om.h"
+#include "sched/ListScheduler.h"
+#include "sim/Simulator.h"
+#include "support/Random.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace om64;
+
+namespace {
+
+const wl::BuiltWorkload &compressWorkload() {
+  static wl::BuiltWorkload W = [] {
+    Result<wl::BuiltWorkload> R = wl::buildWorkload("compress");
+    if (!R)
+      std::abort();
+    return R.take();
+  }();
+  return W;
+}
+
+void BM_EncodeDecode(benchmark::State &State) {
+  DetRandom Rng(42);
+  std::vector<uint32_t> Words;
+  for (int I = 0; I < 1024; ++I)
+    Words.push_back(isa::encode(isa::makeMem(
+        isa::Opcode::Ldq, static_cast<uint8_t>(Rng.nextBelow(31)),
+        static_cast<int32_t>(Rng.nextInRange(-32768, 32767)),
+        static_cast<uint8_t>(Rng.nextBelow(31)))));
+  for (auto _ : State) {
+    uint64_t Sum = 0;
+    for (uint32_t W : Words)
+      if (std::optional<isa::Inst> I = isa::decode(W))
+        Sum += I->Disp;
+    benchmark::DoNotOptimize(Sum);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Words.size()));
+}
+BENCHMARK(BM_EncodeDecode);
+
+void BM_ListScheduler(benchmark::State &State) {
+  DetRandom Rng(7);
+  std::vector<isa::Inst> Region;
+  for (int64_t I = 0; I < State.range(0); ++I) {
+    uint8_t A = static_cast<uint8_t>(Rng.nextBelow(8) + isa::T0);
+    uint8_t B = static_cast<uint8_t>(Rng.nextBelow(8) + isa::T0);
+    uint8_t C = static_cast<uint8_t>(Rng.nextBelow(8) + isa::T0);
+    Region.push_back(isa::makeOp(isa::Opcode::Addq, A, B, C));
+  }
+  for (auto _ : State)
+    benchmark::DoNotOptimize(sched::scheduleRegion(Region));
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_ListScheduler)->Range(8, 512)->Complexity();
+
+void BM_StandardLink(benchmark::State &State) {
+  const wl::BuiltWorkload &W = compressWorkload();
+  std::vector<obj::ObjectFile> Objs = W.linkSet(wl::CompileMode::Each);
+  for (auto _ : State) {
+    Result<obj::Image> Img = lnk::link(Objs);
+    benchmark::DoNotOptimize(Img);
+  }
+}
+BENCHMARK(BM_StandardLink);
+
+void BM_OmFull(benchmark::State &State) {
+  const wl::BuiltWorkload &W = compressWorkload();
+  std::vector<obj::ObjectFile> Objs = W.linkSet(wl::CompileMode::Each);
+  om::OmOptions Opts;
+  for (auto _ : State) {
+    Result<om::OmResult> R = om::optimize(Objs, Opts);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_OmFull);
+
+void BM_SimulatorTiming(benchmark::State &State) {
+  const wl::BuiltWorkload &W = compressWorkload();
+  Result<obj::Image> Img = wl::linkBaseline(W, wl::CompileMode::Each);
+  if (!Img)
+    std::abort();
+  uint64_t Insts = 0;
+  for (auto _ : State) {
+    Result<sim::SimResult> R = sim::run(*Img);
+    if (R)
+      Insts = R->Instructions;
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Insts));
+}
+BENCHMARK(BM_SimulatorTiming);
+
+void BM_SimulatorFunctional(benchmark::State &State) {
+  const wl::BuiltWorkload &W = compressWorkload();
+  Result<obj::Image> Img = wl::linkBaseline(W, wl::CompileMode::Each);
+  if (!Img)
+    std::abort();
+  sim::SimConfig Cfg;
+  Cfg.Timing = false;
+  uint64_t Insts = 0;
+  for (auto _ : State) {
+    Result<sim::SimResult> R = sim::run(*Img, Cfg);
+    if (R)
+      Insts = R->Instructions;
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Insts));
+}
+BENCHMARK(BM_SimulatorFunctional);
+
+void BM_CompileWorkload(benchmark::State &State) {
+  for (auto _ : State) {
+    Result<wl::BuiltWorkload> W = wl::buildWorkload("eqntott");
+    benchmark::DoNotOptimize(W);
+  }
+}
+BENCHMARK(BM_CompileWorkload);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,169 @@
+//===- examples/inspect_object.cpp - objdump-style object inspector -------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles one module of a workload (or a built-in demo module) and dumps
+/// everything the object format records: sections, the GAT literal pool,
+/// symbols, relocations -- including the lituse links between address
+/// loads and their uses that section 3 calls out as the loader hints OM
+/// relies on -- procedure descriptors, and a disassembly listing.
+///
+/// Usage: inspect_object [workload-name [module-name]]
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Codegen.h"
+#include "isa/Disassembler.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace om64;
+
+static const char *DemoSource = R"(
+module demo;
+import io;
+var counter: int;
+var table: int[512];
+export func bump(x: int): int {
+  counter = counter + x;
+  table[counter & 511] = x;
+  return counter;
+}
+export func main(): int {
+  io.print_int(bump(3) + bump(4));
+  return 0;
+}
+)";
+
+static void fail(const std::string &Message) {
+  std::fprintf(stderr, "inspect_object: %s\n", Message.c_str());
+  std::exit(1);
+}
+
+int main(int argc, char **argv) {
+  std::string Workload = argc > 1 ? argv[1] : "";
+  std::string ModuleName = argc > 2 ? argv[2] : "";
+
+  lang::Program Prog;
+  DiagnosticEngine Diags;
+  std::string UnitName;
+
+  if (Workload.empty()) {
+    std::optional<lang::Module> M =
+        lang::parseModule("demo", DemoSource, Diags);
+    if (!M)
+      fail("demo parse error:\n" + Diags.render());
+    UnitName = M->Name;
+    Prog.Modules.push_back(std::move(*M));
+    for (const wl::SourceModule &SM : wl::runtimeModules()) {
+      std::optional<lang::Module> RM =
+          lang::parseModule(SM.Name, SM.Source, Diags);
+      if (!RM)
+        fail("runtime parse error:\n" + Diags.render());
+      Prog.Modules.push_back(std::move(*RM));
+    }
+    if (!lang::analyzeProgram(Prog, Diags))
+      fail("semantic error:\n" + Diags.render());
+  } else {
+    Result<wl::ParsedWorkload> PW = wl::parseWorkload(Workload);
+    if (!PW)
+      fail(PW.message());
+    UnitName = ModuleName.empty() ? PW->UserModules.front() : ModuleName;
+    Prog = std::move(PW->AST);
+  }
+
+  cg::CompileOptions Opts;
+  Result<obj::ObjectFile> ObjOrErr = cg::compileUnit(Prog, {UnitName}, Opts);
+  if (!ObjOrErr)
+    fail(ObjOrErr.message());
+  obj::ObjectFile Obj = ObjOrErr.take();
+
+  std::printf("object module: %s\n", Obj.ModuleName.c_str());
+  std::printf("  .text %zu bytes, .data %zu bytes, .bss %llu bytes, "
+              "GAT %zu entries\n\n",
+              Obj.Text.size(), Obj.Data.size(),
+              static_cast<unsigned long long>(Obj.BssSize),
+              Obj.Gat.size());
+
+  std::printf("symbols:\n");
+  for (size_t Idx = 0; Idx < Obj.Symbols.size(); ++Idx) {
+    const obj::Symbol &S = Obj.Symbols[Idx];
+    std::printf("  [%2zu] %-24s %-6s off=%-6llu size=%-6llu%s%s%s\n", Idx,
+                S.Name.c_str(),
+                S.IsDefined ? obj::sectionName(S.Section) : "UNDEF",
+                static_cast<unsigned long long>(S.Offset),
+                static_cast<unsigned long long>(S.Size),
+                S.IsProcedure ? " proc" : "",
+                S.IsExported ? " export" : "",
+                S.IsDefined ? "" : " extern");
+  }
+
+  std::printf("\nGAT literal pool:\n");
+  for (size_t Idx = 0; Idx < Obj.Gat.size(); ++Idx)
+    std::printf("  slot %2zu -> &%s\n", Idx,
+                Obj.Symbols[Obj.Gat[Idx].SymbolIndex].Name.c_str());
+
+  std::printf("\nrelocations (the loader hints of section 3):\n");
+  for (const obj::Reloc &R : Obj.Relocs) {
+    std::printf("  +%-5llu %-12s",
+                static_cast<unsigned long long>(R.Offset),
+                obj::relocKindName(R.Kind));
+    switch (R.Kind) {
+    case obj::RelocKind::Literal:
+      std::printf(" gat[%u] (&%s), lit id %u", R.GatIndex,
+                  Obj.Symbols[Obj.Gat[R.GatIndex].SymbolIndex].Name.c_str(),
+                  R.LiteralId);
+      break;
+    case obj::RelocKind::LituseBase:
+    case obj::RelocKind::LituseJsr:
+    case obj::RelocKind::LituseAddr:
+    case obj::RelocKind::LituseDeref:
+      std::printf(" lit id %u", R.LiteralId);
+      break;
+    case obj::RelocKind::GpDisp:
+      std::printf(" %s pair (+%llu), anchor +%llu",
+                  R.GpKind == 0 ? "prologue" : "post-call",
+                  static_cast<unsigned long long>(R.PairOffset),
+                  static_cast<unsigned long long>(R.AnchorOffset));
+      break;
+    case obj::RelocKind::RefQuad:
+      std::printf(" -> %s+%lld", Obj.Symbols[R.SymbolIndex].Name.c_str(),
+                  static_cast<long long>(R.Addend));
+      break;
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nprocedure descriptors:\n");
+  for (const obj::ProcDesc &P : Obj.Procs)
+    std::printf("  %-24s text +%-5llu size %-5llu %s\n",
+                Obj.Symbols[P.SymbolIndex].Name.c_str(),
+                static_cast<unsigned long long>(P.TextOffset),
+                static_cast<unsigned long long>(P.TextSize),
+                P.UsesGp ? "uses-gp" : "gp-free");
+
+  std::printf("\ndisassembly:\n");
+  std::vector<uint32_t> Words;
+  for (size_t Off = 0; Off + 4 <= Obj.Text.size(); Off += 4)
+    Words.push_back(static_cast<uint32_t>(Obj.Text[Off]) |
+                    (static_cast<uint32_t>(Obj.Text[Off + 1]) << 8) |
+                    (static_cast<uint32_t>(Obj.Text[Off + 2]) << 16) |
+                    (static_cast<uint32_t>(Obj.Text[Off + 3]) << 24));
+  std::string Listing = isa::disassembleRegion(
+      Words, 0, [&](uint64_t Addr) -> std::string {
+        for (const obj::ProcDesc &P : Obj.Procs)
+          if (P.TextOffset == Addr)
+            return Obj.Symbols[P.SymbolIndex].Name;
+        return std::string();
+      });
+  std::fputs(Listing.c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,71 @@
+//===- codegen/Codegen.h - MLang to AAX code generation -------------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Code generation with the paper's conservative 64-bit conventions:
+///
+///   * every global access goes through an address load from the unit's
+///     global address table (GAT) via GP (Figure 2),
+///   * every procedure establishes its own GP from PV on entry and
+///     re-establishes it from RA after every call (Figure 1),
+///   * calls load the destination into PV from the GAT and use JSR.
+///
+/// Two compilation granularities mirror the paper's section 5 setup:
+///
+///   * compile-each: each module is its own unit with its own GAT; only
+///     same-module calls to unexported, non-address-taken procedures are
+///     optimized to BSR at compile time (the footnote-2 case).
+///   * compile-all ("monolithic with interprocedural optimization"): all
+///     user modules form one unit sharing one GAT; calls to any in-unit,
+///     non-address-taken procedure become BSRs and such callees drop their
+///     GP prologue. Library modules stay pre-compiled, so calls into them
+///     keep the full bookkeeping — the effect section 5.1 highlights.
+///
+/// A compile-time pipeline scheduler (shared with OM) reorders each
+/// straight-line region; this is what disperses prologue GP-setting away
+/// from procedure entry and blocks OM-simple's BSR-past-prologue trick.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_CODEGEN_CODEGEN_H
+#define OM64_CODEGEN_CODEGEN_H
+
+#include "lang/AST.h"
+#include "objfile/ObjectFile.h"
+#include "support/Result.h"
+
+#include <string>
+#include <vector>
+
+namespace om64 {
+namespace cg {
+
+/// Code generation options.
+struct CompileOptions {
+  /// Treat the listed modules as one compilation unit with a shared GAT
+  /// and intra-unit call optimization (the paper's compile-all mode).
+  bool InterUnit = false;
+  /// Run the compile-time pipeline scheduler (on for the paper's setup).
+  bool Schedule = true;
+  /// Fold constant subexpressions (the -O2 stand-in).
+  bool FoldConstants = true;
+};
+
+/// Compiles the named modules of \p P as a single unit, producing one
+/// relocatable object. \p P must have passed lang::analyzeProgram.
+Result<obj::ObjectFile> compileUnit(const lang::Program &P,
+                                    const std::vector<std::string> &Modules,
+                                    const CompileOptions &Opts);
+
+/// Compiles each named module as its own unit (the compile-each mode).
+Result<std::vector<obj::ObjectFile>>
+compileEach(const lang::Program &P, const std::vector<std::string> &Modules,
+            const CompileOptions &Opts);
+
+} // namespace cg
+} // namespace om64
+
+#endif // OM64_CODEGEN_CODEGEN_H

@@ -1,0 +1,265 @@
+//===- codegen/CodegenImpl.h - Private codegen internals -------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal interfaces between the unit builder (symbols, GAT, data layout,
+/// emission) and the per-procedure generator. Not installed; include only
+/// from codegen .cpp files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_CODEGEN_CODEGENIMPL_H
+#define OM64_CODEGEN_CODEGENIMPL_H
+
+#include "codegen/Codegen.h"
+#include "codegen/MachineCode.h"
+#include "lang/AST.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace om64 {
+namespace cg {
+
+/// Builds one compilation unit: owns the symbol table, GAT literal pool,
+/// constant pool, data layout, and final object emission.
+class UnitBuilder {
+public:
+  UnitBuilder(const lang::Program &P,
+              const std::vector<std::string> &ModuleNames,
+              const CompileOptions &Opts);
+
+  /// Runs the whole pipeline; returns the object or a message.
+  Result<obj::ObjectFile> build();
+
+  // --- services for ProcGen ---
+
+  const CompileOptions &options() const { return Opts; }
+
+  /// Interns a (possibly external) symbol by full name, creating an
+  /// undefined placeholder when new. Definitions refine placeholders.
+  uint32_t internSymbol(const std::string &FullName);
+
+  /// Returns the GAT slot index holding the address of symbol \p SymIdx.
+  uint32_t gatSlot(uint32_t SymIdx);
+
+  /// Returns the symbol of a pooled 8-byte constant with the given bit
+  /// pattern, creating it in .data on first use.
+  uint32_t poolConstant(uint64_t Bits);
+
+  uint32_t nextLiteralId() { return ++LiteralIdCounter; }
+  uint32_t nextGpPairId() { return ++GpPairIdCounter; }
+
+  /// True if \p FullName is a procedure defined in this unit that call
+  /// sites may reach with a direct BSR and no GP bookkeeping.
+  bool isDirectCallee(const std::string &FullName) const;
+
+  /// Index of an in-unit procedure in the MProc array, or ~0u.
+  uint32_t procIndex(const std::string &FullName) const;
+
+  /// Full name of the runtime division helpers' module.
+  static constexpr const char *RuntimeModule = "rt";
+
+private:
+  friend class ProcGen;
+
+  void collectAddressTaken();
+  void collectAddressTakenExpr(const lang::Expr &E);
+  void layoutGlobals();
+  Error generateProcs();
+  void scheduleProc(MProc &Proc) const;
+  void emitObject();
+  void emitProcCode(uint32_t ProcIdx, uint64_t Base);
+
+  const lang::Program &P;
+  CompileOptions Opts;
+  std::vector<const lang::Module *> UnitModules;
+  obj::ObjectFile Obj;
+
+  std::map<std::string, uint32_t> SymIndexByName;
+  std::map<std::pair<uint32_t, int64_t>, uint32_t> GatIndexBySym;
+  std::map<uint64_t, uint32_t> ConstSymByBits;
+  std::set<std::string> AddressTaken;
+  std::map<std::string, uint32_t> ProcIndexByName;
+  std::vector<MProc> Procs;
+  std::vector<uint64_t> ProcBase; // text offsets after layout
+
+  uint32_t LiteralIdCounter = 0;
+  uint32_t GpPairIdCounter = 0;
+  uint32_t ConstCounter = 0;
+};
+
+/// Generates machine code for one function into an MProc.
+class ProcGen {
+public:
+  ProcGen(UnitBuilder &Unit, const lang::Module &M, const lang::Function &F,
+          MProc &Out);
+
+  /// Generates prologue+body+epilogue. Returns an error message on
+  /// resource-limit violations (e.g. over-deep expressions).
+  Error run();
+
+private:
+  // -- Value stack ------------------------------------------------------
+  struct TempVal {
+    enum class K : uint8_t {
+      IntReg,  // lives in temp register Reg (t0..t7)
+      FpReg,   // lives in fp temp register Reg (f10..f15)
+      IntImm,  // literal integer Imm
+      RealImm, // literal real RealVal
+      HomeInt, // aliases callee-saved home register Reg (read-only)
+      HomeFp,  // aliases callee-saved fp home register Reg (read-only)
+      SpillInt,// spilled to int temp slot Slot
+      SpillFp, // spilled to fp temp slot Slot
+    };
+    K Kind;
+    uint8_t Reg = 0;
+    uint32_t Slot = 0;
+    int64_t Imm = 0;
+    double RealVal = 0.0;
+  };
+
+  /// A popped integer operand: either a register or an 8-bit literal
+  /// usable in operate-format instructions. Owned registers must be
+  /// released via releaseIntOperand.
+  struct IntOperand {
+    bool IsLit = false;
+    bool Owned = false;
+    uint8_t Reg = 0;
+    uint8_t Lit = 0;
+  };
+
+  /// A popped floating-point operand (always a register).
+  struct FpOperand {
+    bool Owned = false;
+    uint8_t Reg = 0;
+  };
+
+  // -- Variable homes ---------------------------------------------------
+  struct Home {
+    enum class K : uint8_t { IntReg, FpReg, Stack };
+    K Kind;
+    uint8_t Reg = 0;
+    int32_t SpOffset = 0;
+    bool IsReal = false;
+  };
+
+  /// Appends an instruction record, attaching any pending label binds.
+  void append(MInst MI);
+  void emit(isa::Inst I, Note N = Note::None);
+  /// Binds \p Label to the position of the next appended instruction.
+  void bindLabel(uint32_t Label);
+  uint32_t newLabel() { return ++LabelCounter; }
+
+  // Temp register pool.
+  uint8_t allocIntReg();
+  uint8_t allocFpReg();
+  void freeIntReg(uint8_t R);
+  void freeFpReg(uint8_t R);
+  uint32_t allocIntSlot();
+  uint32_t allocFpSlot();
+  int32_t intSlotOffset(uint32_t Slot) const;
+  int32_t fpSlotOffset(uint32_t Slot) const;
+
+  void pushIntReg(uint8_t R);
+  void pushFpReg(uint8_t R);
+  void pushIntImm(int64_t V);
+  void pushRealImm(double V);
+
+  /// Pops the top (int) entry into an operand; materializes immediates
+  /// and spilled values. If \p AllowLit, small immediates become literals.
+  IntOperand popIntOperand(bool AllowLit);
+  void releaseIntOperand(const IntOperand &Op);
+  FpOperand popFpOperand();
+  void releaseFpOperand(const FpOperand &Op);
+  /// Pops the top entry into a specific architectural register (argument
+  /// registers, PV, V0/F0).
+  void popIntIntoFixed(uint8_t Dest);
+  void popFpIntoFixed(uint8_t Dest);
+  /// Pops and drops the top entry, releasing its resources.
+  void discardTop();
+
+  /// Spills live temp registers (both files) to their slots, except the
+  /// top \p KeepTop entries; used around calls since temp registers are
+  /// caller-saved.
+  void spillAcrossCall(size_t KeepTop);
+
+  /// Loads the 64-bit address of GAT slot for \p SymIdx into a fresh
+  /// register (the paper's "address load"). Marks the load with a Literal
+  /// note; if \p AttachUses, subsequent uses must add Lituse notes with
+  /// the returned literal id.
+  uint8_t emitAddressLoad(uint32_t SymIdx, uint32_t &LiteralIdOut);
+
+  void materializeIntImm(int64_t V, uint8_t Dest);
+  uint8_t materializeReal(double V);
+
+  // Expression generation. Results are pushed on the value stack; void
+  // calls push nothing.
+  Error genExpr(const lang::Expr &E);
+  Error genCall(const lang::Expr &E);
+  Error genBuiltin(const lang::Expr &E);
+  Error genBinary(const lang::Expr &E);
+  Error genIndexAddress(const lang::Expr &E, uint8_t &AddrReg,
+                        uint32_t &LitOut);
+  Error emitRuntimeCall(const std::string &FullName, unsigned NumArgs);
+  void emitConservativeCallTo(uint32_t SymIdx);
+  void emitGpReset();
+
+  Error genStmt(const lang::Stmt &S);
+  Error genAssign(const lang::Stmt &S);
+
+  /// Constant folding: returns true and the folded literal when \p E is a
+  /// compile-time constant (guarded by CompileOptions::FoldConstants).
+  bool foldInt(const lang::Expr &E, int64_t &Out) const;
+  bool foldReal(const lang::Expr &E, double &Out) const;
+
+  void assignHomes();
+  void scanForCalls(const std::vector<lang::StmtPtr> &Body);
+  void scanStmtForCalls(const lang::Stmt &S);
+  void scanExprForCalls(const lang::Expr &E);
+  void buildPrologue(std::vector<MInst> &Prologue);
+  void buildEpilogue();
+
+  UnitBuilder &Unit;
+  const lang::Module &M;
+  const lang::Function &F;
+  MProc &Out;
+
+  std::vector<Home> ParamHomes;
+  std::vector<Home> LocalHomes;
+  std::vector<uint8_t> SavedSRegs; // s0..s5 subset, in save order
+  std::vector<uint8_t> SavedFRegs; // f2..f9 subset
+  bool MakesCalls = false;
+  bool NeedsGp = false;
+
+  std::vector<TempVal> Stack;
+  bool IntRegBusy[8] = {};   // t0..t7
+  bool FpRegBusy[6] = {};    // f10..f15
+  bool IntSlotBusy[10] = {};
+  bool FpSlotBusy[8] = {};
+
+  // Frame layout (offsets from SP).
+  int32_t RaSaveOffset = 0;
+  int32_t FirstSRegSave = 0;
+  int32_t FirstFRegSave = 0;
+  int32_t FirstStackLocal = 0;
+  int32_t IntSlotBase = 0;
+  int32_t FpSlotBase = 0;
+  int32_t FrameSize = 0;
+  uint32_t NumStackLocals = 0;
+
+  uint32_t LabelCounter = 0;
+  uint32_t EpilogueLabel = 0;
+  std::vector<uint32_t> PendingBinds;
+  Error DeferredError;
+};
+
+} // namespace cg
+} // namespace om64
+
+#endif // OM64_CODEGEN_CODEGENIMPL_H

@@ -1,0 +1,69 @@
+//===- codegen/MachineCode.h - Pre-layout machine code representation -----===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler's internal representation of generated code before offsets
+/// are assigned: instructions annotated with the facts that later become
+/// relocations (GAT literal loads, lituse links, GP-disp pairs) plus local
+/// labels and intra-unit direct calls. The compile-time scheduler permutes
+/// MInst records wholesale, so annotations travel with their instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_CODEGEN_MACHINECODE_H
+#define OM64_CODEGEN_MACHINECODE_H
+
+#include "isa/Inst.h"
+#include "objfile/ObjectFile.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace om64 {
+namespace cg {
+
+/// Annotation kinds on a machine instruction.
+enum class Note : uint8_t {
+  None,
+  Literal,     // GAT address load; GatIndex + LiteralId valid
+  LituseBase,  // memory op whose base reg came from literal LiteralId
+  LituseJsr,   // JSR through the register loaded by literal LiteralId
+  LituseAddr,  // scaled add deriving a pointer from literal LiteralId
+  LituseDeref, // memory op through the pointer derived by LituseAddr
+  GpLdah,      // first half of a GP-disp pair; GpPairId + GpKind valid
+  GpLda,       // second half of a GP-disp pair; GpPairId valid
+  LocalBranch, // branch/BR whose Disp is filled from Label at emission
+  LocalCall,   // BSR to procedure index Callee within this unit
+};
+
+/// One machine instruction plus its annotation.
+struct MInst {
+  isa::Inst I;
+  Note N = Note::None;
+  uint32_t GatIndex = 0;
+  uint32_t LiteralId = 0;
+  uint32_t GpPairId = 0;
+  obj::GpDispKind GpKind = obj::GpDispKind::Prologue;
+  uint32_t Label = 0;  // LocalBranch target label
+  uint32_t Callee = 0; // LocalCall target procedure index
+  /// Labels bound immediately before this instruction.
+  std::vector<uint32_t> LabelsHere;
+};
+
+/// A generated procedure before layout.
+struct MProc {
+  std::string FullName; // "module.function"
+  bool Exported = false;
+  bool UsesGp = false;
+  bool HasGpPrologue = false;
+  std::vector<MInst> Insts;
+};
+
+} // namespace cg
+} // namespace om64
+
+#endif // OM64_CODEGEN_MACHINECODE_H

@@ -1,0 +1,1370 @@
+//===- codegen/ProcGen.cpp - Per-procedure code generation ----------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates AAX code for one MLang function with the conservative 64-bit
+/// conventions of the paper's Figures 1 and 2: GP established from PV on
+/// entry, GP recomputed from RA after every JSR, every global reached
+/// through an address load from the GAT.
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CodegenImpl.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace om64;
+using namespace om64::cg;
+using namespace om64::isa;
+using namespace om64::lang;
+
+namespace {
+/// Number of temp registers/slots in each file.
+constexpr unsigned NumIntTemps = 8;  // t0..t7
+constexpr unsigned NumFpTemps = 6;   // f10..f15
+constexpr unsigned NumIntSlots = 10;
+constexpr unsigned NumFpSlots = 8;
+constexpr uint8_t FirstFpTemp = 10;
+constexpr uint8_t FirstFpSave = 2; // f2..f9 callee-saved
+
+uint64_t bitsOfDouble(double V) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &V, 8);
+  return Bits;
+}
+} // namespace
+
+ProcGen::ProcGen(UnitBuilder &Unit, const lang::Module &M,
+                 const lang::Function &F, MProc &Out)
+    : Unit(Unit), M(M), F(F), Out(Out) {}
+
+//===----------------------------------------------------------------------===//
+// Emission primitives.
+//===----------------------------------------------------------------------===//
+
+void ProcGen::append(MInst MI) {
+  if (!PendingBinds.empty()) {
+    MI.LabelsHere.insert(MI.LabelsHere.end(), PendingBinds.begin(),
+                         PendingBinds.end());
+    PendingBinds.clear();
+  }
+  Out.Insts.push_back(std::move(MI));
+}
+
+void ProcGen::emit(Inst I, Note N) {
+  MInst MI;
+  MI.I = I;
+  MI.N = N;
+  append(std::move(MI));
+}
+
+void ProcGen::bindLabel(uint32_t Label) { PendingBinds.push_back(Label); }
+
+//===----------------------------------------------------------------------===//
+// Register and slot pools.
+//===----------------------------------------------------------------------===//
+
+uint8_t ProcGen::allocIntReg() {
+  for (unsigned I = 0; I < NumIntTemps; ++I)
+    if (!IntRegBusy[I]) {
+      IntRegBusy[I] = true;
+      return static_cast<uint8_t>(T0 + I);
+    }
+  // Spill the deepest live int temp to free a register.
+  for (TempVal &V : Stack)
+    if (V.Kind == TempVal::K::IntReg) {
+      uint32_t Slot = allocIntSlot();
+      emit(makeMem(Opcode::Stq, V.Reg, intSlotOffset(Slot), SP));
+      uint8_t Reg = V.Reg;
+      V.Kind = TempVal::K::SpillInt;
+      V.Slot = Slot;
+      return Reg; // still marked busy; ownership transfers
+    }
+  DeferredError = Error::failure(Out.FullName + ": integer expression too "
+                                               "deep");
+  return T0;
+}
+
+uint8_t ProcGen::allocFpReg() {
+  for (unsigned I = 0; I < NumFpTemps; ++I)
+    if (!FpRegBusy[I]) {
+      FpRegBusy[I] = true;
+      return static_cast<uint8_t>(FirstFpTemp + I);
+    }
+  for (TempVal &V : Stack)
+    if (V.Kind == TempVal::K::FpReg) {
+      uint32_t Slot = allocFpSlot();
+      emit(makeMem(Opcode::Stt, V.Reg, fpSlotOffset(Slot), SP));
+      uint8_t Reg = V.Reg;
+      V.Kind = TempVal::K::SpillFp;
+      V.Slot = Slot;
+      return Reg;
+    }
+  DeferredError = Error::failure(Out.FullName + ": fp expression too deep");
+  return FirstFpTemp;
+}
+
+void ProcGen::freeIntReg(uint8_t R) {
+  if (R >= T0 && R < T0 + NumIntTemps)
+    IntRegBusy[R - T0] = false;
+}
+
+void ProcGen::freeFpReg(uint8_t R) {
+  if (R >= FirstFpTemp && R < FirstFpTemp + NumFpTemps)
+    FpRegBusy[R - FirstFpTemp] = false;
+}
+
+uint32_t ProcGen::allocIntSlot() {
+  for (unsigned I = 0; I < NumIntSlots; ++I)
+    if (!IntSlotBusy[I]) {
+      IntSlotBusy[I] = true;
+      return I;
+    }
+  DeferredError = Error::failure(Out.FullName + ": out of int spill slots");
+  return 0;
+}
+
+uint32_t ProcGen::allocFpSlot() {
+  for (unsigned I = 0; I < NumFpSlots; ++I)
+    if (!FpSlotBusy[I]) {
+      FpSlotBusy[I] = true;
+      return I;
+    }
+  DeferredError = Error::failure(Out.FullName + ": out of fp spill slots");
+  return 0;
+}
+
+int32_t ProcGen::intSlotOffset(uint32_t Slot) const {
+  return IntSlotBase + static_cast<int32_t>(Slot) * 8;
+}
+
+int32_t ProcGen::fpSlotOffset(uint32_t Slot) const {
+  return FpSlotBase + static_cast<int32_t>(Slot) * 8;
+}
+
+void ProcGen::pushIntReg(uint8_t R) {
+  TempVal V;
+  V.Kind = TempVal::K::IntReg;
+  V.Reg = R;
+  Stack.push_back(V);
+}
+
+void ProcGen::pushFpReg(uint8_t R) {
+  TempVal V;
+  V.Kind = TempVal::K::FpReg;
+  V.Reg = R;
+  Stack.push_back(V);
+}
+
+void ProcGen::pushIntImm(int64_t Value) {
+  TempVal V;
+  V.Kind = TempVal::K::IntImm;
+  V.Imm = Value;
+  Stack.push_back(V);
+}
+
+void ProcGen::pushRealImm(double Value) {
+  TempVal V;
+  V.Kind = TempVal::K::RealImm;
+  V.RealVal = Value;
+  Stack.push_back(V);
+}
+
+//===----------------------------------------------------------------------===//
+// Materialization.
+//===----------------------------------------------------------------------===//
+
+uint8_t ProcGen::emitAddressLoad(uint32_t SymIdx, uint32_t &LiteralIdOut) {
+  uint8_t R = allocIntReg();
+  LiteralIdOut = Unit.nextLiteralId();
+  MInst MI;
+  MI.I = makeMem(Opcode::Ldq, R, 0, GP);
+  MI.N = Note::Literal;
+  MI.GatIndex = Unit.gatSlot(SymIdx);
+  MI.LiteralId = LiteralIdOut;
+  append(std::move(MI));
+  NeedsGp = true;
+  return R;
+}
+
+void ProcGen::materializeIntImm(int64_t V, uint8_t Dest) {
+  if (fitsDisp16(V)) {
+    emit(makeMem(Opcode::Lda, Dest, static_cast<int32_t>(V), Zero));
+    return;
+  }
+  if (fitsDisp32(V)) {
+    int32_t High, Low;
+    splitDisp32(V, High, Low);
+    emit(makeMem(Opcode::Ldah, Dest, High, Zero));
+    if (Low != 0)
+      emit(makeMem(Opcode::Lda, Dest, Low, Dest));
+    return;
+  }
+  // Wide constants live in the constant pool, reached through the GAT like
+  // any other datum (an address load plus a value load).
+  uint32_t Lit;
+  uint8_t Addr = emitAddressLoad(
+      Unit.poolConstant(static_cast<uint64_t>(V)), Lit);
+  MInst MI;
+  MI.I = makeMem(Opcode::Ldq, Dest, 0, Addr);
+  MI.N = Note::LituseBase;
+  MI.LiteralId = Lit;
+  append(std::move(MI));
+  freeIntReg(Addr);
+}
+
+uint8_t ProcGen::materializeReal(double V) {
+  uint32_t Lit;
+  uint8_t Addr = emitAddressLoad(Unit.poolConstant(bitsOfDouble(V)), Lit);
+  uint8_t D = allocFpReg();
+  MInst MI;
+  MI.I = makeMem(Opcode::Ldt, D, 0, Addr);
+  MI.N = Note::LituseBase;
+  MI.LiteralId = Lit;
+  append(std::move(MI));
+  freeIntReg(Addr);
+  return D;
+}
+
+//===----------------------------------------------------------------------===//
+// Value-stack pops.
+//===----------------------------------------------------------------------===//
+
+ProcGen::IntOperand ProcGen::popIntOperand(bool AllowLit) {
+  assert(!Stack.empty() && "pop from empty value stack");
+  TempVal V = Stack.back();
+  Stack.pop_back();
+  IntOperand Op;
+  switch (V.Kind) {
+  case TempVal::K::IntImm:
+    if (AllowLit && V.Imm >= 0 && V.Imm <= 255) {
+      Op.IsLit = true;
+      Op.Lit = static_cast<uint8_t>(V.Imm);
+      return Op;
+    }
+    Op.Reg = allocIntReg();
+    Op.Owned = true;
+    materializeIntImm(V.Imm, Op.Reg);
+    return Op;
+  case TempVal::K::IntReg:
+    Op.Reg = V.Reg;
+    Op.Owned = true;
+    return Op;
+  case TempVal::K::HomeInt:
+    Op.Reg = V.Reg;
+    Op.Owned = false;
+    return Op;
+  case TempVal::K::SpillInt:
+    Op.Reg = allocIntReg();
+    Op.Owned = true;
+    emit(makeMem(Opcode::Ldq, Op.Reg, intSlotOffset(V.Slot), SP));
+    IntSlotBusy[V.Slot] = false;
+    return Op;
+  default:
+    assert(false && "popIntOperand on a non-integer value");
+    return Op;
+  }
+}
+
+void ProcGen::releaseIntOperand(const IntOperand &Op) {
+  if (Op.Owned)
+    freeIntReg(Op.Reg);
+}
+
+ProcGen::FpOperand ProcGen::popFpOperand() {
+  assert(!Stack.empty() && "pop from empty value stack");
+  TempVal V = Stack.back();
+  Stack.pop_back();
+  FpOperand Op;
+  switch (V.Kind) {
+  case TempVal::K::RealImm:
+    Op.Reg = materializeReal(V.RealVal);
+    Op.Owned = true;
+    return Op;
+  case TempVal::K::FpReg:
+    Op.Reg = V.Reg;
+    Op.Owned = true;
+    return Op;
+  case TempVal::K::HomeFp:
+    Op.Reg = V.Reg;
+    Op.Owned = false;
+    return Op;
+  case TempVal::K::SpillFp:
+    Op.Reg = allocFpReg();
+    Op.Owned = true;
+    emit(makeMem(Opcode::Ldt, Op.Reg, fpSlotOffset(V.Slot), SP));
+    FpSlotBusy[V.Slot] = false;
+    return Op;
+  default:
+    assert(false && "popFpOperand on a non-fp value");
+    return Op;
+  }
+}
+
+void ProcGen::releaseFpOperand(const FpOperand &Op) {
+  if (Op.Owned)
+    freeFpReg(Op.Reg);
+}
+
+void ProcGen::popIntIntoFixed(uint8_t Dest) {
+  assert(!Stack.empty() && "pop from empty value stack");
+  TempVal V = Stack.back();
+  Stack.pop_back();
+  switch (V.Kind) {
+  case TempVal::K::IntImm:
+    materializeIntImm(V.Imm, Dest);
+    return;
+  case TempVal::K::IntReg:
+    emit(makeOp(Opcode::Bis, V.Reg, V.Reg, Dest));
+    freeIntReg(V.Reg);
+    return;
+  case TempVal::K::HomeInt:
+    emit(makeOp(Opcode::Bis, V.Reg, V.Reg, Dest));
+    return;
+  case TempVal::K::SpillInt:
+    emit(makeMem(Opcode::Ldq, Dest, intSlotOffset(V.Slot), SP));
+    IntSlotBusy[V.Slot] = false;
+    return;
+  default:
+    assert(false && "popIntIntoFixed on a non-integer value");
+  }
+}
+
+void ProcGen::popFpIntoFixed(uint8_t Dest) {
+  assert(!Stack.empty() && "pop from empty value stack");
+  TempVal V = Stack.back();
+  Stack.pop_back();
+  switch (V.Kind) {
+  case TempVal::K::RealImm: {
+    uint32_t Lit;
+    uint8_t Addr =
+        emitAddressLoad(Unit.poolConstant(bitsOfDouble(V.RealVal)), Lit);
+    MInst MI;
+    MI.I = makeMem(Opcode::Ldt, Dest, 0, Addr);
+    MI.N = Note::LituseBase;
+    MI.LiteralId = Lit;
+    append(std::move(MI));
+    freeIntReg(Addr);
+    return;
+  }
+  case TempVal::K::FpReg:
+    emit(makeOp(Opcode::Cpys, V.Reg, V.Reg, Dest));
+    freeFpReg(V.Reg);
+    return;
+  case TempVal::K::HomeFp:
+    emit(makeOp(Opcode::Cpys, V.Reg, V.Reg, Dest));
+    return;
+  case TempVal::K::SpillFp:
+    emit(makeMem(Opcode::Ldt, Dest, fpSlotOffset(V.Slot), SP));
+    FpSlotBusy[V.Slot] = false;
+    return;
+  default:
+    assert(false && "popFpIntoFixed on a non-fp value");
+  }
+}
+
+void ProcGen::discardTop() {
+  assert(!Stack.empty() && "discard from empty value stack");
+  TempVal V = Stack.back();
+  Stack.pop_back();
+  switch (V.Kind) {
+  case TempVal::K::IntReg:
+    freeIntReg(V.Reg);
+    break;
+  case TempVal::K::FpReg:
+    freeFpReg(V.Reg);
+    break;
+  case TempVal::K::SpillInt:
+    IntSlotBusy[V.Slot] = false;
+    break;
+  case TempVal::K::SpillFp:
+    FpSlotBusy[V.Slot] = false;
+    break;
+  default:
+    break;
+  }
+}
+
+void ProcGen::spillAcrossCall(size_t KeepTop) {
+  assert(KeepTop <= Stack.size() && "keeping more entries than exist");
+  size_t Limit = Stack.size() - KeepTop;
+  for (size_t I = 0; I < Limit; ++I) {
+    TempVal &V = Stack[I];
+    if (V.Kind == TempVal::K::IntReg) {
+      uint32_t Slot = allocIntSlot();
+      emit(makeMem(Opcode::Stq, V.Reg, intSlotOffset(Slot), SP));
+      freeIntReg(V.Reg);
+      V.Kind = TempVal::K::SpillInt;
+      V.Slot = Slot;
+    } else if (V.Kind == TempVal::K::FpReg) {
+      uint32_t Slot = allocFpSlot();
+      emit(makeMem(Opcode::Stt, V.Reg, fpSlotOffset(Slot), SP));
+      freeFpReg(V.Reg);
+      V.Kind = TempVal::K::SpillFp;
+      V.Slot = Slot;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Calls.
+//===----------------------------------------------------------------------===//
+
+void ProcGen::emitGpReset() {
+  // After any JSR the callee may have changed GP; recompute it from the
+  // return address (Figure 1's post-call LDAH/LDA pair). Any procedure
+  // that calls through PV establishes GP, so it is GP-using.
+  NeedsGp = true;
+  uint32_t PairId = Unit.nextGpPairId();
+  MInst Hi;
+  Hi.I = makeMem(Opcode::Ldah, GP, 0, RA);
+  Hi.N = Note::GpLdah;
+  Hi.GpKind = obj::GpDispKind::PostCall;
+  Hi.GpPairId = PairId;
+  append(std::move(Hi));
+  MInst Lo;
+  Lo.I = makeMem(Opcode::Lda, GP, 0, GP);
+  Lo.N = Note::GpLda;
+  Lo.GpPairId = PairId;
+  append(std::move(Lo));
+}
+
+void ProcGen::emitConservativeCallTo(uint32_t SymIdx) {
+  // Load the destination's address into PV from the GAT, call through it,
+  // and re-establish GP afterwards (Figure 1).
+  uint32_t Lit = Unit.nextLiteralId();
+  MInst Load;
+  Load.I = makeMem(Opcode::Ldq, PV, 0, GP);
+  Load.N = Note::Literal;
+  Load.GatIndex = Unit.gatSlot(SymIdx);
+  Load.LiteralId = Lit;
+  append(std::move(Load));
+  NeedsGp = true;
+
+  MInst Call;
+  Call.I = makeJump(Opcode::Jsr, RA, PV);
+  Call.N = Note::LituseJsr;
+  Call.LiteralId = Lit;
+  append(std::move(Call));
+
+  emitGpReset();
+}
+
+Error ProcGen::emitRuntimeCall(const std::string &FullName,
+                               unsigned NumArgs) {
+  // The operands are already on the value stack (deepest = first arg).
+  spillAcrossCall(NumArgs);
+  for (unsigned I = NumArgs; I-- > 0;)
+    popIntIntoFixed(static_cast<uint8_t>(A0 + I));
+  emitConservativeCallTo(Unit.internSymbol(FullName));
+  uint8_t R = allocIntReg();
+  emit(makeOp(Opcode::Bis, V0, V0, R));
+  pushIntReg(R);
+  return DeferredError;
+}
+
+Error ProcGen::genCall(const Expr &E) {
+  if (E.BuiltinFunc != Builtin::None)
+    return genBuiltin(E);
+
+  for (const ExprPtr &Arg : E.Args)
+    if (Error Err = genExpr(*Arg))
+      return Err;
+
+  if (E.IsIndirectCall) {
+    // Push the funcptr value last, then move it to PV.
+    Expr Ptr;
+    Ptr.K = Expr::Kind::VarRef;
+    Ptr.Name = E.Name;
+    Ptr.Qualifier = E.Qualifier;
+    Ptr.Ref = E.Ref;
+    Ptr.SlotIndex = E.SlotIndex;
+    Ptr.TargetModule = E.TargetModule;
+    Ptr.Ty = {TypeKind::FuncPtr, 0};
+    if (Error Err = genExpr(Ptr))
+      return Err;
+    spillAcrossCall(E.Args.size() + 1);
+    popIntIntoFixed(PV);
+    for (size_t I = E.Args.size(); I-- > 0;)
+      popIntIntoFixed(static_cast<uint8_t>(A0 + I));
+    // No lituse: the destination is a computed value; OM cannot examine it
+    // (section 5.1: remaining PV loads are calls through procedure
+    // variables).
+    emit(makeJump(Opcode::Jsr, RA, PV));
+    emitGpReset();
+    uint8_t R = allocIntReg();
+    emit(makeOp(Opcode::Bis, V0, V0, R));
+    pushIntReg(R);
+    return DeferredError;
+  }
+
+  std::string CalleeFull = E.TargetModule + "." + E.Name;
+  spillAcrossCall(E.Args.size());
+  // Move arguments into their registers, last first. Position i goes to
+  // a<i> for int/funcptr arguments and f<16+i> for real arguments.
+  for (size_t I = E.Args.size(); I-- > 0;) {
+    if (E.Args[I]->Ty.isReal())
+      popFpIntoFixed(static_cast<uint8_t>(FA0 + I));
+    else
+      popIntIntoFixed(static_cast<uint8_t>(A0 + I));
+  }
+
+  if (Unit.isDirectCallee(CalleeFull)) {
+    // Compile-time optimized call: direct BSR, no PV load, no GP reset
+    // (same unit, same GAT; the callee has no GP prologue). The callee
+    // inherits GP from here, so this procedure must have established it.
+    NeedsGp = true;
+    MInst Call;
+    Call.I = makeBranch(Opcode::Bsr, RA, 0);
+    Call.N = Note::LocalCall;
+    Call.Callee = Unit.procIndex(CalleeFull);
+    append(std::move(Call));
+  } else {
+    emitConservativeCallTo(Unit.internSymbol(CalleeFull));
+  }
+
+  if (E.Ty.Kind == TypeKind::Void)
+    return DeferredError;
+  if (E.Ty.isReal()) {
+    uint8_t FR = allocFpReg();
+    emit(makeOp(Opcode::Cpys, F0, F0, FR));
+    pushFpReg(FR);
+  } else {
+    uint8_t R = allocIntReg();
+    emit(makeOp(Opcode::Bis, V0, V0, R));
+    pushIntReg(R);
+  }
+  return DeferredError;
+}
+
+Error ProcGen::genBuiltin(const Expr &E) {
+  for (const ExprPtr &Arg : E.Args)
+    if (Error Err = genExpr(*Arg))
+      return Err;
+  switch (E.BuiltinFunc) {
+  case Builtin::Trunc: {
+    FpOperand Src = popFpOperand();
+    uint8_t Tmp = allocFpReg();
+    emit(makeOp(Opcode::Cvttq, FZero, Src.Reg, Tmp));
+    releaseFpOperand(Src);
+    uint8_t R = allocIntReg();
+    emit(makeOp(Opcode::Ftoit, Tmp, Zero, R));
+    freeFpReg(Tmp);
+    pushIntReg(R);
+    return DeferredError;
+  }
+  case Builtin::ToReal: {
+    IntOperand Src = popIntOperand(/*AllowLit=*/false);
+    uint8_t Bits = allocFpReg();
+    emit(makeOp(Opcode::Itoft, Src.Reg, Zero, Bits));
+    releaseIntOperand(Src);
+    uint8_t R = allocFpReg();
+    emit(makeOp(Opcode::Cvtqt, FZero, Bits, R));
+    freeFpReg(Bits);
+    pushFpReg(R);
+    return DeferredError;
+  }
+  case Builtin::PalPutInt:
+  case Builtin::PalPutChar:
+  case Builtin::PalHalt: {
+    popIntIntoFixed(A0);
+    PalFunc Func = E.BuiltinFunc == Builtin::PalPutInt ? PalFunc::PutInt
+                   : E.BuiltinFunc == Builtin::PalPutChar
+                       ? PalFunc::PutChar
+                       : PalFunc::Halt;
+    emit(makePal(Func));
+    return DeferredError;
+  }
+  case Builtin::PalPutReal:
+    popFpIntoFixed(FA0);
+    emit(makePal(PalFunc::PutReal));
+    return DeferredError;
+  case Builtin::PalCycles: {
+    emit(makePal(PalFunc::CycleCount));
+    uint8_t R = allocIntReg();
+    emit(makeOp(Opcode::Bis, V0, V0, R));
+    pushIntReg(R);
+    return DeferredError;
+  }
+  case Builtin::None:
+    break;
+  }
+  assert(false && "not a builtin");
+  return Error::failure("internal: not a builtin");
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions.
+//===----------------------------------------------------------------------===//
+
+bool ProcGen::foldInt(const Expr &E, int64_t &Folded) const {
+  if (!Unit.options().FoldConstants)
+    return false;
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+    Folded = E.IntValue;
+    return true;
+  case Expr::Kind::Unary: {
+    int64_t V;
+    if (!foldInt(*E.Args[0], V))
+      return false;
+    if (E.Op == Tok::Minus) {
+      // Wrapping negation, like SUBQ zero, x (and the interpreter).
+      Folded = static_cast<int64_t>(0 - static_cast<uint64_t>(V));
+      return true;
+    }
+    Folded = V == 0 ? 1 : 0;
+    return true;
+  }
+  case Expr::Kind::Binary: {
+    if (!E.Args[0]->Ty.isInt())
+      return false;
+    int64_t L, R;
+    if (!foldInt(*E.Args[0], L) || !foldInt(*E.Args[1], R))
+      return false;
+    switch (E.Op) {
+    case Tok::Plus:
+      Folded = static_cast<int64_t>(static_cast<uint64_t>(L) +
+                                    static_cast<uint64_t>(R));
+      return true;
+    case Tok::Minus:
+      Folded = static_cast<int64_t>(static_cast<uint64_t>(L) -
+                                    static_cast<uint64_t>(R));
+      return true;
+    case Tok::Star:
+      Folded = static_cast<int64_t>(static_cast<uint64_t>(L) *
+                                    static_cast<uint64_t>(R));
+      return true;
+    case Tok::BitAnd:    Folded = L & R; return true;
+    case Tok::BitOr:     Folded = L | R; return true;
+    case Tok::BitXor:    Folded = L ^ R; return true;
+    case Tok::Shl:       Folded = static_cast<int64_t>(
+                             static_cast<uint64_t>(L) << (R & 63));
+                         return true;
+    case Tok::Shr:       Folded = L >> (R & 63); return true;
+    case Tok::EqEq:      Folded = L == R; return true;
+    case Tok::NotEq:     Folded = L != R; return true;
+    case Tok::Less:      Folded = L < R; return true;
+    case Tok::LessEq:    Folded = L <= R; return true;
+    case Tok::Greater:   Folded = L > R; return true;
+    case Tok::GreaterEq: Folded = L >= R; return true;
+    case Tok::KwAnd:     Folded = (L != 0) && (R != 0); return true;
+    case Tok::KwOr:      Folded = (L != 0) || (R != 0); return true;
+    default:
+      return false; // division is a runtime call; do not fold
+    }
+  }
+  default:
+    return false;
+  }
+}
+
+bool ProcGen::foldReal(const Expr &E, double &Folded) const {
+  if (!Unit.options().FoldConstants)
+    return false;
+  switch (E.K) {
+  case Expr::Kind::RealLit:
+    Folded = E.RealValue;
+    return true;
+  case Expr::Kind::Unary: {
+    double V;
+    if (E.Op != Tok::Minus || !foldReal(*E.Args[0], V))
+      return false;
+    // 0.0 - V, exactly like the unfolded SUBT fzero, x.
+    Folded = 0.0 - V;
+    return true;
+  }
+  case Expr::Kind::Binary: {
+    double L, R;
+    if (!E.Args[0]->Ty.isReal() || !foldReal(*E.Args[0], L) ||
+        !foldReal(*E.Args[1], R))
+      return false;
+    switch (E.Op) {
+    case Tok::Plus:  Folded = L + R; return true;
+    case Tok::Minus: Folded = L - R; return true;
+    case Tok::Star:  Folded = L * R; return true;
+    default:
+      return false; // fp divide folds would change rounding traps
+    }
+  }
+  default:
+    return false;
+  }
+}
+
+Error ProcGen::genIndexAddress(const Expr &E, uint8_t &AddrReg,
+                               uint32_t &LitOut) {
+  // Element address = GAT-loaded base + index*8. The scaled add carries a
+  // LituseAddr link and the eventual memory operation a LituseDeref link,
+  // so the linker can retarget the whole chain to GP-relative form (the
+  // paper's "references within reach only via a 32-bit displacement").
+  if (Error Err = genExpr(*E.Args[0]))
+    return Err;
+  IntOperand Idx = popIntOperand(/*AllowLit=*/false);
+  uint8_t Base = emitAddressLoad(
+      Unit.internSymbol(E.TargetModule + "." + E.Name), LitOut);
+  MInst Add;
+  Add.I = makeOp(Opcode::S8addq, Idx.Reg, Base, Base);
+  Add.N = Note::LituseAddr;
+  Add.LiteralId = LitOut;
+  append(std::move(Add));
+  releaseIntOperand(Idx);
+  AddrReg = Base;
+  return DeferredError;
+}
+
+Error ProcGen::genBinary(const Expr &E) {
+  const Expr &LHS = *E.Args[0];
+  bool IsRealOperands = LHS.Ty.isReal();
+
+  if (!IsRealOperands) {
+    // Integer division and remainder are runtime-library calls (AAX, like
+    // the Alpha, has no integer divide instruction).
+    if (E.Op == Tok::Slash || E.Op == Tok::Percent) {
+      if (Error Err = genExpr(*E.Args[0]))
+        return Err;
+      if (Error Err = genExpr(*E.Args[1]))
+        return Err;
+      const char *Helper = E.Op == Tok::Slash ? "divq" : "remq";
+      return emitRuntimeCall(
+          std::string(UnitBuilder::RuntimeModule) + "." + Helper, 2);
+    }
+    if (Error Err = genExpr(*E.Args[0]))
+      return Err;
+    if (Error Err = genExpr(*E.Args[1]))
+      return Err;
+
+    // Logical and/or normalize both operands to 0/1 first.
+    if (E.Op == Tok::KwAnd || E.Op == Tok::KwOr) {
+      IntOperand R = popIntOperand(/*AllowLit=*/false);
+      IntOperand L = popIntOperand(/*AllowLit=*/false);
+      releaseIntOperand(L);
+      releaseIntOperand(R);
+      uint8_t NL = allocIntReg();
+      emit(makeOpLit(Opcode::Cmpeq, L.Reg, 0, NL));
+      emit(makeOpLit(Opcode::Xor, NL, 1, NL));
+      uint8_t NR = allocIntReg();
+      emit(makeOpLit(Opcode::Cmpeq, R.Reg, 0, NR));
+      emit(makeOpLit(Opcode::Xor, NR, 1, NR));
+      freeIntReg(NL);
+      freeIntReg(NR);
+      uint8_t D = allocIntReg();
+      emit(makeOp(E.Op == Tok::KwAnd ? Opcode::And : Opcode::Bis, NL, NR,
+                  D));
+      pushIntReg(D);
+      return DeferredError;
+    }
+
+    bool Swap = E.Op == Tok::Greater || E.Op == Tok::GreaterEq;
+    bool NeedNotEqFixup = E.Op == Tok::NotEq;
+    Opcode Op;
+    switch (E.Op) {
+    case Tok::Plus:      Op = Opcode::Addq; break;
+    case Tok::Minus:     Op = Opcode::Subq; break;
+    case Tok::Star:      Op = Opcode::Mulq; break;
+    case Tok::BitAnd:    Op = Opcode::And; break;
+    case Tok::BitOr:     Op = Opcode::Bis; break;
+    case Tok::BitXor:    Op = Opcode::Xor; break;
+    case Tok::Shl:       Op = Opcode::Sll; break;
+    case Tok::Shr:       Op = Opcode::Sra; break;
+    case Tok::EqEq:
+    case Tok::NotEq:     Op = Opcode::Cmpeq; break;
+    case Tok::Less:      Op = Opcode::Cmplt; break;
+    case Tok::LessEq:    Op = Opcode::Cmple; break;
+    case Tok::Greater:   Op = Opcode::Cmplt; break;
+    case Tok::GreaterEq: Op = Opcode::Cmple; break;
+    default:
+      assert(false && "unhandled int binary op");
+      Op = Opcode::Addq;
+    }
+
+    if (Swap) {
+      // a > b computes b < a; both operands must be registers.
+      IntOperand R = popIntOperand(/*AllowLit=*/false);
+      IntOperand L = popIntOperand(/*AllowLit=*/false);
+      releaseIntOperand(L);
+      releaseIntOperand(R);
+      uint8_t D = allocIntReg();
+      emit(makeOp(Op, R.Reg, L.Reg, D));
+      pushIntReg(D);
+      return DeferredError;
+    }
+
+    IntOperand R = popIntOperand(/*AllowLit=*/true);
+    IntOperand L = popIntOperand(/*AllowLit=*/false);
+    releaseIntOperand(L);
+    releaseIntOperand(R);
+    uint8_t D = allocIntReg();
+    if (R.IsLit)
+      emit(makeOpLit(Op, L.Reg, R.Lit, D));
+    else
+      emit(makeOp(Op, L.Reg, R.Reg, D));
+    if (NeedNotEqFixup)
+      emit(makeOpLit(Opcode::Xor, D, 1, D));
+    pushIntReg(D);
+    return DeferredError;
+  }
+
+  // Real operands.
+  if (Error Err = genExpr(*E.Args[0]))
+    return Err;
+  if (Error Err = genExpr(*E.Args[1]))
+    return Err;
+
+  bool IsCompare = E.Op == Tok::EqEq || E.Op == Tok::NotEq ||
+                   E.Op == Tok::Less || E.Op == Tok::LessEq ||
+                   E.Op == Tok::Greater || E.Op == Tok::GreaterEq;
+  FpOperand R = popFpOperand();
+  FpOperand L = popFpOperand();
+  releaseFpOperand(L);
+  releaseFpOperand(R);
+
+  if (!IsCompare) {
+    Opcode Op;
+    switch (E.Op) {
+    case Tok::Plus:  Op = Opcode::Addt; break;
+    case Tok::Minus: Op = Opcode::Subt; break;
+    case Tok::Star:  Op = Opcode::Mult; break;
+    case Tok::Slash: Op = Opcode::Divt; break;
+    default:
+      assert(false && "unhandled real binary op");
+      Op = Opcode::Addt;
+    }
+    uint8_t D = allocFpReg();
+    emit(makeOp(Op, L.Reg, R.Reg, D));
+    pushFpReg(D);
+    return DeferredError;
+  }
+
+  // Real comparisons: CMPTxx yields 2.0/0.0 in an fp register; transfer to
+  // the integer file and normalize to 0/1.
+  bool Swap = E.Op == Tok::Greater || E.Op == Tok::GreaterEq;
+  Opcode Op = (E.Op == Tok::EqEq || E.Op == Tok::NotEq) ? Opcode::Cmpteq
+              : (E.Op == Tok::Less || E.Op == Tok::Greater)
+                  ? Opcode::Cmptlt
+                  : Opcode::Cmptle;
+  uint8_t FD = allocFpReg();
+  if (Swap)
+    emit(makeOp(Op, R.Reg, L.Reg, FD));
+  else
+    emit(makeOp(Op, L.Reg, R.Reg, FD));
+  uint8_t D = allocIntReg();
+  emit(makeOp(Opcode::Ftoit, FD, Zero, D));
+  freeFpReg(FD);
+  emit(makeOpLit(Opcode::Cmpeq, D, 0, D));
+  if (E.Op != Tok::NotEq)
+    emit(makeOpLit(Opcode::Xor, D, 1, D));
+  pushIntReg(D);
+  return DeferredError;
+}
+
+Error ProcGen::genExpr(const Expr &E) {
+  if (DeferredError)
+    return DeferredError;
+
+  // Constant folding first (the -O2 stand-in).
+  if (E.K != Expr::Kind::IntLit && E.K != Expr::Kind::RealLit) {
+    int64_t IV;
+    double RV;
+    if (E.Ty.isInt() && foldInt(E, IV)) {
+      pushIntImm(IV);
+      return DeferredError;
+    }
+    if (E.Ty.isReal() && foldReal(E, RV)) {
+      pushRealImm(RV);
+      return DeferredError;
+    }
+  }
+
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+    pushIntImm(E.IntValue);
+    return DeferredError;
+  case Expr::Kind::RealLit:
+    pushRealImm(E.RealValue);
+    return DeferredError;
+  case Expr::Kind::VarRef: {
+    if (E.Ref == RefKind::Param || E.Ref == RefKind::Local) {
+      const Home &H = E.Ref == RefKind::Param ? ParamHomes[E.SlotIndex]
+                                              : LocalHomes[E.SlotIndex];
+      if (H.Kind == Home::K::IntReg) {
+        TempVal V;
+        V.Kind = TempVal::K::HomeInt;
+        V.Reg = H.Reg;
+        Stack.push_back(V);
+      } else if (H.Kind == Home::K::FpReg) {
+        TempVal V;
+        V.Kind = TempVal::K::HomeFp;
+        V.Reg = H.Reg;
+        Stack.push_back(V);
+      } else if (E.Ty.isReal()) {
+        uint8_t R = allocFpReg();
+        emit(makeMem(Opcode::Ldt, R, H.SpOffset, SP));
+        pushFpReg(R);
+      } else {
+        uint8_t R = allocIntReg();
+        emit(makeMem(Opcode::Ldq, R, H.SpOffset, SP));
+        pushIntReg(R);
+      }
+      return DeferredError;
+    }
+    // Global scalar: address load from the GAT, then the value load
+    // through the pointer (Figure 2b).
+    uint32_t Lit;
+    uint8_t Addr = emitAddressLoad(
+        Unit.internSymbol(E.TargetModule + "." + E.Name), Lit);
+    if (E.Ty.isReal()) {
+      uint8_t R = allocFpReg();
+      MInst MI;
+      MI.I = makeMem(Opcode::Ldt, R, 0, Addr);
+      MI.N = Note::LituseBase;
+      MI.LiteralId = Lit;
+      append(std::move(MI));
+      freeIntReg(Addr);
+      pushFpReg(R);
+    } else {
+      MInst MI;
+      MI.I = makeMem(Opcode::Ldq, Addr, 0, Addr);
+      MI.N = Note::LituseBase;
+      MI.LiteralId = Lit;
+      append(std::move(MI));
+      pushIntReg(Addr);
+    }
+    return DeferredError;
+  }
+  case Expr::Kind::Index: {
+    uint8_t Addr;
+    uint32_t Lit;
+    if (Error Err = genIndexAddress(E, Addr, Lit))
+      return Err;
+    MInst MI;
+    MI.N = Note::LituseDeref;
+    MI.LiteralId = Lit;
+    if (E.Ty.isReal()) {
+      uint8_t R = allocFpReg();
+      MI.I = makeMem(Opcode::Ldt, R, 0, Addr);
+      append(std::move(MI));
+      freeIntReg(Addr);
+      pushFpReg(R);
+    } else {
+      MI.I = makeMem(Opcode::Ldq, Addr, 0, Addr);
+      append(std::move(MI));
+      pushIntReg(Addr);
+    }
+    return DeferredError;
+  }
+  case Expr::Kind::Unary: {
+    if (Error Err = genExpr(*E.Args[0]))
+      return Err;
+    if (E.Args[0]->Ty.isReal()) {
+      FpOperand Src = popFpOperand();
+      releaseFpOperand(Src);
+      uint8_t D = allocFpReg();
+      emit(makeOp(Opcode::Subt, FZero, Src.Reg, D));
+      pushFpReg(D);
+      return DeferredError;
+    }
+    IntOperand Src = popIntOperand(E.Op == Tok::Minus);
+    releaseIntOperand(Src);
+    uint8_t D = allocIntReg();
+    if (E.Op == Tok::Minus) {
+      if (Src.IsLit)
+        emit(makeOpLit(Opcode::Subq, Zero, Src.Lit, D));
+      else
+        emit(makeOp(Opcode::Subq, Zero, Src.Reg, D));
+    } else {
+      emit(makeOpLit(Opcode::Cmpeq, Src.Reg, 0, D));
+    }
+    pushIntReg(D);
+    return DeferredError;
+  }
+  case Expr::Kind::Binary:
+    return genBinary(E);
+  case Expr::Kind::Call:
+    return genCall(E);
+  case Expr::Kind::AddrOf: {
+    // The procedure's address comes from the GAT with no lituse link: the
+    // value escapes, making the target an address-taken procedure.
+    uint32_t Lit;
+    uint8_t Addr = emitAddressLoad(
+        Unit.internSymbol(E.TargetModule + "." + E.Name), Lit);
+    pushIntReg(Addr);
+    return DeferredError;
+  }
+  }
+  return Error::failure("internal: unhandled expression kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Statements.
+//===----------------------------------------------------------------------===//
+
+Error ProcGen::genAssign(const Stmt &S) {
+  const Expr &Target = *S.Target;
+  if (Target.K == Expr::Kind::VarRef &&
+      (Target.Ref == RefKind::Param || Target.Ref == RefKind::Local)) {
+    if (Error Err = genExpr(*S.Value))
+      return Err;
+    const Home &H = Target.Ref == RefKind::Param
+                        ? ParamHomes[Target.SlotIndex]
+                        : LocalHomes[Target.SlotIndex];
+    if (H.Kind == Home::K::IntReg) {
+      popIntIntoFixed(H.Reg);
+    } else if (H.Kind == Home::K::FpReg) {
+      popFpIntoFixed(H.Reg);
+    } else if (Target.Ty.isReal()) {
+      FpOperand V = popFpOperand();
+      emit(makeMem(Opcode::Stt, V.Reg, H.SpOffset, SP));
+      releaseFpOperand(V);
+    } else {
+      IntOperand V = popIntOperand(/*AllowLit=*/false);
+      emit(makeMem(Opcode::Stq, V.Reg, H.SpOffset, SP));
+      releaseIntOperand(V);
+    }
+    return DeferredError;
+  }
+
+  if (Target.K == Expr::Kind::VarRef) {
+    // Global scalar (Figure 2c): value, then address load, then store.
+    if (Error Err = genExpr(*S.Value))
+      return Err;
+    uint32_t Lit;
+    uint8_t Addr = emitAddressLoad(
+        Unit.internSymbol(Target.TargetModule + "." + Target.Name), Lit);
+    if (Target.Ty.isReal()) {
+      FpOperand V = popFpOperand();
+      MInst MI;
+      MI.I = makeMem(Opcode::Stt, V.Reg, 0, Addr);
+      MI.N = Note::LituseBase;
+      MI.LiteralId = Lit;
+      append(std::move(MI));
+      releaseFpOperand(V);
+    } else {
+      IntOperand V = popIntOperand(/*AllowLit=*/false);
+      MInst MI;
+      MI.I = makeMem(Opcode::Stq, V.Reg, 0, Addr);
+      MI.N = Note::LituseBase;
+      MI.LiteralId = Lit;
+      append(std::move(MI));
+      releaseIntOperand(V);
+    }
+    freeIntReg(Addr);
+    return DeferredError;
+  }
+
+  // Array element.
+  assert(Target.K == Expr::Kind::Index && "bad assignment target");
+  if (Error Err = genExpr(*S.Value))
+    return Err;
+  uint8_t Addr;
+  uint32_t Lit;
+  if (Error Err = genIndexAddress(Target, Addr, Lit))
+    return Err;
+  MInst MI;
+  MI.N = Note::LituseDeref;
+  MI.LiteralId = Lit;
+  if (Target.Ty.isReal()) {
+    FpOperand V = popFpOperand();
+    MI.I = makeMem(Opcode::Stt, V.Reg, 0, Addr);
+    append(std::move(MI));
+    releaseFpOperand(V);
+  } else {
+    IntOperand V = popIntOperand(/*AllowLit=*/false);
+    MI.I = makeMem(Opcode::Stq, V.Reg, 0, Addr);
+    append(std::move(MI));
+    releaseIntOperand(V);
+  }
+  freeIntReg(Addr);
+  return DeferredError;
+}
+
+Error ProcGen::genStmt(const Stmt &S) {
+  if (DeferredError)
+    return DeferredError;
+  switch (S.K) {
+  case Stmt::Kind::Assign:
+    if (Error Err = genAssign(S))
+      return Err;
+    break;
+  case Stmt::Kind::ExprStmt:
+    if (Error Err = genExpr(*S.Value))
+      return Err;
+    if (S.Value->Ty.Kind != TypeKind::Void)
+      discardTop();
+    break;
+  case Stmt::Kind::If: {
+    int64_t Folded;
+    if (foldInt(*S.Value, Folded)) {
+      const std::vector<StmtPtr> &Taken = Folded ? S.Body : S.ElseBody;
+      for (const StmtPtr &Child : Taken)
+        if (Error Err = genStmt(*Child))
+          return Err;
+      break;
+    }
+    if (Error Err = genExpr(*S.Value))
+      return Err;
+    IntOperand Cond = popIntOperand(/*AllowLit=*/false);
+    releaseIntOperand(Cond);
+    uint32_t ElseLabel = newLabel();
+    uint32_t EndLabel = S.ElseBody.empty() ? ElseLabel : newLabel();
+    {
+      MInst Br;
+      Br.I = makeBranch(Opcode::Beq, Cond.Reg, 0);
+      Br.N = Note::LocalBranch;
+      Br.Label = ElseLabel;
+      append(std::move(Br));
+    }
+    for (const StmtPtr &Child : S.Body)
+      if (Error Err = genStmt(*Child))
+        return Err;
+    if (!S.ElseBody.empty()) {
+      MInst Br;
+      Br.I = makeBranch(Opcode::Br, Zero, 0);
+      Br.N = Note::LocalBranch;
+      Br.Label = EndLabel;
+      append(std::move(Br));
+      bindLabel(ElseLabel);
+      for (const StmtPtr &Child : S.ElseBody)
+        if (Error Err = genStmt(*Child))
+          return Err;
+    }
+    bindLabel(EndLabel);
+    break;
+  }
+  case Stmt::Kind::While: {
+    uint32_t BodyLabel = newLabel();
+    uint32_t TestLabel = newLabel();
+    {
+      MInst Br;
+      Br.I = makeBranch(Opcode::Br, Zero, 0);
+      Br.N = Note::LocalBranch;
+      Br.Label = TestLabel;
+      append(std::move(Br));
+    }
+    bindLabel(BodyLabel);
+    for (const StmtPtr &Child : S.Body)
+      if (Error Err = genStmt(*Child))
+        return Err;
+    bindLabel(TestLabel);
+    if (Error Err = genExpr(*S.Value))
+      return Err;
+    IntOperand Cond = popIntOperand(/*AllowLit=*/false);
+    releaseIntOperand(Cond);
+    MInst Br;
+    Br.I = makeBranch(Opcode::Bne, Cond.Reg, 0);
+    Br.N = Note::LocalBranch;
+    Br.Label = BodyLabel; // the backward branch OM-full aligns
+    append(std::move(Br));
+    break;
+  }
+  case Stmt::Kind::Return: {
+    if (S.Value) {
+      if (Error Err = genExpr(*S.Value))
+        return Err;
+      if (S.Value->Ty.isReal())
+        popFpIntoFixed(F0);
+      else
+        popIntIntoFixed(V0);
+    }
+    MInst Br;
+    Br.I = makeBranch(Opcode::Br, Zero, 0);
+    Br.N = Note::LocalBranch;
+    Br.Label = EpilogueLabel;
+    append(std::move(Br));
+    break;
+  }
+  case Stmt::Kind::Block:
+    for (const StmtPtr &Child : S.Body)
+      if (Error Err = genStmt(*Child))
+        return Err;
+    break;
+  }
+  assert(Stack.empty() && "value stack not empty at statement end");
+  return DeferredError;
+}
+
+//===----------------------------------------------------------------------===//
+// Homes, frame, prologue, epilogue.
+//===----------------------------------------------------------------------===//
+
+void ProcGen::scanExprForCalls(const Expr &E) {
+  if (E.K == Expr::Kind::Call && E.BuiltinFunc == Builtin::None)
+    MakesCalls = true;
+  if (E.K == Expr::Kind::Binary && E.Args[0]->Ty.isInt() &&
+      (E.Op == Tok::Slash || E.Op == Tok::Percent))
+    MakesCalls = true;
+  for (const ExprPtr &Child : E.Args)
+    scanExprForCalls(*Child);
+}
+
+void ProcGen::scanStmtForCalls(const Stmt &S) {
+  if (S.Target)
+    scanExprForCalls(*S.Target);
+  if (S.Value)
+    scanExprForCalls(*S.Value);
+  for (const StmtPtr &Child : S.Body)
+    scanStmtForCalls(*Child);
+  for (const StmtPtr &Child : S.ElseBody)
+    scanStmtForCalls(*Child);
+}
+
+void ProcGen::scanForCalls(const std::vector<StmtPtr> &Body) {
+  for (const StmtPtr &S : Body)
+    scanStmtForCalls(*S);
+}
+
+void ProcGen::assignHomes() {
+  uint8_t NextS = S0;                 // s0..s5
+  uint8_t NextF = FirstFpSave;        // f2..f9
+  uint32_t StackOrdinal = 0;
+
+  auto assignOne = [&](const LocalVar &V) {
+    Home H;
+    H.IsReal = V.Ty.isReal();
+    if (!H.IsReal && NextS <= S5) {
+      H.Kind = Home::K::IntReg;
+      H.Reg = NextS++;
+      SavedSRegs.push_back(H.Reg);
+    } else if (H.IsReal && NextF < FirstFpSave + 8) {
+      H.Kind = Home::K::FpReg;
+      H.Reg = NextF++;
+      SavedFRegs.push_back(H.Reg);
+    } else {
+      H.Kind = Home::K::Stack;
+      H.SpOffset = static_cast<int32_t>(StackOrdinal++); // ordinal for now
+    }
+    return H;
+  };
+
+  for (const LocalVar &P : F.Params)
+    ParamHomes.push_back(assignOne(P));
+  for (const LocalVar &L : F.Locals)
+    LocalHomes.push_back(assignOne(L));
+  NumStackLocals = StackOrdinal;
+
+  // Frame layout, offsets from the post-decrement SP.
+  int32_t Off = 0;
+  if (MakesCalls) {
+    RaSaveOffset = 0;
+    Off = 8;
+  }
+  FirstSRegSave = Off;
+  Off += 8 * static_cast<int32_t>(SavedSRegs.size());
+  FirstFRegSave = Off;
+  Off += 8 * static_cast<int32_t>(SavedFRegs.size());
+  FirstStackLocal = Off;
+  Off += 8 * static_cast<int32_t>(NumStackLocals);
+  IntSlotBase = Off;
+  Off += 8 * NumIntSlots;
+  FpSlotBase = Off;
+  Off += 8 * NumFpSlots;
+  FrameSize = (Off + 15) & ~15;
+
+  // Replace stack ordinals with real offsets.
+  auto fixup = [&](Home &H) {
+    if (H.Kind == Home::K::Stack)
+      H.SpOffset = FirstStackLocal + 8 * H.SpOffset;
+  };
+  for (Home &H : ParamHomes)
+    fixup(H);
+  for (Home &H : LocalHomes)
+    fixup(H);
+}
+
+void ProcGen::buildPrologue(std::vector<MInst> &Prologue) {
+  bool WantGpSet = NeedsGp && !Unit.isDirectCallee(Out.FullName);
+  if (WantGpSet) {
+    // Figure 1: GP = PV + 32-bit displacement, in an LDAH/LDA pair whose
+    // displacement the linker fills (GPDISP relocation, anchor = entry).
+    uint32_t PairId = Unit.nextGpPairId();
+    MInst Hi;
+    Hi.I = makeMem(Opcode::Ldah, GP, 0, PV);
+    Hi.N = Note::GpLdah;
+    Hi.GpKind = obj::GpDispKind::Prologue;
+    Hi.GpPairId = PairId;
+    Prologue.push_back(std::move(Hi));
+    MInst Lo;
+    Lo.I = makeMem(Opcode::Lda, GP, 0, GP);
+    Lo.N = Note::GpLda;
+    Lo.GpPairId = PairId;
+    Prologue.push_back(std::move(Lo));
+  }
+  auto plain = [&Prologue](Inst I) {
+    MInst MI;
+    MI.I = I;
+    Prologue.push_back(std::move(MI));
+  };
+  plain(makeMem(Opcode::Lda, SP, -FrameSize, SP));
+  if (MakesCalls)
+    plain(makeMem(Opcode::Stq, RA, RaSaveOffset, SP));
+  for (size_t I = 0; I < SavedSRegs.size(); ++I)
+    plain(makeMem(Opcode::Stq, SavedSRegs[I],
+                  FirstSRegSave + 8 * static_cast<int32_t>(I), SP));
+  for (size_t I = 0; I < SavedFRegs.size(); ++I)
+    plain(makeMem(Opcode::Stt, SavedFRegs[I],
+                  FirstFRegSave + 8 * static_cast<int32_t>(I), SP));
+  // Home the incoming arguments.
+  for (size_t I = 0; I < ParamHomes.size(); ++I) {
+    const Home &H = ParamHomes[I];
+    uint8_t ArgReg = static_cast<uint8_t>(
+        (H.IsReal ? unsigned(FA0) : unsigned(A0)) + I);
+    if (H.Kind == Home::K::IntReg)
+      plain(makeOp(Opcode::Bis, ArgReg, ArgReg, H.Reg));
+    else if (H.Kind == Home::K::FpReg)
+      plain(makeOp(Opcode::Cpys, ArgReg, ArgReg, H.Reg));
+    else if (H.IsReal)
+      plain(makeMem(Opcode::Stt, ArgReg, H.SpOffset, SP));
+    else
+      plain(makeMem(Opcode::Stq, ArgReg, H.SpOffset, SP));
+  }
+}
+
+void ProcGen::buildEpilogue() {
+  // Fallthrough default return value for value-returning functions.
+  if (F.ReturnType.Kind == TypeKind::Int ||
+      F.ReturnType.Kind == TypeKind::FuncPtr)
+    emit(makeOp(Opcode::Bis, Zero, Zero, V0));
+  else if (F.ReturnType.Kind == TypeKind::Real)
+    emit(makeOp(Opcode::Cpys, FZero, FZero, F0));
+
+  bindLabel(EpilogueLabel);
+  if (MakesCalls)
+    emit(makeMem(Opcode::Ldq, RA, RaSaveOffset, SP));
+  for (size_t I = 0; I < SavedSRegs.size(); ++I)
+    emit(makeMem(Opcode::Ldq, SavedSRegs[I],
+                 FirstSRegSave + 8 * static_cast<int32_t>(I), SP));
+  for (size_t I = 0; I < SavedFRegs.size(); ++I)
+    emit(makeMem(Opcode::Ldt, SavedFRegs[I],
+                 FirstFRegSave + 8 * static_cast<int32_t>(I), SP));
+  emit(makeMem(Opcode::Lda, SP, FrameSize, SP));
+  emit(makeJump(Opcode::Ret, Zero, RA));
+}
+
+Error ProcGen::run() {
+  scanForCalls(F.Body);
+  assignHomes();
+  EpilogueLabel = newLabel();
+
+  for (const StmtPtr &S : F.Body)
+    if (Error Err = genStmt(*S))
+      return Err;
+  buildEpilogue();
+
+  std::vector<MInst> Prologue;
+  buildPrologue(Prologue);
+  Out.Insts.insert(Out.Insts.begin(),
+                   std::make_move_iterator(Prologue.begin()),
+                   std::make_move_iterator(Prologue.end()));
+
+  // Drain any labels still pending (can only be the epilogue label when
+  // the body was empty and the epilogue bound it before emitting).
+  Out.UsesGp = NeedsGp;
+  Out.HasGpPrologue = NeedsGp && !Unit.isDirectCallee(Out.FullName);
+  return DeferredError;
+}

@@ -1,0 +1,110 @@
+//===- isa/Disassembler.cpp ------------------------------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Disassembler.h"
+
+#include "support/Format.h"
+
+using namespace om64;
+using namespace om64::isa;
+
+static std::string branchTargetText(const Inst &I, const DisasmContext &Ctx) {
+  if (!Ctx.HavePc)
+    return formatString(".%+d", (I.Disp + 1) * 4);
+  uint64_t Target = Ctx.Pc + 4 + static_cast<int64_t>(I.Disp) * 4;
+  if (Ctx.Symbolize) {
+    std::string Name = Ctx.Symbolize(Target);
+    if (!Name.empty())
+      return Name;
+  }
+  return formatHex64(Target);
+}
+
+std::string om64::isa::disassemble(const Inst &I, const DisasmContext &Ctx) {
+  const char *Name = opcodeName(I.Op);
+  if (I.isNop())
+    return "nop";
+  switch (classOf(I.Op)) {
+  case InstClass::Pal: {
+    const char *Func = "?";
+    switch (static_cast<PalFunc>(I.Disp & 0xFF)) {
+    case PalFunc::Halt:       Func = "halt"; break;
+    case PalFunc::PutChar:    Func = "putchar"; break;
+    case PalFunc::PutInt:     Func = "putint"; break;
+    case PalFunc::PutReal:    Func = "putreal"; break;
+    case PalFunc::CycleCount: Func = "cycles"; break;
+    case PalFunc::Count:
+      return formatString("call_pal count[%u]", unsigned(I.Disp) >> 8);
+    }
+    return formatString("call_pal %s", Func);
+  }
+  case InstClass::LoadAddress:
+  case InstClass::IntLoad:
+  case InstClass::IntStore:
+    return formatString("%s %s, %d(%s)", Name, intRegName(I.Ra), I.Disp,
+                        intRegName(I.Rb));
+  case InstClass::FpLoad:
+  case InstClass::FpStore:
+    return formatString("%s %s, %d(%s)", Name, fpRegName(I.Ra), I.Disp,
+                        intRegName(I.Rb));
+  case InstClass::Jump:
+    return formatString("%s %s, (%s)", Name, intRegName(I.Ra),
+                        intRegName(I.Rb));
+  case InstClass::Branch: {
+    std::string Target = branchTargetText(I, Ctx);
+    if (I.Op == Opcode::Br && I.Ra == Zero)
+      return formatString("br %s", Target.c_str());
+    const char *RegName = (I.Op == Opcode::Fbeq || I.Op == Opcode::Fbne)
+                              ? fpRegName(I.Ra)
+                              : intRegName(I.Ra);
+    return formatString("%s %s, %s", Name, RegName, Target.c_str());
+  }
+  case InstClass::IntOp:
+    if (I.IsLit)
+      return formatString("%s %s, %u, %s", Name, intRegName(I.Ra),
+                          unsigned(I.Lit), intRegName(I.Rc));
+    return formatString("%s %s, %s, %s", Name, intRegName(I.Ra),
+                        intRegName(I.Rb), intRegName(I.Rc));
+  case InstClass::FpOp:
+    if (I.Op == Opcode::Cvtqt || I.Op == Opcode::Cvttq)
+      return formatString("%s %s, %s", Name, fpRegName(I.Rb),
+                          fpRegName(I.Rc));
+    return formatString("%s %s, %s, %s", Name, fpRegName(I.Ra),
+                        fpRegName(I.Rb), fpRegName(I.Rc));
+  case InstClass::Transfer:
+    if (I.Op == Opcode::Itoft)
+      return formatString("itoft %s, %s", intRegName(I.Ra), fpRegName(I.Rc));
+    return formatString("ftoit %s, %s", fpRegName(I.Ra), intRegName(I.Rc));
+  }
+  return "???";
+}
+
+std::string om64::isa::disassembleRegion(
+    const std::vector<uint32_t> &Words, uint64_t BaseAddr,
+    const std::function<std::string(uint64_t)> &Symbolize) {
+  std::string Out;
+  for (size_t Idx = 0; Idx < Words.size(); ++Idx) {
+    uint64_t Addr = BaseAddr + Idx * 4;
+    if (Symbolize) {
+      std::string Label = Symbolize(Addr);
+      if (!Label.empty())
+        Out += formatString("%s:\n", Label.c_str());
+    }
+    std::string Text;
+    if (std::optional<Inst> I = decode(Words[Idx])) {
+      DisasmContext Ctx;
+      Ctx.Pc = Addr;
+      Ctx.HavePc = true;
+      Ctx.Symbolize = Symbolize;
+      Text = disassemble(*I, Ctx);
+    } else {
+      Text = formatString(".word 0x%08x", Words[Idx]);
+    }
+    Out += formatString("  %s: %08x  %s\n", formatHex64(Addr).c_str(),
+                        Words[Idx], Text.c_str());
+  }
+  return Out;
+}

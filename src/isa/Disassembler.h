@@ -1,0 +1,41 @@
+//===- isa/Disassembler.h - Textual rendering of AAX instructions --------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_ISA_DISASSEMBLER_H
+#define OM64_ISA_DISASSEMBLER_H
+
+#include "isa/Inst.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace om64 {
+namespace isa {
+
+/// Optional context for prettier disassembly: the instruction's own address
+/// (so branch targets print as absolute addresses) and a symbolizer that
+/// maps an address to a label such as "mathlib.sqrt".
+struct DisasmContext {
+  uint64_t Pc = 0;
+  bool HavePc = false;
+  std::function<std::string(uint64_t)> Symbolize;
+};
+
+/// Renders one instruction, e.g. "ldq t0, 188(gp)" or "bsr ra, 0x1200004a0".
+std::string disassemble(const Inst &I, const DisasmContext &Ctx = {});
+
+/// Renders a code region: one "ADDR: WORD  text" line per instruction.
+std::string disassembleRegion(const std::vector<uint32_t> &Words,
+                              uint64_t BaseAddr,
+                              const std::function<std::string(uint64_t)>
+                                  &Symbolize = nullptr);
+
+} // namespace isa
+} // namespace om64
+
+#endif // OM64_ISA_DISASSEMBLER_H

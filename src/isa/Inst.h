@@ -1,0 +1,204 @@
+//===- isa/Inst.h - AAX instruction set: decode, encode, classify --------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The AAX instruction set. AAX is a clean-room, Alpha-AXP-inspired 64-bit
+/// RISC with fixed 32-bit instructions, designed to reproduce exactly the
+/// code-generation patterns the paper's link-time optimizations act on:
+///
+///   * LDA / LDAH   - load-address with a signed 16-bit displacement, and
+///                    its "high" form that shifts the displacement left 16.
+///                    Together they add an arbitrary 32-bit displacement to
+///                    a base register in two instructions (paper, section 1).
+///   * LDQ disp(GP) - the "address load" from the global address table.
+///   * JSR / BSR    - general indirect call, and the limited-range direct
+///                    call with a 21-bit word displacement.
+///   * CALL_PAL     - the simulator's tiny OS interface (halt, putchar, ...).
+///
+/// Instruction formats (all 32 bits, little-endian in memory):
+///
+///   Memory:  [31:26] op  [25:21] ra  [20:16] rb  [15:0]  disp (signed)
+///   Branch:  [31:26] op  [25:21] ra  [20:0]  disp (signed words)
+///   Jump:    [31:26] 0x1A[25:21] ra  [20:16] rb  [15:14] kind  [13:0] hint
+///   Operate: [31:26] op  [25:21] ra  [20:13] lit/[20:16] rb  [12] L
+///            [11:5] func [4:0] rc
+///   PAL:     [31:26] 0x00 [25:0] function
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_ISA_INST_H
+#define OM64_ISA_INST_H
+
+#include "isa/Registers.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace om64 {
+namespace isa {
+
+/// Mnemonic-level opcode of a decoded AAX instruction.
+enum class Opcode : uint8_t {
+  // PAL (operating system interface).
+  CallPal,
+  // Memory format.
+  Lda,   // ra = rb + disp                       (load address)
+  Ldah,  // ra = rb + (disp << 16)               (load address high)
+  Ldl,   // ra = sext32(mem32[rb + disp])
+  Ldq,   // ra = mem64[rb + disp]
+  Stl,   // mem32[rb + disp] = ra<31:0>
+  Stq,   // mem64[rb + disp] = ra
+  Ldt,   // fa = memf64[rb + disp]
+  Stt,   // memf64[rb + disp] = fa
+  // Jump format.
+  Jmp,   // ra = retaddr; pc = rb & ~3
+  Jsr,   // ra = retaddr; pc = rb & ~3           (subroutine hint)
+  Ret,   // ra = retaddr; pc = rb & ~3           (return hint)
+  // Branch format.
+  Br,    // ra = retaddr; pc += 4 + disp*4
+  Bsr,   // ra = retaddr; pc += 4 + disp*4       (subroutine)
+  Beq, Bne, Blt, Ble, Bgt, Bge,   // test ra against zero
+  Fbeq, Fbne,                     // test fa against +0.0
+  // Integer operate format.
+  Addq, Subq, Mulq, S4addq, S8addq,
+  Cmpeq, Cmplt, Cmple, Cmpult,
+  And, Bic, Bis, Ornot, Xor,
+  Sll, Srl, Sra,
+  // Floating operate format (registers are fp registers).
+  Addt, Subt, Mult, Divt,
+  Cmpteq, Cmptlt, Cmptle,
+  Cvtqt,  // fb (integer bits) -> fc (double)
+  Cvttq,  // fb (double) -> fc (integer bits, truncating)
+  Cpys,   // fc = sign(fa) combined with magnitude(fb); cpys f,f,d moves
+          // a register exactly (the sign-preserving fp move)
+  // Register-file transfers.
+  Itoft, // fc<bits> = ra
+  Ftoit, // rc = fa<bits>
+};
+
+/// Number of distinct opcodes (for tables indexed by Opcode).
+inline constexpr unsigned NumOpcodes = static_cast<unsigned>(Opcode::Ftoit) + 1;
+
+/// PAL function codes understood by the simulator. The 26-bit PAL field
+/// holds the function in its low 8 bits; Count packs a counter index in
+/// the upper 18 bits (the ATOM-style instrumentation hook, section 6).
+enum class PalFunc : uint32_t {
+  Halt = 0,       // terminate; exit status in a0
+  PutChar = 1,    // write a0's low byte to the output stream
+  PutInt = 2,     // write a0 as signed decimal
+  PutReal = 3,    // write fa0 (f16) with "%.6g"
+  CycleCount = 4, // v0 = cycles executed so far (timing runs only; else 0)
+  Count = 5,      // ++profile counter [pal-field >> 8]; no visible state
+};
+
+/// A decoded AAX instruction. Operate-format register fields are integer
+/// registers for integer opcodes and fp registers for fp opcodes; memory
+/// format Ra is an fp register for Ldt/Stt.
+struct Inst {
+  Opcode Op = Opcode::Bis;
+  uint8_t Ra = Zero;   // source/dest (format dependent)
+  uint8_t Rb = Zero;   // base / second source
+  uint8_t Rc = Zero;   // operate destination
+  bool IsLit = false;  // operate: Rb field is an 8-bit literal
+  uint8_t Lit = 0;     // operate literal value
+  int32_t Disp = 0;    // memory: 16-bit; branch: 21-bit words; PAL: function
+
+  bool operator==(const Inst &O) const = default;
+
+  /// Returns the canonical no-op: BIS zero,zero,zero.
+  static Inst nop();
+
+  /// True if this is the canonical no-op (or any operate writing the zero
+  /// register with no side effects).
+  bool isNop() const;
+};
+
+/// Broad format/behavior class of an opcode.
+enum class InstClass : uint8_t {
+  Pal,
+  LoadAddress,  // LDA / LDAH
+  IntLoad,      // LDL / LDQ
+  IntStore,     // STL / STQ
+  FpLoad,       // LDT
+  FpStore,      // STT
+  Jump,         // JMP / JSR / RET
+  Branch,       // BR / BSR / conditional branches
+  IntOp,
+  FpOp,
+  Transfer,     // ITOFT / FTOIT
+};
+
+/// Returns the class of \p Op.
+InstClass classOf(Opcode Op);
+
+/// True for LDL/LDQ/LDT (instructions that read data memory).
+bool isLoad(Opcode Op);
+/// True for STL/STQ/STT.
+bool isStore(Opcode Op);
+/// True for any conditional branch (BEQ..BGE, FBEQ/FBNE).
+bool isCondBranch(Opcode Op);
+/// True for instructions that end a basic block (branches, jumps, PAL).
+bool isTerminator(Opcode Op);
+/// True if \p Op writes its Ra field with a return address (BR/BSR with
+/// Ra != zero, and all jump-format instructions).
+bool writesReturnAddress(Opcode Op);
+
+/// Returns the mnemonic text of \p Op (e.g. "ldq").
+const char *opcodeName(Opcode Op);
+
+/// Result latency in cycles, shared by the compile-time scheduler, OM's
+/// link-time rescheduler, and the timing simulator. A latency of N means a
+/// dependent instruction can issue N cycles after the producer.
+unsigned latencyOf(Opcode Op);
+
+/// Fills RegUnits (see Registers.h) read by \p I into \p Units and returns
+/// the count (max 3). The zero units are never reported.
+unsigned regUnitsRead(const Inst &I, unsigned Units[3]);
+
+/// Returns the RegUnit written by \p I, or ~0u if it writes none (stores,
+/// zero-register destinations, PAL).
+unsigned regUnitWritten(const Inst &I);
+
+/// Encodes a decoded instruction into its 32-bit representation.
+uint32_t encode(const Inst &I);
+
+/// Decodes a 32-bit word; returns std::nullopt for invalid encodings.
+std::optional<Inst> decode(uint32_t Word);
+
+//===----------------------------------------------------------------------===//
+// Instruction builder helpers (used by codegen, OM, and tests).
+//===----------------------------------------------------------------------===//
+
+Inst makeMem(Opcode Op, uint8_t Ra, int32_t Disp, uint8_t Rb);
+Inst makeBranch(Opcode Op, uint8_t Ra, int32_t WordDisp);
+Inst makeJump(Opcode Op, uint8_t LinkRa, uint8_t TargetRb);
+Inst makeOp(Opcode Op, uint8_t Ra, uint8_t Rb, uint8_t Rc);
+Inst makeOpLit(Opcode Op, uint8_t Ra, uint8_t Lit, uint8_t Rc);
+Inst makePal(PalFunc Func);
+/// Builds a profiling CALL_PAL incrementing counter \p Index (the
+/// ATOM-style instrumentation hook).
+Inst makePalCount(uint32_t Index);
+
+/// Splits a signed 32-bit displacement \p Value into (High, Low) such that
+/// (High << 16) + Low == Value with Low interpreted as signed 16-bit. This
+/// is the LDAH/LDA pair computation used for GP establishment (Figure 1).
+void splitDisp32(int64_t Value, int32_t &High, int32_t &Low);
+
+/// True if \p Value fits in a signed 16-bit displacement.
+bool fitsDisp16(int64_t Value);
+
+/// True if \p Value can be formed by an LDAH/LDA pair (signed 32 bits,
+/// accounting for the +0x8000 rounding in splitDisp32).
+bool fitsDisp32(int64_t Value);
+
+/// True if a branch-format word displacement fits in 21 signed bits.
+bool fitsBranchDisp(int64_t WordDisp);
+
+} // namespace isa
+} // namespace om64
+
+#endif // OM64_ISA_INST_H

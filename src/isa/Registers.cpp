@@ -1,0 +1,30 @@
+//===- isa/Registers.cpp ---------------------------------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Registers.h"
+
+using namespace om64;
+using namespace om64::isa;
+
+static const char *const IntRegNames[32] = {
+    "v0", "t0", "t1", "t2", "t3", "t4", "t5",  "t6",
+    "t7", "s0", "s1", "s2", "s3", "s4", "s5",  "fp",
+    "a0", "a1", "a2", "a3", "a4", "a5", "t8",  "t9",
+    "t10", "t11", "ra", "pv", "at", "gp", "sp", "zero"};
+
+static const char *const FpRegNames[32] = {
+    "f0",  "f1",  "f2",  "f3",  "f4",  "f5",  "f6",  "f7",
+    "f8",  "f9",  "f10", "f11", "f12", "f13", "f14", "f15",
+    "f16", "f17", "f18", "f19", "f20", "f21", "f22", "f23",
+    "f24", "f25", "f26", "f27", "f28", "f29", "f30", "f31"};
+
+const char *om64::isa::intRegName(uint8_t R) {
+  return R < 32 ? IntRegNames[R] : "r??";
+}
+
+const char *om64::isa::fpRegName(uint8_t F) {
+  return F < 32 ? FpRegNames[F] : "f??";
+}

@@ -1,0 +1,71 @@
+//===- isa/Registers.h - AAX register file and software conventions ------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register numbering and calling-convention roles for AAX, the
+/// Alpha-AXP-inspired 64-bit RISC used throughout this reproduction.
+///
+/// The software conventions mirror Alpha/OSF: a dedicated global pointer
+/// (GP), a procedure value register (PV) holding the entry address of the
+/// procedure being called, and a return address register (RA). These three
+/// are the registers the paper's address-calculation optimizations act on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_ISA_REGISTERS_H
+#define OM64_ISA_REGISTERS_H
+
+#include <cstdint>
+
+namespace om64 {
+namespace isa {
+
+/// Integer register numbers with their conventional roles.
+enum Reg : uint8_t {
+  V0 = 0,                                         // return value
+  T0 = 1, T1, T2, T3, T4, T5, T6, T7,             // caller-saved temps
+  S0 = 9, S1, S2, S3, S4, S5,                     // callee-saved
+  FP = 15,                                        // frame pointer (s6)
+  A0 = 16, A1, A2, A3, A4, A5,                    // argument registers
+  T8 = 22, T9, T10, T11,                          // more temps
+  RA = 26,                                        // return address
+  PV = 27,                                        // procedure value (t12)
+  AT = 28,                                        // assembler temp
+  GP = 29,                                        // global pointer
+  SP = 30,                                        // stack pointer
+  Zero = 31,                                      // hardwired zero
+};
+
+/// Floating-point register numbers. F31 reads as +0.0 and ignores writes.
+enum FReg : uint8_t {
+  F0 = 0,    // fp return value
+  FA0 = 16,  // first fp argument (f16..f21 are fp args)
+  FZero = 31,
+};
+
+/// Number of architectural registers in each file.
+inline constexpr unsigned NumIntRegs = 32;
+inline constexpr unsigned NumFpRegs = 32;
+
+/// Dependence analysis and the simulator number registers in one flat space:
+/// integer registers are units [0,32) and fp registers are units [32,64).
+/// Unit 31 (integer zero) and unit 63 (fp zero) never carry dependences.
+inline constexpr unsigned NumRegUnits = 64;
+inline unsigned intUnit(uint8_t R) { return R; }
+inline unsigned fpUnit(uint8_t F) { return 32u + F; }
+inline bool isZeroUnit(unsigned U) { return U == 31 || U == 63; }
+
+/// Returns the conventional assembly name of an integer register
+/// ("v0", "t0", ..., "gp", "sp", "zero").
+const char *intRegName(uint8_t R);
+
+/// Returns the name of a floating-point register ("f0".."f31").
+const char *fpRegName(uint8_t F);
+
+} // namespace isa
+} // namespace om64
+
+#endif // OM64_ISA_REGISTERS_H

@@ -1,0 +1,197 @@
+//===- lang/AST.h - MLang abstract syntax ---------------------------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for MLang. Nodes are "fat" tagged structs rather than a class
+/// hierarchy: the language is small and this keeps the front end compact
+/// while still giving sema a place to record resolution results that
+/// codegen consumes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_LANG_AST_H
+#define OM64_LANG_AST_H
+
+#include "lang/Lexer.h"
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace om64 {
+namespace lang {
+
+/// MLang types. Arrays exist only as module-level variables.
+enum class TypeKind : uint8_t { Void, Int, Real, FuncPtr, IntArray, RealArray };
+
+struct Type {
+  TypeKind Kind = TypeKind::Void;
+  uint32_t ArraySize = 0;
+
+  bool isInt() const { return Kind == TypeKind::Int; }
+  bool isReal() const { return Kind == TypeKind::Real; }
+  bool isFuncPtr() const { return Kind == TypeKind::FuncPtr; }
+  bool isArray() const {
+    return Kind == TypeKind::IntArray || Kind == TypeKind::RealArray;
+  }
+  bool isScalar() const { return isInt() || isReal() || isFuncPtr(); }
+  /// Element type of an array.
+  Type element() const {
+    return {Kind == TypeKind::IntArray ? TypeKind::Int : TypeKind::Real, 0};
+  }
+  /// Size in bytes of a value of this type (arrays: whole storage; every
+  /// scalar, including real, is 8 bytes on AAX).
+  uint64_t sizeInBytes() const { return isArray() ? ArraySize * 8ull : 8ull; }
+
+  bool operator==(const Type &O) const = default;
+
+  std::string str() const;
+};
+
+/// Builtin functions resolved by name.
+enum class Builtin : uint8_t {
+  None,
+  Trunc,     // trunc(real) -> int
+  ToReal,    // toreal(int) -> real
+  PalPutInt, // pal_putint(int)
+  PalPutChar,// pal_putchar(int)
+  PalPutReal,// pal_putreal(real)
+  PalHalt,   // pal_halt(int)
+  PalCycles, // pal_cycles() -> int
+};
+
+/// What a name resolved to (filled in by sema).
+enum class RefKind : uint8_t { Unresolved, Local, Param, Global, Function };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Expression node.
+struct Expr {
+  enum class Kind : uint8_t {
+    IntLit,
+    RealLit,
+    VarRef,   // scalar variable (local, param, or global)
+    Index,    // global array element: name[Args[0]]
+    Unary,    // Op applied to Args[0] (Minus or KwNot)
+    Binary,   // Args[0] Op Args[1]
+    Call,     // direct call, builtin call, or indirect call via funcptr var
+    AddrOf,   // &function
+  };
+
+  Kind K = Kind::IntLit;
+  SourceLoc Loc;
+  Type Ty; // set by sema
+
+  int64_t IntValue = 0;
+  double RealValue = 0.0;
+
+  /// VarRef/Index/Call/AddrOf: the (possibly qualified) name as written.
+  std::string Qualifier; // module qualifier, empty for unqualified
+  std::string Name;
+
+  Tok Op = Tok::Invalid; // Unary/Binary operator
+  std::vector<ExprPtr> Args;
+
+  // --- Sema results ---
+  RefKind Ref = RefKind::Unresolved;
+  std::string TargetModule; // resolved defining module for Global/Function
+  uint32_t SlotIndex = 0;   // Local/Param: index within its function
+  Builtin BuiltinFunc = Builtin::None;
+  bool IsIndirectCall = false; // Call through a funcptr variable
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Statement node.
+struct Stmt {
+  enum class Kind : uint8_t {
+    Assign,   // Target = Value
+    ExprStmt, // a call evaluated for effects
+    If,
+    While,
+    Return,
+    Block,
+  };
+
+  Kind K = Kind::Block;
+  SourceLoc Loc;
+
+  ExprPtr Target; // Assign: VarRef or Index
+  ExprPtr Value;  // Assign value / ExprStmt expr / If-While cond / Return val
+  std::vector<StmtPtr> Body;     // If: then; While/Block: body
+  std::vector<StmtPtr> ElseBody; // If: else
+};
+
+/// A local variable or parameter.
+struct LocalVar {
+  std::string Name;
+  Type Ty;
+  SourceLoc Loc;
+};
+
+/// A function definition.
+struct Function {
+  std::string Name;
+  SourceLoc Loc;
+  bool Exported = false;
+  Type ReturnType;
+  std::vector<LocalVar> Params;
+  std::vector<LocalVar> Locals; // declared at the top of the body
+  std::vector<StmtPtr> Body;
+};
+
+/// A module-level variable.
+struct GlobalVar {
+  std::string Name;
+  SourceLoc Loc;
+  bool Exported = false;
+  Type Ty;
+  bool HasInit = false;
+  int64_t IntInit = 0;
+  double RealInit = 0.0;
+};
+
+/// One MLang module.
+struct Module {
+  std::string Name;
+  std::vector<std::string> Imports;
+  std::vector<GlobalVar> Globals;
+  std::vector<Function> Functions;
+
+  const GlobalVar *findGlobal(const std::string &N) const {
+    for (const GlobalVar &G : Globals)
+      if (G.Name == N)
+        return &G;
+    return nullptr;
+  }
+  const Function *findFunction(const std::string &N) const {
+    for (const Function &F : Functions)
+      if (F.Name == N)
+        return &F;
+    return nullptr;
+  }
+};
+
+/// A whole program: all modules visible to the build.
+struct Program {
+  std::vector<Module> Modules;
+
+  const Module *findModule(const std::string &N) const {
+    for (const Module &M : Modules)
+      if (M.Name == N)
+        return &M;
+    return nullptr;
+  }
+};
+
+} // namespace lang
+} // namespace om64
+
+#endif // OM64_LANG_AST_H

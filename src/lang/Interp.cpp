@@ -1,0 +1,502 @@
+//===- lang/Interp.cpp - Reference AST interpreter --------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Interp.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+
+using namespace om64;
+using namespace om64::lang;
+
+namespace {
+
+// All integer arithmetic wraps, exactly like ADDQ/SUBQ/MULQ/SLL.
+int64_t addW(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+int64_t subW(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+int64_t mulW(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+int64_t shlW(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) << (B & 63));
+}
+int64_t sraW(int64_t A, int64_t B) { return A >> (B & 63); }
+int64_t negW(int64_t A) { return subW(0, A); }
+
+/// The simulator's CVTTQ clamping.
+int64_t truncToInt(double D) {
+  if (std::isnan(D))
+    return 0;
+  if (D >= 9.2233720368547758e18)
+    return INT64_MAX;
+  if (D <= -9.2233720368547758e18)
+    return INT64_MIN;
+  return static_cast<int64_t>(D);
+}
+
+} // namespace
+
+int64_t om64::lang::emulatedDivq(int64_t A, int64_t B) {
+  // Bit-exact transcription of rt.divq (shift-subtract long division with
+  // signed intermediate compares), including its divide-by-zero and
+  // INT64_MIN behaviour.
+  if (B == 0)
+    return 0;
+  int64_t Ua = A, Ub = B, Neg = 0;
+  if (A < 0) {
+    Ua = negW(A);
+    Neg = Neg + 1;
+  }
+  if (B < 0) {
+    Ub = negW(B);
+    Neg = Neg + 1;
+  }
+  int64_t Q = 0, R = 0;
+  for (int64_t I = 63; I >= 0; --I) {
+    R = shlW(R, 1) | (sraW(Ua, I) & 1);
+    if (R >= Ub) {
+      R = subW(R, Ub);
+      Q = Q | shlW(1, I);
+    }
+  }
+  if (Neg == 1)
+    Q = negW(Q);
+  return Q;
+}
+
+int64_t om64::lang::emulatedRemq(int64_t A, int64_t B) {
+  return subW(A, mulW(emulatedDivq(A, B), B));
+}
+
+namespace {
+
+/// One runtime value; the active member follows the expression's static
+/// type (funcptr values live in I as 1-based function ids).
+struct Value {
+  int64_t I = 0;
+  double D = 0.0;
+};
+
+class Interpreter {
+public:
+  explicit Interpreter(const Program &P, uint64_t MaxSteps)
+      : P(P), StepsLeft(MaxSteps) {}
+
+  InterpResult run();
+
+private:
+  struct GlobalSlot {
+    Type Ty;
+    std::vector<int64_t> I;
+    std::vector<double> D;
+  };
+
+  struct Frame {
+    const Module *M = nullptr;
+    std::vector<Value> Params;
+    std::vector<Value> Locals;
+  };
+
+  enum class Flow { Normal, Return };
+
+  bool step() {
+    if (Failed)
+      return false;
+    if (StepsLeft == 0) {
+      fail("step budget exceeded (runaway program?)");
+      return false;
+    }
+    --StepsLeft;
+    return true;
+  }
+
+  void fail(std::string Message) {
+    if (!Failed) {
+      Failed = true;
+      Err = std::move(Message);
+    }
+  }
+
+  GlobalSlot &globalSlot(const std::string &Mod, const std::string &Name) {
+    return Globals[{Mod, Name}];
+  }
+
+  Value callFunction(const Module &M, const Function &F,
+                     std::vector<Value> Args);
+  Value evalExpr(Frame &Fr, const Expr &E);
+  Value evalCall(Frame &Fr, const Expr &E);
+  Value evalBinary(Frame &Fr, const Expr &E);
+  Flow execStmt(Frame &Fr, const Function &F, const Stmt &S, Value &Ret);
+
+  const Program &P;
+  uint64_t StepsLeft;
+  unsigned Depth = 0;
+  bool Failed = false;
+  bool HaltRequested = false;
+  int64_t HaltCode = 0;
+  std::string Err;
+  std::string Output;
+
+  std::map<std::pair<std::string, std::string>, GlobalSlot> Globals;
+  std::vector<std::pair<const Module *, const Function *>> Funcs;
+  std::map<std::pair<std::string, std::string>, int64_t> FuncIdOf;
+};
+
+Value Interpreter::callFunction(const Module &M, const Function &F,
+                                std::vector<Value> Args) {
+  if (Failed)
+    return {};
+  if (++Depth > 2000) {
+    fail("call depth exceeded");
+    --Depth;
+    return {};
+  }
+  Frame Fr;
+  Fr.M = &M;
+  Fr.Params = std::move(Args);
+  Fr.Params.resize(F.Params.size()); // indirect calls may under-supply
+  Fr.Locals.resize(F.Locals.size());
+  Value Ret;
+  for (const StmtPtr &S : F.Body) {
+    if (execStmt(Fr, F, *S, Ret) == Flow::Return || Failed)
+      break;
+  }
+  --Depth;
+  return Ret;
+}
+
+Value Interpreter::evalBinary(Frame &Fr, const Expr &E) {
+  Value L = evalExpr(Fr, *E.Args[0]);
+  Value R = evalExpr(Fr, *E.Args[1]);
+  Value Out;
+  if (E.Args[0]->Ty.isReal()) {
+    switch (E.Op) {
+    case Tok::Plus:      Out.D = L.D + R.D; return Out;
+    case Tok::Minus:     Out.D = L.D - R.D; return Out;
+    case Tok::Star:      Out.D = L.D * R.D; return Out;
+    case Tok::Slash:     Out.D = L.D / R.D; return Out;
+    case Tok::EqEq:      Out.I = L.D == R.D; return Out;
+    case Tok::NotEq:     Out.I = !(L.D == R.D); return Out;
+    case Tok::Less:      Out.I = L.D < R.D; return Out;
+    case Tok::LessEq:    Out.I = L.D <= R.D; return Out;
+    case Tok::Greater:   Out.I = R.D < L.D; return Out;
+    case Tok::GreaterEq: Out.I = R.D <= L.D; return Out;
+    default:
+      fail("internal: bad real operator");
+      return Out;
+    }
+  }
+  switch (E.Op) {
+  case Tok::Plus:      Out.I = addW(L.I, R.I); break;
+  case Tok::Minus:     Out.I = subW(L.I, R.I); break;
+  case Tok::Star:      Out.I = mulW(L.I, R.I); break;
+  case Tok::Slash:     Out.I = emulatedDivq(L.I, R.I); break;
+  case Tok::Percent:   Out.I = emulatedRemq(L.I, R.I); break;
+  case Tok::BitAnd:    Out.I = L.I & R.I; break;
+  case Tok::BitOr:     Out.I = L.I | R.I; break;
+  case Tok::BitXor:    Out.I = L.I ^ R.I; break;
+  case Tok::Shl:       Out.I = shlW(L.I, R.I); break;
+  case Tok::Shr:       Out.I = sraW(L.I, R.I); break;
+  case Tok::EqEq:      Out.I = L.I == R.I; break;
+  case Tok::NotEq:     Out.I = L.I != R.I; break;
+  case Tok::Less:      Out.I = L.I < R.I; break;
+  case Tok::LessEq:    Out.I = L.I <= R.I; break;
+  case Tok::Greater:   Out.I = L.I > R.I; break;
+  case Tok::GreaterEq: Out.I = L.I >= R.I; break;
+  case Tok::KwAnd:     Out.I = (L.I != 0) & (R.I != 0); break;
+  case Tok::KwOr:      Out.I = (L.I != 0) | (R.I != 0); break;
+  default:
+    fail("internal: bad int operator");
+    break;
+  }
+  return Out;
+}
+
+Value Interpreter::evalCall(Frame &Fr, const Expr &E) {
+  Value Out;
+  // Builtins first.
+  switch (E.BuiltinFunc) {
+  case Builtin::Trunc:
+    Out.I = truncToInt(evalExpr(Fr, *E.Args[0]).D);
+    return Out;
+  case Builtin::ToReal:
+    Out.D = static_cast<double>(evalExpr(Fr, *E.Args[0]).I);
+    return Out;
+  case Builtin::PalPutInt:
+    Output += formatString(
+        "%lld", static_cast<long long>(evalExpr(Fr, *E.Args[0]).I));
+    return Out;
+  case Builtin::PalPutChar:
+    Output.push_back(
+        static_cast<char>(evalExpr(Fr, *E.Args[0]).I & 0xFF));
+    return Out;
+  case Builtin::PalPutReal:
+    Output += formatString("%.6g", evalExpr(Fr, *E.Args[0]).D);
+    return Out;
+  case Builtin::PalHalt:
+    // Modeled as an immediate stop; the caller surfaces the exit code.
+    HaltRequested = true;
+    HaltCode = evalExpr(Fr, *E.Args[0]).I;
+    return Out;
+  case Builtin::PalCycles:
+    // The interpreter has no cycle counter; programs comparing against
+    // the simulator must not print this value (0 here).
+    Out.I = 0;
+    return Out;
+  case Builtin::None:
+    break;
+  }
+
+  std::vector<Value> Args;
+  Args.reserve(E.Args.size());
+  for (const ExprPtr &Arg : E.Args)
+    Args.push_back(evalExpr(Fr, *Arg));
+
+  if (E.IsIndirectCall) {
+    // The funcptr value is the variable named by E.
+    Value Ptr;
+    Expr Ref;
+    Ref.K = Expr::Kind::VarRef;
+    Ref.Ref = E.Ref;
+    Ref.SlotIndex = E.SlotIndex;
+    Ref.TargetModule = E.TargetModule;
+    Ref.Name = E.Name;
+    Ref.Ty = {TypeKind::FuncPtr, 0};
+    Ptr = evalExpr(Fr, Ref);
+    if (Ptr.I <= 0 || Ptr.I > static_cast<int64_t>(Funcs.size())) {
+      fail("indirect call through a null or corrupt funcptr");
+      return Out;
+    }
+    auto [M, F] = Funcs[static_cast<size_t>(Ptr.I - 1)];
+    return callFunction(*M, *F, std::move(Args));
+  }
+
+  const Module *Callee = P.findModule(E.TargetModule);
+  const Function *F = Callee ? Callee->findFunction(E.Name) : nullptr;
+  if (!F) {
+    fail("internal: unresolved call to " + E.TargetModule + "." + E.Name);
+    return Out;
+  }
+  return callFunction(*Callee, *F, std::move(Args));
+}
+
+Value Interpreter::evalExpr(Frame &Fr, const Expr &E) {
+  Value Out;
+  if (!step())
+    return Out;
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+    Out.I = E.IntValue;
+    return Out;
+  case Expr::Kind::RealLit:
+    Out.D = E.RealValue;
+    return Out;
+  case Expr::Kind::VarRef: {
+    if (E.Ref == RefKind::Param)
+      return Fr.Params[E.SlotIndex];
+    if (E.Ref == RefKind::Local)
+      return Fr.Locals[E.SlotIndex];
+    GlobalSlot &G = globalSlot(E.TargetModule, E.Name);
+    if (E.Ty.isReal())
+      Out.D = G.D.empty() ? 0.0 : G.D[0];
+    else
+      Out.I = G.I.empty() ? 0 : G.I[0];
+    return Out;
+  }
+  case Expr::Kind::Index: {
+    Value Idx = evalExpr(Fr, *E.Args[0]);
+    GlobalSlot &G = globalSlot(E.TargetModule, E.Name);
+    uint64_t N = G.Ty.ArraySize;
+    if (static_cast<uint64_t>(Idx.I) >= N) {
+      fail(formatString("array index %lld out of bounds for %s.%s[%llu]",
+                        static_cast<long long>(Idx.I),
+                        E.TargetModule.c_str(), E.Name.c_str(),
+                        static_cast<unsigned long long>(N)));
+      return Out;
+    }
+    if (E.Ty.isReal())
+      Out.D = G.D[static_cast<size_t>(Idx.I)];
+    else
+      Out.I = G.I[static_cast<size_t>(Idx.I)];
+    return Out;
+  }
+  case Expr::Kind::Unary: {
+    Value V = evalExpr(Fr, *E.Args[0]);
+    if (E.Args[0]->Ty.isReal()) {
+      // Matches the compiled SUBT fzero, x (so -(+0.0) is +0.0).
+      Out.D = 0.0 - V.D;
+      return Out;
+    }
+    if (E.Op == Tok::Minus)
+      Out.I = negW(V.I);
+    else
+      Out.I = V.I == 0;
+    return Out;
+  }
+  case Expr::Kind::Binary:
+    return evalBinary(Fr, E);
+  case Expr::Kind::Call:
+    return evalCall(Fr, E);
+  case Expr::Kind::AddrOf: {
+    auto It = FuncIdOf.find({E.TargetModule, E.Name});
+    if (It == FuncIdOf.end())
+      fail("internal: &unknown function");
+    else
+      Out.I = It->second;
+    return Out;
+  }
+  }
+  fail("internal: unknown expression kind");
+  return Out;
+}
+
+Interpreter::Flow Interpreter::execStmt(Frame &Fr, const Function &F,
+                                        const Stmt &S, Value &Ret) {
+  if (!step())
+    return Flow::Return;
+  if (HaltRequested)
+    return Flow::Return;
+  switch (S.K) {
+  case Stmt::Kind::Assign: {
+    Value V = evalExpr(Fr, *S.Value);
+    const Expr &T = *S.Target;
+    if (T.K == Expr::Kind::VarRef) {
+      if (T.Ref == RefKind::Param) {
+        Fr.Params[T.SlotIndex] = V;
+      } else if (T.Ref == RefKind::Local) {
+        Fr.Locals[T.SlotIndex] = V;
+      } else {
+        GlobalSlot &G = globalSlot(T.TargetModule, T.Name);
+        if (T.Ty.isReal())
+          G.D[0] = V.D;
+        else
+          G.I[0] = V.I;
+      }
+      return Flow::Normal;
+    }
+    Value Idx = evalExpr(Fr, *T.Args[0]);
+    GlobalSlot &G = globalSlot(T.TargetModule, T.Name);
+    uint64_t N = G.Ty.ArraySize;
+    if (static_cast<uint64_t>(Idx.I) >= N) {
+      fail(formatString("array store index %lld out of bounds for "
+                        "%s.%s[%llu]",
+                        static_cast<long long>(Idx.I),
+                        T.TargetModule.c_str(), T.Name.c_str(),
+                        static_cast<unsigned long long>(N)));
+      return Flow::Return;
+    }
+    if (T.Ty.isReal())
+      G.D[static_cast<size_t>(Idx.I)] = V.D;
+    else
+      G.I[static_cast<size_t>(Idx.I)] = V.I;
+    return Flow::Normal;
+  }
+  case Stmt::Kind::ExprStmt:
+    evalExpr(Fr, *S.Value);
+    return HaltRequested ? Flow::Return : Flow::Normal;
+  case Stmt::Kind::If: {
+    Value C = evalExpr(Fr, *S.Value);
+    const std::vector<StmtPtr> &Body = C.I != 0 ? S.Body : S.ElseBody;
+    for (const StmtPtr &Child : Body) {
+      Flow FlowOut = execStmt(Fr, F, *Child, Ret);
+      if (FlowOut == Flow::Return || Failed)
+        return FlowOut;
+    }
+    return Flow::Normal;
+  }
+  case Stmt::Kind::While:
+    while (!Failed && !HaltRequested) {
+      if (!step())
+        return Flow::Return;
+      Value C = evalExpr(Fr, *S.Value);
+      if (C.I == 0)
+        break;
+      for (const StmtPtr &Child : S.Body) {
+        Flow FlowOut = execStmt(Fr, F, *Child, Ret);
+        if (FlowOut == Flow::Return || Failed)
+          return FlowOut;
+      }
+    }
+    return Flow::Normal;
+  case Stmt::Kind::Return:
+    if (S.Value)
+      Ret = evalExpr(Fr, *S.Value);
+    return Flow::Return;
+  case Stmt::Kind::Block:
+    for (const StmtPtr &Child : S.Body) {
+      Flow FlowOut = execStmt(Fr, F, *Child, Ret);
+      if (FlowOut == Flow::Return || Failed)
+        return FlowOut;
+    }
+    return Flow::Normal;
+  }
+  fail("internal: unknown statement kind");
+  return Flow::Return;
+}
+
+InterpResult Interpreter::run() {
+  // Initialize globals and the function table.
+  for (const Module &M : P.Modules) {
+    for (const GlobalVar &G : M.Globals) {
+      GlobalSlot Slot;
+      Slot.Ty = G.Ty;
+      size_t N = G.Ty.isArray() ? G.Ty.ArraySize : 1;
+      if (G.Ty.isReal() || G.Ty.Kind == TypeKind::RealArray)
+        Slot.D.assign(N, 0.0);
+      else
+        Slot.I.assign(N, 0);
+      if (G.HasInit) {
+        if (G.Ty.isReal())
+          Slot.D[0] = G.RealInit;
+        else
+          Slot.I[0] = G.IntInit;
+      }
+      Globals[{M.Name, G.Name}] = std::move(Slot);
+    }
+    for (const Function &F : M.Functions) {
+      Funcs.push_back({&M, &F});
+      FuncIdOf[{M.Name, F.Name}] = static_cast<int64_t>(Funcs.size());
+    }
+  }
+
+  // Find main.
+  const Module *MainModule = nullptr;
+  const Function *Main = nullptr;
+  for (const Module &M : P.Modules)
+    if (const Function *F = M.findFunction("main")) {
+      MainModule = &M;
+      Main = F;
+    }
+  InterpResult Res;
+  if (!Main) {
+    Res.Error = "no main function";
+    return Res;
+  }
+
+  Value Ret = callFunction(*MainModule, *Main, {});
+  Res.Ok = !Failed;
+  Res.Error = Err;
+  Res.ExitCode = HaltRequested ? HaltCode : Ret.I;
+  Res.Output = std::move(Output);
+  return Res;
+}
+
+} // namespace
+
+InterpResult om64::lang::interpret(const Program &P, uint64_t MaxSteps) {
+  Interpreter I(P, MaxSteps);
+  return I.run();
+}

@@ -1,0 +1,49 @@
+//===- lang/Interp.h - Reference AST interpreter ---------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A direct AST interpreter with semantics bit-identical to the compiled
+/// pipeline, used as the oracle for differential testing: for any valid
+/// program, interpret(P) must produce the same output stream and exit code
+/// as compiling, linking (with or without OM at any level), and simulating
+/// it. This includes replicating the runtime library's software division
+/// exactly (shift-subtract, divq(x, 0) == 0) and the simulator's
+/// conversion clamping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_LANG_INTERP_H
+#define OM64_LANG_INTERP_H
+
+#include "lang/AST.h"
+
+#include <cstdint>
+#include <string>
+
+namespace om64 {
+namespace lang {
+
+/// Outcome of an interpreted run.
+struct InterpResult {
+  bool Ok = false;
+  std::string Error;       // set when !Ok (OOB index, step budget, ...)
+  int64_t ExitCode = 0;
+  std::string Output;      // the pal_put* stream
+};
+
+/// Interprets \p P from its entry point. \p MaxSteps bounds the number of
+/// statements+expressions evaluated (runaway guard).
+InterpResult interpret(const Program &P, uint64_t MaxSteps = 50000000);
+
+/// The runtime library's division, emulated bit-exactly (exposed for unit
+/// tests comparing against rt.divq on the simulator).
+int64_t emulatedDivq(int64_t A, int64_t B);
+int64_t emulatedRemq(int64_t A, int64_t B);
+
+} // namespace lang
+} // namespace om64
+
+#endif // OM64_LANG_INTERP_H

@@ -1,0 +1,260 @@
+//===- lang/Lexer.cpp ------------------------------------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include "support/Format.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+using namespace om64;
+using namespace om64::lang;
+
+const char *om64::lang::tokenName(Tok Kind) {
+  switch (Kind) {
+  case Tok::EndOfFile:   return "end of file";
+  case Tok::Identifier:  return "identifier";
+  case Tok::IntLiteral:  return "integer literal";
+  case Tok::RealLiteral: return "real literal";
+  case Tok::KwModule:    return "'module'";
+  case Tok::KwImport:    return "'import'";
+  case Tok::KwExport:    return "'export'";
+  case Tok::KwVar:       return "'var'";
+  case Tok::KwFunc:      return "'func'";
+  case Tok::KwIf:        return "'if'";
+  case Tok::KwElse:      return "'else'";
+  case Tok::KwWhile:     return "'while'";
+  case Tok::KwReturn:    return "'return'";
+  case Tok::KwInt:       return "'int'";
+  case Tok::KwReal:      return "'real'";
+  case Tok::KwFuncPtr:   return "'funcptr'";
+  case Tok::KwAnd:       return "'and'";
+  case Tok::KwOr:        return "'or'";
+  case Tok::KwNot:       return "'not'";
+  case Tok::LParen:      return "'('";
+  case Tok::RParen:      return "')'";
+  case Tok::LBrace:      return "'{'";
+  case Tok::RBrace:      return "'}'";
+  case Tok::LBracket:    return "'['";
+  case Tok::RBracket:    return "']'";
+  case Tok::Comma:       return "','";
+  case Tok::Semicolon:   return "';'";
+  case Tok::Colon:       return "':'";
+  case Tok::Dot:         return "'.'";
+  case Tok::Assign:      return "'='";
+  case Tok::Amp:         return "'&'";
+  case Tok::Plus:        return "'+'";
+  case Tok::Minus:       return "'-'";
+  case Tok::Star:        return "'*'";
+  case Tok::Slash:       return "'/'";
+  case Tok::Percent:     return "'%'";
+  case Tok::Shl:         return "'<<'";
+  case Tok::Shr:         return "'>>'";
+  case Tok::BitAnd:      return "'&'";
+  case Tok::BitOr:       return "'|'";
+  case Tok::BitXor:      return "'^'";
+  case Tok::EqEq:        return "'=='";
+  case Tok::NotEq:       return "'!='";
+  case Tok::Less:        return "'<'";
+  case Tok::LessEq:      return "'<='";
+  case Tok::Greater:     return "'>'";
+  case Tok::GreaterEq:   return "'>='";
+  case Tok::Invalid:     return "invalid token";
+  }
+  return "?";
+}
+
+static Tok keywordKind(const std::string &Text) {
+  static const std::map<std::string, Tok> Keywords = {
+      {"module", Tok::KwModule}, {"import", Tok::KwImport},
+      {"export", Tok::KwExport}, {"var", Tok::KwVar},
+      {"func", Tok::KwFunc},     {"if", Tok::KwIf},
+      {"else", Tok::KwElse},     {"while", Tok::KwWhile},
+      {"return", Tok::KwReturn}, {"int", Tok::KwInt},
+      {"real", Tok::KwReal},     {"funcptr", Tok::KwFuncPtr},
+      {"and", Tok::KwAnd},       {"or", Tok::KwOr},
+      {"not", Tok::KwNot}};
+  auto It = Keywords.find(Text);
+  return It == Keywords.end() ? Tok::Identifier : It->second;
+}
+
+namespace {
+class LexerImpl {
+public:
+  LexerImpl(const std::string &BufferName, const std::string &Src,
+            DiagnosticEngine &Diags)
+      : BufferName(BufferName), Src(Src), Diags(Diags) {}
+
+  std::vector<Token> run();
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Column = 1;
+    } else {
+      ++Column;
+    }
+    return C;
+  }
+  SourceLoc here() const { return {Line, Column}; }
+
+  void lexNumber(std::vector<Token> &Out);
+  void lexIdentifier(std::vector<Token> &Out);
+
+  const std::string &BufferName;
+  const std::string &Src;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+} // namespace
+
+void LexerImpl::lexNumber(std::vector<Token> &Out) {
+  Token T;
+  T.Loc = here();
+  size_t Start = Pos;
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    advance();
+  bool IsReal = false;
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    IsReal = true;
+    advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    size_t Save = Pos;
+    advance();
+    if (peek() == '+' || peek() == '-')
+      advance();
+    if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      IsReal = true;
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    } else {
+      Pos = Save; // not an exponent after all
+    }
+  }
+  std::string Text = Src.substr(Start, Pos - Start);
+  if (IsReal) {
+    T.Kind = Tok::RealLiteral;
+    T.RealValue = std::strtod(Text.c_str(), nullptr);
+  } else {
+    T.Kind = Tok::IntLiteral;
+    T.IntValue = std::strtoll(Text.c_str(), nullptr, 10);
+  }
+  Out.push_back(std::move(T));
+}
+
+void LexerImpl::lexIdentifier(std::vector<Token> &Out) {
+  Token T;
+  T.Loc = here();
+  size_t Start = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  T.Text = Src.substr(Start, Pos - Start);
+  T.Kind = keywordKind(T.Text);
+  Out.push_back(std::move(T));
+}
+
+std::vector<Token> LexerImpl::run() {
+  std::vector<Token> Out;
+  while (Pos < Src.size()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '#') { // line comment
+      while (Pos < Src.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      lexNumber(Out);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      lexIdentifier(Out);
+      continue;
+    }
+
+    Token T;
+    T.Loc = here();
+    advance();
+    auto two = [&](char Next, Tok IfTwo, Tok IfOne) {
+      if (peek() == Next) {
+        advance();
+        return IfTwo;
+      }
+      return IfOne;
+    };
+    switch (C) {
+    case '(': T.Kind = Tok::LParen; break;
+    case ')': T.Kind = Tok::RParen; break;
+    case '{': T.Kind = Tok::LBrace; break;
+    case '}': T.Kind = Tok::RBrace; break;
+    case '[': T.Kind = Tok::LBracket; break;
+    case ']': T.Kind = Tok::RBracket; break;
+    case ',': T.Kind = Tok::Comma; break;
+    case ';': T.Kind = Tok::Semicolon; break;
+    case ':': T.Kind = Tok::Colon; break;
+    case '.': T.Kind = Tok::Dot; break;
+    case '+': T.Kind = Tok::Plus; break;
+    case '-': T.Kind = Tok::Minus; break;
+    case '*': T.Kind = Tok::Star; break;
+    case '/': T.Kind = Tok::Slash; break;
+    case '%': T.Kind = Tok::Percent; break;
+    case '|': T.Kind = Tok::BitOr; break;
+    case '^': T.Kind = Tok::BitXor; break;
+    case '&': T.Kind = Tok::Amp; break;
+    case '=': T.Kind = two('=', Tok::EqEq, Tok::Assign); break;
+    case '!': T.Kind = two('=', Tok::NotEq, Tok::Invalid); break;
+    case '<':
+      if (peek() == '<') {
+        advance();
+        T.Kind = Tok::Shl;
+      } else {
+        T.Kind = two('=', Tok::LessEq, Tok::Less);
+      }
+      break;
+    case '>':
+      if (peek() == '>') {
+        advance();
+        T.Kind = Tok::Shr;
+      } else {
+        T.Kind = two('=', Tok::GreaterEq, Tok::Greater);
+      }
+      break;
+    default:
+      T.Kind = Tok::Invalid;
+      break;
+    }
+    if (T.Kind == Tok::Invalid)
+      Diags.error(BufferName, T.Loc,
+                  formatString("unexpected character '%c'", C));
+    Out.push_back(std::move(T));
+  }
+  Token Eof;
+  Eof.Kind = Tok::EndOfFile;
+  Eof.Loc = here();
+  Out.push_back(std::move(Eof));
+  return Out;
+}
+
+std::vector<Token> om64::lang::lex(const std::string &BufferName,
+                                   const std::string &Src,
+                                   DiagnosticEngine &Diags) {
+  return LexerImpl(BufferName, Src, Diags).run();
+}

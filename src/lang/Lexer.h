@@ -1,0 +1,64 @@
+//===- lang/Lexer.h - MLang tokenizer --------------------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for MLang, the small imperative language whose compiled form
+/// exhibits the 64-bit global-addressing patterns the paper optimizes.
+/// See docs/LANGUAGE.md for the grammar.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_LANG_LEXER_H
+#define OM64_LANG_LEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace om64 {
+namespace lang {
+
+/// Token kinds. Keywords are distinct kinds; punctuation is named.
+enum class Tok : uint8_t {
+  EndOfFile,
+  Identifier,
+  IntLiteral,
+  RealLiteral,
+  // Keywords.
+  KwModule, KwImport, KwExport, KwVar, KwFunc, KwIf, KwElse, KwWhile,
+  KwReturn, KwInt, KwReal, KwFuncPtr, KwAnd, KwOr, KwNot,
+  // Punctuation and operators.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semicolon, Colon, Dot, Assign, Amp,
+  Plus, Minus, Star, Slash, Percent, Shl, Shr, BitAnd, BitOr, BitXor,
+  EqEq, NotEq, Less, LessEq, Greater, GreaterEq,
+  Invalid,
+};
+
+/// Returns a printable spelling for diagnostics ("'while'", "'<='", ...).
+const char *tokenName(Tok Kind);
+
+/// One lexed token.
+struct Token {
+  Tok Kind = Tok::Invalid;
+  SourceLoc Loc;
+  std::string Text;    // identifier spelling
+  int64_t IntValue = 0;
+  double RealValue = 0.0;
+};
+
+/// Lexes an entire buffer. Errors (bad characters, malformed numbers) are
+/// reported to \p Diags and produce Invalid tokens that the parser treats
+/// as fatal.
+std::vector<Token> lex(const std::string &BufferName, const std::string &Src,
+                       DiagnosticEngine &Diags);
+
+} // namespace lang
+} // namespace om64
+
+#endif // OM64_LANG_LEXER_H

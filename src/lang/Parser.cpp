@@ -1,0 +1,630 @@
+//===- lang/Parser.cpp -----------------------------------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "support/Format.h"
+
+using namespace om64;
+using namespace om64::lang;
+
+std::string Type::str() const {
+  switch (Kind) {
+  case TypeKind::Void:      return "void";
+  case TypeKind::Int:       return "int";
+  case TypeKind::Real:      return "real";
+  case TypeKind::FuncPtr:   return "funcptr";
+  case TypeKind::IntArray:  return formatString("int[%u]", ArraySize);
+  case TypeKind::RealArray: return formatString("real[%u]", ArraySize);
+  }
+  return "?";
+}
+
+namespace {
+
+/// Recursive-descent parser over the token stream. Any error aborts the
+/// parse of the module; error recovery is not needed because all MLang
+/// sources in this project are machine-generated or test inputs.
+class Parser {
+public:
+  Parser(const std::string &BufferName, std::vector<Token> Tokens,
+         DiagnosticEngine &Diags)
+      : BufferName(BufferName), Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  std::optional<Module> parseModuleDecl();
+
+private:
+  const Token &peek(unsigned Ahead = 0) const {
+    size_t Idx = Pos + Ahead;
+    return Idx < Tokens.size() ? Tokens[Idx] : Tokens.back();
+  }
+  const Token &advance() {
+    const Token &T = Tokens[Pos];
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+    return T;
+  }
+  bool check(Tok K) const { return peek().Kind == K; }
+  bool match(Tok K) {
+    if (!check(K))
+      return false;
+    advance();
+    return true;
+  }
+  bool expect(Tok K, const char *Context) {
+    if (match(K))
+      return true;
+    error(formatString("expected %s %s, found %s", tokenName(K), Context,
+                       tokenName(peek().Kind)));
+    return false;
+  }
+  void error(std::string Message) {
+    if (!Failed)
+      Diags.error(BufferName, peek().Loc, std::move(Message));
+    Failed = true;
+  }
+
+  std::optional<Type> parseType(bool AllowArray);
+  bool parseGlobal(Module &M, bool Exported);
+  bool parseFunction(Module &M, bool Exported);
+  bool parseLocals(Function &F);
+  StmtPtr parseStmt();
+  StmtPtr parseBlockInto(std::vector<StmtPtr> &Body);
+  bool parseBlockBody(std::vector<StmtPtr> &Body);
+
+  // Expression precedence climbing.
+  ExprPtr parseExpr();
+  ExprPtr parseOr();
+  ExprPtr parseAnd();
+  ExprPtr parseBitOr();
+  ExprPtr parseBitXor();
+  ExprPtr parseBitAnd();
+  ExprPtr parseComparison();
+  ExprPtr parseShift();
+  ExprPtr parseAdditive();
+  ExprPtr parseMultiplicative();
+  ExprPtr parseUnary();
+  ExprPtr parsePrimary();
+
+  const std::string &BufferName;
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+} // namespace
+
+std::optional<Type> Parser::parseType(bool AllowArray) {
+  Type Ty;
+  if (match(Tok::KwInt))
+    Ty.Kind = TypeKind::Int;
+  else if (match(Tok::KwReal))
+    Ty.Kind = TypeKind::Real;
+  else if (match(Tok::KwFuncPtr))
+    Ty.Kind = TypeKind::FuncPtr;
+  else {
+    error(formatString("expected a type, found %s", tokenName(peek().Kind)));
+    return std::nullopt;
+  }
+  if (check(Tok::LBracket)) {
+    if (!AllowArray || Ty.Kind == TypeKind::FuncPtr) {
+      error("array types are only allowed on module-level int/real variables");
+      return std::nullopt;
+    }
+    advance();
+    if (!check(Tok::IntLiteral)) {
+      error("expected array size literal");
+      return std::nullopt;
+    }
+    int64_t N = advance().IntValue;
+    if (N <= 0 || N > (1 << 24)) {
+      error("array size out of range");
+      return std::nullopt;
+    }
+    Ty.Kind = Ty.Kind == TypeKind::Int ? TypeKind::IntArray
+                                       : TypeKind::RealArray;
+    Ty.ArraySize = static_cast<uint32_t>(N);
+    if (!expect(Tok::RBracket, "after array size"))
+      return std::nullopt;
+  }
+  return Ty;
+}
+
+bool Parser::parseGlobal(Module &M, bool Exported) {
+  GlobalVar G;
+  G.Exported = Exported;
+  G.Loc = peek().Loc;
+  if (!check(Tok::Identifier)) {
+    error("expected variable name");
+    return false;
+  }
+  G.Name = advance().Text;
+  if (!expect(Tok::Colon, "after variable name"))
+    return false;
+  std::optional<Type> Ty = parseType(/*AllowArray=*/true);
+  if (!Ty)
+    return false;
+  G.Ty = *Ty;
+  if (match(Tok::Assign)) {
+    if (G.Ty.isArray()) {
+      error("array variables cannot have initializers");
+      return false;
+    }
+    bool Neg = match(Tok::Minus);
+    if (check(Tok::IntLiteral)) {
+      G.HasInit = true;
+      G.IntInit = advance().IntValue * (Neg ? -1 : 1);
+      if (G.Ty.isReal()) {
+        G.RealInit = static_cast<double>(G.IntInit);
+      }
+    } else if (check(Tok::RealLiteral)) {
+      G.HasInit = true;
+      G.RealInit = advance().RealValue * (Neg ? -1.0 : 1.0);
+      if (!G.Ty.isReal()) {
+        error("real initializer on non-real variable");
+        return false;
+      }
+    } else {
+      error("expected literal initializer");
+      return false;
+    }
+  }
+  if (!expect(Tok::Semicolon, "after variable declaration"))
+    return false;
+  M.Globals.push_back(std::move(G));
+  return true;
+}
+
+bool Parser::parseLocals(Function &F) {
+  while (check(Tok::KwVar)) {
+    advance();
+    LocalVar L;
+    L.Loc = peek().Loc;
+    if (!check(Tok::Identifier)) {
+      error("expected local variable name");
+      return false;
+    }
+    L.Name = advance().Text;
+    if (!expect(Tok::Colon, "after local variable name"))
+      return false;
+    std::optional<Type> Ty = parseType(/*AllowArray=*/false);
+    if (!Ty)
+      return false;
+    L.Ty = *Ty;
+    if (!expect(Tok::Semicolon, "after local variable declaration"))
+      return false;
+    F.Locals.push_back(std::move(L));
+  }
+  return true;
+}
+
+bool Parser::parseFunction(Module &M, bool Exported) {
+  Function F;
+  F.Exported = Exported;
+  F.Loc = peek().Loc;
+  if (!check(Tok::Identifier)) {
+    error("expected function name");
+    return false;
+  }
+  F.Name = advance().Text;
+  if (!expect(Tok::LParen, "after function name"))
+    return false;
+  if (!check(Tok::RParen)) {
+    do {
+      LocalVar P;
+      P.Loc = peek().Loc;
+      if (!check(Tok::Identifier)) {
+        error("expected parameter name");
+        return false;
+      }
+      P.Name = advance().Text;
+      if (!expect(Tok::Colon, "after parameter name"))
+        return false;
+      std::optional<Type> Ty = parseType(/*AllowArray=*/false);
+      if (!Ty)
+        return false;
+      P.Ty = *Ty;
+      F.Params.push_back(std::move(P));
+    } while (match(Tok::Comma));
+  }
+  if (!expect(Tok::RParen, "after parameters"))
+    return false;
+  if (match(Tok::Colon)) {
+    std::optional<Type> Ty = parseType(/*AllowArray=*/false);
+    if (!Ty)
+      return false;
+    F.ReturnType = *Ty;
+  }
+  if (!expect(Tok::LBrace, "to begin function body"))
+    return false;
+  if (!parseLocals(F))
+    return false;
+  if (!parseBlockBody(F.Body))
+    return false;
+  M.Functions.push_back(std::move(F));
+  return true;
+}
+
+bool Parser::parseBlockBody(std::vector<StmtPtr> &Body) {
+  while (!check(Tok::RBrace) && !check(Tok::EndOfFile) && !Failed) {
+    StmtPtr S = parseStmt();
+    if (!S)
+      return false;
+    Body.push_back(std::move(S));
+  }
+  return expect(Tok::RBrace, "to close block");
+}
+
+StmtPtr Parser::parseStmt() {
+  SourceLoc Loc = peek().Loc;
+  if (match(Tok::KwIf)) {
+    auto S = std::make_unique<Stmt>();
+    S->K = Stmt::Kind::If;
+    S->Loc = Loc;
+    if (!expect(Tok::LParen, "after 'if'"))
+      return nullptr;
+    S->Value = parseExpr();
+    if (!S->Value || !expect(Tok::RParen, "after condition") ||
+        !expect(Tok::LBrace, "to begin 'if' body") ||
+        !parseBlockBody(S->Body))
+      return nullptr;
+    if (match(Tok::KwElse)) {
+      if (check(Tok::KwIf)) { // else-if chains nest
+        StmtPtr Nested = parseStmt();
+        if (!Nested)
+          return nullptr;
+        S->ElseBody.push_back(std::move(Nested));
+      } else if (!expect(Tok::LBrace, "to begin 'else' body") ||
+                 !parseBlockBody(S->ElseBody)) {
+        return nullptr;
+      }
+    }
+    return S;
+  }
+  if (match(Tok::KwWhile)) {
+    auto S = std::make_unique<Stmt>();
+    S->K = Stmt::Kind::While;
+    S->Loc = Loc;
+    if (!expect(Tok::LParen, "after 'while'"))
+      return nullptr;
+    S->Value = parseExpr();
+    if (!S->Value || !expect(Tok::RParen, "after condition") ||
+        !expect(Tok::LBrace, "to begin loop body") ||
+        !parseBlockBody(S->Body))
+      return nullptr;
+    return S;
+  }
+  if (match(Tok::KwReturn)) {
+    auto S = std::make_unique<Stmt>();
+    S->K = Stmt::Kind::Return;
+    S->Loc = Loc;
+    if (!check(Tok::Semicolon)) {
+      S->Value = parseExpr();
+      if (!S->Value)
+        return nullptr;
+    }
+    if (!expect(Tok::Semicolon, "after 'return'"))
+      return nullptr;
+    return S;
+  }
+
+  // Assignment or expression statement, both starting with an expression.
+  ExprPtr E = parseExpr();
+  if (!E)
+    return nullptr;
+  auto S = std::make_unique<Stmt>();
+  S->Loc = Loc;
+  if (match(Tok::Assign)) {
+    if (E->K != Expr::Kind::VarRef && E->K != Expr::Kind::Index) {
+      error("assignment target must be a variable or array element");
+      return nullptr;
+    }
+    S->K = Stmt::Kind::Assign;
+    S->Target = std::move(E);
+    S->Value = parseExpr();
+    if (!S->Value)
+      return nullptr;
+  } else {
+    if (E->K != Expr::Kind::Call) {
+      error("only call expressions may stand alone as statements");
+      return nullptr;
+    }
+    S->K = Stmt::Kind::ExprStmt;
+    S->Value = std::move(E);
+  }
+  if (!expect(Tok::Semicolon, "after statement"))
+    return nullptr;
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions.
+//===----------------------------------------------------------------------===//
+
+static ExprPtr makeBinary(Tok Op, SourceLoc Loc, ExprPtr L, ExprPtr R) {
+  auto E = std::make_unique<Expr>();
+  E->K = Expr::Kind::Binary;
+  E->Loc = Loc;
+  E->Op = Op;
+  E->Args.push_back(std::move(L));
+  E->Args.push_back(std::move(R));
+  return E;
+}
+
+ExprPtr Parser::parseExpr() { return parseOr(); }
+
+ExprPtr Parser::parseOr() {
+  ExprPtr L = parseAnd();
+  while (L && check(Tok::KwOr)) {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseAnd();
+    if (!R)
+      return nullptr;
+    L = makeBinary(Tok::KwOr, Loc, std::move(L), std::move(R));
+  }
+  return L;
+}
+
+ExprPtr Parser::parseAnd() {
+  ExprPtr L = parseBitOr();
+  while (L && check(Tok::KwAnd)) {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseBitOr();
+    if (!R)
+      return nullptr;
+    L = makeBinary(Tok::KwAnd, Loc, std::move(L), std::move(R));
+  }
+  return L;
+}
+
+ExprPtr Parser::parseBitOr() {
+  ExprPtr L = parseBitXor();
+  while (L && check(Tok::BitOr)) {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseBitXor();
+    if (!R)
+      return nullptr;
+    L = makeBinary(Tok::BitOr, Loc, std::move(L), std::move(R));
+  }
+  return L;
+}
+
+ExprPtr Parser::parseBitXor() {
+  ExprPtr L = parseBitAnd();
+  while (L && check(Tok::BitXor)) {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseBitAnd();
+    if (!R)
+      return nullptr;
+    L = makeBinary(Tok::BitXor, Loc, std::move(L), std::move(R));
+  }
+  return L;
+}
+
+ExprPtr Parser::parseBitAnd() {
+  ExprPtr L = parseComparison();
+  while (L && check(Tok::Amp)) {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseComparison();
+    if (!R)
+      return nullptr;
+    L = makeBinary(Tok::BitAnd, Loc, std::move(L), std::move(R));
+  }
+  return L;
+}
+
+ExprPtr Parser::parseComparison() {
+  ExprPtr L = parseShift();
+  while (L && (check(Tok::EqEq) || check(Tok::NotEq) || check(Tok::Less) ||
+               check(Tok::LessEq) || check(Tok::Greater) ||
+               check(Tok::GreaterEq))) {
+    Tok Op = peek().Kind;
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseShift();
+    if (!R)
+      return nullptr;
+    L = makeBinary(Op, Loc, std::move(L), std::move(R));
+  }
+  return L;
+}
+
+ExprPtr Parser::parseShift() {
+  ExprPtr L = parseAdditive();
+  while (L && (check(Tok::Shl) || check(Tok::Shr))) {
+    Tok Op = peek().Kind;
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseAdditive();
+    if (!R)
+      return nullptr;
+    L = makeBinary(Op, Loc, std::move(L), std::move(R));
+  }
+  return L;
+}
+
+ExprPtr Parser::parseAdditive() {
+  ExprPtr L = parseMultiplicative();
+  while (L && (check(Tok::Plus) || check(Tok::Minus))) {
+    Tok Op = peek().Kind;
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseMultiplicative();
+    if (!R)
+      return nullptr;
+    L = makeBinary(Op, Loc, std::move(L), std::move(R));
+  }
+  return L;
+}
+
+ExprPtr Parser::parseMultiplicative() {
+  ExprPtr L = parseUnary();
+  while (L &&
+         (check(Tok::Star) || check(Tok::Slash) || check(Tok::Percent))) {
+    Tok Op = peek().Kind;
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseUnary();
+    if (!R)
+      return nullptr;
+    L = makeBinary(Op, Loc, std::move(L), std::move(R));
+  }
+  return L;
+}
+
+ExprPtr Parser::parseUnary() {
+  if (check(Tok::Minus) || check(Tok::KwNot)) {
+    Tok Op = peek().Kind;
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    auto E = std::make_unique<Expr>();
+    E->K = Expr::Kind::Unary;
+    E->Loc = Loc;
+    E->Op = Op;
+    E->Args.push_back(std::move(Operand));
+    return E;
+  }
+  return parsePrimary();
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = peek().Loc;
+  if (check(Tok::IntLiteral)) {
+    auto E = std::make_unique<Expr>();
+    E->K = Expr::Kind::IntLit;
+    E->Loc = Loc;
+    E->IntValue = advance().IntValue;
+    return E;
+  }
+  if (check(Tok::RealLiteral)) {
+    auto E = std::make_unique<Expr>();
+    E->K = Expr::Kind::RealLit;
+    E->Loc = Loc;
+    E->RealValue = advance().RealValue;
+    return E;
+  }
+  if (match(Tok::LParen)) {
+    ExprPtr E = parseExpr();
+    if (!E || !expect(Tok::RParen, "to close parenthesized expression"))
+      return nullptr;
+    return E;
+  }
+  if (match(Tok::Amp)) {
+    auto E = std::make_unique<Expr>();
+    E->K = Expr::Kind::AddrOf;
+    E->Loc = Loc;
+    if (!check(Tok::Identifier)) {
+      error("expected function name after '&'");
+      return nullptr;
+    }
+    E->Name = advance().Text;
+    if (match(Tok::Dot)) {
+      E->Qualifier = E->Name;
+      if (!check(Tok::Identifier)) {
+        error("expected name after module qualifier");
+        return nullptr;
+      }
+      E->Name = advance().Text;
+    }
+    return E;
+  }
+  if (!check(Tok::Identifier)) {
+    error(formatString("expected an expression, found %s",
+                       tokenName(peek().Kind)));
+    return nullptr;
+  }
+
+  auto E = std::make_unique<Expr>();
+  E->Loc = Loc;
+  E->Name = advance().Text;
+  if (match(Tok::Dot)) {
+    E->Qualifier = E->Name;
+    if (!check(Tok::Identifier)) {
+      error("expected name after module qualifier");
+      return nullptr;
+    }
+    E->Name = advance().Text;
+  }
+
+  if (match(Tok::LParen)) {
+    E->K = Expr::Kind::Call;
+    if (!check(Tok::RParen)) {
+      do {
+        ExprPtr Arg = parseExpr();
+        if (!Arg)
+          return nullptr;
+        E->Args.push_back(std::move(Arg));
+      } while (match(Tok::Comma));
+    }
+    if (!expect(Tok::RParen, "after call arguments"))
+      return nullptr;
+    return E;
+  }
+  if (match(Tok::LBracket)) {
+    E->K = Expr::Kind::Index;
+    ExprPtr Idx = parseExpr();
+    if (!Idx || !expect(Tok::RBracket, "after array index"))
+      return nullptr;
+    E->Args.push_back(std::move(Idx));
+    return E;
+  }
+  E->K = Expr::Kind::VarRef;
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Module structure.
+//===----------------------------------------------------------------------===//
+
+std::optional<Module> Parser::parseModuleDecl() {
+  Module M;
+  if (!expect(Tok::KwModule, "at start of file"))
+    return std::nullopt;
+  if (!check(Tok::Identifier)) {
+    error("expected module name");
+    return std::nullopt;
+  }
+  M.Name = advance().Text;
+  if (!expect(Tok::Semicolon, "after module name"))
+    return std::nullopt;
+
+  while (match(Tok::KwImport)) {
+    if (!check(Tok::Identifier)) {
+      error("expected imported module name");
+      return std::nullopt;
+    }
+    M.Imports.push_back(advance().Text);
+    if (!expect(Tok::Semicolon, "after import"))
+      return std::nullopt;
+  }
+
+  while (!check(Tok::EndOfFile) && !Failed) {
+    bool Exported = match(Tok::KwExport);
+    if (match(Tok::KwVar)) {
+      if (!parseGlobal(M, Exported))
+        return std::nullopt;
+    } else if (match(Tok::KwFunc)) {
+      if (!parseFunction(M, Exported))
+        return std::nullopt;
+    } else {
+      error(formatString("expected 'var' or 'func', found %s",
+                         tokenName(peek().Kind)));
+      return std::nullopt;
+    }
+  }
+  if (Failed)
+    return std::nullopt;
+  return M;
+}
+
+std::optional<Module> om64::lang::parseModule(const std::string &BufferName,
+                                              const std::string &Src,
+                                              DiagnosticEngine &Diags) {
+  std::vector<Token> Tokens = lex(BufferName, Src, Diags);
+  if (Diags.hasErrors())
+    return std::nullopt;
+  Parser P(BufferName, std::move(Tokens), Diags);
+  return P.parseModuleDecl();
+}

@@ -1,0 +1,27 @@
+//===- lang/Parser.h - MLang recursive-descent parser ---------------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_LANG_PARSER_H
+#define OM64_LANG_PARSER_H
+
+#include "lang/AST.h"
+#include "support/Result.h"
+
+#include <optional>
+
+namespace om64 {
+namespace lang {
+
+/// Parses one module from \p Src. On syntax errors, diagnostics are added
+/// to \p Diags and std::nullopt is returned.
+std::optional<Module> parseModule(const std::string &BufferName,
+                                  const std::string &Src,
+                                  DiagnosticEngine &Diags);
+
+} // namespace lang
+} // namespace om64
+
+#endif // OM64_LANG_PARSER_H

@@ -1,0 +1,589 @@
+//===- lang/Sema.cpp -------------------------------------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Sema.h"
+
+#include "support/Format.h"
+
+#include <map>
+
+using namespace om64;
+using namespace om64::lang;
+
+Builtin om64::lang::lookupBuiltin(const std::string &Name) {
+  static const std::map<std::string, Builtin> Builtins = {
+      {"trunc", Builtin::Trunc},
+      {"toreal", Builtin::ToReal},
+      {"pal_putint", Builtin::PalPutInt},
+      {"pal_putchar", Builtin::PalPutChar},
+      {"pal_putreal", Builtin::PalPutReal},
+      {"pal_halt", Builtin::PalHalt},
+      {"pal_cycles", Builtin::PalCycles}};
+  auto It = Builtins.find(Name);
+  return It == Builtins.end() ? Builtin::None : It->second;
+}
+
+namespace {
+
+/// Per-module analysis state.
+class SemaModule {
+public:
+  SemaModule(Program &P, Module &M, DiagnosticEngine &Diags)
+      : P(P), M(M), Diags(Diags) {}
+
+  bool run();
+
+private:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.error(M.Name, Loc, std::move(Message));
+  }
+
+  /// Finds a global variable visible under (Qualifier, Name); reports
+  /// errors itself. Sets ModuleOut to the defining module.
+  const GlobalVar *resolveGlobal(SourceLoc Loc, const std::string &Qualifier,
+                                 const std::string &Name,
+                                 std::string &ModuleOut, bool Quiet = false);
+
+  /// Same for functions.
+  const Function *resolveFunction(SourceLoc Loc, const std::string &Qualifier,
+                                  const std::string &Name,
+                                  std::string &ModuleOut, bool Quiet = false);
+
+  bool isImported(const std::string &Name) const {
+    for (const std::string &I : M.Imports)
+      if (I == Name)
+        return true;
+    return false;
+  }
+
+  bool analyzeFunction(Function &F);
+  bool analyzeStmt(Function &F, Stmt &S);
+  bool analyzeExpr(Function &F, Expr &E);
+  bool analyzeCall(Function &F, Expr &E);
+
+  /// Resolves a bare identifier against params/locals. Returns true and
+  /// fills the Expr if found.
+  bool resolveLocal(Function &F, Expr &E);
+
+  Program &P;
+  Module &M;
+  DiagnosticEngine &Diags;
+};
+
+} // namespace
+
+const GlobalVar *SemaModule::resolveGlobal(SourceLoc Loc,
+                                           const std::string &Qualifier,
+                                           const std::string &Name,
+                                           std::string &ModuleOut,
+                                           bool Quiet) {
+  if (Qualifier.empty()) {
+    if (const GlobalVar *G = M.findGlobal(Name)) {
+      ModuleOut = M.Name;
+      return G;
+    }
+    if (!Quiet)
+      error(Loc, formatString("undeclared variable '%s'", Name.c_str()));
+    return nullptr;
+  }
+  if (!isImported(Qualifier)) {
+    if (!Quiet)
+      error(Loc, formatString("module '%s' is not imported",
+                              Qualifier.c_str()));
+    return nullptr;
+  }
+  const Module *Other = P.findModule(Qualifier);
+  if (!Other) {
+    if (!Quiet)
+      error(Loc, formatString("imported module '%s' is not part of the "
+                              "program",
+                              Qualifier.c_str()));
+    return nullptr;
+  }
+  const GlobalVar *G = Other->findGlobal(Name);
+  if (!G || !G->Exported) {
+    if (!Quiet)
+      error(Loc, formatString("module '%s' does not export variable '%s'",
+                              Qualifier.c_str(), Name.c_str()));
+    return nullptr;
+  }
+  ModuleOut = Qualifier;
+  return G;
+}
+
+const Function *SemaModule::resolveFunction(SourceLoc Loc,
+                                            const std::string &Qualifier,
+                                            const std::string &Name,
+                                            std::string &ModuleOut,
+                                            bool Quiet) {
+  if (Qualifier.empty()) {
+    if (const Function *F = M.findFunction(Name)) {
+      ModuleOut = M.Name;
+      return F;
+    }
+    if (!Quiet)
+      error(Loc, formatString("undeclared function '%s'", Name.c_str()));
+    return nullptr;
+  }
+  if (!isImported(Qualifier)) {
+    if (!Quiet)
+      error(Loc, formatString("module '%s' is not imported",
+                              Qualifier.c_str()));
+    return nullptr;
+  }
+  const Module *Other = P.findModule(Qualifier);
+  if (!Other) {
+    if (!Quiet)
+      error(Loc, formatString("imported module '%s' is not part of the "
+                              "program",
+                              Qualifier.c_str()));
+    return nullptr;
+  }
+  const Function *F = Other->findFunction(Name);
+  if (!F || !F->Exported) {
+    if (!Quiet)
+      error(Loc, formatString("module '%s' does not export function '%s'",
+                              Qualifier.c_str(), Name.c_str()));
+    return nullptr;
+  }
+  ModuleOut = Qualifier;
+  return F;
+}
+
+bool SemaModule::resolveLocal(Function &F, Expr &E) {
+  for (uint32_t Idx = 0; Idx < F.Params.size(); ++Idx)
+    if (F.Params[Idx].Name == E.Name) {
+      E.Ref = RefKind::Param;
+      E.SlotIndex = Idx;
+      E.Ty = F.Params[Idx].Ty;
+      return true;
+    }
+  for (uint32_t Idx = 0; Idx < F.Locals.size(); ++Idx)
+    if (F.Locals[Idx].Name == E.Name) {
+      E.Ref = RefKind::Local;
+      E.SlotIndex = Idx;
+      E.Ty = F.Locals[Idx].Ty;
+      return true;
+    }
+  return false;
+}
+
+bool SemaModule::analyzeCall(Function &F, Expr &E) {
+  for (ExprPtr &Arg : E.Args)
+    if (!analyzeExpr(F, *Arg))
+      return false;
+
+  // Builtins are checked first; their names are reserved.
+  if (E.Qualifier.empty()) {
+    Builtin B = lookupBuiltin(E.Name);
+    if (B != Builtin::None) {
+      E.BuiltinFunc = B;
+      auto requireArgs = [&](size_t N, TypeKind Arg0) {
+        if (E.Args.size() != N) {
+          error(E.Loc, formatString("builtin '%s' takes %zu argument(s)",
+                                    E.Name.c_str(), N));
+          return false;
+        }
+        if (N == 1 && E.Args[0]->Ty.Kind != Arg0) {
+          error(E.Loc, formatString("builtin '%s' argument has wrong type",
+                                    E.Name.c_str()));
+          return false;
+        }
+        return true;
+      };
+      switch (B) {
+      case Builtin::Trunc:
+        if (!requireArgs(1, TypeKind::Real))
+          return false;
+        E.Ty = {TypeKind::Int, 0};
+        return true;
+      case Builtin::ToReal:
+        if (!requireArgs(1, TypeKind::Int))
+          return false;
+        E.Ty = {TypeKind::Real, 0};
+        return true;
+      case Builtin::PalPutInt:
+      case Builtin::PalPutChar:
+      case Builtin::PalHalt:
+        if (!requireArgs(1, TypeKind::Int))
+          return false;
+        E.Ty = {TypeKind::Void, 0};
+        return true;
+      case Builtin::PalPutReal:
+        if (!requireArgs(1, TypeKind::Real))
+          return false;
+        E.Ty = {TypeKind::Void, 0};
+        return true;
+      case Builtin::PalCycles:
+        if (!requireArgs(0, TypeKind::Void))
+          return false;
+        E.Ty = {TypeKind::Int, 0};
+        return true;
+      case Builtin::None:
+        break;
+      }
+    }
+
+    // Indirect call through a funcptr local/param/global?
+    Expr Probe;
+    Probe.Name = E.Name;
+    if (resolveLocal(F, Probe)) {
+      if (!Probe.Ty.isFuncPtr()) {
+        // Fall through to direct-function resolution only if a function by
+        // this name exists; otherwise it's a call of a non-funcptr variable.
+        std::string Mod;
+        if (!resolveFunction(E.Loc, "", E.Name, Mod, /*Quiet=*/true)) {
+          error(E.Loc, formatString("'%s' is not callable", E.Name.c_str()));
+          return false;
+        }
+      } else {
+        E.IsIndirectCall = true;
+        E.Ref = Probe.Ref;
+        E.SlotIndex = Probe.SlotIndex;
+        if (E.Args.size() > 6) {
+          error(E.Loc, "indirect calls support at most 6 arguments");
+          return false;
+        }
+        for (const ExprPtr &Arg : E.Args)
+          if (!Arg->Ty.isInt()) {
+            error(E.Loc, "indirect call arguments must be int");
+            return false;
+          }
+        E.Ty = {TypeKind::Int, 0};
+        return true;
+      }
+    } else {
+      std::string Mod;
+      const GlobalVar *G = resolveGlobal(E.Loc, "", E.Name, Mod,
+                                         /*Quiet=*/true);
+      if (G && G->Ty.isFuncPtr()) {
+        E.IsIndirectCall = true;
+        E.Ref = RefKind::Global;
+        E.TargetModule = Mod;
+        if (E.Args.size() > 6) {
+          error(E.Loc, "indirect calls support at most 6 arguments");
+          return false;
+        }
+        for (const ExprPtr &Arg : E.Args)
+          if (!Arg->Ty.isInt()) {
+            error(E.Loc, "indirect call arguments must be int");
+            return false;
+          }
+        E.Ty = {TypeKind::Int, 0};
+        return true;
+      }
+    }
+  }
+
+  // Direct call.
+  std::string Mod;
+  const Function *Callee = resolveFunction(E.Loc, E.Qualifier, E.Name, Mod);
+  if (!Callee)
+    return false;
+  E.Ref = RefKind::Function;
+  E.TargetModule = Mod;
+  if (E.Args.size() != Callee->Params.size()) {
+    error(E.Loc,
+          formatString("call to '%s' passes %zu arguments, expected %zu",
+                       E.Name.c_str(), E.Args.size(), Callee->Params.size()));
+    return false;
+  }
+  if (E.Args.size() > 6) {
+    error(E.Loc, "calls support at most 6 arguments");
+    return false;
+  }
+  for (size_t Idx = 0; Idx < E.Args.size(); ++Idx)
+    if (!(E.Args[Idx]->Ty == Callee->Params[Idx].Ty)) {
+      error(E.Loc, formatString("argument %zu of call to '%s' has type %s, "
+                                "expected %s",
+                                Idx + 1, E.Name.c_str(),
+                                E.Args[Idx]->Ty.str().c_str(),
+                                Callee->Params[Idx].Ty.str().c_str()));
+      return false;
+    }
+  E.Ty = Callee->ReturnType;
+  return true;
+}
+
+bool SemaModule::analyzeExpr(Function &F, Expr &E) {
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+    E.Ty = {TypeKind::Int, 0};
+    return true;
+  case Expr::Kind::RealLit:
+    E.Ty = {TypeKind::Real, 0};
+    return true;
+  case Expr::Kind::VarRef: {
+    if (E.Qualifier.empty() && resolveLocal(F, E))
+      return true;
+    std::string Mod;
+    const GlobalVar *G = resolveGlobal(E.Loc, E.Qualifier, E.Name, Mod);
+    if (!G)
+      return false;
+    if (G->Ty.isArray()) {
+      error(E.Loc, formatString("array '%s' must be indexed", E.Name.c_str()));
+      return false;
+    }
+    E.Ref = RefKind::Global;
+    E.TargetModule = Mod;
+    E.Ty = G->Ty;
+    return true;
+  }
+  case Expr::Kind::Index: {
+    if (!analyzeExpr(F, *E.Args[0]))
+      return false;
+    if (!E.Args[0]->Ty.isInt()) {
+      error(E.Loc, "array index must be int");
+      return false;
+    }
+    std::string Mod;
+    const GlobalVar *G = resolveGlobal(E.Loc, E.Qualifier, E.Name, Mod);
+    if (!G)
+      return false;
+    if (!G->Ty.isArray()) {
+      error(E.Loc, formatString("'%s' is not an array", E.Name.c_str()));
+      return false;
+    }
+    E.Ref = RefKind::Global;
+    E.TargetModule = Mod;
+    E.Ty = G->Ty.element();
+    return true;
+  }
+  case Expr::Kind::Unary: {
+    if (!analyzeExpr(F, *E.Args[0]))
+      return false;
+    Type OpTy = E.Args[0]->Ty;
+    if (E.Op == Tok::Minus) {
+      if (!OpTy.isInt() && !OpTy.isReal()) {
+        error(E.Loc, "unary '-' requires int or real");
+        return false;
+      }
+      E.Ty = OpTy;
+      return true;
+    }
+    if (!OpTy.isInt()) {
+      error(E.Loc, "'not' requires int");
+      return false;
+    }
+    E.Ty = OpTy;
+    return true;
+  }
+  case Expr::Kind::Binary: {
+    if (!analyzeExpr(F, *E.Args[0]) || !analyzeExpr(F, *E.Args[1]))
+      return false;
+    Type L = E.Args[0]->Ty, R = E.Args[1]->Ty;
+    if (!(L == R)) {
+      error(E.Loc, formatString("operand type mismatch: %s vs %s (use "
+                                "toreal/trunc to convert)",
+                                L.str().c_str(), R.str().c_str()));
+      return false;
+    }
+    bool IsCompare = E.Op == Tok::EqEq || E.Op == Tok::NotEq ||
+                     E.Op == Tok::Less || E.Op == Tok::LessEq ||
+                     E.Op == Tok::Greater || E.Op == Tok::GreaterEq;
+    bool IntOnly = E.Op == Tok::Percent || E.Op == Tok::Shl ||
+                   E.Op == Tok::Shr || E.Op == Tok::BitAnd ||
+                   E.Op == Tok::BitOr || E.Op == Tok::BitXor ||
+                   E.Op == Tok::KwAnd || E.Op == Tok::KwOr;
+    if (L.isFuncPtr()) {
+      error(E.Loc, "funcptr values support no operators");
+      return false;
+    }
+    if (IntOnly && !L.isInt()) {
+      error(E.Loc, "this operator requires int operands");
+      return false;
+    }
+    E.Ty = IsCompare ? Type{TypeKind::Int, 0} : L;
+    return true;
+  }
+  case Expr::Kind::Call:
+    return analyzeCall(F, E);
+  case Expr::Kind::AddrOf: {
+    std::string Mod;
+    const Function *Target =
+        resolveFunction(E.Loc, E.Qualifier, E.Name, Mod);
+    if (!Target)
+      return false;
+    // A procedure whose address is taken can be reached indirectly; all
+    // indirect-call signatures are (int...)->int in MLang.
+    E.Ref = RefKind::Function;
+    E.TargetModule = Mod;
+    E.Ty = {TypeKind::FuncPtr, 0};
+    return true;
+  }
+  }
+  return false;
+}
+
+bool SemaModule::analyzeStmt(Function &F, Stmt &S) {
+  switch (S.K) {
+  case Stmt::Kind::Assign: {
+    if (!analyzeExpr(F, *S.Target) || !analyzeExpr(F, *S.Value))
+      return false;
+    if (!(S.Target->Ty == S.Value->Ty)) {
+      error(S.Loc, formatString("cannot assign %s to %s",
+                                S.Value->Ty.str().c_str(),
+                                S.Target->Ty.str().c_str()));
+      return false;
+    }
+    return true;
+  }
+  case Stmt::Kind::ExprStmt:
+    return analyzeExpr(F, *S.Value);
+  case Stmt::Kind::If:
+  case Stmt::Kind::While: {
+    if (!analyzeExpr(F, *S.Value))
+      return false;
+    if (!S.Value->Ty.isInt()) {
+      error(S.Loc, "condition must be int");
+      return false;
+    }
+    for (StmtPtr &Child : S.Body)
+      if (!analyzeStmt(F, *Child))
+        return false;
+    for (StmtPtr &Child : S.ElseBody)
+      if (!analyzeStmt(F, *Child))
+        return false;
+    return true;
+  }
+  case Stmt::Kind::Return: {
+    if (S.Value) {
+      if (!analyzeExpr(F, *S.Value))
+        return false;
+      if (!(S.Value->Ty == F.ReturnType)) {
+        error(S.Loc, formatString("return type mismatch: %s, expected %s",
+                                  S.Value->Ty.str().c_str(),
+                                  F.ReturnType.str().c_str()));
+        return false;
+      }
+    } else if (F.ReturnType.Kind != TypeKind::Void) {
+      error(S.Loc, "non-void function must return a value");
+      return false;
+    }
+    return true;
+  }
+  case Stmt::Kind::Block:
+    for (StmtPtr &Child : S.Body)
+      if (!analyzeStmt(F, *Child))
+        return false;
+    return true;
+  }
+  return false;
+}
+
+bool SemaModule::analyzeFunction(Function &F) {
+  // Reject duplicate parameter/local names.
+  for (size_t I = 0; I < F.Params.size(); ++I)
+    for (size_t J = I + 1; J < F.Params.size(); ++J)
+      if (F.Params[I].Name == F.Params[J].Name) {
+        error(F.Loc, formatString("duplicate parameter '%s'",
+                                  F.Params[I].Name.c_str()));
+        return false;
+      }
+  for (size_t I = 0; I < F.Locals.size(); ++I) {
+    for (size_t J = I + 1; J < F.Locals.size(); ++J)
+      if (F.Locals[I].Name == F.Locals[J].Name) {
+        error(F.Loc, formatString("duplicate local '%s'",
+                                  F.Locals[I].Name.c_str()));
+        return false;
+      }
+    for (const LocalVar &Param : F.Params)
+      if (Param.Name == F.Locals[I].Name) {
+        error(F.Loc, formatString("local '%s' shadows a parameter",
+                                  F.Locals[I].Name.c_str()));
+        return false;
+      }
+  }
+  if (F.Params.size() > 6) {
+    error(F.Loc, "functions support at most 6 parameters");
+    return false;
+  }
+  bool Ok = true;
+  for (StmtPtr &S : F.Body)
+    Ok = analyzeStmt(F, *S) && Ok;
+  return Ok;
+}
+
+bool SemaModule::run() {
+  // Duplicate top-level names within the module.
+  for (size_t I = 0; I < M.Globals.size(); ++I)
+    for (size_t J = I + 1; J < M.Globals.size(); ++J)
+      if (M.Globals[I].Name == M.Globals[J].Name) {
+        error(M.Globals[J].Loc, formatString("duplicate global '%s'",
+                                             M.Globals[J].Name.c_str()));
+        return false;
+      }
+  for (size_t I = 0; I < M.Functions.size(); ++I)
+    for (size_t J = I + 1; J < M.Functions.size(); ++J)
+      if (M.Functions[I].Name == M.Functions[J].Name) {
+        error(M.Functions[J].Loc, formatString("duplicate function '%s'",
+                                               M.Functions[J].Name.c_str()));
+        return false;
+      }
+  for (const GlobalVar &G : M.Globals)
+    for (const Function &F : M.Functions)
+      if (G.Name == F.Name) {
+        error(G.Loc, formatString("'%s' declared as both variable and "
+                                  "function",
+                                  G.Name.c_str()));
+        return false;
+      }
+
+  for (const std::string &Import : M.Imports)
+    if (!P.findModule(Import)) {
+      Diags.error(M.Name, SourceLoc{1, 1},
+                  formatString("imported module '%s' not found",
+                               Import.c_str()));
+      return false;
+    }
+
+  bool Ok = true;
+  for (Function &F : M.Functions)
+    Ok = analyzeFunction(F) && Ok;
+  return Ok;
+}
+
+bool om64::lang::analyzeProgram(Program &P, DiagnosticEngine &Diags) {
+  // Duplicate module names break the flat "module.name" symbol space.
+  for (size_t I = 0; I < P.Modules.size(); ++I)
+    for (size_t J = I + 1; J < P.Modules.size(); ++J)
+      if (P.Modules[I].Name == P.Modules[J].Name) {
+        Diags.error(P.Modules[J].Name, SourceLoc{1, 1},
+                    "duplicate module name in program");
+        return false;
+      }
+  bool Ok = true;
+  for (Module &M : P.Modules)
+    Ok = SemaModule(P, M, Diags).run() && Ok;
+  return Ok;
+}
+
+bool om64::lang::checkEntryPoint(const Program &P, DiagnosticEngine &Diags,
+                                 bool RequireMain) {
+  const Function *Main = nullptr;
+  const Module *MainModule = nullptr;
+  for (const Module &M : P.Modules)
+    if (const Function *F = M.findFunction("main")) {
+      if (Main) {
+        Diags.error(M.Name, F->Loc, "multiple definitions of 'main'");
+        return false;
+      }
+      Main = F;
+      MainModule = &M;
+    }
+  if (!Main)
+    return !RequireMain ||
+           (Diags.error("<program>", SourceLoc{1, 1},
+                        "no 'main' function in program"),
+            false);
+  if (!Main->Exported || !Main->Params.empty() ||
+      Main->ReturnType.Kind != TypeKind::Int) {
+    Diags.error(MainModule->Name, Main->Loc,
+                "'main' must be exported, take no parameters, and return int");
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,38 @@
+//===- lang/Sema.h - MLang semantic analysis -------------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name resolution and type checking over a whole Program. Sema annotates
+/// the AST in place (Expr::Ty, Expr::Ref, Expr::TargetModule, ...) with the
+/// facts code generation consumes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_LANG_SEMA_H
+#define OM64_LANG_SEMA_H
+
+#include "lang/AST.h"
+
+namespace om64 {
+namespace lang {
+
+/// Resolves and type-checks every module of \p P. Returns false (with
+/// diagnostics in \p Diags) on any error. Must be run before codegen.
+bool analyzeProgram(Program &P, DiagnosticEngine &Diags);
+
+/// Checks the per-program entry requirements: an exported, parameterless,
+/// int-returning function "main" exists in exactly one module of \p P.
+/// Library-only builds (no main) pass \p RequireMain = false.
+bool checkEntryPoint(const Program &P, DiagnosticEngine &Diags,
+                     bool RequireMain = true);
+
+/// Returns the builtin binding of \p Name, or Builtin::None.
+Builtin lookupBuiltin(const std::string &Name);
+
+} // namespace lang
+} // namespace om64
+
+#endif // OM64_LANG_SEMA_H

@@ -1,0 +1,47 @@
+//===- linker/Linker.h - Traditional (non-optimizing) linker ---------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline linker the paper compares OM against: resolves symbols,
+/// merges the per-module GATs as literal pools ("removing duplicate
+/// addresses and merging the individual GATs into a single large GAT if
+/// possible", section 2), lays out text/data in module order, assigns GP
+/// values (splitting into multiple GP groups when a merged GAT would
+/// exceed the 16-bit displacement reach), and applies relocations. It
+/// performs no code modification whatsoever.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_LINKER_LINKER_H
+#define OM64_LINKER_LINKER_H
+
+#include "objfile/Image.h"
+#include "objfile/ObjectFile.h"
+#include "support/Result.h"
+
+#include <vector>
+
+namespace om64 {
+namespace lnk {
+
+/// Linking options.
+struct LinkOptions {
+  /// Maximum number of 8-byte entries in one GAT group (the 16-bit
+  /// GP displacement reaches 64 KiB; half below GP, half above). Tests
+  /// lower this to exercise multi-GAT splitting.
+  unsigned MaxGatEntriesPerGroup = 4096;
+  /// Name of the entry procedure.
+  std::string EntryName = "main";
+};
+
+/// Links the objects into an executable image.
+Result<obj::Image> link(const std::vector<obj::ObjectFile> &Objects,
+                        const LinkOptions &Opts = LinkOptions());
+
+} // namespace lnk
+} // namespace om64
+
+#endif // OM64_LINKER_LINKER_H

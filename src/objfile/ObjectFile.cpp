@@ -1,0 +1,222 @@
+//===- objfile/ObjectFile.cpp ----------------------------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "objfile/ObjectFile.h"
+
+#include "support/ByteStream.h"
+#include "support/Format.h"
+
+#include <set>
+
+using namespace om64;
+using namespace om64::obj;
+
+static constexpr uint32_t ObjectMagic = 0x4F584141; // "AAXO"
+static constexpr uint32_t ObjectVersion = 1;
+
+const char *om64::obj::sectionName(SectionKind K) {
+  switch (K) {
+  case SectionKind::Text: return ".text";
+  case SectionKind::Lita: return ".lita";
+  case SectionKind::Data: return ".data";
+  case SectionKind::Bss:  return ".bss";
+  }
+  return "?";
+}
+
+const char *om64::obj::relocKindName(RelocKind K) {
+  switch (K) {
+  case RelocKind::Literal:    return "LITERAL";
+  case RelocKind::LituseBase: return "LITUSE_BASE";
+  case RelocKind::LituseJsr:  return "LITUSE_JSR";
+  case RelocKind::LituseAddr: return "LITUSE_ADDR";
+  case RelocKind::LituseDeref:return "LITUSE_DEREF";
+  case RelocKind::GpDisp:     return "GPDISP";
+  case RelocKind::RefQuad:    return "REFQUAD";
+  }
+  return "?";
+}
+
+uint32_t ObjectFile::findSymbol(const std::string &Name) const {
+  for (uint32_t Idx = 0; Idx < Symbols.size(); ++Idx)
+    if (Symbols[Idx].Name == Name)
+      return Idx;
+  return ~0u;
+}
+
+std::vector<uint8_t> ObjectFile::serialize() const {
+  ByteWriter W;
+  W.writeU32(ObjectMagic);
+  W.writeU32(ObjectVersion);
+  W.writeString(ModuleName);
+  W.writeBlob(Text);
+  W.writeBlob(Data);
+  W.writeU64(BssSize);
+
+  W.writeU32(static_cast<uint32_t>(Gat.size()));
+  for (const GatEntry &E : Gat) {
+    W.writeU32(E.SymbolIndex);
+    W.writeI64(E.Addend);
+  }
+
+  W.writeU32(static_cast<uint32_t>(Symbols.size()));
+  for (const Symbol &S : Symbols) {
+    W.writeString(S.Name);
+    W.writeU8(static_cast<uint8_t>(S.Section));
+    W.writeU64(S.Offset);
+    W.writeU64(S.Size);
+    W.writeU8(S.IsProcedure);
+    W.writeU8(S.IsExported);
+    W.writeU8(S.IsDefined);
+  }
+
+  W.writeU32(static_cast<uint32_t>(Relocs.size()));
+  for (const Reloc &R : Relocs) {
+    W.writeU8(static_cast<uint8_t>(R.Kind));
+    W.writeU8(static_cast<uint8_t>(R.Section));
+    W.writeU64(R.Offset);
+    W.writeU32(R.GatIndex);
+    W.writeU32(R.LiteralId);
+    W.writeU32(R.SymbolIndex);
+    W.writeI64(R.Addend);
+    W.writeU64(R.AnchorOffset);
+    W.writeU64(R.PairOffset);
+    W.writeU8(R.GpKind);
+  }
+
+  W.writeU32(static_cast<uint32_t>(Procs.size()));
+  for (const ProcDesc &P : Procs) {
+    W.writeU32(P.SymbolIndex);
+    W.writeU64(P.TextOffset);
+    W.writeU64(P.TextSize);
+    W.writeU8(P.UsesGp);
+  }
+  return W.take();
+}
+
+Result<ObjectFile> ObjectFile::deserialize(const std::vector<uint8_t> &Bytes) {
+  ByteReader R(Bytes);
+  if (R.readU32() != ObjectMagic)
+    return Result<ObjectFile>::failure("bad object magic");
+  if (R.readU32() != ObjectVersion)
+    return Result<ObjectFile>::failure("unsupported object version");
+
+  ObjectFile O;
+  O.ModuleName = R.readString();
+  O.Text = R.readBlob();
+  O.Data = R.readBlob();
+  O.BssSize = R.readU64();
+
+  uint32_t NumGat = R.readU32();
+  for (uint32_t Idx = 0; Idx < NumGat && !R.hadError(); ++Idx) {
+    GatEntry E;
+    E.SymbolIndex = R.readU32();
+    E.Addend = R.readI64();
+    O.Gat.push_back(E);
+  }
+
+  uint32_t NumSyms = R.readU32();
+  for (uint32_t Idx = 0; Idx < NumSyms && !R.hadError(); ++Idx) {
+    Symbol S;
+    S.Name = R.readString();
+    S.Section = static_cast<SectionKind>(R.readU8());
+    S.Offset = R.readU64();
+    S.Size = R.readU64();
+    S.IsProcedure = R.readU8();
+    S.IsExported = R.readU8();
+    S.IsDefined = R.readU8();
+    O.Symbols.push_back(std::move(S));
+  }
+
+  uint32_t NumRelocs = R.readU32();
+  for (uint32_t Idx = 0; Idx < NumRelocs && !R.hadError(); ++Idx) {
+    Reloc Rel;
+    Rel.Kind = static_cast<RelocKind>(R.readU8());
+    Rel.Section = static_cast<SectionKind>(R.readU8());
+    Rel.Offset = R.readU64();
+    Rel.GatIndex = R.readU32();
+    Rel.LiteralId = R.readU32();
+    Rel.SymbolIndex = R.readU32();
+    Rel.Addend = R.readI64();
+    Rel.AnchorOffset = R.readU64();
+    Rel.PairOffset = R.readU64();
+    Rel.GpKind = R.readU8();
+    O.Relocs.push_back(Rel);
+  }
+
+  uint32_t NumProcs = R.readU32();
+  for (uint32_t Idx = 0; Idx < NumProcs && !R.hadError(); ++Idx) {
+    ProcDesc P;
+    P.SymbolIndex = R.readU32();
+    P.TextOffset = R.readU64();
+    P.TextSize = R.readU64();
+    P.UsesGp = R.readU8();
+    O.Procs.push_back(P);
+  }
+
+  if (R.hadError())
+    return Result<ObjectFile>::failure("truncated object file");
+  if (Error E = O.verify())
+    return Result<ObjectFile>::failure(E.message());
+  return O;
+}
+
+Error ObjectFile::verify() const {
+  if (Text.size() % 4 != 0)
+    return Error::failure(ModuleName + ": .text size not a multiple of 4");
+
+  for (const GatEntry &E : Gat)
+    if (E.SymbolIndex >= Symbols.size())
+      return Error::failure(ModuleName + ": GAT entry references symbol " +
+                            formatString("%u", E.SymbolIndex) +
+                            " out of range");
+
+  std::set<uint32_t> LiteralIds;
+  for (const Reloc &R : Relocs) {
+    uint64_t SectionSize = R.Section == SectionKind::Text ? Text.size()
+                           : R.Section == SectionKind::Data ? Data.size()
+                                                            : 0;
+    if (R.Offset >= SectionSize && R.Kind != RelocKind::RefQuad)
+      return Error::failure(
+          formatString("%s: reloc %s at offset %llu is outside %s",
+                       ModuleName.c_str(), relocKindName(R.Kind),
+                       static_cast<unsigned long long>(R.Offset),
+                       sectionName(R.Section)));
+    if (R.Kind == RelocKind::Literal) {
+      if (R.GatIndex >= Gat.size())
+        return Error::failure(ModuleName + ": literal reloc GAT index " +
+                              formatString("%u", R.GatIndex) +
+                              " out of range");
+      LiteralIds.insert(R.LiteralId);
+    }
+    if (R.Kind == RelocKind::RefQuad && R.SymbolIndex >= Symbols.size())
+      return Error::failure(ModuleName + ": refquad symbol out of range");
+  }
+  for (const Reloc &R : Relocs)
+    if ((R.Kind == RelocKind::LituseBase ||
+         R.Kind == RelocKind::LituseJsr ||
+         R.Kind == RelocKind::LituseAddr ||
+         R.Kind == RelocKind::LituseDeref) &&
+        !LiteralIds.count(R.LiteralId))
+      return Error::failure(
+          formatString("%s: %s at offset %llu has no matching literal id %u",
+                       ModuleName.c_str(), relocKindName(R.Kind),
+                       static_cast<unsigned long long>(R.Offset),
+                       R.LiteralId));
+
+  for (const ProcDesc &P : Procs) {
+    if (P.SymbolIndex >= Symbols.size())
+      return Error::failure(ModuleName + ": proc desc symbol out of range");
+    if (P.TextOffset + P.TextSize > Text.size())
+      return Error::failure(ModuleName + ": proc " +
+                            Symbols[P.SymbolIndex].Name +
+                            " extends past .text");
+    if (P.TextOffset % 4 != 0 || P.TextSize % 4 != 0)
+      return Error::failure(ModuleName + ": proc " +
+                            Symbols[P.SymbolIndex].Name + " misaligned");
+  }
+  return Error::success();
+}

@@ -1,0 +1,157 @@
+//===- objfile/ObjectFile.h - AAX relocatable object format ---------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The relocatable object format produced by the MLang compiler and consumed
+/// by both the traditional linker and OM. It deliberately models the loader
+/// hints the paper says make link-time analysis tractable (section 3):
+///
+///   * GAT references are marked for relocation (RelocKind::Literal),
+///   * every instruction that *uses* an address loaded from the GAT carries
+///     a link back to the loading instruction (RelocKind::LituseBase /
+///     LituseJsr, tied together by LiteralId),
+///   * the LDAH/LDA pairs that establish GP are marked (RelocKind::GpDisp),
+///   * procedure boundaries and each procedure's GP association are recorded
+///     in procedure descriptors.
+///
+/// Each module carries its own global address table as a literal pool
+/// (vector of GatEntry); the linker merges the pools, removing duplicates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_OBJFILE_OBJECTFILE_H
+#define OM64_OBJFILE_OBJECTFILE_H
+
+#include "support/Result.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace om64 {
+namespace obj {
+
+/// Sections of an object module. The compiler emits all data into Data/Bss;
+/// segregating small data near the GAT is a *link-time* policy (section 3:
+/// OM sorts common symbols by size and places them near the GAT).
+enum class SectionKind : uint8_t { Text, Lita, Data, Bss };
+
+/// Returns ".text", ".lita", ".data" or ".bss".
+const char *sectionName(SectionKind K);
+
+/// A defined or referenced symbol. Names are flat, of the form
+/// "module.entity"; local (unexported) symbols do not participate in
+/// cross-module resolution.
+struct Symbol {
+  std::string Name;
+  SectionKind Section = SectionKind::Data;
+  uint64_t Offset = 0;  // within this module's contribution to Section
+  uint64_t Size = 0;    // bytes of data, or code bytes for procedures
+  bool IsProcedure = false;
+  bool IsExported = false; // visible to other modules (and callable late)
+  bool IsDefined = false;  // false: external reference to another module
+};
+
+/// One slot of a module's global address table: the 64-bit address of
+/// Symbol + Addend, loaded by address loads at run time.
+struct GatEntry {
+  uint32_t SymbolIndex = 0;
+  int64_t Addend = 0;
+
+  bool operator==(const GatEntry &O) const = default;
+};
+
+/// Relocation kinds. See file comment for their roles.
+enum class RelocKind : uint8_t {
+  /// The 16-bit displacement of an address load "ldq rx, D(gp)". The linker
+  /// sets D so the load reads this module's GAT slot GatIndex. LiteralId
+  /// names this literal so Lituse records can refer back to it.
+  Literal,
+  /// An instruction using the register loaded by literal LiteralId as a
+  /// memory base register (load/store through the address).
+  LituseBase,
+  /// A JSR whose target register was loaded by literal LiteralId.
+  LituseJsr,
+  /// An address computation (scaled add) whose second operand is the
+  /// register loaded by literal LiteralId; paired with a LituseDeref on
+  /// the memory operation that consumes the derived pointer. Together
+  /// these let the linker retarget array accesses to GP-relative form.
+  LituseAddr,
+  /// The memory operation dereferencing the pointer derived by this
+  /// literal's LituseAddr instruction.
+  LituseDeref,
+  /// An LDAH at Offset paired with an LDA at Offset+PairOffset computing
+  /// GP = anchorAddress + disp32, where the anchor is the text address at
+  /// AnchorOffset (the procedure entry for prologues, the return point for
+  /// post-call resets; in both conventions the register holding the anchor
+  /// is PV or RA respectively).
+  GpDisp,
+  /// A 64-bit data word holding the address of SymbolIndex + Addend.
+  RefQuad,
+};
+
+/// Returns a short name like "LITERAL".
+const char *relocKindName(RelocKind K);
+
+/// One relocation record.
+struct Reloc {
+  RelocKind Kind = RelocKind::Literal;
+  SectionKind Section = SectionKind::Text; // section holding patched bytes
+  uint64_t Offset = 0;                     // byte offset within Section
+  uint32_t GatIndex = 0;                   // Literal: which GAT slot
+  uint32_t LiteralId = 0;                  // Literal/Lituse*: linkage id
+  uint32_t SymbolIndex = 0;                // RefQuad target
+  int64_t Addend = 0;                      // RefQuad addend
+  uint64_t AnchorOffset = 0;               // GpDisp anchor (text offset)
+  uint64_t PairOffset = 0;                 // GpDisp: LDA offset - LDAH offset
+  uint8_t GpKind = 0;                      // GpDisp: GpDispKind value
+};
+
+/// Kind of a GpDisp site, recorded for OM's analyses and the figures.
+enum class GpDispKind : uint8_t {
+  Prologue, // procedure entry: GP computed from PV
+  PostCall, // after a JSR returns: GP recomputed from RA
+};
+
+/// Procedure descriptor: boundaries and GP bookkeeping, as provided by the
+/// Alpha/OSF loader format ("the loader format identifies procedure
+/// boundaries and specifies the correct value of GP for each procedure").
+struct ProcDesc {
+  uint32_t SymbolIndex = 0;
+  uint64_t TextOffset = 0;
+  uint64_t TextSize = 0;
+  bool UsesGp = true;
+};
+
+/// A relocatable object module.
+struct ObjectFile {
+  std::string ModuleName;
+  std::vector<uint8_t> Text;
+  std::vector<uint8_t> Data;
+  uint64_t BssSize = 0;
+  std::vector<GatEntry> Gat;
+  std::vector<Symbol> Symbols;
+  std::vector<Reloc> Relocs;
+  std::vector<ProcDesc> Procs;
+
+  /// Looks up a symbol index by name; returns ~0u if absent.
+  uint32_t findSymbol(const std::string &Name) const;
+
+  /// Serializes to the on-disk representation (magic "AAXO").
+  std::vector<uint8_t> serialize() const;
+
+  /// Parses the on-disk representation.
+  static Result<ObjectFile> deserialize(const std::vector<uint8_t> &Bytes);
+
+  /// Internal consistency checks (offsets in range, literal links resolve,
+  /// GAT indices valid). Returns a failure describing the first problem.
+  Error verify() const;
+};
+
+} // namespace obj
+} // namespace om64
+
+#endif // OM64_OBJFILE_OBJECTFILE_H

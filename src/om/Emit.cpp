@@ -1,0 +1,742 @@
+//===- om/Emit.cpp - Address-load optimization, layout, image emission ----===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The layout-dependent half of OM:
+///
+///   * sorts data symbols by size next to the GAT and picks GP values,
+///   * converts address loads to GP-relative LDA/LDAH or nullifies them by
+///     folding the displacement into their uses (section 3, first
+///     improvement),
+///   * for OM-full, reduces the GAT to a fixpoint ("GAT-reduction ... means
+///     that the GAT gets smaller, perhaps enabling a fresh round of the
+///     other improvements"), deletes nullified code, optionally reschedules
+///     basic blocks and quadword-aligns backward-branch targets,
+///   * regenerates executable code from the symbolic form.
+///
+//===----------------------------------------------------------------------===//
+
+#include "om/OmImpl.h"
+
+#include "sched/ListScheduler.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <numeric>
+#include <set>
+
+using namespace om64;
+using namespace om64::om;
+using namespace om64::isa;
+using namespace om64::obj;
+
+namespace {
+
+/// One layout round's results.
+struct DataLayout {
+  std::vector<uint64_t> GroupBase; // address of each group's GAT
+  std::vector<uint64_t> GpValue;
+  // (group, symId) -> slot index within that group's GAT.
+  std::map<std::pair<uint32_t, uint32_t>, uint32_t> Slot;
+  std::vector<std::vector<uint32_t>> GroupSyms; // slot -> symId
+  uint64_t DataBytes = 0; // initialized-data extent past the GATs
+  uint64_t BssBytes = 0;
+  uint64_t GatBytes = 0;
+};
+
+class Emitter {
+public:
+  Emitter(SymbolicProgram &SP, const OmOptions &Opts, OmStats &Stats)
+      : SP(SP), Opts(Opts), Stats(Stats) {}
+
+  Result<Image> run();
+
+private:
+  /// True when this address-load's literal must stay in the GAT because it
+  /// feeds a call (PV must hold the exact procedure address).
+  bool isCallLiteral(const LitInfo &L) const { return L.JsrIdx >= 0; }
+
+  /// Builds GAT contents and data addresses for the current decision
+  /// state. When \p IncludeAllLiterals, every address load contributes its
+  /// entry regardless of decisions (OM-simple / baseline behaviour).
+  DataLayout layoutData(bool IncludeAllLiterals) const;
+
+  /// One decision round; returns true if any load's fate changed.
+  bool decideAddressLoads(const DataLayout &DL, bool Commit);
+
+  /// Applies the recorded decisions' displacement rewrites against \p DL.
+  void applyRewrites(const DataLayout &DL);
+
+  void deleteNullified();
+  void reschedule();
+  void instrumentProcedureCounts();
+  Result<Image> assemble(const DataLayout &DL);
+  void finalizeStats(const DataLayout &DL);
+
+  SymbolicProgram &SP;
+  const OmOptions &Opts;
+  OmStats &Stats;
+
+public:
+  /// Labels of the inserted profile counters, in counter-index order.
+  std::vector<std::string> ProfiledSites;
+
+private:
+
+  // Per-proc layout of the final text.
+  std::vector<uint64_t> ProcBase;
+  std::vector<std::vector<uint32_t>> InstOffset; // per proc, per inst
+  uint64_t TextBytes = 0;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Data and GAT layout.
+//===----------------------------------------------------------------------===//
+
+DataLayout Emitter::layoutData(bool IncludeAllLiterals) const {
+  DataLayout DL;
+  uint32_t NumGroups = SP.NumGroups;
+  DL.GroupSyms.resize(NumGroups);
+
+  // GAT contents: entries still loaded from memory.
+  for (const SymProc &Proc : SP.Procs) {
+    for (const SymInst &SI : Proc.Insts) {
+      if (SI.Kind != SKind::AddressLoad)
+        continue;
+      if (!IncludeAllLiterals && (SI.Nullified || SI.Converted))
+        continue;
+      auto Key = std::make_pair(Proc.GpGroup, SI.TargetSym);
+      if (DL.Slot.count(Key))
+        continue;
+      DL.Slot[Key] =
+          static_cast<uint32_t>(DL.GroupSyms[Proc.GpGroup].size());
+      DL.GroupSyms[Proc.GpGroup].push_back(SI.TargetSym);
+    }
+  }
+
+  // GAT placement and GP values.
+  DL.GroupBase.resize(NumGroups);
+  DL.GpValue.resize(NumGroups);
+  uint64_t Cur = Layout::DataBase;
+  for (uint32_t G = 0; G < NumGroups; ++G) {
+    DL.GroupBase[G] = Cur;
+    DL.GpValue[G] = Cur + 32768;
+    Cur += DL.GroupSyms[G].size() * 8;
+    DL.GatBytes += DL.GroupSyms[G].size() * 8;
+  }
+
+  // Data symbols, optionally sorted by size ascending so that as many as
+  // possible land inside the GP window (section 3: "We sort the common
+  // symbols by size and place them with the small data sections near the
+  // GAT").
+  std::vector<uint32_t> Order;
+  for (uint32_t SymId = 0; SymId < SP.Syms.size(); ++SymId)
+    if (!SP.Syms[SymId].IsProc)
+      Order.push_back(SymId);
+  if (Opts.SortDataBySize)
+    std::stable_sort(Order.begin(), Order.end(),
+                     [&](uint32_t A, uint32_t B) {
+                       return SP.Syms[A].Size < SP.Syms[B].Size;
+                     });
+
+  uint64_t LastInitEnd = Cur;
+  for (uint32_t SymId : Order) {
+    PSym &S = const_cast<PSym &>(SP.Syms[SymId]);
+    S.Addr = Cur;
+    Cur += (S.Size + 7) & ~7ull;
+    if (!S.IsBss)
+      LastInitEnd = Cur;
+  }
+  DL.DataBytes = LastInitEnd - Layout::DataBase;
+  DL.BssBytes = Cur - LastInitEnd;
+  return DL;
+}
+
+//===----------------------------------------------------------------------===//
+// Address-load decisions.
+//===----------------------------------------------------------------------===//
+
+bool Emitter::decideAddressLoads(const DataLayout &DL, bool Commit) {
+  bool Changed = false;
+  for (auto &[LitId, L] : SP.Lits) {
+    (void)LitId;
+    if (L.Proc == ~0u)
+      continue;
+    SymProc &Proc = SP.Procs[L.Proc];
+    SymInst &Load = Proc.Insts[L.LoadIdx];
+    if (Load.Kind != SKind::AddressLoad || Load.Nullified || Load.Converted)
+      continue;
+    if (isCallLiteral(L))
+      continue; // PV must be the exact procedure address
+    const PSym &Target = SP.Syms[L.TargetSym];
+    if (Target.IsProc)
+      continue; // escaping procedure address: must stay exact
+    int64_t A = static_cast<int64_t>(Target.Addr);
+    int64_t G = static_cast<int64_t>(DL.GpValue[Proc.GpGroup]);
+
+    if (L.escapes()) {
+      // &variable: the loaded value must be exact, so only a
+      // one-instruction LDA can replace it.
+      if (fitsDisp16(A - G)) {
+        if (Commit)
+          Load.Converted = true;
+        Changed = true;
+      }
+      continue;
+    }
+
+    // Mixed direct and derived uses never come out of our compiler; be
+    // conservative if they somehow appear.
+    if (!L.MemUses.empty() && !L.DerefUses.empty())
+      continue;
+    // A derived-pointer chain needs its address computation rewritten as
+    // well; keep chains with unusual shapes.
+    if (!L.DerefUses.empty() && L.AddrUses.size() != 1)
+      continue;
+
+    // The displacement-carrying instructions: direct memory uses, or the
+    // dereferences at the end of an address-arithmetic chain.
+    const std::vector<uint32_t> &DispUses =
+        L.DerefUses.empty() ? L.MemUses : L.DerefUses;
+    if (DispUses.empty())
+      continue; // derived address never dereferenced: leave alone
+    bool AllNear = true;
+    bool HaveHigh = false;
+    int32_t SharedHigh = 0;
+    bool HighConsistent = true;
+    for (uint32_t UseIdx : DispUses) {
+      const SymInst &Use = Proc.Insts[UseIdx];
+      int64_t Du = A - G + Use.OrigDisp;
+      if (!fitsDisp16(Du))
+        AllNear = false;
+      int32_t High, Low;
+      splitDisp32(Du, High, Low);
+      if (!fitsDisp16(High))
+        HighConsistent = false;
+      else if (!HaveHigh) {
+        SharedHigh = High;
+        HaveHigh = true;
+      } else if (High != SharedHigh) {
+        HighConsistent = false;
+      }
+    }
+    if (AllNear) {
+      if (Commit)
+        Load.Nullified = true;
+      Changed = true;
+    } else if (HighConsistent && HaveHigh) {
+      if (Commit)
+        Load.Converted = true;
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+void Emitter::applyRewrites(const DataLayout &DL) {
+  for (auto &[LitId, L] : SP.Lits) {
+    (void)LitId;
+    if (L.Proc == ~0u)
+      continue;
+    SymProc &Proc = SP.Procs[L.Proc];
+    SymInst &Load = Proc.Insts[L.LoadIdx];
+    if (Load.Kind != SKind::AddressLoad)
+      continue;
+    const PSym &Target = SP.Syms[L.TargetSym];
+    int64_t A = static_cast<int64_t>(Target.Addr);
+    int64_t G = static_cast<int64_t>(DL.GpValue[Proc.GpGroup]);
+
+    const std::vector<uint32_t> &DispUses =
+        L.DerefUses.empty() ? L.MemUses : L.DerefUses;
+
+    if (Load.Converted) {
+      if (L.escapes()) {
+        assert(fitsDisp16(A - G) && "converted escaping load out of range");
+        Load.I = makeMem(Opcode::Lda, Load.I.Ra,
+                         static_cast<int32_t>(A - G), GP);
+      } else {
+        int32_t High = 0, Low = 0;
+        // All uses share the same high part; recompute from the first.
+        assert(!DispUses.empty() && "converted load without uses");
+        splitDisp32(A - G + Proc.Insts[DispUses[0]].OrigDisp, High, Low);
+        Load.I = makeMem(Opcode::Ldah, Load.I.Ra, High, GP);
+        for (uint32_t UseIdx : DispUses) {
+          SymInst &Use = Proc.Insts[UseIdx];
+          int32_t UHigh, ULow;
+          splitDisp32(A - G + Use.OrigDisp, UHigh, ULow);
+          assert(UHigh == High && "inconsistent high parts after layout");
+          Use.I.Disp = ULow;
+        }
+      }
+      continue;
+    }
+    if (Load.Nullified && !DispUses.empty()) {
+      // Folded into the uses: direct memory uses become GP-relative, and
+      // chained address computations add to GP instead of the (dead)
+      // loaded base.
+      for (uint32_t UseIdx : DispUses) {
+        SymInst &Use = Proc.Insts[UseIdx];
+        int64_t Du = A - G + Use.OrigDisp;
+        assert(fitsDisp16(Du) && "nullified load's use out of GP range");
+        if (L.DerefUses.empty())
+          Use.I.Rb = GP; // direct use: rebase onto GP
+        Use.I.Disp = static_cast<int32_t>(Du);
+      }
+      for (uint32_t AddrIdx : L.AddrUses)
+        Proc.Insts[AddrIdx].I.Rb = GP;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Deletion, rescheduling, alignment.
+//===----------------------------------------------------------------------===//
+
+void Emitter::deleteNullified() {
+  for (SymProc &Proc : SP.Procs) {
+    std::vector<uint32_t> OldToNew(Proc.Insts.size() + 1, 0);
+    std::vector<SymInst> Kept;
+    Kept.reserve(Proc.Insts.size());
+    for (size_t Idx = 0; Idx < Proc.Insts.size(); ++Idx) {
+      OldToNew[Idx] = static_cast<uint32_t>(Kept.size());
+      if (Proc.Insts[Idx].Nullified)
+        ++Stats.InstructionsDeleted;
+      else
+        Kept.push_back(Proc.Insts[Idx]);
+    }
+    OldToNew[Proc.Insts.size()] = static_cast<uint32_t>(Kept.size());
+    for (SymInst &SI : Kept)
+      if (SI.Kind == SKind::LocalBranch)
+        SI.TargetIdx = static_cast<int32_t>(OldToNew[SI.TargetIdx]);
+    Proc.Insts = std::move(Kept);
+  }
+  // Literal bookkeeping indices are stale after deletion; transforms and
+  // decisions are all complete by now, so drop the table to make any
+  // accidental later use loud.
+  SP.Lits.clear();
+}
+
+void Emitter::reschedule() {
+  for (SymProc &Proc : SP.Procs) {
+    std::vector<SymInst> &Insts = Proc.Insts;
+    if (Insts.empty())
+      continue;
+
+    // Region boundaries: branch targets and a pinned prologue pair.
+    std::vector<bool> IsBoundary(Insts.size(), false);
+    for (const SymInst &SI : Insts)
+      if (SI.Kind == SKind::LocalBranch &&
+          static_cast<size_t>(SI.TargetIdx) < Insts.size())
+        IsBoundary[SI.TargetIdx] = true;
+    size_t Start = Proc.postPrologueIndex();
+
+    std::vector<SymInst> NewInsts(Insts.begin(),
+                                  Insts.begin() +
+                                      static_cast<ptrdiff_t>(Start));
+    size_t RegionStart = Start;
+    auto flush = [&](size_t End) {
+      if (End == RegionStart)
+        return;
+      std::vector<Inst> Region;
+      Region.reserve(End - RegionStart);
+      for (size_t I = RegionStart; I < End; ++I)
+        Region.push_back(Insts[I].I);
+      for (size_t Local : sched::scheduleRegion(Region))
+        NewInsts.push_back(Insts[RegionStart + Local]);
+      RegionStart = End;
+    };
+    for (size_t Idx = Start; Idx < Insts.size(); ++Idx) {
+      if (IsBoundary[Idx] && Idx != RegionStart)
+        flush(Idx);
+      if (sched::isSchedulingBarrier(Insts[Idx].I)) {
+        flush(Idx);
+        NewInsts.push_back(Insts[Idx]);
+        RegionStart = Idx + 1;
+      }
+    }
+    flush(Insts.size());
+    assert(NewInsts.size() == Insts.size() && "rescheduling lost code");
+    Insts = std::move(NewInsts);
+  }
+}
+
+void Emitter::instrumentProcedureCounts() {
+  // ATOM-style counters (section 6). Entry counters go after each
+  // procedure's GP prologue, where both fall-through entry and
+  // prologue-skipping BSRs pass. With block counting on, every branch
+  // target (the heads of the recovered control structure) gets one too.
+  // Insertions proceed from the highest position downward; branch targets
+  // at or past an insertion point shift by one, so loop back-edges land
+  // on their counter while straight-line fall-through passes it exactly
+  // when the block executes.
+  uint32_t NextCounter = 0;
+  for (uint32_t ProcIdx = 0; ProcIdx < SP.Procs.size(); ++ProcIdx) {
+    SymProc &Proc = SP.Procs[ProcIdx];
+
+    std::set<uint32_t> Points;
+    Points.insert(Proc.postPrologueIndex());
+    if (Opts.InstrumentBlockCounts)
+      for (const SymInst &SI : Proc.Insts)
+        if (SI.Kind == SKind::LocalBranch)
+          Points.insert(static_cast<uint32_t>(SI.TargetIdx));
+
+    // Assign counter ids in ascending source order for readable labels,
+    // but insert in descending order so earlier points stay valid.
+    std::vector<uint32_t> Ascending(Points.begin(), Points.end());
+    std::map<uint32_t, uint32_t> CounterAt;
+    for (uint32_t At : Ascending) {
+      CounterAt[At] = NextCounter++;
+      ProfiledSites.push_back(
+          At == Proc.postPrologueIndex()
+              ? Proc.Name
+              : Proc.Name + "+" + std::to_string(At));
+    }
+    // Branch-target adjustment differs by mode: block counters must be
+    // executed by branches into their block (a target equal to the
+    // insertion point keeps pointing at the counter, so back-edges count
+    // every iteration); pure entry counters must not re-count on loops
+    // to the entry position (such targets skip past the counter).
+    bool BlockMode = Opts.InstrumentBlockCounts;
+    for (size_t Rev = Ascending.size(); Rev-- > 0;) {
+      uint32_t At = Ascending[Rev];
+      for (SymInst &SI : Proc.Insts)
+        if (SI.Kind == SKind::LocalBranch &&
+            (BlockMode ? SI.TargetIdx > static_cast<int32_t>(At)
+                       : SI.TargetIdx >= static_cast<int32_t>(At)))
+          ++SI.TargetIdx;
+      SymInst Counter;
+      Counter.I = makePalCount(CounterAt[At]);
+      Proc.Insts.insert(Proc.Insts.begin() + At, Counter);
+      ++Stats.InstrumentationInserted;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Final assembly.
+//===----------------------------------------------------------------------===//
+
+Result<Image> Emitter::assemble(const DataLayout &DL) {
+  bool Align = Opts.Level == OmLevel::Full && Opts.AlignLoopTargets;
+
+  // Per-procedure offsets, inserting alignment nops before targets of
+  // backward branches ("quadword-aligning instructions that are the
+  // targets of backward branches", section 4).
+  ProcBase.resize(SP.Procs.size());
+  InstOffset.resize(SP.Procs.size());
+  uint64_t Cur = 0;
+  for (uint32_t ProcIdx = 0; ProcIdx < SP.Procs.size(); ++ProcIdx) {
+    SymProc &Proc = SP.Procs[ProcIdx];
+    Cur = (Cur + 15) & ~15ull;
+    ProcBase[ProcIdx] = Cur;
+
+    std::vector<bool> BackTarget(Proc.Insts.size(), false);
+    if (Align)
+      for (size_t Idx = 0; Idx < Proc.Insts.size(); ++Idx) {
+        const SymInst &SI = Proc.Insts[Idx];
+        if (SI.Kind == SKind::LocalBranch &&
+            SI.TargetIdx <= static_cast<int32_t>(Idx))
+          BackTarget[SI.TargetIdx] = true;
+      }
+
+    InstOffset[ProcIdx].resize(Proc.Insts.size());
+    uint64_t Off = Cur;
+    for (size_t Idx = 0; Idx < Proc.Insts.size(); ++Idx) {
+      if (Align && BackTarget[Idx] && Off % 8 != 0) {
+        Off += 4; // an alignment nop will be placed here
+        ++Stats.NopsInserted;
+      }
+      InstOffset[ProcIdx][Idx] = static_cast<uint32_t>(Off - Cur);
+      Off += 4;
+    }
+    Cur = Off;
+  }
+  TextBytes = Cur;
+
+  // Procedure symbol addresses.
+  for (uint32_t ProcIdx = 0; ProcIdx < SP.Procs.size(); ++ProcIdx)
+    SP.Syms[SP.Procs[ProcIdx].SymId].Addr =
+        Layout::TextBase + ProcBase[ProcIdx];
+
+  Image Img;
+  Img.TextBase = Layout::TextBase;
+  Img.DataBase = Layout::DataBase;
+  Img.GatBase = Layout::DataBase;
+  Img.GatSize = DL.GatBytes;
+  Img.BssSize = DL.BssBytes;
+
+  uint32_t NopWord = encode(Inst::nop());
+  Img.Text.assign(TextBytes, 0);
+  for (size_t Off = 0; Off + 4 <= Img.Text.size(); Off += 4)
+    for (unsigned Byte = 0; Byte < 4; ++Byte)
+      Img.Text[Off + Byte] = static_cast<uint8_t>(NopWord >> (8 * Byte));
+
+  for (uint32_t ProcIdx = 0; ProcIdx < SP.Procs.size(); ++ProcIdx) {
+    SymProc &Proc = SP.Procs[ProcIdx];
+    int64_t G = static_cast<int64_t>(DL.GpValue[Proc.GpGroup]);
+    uint64_t LastCallEnd = 0; // text offset just after the last call
+
+    for (size_t Idx = 0; Idx < Proc.Insts.size(); ++Idx) {
+      SymInst &SI = Proc.Insts[Idx];
+      uint64_t Off = ProcBase[ProcIdx] + InstOffset[ProcIdx][Idx];
+      Inst Out = SI.I;
+
+      if (SI.Nullified) {
+        Out = Inst::nop();
+      } else {
+        switch (SI.Kind) {
+        case SKind::AddressLoad:
+          if (!SI.Converted) {
+            auto It = DL.Slot.find({Proc.GpGroup, SI.TargetSym});
+            if (It == DL.Slot.end())
+              return Result<Image>::failure(
+                  "internal: live address load without a GAT slot for " +
+                  SP.Syms[SI.TargetSym].Name);
+            int64_t SlotAddr = static_cast<int64_t>(
+                DL.GroupBase[Proc.GpGroup] + It->second * 8ull);
+            assert(fitsDisp16(SlotAddr - G) && "GAT slot out of reach");
+            Out.Disp = static_cast<int32_t>(SlotAddr - G);
+          }
+          break;
+        case SKind::GpHigh:
+        case SKind::GpLow: {
+          uint64_t Anchor = SI.GpKind == GpDispKind::Prologue
+                                ? ProcBase[ProcIdx]
+                                : LastCallEnd;
+          int64_t Value =
+              G - static_cast<int64_t>(Layout::TextBase + Anchor);
+          if (!fitsDisp32(Value))
+            return Result<Image>::failure(Proc.Name +
+                                          ": GP displacement exceeds "
+                                          "32 bits");
+          int32_t High, Low;
+          splitDisp32(Value, High, Low);
+          Out.Disp = SI.Kind == SKind::GpHigh ? High : Low;
+          break;
+        }
+        case SKind::LocalBranch: {
+          uint64_t TargetOff =
+              ProcBase[ProcIdx] +
+              InstOffset[ProcIdx][static_cast<size_t>(SI.TargetIdx)];
+          int64_t Disp = (static_cast<int64_t>(TargetOff) -
+                          static_cast<int64_t>(Off) - 4) / 4;
+          if (!fitsBranchDisp(Disp))
+            return Result<Image>::failure(Proc.Name +
+                                          ": branch out of range");
+          Out.Disp = static_cast<int32_t>(Disp);
+          break;
+        }
+        case SKind::DirectCall: {
+          const SymProc &Callee = SP.Procs[SI.TargetProc];
+          uint64_t Target = ProcBase[SI.TargetProc];
+          if (SI.SkipPrologue) {
+            uint32_t Post = Callee.postPrologueIndex();
+            Target = ProcBase[SI.TargetProc] +
+                     (Post < Callee.Insts.size()
+                          ? InstOffset[SI.TargetProc][Post]
+                          : Callee.Insts.size() * 4);
+          }
+          int64_t Disp = (static_cast<int64_t>(Target) -
+                          static_cast<int64_t>(Off) - 4) / 4;
+          if (!fitsBranchDisp(Disp))
+            return Result<Image>::failure(
+                Proc.Name + ": BSR out of range; JSR fallback required");
+          Out.Disp = static_cast<int32_t>(Disp);
+          break;
+        }
+        default:
+          break;
+        }
+      }
+
+      // GP-low instructions paired with a prologue high use the same
+      // anchor; track the end of calls for post-call anchors.
+      if (!SI.Nullified &&
+          (SI.Kind == SKind::DirectCall || SI.Kind == SKind::JsrViaGat ||
+           SI.Kind == SKind::JsrIndirect))
+        LastCallEnd = Off + 4;
+
+      uint32_t Word = encode(Out);
+      for (unsigned Byte = 0; Byte < 4; ++Byte)
+        Img.Text[Off + Byte] = static_cast<uint8_t>(Word >> (8 * Byte));
+    }
+  }
+
+  // Data: GAT groups then data symbols.
+  Img.Data.assign(DL.DataBytes, 0);
+  for (uint32_t Gr = 0; Gr < SP.NumGroups; ++Gr) {
+    uint64_t Base = DL.GroupBase[Gr] - Layout::DataBase;
+    for (size_t Slot = 0; Slot < DL.GroupSyms[Gr].size(); ++Slot) {
+      uint64_t Value = SP.Syms[DL.GroupSyms[Gr][Slot]].Addr;
+      for (unsigned Byte = 0; Byte < 8; ++Byte)
+        Img.Data[Base + Slot * 8 + Byte] =
+            static_cast<uint8_t>(Value >> (8 * Byte));
+    }
+  }
+  for (const PSym &S : SP.Syms) {
+    if (S.IsProc || S.IsBss || S.Init.empty())
+      continue;
+    uint64_t Off = S.Addr - Layout::DataBase;
+    if (Off + S.Init.size() <= Img.Data.size())
+      std::copy(S.Init.begin(), S.Init.end(),
+                Img.Data.begin() + static_cast<ptrdiff_t>(Off));
+  }
+
+  // Symbols and procedure table.
+  for (const PSym &S : SP.Syms) {
+    ImageSymbol IS;
+    IS.Name = S.Name;
+    IS.Addr = S.Addr;
+    IS.Size = S.IsProc ? SP.Procs[S.ProcIdx].Insts.size() * 4 : S.Size;
+    IS.IsProcedure = S.IsProc;
+    Img.Symbols.push_back(std::move(IS));
+  }
+  for (uint32_t ProcIdx = 0; ProcIdx < SP.Procs.size(); ++ProcIdx) {
+    const SymProc &Proc = SP.Procs[ProcIdx];
+    ImageProc IP;
+    IP.Name = Proc.Name;
+    IP.Entry = Layout::TextBase + ProcBase[ProcIdx];
+    IP.Size = Proc.Insts.size() * 4;
+    IP.GpGroup = Proc.GpGroup;
+    IP.GpValue = DL.GpValue[Proc.GpGroup];
+    Img.Procs.push_back(std::move(IP));
+    if (Proc.IsEntry) {
+      Img.Entry = IP.Entry;
+      Img.InitialGp = IP.GpValue;
+    }
+  }
+  return Img;
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics.
+//===----------------------------------------------------------------------===//
+
+void Emitter::finalizeStats(const DataLayout &DL) {
+  Stats.GatBytesAfter = DL.GatBytes;
+  Stats.GpGroups = SP.NumGroups;
+  Stats.TextBytesAfter = TextBytes;
+
+  for (const SymProc &Proc : SP.Procs) {
+    for (size_t Idx = 0; Idx < Proc.Insts.size(); ++Idx) {
+      const SymInst &SI = Proc.Insts[Idx];
+      if (SI.Nullified)
+        ++Stats.InstructionsNullified;
+      // GP-reset pairs correspond 1:1 to the calls that emitted them, so
+      // a surviving post-call pair means its call still needs resets.
+      if (SI.Kind == SKind::GpHigh && SI.GpKind == GpDispKind::PostCall &&
+          !SI.Nullified)
+        ++Stats.CallsNeedingGpReset;
+
+      bool IsCall = SI.Kind == SKind::JsrViaGat ||
+                    SI.Kind == SKind::JsrIndirect ||
+                    SI.Kind == SKind::DirectCall;
+      if (!IsCall)
+        continue;
+      ++Stats.CallsTotal;
+      bool NeedsPv = false;
+      switch (SI.Kind) {
+      case SKind::JsrViaGat:
+      case SKind::JsrIndirect:
+        NeedsPv = true;
+        break;
+      case SKind::DirectCall: {
+        // The callee reads PV if any live prologue GP-set remains in it,
+        // wherever compile-time scheduling may have left it.
+        const SymProc &Callee = SP.Procs[SI.TargetProc];
+        bool CalleeReadsPv = false;
+        for (const SymInst &CI : Callee.Insts)
+          if (CI.Kind == SKind::GpHigh &&
+              CI.GpKind == GpDispKind::Prologue && !CI.Nullified)
+            CalleeReadsPv = true;
+        NeedsPv = CalleeReadsPv && !SI.SkipPrologue;
+        break;
+      }
+      default:
+        break;
+      }
+      if (NeedsPv)
+        ++Stats.CallsNeedingPvLoad;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Driver.
+//===----------------------------------------------------------------------===//
+
+Result<Image> Emitter::run() {
+  Stats.GatBytesBefore = SP.OriginalGatEntries * 8;
+  for (const SymProc &Proc : SP.Procs) {
+    Stats.InstructionsTotal += Proc.Insts.size();
+    for (const SymInst &SI : Proc.Insts)
+      if (SI.Kind == SKind::AddressLoad)
+        ++Stats.AddressLoadsTotal;
+  }
+  Stats.TextBytesBefore = Stats.InstructionsTotal * 4;
+
+  bool Full = Opts.Level == OmLevel::Full;
+  bool DoOpt = Opts.Level != OmLevel::None;
+
+  DataLayout DL = layoutData(/*IncludeAllLiterals=*/!Full);
+  if (DoOpt) {
+    if (Full) {
+      // Fixpoint: decisions shrink the GAT, which moves data closer to
+      // GP, which enables more decisions.
+      for (unsigned Round = 0; Round < 8; ++Round) {
+        bool Changed = decideAddressLoads(DL, /*Commit=*/true);
+        DataLayout Next = layoutData(/*IncludeAllLiterals=*/false);
+        bool Same = Next.GatBytes == DL.GatBytes;
+        DL = std::move(Next);
+        if (!Changed && Same)
+          break;
+      }
+    } else {
+      decideAddressLoads(DL, /*Commit=*/true);
+    }
+    applyRewrites(DL);
+  }
+
+  // Address-load accounting must precede deletion (deleted loads vanish).
+  for (const SymProc &Proc : SP.Procs)
+    for (const SymInst &SI : Proc.Insts)
+      if (SI.Kind == SKind::AddressLoad) {
+        if (SI.Converted)
+          ++Stats.AddressLoadsConverted;
+        else if (SI.Nullified)
+          ++Stats.AddressLoadsNullified;
+      }
+
+  // Deletion and code motion happen only at full level; counts feed the
+  // statistics either way.
+  if (Full) {
+    deleteNullified();
+    if (Opts.Reschedule)
+      reschedule();
+    if (Opts.InstrumentProcedureCounts)
+      instrumentProcedureCounts();
+  }
+
+  Result<Image> Img = assemble(DL);
+  if (!Img)
+    return Img;
+  finalizeStats(DL);
+  return Img;
+}
+
+Result<Image> om64::om::layoutAndEmit(SymbolicProgram &SP,
+                                      const OmOptions &Opts,
+                                      OmStats &Stats,
+                                      std::vector<std::string> &Sites) {
+  Emitter E(SP, Opts, Stats);
+  Result<Image> Img = E.run();
+  Sites = std::move(E.ProfiledSites);
+  return Img;
+}

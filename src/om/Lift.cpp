@@ -1,0 +1,393 @@
+//===- om/Lift.cpp - Object code to symbolic form --------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "The OM linker translates the object code of the entire program into
+/// symbolic form, recovering the original structure ... It can be thorough
+/// but still conservative in understanding the input object code because
+/// it can use the loader symbol table and the relocation tables to clarify
+/// the code." (section 4)
+///
+//===----------------------------------------------------------------------===//
+
+#include "om/OmImpl.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace om64;
+using namespace om64::om;
+using namespace om64::isa;
+using namespace om64::obj;
+
+uint32_t SymProc::postPrologueIndex() const {
+  if (hasProloguePairAtEntry())
+    return 2;
+  return 0;
+}
+
+bool SymProc::hasProloguePairAtEntry() const {
+  return Insts.size() >= 2 && Insts[0].Kind == SKind::GpHigh &&
+         Insts[0].GpKind == GpDispKind::Prologue &&
+         Insts[1].Kind == SKind::GpLow &&
+         Insts[1].PairId == Insts[0].PairId;
+}
+
+uint32_t SymbolicProgram::findProcBySuffix(const std::string &Suffix) const {
+  for (uint32_t Idx = 0; Idx < Procs.size(); ++Idx) {
+    const std::string &Name = Procs[Idx].Name;
+    if (Name.size() > Suffix.size() + 1 &&
+        Name[Name.size() - Suffix.size() - 1] == '.' &&
+        Name.compare(Name.size() - Suffix.size(), Suffix.size(), Suffix) ==
+            0)
+      return Idx;
+  }
+  return ~0u;
+}
+
+namespace {
+
+struct Lifter {
+  const std::vector<ObjectFile> &Objs;
+  const OmOptions &Opts;
+  SymbolicProgram SP;
+
+  // (objIdx, symIdx) of a definition -> program symbol id.
+  std::map<std::pair<size_t, uint32_t>, uint32_t> PSymOfDef;
+  // exported name -> program symbol id.
+  std::map<std::string, uint32_t> PSymOfName;
+
+  Lifter(const std::vector<ObjectFile> &Objs, const OmOptions &Opts)
+      : Objs(Objs), Opts(Opts) {}
+
+  Result<SymbolicProgram> run();
+  Error buildSymbols();
+  Error resolve(size_t ObjIdx, uint32_t SymIdx, uint32_t &Out) const;
+  Error liftProc(size_t ObjIdx, const ProcDesc &Desc, SymProc &Proc,
+                 uint32_t &NextLitId);
+  void assignGroups();
+  void computeAddressTaken();
+};
+
+} // namespace
+
+Error Lifter::buildSymbols() {
+  for (size_t ObjIdx = 0; ObjIdx < Objs.size(); ++ObjIdx) {
+    const ObjectFile &O = Objs[ObjIdx];
+    for (uint32_t SymIdx = 0; SymIdx < O.Symbols.size(); ++SymIdx) {
+      const Symbol &S = O.Symbols[SymIdx];
+      if (!S.IsDefined)
+        continue;
+      PSym P;
+      P.Name = S.Name;
+      P.Size = S.Size;
+      P.ObjIdx = static_cast<uint32_t>(ObjIdx);
+      P.Exported = S.IsExported;
+      P.IsProc = S.IsProcedure;
+      if (!S.IsProcedure) {
+        if (S.Section == SectionKind::Data) {
+          P.Init.assign(O.Data.begin() + static_cast<ptrdiff_t>(S.Offset),
+                        O.Data.begin() +
+                            static_cast<ptrdiff_t>(S.Offset + S.Size));
+        } else {
+          P.IsBss = true;
+        }
+      }
+      uint32_t Id = static_cast<uint32_t>(SP.Syms.size());
+      SP.Syms.push_back(std::move(P));
+      PSymOfDef[{ObjIdx, SymIdx}] = Id;
+      if (S.IsExported) {
+        auto [It, Inserted] = PSymOfName.emplace(S.Name, Id);
+        if (!Inserted)
+          return Error::failure("multiply-defined symbol '" + S.Name + "'");
+      }
+    }
+  }
+  return Error::success();
+}
+
+Error Lifter::resolve(size_t ObjIdx, uint32_t SymIdx, uint32_t &Out) const {
+  const Symbol &S = Objs[ObjIdx].Symbols[SymIdx];
+  if (S.IsDefined) {
+    Out = PSymOfDef.at({ObjIdx, SymIdx});
+    return Error::success();
+  }
+  auto It = PSymOfName.find(S.Name);
+  if (It == PSymOfName.end())
+    return Error::failure("undefined symbol '" + S.Name +
+                          "' referenced from " + Objs[ObjIdx].ModuleName);
+  Out = It->second;
+  return Error::success();
+}
+
+Error Lifter::liftProc(size_t ObjIdx, const ProcDesc &Desc, SymProc &Proc,
+                       uint32_t &NextLitId) {
+  const ObjectFile &O = Objs[ObjIdx];
+  size_t NumInsts = Desc.TextSize / 4;
+  Proc.Insts.resize(NumInsts);
+
+  for (size_t Idx = 0; Idx < NumInsts; ++Idx) {
+    size_t Off = Desc.TextOffset + Idx * 4;
+    uint32_t Word = static_cast<uint32_t>(O.Text[Off]) |
+                    (static_cast<uint32_t>(O.Text[Off + 1]) << 8) |
+                    (static_cast<uint32_t>(O.Text[Off + 2]) << 16) |
+                    (static_cast<uint32_t>(O.Text[Off + 3]) << 24);
+    std::optional<Inst> I = decode(Word);
+    if (!I)
+      return Error::failure(formatString(
+          "%s: undecodable instruction at +%zu in %s", O.ModuleName.c_str(),
+          Off, Proc.Name.c_str()));
+    Proc.Insts[Idx].I = *I;
+    Proc.Insts[Idx].OrigDisp = I->Disp;
+  }
+
+  // Apply relocation knowledge. Local literal ids map to program-unique
+  // ones so the Lits table can span objects.
+  std::map<uint32_t, uint32_t> LitIdMap;
+  auto mapLit = [&](uint32_t Local) {
+    auto It = LitIdMap.find(Local);
+    if (It != LitIdMap.end())
+      return It->second;
+    uint32_t Id = NextLitId++;
+    LitIdMap.emplace(Local, Id);
+    return Id;
+  };
+
+  uint32_t NextPairId = 0;
+  for (const Reloc &R : O.Relocs) {
+    if (R.Offset < Desc.TextOffset ||
+        R.Offset >= Desc.TextOffset + Desc.TextSize)
+      continue;
+    size_t Idx = (R.Offset - Desc.TextOffset) / 4;
+    SymInst &SI = Proc.Insts[Idx];
+    switch (R.Kind) {
+    case RelocKind::Literal: {
+      const GatEntry &E = O.Gat[R.GatIndex];
+      if (E.Addend != 0)
+        return Error::failure(O.ModuleName + ": GAT entry with addend not "
+                                             "supported by OM");
+      uint32_t Target;
+      if (Error Err = resolve(ObjIdx, E.SymbolIndex, Target))
+        return Err;
+      SI.Kind = SKind::AddressLoad;
+      SI.TargetSym = Target;
+      SI.LitId = mapLit(R.LiteralId);
+      break;
+    }
+    case RelocKind::LituseBase:
+      SI.Kind = SKind::LitUseMem;
+      SI.LitId = mapLit(R.LiteralId);
+      break;
+    case RelocKind::LituseAddr:
+      SI.Kind = SKind::LitUseAddr;
+      SI.LitId = mapLit(R.LiteralId);
+      break;
+    case RelocKind::LituseDeref:
+      SI.Kind = SKind::LitUseDeref;
+      SI.LitId = mapLit(R.LiteralId);
+      break;
+    case RelocKind::LituseJsr:
+      SI.Kind = SKind::JsrViaGat;
+      SI.LitId = mapLit(R.LiteralId);
+      break;
+    case RelocKind::GpDisp: {
+      SI.Kind = SKind::GpHigh;
+      SI.GpKind = static_cast<GpDispKind>(R.GpKind);
+      SI.PairId = NextPairId;
+      size_t LowIdx = (R.Offset + R.PairOffset - Desc.TextOffset) / 4;
+      if (LowIdx >= NumInsts)
+        return Error::failure(O.ModuleName + ": GP-disp pair crosses "
+                                             "procedure boundary");
+      Proc.Insts[LowIdx].Kind = SKind::GpLow;
+      Proc.Insts[LowIdx].GpKind = static_cast<GpDispKind>(R.GpKind);
+      Proc.Insts[LowIdx].PairId = NextPairId;
+      ++NextPairId;
+      break;
+    }
+    case RelocKind::RefQuad:
+      break; // data relocation; handled by data lifting (not present here)
+    }
+  }
+
+  // Classify control flow: remaining JSRs are indirect; branch-format
+  // instructions become local branches or direct calls.
+  for (size_t Idx = 0; Idx < NumInsts; ++Idx) {
+    SymInst &SI = Proc.Insts[Idx];
+    const Inst &I = SI.I;
+    if (classOf(I.Op) == InstClass::Jump && I.Op == Opcode::Jsr &&
+        SI.Kind == SKind::Plain) {
+      SI.Kind = SKind::JsrIndirect;
+      Proc.MakesIndirectCalls = true;
+      continue;
+    }
+    if (classOf(I.Op) != InstClass::Branch)
+      continue;
+    int64_t TargetOff = static_cast<int64_t>(Desc.TextOffset) +
+                        static_cast<int64_t>(Idx) * 4 + 4 +
+                        static_cast<int64_t>(I.Disp) * 4;
+    if (I.Op == Opcode::Bsr) {
+      // A direct call; the target must be some procedure's entry in this
+      // object (only the compiler creates BSRs, and only to entries).
+      bool Found = false;
+      for (const ProcDesc &D2 : O.Procs)
+        if (static_cast<int64_t>(D2.TextOffset) == TargetOff) {
+          // Target proc index is filled in by run() after all procedures
+          // exist; stash the object-local descriptor identity via offset.
+          SI.Kind = SKind::DirectCall;
+          SI.TargetProc = static_cast<uint32_t>(TargetOff); // fixed later
+          Found = true;
+          break;
+        }
+      if (!Found)
+        return Error::failure(O.ModuleName +
+                              ": BSR to a non-procedure-entry target");
+      continue;
+    }
+    // Conditional branches and BR stay inside the procedure.
+    if (TargetOff < static_cast<int64_t>(Desc.TextOffset) ||
+        TargetOff >= static_cast<int64_t>(Desc.TextOffset + Desc.TextSize))
+      return Error::failure(O.ModuleName + ": local branch leaves " +
+                            Proc.Name);
+    SI.Kind = SKind::LocalBranch;
+    SI.TargetIdx =
+        static_cast<int32_t>((TargetOff - Desc.TextOffset) / 4);
+  }
+
+  // Record literal uses.
+  for (size_t Idx = 0; Idx < NumInsts; ++Idx) {
+    SymInst &SI = Proc.Insts[Idx];
+    if (SI.Kind == SKind::AddressLoad) {
+      LitInfo &L = SP.Lits[SI.LitId];
+      L.Proc = Proc.SymId; // provisional; fixed by run()
+      L.LoadIdx = static_cast<uint32_t>(Idx);
+      L.TargetSym = SI.TargetSym;
+    } else if (SI.Kind == SKind::LitUseMem) {
+      SP.Lits[SI.LitId].MemUses.push_back(static_cast<uint32_t>(Idx));
+    } else if (SI.Kind == SKind::LitUseAddr) {
+      SP.Lits[SI.LitId].AddrUses.push_back(static_cast<uint32_t>(Idx));
+    } else if (SI.Kind == SKind::LitUseDeref) {
+      SP.Lits[SI.LitId].DerefUses.push_back(static_cast<uint32_t>(Idx));
+    } else if (SI.Kind == SKind::JsrViaGat) {
+      SP.Lits[SI.LitId].JsrIdx = static_cast<int32_t>(Idx);
+    }
+  }
+  return Error::success();
+}
+
+void Lifter::assignGroups() {
+  // Same grouping policy as the traditional linker: whole objects, in
+  // order, while the merged (deduplicated) GAT fits one GP window.
+  SP.GroupOfObj.resize(Objs.size());
+  uint32_t Group = 0;
+  std::set<uint32_t> GroupEntries;
+  uint64_t TotalEntries = 0;
+
+  for (size_t ObjIdx = 0; ObjIdx < Objs.size(); ++ObjIdx) {
+    std::set<uint32_t> ObjEntries;
+    for (const GatEntry &E : Objs[ObjIdx].Gat) {
+      uint32_t Target;
+      if (!resolve(ObjIdx, E.SymbolIndex, Target))
+        ObjEntries.insert(Target);
+    }
+    std::set<uint32_t> Merged = GroupEntries;
+    Merged.insert(ObjEntries.begin(), ObjEntries.end());
+    if (Merged.size() > Opts.MaxGatEntriesPerGroup && !GroupEntries.empty()) {
+      TotalEntries += GroupEntries.size();
+      ++Group;
+      GroupEntries = ObjEntries;
+    } else {
+      GroupEntries = std::move(Merged);
+    }
+    SP.GroupOfObj[ObjIdx] = Group;
+  }
+  TotalEntries += GroupEntries.size();
+  SP.NumGroups = Group + 1;
+  SP.OriginalGatEntries = TotalEntries;
+  for (SymProc &P : SP.Procs)
+    P.GpGroup = SP.GroupOfObj[P.ObjIdx];
+}
+
+void Lifter::computeAddressTaken() {
+  for (const auto &[LitId, L] : SP.Lits) {
+    (void)LitId;
+    const PSym &Target = SP.Syms[L.TargetSym];
+    if (!Target.IsProc)
+      continue;
+    // A procedure literal that is not used purely as a JSR destination
+    // escapes: the procedure can be entered indirectly.
+    if (L.escapes() || !L.MemUses.empty())
+      SP.Procs[Target.ProcIdx].AddressTaken = true;
+  }
+}
+
+Result<SymbolicProgram> Lifter::run() {
+  SP.NumObjects = Objs.size();
+  if (Error Err = buildSymbols())
+    return Result<SymbolicProgram>::failure(Err.message());
+
+  // Create procedures in object order.
+  std::map<std::pair<size_t, uint64_t>, uint32_t> ProcByEntryOffset;
+  for (size_t ObjIdx = 0; ObjIdx < Objs.size(); ++ObjIdx) {
+    for (const ProcDesc &Desc : Objs[ObjIdx].Procs) {
+      SymProc Proc;
+      uint32_t SymId = PSymOfDef.at({ObjIdx, Desc.SymbolIndex});
+      Proc.Name = SP.Syms[SymId].Name;
+      Proc.ObjIdx = static_cast<uint32_t>(ObjIdx);
+      Proc.SymId = SymId;
+      Proc.Exported = SP.Syms[SymId].Exported;
+      Proc.UsesGp = Desc.UsesGp;
+      uint32_t ProcIdx = static_cast<uint32_t>(SP.Procs.size());
+      SP.Syms[SymId].ProcIdx = ProcIdx;
+      ProcByEntryOffset[{ObjIdx, Desc.TextOffset}] = ProcIdx;
+      SP.Procs.push_back(std::move(Proc));
+    }
+  }
+
+  uint32_t NextLitId = 0;
+  {
+    size_t ProcCursor = 0;
+    for (size_t ObjIdx = 0; ObjIdx < Objs.size(); ++ObjIdx) {
+      for (const ProcDesc &Desc : Objs[ObjIdx].Procs) {
+        SymProc &Proc = SP.Procs[ProcCursor++];
+        if (Error Err = liftProc(ObjIdx, Desc, Proc, NextLitId))
+          return Result<SymbolicProgram>::failure(Err.message());
+      }
+    }
+  }
+
+  // Fix DirectCall targets (stashed as object-local entry offsets) and
+  // literal owners.
+  for (uint32_t ProcIdx = 0; ProcIdx < SP.Procs.size(); ++ProcIdx) {
+    SymProc &Proc = SP.Procs[ProcIdx];
+    for (SymInst &SI : Proc.Insts)
+      if (SI.Kind == SKind::DirectCall)
+        SI.TargetProc =
+            ProcByEntryOffset.at({Proc.ObjIdx, SI.TargetProc});
+    for (SymInst &SI : Proc.Insts)
+      if (SI.Kind == SKind::AddressLoad)
+        SP.Lits[SI.LitId].Proc = ProcIdx;
+    Proc.IsEntry = false;
+  }
+  uint32_t Entry = SP.findProcBySuffix(Opts.EntryName);
+  if (Entry == ~0u)
+    return Result<SymbolicProgram>::failure("no '" + Opts.EntryName +
+                                            "' procedure in program");
+  SP.Procs[Entry].IsEntry = true;
+
+  assignGroups();
+  computeAddressTaken();
+  return std::move(SP);
+}
+
+Result<SymbolicProgram>
+om64::om::liftProgram(const std::vector<ObjectFile> &Objs,
+                      const OmOptions &Opts) {
+  Lifter L(Objs, Opts);
+  return L.run();
+}

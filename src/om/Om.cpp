@@ -1,0 +1,54 @@
+//===- om/Om.cpp - OM driver ------------------------------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "om/Om.h"
+
+#include "om/OmImpl.h"
+
+using namespace om64;
+using namespace om64::om;
+
+const char *om64::om::levelName(OmLevel L) {
+  switch (L) {
+  case OmLevel::None:   return "none";
+  case OmLevel::Simple: return "simple";
+  case OmLevel::Full:   return "full";
+  }
+  return "?";
+}
+
+Result<OmResult> om64::om::optimize(const std::vector<obj::ObjectFile> &Objs,
+                                    const OmOptions &OptsIn) {
+  OmOptions Opts = OptsIn;
+  if (Opts.Level == OmLevel::None) {
+    // The no-optimization configuration measures OM's overhead against the
+    // standard linker (Figure 7's "no opt" column); it must reproduce the
+    // traditional module-order data layout.
+    Opts.SortDataBySize = false;
+    Opts.Reschedule = false;
+    Opts.AlignLoopTargets = false;
+  }
+
+  if (Opts.InstrumentBlockCounts)
+    Opts.InstrumentProcedureCounts = true;
+  if (Opts.InstrumentProcedureCounts && Opts.Level != OmLevel::Full)
+    return Result<OmResult>::failure(
+        "instrumentation inserts code and therefore requires OM-full "
+        "(section 4: only the symbolic form supports insertion)");
+
+  Result<SymbolicProgram> SP = liftProgram(Objs, Opts);
+  if (!SP)
+    return Result<OmResult>::failure(SP.message());
+
+  OmResult Out;
+  runCallTransforms(*SP, Opts, Out.Stats);
+  Result<obj::Image> Img =
+      layoutAndEmit(*SP, Opts, Out.Stats, Out.ProfiledProcedures);
+  if (!Img)
+    return Result<OmResult>::failure(Img.message());
+  Out.Image = Img.take();
+  return Out;
+}

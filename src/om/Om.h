@@ -1,0 +1,119 @@
+//===- om/Om.h - The OM link-time optimizer --------------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// OM, the link-time code-modification system of the paper: it translates
+/// the object code of the entire program into a symbolic form, analyzes
+/// and transforms it, and generates the executable from the result.
+///
+/// Three optimization levels mirror the paper's study:
+///
+///   * None   — link only; used to compute baseline ("no OM") statistics.
+///   * Simple — what a traditional linker could do with local analysis and
+///     no code motion: address loads become GP-relative LDA/LDAH or no-ops,
+///     GP-reset pairs become no-ops, JSRs become BSRs, common symbols are
+///     sorted by size next to the GAT. Instruction order never changes.
+///   * Full   — code deletion and motion: GP prologues restored to
+///     procedure entry, BSRs retargeted past prologues, PV loads removed,
+///     nullified code deleted, the GAT reduced to a fixpoint, and
+///     optionally basic blocks rescheduled with quadword alignment of
+///     backward-branch targets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_OM_OM_H
+#define OM64_OM_OM_H
+
+#include "objfile/Image.h"
+#include "objfile/ObjectFile.h"
+#include "support/Result.h"
+
+#include <string>
+#include <vector>
+
+namespace om64 {
+namespace om {
+
+/// Optimization level.
+enum class OmLevel : uint8_t { None, Simple, Full };
+
+/// Returns "none", "simple" or "full".
+const char *levelName(OmLevel L);
+
+/// OM options.
+struct OmOptions {
+  OmLevel Level = OmLevel::Full;
+  /// Reschedule basic blocks after optimization (OM-full only).
+  bool Reschedule = false;
+  /// Quadword-align targets of backward branches (OM-full only; the paper
+  /// ties this to rescheduling, and found it can hurt — ear, section 5.2).
+  bool AlignLoopTargets = false;
+  /// Sort data symbols by size ascending next to the GAT (on for both
+  /// OM levels; off reproduces the baseline module-order layout and is an
+  /// ablation knob).
+  bool SortDataBySize = true;
+  /// Maximum 8-byte entries per GAT group (GP reach).
+  unsigned MaxGatEntriesPerGroup = 4096;
+  std::string EntryName = "main";
+  /// ATOM-style instrumentation (section 6 / reference [5]): insert a
+  /// profile-count hook at every procedure entry. Requires OmLevel::Full
+  /// (insertion is code motion). Counter i belongs to
+  /// OmResult::ProfiledProcedures[i]; the simulator accumulates them in
+  /// SimResult::ProfileCounts.
+  bool InstrumentProcedureCounts = false;
+  /// Finer ATOM-style instrumentation: also count every branch-target
+  /// block (labels of the recovered control structure). Implies
+  /// procedure-entry counters; labels look like "mod.proc" or
+  /// "mod.proc+<index>". Requires OmLevel::Full.
+  bool InstrumentBlockCounts = false;
+};
+
+/// Static statistics of one OM run, sufficient to regenerate the paper's
+/// Figures 3-5 and the GAT-reduction numbers of section 5.1.
+struct OmStats {
+  // Figure 3: address loads.
+  uint64_t AddressLoadsTotal = 0;
+  uint64_t AddressLoadsConverted = 0; // became LDA/LDAH
+  uint64_t AddressLoadsNullified = 0; // became no-ops / were deleted
+
+  // Figure 4: procedure-call bookkeeping.
+  uint64_t CallsTotal = 0;            // JSR + BSR call sites
+  uint64_t CallsNeedingPvLoad = 0;    // callee reads PV (or is unknown)
+  uint64_t CallsNeedingGpReset = 0;   // live GP-reset pair after the call
+  uint64_t JsrConvertedToBsr = 0;
+
+  // Figure 5: instruction counts.
+  uint64_t InstructionsTotal = 0;     // before optimization
+  uint64_t InstructionsNullified = 0; // no-opped (OM-simple)
+  uint64_t InstructionsDeleted = 0;   // removed (OM-full)
+  uint64_t NopsInserted = 0;          // alignment padding added
+  uint64_t InstrumentationInserted = 0; // profile hooks added
+
+  // Section 5.1: GAT size.
+  uint64_t GatBytesBefore = 0; // merged + deduplicated, before reduction
+  uint64_t GatBytesAfter = 0;
+  uint32_t GpGroups = 0;
+
+  uint64_t TextBytesBefore = 0;
+  uint64_t TextBytesAfter = 0;
+};
+
+/// Result of an OM run.
+struct OmResult {
+  obj::Image Image;
+  OmStats Stats;
+  /// Procedure owning each profile counter (instrumented runs only).
+  std::vector<std::string> ProfiledProcedures;
+};
+
+/// Links and optimizes the given objects.
+Result<OmResult> optimize(const std::vector<obj::ObjectFile> &Objects,
+                          const OmOptions &Opts = OmOptions());
+
+} // namespace om
+} // namespace om64
+
+#endif // OM64_OM_OM_H

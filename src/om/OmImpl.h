@@ -1,0 +1,44 @@
+//===- om/OmImpl.h - Private interfaces between OM's phases ---------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_OM_OMIMPL_H
+#define OM64_OM_OMIMPL_H
+
+#include "om/Om.h"
+#include "om/SymbolicProgram.h"
+#include "support/Result.h"
+
+#include <string>
+#include <vector>
+
+namespace om64 {
+namespace om {
+
+/// Object code -> symbolic form. Resolves symbols, recovers procedures,
+/// literals with their uses, GP-disp pairs, local branches, and direct
+/// calls; assigns GP groups per object.
+Result<SymbolicProgram> liftProgram(const std::vector<obj::ObjectFile> &Objs,
+                                    const OmOptions &Opts);
+
+/// The call-related transforms (JSR->BSR, prologue restoration/skipping/
+/// deletion, PV-load removal, GP-reset nullification). Applies the subset
+/// appropriate for Opts.Level and updates Stats counters it owns
+/// (JsrConvertedToBsr).
+void runCallTransforms(SymbolicProgram &SP, const OmOptions &Opts,
+                       OmStats &Stats);
+
+/// Layout, address-load conversion/nullification (to a fixpoint for
+/// OM-full), deletion, optional rescheduling and loop alignment,
+/// instrumentation, and image emission. Fills the remaining Stats fields
+/// and the labels of any inserted profile counters.
+Result<obj::Image> layoutAndEmit(SymbolicProgram &SP, const OmOptions &Opts,
+                                 OmStats &Stats,
+                                 std::vector<std::string> &Sites);
+
+} // namespace om
+} // namespace om64
+
+#endif // OM64_OM_OMIMPL_H

@@ -1,0 +1,129 @@
+//===- om/SymbolicProgram.h - OM's whole-program symbolic form ------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The symbolic form OM translates object code into (section 4: "The key
+/// idea behind OM is the translation into symbolic form and back"): every
+/// procedure becomes a vector of instructions whose address and control
+/// operands are symbolic, so instructions can be deleted and reordered
+/// without tracking the effect on address constants and displacements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_OM_SYMBOLICPROGRAM_H
+#define OM64_OM_SYMBOLICPROGRAM_H
+
+#include "isa/Inst.h"
+#include "objfile/ObjectFile.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace om64 {
+namespace om {
+
+/// A program-wide symbol: a procedure or a datum.
+struct PSym {
+  std::string Name;
+  bool IsProc = false;
+  uint32_t ProcIdx = ~0u; // into SymbolicProgram::Procs when IsProc
+  bool IsBss = false;
+  std::vector<uint8_t> Init; // initialized bytes (empty for bss)
+  uint64_t Size = 0;
+  uint32_t ObjIdx = 0;
+  bool Exported = false;
+  uint64_t Addr = 0; // assigned during layout
+};
+
+/// Classification of one symbolic instruction.
+enum class SKind : uint8_t {
+  Plain,
+  AddressLoad, // LDQ r, slot(GP): loads &TargetSym; LitId names the site
+  LitUseMem,   // memory op whose base register came from literal LitId
+  LitUseAddr,  // scaled add deriving a pointer from literal LitId
+  LitUseDeref, // memory op through the LitUseAddr-derived pointer
+  JsrViaGat,   // JSR through a register loaded by literal LitId
+  JsrIndirect, // JSR through a computed value (procedure variable)
+  GpHigh,      // LDAH of a GP-disp pair (GpKind tells prologue/post-call)
+  GpLow,       // LDA of a GP-disp pair
+  LocalBranch, // conditional or unconditional branch within the procedure
+  DirectCall,  // BSR to TargetProc (compile-time or OM-created)
+};
+
+/// One instruction of the symbolic form.
+struct SymInst {
+  isa::Inst I;
+  SKind Kind = SKind::Plain;
+  uint32_t LitId = ~0u;
+  uint32_t TargetSym = ~0u; // AddressLoad
+  uint32_t PairId = ~0u;    // GpHigh/GpLow pairing
+  obj::GpDispKind GpKind = obj::GpDispKind::Prologue;
+  uint32_t TargetProc = ~0u;  // DirectCall
+  bool SkipPrologue = false;  // DirectCall enters past the GP-set pair
+  int32_t TargetIdx = -1;     // LocalBranch: index within the procedure
+  int32_t OrigDisp = 0;       // displacement as compiled (layout rounds
+                              // recompute rewrites from this)
+  bool Nullified = false;     // becomes a no-op (simple) / deleted (full)
+  bool Converted = false;     // address load rewritten to LDA/LDAH
+};
+
+/// One procedure in symbolic form.
+struct SymProc {
+  std::string Name;
+  uint32_t ObjIdx = 0;
+  uint32_t SymId = ~0u;
+  bool Exported = false;
+  bool UsesGp = false;
+  bool AddressTaken = false;
+  bool IsEntry = false;
+  bool MakesIndirectCalls = false;
+  uint32_t GpGroup = 0;
+  std::vector<SymInst> Insts;
+
+  /// Index of the first instruction past the prologue GP-set pair (0 when
+  /// the procedure has none). Maintained by the transforms.
+  uint32_t postPrologueIndex() const;
+  /// True if Insts[0..1] are this procedure's prologue GP-set pair.
+  bool hasProloguePairAtEntry() const;
+};
+
+/// Per-literal bookkeeping: the loading instruction and its uses.
+struct LitInfo {
+  uint32_t Proc = ~0u;
+  uint32_t LoadIdx = ~0u;
+  uint32_t TargetSym = ~0u;
+  std::vector<uint32_t> MemUses;   // indices of LitUseMem instructions
+  std::vector<uint32_t> AddrUses;  // indices of LitUseAddr instructions
+  std::vector<uint32_t> DerefUses; // indices of LitUseDeref instructions
+  int32_t JsrIdx = -1;             // index of the JsrViaGat, if any
+  /// True when the loaded address flows somewhere OM cannot see (no
+  /// recorded uses): conversion is possible, nullification is not.
+  bool escapes() const {
+    return MemUses.empty() && AddrUses.empty() && DerefUses.empty() &&
+           JsrIdx < 0;
+  }
+};
+
+/// The whole program in symbolic form.
+struct SymbolicProgram {
+  std::vector<PSym> Syms;
+  std::vector<SymProc> Procs;
+  std::map<uint32_t, LitInfo> Lits; // program-unique literal ids
+  size_t NumObjects = 0;
+  std::vector<uint32_t> GroupOfObj; // GP group per object
+  uint32_t NumGroups = 1;
+  uint64_t OriginalGatEntries = 0;  // merged+deduped before reduction
+
+  /// Finds a procedure by (suffix) name; ~0u when absent.
+  uint32_t findProcBySuffix(const std::string &Suffix) const;
+};
+
+} // namespace om
+} // namespace om64
+
+#endif // OM64_OM_SYMBOLICPROGRAM_H

@@ -1,0 +1,273 @@
+//===- om/Transforms.cpp - OM's call-related optimizations ----------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The section-3 call transformations:
+///
+///   * JSR -> BSR when the destination is known (both levels; "this
+///     requires no analysis at all except to look up destinations in the
+///     GAT and see if they are close enough"),
+///   * skipping the callee's GP-setting prologue, which in turn makes the
+///     PV load at the call site dead. OM-simple can do this only when the
+///     pair is still a clean prefix of the callee (compile-time scheduling
+///     usually moved it); OM-full first *restores* the pair to procedure
+///     entry,
+///   * nullifying the caller's GP-reset pair after calls whose entire call
+///     subtree stays within one GP group (OM-simple uses the trivial
+///     whole-program single-GAT argument; OM-full walks the call graph),
+///   * OM-full: deleting GP prologues nothing can reach anymore.
+///
+//===----------------------------------------------------------------------===//
+
+#include "om/OmImpl.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace om64;
+using namespace om64::om;
+using namespace om64::isa;
+using namespace om64::obj;
+
+namespace {
+
+/// Moves the prologue GP-set pair of \p Proc back to instructions 0 and 1
+/// (undoing compile-time scheduling). Safe because everything the compile
+/// time scheduler may have hoisted above the pair neither reads nor writes
+/// GP or PV (any GP/PV-dependent instruction was kept below the pair by
+/// the scheduler's own dependence analysis).
+void restoreProloguePair(SymProc &Proc) {
+  int High = -1, Low = -1;
+  for (size_t Idx = 0; Idx < Proc.Insts.size(); ++Idx) {
+    const SymInst &SI = Proc.Insts[Idx];
+    if (SI.Kind == SKind::GpHigh && SI.GpKind == GpDispKind::Prologue) {
+      High = static_cast<int>(Idx);
+      for (size_t J = Idx + 1; J < Proc.Insts.size(); ++J)
+        if (Proc.Insts[J].Kind == SKind::GpLow &&
+            Proc.Insts[J].PairId == SI.PairId) {
+          Low = static_cast<int>(J);
+          break;
+        }
+      break;
+    }
+  }
+  if (High < 0 || Low < 0)
+    return;
+  if (High == 0 && Low == 1)
+    return;
+  SymInst HighInst = Proc.Insts[High];
+  SymInst LowInst = Proc.Insts[Low];
+  Proc.Insts.erase(Proc.Insts.begin() + Low);
+  Proc.Insts.erase(Proc.Insts.begin() + High);
+  Proc.Insts.insert(Proc.Insts.begin(), LowInst);
+  Proc.Insts.insert(Proc.Insts.begin(), HighInst);
+}
+
+/// Call-graph reachability of GP groups: bit g set when the subtree rooted
+/// at the procedure can execute GP-setting code of group g. Indirect calls
+/// poison the set with every group of every address-taken procedure
+/// (conservatively: all groups).
+std::vector<uint64_t> computeReachableGroups(const SymbolicProgram &SP) {
+  size_t N = SP.Procs.size();
+  uint64_t AllGroups =
+      SP.NumGroups >= 64 ? ~0ull : ((1ull << SP.NumGroups) - 1);
+  std::vector<uint64_t> Reach(N);
+  for (size_t Idx = 0; Idx < N; ++Idx) {
+    Reach[Idx] = 1ull << (SP.Procs[Idx].GpGroup % 64);
+    if (SP.Procs[Idx].MakesIndirectCalls)
+      Reach[Idx] = AllGroups;
+  }
+  // Propagate over direct call edges to a fixpoint.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t Idx = 0; Idx < N; ++Idx) {
+      const SymProc &P = SP.Procs[Idx];
+      uint64_t Old = Reach[Idx];
+      for (const SymInst &SI : P.Insts) {
+        if (SI.Kind == SKind::DirectCall)
+          Reach[Idx] |= Reach[SI.TargetProc];
+        else if (SI.Kind == SKind::JsrViaGat) {
+          const LitInfo &L = SP.Lits.at(SI.LitId);
+          const PSym &Target = SP.Syms[L.TargetSym];
+          if (Target.IsProc)
+            Reach[Idx] |= Reach[Target.ProcIdx];
+          else
+            Reach[Idx] = AllGroups; // call through data: unknown
+        }
+      }
+      if (Reach[Idx] != Old)
+        Changed = true;
+    }
+  }
+  return Reach;
+}
+
+/// Nullifies the GP-reset pair that follows the call at \p CallIdx, if one
+/// exists (the next post-call GpHigh before any other call or branch
+/// boundary is this call's reset).
+bool nullifyResetAfter(SymProc &Proc, size_t CallIdx) {
+  for (size_t Idx = CallIdx + 1; Idx < Proc.Insts.size(); ++Idx) {
+    SymInst &SI = Proc.Insts[Idx];
+    if (SI.Kind == SKind::GpHigh && SI.GpKind == GpDispKind::PostCall) {
+      uint32_t PairId = SI.PairId;
+      SI.Nullified = true;
+      for (size_t J = Idx + 1; J < Proc.Insts.size(); ++J)
+        if (Proc.Insts[J].Kind == SKind::GpLow &&
+            Proc.Insts[J].PairId == PairId) {
+          Proc.Insts[J].Nullified = true;
+          return true;
+        }
+      return true;
+    }
+    // Stop at the next call or control transfer: this call has no reset.
+    if (SI.Kind == SKind::DirectCall || SI.Kind == SKind::JsrViaGat ||
+        SI.Kind == SKind::JsrIndirect ||
+        classOf(SI.I.Op) == InstClass::Branch ||
+        classOf(SI.I.Op) == InstClass::Jump)
+      return false;
+  }
+  return false;
+}
+
+} // namespace
+
+void om64::om::runCallTransforms(SymbolicProgram &SP, const OmOptions &Opts,
+                                 OmStats &Stats) {
+  if (Opts.Level == OmLevel::None)
+    return;
+  bool Full = Opts.Level == OmLevel::Full;
+
+  // OM-full first restores prologue GP-set pairs to procedure entry so
+  // that direct calls can be retargeted past them (section 4: "if we can
+  // restore them to their logical place at the beginning of the procedure,
+  // we can avoid executing them on most or all of the calls").
+  if (Full)
+    for (SymProc &Proc : SP.Procs)
+      restoreProloguePair(Proc);
+
+  // JSR -> BSR, prologue skipping, PV-load removal.
+  for (uint32_t ProcIdx = 0; ProcIdx < SP.Procs.size(); ++ProcIdx) {
+    SymProc &Caller = SP.Procs[ProcIdx];
+    for (size_t Idx = 0; Idx < Caller.Insts.size(); ++Idx) {
+      SymInst &SI = Caller.Insts[Idx];
+      if (SI.Kind != SKind::JsrViaGat)
+        continue;
+      LitInfo &L = SP.Lits[SI.LitId];
+      const PSym &Target = SP.Syms[L.TargetSym];
+      if (!Target.IsProc)
+        continue; // call through a data literal: leave alone
+      SymProc &Callee = SP.Procs[Target.ProcIdx];
+
+      // The conversion itself needs no analysis; range is validated at
+      // emission (total text is far below the 21-bit word reach).
+      SI.Kind = SKind::DirectCall;
+      SI.TargetProc = Target.ProcIdx;
+      SI.I = makeBranch(Opcode::Bsr, RA, 0);
+      ++Stats.JsrConvertedToBsr;
+
+      // Skip the callee's GP-set pair when it is a clean entry prefix and
+      // caller/callee share a GP value; then the PV load feeding this call
+      // is dead if this call was its only use. A callee with no GP
+      // prologue at all (it never reads PV) makes the load dead too --
+      // the loader format's procedure descriptors tell even a traditional
+      // linker that much.
+      bool SameGroup = Callee.GpGroup == Caller.GpGroup;
+      bool CalleeHasGpSet = false;
+      for (const SymInst &CI : Callee.Insts)
+        if (CI.Kind == SKind::GpHigh &&
+            CI.GpKind == GpDispKind::Prologue)
+          CalleeHasGpSet = true;
+      bool PvDead = false;
+      if (SameGroup && Callee.hasProloguePairAtEntry()) {
+        SI.SkipPrologue = true;
+        PvDead = true;
+      } else if (!CalleeHasGpSet) {
+        PvDead = true;
+      }
+      if (PvDead && L.MemUses.empty() &&
+          L.JsrIdx == static_cast<int32_t>(Idx))
+        Caller.Insts[L.LoadIdx].Nullified = true;
+    }
+  }
+
+  // GP-reset nullification.
+  if (SP.NumGroups == 1 && !Full) {
+    // OM-simple: with a single GAT every GP value is identical, so every
+    // reset is redundant; no control-flow understanding required.
+    for (SymProc &Proc : SP.Procs)
+      for (size_t Idx = 0; Idx < Proc.Insts.size(); ++Idx) {
+        SymInst &SI = Proc.Insts[Idx];
+        if (SI.Kind == SKind::GpHigh &&
+            SI.GpKind == GpDispKind::PostCall) {
+          SI.Nullified = true;
+        } else if (SI.Kind == SKind::GpLow) {
+          // Pair with a post-call high (prologue lows share PairId with a
+          // prologue high); search backwards for the matching high.
+          for (size_t J = Idx; J-- > 0;)
+            if (Proc.Insts[J].Kind == SKind::GpHigh &&
+                Proc.Insts[J].PairId == SI.PairId) {
+              if (Proc.Insts[J].GpKind == GpDispKind::PostCall)
+                SI.Nullified = true;
+              break;
+            }
+        }
+      }
+  } else if (Full) {
+    // OM-full: per-call-site subtree analysis over the recovered call
+    // graph.
+    std::vector<uint64_t> Reach = computeReachableGroups(SP);
+    uint64_t AllGroups =
+        SP.NumGroups >= 64 ? ~0ull : ((1ull << SP.NumGroups) - 1);
+    for (uint32_t ProcIdx = 0; ProcIdx < SP.Procs.size(); ++ProcIdx) {
+      SymProc &Caller = SP.Procs[ProcIdx];
+      uint64_t CallerBit = 1ull << (Caller.GpGroup % 64);
+      for (size_t Idx = 0; Idx < Caller.Insts.size(); ++Idx) {
+        SymInst &SI = Caller.Insts[Idx];
+        uint64_t CalleeReach;
+        if (SI.Kind == SKind::DirectCall)
+          CalleeReach = Reach[SI.TargetProc];
+        else if (SI.Kind == SKind::JsrIndirect)
+          CalleeReach = AllGroups;
+        else
+          continue;
+        if ((CalleeReach & ~CallerBit) == 0)
+          nullifyResetAfter(Caller, Idx);
+      }
+    }
+  } else {
+    // OM-simple with multiple GATs: only resets after direct calls whose
+    // immediate callee shares the group and is itself leaf-safe cannot be
+    // proven without control-flow analysis; a traditional linker keeps
+    // them all.
+  }
+
+  // OM-full: delete GP prologues nothing can reach with a wrong GP (or at
+  // all). Entry and address-taken procedures keep theirs; so do targets
+  // of remaining non-skipping direct calls (cross-group BSRs).
+  if (Full) {
+    std::vector<bool> NeedsPrologue(SP.Procs.size(), false);
+    for (SymProc &Proc : SP.Procs) {
+      if (Proc.IsEntry || Proc.AddressTaken)
+        NeedsPrologue[&Proc - &SP.Procs[0]] = true;
+      for (const SymInst &SI : Proc.Insts)
+        if (SI.Kind == SKind::DirectCall && !SI.SkipPrologue)
+          NeedsPrologue[SI.TargetProc] = true;
+        else if (SI.Kind == SKind::JsrViaGat) {
+          const LitInfo &L = SP.Lits.at(SI.LitId);
+          if (SP.Syms[L.TargetSym].IsProc)
+            NeedsPrologue[SP.Syms[L.TargetSym].ProcIdx] = true;
+        }
+    }
+    for (uint32_t ProcIdx = 0; ProcIdx < SP.Procs.size(); ++ProcIdx) {
+      SymProc &Proc = SP.Procs[ProcIdx];
+      if (NeedsPrologue[ProcIdx] || !Proc.hasProloguePairAtEntry())
+        continue;
+      Proc.Insts[0].Nullified = true;
+      Proc.Insts[1].Nullified = true;
+    }
+  }
+}

@@ -1,0 +1,61 @@
+//===- sched/ListScheduler.h - Shared basic-block list scheduler ----------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dependence-preserving list scheduling of straight-line AAX code, shared
+/// by the compile-time pipeline scheduler in codegen and by OM-full's
+/// optional link-time rescheduler ("a version of the standard AXP/OSF
+/// scheduler", section 5.2).
+///
+/// The scheduler returns a *permutation of indices* rather than permuted
+/// instructions, so callers can permute their parallel annotation arrays
+/// (relocation notes, label attachments) alongside the code.
+///
+/// Modelled machine: dual-issue in-order; at most one memory operation and
+/// one branch per cycle; producer latencies from isa::latencyOf. Without
+/// memory alias information every store orders against every other memory
+/// operation (the paper notes OM's scheduler lacks the compiler's alias
+/// information; so does the compile-time scheduler here, keeping the two
+/// comparable).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_SCHED_LISTSCHEDULER_H
+#define OM64_SCHED_LISTSCHEDULER_H
+
+#include "isa/Inst.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace om64 {
+namespace sched {
+
+/// Returns true if \p I must not move relative to any other instruction:
+/// calls and other control transfers, and PAL calls. (Conditional branches
+/// only appear last in a region and are barriers too.)
+bool isSchedulingBarrier(const isa::Inst &I);
+
+/// Computes a dependence-preserving issue order for the straight-line
+/// region \p Region (which must contain no barriers). Returns a
+/// permutation P such that the scheduled code is Region[P[0]],
+/// Region[P[1]], ... Deterministic: ties break toward original order.
+std::vector<size_t> scheduleRegion(const std::vector<isa::Inst> &Region);
+
+/// Schedules a whole instruction sequence, leaving barriers (calls, PAL,
+/// branches, jumps) fixed in place and scheduling each barrier-free
+/// region independently. Returns a permutation of [0, Insts.size()).
+std::vector<size_t>
+scheduleWithBarriers(const std::vector<isa::Inst> &Insts);
+
+/// Estimated cycle count of the region in the scheduler's machine model;
+/// exposed for tests and the scheduling-ablation bench.
+unsigned estimateRegionCycles(const std::vector<isa::Inst> &Region);
+
+} // namespace sched
+} // namespace om64
+
+#endif // OM64_SCHED_LISTSCHEDULER_H

@@ -1,0 +1,596 @@
+//===- sim/Simulator.cpp ---------------------------------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+#include "isa/Disassembler.h"
+#include "isa/Inst.h"
+#include "support/Format.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+using namespace om64;
+using namespace om64::sim;
+using namespace om64::isa;
+using namespace om64::obj;
+
+namespace {
+
+/// Direct-mapped cache tag store.
+class Cache {
+public:
+  explicit Cache(const CacheConfig &Cfg)
+      : LineBytes(Cfg.LineBytes), NumLines(Cfg.SizeBytes / Cfg.LineBytes),
+        Penalty(Cfg.MissPenalty), Tags(NumLines, ~0ull) {}
+
+  /// Returns the miss penalty (0 on hit) and updates the tag store.
+  unsigned access(uint64_t Addr) {
+    uint64_t Line = Addr / LineBytes;
+    uint64_t Index = Line % NumLines;
+    if (Tags[Index] == Line)
+      return 0;
+    Tags[Index] = Line;
+    return Penalty;
+  }
+
+private:
+  uint64_t LineBytes;
+  uint64_t NumLines;
+  unsigned Penalty;
+  std::vector<uint64_t> Tags;
+};
+
+/// Full machine state and execution engine.
+class Machine {
+public:
+  Machine(const Image &Img, const SimConfig &Cfg)
+      : Img(Img), Cfg(Cfg), ICache(Cfg.ICache), DCache(Cfg.DCache) {
+    DataSegment.assign(Img.Data.begin(), Img.Data.end());
+    DataSegment.resize(Img.Data.size() + Img.BssSize, 0);
+    StackSegment.assign(Layout::StackSize, 0);
+    // Pre-decode text once.
+    Decoded.reserve(Img.Text.size() / 4);
+    for (size_t Off = 0; Off + 4 <= Img.Text.size(); Off += 4) {
+      uint32_t Word = Img.fetch(Img.TextBase + Off);
+      Decoded.push_back(decode(Word));
+    }
+  }
+
+  Result<SimResult> run();
+
+private:
+  int64_t readInt(uint8_t R) const { return R == Zero ? 0 : IntRegs[R]; }
+  void writeInt(uint8_t R, int64_t V) {
+    if (R != Zero)
+      IntRegs[R] = V;
+  }
+  double readFp(uint8_t R) const { return R == FZero ? 0.0 : FpRegs[R]; }
+  void writeFp(uint8_t R, double V) {
+    if (R != FZero)
+      FpRegs[R] = V;
+  }
+
+  /// Resolves an address to backing storage; null on fault.
+  uint8_t *memPtr(uint64_t Addr, unsigned Size);
+
+  Error load(uint64_t Addr, unsigned Size, uint64_t &Out);
+  Error store(uint64_t Addr, unsigned Size, uint64_t Value);
+
+  /// Applies one instruction's architectural effects. Sets NextPc.
+  Error step(const Inst &I, uint64_t Pc, uint64_t &NextPc, bool &Halt);
+
+  /// Timing helpers.
+  unsigned unitsRead(const Inst &I, unsigned Units[3]) const {
+    return regUnitsRead(I, const_cast<unsigned *>(Units));
+  }
+  bool pairable(const Inst &A, const Inst &B) const;
+
+  const Image &Img;
+  const SimConfig &Cfg;
+  Cache ICache;
+  Cache DCache;
+
+  int64_t IntRegs[32] = {};
+  double FpRegs[32] = {};
+  std::vector<uint8_t> DataSegment;
+  std::vector<uint8_t> StackSegment;
+  std::vector<std::optional<Inst>> Decoded;
+
+  SimResult Res;
+  uint64_t RegReady[NumRegUnits] = {}; // cycle each unit's value is ready
+  uint64_t PendingLoadExtra = 0;       // miss penalty for the current load
+};
+
+} // namespace
+
+uint8_t *Machine::memPtr(uint64_t Addr, unsigned Size) {
+  if (Addr % Size != 0)
+    return nullptr;
+  if (Addr >= Img.DataBase &&
+      Addr + Size <= Img.DataBase + DataSegment.size())
+    return &DataSegment[Addr - Img.DataBase];
+  uint64_t StackBase = Layout::StackTop - Layout::StackSize;
+  if (Addr >= StackBase && Addr + Size <= Layout::StackTop)
+    return &StackSegment[Addr - StackBase];
+  // Reading text as data is legal (constants are not stored there by our
+  // compiler, but be permissive for tools).
+  if (Addr >= Img.TextBase && Addr + Size <= Img.TextBase + Img.Text.size())
+    return const_cast<uint8_t *>(&Img.Text[Addr - Img.TextBase]);
+  return nullptr;
+}
+
+Error Machine::load(uint64_t Addr, unsigned Size, uint64_t &Out) {
+  uint8_t *P = memPtr(Addr, Size);
+  if (!P)
+    return Error::failure(formatString("bad %u-byte load at %s", Size,
+                                       formatHex64(Addr).c_str()));
+  Out = 0;
+  std::memcpy(&Out, P, Size);
+  return Error::success();
+}
+
+Error Machine::store(uint64_t Addr, unsigned Size, uint64_t Value) {
+  uint8_t *P = memPtr(Addr, Size);
+  if (!P || (Addr >= Img.TextBase &&
+             Addr < Img.TextBase + Img.Text.size()))
+    return Error::failure(formatString("bad %u-byte store at %s", Size,
+                                       formatHex64(Addr).c_str()));
+  std::memcpy(P, &Value, Size);
+  return Error::success();
+}
+
+Error Machine::step(const Inst &I, uint64_t Pc, uint64_t &NextPc,
+                    bool &Halt) {
+  NextPc = Pc + 4;
+  PendingLoadExtra = 0;
+
+  auto intOperandB = [&]() -> int64_t {
+    return I.IsLit ? static_cast<int64_t>(I.Lit) : readInt(I.Rb);
+  };
+  auto branchTarget = [&]() {
+    return Pc + 4 + static_cast<int64_t>(I.Disp) * 4;
+  };
+  auto takeBranch = [&]() {
+    NextPc = branchTarget();
+    ++Res.TakenBranches;
+  };
+
+  switch (I.Op) {
+  case Opcode::CallPal:
+    switch (static_cast<PalFunc>(I.Disp & 0xFF)) {
+    case PalFunc::Halt:
+      Halt = true;
+      Res.ExitCode = readInt(A0);
+      return Error::success();
+    case PalFunc::PutChar:
+      Res.Output.push_back(static_cast<char>(readInt(A0) & 0xFF));
+      return Error::success();
+    case PalFunc::PutInt:
+      Res.Output += formatString(
+          "%lld", static_cast<long long>(readInt(A0)));
+      return Error::success();
+    case PalFunc::PutReal:
+      Res.Output += formatString("%.6g", readFp(FA0));
+      return Error::success();
+    case PalFunc::CycleCount:
+      writeInt(V0, static_cast<int64_t>(Cfg.Timing ? Res.Cycles
+                                                   : Res.Instructions));
+      return Error::success();
+    case PalFunc::Count: {
+      uint32_t Index = static_cast<uint32_t>(I.Disp) >> 8;
+      if (Res.ProfileCounts.size() <= Index)
+        Res.ProfileCounts.resize(Index + 1, 0);
+      ++Res.ProfileCounts[Index];
+      return Error::success();
+    }
+    }
+    return Error::failure(formatString("unknown PAL function %d", I.Disp));
+
+  case Opcode::Lda:
+    writeInt(I.Ra, readInt(I.Rb) + I.Disp);
+    return Error::success();
+  case Opcode::Ldah:
+    writeInt(I.Ra, readInt(I.Rb) + (static_cast<int64_t>(I.Disp) << 16));
+    return Error::success();
+
+  case Opcode::Ldl: {
+    uint64_t V;
+    if (Error E = load(readInt(I.Rb) + I.Disp, 4, V))
+      return E;
+    writeInt(I.Ra, static_cast<int32_t>(V));
+    ++Res.Loads;
+    return Error::success();
+  }
+  case Opcode::Ldq: {
+    uint64_t V;
+    if (Error E = load(readInt(I.Rb) + I.Disp, 8, V))
+      return E;
+    writeInt(I.Ra, static_cast<int64_t>(V));
+    ++Res.Loads;
+    return Error::success();
+  }
+  case Opcode::Ldt: {
+    uint64_t V;
+    if (Error E = load(readInt(I.Rb) + I.Disp, 8, V))
+      return E;
+    double D;
+    std::memcpy(&D, &V, 8);
+    writeFp(I.Ra, D);
+    ++Res.Loads;
+    return Error::success();
+  }
+  case Opcode::Stl:
+    ++Res.Stores;
+    return store(readInt(I.Rb) + I.Disp, 4,
+                 static_cast<uint64_t>(readInt(I.Ra)) & 0xFFFFFFFFull);
+  case Opcode::Stq:
+    ++Res.Stores;
+    return store(readInt(I.Rb) + I.Disp, 8,
+                 static_cast<uint64_t>(readInt(I.Ra)));
+  case Opcode::Stt: {
+    double D = readFp(I.Ra);
+    uint64_t V;
+    std::memcpy(&V, &D, 8);
+    ++Res.Stores;
+    return store(readInt(I.Rb) + I.Disp, 8, V);
+  }
+
+  case Opcode::Jmp:
+  case Opcode::Jsr:
+  case Opcode::Ret: {
+    uint64_t Target = static_cast<uint64_t>(readInt(I.Rb)) & ~3ull;
+    writeInt(I.Ra, static_cast<int64_t>(Pc + 4));
+    NextPc = Target;
+    ++Res.TakenBranches;
+    return Error::success();
+  }
+
+  case Opcode::Br:
+  case Opcode::Bsr:
+    writeInt(I.Ra, static_cast<int64_t>(Pc + 4));
+    takeBranch();
+    return Error::success();
+  case Opcode::Beq:
+    if (readInt(I.Ra) == 0)
+      takeBranch();
+    return Error::success();
+  case Opcode::Bne:
+    if (readInt(I.Ra) != 0)
+      takeBranch();
+    return Error::success();
+  case Opcode::Blt:
+    if (readInt(I.Ra) < 0)
+      takeBranch();
+    return Error::success();
+  case Opcode::Ble:
+    if (readInt(I.Ra) <= 0)
+      takeBranch();
+    return Error::success();
+  case Opcode::Bgt:
+    if (readInt(I.Ra) > 0)
+      takeBranch();
+    return Error::success();
+  case Opcode::Bge:
+    if (readInt(I.Ra) >= 0)
+      takeBranch();
+    return Error::success();
+  case Opcode::Fbeq:
+    if (readFp(I.Ra) == 0.0)
+      takeBranch();
+    return Error::success();
+  case Opcode::Fbne:
+    if (readFp(I.Ra) != 0.0)
+      takeBranch();
+    return Error::success();
+
+  case Opcode::Addq:
+    writeInt(I.Rc, static_cast<int64_t>(
+                       static_cast<uint64_t>(readInt(I.Ra)) +
+                       static_cast<uint64_t>(intOperandB())));
+    return Error::success();
+  case Opcode::Subq:
+    writeInt(I.Rc, static_cast<int64_t>(
+                       static_cast<uint64_t>(readInt(I.Ra)) -
+                       static_cast<uint64_t>(intOperandB())));
+    return Error::success();
+  case Opcode::Mulq:
+    writeInt(I.Rc, static_cast<int64_t>(
+                       static_cast<uint64_t>(readInt(I.Ra)) *
+                       static_cast<uint64_t>(intOperandB())));
+    return Error::success();
+  case Opcode::S4addq:
+    writeInt(I.Rc, static_cast<int64_t>(
+                       (static_cast<uint64_t>(readInt(I.Ra)) << 2) +
+                       static_cast<uint64_t>(intOperandB())));
+    return Error::success();
+  case Opcode::S8addq:
+    writeInt(I.Rc, static_cast<int64_t>(
+                       (static_cast<uint64_t>(readInt(I.Ra)) << 3) +
+                       static_cast<uint64_t>(intOperandB())));
+    return Error::success();
+  case Opcode::Cmpeq:
+    writeInt(I.Rc, readInt(I.Ra) == intOperandB() ? 1 : 0);
+    return Error::success();
+  case Opcode::Cmplt:
+    writeInt(I.Rc, readInt(I.Ra) < intOperandB() ? 1 : 0);
+    return Error::success();
+  case Opcode::Cmple:
+    writeInt(I.Rc, readInt(I.Ra) <= intOperandB() ? 1 : 0);
+    return Error::success();
+  case Opcode::Cmpult:
+    writeInt(I.Rc, static_cast<uint64_t>(readInt(I.Ra)) <
+                           static_cast<uint64_t>(intOperandB())
+                       ? 1
+                       : 0);
+    return Error::success();
+  case Opcode::And:
+    writeInt(I.Rc, readInt(I.Ra) & intOperandB());
+    return Error::success();
+  case Opcode::Bic:
+    writeInt(I.Rc, readInt(I.Ra) & ~intOperandB());
+    return Error::success();
+  case Opcode::Bis:
+    writeInt(I.Rc, readInt(I.Ra) | intOperandB());
+    return Error::success();
+  case Opcode::Ornot:
+    writeInt(I.Rc, readInt(I.Ra) | ~intOperandB());
+    return Error::success();
+  case Opcode::Xor:
+    writeInt(I.Rc, readInt(I.Ra) ^ intOperandB());
+    return Error::success();
+  case Opcode::Sll:
+    writeInt(I.Rc, static_cast<int64_t>(
+                       static_cast<uint64_t>(readInt(I.Ra))
+                       << (intOperandB() & 63)));
+    return Error::success();
+  case Opcode::Srl:
+    writeInt(I.Rc, static_cast<int64_t>(
+                       static_cast<uint64_t>(readInt(I.Ra)) >>
+                       (intOperandB() & 63)));
+    return Error::success();
+  case Opcode::Sra:
+    writeInt(I.Rc, readInt(I.Ra) >> (intOperandB() & 63));
+    return Error::success();
+
+  case Opcode::Addt:
+    writeFp(I.Rc, readFp(I.Ra) + readFp(I.Rb));
+    return Error::success();
+  case Opcode::Subt:
+    writeFp(I.Rc, readFp(I.Ra) - readFp(I.Rb));
+    return Error::success();
+  case Opcode::Mult:
+    writeFp(I.Rc, readFp(I.Ra) * readFp(I.Rb));
+    return Error::success();
+  case Opcode::Divt:
+    writeFp(I.Rc, readFp(I.Ra) / readFp(I.Rb));
+    return Error::success();
+  case Opcode::Cmpteq:
+    writeFp(I.Rc, readFp(I.Ra) == readFp(I.Rb) ? 2.0 : 0.0);
+    return Error::success();
+  case Opcode::Cmptlt:
+    writeFp(I.Rc, readFp(I.Ra) < readFp(I.Rb) ? 2.0 : 0.0);
+    return Error::success();
+  case Opcode::Cmptle:
+    writeFp(I.Rc, readFp(I.Ra) <= readFp(I.Rb) ? 2.0 : 0.0);
+    return Error::success();
+  case Opcode::Cpys:
+    writeFp(I.Rc, std::copysign(readFp(I.Rb), readFp(I.Ra)));
+    return Error::success();
+  case Opcode::Cvtqt: {
+    double D = readFp(I.Rb);
+    uint64_t Bits;
+    std::memcpy(&Bits, &D, 8);
+    writeFp(I.Rc, static_cast<double>(static_cast<int64_t>(Bits)));
+    return Error::success();
+  }
+  case Opcode::Cvttq: {
+    double D = readFp(I.Rb);
+    int64_t V;
+    if (std::isnan(D))
+      V = 0;
+    else if (D >= 9.2233720368547758e18)
+      V = INT64_MAX;
+    else if (D <= -9.2233720368547758e18)
+      V = INT64_MIN;
+    else
+      V = static_cast<int64_t>(D);
+    uint64_t Bits = static_cast<uint64_t>(V);
+    double Out;
+    std::memcpy(&Out, &Bits, 8);
+    writeFp(I.Rc, Out);
+    return Error::success();
+  }
+  case Opcode::Itoft: {
+    uint64_t Bits = static_cast<uint64_t>(readInt(I.Ra));
+    double Out;
+    std::memcpy(&Out, &Bits, 8);
+    writeFp(I.Rc, Out);
+    return Error::success();
+  }
+  case Opcode::Ftoit: {
+    double D = readFp(I.Ra);
+    uint64_t Bits;
+    std::memcpy(&Bits, &D, 8);
+    writeInt(I.Rc, static_cast<int64_t>(Bits));
+    return Error::success();
+  }
+  }
+  return Error::failure("unhandled opcode in simulator");
+}
+
+bool Machine::pairable(const Inst &A, const Inst &B) const {
+  // Dual issue requires: A is not a control transfer, at most one memory
+  // operation, at most one branch/jump/PAL, and no data dependence of B on
+  // A (RAW or WAW).
+  InstClass CA = classOf(A.Op);
+  if (CA == InstClass::Branch || CA == InstClass::Jump ||
+      CA == InstClass::Pal)
+    return false;
+  auto isMem = [](const Inst &I) {
+    InstClass C = classOf(I.Op);
+    return C == InstClass::IntLoad || C == InstClass::IntStore ||
+           C == InstClass::FpLoad || C == InstClass::FpStore;
+  };
+  if (isMem(A) && isMem(B))
+    return false;
+  unsigned AW = regUnitWritten(A);
+  if (AW != ~0u) {
+    unsigned Reads[3];
+    unsigned N = regUnitsRead(B, Reads);
+    for (unsigned I = 0; I < N; ++I)
+      if (Reads[I] == AW)
+        return false;
+    if (regUnitWritten(B) == AW)
+      return false;
+  }
+  return true;
+}
+
+Result<SimResult> Machine::run() {
+  uint64_t Pc = Img.Entry;
+  writeInt(PV, static_cast<int64_t>(Img.Entry));
+  writeInt(RA, static_cast<int64_t>(Layout::HaltReturnAddress));
+  writeInt(SP, static_cast<int64_t>(Layout::StackTop - 512));
+  writeInt(GP, static_cast<int64_t>(Img.InitialGp)); // prologue resets it
+
+  // Timing state. Cycle is the cycle at which the next instruction issues
+  // absent stalls; SlotAvail means the previous instruction issued into
+  // slot 0 of Cycle and offered its second issue slot to us.
+  uint64_t Cycle = 0;
+  bool SlotAvail = false;
+
+  while (true) {
+    if (Pc == Layout::HaltReturnAddress) {
+      Res.ExitCode = readInt(V0);
+      break;
+    }
+    if (Pc < Img.TextBase || Pc >= Img.TextBase + Img.Text.size() ||
+        Pc % 4 != 0)
+      return Result<SimResult>::failure(
+          formatString("PC out of text: %s", formatHex64(Pc).c_str()));
+    const std::optional<Inst> &DecodedInst =
+        Decoded[(Pc - Img.TextBase) / 4];
+    if (!DecodedInst)
+      return Result<SimResult>::failure(
+          formatString("undecodable instruction at %s",
+                       formatHex64(Pc).c_str()));
+    const Inst &I = *DecodedInst;
+
+    if (Res.Instructions >= Cfg.MaxInstructions)
+      return Result<SimResult>::failure("instruction budget exceeded "
+                                        "(runaway program?)");
+
+    // ----- timing: issue -----
+    uint64_t IssueCycle = Cycle;
+    bool IssuedAsPair = false;
+    uint64_t EffAddr = 0;
+    bool IsMem = isLoad(I.Op) || isStore(I.Op);
+    if (IsMem)
+      EffAddr = static_cast<uint64_t>(readInt(I.Rb) +
+                                      static_cast<int64_t>(I.Disp));
+    if (Cfg.Timing) {
+      unsigned IMiss = ICache.access(Pc);
+      if (IMiss) {
+        ++Res.ICacheMisses;
+        if (SlotAvail) {
+          SlotAvail = false;
+          ++Cycle;
+        }
+        Cycle += IMiss;
+      }
+      unsigned Reads[3];
+      unsigned N = regUnitsRead(I, Reads);
+      uint64_t ReadyAt = Cycle;
+      for (unsigned R = 0; R < N; ++R)
+        ReadyAt = std::max(ReadyAt, RegReady[Reads[R]]);
+
+      if (SlotAvail && ReadyAt <= Cycle) {
+        // Dual-issue with the previous instruction, same cycle.
+        IssueCycle = Cycle;
+        IssuedAsPair = true;
+        ++Res.DualIssuePairs;
+        SlotAvail = false;
+      } else {
+        if (SlotAvail) {
+          // The offered slot goes unused; the previous group ends.
+          SlotAvail = false;
+          ++Cycle;
+        }
+        Cycle = std::max(Cycle, ReadyAt);
+        IssueCycle = Cycle;
+      }
+    }
+
+    uint64_t NextPc = Pc;
+    bool Halt = false;
+    if (Error E = step(I, Pc, NextPc, Halt))
+      return Result<SimResult>::failure(
+          E.message() + formatString(" (pc=%s, inst='%s')",
+                                     formatHex64(Pc).c_str(),
+                                     disassemble(I).c_str()));
+    ++Res.Instructions;
+    if (I.isNop())
+      ++Res.Nops;
+
+    if (Cfg.Timing) {
+      unsigned Written = regUnitWritten(I);
+      unsigned Lat = latencyOf(I.Op);
+      if (isLoad(I.Op)) {
+        unsigned DMiss = DCache.access(EffAddr);
+        if (DMiss) {
+          ++Res.DCacheMisses;
+          Lat += DMiss;
+        }
+      } else if (isStore(I.Op)) {
+        if (DCache.access(EffAddr))
+          ++Res.DCacheMisses; // write buffer absorbs the latency
+      }
+      if (Written != ~0u)
+        RegReady[Written] = IssueCycle + Lat;
+
+      bool Redirected = NextPc != Pc + 4;
+      if (Redirected) {
+        Cycle = IssueCycle + 1 + 2; // group ends plus taken-branch bubble
+        SlotAvail = false;
+      } else if (IssuedAsPair) {
+        Cycle = IssueCycle + 1; // both slots of the pair consumed
+      } else {
+        // This instruction sits in slot 0 of IssueCycle; offer slot 1 to
+        // the next instruction when the pair shares an aligned quadword
+        // and has no hazards (the alignment rule OM-full's quadword loop
+        // alignment exists to satisfy).
+        bool NextInText = NextPc + 4 <= Img.TextBase + Img.Text.size();
+        SlotAvail = false;
+        if (NextInText && Pc % 8 == 0) {
+          const std::optional<Inst> &NextInst =
+              Decoded[(NextPc - Img.TextBase) / 4];
+          if (NextInst && pairable(I, *NextInst))
+            SlotAvail = true;
+        }
+        Cycle = SlotAvail ? IssueCycle : IssueCycle + 1;
+      }
+      Res.Cycles = Cycle;
+    }
+
+    if (Halt)
+      break;
+    Pc = NextPc;
+  }
+  if (!Cfg.Timing)
+    Res.Cycles = 0;
+  return std::move(Res);
+}
+
+Result<SimResult> om64::sim::run(const Image &Img, const SimConfig &Cfg) {
+  if (Img.Text.empty() || Img.Entry < Img.TextBase ||
+      Img.Entry >= Img.TextBase + Img.Text.size())
+    return Result<SimResult>::failure("image has no valid entry point");
+  Machine M(Img, Cfg);
+  return M.run();
+}

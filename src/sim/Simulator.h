@@ -1,0 +1,80 @@
+//===- sim/Simulator.h - AAX functional and timing simulator --------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes linked AAX images. Two modes:
+///
+///   * functional: architectural semantics only (fast; used to verify that
+///     OM's transformations preserve program behaviour),
+///   * timing: a DECstation-3000/400-class dual-issue in-order model with
+///     load-use latency and direct-mapped I/D caches. This is the measured
+///     machine of section 5.2; it reproduces why dynamic improvements are
+///     smaller than static ones ("cache misses ... mean that many cycles
+///     are spent doing things other than user instructions, and the dual
+///     issue ... means that some instructions come free").
+///
+/// The simulator enters at Image::Entry with PV = entry (the calling
+/// convention main's prologue needs), RA = Layout::HaltReturnAddress, and
+/// SP at the top of the stack. Execution ends on a return to the halt
+/// address (exit status = v0) or a CALL_PAL halt (exit status = a0).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_SIM_SIMULATOR_H
+#define OM64_SIM_SIMULATOR_H
+
+#include "objfile/Image.h"
+#include "support/Result.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace om64 {
+namespace sim {
+
+/// Direct-mapped cache geometry and miss cost.
+struct CacheConfig {
+  uint32_t SizeBytes = 8192;
+  uint32_t LineBytes = 32;
+  unsigned MissPenalty = 20;
+};
+
+/// Simulation options.
+struct SimConfig {
+  bool Timing = true;
+  CacheConfig ICache{8192, 32, 10};
+  CacheConfig DCache{8192, 32, 20};
+  /// Abort (with an error) after this many instructions.
+  uint64_t MaxInstructions = 4000000000ull;
+};
+
+/// Outcome of a run.
+struct SimResult {
+  int64_t ExitCode = 0;
+  std::string Output;          // PAL putchar/putint/putreal stream
+  uint64_t Instructions = 0;   // executed (includes nops)
+  uint64_t Nops = 0;
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  uint64_t TakenBranches = 0;
+  uint64_t Cycles = 0;         // timing mode only
+  uint64_t DualIssuePairs = 0; // timing mode only
+  uint64_t ICacheMisses = 0;   // timing mode only
+  uint64_t DCacheMisses = 0;   // timing mode only
+  /// ATOM-style profile counters (CALL_PAL count[i]); indexed by the
+  /// instrumentation tool's counter ids. Empty when uninstrumented.
+  std::vector<uint64_t> ProfileCounts;
+};
+
+/// Runs \p Img to completion. Failures (bad memory access, undecodable
+/// instruction, instruction budget exceeded) return a message.
+Result<SimResult> run(const obj::Image &Img, const SimConfig &Cfg = {});
+
+} // namespace sim
+} // namespace om64
+
+#endif // OM64_SIM_SIMULATOR_H

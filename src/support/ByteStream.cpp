@@ -1,0 +1,97 @@
+//===- support/ByteStream.cpp ---------------------------------------------==//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ByteStream.h"
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+
+using namespace om64;
+
+void ByteWriter::writeU16(uint16_t V) {
+  writeU8(static_cast<uint8_t>(V & 0xFF));
+  writeU8(static_cast<uint8_t>(V >> 8));
+}
+
+void ByteWriter::writeU32(uint32_t V) {
+  writeU16(static_cast<uint16_t>(V & 0xFFFF));
+  writeU16(static_cast<uint16_t>(V >> 16));
+}
+
+void ByteWriter::writeU64(uint64_t V) {
+  writeU32(static_cast<uint32_t>(V & 0xFFFFFFFFu));
+  writeU32(static_cast<uint32_t>(V >> 32));
+}
+
+void ByteWriter::writeString(const std::string &S) {
+  writeU32(static_cast<uint32_t>(S.size()));
+  Bytes.insert(Bytes.end(), S.begin(), S.end());
+}
+
+void ByteWriter::writeBlob(const std::vector<uint8_t> &Blob) {
+  writeU64(Blob.size());
+  Bytes.insert(Bytes.end(), Blob.begin(), Blob.end());
+}
+
+void ByteWriter::patchU32At(size_t Offset, uint32_t V) {
+  assert(Offset + 4 <= Bytes.size() && "patch out of range");
+  Bytes[Offset] = static_cast<uint8_t>(V & 0xFF);
+  Bytes[Offset + 1] = static_cast<uint8_t>((V >> 8) & 0xFF);
+  Bytes[Offset + 2] = static_cast<uint8_t>((V >> 16) & 0xFF);
+  Bytes[Offset + 3] = static_cast<uint8_t>((V >> 24) & 0xFF);
+}
+
+bool ByteReader::ensure(size_t N) {
+  if (Failed || Pos + N > Bytes.size()) {
+    Failed = true;
+    return false;
+  }
+  return true;
+}
+
+uint8_t ByteReader::readU8() {
+  if (!ensure(1))
+    return 0;
+  return Bytes[Pos++];
+}
+
+uint16_t ByteReader::readU16() {
+  uint16_t Lo = readU8();
+  uint16_t Hi = readU8();
+  return static_cast<uint16_t>(Lo | (Hi << 8));
+}
+
+uint32_t ByteReader::readU32() {
+  uint32_t Lo = readU16();
+  uint32_t Hi = readU16();
+  return Lo | (Hi << 16);
+}
+
+uint64_t ByteReader::readU64() {
+  uint64_t Lo = readU32();
+  uint64_t Hi = readU32();
+  return Lo | (Hi << 32);
+}
+
+std::string ByteReader::readString() {
+  uint32_t N = readU32();
+  if (!ensure(N))
+    return std::string();
+  std::string S(reinterpret_cast<const char *>(&Bytes[Pos]), N);
+  Pos += N;
+  return S;
+}
+
+std::vector<uint8_t> ByteReader::readBlob() {
+  uint64_t N = readU64();
+  if (!ensure(N))
+    return {};
+  std::vector<uint8_t> Blob(Bytes.begin() + static_cast<ptrdiff_t>(Pos),
+                            Bytes.begin() + static_cast<ptrdiff_t>(Pos + N));
+  Pos += N;
+  return Blob;
+}

@@ -1,0 +1,77 @@
+//===- support/ByteStream.h - Little-endian byte (de)serialization -------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ByteWriter/ByteReader serialize the object-file and executable formats.
+/// All multi-byte values are little-endian, matching the Alpha AXP.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_SUPPORT_BYTESTREAM_H
+#define OM64_SUPPORT_BYTESTREAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace om64 {
+
+/// Appends little-endian scalar values and strings to a growing byte buffer.
+class ByteWriter {
+public:
+  void writeU8(uint8_t V) { Bytes.push_back(V); }
+  void writeU16(uint16_t V);
+  void writeU32(uint32_t V);
+  void writeU64(uint64_t V);
+  void writeI64(int64_t V) { writeU64(static_cast<uint64_t>(V)); }
+
+  /// Writes a length-prefixed (u32) string.
+  void writeString(const std::string &S);
+
+  /// Writes raw bytes with a u64 length prefix.
+  void writeBlob(const std::vector<uint8_t> &Blob);
+
+  /// Overwrites 4 bytes at \p Offset; used to patch size fields.
+  void patchU32At(size_t Offset, uint32_t V);
+
+  size_t size() const { return Bytes.size(); }
+  const std::vector<uint8_t> &bytes() const { return Bytes; }
+  std::vector<uint8_t> take() { return std::move(Bytes); }
+
+private:
+  std::vector<uint8_t> Bytes;
+};
+
+/// Reads little-endian scalar values back out of a byte buffer. Reads past
+/// the end set a sticky error flag and return zeros rather than trapping, so
+/// callers can batch reads and check once.
+class ByteReader {
+public:
+  explicit ByteReader(const std::vector<uint8_t> &Bytes) : Bytes(Bytes) {}
+
+  uint8_t readU8();
+  uint16_t readU16();
+  uint32_t readU32();
+  uint64_t readU64();
+  int64_t readI64() { return static_cast<int64_t>(readU64()); }
+  std::string readString();
+  std::vector<uint8_t> readBlob();
+
+  bool hadError() const { return Failed; }
+  bool atEnd() const { return Pos == Bytes.size(); }
+  size_t position() const { return Pos; }
+
+private:
+  bool ensure(size_t N);
+
+  const std::vector<uint8_t> &Bytes;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+} // namespace om64
+
+#endif // OM64_SUPPORT_BYTESTREAM_H

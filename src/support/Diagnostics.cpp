@@ -1,0 +1,45 @@
+//===- support/Diagnostics.cpp ---------------------------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include "support/Format.h"
+
+using namespace om64;
+
+std::string SourceLoc::str() const {
+  return formatString("%u:%u", Line, Column);
+}
+
+std::string Diagnostic::str() const {
+  const char *KindStr = "error";
+  if (Kind == DiagKind::Warning)
+    KindStr = "warning";
+  else if (Kind == DiagKind::Note)
+    KindStr = "note";
+  return formatString("%s:%u:%u: %s: %s", BufferName.c_str(), Loc.Line,
+                      Loc.Column, KindStr, Message.c_str());
+}
+
+void DiagnosticEngine::error(const std::string &BufferName, SourceLoc Loc,
+                             std::string Message) {
+  Diags.push_back({DiagKind::Error, Loc, BufferName, std::move(Message)});
+  ++NumErrors;
+}
+
+void DiagnosticEngine::warning(const std::string &BufferName, SourceLoc Loc,
+                               std::string Message) {
+  Diags.push_back({DiagKind::Warning, Loc, BufferName, std::move(Message)});
+}
+
+std::string DiagnosticEngine::render() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}

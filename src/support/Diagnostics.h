@@ -1,0 +1,68 @@
+//===- support/Diagnostics.h - Source locations and diagnostics ----------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic collection for the MLang front end. Diagnostics are collected
+/// into an engine rather than printed eagerly so library code stays free of
+/// stdio; tools render them at the boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_SUPPORT_DIAGNOSTICS_H
+#define OM64_SUPPORT_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace om64 {
+
+/// A position in an MLang source buffer (1-based line and column).
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  bool isValid() const { return Line != 0; }
+  std::string str() const;
+};
+
+/// Severity of a diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported problem.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  SourceLoc Loc;
+  std::string BufferName;
+  std::string Message;
+
+  /// Renders "name:line:col: error: message".
+  std::string str() const;
+};
+
+/// Accumulates diagnostics from a front-end run.
+class DiagnosticEngine {
+public:
+  void error(const std::string &BufferName, SourceLoc Loc,
+             std::string Message);
+  void warning(const std::string &BufferName, SourceLoc Loc,
+               std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &all() const { return Diags; }
+
+  /// Renders every diagnostic, one per line.
+  std::string render() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace om64
+
+#endif // OM64_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,48 @@
+//===- support/FileIO.cpp ---------------------------------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FileIO.h"
+
+#include <cstdio>
+
+using namespace om64;
+
+Result<std::vector<uint8_t>> om64::readFileBytes(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Result<std::vector<uint8_t>>::failure("cannot open '" + Path +
+                                                 "' for reading");
+  std::vector<uint8_t> Bytes;
+  uint8_t Buf[65536];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Bytes.insert(Bytes.end(), Buf, Buf + N);
+  bool Bad = std::ferror(F);
+  std::fclose(F);
+  if (Bad)
+    return Result<std::vector<uint8_t>>::failure("read error on '" + Path +
+                                                 "'");
+  return Bytes;
+}
+
+Result<std::string> om64::readFileText(const std::string &Path) {
+  Result<std::vector<uint8_t>> Bytes = readFileBytes(Path);
+  if (!Bytes)
+    return Result<std::string>::failure(Bytes.message());
+  return std::string(Bytes->begin(), Bytes->end());
+}
+
+Error om64::writeFileBytes(const std::string &Path,
+                           const std::vector<uint8_t> &Bytes) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return Error::failure("cannot open '" + Path + "' for writing");
+  size_t Written = std::fwrite(Bytes.data(), 1, Bytes.size(), F);
+  bool Bad = Written != Bytes.size() || std::fclose(F) != 0;
+  if (Bad)
+    return Error::failure("write error on '" + Path + "'");
+  return Error::success();
+}

@@ -1,0 +1,30 @@
+//===- support/FileIO.h - Whole-file reads and writes ---------------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_SUPPORT_FILEIO_H
+#define OM64_SUPPORT_FILEIO_H
+
+#include "support/Result.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace om64 {
+
+/// Reads an entire file; fails with a message naming the path.
+Result<std::vector<uint8_t>> readFileBytes(const std::string &Path);
+
+/// Reads an entire file as text.
+Result<std::string> readFileText(const std::string &Path);
+
+/// Writes (truncating) the bytes to the path.
+Error writeFileBytes(const std::string &Path,
+                     const std::vector<uint8_t> &Bytes);
+
+} // namespace om64
+
+#endif // OM64_SUPPORT_FILEIO_H

@@ -1,0 +1,58 @@
+//===- support/Format.cpp -------------------------------------------------==//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace om64;
+
+std::string om64::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  std::string Out;
+  if (Needed > 0) {
+    Out.resize(static_cast<size_t>(Needed) + 1);
+    std::vsnprintf(Out.data(), Out.size(), Fmt, ArgsCopy);
+    Out.resize(static_cast<size_t>(Needed));
+  }
+  va_end(ArgsCopy);
+  return Out;
+}
+
+std::string om64::formatHex64(uint64_t Value) {
+  return formatString("0x%016llx", static_cast<unsigned long long>(Value));
+}
+
+std::string om64::padRight(std::string S, size_t Width) {
+  if (S.size() < Width)
+    S.append(Width - S.size(), ' ');
+  return S;
+}
+
+std::string om64::padLeft(std::string S, size_t Width) {
+  if (S.size() < Width)
+    S.insert(S.begin(), Width - S.size(), ' ');
+  return S;
+}
+
+std::vector<std::string> om64::splitString(const std::string &S, char Sep) {
+  std::vector<std::string> Fields;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = S.find(Sep, Start);
+    if (Pos == std::string::npos) {
+      Fields.push_back(S.substr(Start));
+      return Fields;
+    }
+    Fields.push_back(S.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}

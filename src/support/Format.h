@@ -1,0 +1,43 @@
+//===- support/Format.h - printf-style std::string formatting ------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String formatting helpers. The project avoids <iostream> in library code
+/// (per the coding guide); formatted text is built with these helpers and
+/// written with stdio at the tool boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_SUPPORT_FORMAT_H
+#define OM64_SUPPORT_FORMAT_H
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace om64 {
+
+/// Returns the printf-style formatting of the arguments as a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Returns \p Value formatted as a 0x-prefixed, zero-padded 64-bit hex
+/// number, e.g. "0x0000000120000040".
+std::string formatHex64(uint64_t Value);
+
+/// Returns \p S padded with spaces on the right to at least \p Width.
+std::string padRight(std::string S, size_t Width);
+
+/// Returns \p S padded with spaces on the left to at least \p Width.
+std::string padLeft(std::string S, size_t Width);
+
+/// Splits \p S on \p Sep; keeps empty fields.
+std::vector<std::string> splitString(const std::string &S, char Sep);
+
+} // namespace om64
+
+#endif // OM64_SUPPORT_FORMAT_H

@@ -1,0 +1,41 @@
+//===- support/Random.cpp --------------------------------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <cassert>
+
+using namespace om64;
+
+uint64_t DetRandom::next() {
+  State += 0x9E3779B97F4A7C15ull;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+  return Z ^ (Z >> 31);
+}
+
+uint64_t DetRandom::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "nextBelow(0) is meaningless");
+  // Modulo bias is irrelevant for workload synthesis purposes.
+  return next() % Bound;
+}
+
+int64_t DetRandom::nextInRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  return Lo + static_cast<int64_t>(nextBelow(Span));
+}
+
+double DetRandom::nextUnit() {
+  // 53 bits of mantissa.
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool DetRandom::chance(uint64_t Numer, uint64_t Denom) {
+  assert(Denom != 0 && "zero denominator");
+  return nextBelow(Denom) < Numer;
+}

@@ -1,0 +1,48 @@
+//===- support/Random.h - Deterministic PRNG for workload synthesis ------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64-based deterministic pseudo-random generator. The synthetic
+/// SPEC92-shaped workloads must be bit-identical across runs and platforms,
+/// so no std::random_device / std::mt19937 (whose distributions are not
+/// pinned across library versions) is used.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_SUPPORT_RANDOM_H
+#define OM64_SUPPORT_RANDOM_H
+
+#include <cstdint>
+
+namespace om64 {
+
+/// Deterministic 64-bit PRNG (SplitMix64).
+class DetRandom {
+public:
+  explicit DetRandom(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a value uniformly in [0, Bound); Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a value uniformly in [Lo, Hi] inclusive; requires Lo <= Hi.
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Returns a double uniformly in [0, 1).
+  double nextUnit();
+
+  /// Returns true with probability Numer/Denom.
+  bool chance(uint64_t Numer, uint64_t Denom);
+
+private:
+  uint64_t State;
+};
+
+} // namespace om64
+
+#endif // OM64_SUPPORT_RANDOM_H

@@ -1,0 +1,117 @@
+//===- support/Result.h - Lightweight error propagation ------------------===//
+//
+// Part of the om64 project: a reproduction of Srivastava & Wall,
+// "Link-Time Optimization of Address Calculation on a 64-bit Architecture"
+// (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small Expected-style result type. The project does not use exceptions
+/// (per the compilers-domain coding guide), so fallible operations return
+/// Result<T> carrying either a value or a human-readable error message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_SUPPORT_RESULT_H
+#define OM64_SUPPORT_RESULT_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace om64 {
+
+/// An error described by a message, or success. Converts to true on error,
+/// mirroring llvm::Error's convention.
+class Error {
+public:
+  /// Builds the success value.
+  Error() = default;
+
+  /// Builds a failure carrying \p Message.
+  static Error failure(std::string Message) {
+    Error E;
+    E.Message = std::move(Message);
+    return E;
+  }
+
+  /// Builds the success value explicitly.
+  static Error success() { return Error(); }
+
+  explicit operator bool() const { return Message.has_value(); }
+
+  /// Returns the message; only valid on failures.
+  const std::string &message() const {
+    assert(Message && "no message on a success value");
+    return *Message;
+  }
+
+private:
+  std::optional<std::string> Message;
+};
+
+/// Holds either a T or an error message. Converts to true on success,
+/// mirroring llvm::Expected's convention.
+template <typename T> class Result {
+public:
+  /// Implicitly constructs a success result from a value.
+  Result(T Value) : Value(std::move(Value)) {}
+
+  /// Implicitly constructs a failure from an Error.
+  Result(Error E) : Message(E.message()) {
+    assert(E && "constructing Result failure from a success Error");
+  }
+
+  /// Builds a failure carrying \p Message.
+  static Result<T> failure(std::string Message) {
+    return Result<T>(Error::failure(std::move(Message)));
+  }
+
+  explicit operator bool() const { return Value.has_value(); }
+
+  T &operator*() {
+    assert(Value && "dereferencing a failed Result");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(Value && "dereferencing a failed Result");
+    return *Value;
+  }
+  T *operator->() {
+    assert(Value && "dereferencing a failed Result");
+    return &*Value;
+  }
+  const T *operator->() const {
+    assert(Value && "dereferencing a failed Result");
+    return &*Value;
+  }
+
+  /// Returns the error message; only valid on failures.
+  const std::string &message() const {
+    assert(!Value && "no message on a success Result");
+    return Message;
+  }
+
+  /// Moves the value out of a success result.
+  T take() {
+    assert(Value && "taking from a failed Result");
+    return std::move(*Value);
+  }
+
+  /// Converts the failure state into an Error.
+  Error takeError() const {
+    if (Value)
+      return Error::success();
+    return Error::failure(Message);
+  }
+
+private:
+  std::optional<T> Value;
+  std::string Message;
+};
+
+} // namespace om64
+
+#endif // OM64_SUPPORT_RESULT_H

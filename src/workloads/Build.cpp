@@ -1,0 +1,105 @@
+//===- workloads/Build.cpp - Parse/compile/link pipeline ------------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "linker/Linker.h"
+
+using namespace om64;
+using namespace om64::wl;
+
+std::vector<obj::ObjectFile>
+BuiltWorkload::linkSet(CompileMode Mode) const {
+  std::vector<obj::ObjectFile> Objs;
+  if (Mode == CompileMode::Each)
+    Objs = UserEach;
+  else
+    Objs.push_back(UserAll);
+  Objs.insert(Objs.end(), Library.begin(), Library.end());
+  return Objs;
+}
+
+Result<ParsedWorkload> om64::wl::parseWorkload(const std::string &Name) {
+  std::vector<SourceModule> User = workloadSources(Name);
+  if (User.empty())
+    return Result<ParsedWorkload>::failure("unknown workload '" + Name +
+                                           "'");
+  ParsedWorkload PW;
+  DiagnosticEngine Diags;
+  for (const SourceModule &SM : User) {
+    std::optional<lang::Module> M =
+        lang::parseModule(SM.Name, SM.Source, Diags);
+    if (!M)
+      return Result<ParsedWorkload>::failure("parse error in " + SM.Name +
+                                             ":\n" + Diags.render());
+    PW.UserModules.push_back(M->Name);
+    PW.AST.Modules.push_back(std::move(*M));
+  }
+  for (const SourceModule &SM : runtimeModules()) {
+    std::optional<lang::Module> M =
+        lang::parseModule(SM.Name, SM.Source, Diags);
+    if (!M)
+      return Result<ParsedWorkload>::failure("parse error in runtime " +
+                                             SM.Name + ":\n" +
+                                             Diags.render());
+    PW.RuntimeModuleNames.push_back(M->Name);
+    PW.AST.Modules.push_back(std::move(*M));
+  }
+  if (!lang::analyzeProgram(PW.AST, Diags) ||
+      !lang::checkEntryPoint(PW.AST, Diags))
+    return Result<ParsedWorkload>::failure("semantic errors in '" + Name +
+                                           "':\n" + Diags.render());
+  return PW;
+}
+
+Result<BuiltWorkload> om64::wl::buildWorkload(const std::string &Name,
+                                              bool SchedOn) {
+  Result<ParsedWorkload> PW = parseWorkload(Name);
+  if (!PW)
+    return Result<BuiltWorkload>::failure(PW.message());
+
+  BuiltWorkload W;
+  W.Name = Name;
+
+  cg::CompileOptions EachOpts;
+  EachOpts.InterUnit = false;
+  EachOpts.Schedule = SchedOn;
+
+  // The library is always pre-compiled module-by-module.
+  Result<std::vector<obj::ObjectFile>> Lib =
+      cg::compileEach(PW->AST, PW->RuntimeModuleNames, EachOpts);
+  if (!Lib)
+    return Result<BuiltWorkload>::failure(Lib.message());
+  W.Library = Lib.take();
+
+  Result<std::vector<obj::ObjectFile>> Each =
+      cg::compileEach(PW->AST, PW->UserModules, EachOpts);
+  if (!Each)
+    return Result<BuiltWorkload>::failure(Each.message());
+  W.UserEach = Each.take();
+
+  cg::CompileOptions AllOpts = EachOpts;
+  AllOpts.InterUnit = true;
+  Result<obj::ObjectFile> All =
+      cg::compileUnit(PW->AST, PW->UserModules, AllOpts);
+  if (!All)
+    return Result<BuiltWorkload>::failure(All.message());
+  W.UserAll = All.take();
+  return W;
+}
+
+Result<obj::Image> om64::wl::linkBaseline(const BuiltWorkload &W,
+                                          CompileMode Mode) {
+  return lnk::link(W.linkSet(Mode));
+}
+
+Result<om::OmResult> om64::wl::linkWithOm(const BuiltWorkload &W,
+                                          CompileMode Mode,
+                                          const om::OmOptions &Opts) {
+  return om::optimize(W.linkSet(Mode), Opts);
+}

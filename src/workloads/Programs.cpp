@@ -1,0 +1,46 @@
+//===- workloads/Programs.cpp - Workload registry --------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "workloads/ProgramsImpl.h"
+
+using namespace om64;
+using namespace om64::wl;
+
+const std::vector<std::string> &om64::wl::workloadNames() {
+  // SPEC92 minus gcc, in the paper's figure order.
+  static const std::vector<std::string> Names = {
+      "alvinn",  "compress", "doduc",   "ear",     "eqntott",
+      "espresso", "fpppp",   "hydro2d", "li",      "mdljdp2",
+      "mdljsp2", "nasa7",    "ora",     "sc",      "spice",
+      "su2cor",  "swm256",   "tomcatv", "wave5"};
+  return Names;
+}
+
+std::vector<SourceModule>
+om64::wl::workloadSources(const std::string &Name) {
+  if (Name == "alvinn")   return detail::progAlvinn();
+  if (Name == "compress") return detail::progCompress();
+  if (Name == "doduc")    return detail::progDoduc();
+  if (Name == "ear")      return detail::progEar();
+  if (Name == "eqntott")  return detail::progEqntott();
+  if (Name == "espresso") return detail::progEspresso();
+  if (Name == "fpppp")    return detail::progFpppp();
+  if (Name == "hydro2d")  return detail::progHydro2d();
+  if (Name == "li")       return detail::progLi();
+  if (Name == "mdljdp2")  return detail::progMdljdp2();
+  if (Name == "mdljsp2")  return detail::progMdljsp2();
+  if (Name == "nasa7")    return detail::progNasa7();
+  if (Name == "ora")      return detail::progOra();
+  if (Name == "sc")       return detail::progSc();
+  if (Name == "spice")    return detail::progSpice();
+  if (Name == "su2cor")   return detail::progSu2cor();
+  if (Name == "swm256")   return detail::progSwm256();
+  if (Name == "tomcatv")  return detail::progTomcatv();
+  if (Name == "wave5")    return detail::progWave5();
+  return {};
+}

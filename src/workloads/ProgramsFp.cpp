@@ -1,0 +1,1078 @@
+//===- workloads/ProgramsFp.cpp - FP-profile SPEC92-shaped programs -------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The floating-point-heavy workloads. Each is shaped after its SPEC92
+/// namesake's published profile: alvinn is a back-propagation network with
+/// sigmoid library calls, doduc and fpppp carry large straight-line basic
+/// blocks, hydro2d/swm256/tomcatv are grid stencils, mdljdp2/mdljsp2 are
+/// pairwise-force N-body kernels, ora is intersection geometry dominated
+/// by square roots, su2cor multiplies small matrices over a lattice, ear
+/// is a sin/cos filterbank, nasa7 runs seven small numeric kernels, wave5
+/// is a particle-in-cell mix of integer and fp work.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/ProgramsImpl.h"
+
+using namespace om64;
+using namespace om64::wl;
+
+std::vector<SourceModule> om64::wl::detail::progAlvinn() {
+  return {{"alvinn", R"(
+module alvinn;
+import mathlib;
+import prng;
+import io;
+
+var weights: real[8192];
+var hidden: real[32];
+var input: real[64];
+var target: real;
+
+export func init_net() {
+  var i: int;
+  prng.seed(4242);
+  i = 0;
+  while (i < 8192) {
+    weights[i] = toreal((i * 37 & 255) - 128) * 0.003;
+    i = i + 1;
+  }
+  i = 0;
+  while (i < 64) {
+    input[i] = prng.next_real();
+    i = i + 1;
+  }
+  target = 0.75;
+}
+
+export func forward(): real {
+  var h: int;
+  var i: int;
+  var s: real;
+  var out: real;
+  h = 0;
+  out = 0.0;
+  while (h < 32) {
+    s = 0.0;
+    i = 0;
+    while (i < 8) {
+      s = s + weights[(h * 256 + i * 33) & 8191] * input[(h + i) & 63];
+      i = i + 1;
+    }
+    hidden[h] = mathlib.sigmoid(s);
+    out = out + hidden[h];
+    h = h + 1;
+  }
+  return out * 0.03125;
+}
+
+export func train_step(rate: real): real {
+  var out: real;
+  var err: real;
+  var h: int;
+  var i: int;
+  var g: real;
+  out = forward();
+  err = target - out;
+  h = 0;
+  while (h < 32) {
+    g = err * hidden[h] * (1.0 - hidden[h]);
+    i = 0;
+    while (i < 8) {
+      weights[(h * 256 + i * 33) & 8191] = weights[(h * 256 + i * 33) & 8191]
+                  + rate * g * input[(h + i) & 63];
+      i = i + 1;
+    }
+    h = h + 1;
+  }
+  return err;
+}
+
+export func main(): int {
+  var epoch: int;
+  var err: real;
+  init_net();
+  epoch = 0;
+  err = 0.0;
+  while (epoch < 12) {
+    err = train_step(0.08);
+    epoch = epoch + 1;
+  }
+  io.print_int_ln(trunc(err * 1000000.0));
+  io.print_int_ln(trunc(forward() * 1000000.0));
+  return 0;
+}
+)"}};
+}
+
+std::vector<SourceModule> om64::wl::detail::progDoduc() {
+  return {{"doduc", R"(
+module doduc;
+import io;
+import mathlib;
+
+# Monte-Carlo-free thermohydraulics-style state advance: long basic
+# blocks of scalar fp updates with occasional branching, like doduc's
+# profile (few loops, big blocks).
+var rho: real;
+var tm: real;
+var pr: real;
+var en: real;
+var fl: real;
+var qual: real;
+var vel: real;
+var acc: real;
+
+export func advance(dt: real): real {
+  var drho: real;
+  var dtm: real;
+  var dpr: real;
+  var den: real;
+  var k1: real;
+  var k2: real;
+  var k3: real;
+  var k4: real;
+  k1 = rho * vel * 0.125 + pr * 0.001;
+  k2 = tm * 0.0625 - en * 0.002 + fl * 0.25;
+  k3 = qual * vel - acc * tm * 0.001;
+  k4 = pr * rho * 0.0001 + en * 0.03;
+  drho = dt * (k1 - k3 * 0.5);
+  dtm = dt * (k2 + k4 * 0.25);
+  dpr = dt * (k3 - k1 * 0.125 + k2 * 0.0625);
+  den = dt * (k4 - k2 * 0.5 + k1 * 0.03125);
+  rho = rho + drho;
+  tm = tm + dtm;
+  pr = pr + dpr;
+  en = en + den;
+  fl = fl + dt * (vel * 0.01 - fl * 0.02);
+  qual = qual + dt * (en * 0.0001 - qual * 0.01);
+  vel = vel + dt * (acc * 0.5 - vel * 0.001);
+  acc = acc * (1.0 - dt * 0.01) + dt * pr * 0.0001;
+  if (rho > 100.0) { rho = rho * 0.5; }
+  if (tm > 500.0) { tm = tm - 250.0; }
+  if (pr < 0.0) { pr = -pr; }
+  return rho + tm + pr + en;
+}
+
+export func main(): int {
+  var step: int;
+  var sum: real;
+  rho = 1.2;
+  tm = 300.0;
+  pr = 14.7;
+  en = 2.5;
+  fl = 0.8;
+  qual = 0.1;
+  vel = 3.0;
+  acc = 0.05;
+  step = 0;
+  sum = 0.0;
+  while (step < 4000) {
+    sum = sum + advance(0.01);
+    step = step + 1;
+  }
+  io.print_int_ln(trunc(sum));
+  io.print_int_ln(trunc(mathlib.fabs(vel) * 1000.0));
+  return 0;
+}
+)"}};
+}
+
+std::vector<SourceModule> om64::wl::detail::progEar() {
+  return {{"ear", R"(
+module ear;
+import mathlib;
+import io;
+
+# Cochlea-model-style filterbank: banks of resonators driven by a
+# synthesized signal; dominated by sin/cos library calls and fp
+# multiply-adds.
+var bank_re: real[32];
+var bank_im: real[32];
+var energy: real[32];
+
+export func excite(t: int): real {
+  var phase: real;
+  var s: real;
+  phase = toreal(t & 63) * 0.0981747704;
+  s = mathlib.sin(phase) + 0.5 * mathlib.cos(phase * 2.0 - 3.0);
+  return s;
+}
+
+export func filter_step(x: real) {
+  var k: int;
+  var w: real;
+  var c: real;
+  var s: real;
+  var re: real;
+  var im: real;
+  k = 0;
+  while (k < 32) {
+    w = 0.05 + toreal(k) * 0.01;
+    c = 1.0 - w * w * 0.5;
+    s = w;
+    re = bank_re[k];
+    im = bank_im[k];
+    bank_re[k] = c * re - s * im + x * 0.1;
+    bank_im[k] = s * re + c * im;
+    energy[k] = energy[k] * 0.999 + bank_re[k] * bank_re[k];
+    k = k + 1;
+  }
+}
+
+export func main(): int {
+  var t: int;
+  var k: int;
+  var total: real;
+  t = 0;
+  while (t < 1500) {
+    filter_step(excite(t));
+    t = t + 1;
+  }
+  total = 0.0;
+  k = 0;
+  while (k < 32) {
+    total = total + energy[k];
+    k = k + 1;
+  }
+  io.print_int_ln(trunc(total * 100.0));
+  return 0;
+}
+)"}};
+}
+
+std::vector<SourceModule> om64::wl::detail::progFpppp() {
+  // fpppp is famous for very large basic blocks (two-electron integral
+  // evaluation); the kernel below is one enormous straight-line block,
+  // which is also what makes link-time scheduling superlinearly expensive
+  // in Figure 7.
+  return {{"fpppp", R"(
+module fpppp;
+import io;
+
+var g: real[64];
+
+export func twoel(a: real, b: real): real {
+  var t0: real;
+  var t1: real;
+  var t2: real;
+  var t3: real;
+  var t4: real;
+  var t5: real;
+  var t6: real;
+  var t7: real;
+  t0 = a * b + g[0];
+  t1 = a - b * g[1];
+  t2 = t0 * t1 + g[2];
+  t3 = t0 - t1 * g[3];
+  t4 = t2 * t3 + g[4];
+  t5 = t2 - t3 * g[5];
+  t6 = t4 * t5 * 0.05 + g[6];
+  t7 = t4 - t5 * g[7];
+  t0 = t6 * 0.5 + t7 * 0.25 + g[8];
+  t1 = t6 * 0.125 - t7 * 0.0625 + g[9];
+  t2 = t0 * t1 * 0.01 + g[10];
+  t3 = t0 - t1 + g[11];
+  t4 = t2 * 0.5 + t3 * 0.25 + g[12];
+  t5 = t2 * 0.125 - t3 * 0.0625 + g[13];
+  t6 = t4 * t5 * 0.01 + g[14];
+  t7 = t4 - t5 + g[15];
+  t0 = t6 * 0.903 + t7 * 0.1 + g[16];
+  t1 = t6 * 0.05 - t7 * 0.02 + g[17];
+  t2 = t0 * t1 * 0.01 + g[18];
+  t3 = t0 - t1 + g[19];
+  t4 = t2 * 0.33 + t3 * 0.66 + g[20];
+  t5 = t2 * 0.25 - t3 * 0.75 + g[21];
+  t6 = t4 * t5 * 0.01 + g[22];
+  t7 = t4 - t5 + g[23];
+  t0 = t6 + t7 * 0.5 + g[24];
+  t1 = t6 - t7 * 0.5 + g[25];
+  t2 = t0 * t1 * 0.001 + g[26];
+  t3 = t0 - t1 * 0.001 + g[27];
+  t4 = t2 + t3 + g[28];
+  t5 = t2 - t3 + g[29];
+  t6 = t4 * 0.5 + t5 * 0.125 + g[30];
+  t7 = t4 * 0.25 - t5 * 0.0625 + g[31];
+  return t6 * 1.0001 + t7 * 0.9999;
+}
+
+export func setup() {
+  var i: int;
+  i = 0;
+  while (i < 64) {
+    g[i] = toreal(i * 7 & 31) * 0.0625 - 0.9;
+    i = i + 1;
+  }
+}
+
+export func main(): int {
+  var i: int;
+  var acc: real;
+  var a: real;
+  var b: real;
+  setup();
+  acc = 0.0;
+  a = 0.5;
+  b = 1.25;
+  i = 0;
+  while (i < 3000) {
+    acc = acc + twoel(a, b);
+    a = a + 0.001;
+    b = b - 0.0005;
+    if (acc > 1000000.0) { acc = acc * 0.0001; }
+    i = i + 1;
+  }
+  io.print_int_ln(trunc(acc * 10.0));
+  return 0;
+}
+)"}};
+}
+
+std::vector<SourceModule> om64::wl::detail::progHydro2d() {
+  return {{"hydro2d", R"(
+module hydro2d;
+import io;
+
+# Navier-Stokes-style red-black relaxation over a 32x32 grid.
+var grid: real[9216];
+var source: real[9216];
+
+export func init_grid() {
+  var i: int;
+  i = 0;
+  while (i < 9216) {
+    grid[i] = 0.0;
+    source[i] = toreal((i * 31 & 127) - 64) * 0.01;
+    i = i + 1;
+  }
+}
+
+export func sweep(omega: real): real {
+  var r: int;
+  var c: int;
+  var idx: int;
+  var v: real;
+  var resid: real;
+  resid = 0.0;
+  r = 1;
+  while (r < 95) {
+    c = 1;
+    while (c < 95) {
+      idx = r * 96 + c;
+      v = 0.25 * (grid[idx - 1] + grid[idx + 1] + grid[idx - 96]
+                  + grid[idx + 96]) - source[idx];
+      grid[idx] = grid[idx] + omega * (v - grid[idx]);
+      resid = resid + (v - grid[idx]) * (v - grid[idx]);
+      c = c + 1;
+    }
+    r = r + 1;
+  }
+  return resid;
+}
+
+export func main(): int {
+  var iter: int;
+  var resid: real;
+  init_grid();
+  iter = 0;
+  resid = 0.0;
+  while (iter < 6) {
+    resid = sweep(1.5);
+    iter = iter + 1;
+  }
+  io.print_int_ln(trunc(resid * 1000000.0));
+  io.print_int_ln(trunc(grid[4656] * 1000000.0));
+  return 0;
+}
+)"}};
+}
+
+std::vector<SourceModule> om64::wl::detail::progMdljdp2() {
+  return {{"mdljdp2", R"(
+module mdljdp2;
+import io;
+
+# Lennard-Jones-style molecular dynamics, double precision: pairwise
+# forces with 1/r^2 kernels, velocity-Verlet-ish integration.
+var px: real[32];
+var py: real[32];
+var vx: real[32];
+var vy: real[32];
+var fx: real[32];
+var fy: real[32];
+
+export func init_sys() {
+  var i: int;
+  i = 0;
+  while (i < 32) {
+    px[i] = toreal(i & 7) * 1.1;
+    py[i] = toreal(i >> 3) * 1.1;
+    vx[i] = toreal((i * 13 & 15) - 8) * 0.01;
+    vy[i] = toreal((i * 29 & 15) - 8) * 0.01;
+    i = i + 1;
+  }
+}
+
+export func forces() {
+  var i: int;
+  var j: int;
+  var dx: real;
+  var dy: real;
+  var r2: real;
+  var inv2: real;
+  var inv6: real;
+  var f: real;
+  i = 0;
+  while (i < 32) {
+    fx[i] = 0.0;
+    fy[i] = 0.0;
+    i = i + 1;
+  }
+  i = 0;
+  while (i < 32) {
+    j = i + 1;
+    while (j < 32) {
+      dx = px[i] - px[j];
+      dy = py[i] - py[j];
+      r2 = dx * dx + dy * dy + 0.01;
+      inv2 = 1.0 / r2;
+      inv6 = inv2 * inv2 * inv2;
+      f = 24.0 * inv6 * (2.0 * inv6 - 1.0) * inv2;
+      fx[i] = fx[i] + f * dx;
+      fy[i] = fy[i] + f * dy;
+      fx[j] = fx[j] - f * dx;
+      fy[j] = fy[j] - f * dy;
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+}
+
+export func integrate(dt: real): real {
+  var i: int;
+  var ke: real;
+  ke = 0.0;
+  i = 0;
+  while (i < 32) {
+    vx[i] = vx[i] + fx[i] * dt;
+    vy[i] = vy[i] + fy[i] * dt;
+    px[i] = px[i] + vx[i] * dt;
+    py[i] = py[i] + vy[i] * dt;
+    ke = ke + vx[i] * vx[i] + vy[i] * vy[i];
+    i = i + 1;
+  }
+  return ke;
+}
+
+export func main(): int {
+  var step: int;
+  var ke: real;
+  init_sys();
+  step = 0;
+  ke = 0.0;
+  while (step < 25) {
+    forces();
+    ke = integrate(0.002);
+    step = step + 1;
+  }
+  io.print_int_ln(trunc(ke * 100000.0));
+  io.print_int_ln(trunc(px[17] * 100000.0));
+  return 0;
+}
+)"}};
+}
+
+std::vector<SourceModule> om64::wl::detail::progMdljsp2() {
+  return {{"mdljsp2", R"(
+module mdljsp2;
+import io;
+import mathlib;
+
+# The single-precision variant of the MD benchmark: a different force law
+# with explicit square roots and a neighbor cutoff.
+var px: real[24];
+var py: real[24];
+var vx: real[24];
+var vy: real[24];
+
+export func init_sys() {
+  var i: int;
+  i = 0;
+  while (i < 24) {
+    px[i] = toreal(i * 17 & 31) * 0.4;
+    py[i] = toreal(i * 5 & 31) * 0.4;
+    vx[i] = 0.0;
+    vy[i] = 0.0;
+    i = i + 1;
+  }
+}
+
+export func step_sys(dt: real): real {
+  var i: int;
+  var j: int;
+  var dx: real;
+  var dy: real;
+  var r: real;
+  var f: real;
+  var pot: real;
+  pot = 0.0;
+  i = 0;
+  while (i < 24) {
+    j = 0;
+    while (j < 24) {
+      if (j != i) {
+        dx = px[i] - px[j];
+        dy = py[i] - py[j];
+        r = mathlib.sqrt(dx * dx + dy * dy + 0.05);
+        if (r < 3.0) {
+          f = (1.0 - r * 0.333333) / (r * r);
+          vx[i] = vx[i] + f * dx * dt;
+          vy[i] = vy[i] + f * dy * dt;
+          pot = pot + f;
+        }
+      }
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  i = 0;
+  while (i < 24) {
+    px[i] = px[i] + vx[i] * dt;
+    py[i] = py[i] + vy[i] * dt;
+    i = i + 1;
+  }
+  return pot;
+}
+
+export func main(): int {
+  var step: int;
+  var pot: real;
+  init_sys();
+  step = 0;
+  pot = 0.0;
+  while (step < 6) {
+    pot = pot + step_sys(0.01);
+    step = step + 1;
+  }
+  io.print_int_ln(trunc(pot * 1000.0));
+  return 0;
+}
+)"}};
+}
+
+std::vector<SourceModule> om64::wl::detail::progNasa7() {
+  return {
+      {"nasa7", R"(
+module nasa7;
+import kernels;
+import io;
+
+# Seven small numeric kernels, each reporting its own checksum, like the
+# NASA7 composite benchmark.
+export func main(): int {
+  kernels.setup();
+  io.print_int_ln(kernels.mxm());
+  io.print_int_ln(kernels.cholesky_like());
+  io.print_int_ln(kernels.butterfly());
+  io.print_int_ln(kernels.gauss_step());
+  io.print_int_ln(kernels.tridiag());
+  io.print_int_ln(kernels.emit());
+  io.print_int_ln(kernels.vpenta_like());
+  return 0;
+}
+)"},
+      {"kernels", R"(
+module kernels;
+
+var a: real[256];
+var b: real[256];
+var c: real[256];
+
+export func setup() {
+  var i: int;
+  i = 0;
+  while (i < 256) {
+    a[i] = toreal((i * 37 & 255) - 128) * 0.01;
+    b[i] = toreal((i * 101 & 255) - 128) * 0.005;
+    c[i] = 0.0;
+    i = i + 1;
+  }
+}
+
+# 16x16 matrix multiply.
+export func mxm(): int {
+  var i: int;
+  var j: int;
+  var k: int;
+  var s: real;
+  i = 0;
+  while (i < 16) {
+    j = 0;
+    while (j < 16) {
+      s = 0.0;
+      k = 0;
+      while (k < 16) {
+        s = s + a[i * 16 + k] * b[k * 16 + j];
+        k = k + 1;
+      }
+      c[i * 16 + j] = s;
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  return trunc(c[85] * 100000.0);
+}
+
+export func cholesky_like(): int {
+  var i: int;
+  var j: int;
+  var s: real;
+  i = 1;
+  while (i < 256) {
+    s = c[i - 1];
+    j = i & 15;
+    c[i] = (a[i] - s * 0.125) * (1.0 + toreal(j) * 0.01);
+    i = i + 1;
+  }
+  return trunc(c[200] * 100000.0);
+}
+
+export func butterfly(): int {
+  var stride: int;
+  var i: int;
+  var t: real;
+  stride = 1;
+  while (stride < 128) {
+    i = 0;
+    while (i + stride < 256) {
+      t = a[i] - a[i + stride];
+      a[i] = a[i] + a[i + stride];
+      a[i + stride] = t * 0.7071;
+      i = i + stride * 2;
+    }
+    stride = stride * 2;
+  }
+  return trunc(a[64] * 1000.0);
+}
+
+export func gauss_step(): int {
+  var r: int;
+  var k: int;
+  var piv: real;
+  r = 1;
+  while (r < 16) {
+    piv = b[r * 16 + r - 1] + 2.0;
+    k = 0;
+    while (k < 16) {
+      b[r * 16 + k] = b[r * 16 + k] - b[(r - 1) * 16 + k] / piv;
+      k = k + 1;
+    }
+    r = r + 1;
+  }
+  return trunc(b[250] * 100000.0);
+}
+
+export func tridiag(): int {
+  var i: int;
+  i = 1;
+  while (i < 255) {
+    c[i] = (c[i - 1] + c[i + 1]) * 0.5 + b[i] * 0.1;
+    i = i + 1;
+  }
+  return trunc(c[128] * 100000.0);
+}
+
+export func emit(): int {
+  var i: int;
+  var s: real;
+  s = 0.0;
+  i = 0;
+  while (i < 256) {
+    s = s + a[i] * c[i];
+    i = i + 1;
+  }
+  return trunc(s * 1000.0);
+}
+
+export func vpenta_like(): int {
+  var i: int;
+  i = 2;
+  while (i < 254) {
+    b[i] = b[i] - 0.2 * b[i - 1] - 0.1 * b[i - 2]
+           + 0.05 * b[i + 1] + 0.025 * b[i + 2];
+    i = i + 1;
+  }
+  return trunc(b[99] * 100000.0);
+}
+)"}};
+}
+
+std::vector<SourceModule> om64::wl::detail::progOra() {
+  return {{"ora", R"(
+module ora;
+import mathlib;
+import io;
+
+# Optical ray tracing through spherical surfaces: dominated by square
+# roots, like ora.
+var hits: int;
+var misses: int;
+
+export func trace_ray(ox: real, oy: real, dx: real, dy: real): real {
+  var bq: real;
+  var cq: real;
+  var disc: real;
+  var t: real;
+  bq = ox * dx + oy * dy;
+  cq = ox * ox + oy * oy - 4.0;
+  disc = bq * bq - cq;
+  if (disc < 0.0) {
+    misses = misses + 1;
+    return 0.0;
+  }
+  t = -bq - mathlib.sqrt(disc);
+  hits = hits + 1;
+  if (t < 0.0) { t = -t; }
+  return t;
+}
+
+export func main(): int {
+  var i: int;
+  var acc: real;
+  var ox: real;
+  var oy: real;
+  var dx: real;
+  var dy: real;
+  var norm: real;
+  hits = 0;
+  misses = 0;
+  acc = 0.0;
+  i = 0;
+  while (i < 1200) {
+    ox = toreal((i * 7 & 127) - 64) * 0.05;
+    oy = toreal((i * 13 & 127) - 64) * 0.05;
+    dx = toreal((i & 31) - 16) * 0.1 + 0.05;
+    dy = 1.0 - dx * 0.5;
+    norm = mathlib.sqrt(dx * dx + dy * dy);
+    acc = acc + trace_ray(ox, oy, dx / norm, dy / norm);
+    i = i + 1;
+  }
+  io.print_kv(104, hits);
+  io.print_kv(109, misses);
+  io.print_int_ln(trunc(acc * 1000.0));
+  return 0;
+}
+)"}};
+}
+
+std::vector<SourceModule> om64::wl::detail::progSu2cor() {
+  return {{"su2cor", R"(
+module su2cor;
+import io;
+import prng;
+
+# SU(2) lattice-gauge-style 2x2 complex matrix products over a lattice
+# (stored as quaternions: 4 reals per link).
+var links: real[8192];
+
+export func init_links() {
+  var i: int;
+  i = 0;
+  while (i < 8192) {
+    links[i] = toreal((i * 97 & 255) - 128) * 0.003;
+    i = i + 1;
+  }
+}
+
+# Quaternion product of links[4a..] and links[4b..] accumulated into a
+# plaquette trace.
+export func plaquette(a: int, b: int): real {
+  var w1: real;
+  var x1: real;
+  var y1: real;
+  var z1: real;
+  var w2: real;
+  var x2: real;
+  var y2: real;
+  var z2: real;
+  var w: real;
+  w1 = links[a * 4];
+  x1 = links[a * 4 + 1];
+  y1 = links[a * 4 + 2];
+  z1 = links[a * 4 + 3];
+  w2 = links[b * 4];
+  x2 = links[b * 4 + 1];
+  y2 = links[b * 4 + 2];
+  z2 = links[b * 4 + 3];
+  w = w1 * w2 - x1 * x2 - y1 * y2 - z1 * z2;
+  return w;
+}
+
+export func main(): int {
+  var sweepn: int;
+  var s: int;
+  var t: real;
+  init_links();
+  t = 0.0;
+  sweepn = 0;
+  while (sweepn < 6) {
+    s = 0;
+    while (s < 2000) {
+      t = t + plaquette(s, s + 1);
+      links[s * 4] = links[s * 4] * 0.999 + t * 0.00001;
+      s = s + 1;
+    }
+    sweepn = sweepn + 1;
+  }
+  io.print_int_ln(trunc(t * 10000.0));
+  return 0;
+}
+)"}};
+}
+
+std::vector<SourceModule> om64::wl::detail::progSwm256() {
+  return {{"swm256", R"(
+module swm256;
+import io;
+
+# Shallow-water model: three 24x24 grids updated with neighbor stencils.
+var u: real[6400];
+var v: real[6400];
+var h: real[6400];
+
+export func init_fields() {
+  var i: int;
+  i = 0;
+  while (i < 6400) {
+    u[i] = 0.0;
+    v[i] = 0.0;
+    h[i] = 10.0 + toreal((i * 11 & 63) - 32) * 0.05;
+    i = i + 1;
+  }
+}
+
+export func timestep(dt: real) {
+  var r: int;
+  var c: int;
+  var idx: int;
+  var dhdx: real;
+  var dhdy: real;
+  r = 1;
+  while (r < 79) {
+    c = 1;
+    while (c < 79) {
+      idx = r * 80 + c;
+      dhdx = (h[idx + 1] - h[idx - 1]) * 0.5;
+      dhdy = (h[idx + 80] - h[idx - 80]) * 0.5;
+      u[idx] = u[idx] - dt * 9.8 * dhdx;
+      v[idx] = v[idx] - dt * 9.8 * dhdy;
+      c = c + 1;
+    }
+    r = r + 1;
+  }
+  r = 1;
+  while (r < 79) {
+    c = 1;
+    while (c < 79) {
+      idx = r * 80 + c;
+      h[idx] = h[idx] - dt * 10.0 *
+               ((u[idx + 1] - u[idx - 1]) * 0.5 +
+                (v[idx + 80] - v[idx - 80]) * 0.5);
+      c = c + 1;
+    }
+    r = r + 1;
+  }
+}
+
+export func main(): int {
+  var step: int;
+  var i: int;
+  var s: real;
+  init_fields();
+  step = 0;
+  while (step < 5) {
+    timestep(0.01);
+    step = step + 1;
+  }
+  s = 0.0;
+  i = 0;
+  while (i < 6400) {
+    s = s + h[i];
+    i = i + 1;
+  }
+  io.print_int_ln(trunc(s * 1000.0));
+  io.print_int_ln(trunc(u[3240] * 1000000.0));
+  return 0;
+}
+)"}};
+}
+
+std::vector<SourceModule> om64::wl::detail::progTomcatv() {
+  return {
+      {"tomcatv", R"(
+module tomcatv;
+import mesh;
+import io;
+
+# Vectorized mesh generation: iterative smoothing with residual tracking,
+# split across two source modules like the original's multi-file build.
+export func main(): int {
+  var iter: int;
+  var rx: int;
+  mesh.init_mesh();
+  iter = 0;
+  rx = 0;
+  while (iter < 5) {
+    rx = mesh.relax();
+    iter = iter + 1;
+  }
+  io.print_int_ln(rx);
+  io.print_int_ln(mesh.corner_sum());
+  return 0;
+}
+)"},
+      {"mesh", R"(
+module mesh;
+
+var x: real[9216];
+var y: real[9216];
+
+export func init_mesh() {
+  var r: int;
+  var c: int;
+  r = 0;
+  while (r < 96) {
+    c = 0;
+    while (c < 96) {
+      x[r * 96 + c] = toreal(c) + toreal(r) * 0.05;
+      y[r * 96 + c] = toreal(r) + toreal(c * c) * 0.002;
+      c = c + 1;
+    }
+    r = r + 1;
+  }
+}
+
+export func relax(): int {
+  var r: int;
+  var c: int;
+  var i: int;
+  var nx: real;
+  var ny: real;
+  var res: real;
+  res = 0.0;
+  r = 1;
+  while (r < 95) {
+    c = 1;
+    while (c < 95) {
+      i = r * 96 + c;
+      nx = (x[i - 1] + x[i + 1] + x[i - 96] + x[i + 96]) * 0.25;
+      ny = (y[i - 1] + y[i + 1] + y[i - 96] + y[i + 96]) * 0.25;
+      res = res + (nx - x[i]) * (nx - x[i]) + (ny - y[i]) * (ny - y[i]);
+      x[i] = x[i] + (nx - x[i]) * 0.8;
+      y[i] = y[i] + (ny - y[i]) * 0.8;
+      c = c + 1;
+    }
+    r = r + 1;
+  }
+  return trunc(res * 1000000.0);
+}
+
+export func corner_sum(): int {
+  return trunc((x[97] + y[97] + x[9020] + y[9020]) * 1000.0);
+}
+)"}};
+}
+
+std::vector<SourceModule> om64::wl::detail::progWave5() {
+  return {{"wave5", R"(
+module wave5;
+import io;
+import prng;
+
+# Particle-in-cell plasma step: integer particle bookkeeping mixed with
+# fp field arithmetic.
+var cellq: int[1024];
+var efield: real[1024];
+var ppos: int[1024];
+var pvel: real[1024];
+
+export func deposit() {
+  var i: int;
+  i = 0;
+  while (i < 1024) {
+    cellq[i] = 0;
+    i = i + 1;
+  }
+  i = 0;
+  while (i < 1024) {
+    cellq[ppos[i] & 1023] = cellq[ppos[i] & 1023] + 1;
+    i = i + 1;
+  }
+}
+
+export func solve_field() {
+  var i: int;
+  var acc: real;
+  acc = 0.0;
+  i = 0;
+  while (i < 1024) {
+    acc = acc + toreal(cellq[i] - 1) * 0.125;
+    efield[i] = acc;
+    i = i + 1;
+  }
+}
+
+export func push(dt: real) {
+  var i: int;
+  var c: int;
+  i = 0;
+  while (i < 1024) {
+    c = ppos[i] & 1023;
+    pvel[i] = pvel[i] + efield[c] * dt;
+    ppos[i] = ppos[i] + trunc(pvel[i]) + 1;
+    if (ppos[i] < 0) { ppos[i] = ppos[i] + 1024; }
+    i = i + 1;
+  }
+}
+
+export func main(): int {
+  var step: int;
+  var i: int;
+  var qsum: int;
+  var vsum: real;
+  prng.seed(31337);
+  i = 0;
+  while (i < 1024) {
+    ppos[i] = prng.next() & 1023;
+    pvel[i] = prng.next_real() - 0.5;
+    i = i + 1;
+  }
+  step = 0;
+  while (step < 12) {
+    deposit();
+    solve_field();
+    push(0.05);
+    step = step + 1;
+  }
+  qsum = 0;
+  i = 0;
+  while (i < 1024) {
+    qsum = qsum + cellq[i] * i;
+    i = i + 1;
+  }
+  vsum = 0.0;
+  i = 0;
+  while (i < 1024) {
+    vsum = vsum + pvel[i];
+    i = i + 1;
+  }
+  io.print_kv(113, qsum);
+  io.print_int_ln(trunc(vsum * 1000.0));
+  return 0;
+}
+)"}};
+}

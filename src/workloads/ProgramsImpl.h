@@ -1,0 +1,40 @@
+//===- workloads/ProgramsImpl.h - Per-program source factories ------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_WORKLOADS_PROGRAMSIMPL_H
+#define OM64_WORKLOADS_PROGRAMSIMPL_H
+
+#include "workloads/Workloads.h"
+
+namespace om64 {
+namespace wl {
+namespace detail {
+
+std::vector<SourceModule> progAlvinn();
+std::vector<SourceModule> progCompress();
+std::vector<SourceModule> progDoduc();
+std::vector<SourceModule> progEar();
+std::vector<SourceModule> progEqntott();
+std::vector<SourceModule> progEspresso();
+std::vector<SourceModule> progFpppp();
+std::vector<SourceModule> progHydro2d();
+std::vector<SourceModule> progLi();
+std::vector<SourceModule> progMdljdp2();
+std::vector<SourceModule> progMdljsp2();
+std::vector<SourceModule> progNasa7();
+std::vector<SourceModule> progOra();
+std::vector<SourceModule> progSc();
+std::vector<SourceModule> progSpice();
+std::vector<SourceModule> progSu2cor();
+std::vector<SourceModule> progSwm256();
+std::vector<SourceModule> progTomcatv();
+std::vector<SourceModule> progWave5();
+
+} // namespace detail
+} // namespace wl
+} // namespace om64
+
+#endif // OM64_WORKLOADS_PROGRAMSIMPL_H

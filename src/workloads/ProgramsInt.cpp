@@ -1,0 +1,542 @@
+//===- workloads/ProgramsInt.cpp - Integer-profile SPEC92-shaped programs -===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The integer workloads: compress (hashing and bit manipulation), eqntott
+/// (sort/compare over truth-table vectors), espresso (cube operations
+/// across many small procedures), li (an interpreter dispatching through
+/// procedure variables, whose PV loads OM cannot remove), sc (spreadsheet
+/// recalculation with formula dispatch), and spice (fixed-point device
+/// evaluation dominated by library-to-library call chains, the section-5.1
+/// observation).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/ProgramsImpl.h"
+
+using namespace om64;
+using namespace om64::wl;
+
+std::vector<SourceModule> om64::wl::detail::progCompress() {
+  return {{"compress", R"(
+module compress;
+import prng;
+import bits;
+import io;
+
+var data: int[16384];
+var table: int[512];
+var codes: int[512];
+
+export func init_data() {
+  var i: int;
+  prng.seed(90210);
+  i = 0;
+  while (i < 16384) {
+    data[i] = (i * 2654435761 >> 7) & 255;
+    i = i + 1;
+  }
+  i = 0;
+  while (i < 512) {
+    table[i] = -1;
+    codes[i] = 0;
+    i = i + 1;
+  }
+}
+
+export func hash_pair(prev: int, cur: int): int {
+  return ((prev * 2654435761 + cur * 40503) >> 7) & 511;
+}
+
+export func encode_pass(): int {
+  var i: int;
+  var prev: int;
+  var h: int;
+  var emitted: int;
+  var code: int;
+  emitted = 0;
+  code = 256;
+  prev = data[0];
+  i = 1;
+  while (i < 16384) {
+    h = hash_pair(prev, data[i]);
+    if (table[h] == (prev << 8 | data[i])) {
+      prev = codes[h];
+    } else {
+      table[h] = prev << 8 | data[i];
+      codes[h] = code & 4095;
+      code = code + 1;
+      emitted = emitted + 1;
+      prev = data[i];
+    }
+    i = i + 1;
+  }
+  return emitted;
+}
+
+export func entropy_proxy(): int {
+  var i: int;
+  var acc: int;
+  acc = 0;
+  i = 0;
+  while (i < 512) {
+    if (table[i] != -1) {
+      acc = acc + bits.popcount(table[i]) + bits.ilog2(i + 1);
+    }
+    i = i + 1;
+  }
+  return acc;
+}
+
+export func main(): int {
+  var pass: int;
+  var emitted: int;
+  init_data();
+  pass = 0;
+  emitted = 0;
+  while (pass < 2) {
+    emitted = emitted + encode_pass();
+    pass = pass + 1;
+  }
+  io.print_kv(101, emitted);
+  io.print_kv(112, entropy_proxy());
+  return 0;
+}
+)"}};
+}
+
+std::vector<SourceModule> om64::wl::detail::progEqntott() {
+  return {{"eqntott", R"(
+module eqntott;
+import prng;
+import io;
+
+# Truth-table canonicalization: generate product terms, sort them with a
+# comparison function (cmppt is where eqntott spent its time), and count
+# distinct terms.
+var terms: int[256];
+
+export func cmppt(a: int, b: int): int {
+  var xa: int;
+  var xb: int;
+  var i: int;
+  i = 0;
+  while (i < 8) {
+    xa = (a >> (i * 4)) & 15;
+    xb = (b >> (i * 4)) & 15;
+    if (xa < xb) { return -1; }
+    if (xa > xb) { return 1; }
+    i = i + 1;
+  }
+  return 0;
+}
+
+export func sort_terms(n: int) {
+  var i: int;
+  var j: int;
+  var key: int;
+  var moving: int;
+  i = 1;
+  while (i < n) {
+    key = terms[i];
+    j = i - 1;
+    moving = 1;
+    while (moving == 1 and j >= 0) {
+      if (cmppt(terms[j], key) > 0) {
+        terms[j + 1] = terms[j];
+        j = j - 1;
+      } else {
+        moving = 0;
+      }
+    }
+    terms[j + 1] = key;
+    i = i + 1;
+  }
+}
+
+export func count_unique(n: int): int {
+  var i: int;
+  var uniq: int;
+  uniq = 1;
+  i = 1;
+  while (i < n) {
+    if (cmppt(terms[i], terms[i - 1]) != 0) {
+      uniq = uniq + 1;
+    }
+    i = i + 1;
+  }
+  return uniq;
+}
+
+export func main(): int {
+  var i: int;
+  var round: int;
+  var total: int;
+  prng.seed(55501);
+  total = 0;
+  round = 0;
+  while (round < 3) {
+    i = 0;
+    while (i < 256) {
+      terms[i] = prng.next() & 268435455;
+      i = i + 1;
+    }
+    sort_terms(256);
+    total = total + count_unique(256);
+    round = round + 1;
+  }
+  io.print_kv(117, total);
+  io.print_int_ln(terms[128]);
+  return 0;
+}
+)"}};
+}
+
+std::vector<SourceModule> om64::wl::detail::progEspresso() {
+  return {
+      {"espresso", R"(
+module espresso;
+import cubes;
+import io;
+
+# Two-level logic minimization sketch: expand/reduce passes over a cover
+# of cubes, with the cube primitives in their own module (espresso's
+# set-operation call pattern).
+export func main(): int {
+  var pass: int;
+  var size: int;
+  cubes.init_cover();
+  pass = 0;
+  size = 0;
+  while (pass < 6) {
+    cubes.expand_pass();
+    size = cubes.reduce_pass();
+    pass = pass + 1;
+  }
+  io.print_kv(115, size);
+  io.print_kv(99, cubes.cover_checksum());
+  return 0;
+}
+)"},
+      {"cubes", R"(
+module cubes;
+import bits;
+import prng;
+
+var cover: int[128];
+var ncubes: int;
+
+export func init_cover() {
+  var i: int;
+  prng.seed(60035);
+  ncubes = 96;
+  i = 0;
+  while (i < 96) {
+    cover[i] = prng.next() & 16777215;
+    i = i + 1;
+  }
+}
+
+export func cube_and(a: int, b: int): int {
+  return a & b;
+}
+
+export func cube_or(a: int, b: int): int {
+  return a | b;
+}
+
+export func cube_dist(a: int, b: int): int {
+  return bits.popcount(a ^ b);
+}
+
+export func covers(a: int, b: int): int {
+  if (cube_and(a, b) == b) { return 1; }
+  return 0;
+}
+
+export func expand_pass() {
+  var i: int;
+  var j: int;
+  i = 0;
+  while (i < ncubes) {
+    j = 0;
+    while (j < ncubes) {
+      if (j != i) {
+        if (cube_dist(cover[i], cover[j]) <= 2) {
+          cover[i] = cube_or(cover[i], cover[j]);
+        }
+      }
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+}
+
+export func reduce_pass(): int {
+  var i: int;
+  var j: int;
+  var kept: int;
+  var dominated: int;
+  kept = 0;
+  i = 0;
+  while (i < ncubes) {
+    dominated = 0;
+    j = 0;
+    while (j < ncubes) {
+      if (j != i and dominated == 0) {
+        if (covers(cover[j], cover[i]) == 1 and cover[j] != cover[i]) {
+          dominated = 1;
+        }
+      }
+      j = j + 1;
+    }
+    if (dominated == 0) {
+      cover[kept] = cover[i];
+      kept = kept + 1;
+    }
+    i = i + 1;
+  }
+  ncubes = kept;
+  return kept;
+}
+
+export func cover_checksum(): int {
+  var i: int;
+  var acc: int;
+  acc = 0;
+  i = 0;
+  while (i < ncubes) {
+    acc = acc ^ (cover[i] * 2654435761);
+    i = i + 1;
+  }
+  return acc & 1048575;
+}
+)"}};
+}
+
+std::vector<SourceModule> om64::wl::detail::progLi() {
+  return {{"li", R"(
+module li;
+import io;
+import prng;
+
+# A bytecode interpreter in the style of xlisp's eval loop: operations
+# dispatched through procedure variables. These indirect calls are exactly
+# the PV loads OM-full cannot remove (section 5.1).
+var stack: int[64];
+var sp: int;
+var op_add: funcptr;
+var op_sub: funcptr;
+var op_mul: funcptr;
+var op_mod: funcptr;
+
+export func push_val(x: int): int {
+  stack[sp & 63] = x;
+  sp = sp + 1;
+  return sp;
+}
+
+export func pop_val(): int {
+  sp = sp - 1;
+  return stack[sp & 63];
+}
+
+export func prim_add(a: int, b: int): int { return a + b; }
+export func prim_sub(a: int, b: int): int { return a - b; }
+export func prim_mul(a: int, b: int): int { return (a * b) & 1073741823; }
+export func prim_mod(a: int, b: int): int {
+  if (b == 0) { return 0; }
+  return a % b;
+}
+
+export func dispatch(opcode: int, a: int, b: int): int {
+  if (opcode == 0) { return op_add(a, b); }
+  if (opcode == 1) { return op_sub(a, b); }
+  if (opcode == 2) { return op_mul(a, b); }
+  return op_mod(a, b);
+}
+
+export func main(): int {
+  var i: int;
+  var opcode: int;
+  var a: int;
+  var b: int;
+  var r: int;
+  op_add = &prim_add;
+  op_sub = &prim_sub;
+  op_mul = &prim_mul;
+  op_mod = &prim_mod;
+  prng.seed(12001);
+  sp = 0;
+  push_val(7);
+  push_val(13);
+  i = 0;
+  while (i < 6000) {
+    opcode = prng.next() & 3;
+    b = pop_val();
+    a = pop_val();
+    r = dispatch(opcode, a, b);
+    push_val(r & 65535);
+    push_val((a ^ b) & 255 | 1);
+    if (sp > 48) { sp = 2; }
+    i = i + 1;
+  }
+  io.print_kv(114, pop_val());
+  io.print_kv(115, sp);
+  return 0;
+}
+)"}};
+}
+
+std::vector<SourceModule> om64::wl::detail::progSc() {
+  return {{"sc", R"(
+module sc;
+import io;
+import rt;
+
+# Spreadsheet recalculation: a 16x16 sheet of cells, each with a formula
+# kind; formula evaluators are reached through procedure variables held in
+# the recalc engine (sc's expression-interpreter pattern).
+var cells: int[256];
+var kinds: int[256];
+var f_sum: funcptr;
+var f_diff: funcptr;
+var f_scale: funcptr;
+
+export func eval_sum(l: int, u: int): int { return l + u; }
+export func eval_diff(l: int, u: int): int { return l - u; }
+export func eval_scale(l: int, u: int): int { return (l * 3 + u) / 4; }
+
+export func recalc(): int {
+  var r: int;
+  var c: int;
+  var i: int;
+  var left: int;
+  var up: int;
+  var k: int;
+  var changes: int;
+  var v: int;
+  changes = 0;
+  r = 1;
+  while (r < 16) {
+    c = 1;
+    while (c < 16) {
+      i = r * 16 + c;
+      left = cells[i - 1];
+      up = cells[i - 16];
+      k = kinds[i];
+      if (k == 0) { v = f_sum(left, up); }
+      else if (k == 1) { v = f_diff(left, up); }
+      else { v = f_scale(left, up); }
+      v = v & 1048575;
+      if (v != cells[i]) {
+        cells[i] = v;
+        changes = changes + 1;
+      }
+      c = c + 1;
+    }
+    r = r + 1;
+  }
+  return changes;
+}
+
+export func main(): int {
+  var i: int;
+  var round: int;
+  var changes: int;
+  f_sum = &eval_sum;
+  f_diff = &eval_diff;
+  f_scale = &eval_scale;
+  i = 0;
+  while (i < 256) {
+    cells[i] = (i * 37) & 1023;
+    kinds[i] = rt.remq(i * 7, 3);
+    i = i + 1;
+  }
+  round = 0;
+  changes = 0;
+  while (round < 12) {
+    changes = changes + recalc();
+    round = round + 1;
+  }
+  io.print_kv(110, changes);
+  io.print_int_ln(cells[255]);
+  return 0;
+}
+)"}};
+}
+
+std::vector<SourceModule> om64::wl::detail::progSpice() {
+  return {{"spice", R"(
+module spice;
+import fixed;
+import io;
+import rt;
+
+# Circuit simulation in Q16.16 fixed point: Newton iteration on a diode
+# network. Nearly every arithmetic step is a library call, and the fixed
+# module itself calls rt -- reproducing spice's profile where half the
+# static calls are library-to-library (section 5.1).
+var vnode: int[32];
+var isrc: int[32];
+
+export func diode_current(v: int): int {
+  # i = v + v^2/2 + v^3/6 in fixed point (a truncated exponential).
+  var v2: int;
+  var v3: int;
+  v2 = fixed.fmul(v, v);
+  v3 = fixed.fmul(v2, v);
+  return v + fixed.fdiv(v2, fixed.ffrom(2)) + fixed.fdiv(v3, fixed.ffrom(6));
+}
+
+export func conductance(v: int): int {
+  # g = d(i)/d(v) = 1 + v + v^2/2.
+  var v2: int;
+  v2 = fixed.fmul(v, v);
+  return fixed.ffrom(1) + v + fixed.fdiv(v2, fixed.ffrom(2));
+}
+
+export func newton_node(n: int): int {
+  var v: int;
+  var i: int;
+  var g: int;
+  var dv: int;
+  v = vnode[n];
+  i = diode_current(v) - isrc[n];
+  g = conductance(v);
+  if (g == 0) { return 0; }
+  dv = fixed.fdiv(i, g);
+  vnode[n] = v - dv;
+  return rt.iabs(dv);
+}
+
+export func main(): int {
+  var n: int;
+  var iter: int;
+  var worst: int;
+  n = 0;
+  while (n < 32) {
+    vnode[n] = fixed.fdiv(fixed.ffrom(n & 7), fixed.ffrom(10));
+    isrc[n] = fixed.fdiv(fixed.ffrom((n * 3) & 15), fixed.ffrom(20));
+    n = n + 1;
+  }
+  iter = 0;
+  worst = 0;
+  while (iter < 30) {
+    worst = 0;
+    n = 0;
+    while (n < 32) {
+      worst = rt.imax(worst, newton_node(n));
+      n = n + 1;
+    }
+    iter = iter + 1;
+  }
+  io.print_kv(119, worst);
+  io.print_int_ln(vnode[9]);
+  return 0;
+}
+)"}};
+}

@@ -1,0 +1,397 @@
+//===- workloads/Runtime.cpp - The pre-compiled runtime library -----------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MLang sources of the runtime library. These modules are always compiled
+/// separately (the paper's statically-linked pre-compiled library code):
+/// even compile-all builds link them as objects, so calls into them keep
+/// the conservative bookkeeping until OM removes it.
+///
+/// AAX, like the Alpha, has no integer divide instruction; the compiler
+/// lowers / and % on int to rt.divq / rt.remq. rt.remq calls rt.divq, one
+/// of many library-to-library calls (the spice observation in section 5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace om64;
+using namespace om64::wl;
+
+std::vector<SourceModule> om64::wl::runtimeModules() {
+  std::vector<SourceModule> Mods;
+
+  Mods.push_back({"rt", R"(
+module rt;
+
+# Software integer division (truncating toward zero). AAX has no divide
+# instruction. Behaviour for INT64_MIN inputs is unspecified.
+export func divq(a: int, b: int): int {
+  var ua: int;
+  var ub: int;
+  var q: int;
+  var r: int;
+  var i: int;
+  var neg: int;
+  if (b == 0) { return 0; }
+  neg = 0;
+  ua = a;
+  if (a < 0) { ua = -a; neg = neg + 1; }
+  ub = b;
+  if (b < 0) { ub = -b; neg = neg + 1; }
+  q = 0;
+  r = 0;
+  i = 63;
+  while (i >= 0) {
+    r = (r << 1) | ((ua >> i) & 1);
+    if (r >= ub) {
+      r = r - ub;
+      q = q | (1 << i);
+    }
+    i = i - 1;
+  }
+  if (neg == 1) { q = -q; }
+  return q;
+}
+
+export func remq(a: int, b: int): int {
+  return a - divq(a, b) * b;
+}
+
+export func iabs(x: int): int {
+  if (x < 0) { return -x; }
+  return x;
+}
+
+export func imin(a: int, b: int): int {
+  if (a < b) { return a; }
+  return b;
+}
+
+export func imax(a: int, b: int): int {
+  if (a > b) { return a; }
+  return b;
+}
+)"});
+
+  Mods.push_back({"io", R"(
+module io;
+
+export func print_int(x: int) { pal_putint(x); }
+export func print_char(c: int) { pal_putchar(c); }
+export func print_real(x: real) { pal_putreal(x); }
+export func newline() { pal_putchar(10); }
+
+export func print_int_ln(x: int) {
+  print_int(x);
+  newline();
+}
+
+export func print_real_ln(x: real) {
+  print_real(x);
+  newline();
+}
+
+# Prints "name=value" where name is a single character.
+export func print_kv(name: int, value: int) {
+  pal_putchar(name);
+  pal_putchar(61);
+  print_int(value);
+  newline();
+}
+)"});
+
+  Mods.push_back({"mathlib", R"(
+module mathlib;
+
+export func fabs(x: real): real {
+  if (x < 0.0) { return -x; }
+  return x;
+}
+
+export func fmin(a: real, b: real): real {
+  if (a < b) { return a; }
+  return b;
+}
+
+export func fmax(a: real, b: real): real {
+  if (a > b) { return a; }
+  return b;
+}
+
+# Newton-Raphson square root; 24 iterations converge for the magnitudes
+# the workloads use.
+export func sqrt(x: real): real {
+  var g: real;
+  var i: int;
+  if (x <= 0.0) { return 0.0; }
+  g = x;
+  if (g > 1.0) { g = g * 0.5 + 0.5; }
+  i = 0;
+  while (i < 24) {
+    g = 0.5 * (g + x / g);
+    i = i + 1;
+  }
+  return g;
+}
+
+# Taylor sine for |x| <= pi (callers reduce their own arguments).
+export func sin(x: real): real {
+  var x2: real;
+  var term: real;
+  var acc: real;
+  x2 = x * x;
+  term = x;
+  acc = x;
+  term = -term * x2 * 0.16666666666666666;
+  acc = acc + term;
+  term = -term * x2 * 0.05;
+  acc = acc + term;
+  term = -term * x2 * 0.023809523809523808;
+  acc = acc + term;
+  term = -term * x2 * 0.013888888888888888;
+  acc = acc + term;
+  return acc;
+}
+
+export func cos(x: real): real {
+  var x2: real;
+  var term: real;
+  var acc: real;
+  x2 = x * x;
+  term = 1.0;
+  acc = 1.0;
+  term = -term * x2 * 0.5;
+  acc = acc + term;
+  term = -term * x2 * 0.08333333333333333;
+  acc = acc + term;
+  term = -term * x2 * 0.03333333333333333;
+  acc = acc + term;
+  term = -term * x2 * 0.017857142857142856;
+  acc = acc + term;
+  return acc;
+}
+
+# exp via 12-term Taylor series; adequate for |x| <= 4.
+export func exp(x: real): real {
+  var term: real;
+  var acc: real;
+  var i: int;
+  term = 1.0;
+  acc = 1.0;
+  i = 1;
+  while (i <= 12) {
+    term = term * x / toreal(i);
+    acc = acc + term;
+    i = i + 1;
+  }
+  return acc;
+}
+
+export func sigmoid(x: real): real {
+  return 1.0 / (1.0 + exp(-x));
+}
+
+export func pow_int(base: real, n: int): real {
+  var acc: real;
+  var i: int;
+  acc = 1.0;
+  i = 0;
+  while (i < n) {
+    acc = acc * base;
+    i = i + 1;
+  }
+  return acc;
+}
+)"});
+
+  Mods.push_back({"prng", R"(
+module prng;
+
+var state: int = 88172645463325252;
+
+export func seed(s: int) {
+  state = s | 1;
+}
+
+# xorshift64
+export func next(): int {
+  var x: int;
+  x = state;
+  x = x ^ (x << 13);
+  x = x ^ ((x >> 7) & 144115188075855871);
+  x = x ^ (x << 17);
+  state = x;
+  return x & 4611686018427387903;
+}
+
+export func next_below(n: int): int {
+  return next() % n;
+}
+
+export func next_real(): real {
+  return toreal(next() & 1048575) * 0.00000095367431640625;
+}
+)"});
+
+  Mods.push_back({"accum", R"(
+module accum;
+import rt;
+
+var sum: int;
+var count: int;
+var rsum: real;
+var lo: int;
+var hi: int;
+
+export func reset() {
+  sum = 0;
+  count = 0;
+  rsum = 0.0;
+  lo = 4611686018427387903;
+  hi = -4611686018427387903;
+}
+
+export func add(x: int) {
+  sum = sum + x;
+  count = count + 1;
+  lo = rt.imin(lo, x);
+  hi = rt.imax(hi, x);
+}
+
+export func add_real(x: real) {
+  rsum = rsum + x;
+  count = count + 1;
+}
+
+export func mean(): int {
+  if (count == 0) { return 0; }
+  return sum / count;
+}
+
+export func checksum(): int {
+  return (sum ^ (count * 2654435761)) ^ (hi - lo);
+}
+
+export func real_sum_scaled(): int {
+  return trunc(rsum * 1000.0);
+}
+)"});
+
+  Mods.push_back({"workq", R"(
+module workq;
+
+var buf: int[512];
+var head: int;
+var tail: int;
+
+export func clear() {
+  head = 0;
+  tail = 0;
+}
+
+export func size(): int {
+  return tail - head;
+}
+
+export func push(x: int): int {
+  if (tail - head >= 512) { return 0; }
+  buf[tail & 511] = x;
+  tail = tail + 1;
+  return 1;
+}
+
+export func pop(): int {
+  var v: int;
+  if (head == tail) { return -1; }
+  v = buf[head & 511];
+  head = head + 1;
+  return v;
+}
+)"});
+
+  Mods.push_back({"bits", R"(
+module bits;
+
+export func popcount(x: int): int {
+  var n: int;
+  var v: int;
+  n = 0;
+  v = x;
+  while (v != 0) {
+    v = v & (v - 1);
+    n = n + 1;
+  }
+  return n;
+}
+
+export func parity(x: int): int {
+  return popcount(x) & 1;
+}
+
+export func ilog2(x: int): int {
+  var n: int;
+  var v: int;
+  n = -1;
+  v = x;
+  while (v > 0) {
+    v = v >> 1;
+    n = n + 1;
+  }
+  return n;
+}
+
+export func reverse16(x: int): int {
+  var v: int;
+  var out: int;
+  var i: int;
+  v = x & 65535;
+  out = 0;
+  i = 0;
+  while (i < 16) {
+    out = (out << 1) | (v & 1);
+    v = v >> 1;
+    i = i + 1;
+  }
+  return out;
+}
+)"});
+
+  Mods.push_back({"fixed", R"(
+module fixed;
+import rt;
+
+# Q16.16 fixed point. fdiv calls into rt: a library-to-library call chain
+# like the ones that make half of spice's static call sites (section 5.1).
+export func ffrom(x: int): int { return x << 16; }
+export func fto(x: int): int { return x >> 16; }
+
+export func fmul(a: int, b: int): int {
+  return (a * b) >> 16;
+}
+
+export func fdiv(a: int, b: int): int {
+  if (b == 0) { return 0; }
+  return rt.divq(a << 16, b);
+}
+
+export func fsqrt(x: int): int {
+  var g: int;
+  var i: int;
+  if (x <= 0) { return 0; }
+  g = x;
+  if (g < 65536) { g = 65536; }
+  i = 0;
+  while (i < 20) {
+    g = (g + fdiv(x, g)) >> 1;
+    i = i + 1;
+  }
+  return g;
+}
+)"});
+
+  return Mods;
+}

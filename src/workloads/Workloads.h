@@ -1,0 +1,95 @@
+//===- workloads/Workloads.h - SPEC92-shaped synthetic suite --------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper evaluates OM on the SPEC92 suite minus gcc (19 programs).
+/// SPEC92 sources and 1994 DEC toolchains are unavailable, so this module
+/// provides 19 deterministic MLang programs named after the originals,
+/// each with a workload profile shaped like its namesake (FP loop kernels,
+/// call-heavy integer code, large basic blocks, interpreter-style indirect
+/// dispatch, library-call-heavy code, ...). See DESIGN.md's substitution
+/// table.
+///
+/// A pre-compiled runtime library (modules rt/io/mathlib/prng/accum/workq/
+/// bits/fixed) is linked into every program, preserving the paper's key
+/// claim that monolithic interprocedural compilation cannot optimize calls
+/// into previously compiled libraries but OM can.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_WORKLOADS_WORKLOADS_H
+#define OM64_WORKLOADS_WORKLOADS_H
+
+#include "codegen/Codegen.h"
+#include "lang/AST.h"
+#include "objfile/Image.h"
+#include "objfile/ObjectFile.h"
+#include "om/Om.h"
+#include "support/Result.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace om64 {
+namespace wl {
+
+/// A named MLang source buffer.
+struct SourceModule {
+  std::string Name;
+  std::string Source;
+};
+
+/// The always-linked runtime library modules, in link order.
+std::vector<SourceModule> runtimeModules();
+
+/// Names of the 19 SPEC92-shaped programs (gcc excluded, as in the paper).
+const std::vector<std::string> &workloadNames();
+
+/// User-module sources of one workload; empty vector if unknown.
+std::vector<SourceModule> workloadSources(const std::string &Name);
+
+/// A parsed+checked workload with its user and runtime module names.
+struct ParsedWorkload {
+  lang::Program AST;
+  std::vector<std::string> UserModules;
+  std::vector<std::string> RuntimeModuleNames;
+};
+
+/// Parses and semantically checks a workload (user + runtime modules).
+Result<ParsedWorkload> parseWorkload(const std::string &Name);
+
+/// The two compilation granularities of section 5.
+enum class CompileMode { Each, All };
+
+/// A workload compiled in both modes, with the pre-compiled library.
+struct BuiltWorkload {
+  std::string Name;
+  std::vector<obj::ObjectFile> UserEach; // one object per user module
+  obj::ObjectFile UserAll;               // one interprocedural unit
+  std::vector<obj::ObjectFile> Library;  // runtime, always compile-each
+
+  /// Objects to link for the given mode (user objects then library).
+  std::vector<obj::ObjectFile> linkSet(CompileMode Mode) const;
+};
+
+/// Compiles a workload in both modes. \p SchedOn controls the compile-time
+/// pipeline scheduler (the paper's compilers schedule; tests turn it off).
+Result<BuiltWorkload> buildWorkload(const std::string &Name,
+                                    bool SchedOn = true);
+
+/// Links with the traditional linker (the "no link-time optimization"
+/// baseline of section 5).
+Result<obj::Image> linkBaseline(const BuiltWorkload &W, CompileMode Mode);
+
+/// Links with OM at the given level.
+Result<om::OmResult> linkWithOm(const BuiltWorkload &W, CompileMode Mode,
+                                const om::OmOptions &Opts);
+
+} // namespace wl
+} // namespace om64
+
+#endif // OM64_WORKLOADS_WORKLOADS_H

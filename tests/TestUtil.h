@@ -1,0 +1,157 @@
+//===- tests/TestUtil.h - Shared helpers for the gtest suite --------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_TESTS_TESTUTIL_H
+#define OM64_TESTS_TESTUTIL_H
+
+#include "codegen/Codegen.h"
+#include "isa/Inst.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "linker/Linker.h"
+#include "objfile/Image.h"
+#include "om/Om.h"
+#include "sim/Simulator.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace om64 {
+namespace test {
+
+/// Parses the given (name, source) modules plus the runtime library into a
+/// checked Program. Fails the current test on error.
+inline lang::Program parseProgram(
+    const std::vector<std::pair<std::string, std::string>> &Modules,
+    bool WithRuntime = true) {
+  lang::Program P;
+  DiagnosticEngine Diags;
+  for (const auto &[Name, Src] : Modules) {
+    std::optional<lang::Module> M = lang::parseModule(Name, Src, Diags);
+    EXPECT_TRUE(M.has_value()) << Diags.render();
+    if (M)
+      P.Modules.push_back(std::move(*M));
+  }
+  if (WithRuntime)
+    for (const wl::SourceModule &SM : wl::runtimeModules()) {
+      std::optional<lang::Module> M =
+          lang::parseModule(SM.Name, SM.Source, Diags);
+      EXPECT_TRUE(M.has_value()) << Diags.render();
+      if (M)
+        P.Modules.push_back(std::move(*M));
+    }
+  EXPECT_TRUE(lang::analyzeProgram(P, Diags)) << Diags.render();
+  return P;
+}
+
+/// All module names of \p P in order.
+inline std::vector<std::string> allModuleNames(const lang::Program &P) {
+  std::vector<std::string> Names;
+  for (const lang::Module &M : P.Modules)
+    Names.push_back(M.Name);
+  return Names;
+}
+
+/// Compiles every module of \p P separately.
+inline std::vector<obj::ObjectFile>
+compileAll(const lang::Program &P,
+           const cg::CompileOptions &Opts = cg::CompileOptions()) {
+  Result<std::vector<obj::ObjectFile>> Objs =
+      cg::compileEach(P, allModuleNames(P), Opts);
+  EXPECT_TRUE(bool(Objs)) << (Objs ? "" : Objs.message());
+  return Objs ? Objs.take() : std::vector<obj::ObjectFile>{};
+}
+
+/// Compiles user source (one module named "t") plus the runtime, links it
+/// with the baseline linker, runs it, and returns the PAL output stream.
+/// Fails the current test on any pipeline error.
+inline std::string runSource(const std::string &Source,
+                             uint64_t *CyclesOut = nullptr) {
+  lang::Program P = parseProgram({{"t", Source}});
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(lang::checkEntryPoint(P, Diags)) << Diags.render();
+  std::vector<obj::ObjectFile> Objs = compileAll(P);
+  Result<obj::Image> Img = lnk::link(Objs);
+  EXPECT_TRUE(bool(Img)) << (Img ? "" : Img.message());
+  if (!Img)
+    return "<link error>";
+  Result<sim::SimResult> Res = sim::run(*Img);
+  EXPECT_TRUE(bool(Res)) << (Res ? "" : Res.message());
+  if (!Res)
+    return "<run error>";
+  EXPECT_EQ(Res->ExitCode, 0);
+  if (CyclesOut)
+    *CyclesOut = Res->Cycles;
+  return Res->Output;
+}
+
+/// Runs the same source through baseline, OM-simple, OM-full, and
+/// OM-full+sched, expecting identical outputs; returns that output.
+inline std::string runSourceAllVariants(const std::string &Source) {
+  lang::Program P = parseProgram({{"t", Source}});
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(lang::checkEntryPoint(P, Diags)) << Diags.render();
+  std::vector<obj::ObjectFile> Objs = compileAll(P);
+  Result<obj::Image> Base = lnk::link(Objs);
+  EXPECT_TRUE(bool(Base)) << (Base ? "" : Base.message());
+  if (!Base)
+    return "<link error>";
+  Result<sim::SimResult> BaseRes = sim::run(*Base);
+  EXPECT_TRUE(bool(BaseRes)) << (BaseRes ? "" : BaseRes.message());
+  if (!BaseRes)
+    return "<run error>";
+
+  for (om::OmLevel Level :
+       {om::OmLevel::None, om::OmLevel::Simple, om::OmLevel::Full}) {
+    for (bool Sched : {false, true}) {
+      if (Sched && Level != om::OmLevel::Full)
+        continue;
+      om::OmOptions Opts;
+      Opts.Level = Level;
+      Opts.Reschedule = Sched;
+      Opts.AlignLoopTargets = Sched;
+      Result<om::OmResult> R = om::optimize(Objs, Opts);
+      EXPECT_TRUE(bool(R)) << (R ? "" : R.message());
+      if (!R)
+        continue;
+      Result<sim::SimResult> Res = sim::run(R->Image);
+      EXPECT_TRUE(bool(Res)) << (Res ? "" : Res.message());
+      if (!Res)
+        continue;
+      EXPECT_EQ(Res->Output, BaseRes->Output)
+          << "divergence at OM level " << om::levelName(Level)
+          << (Sched ? "+sched" : "");
+      EXPECT_EQ(Res->ExitCode, BaseRes->ExitCode);
+    }
+  }
+  return BaseRes->Output;
+}
+
+/// Builds a raw image from hand-assembled instructions (for simulator
+/// semantics tests). The code is placed at the text base and entered
+/// directly; it must end with a RET to RA or a PAL halt.
+inline obj::Image makeRawImage(const std::vector<isa::Inst> &Code,
+                               const std::vector<uint8_t> &Data = {}) {
+  obj::Image Img;
+  for (const isa::Inst &I : Code) {
+    uint32_t W = isa::encode(I);
+    for (unsigned B = 0; B < 4; ++B)
+      Img.Text.push_back(static_cast<uint8_t>(W >> (8 * B)));
+  }
+  Img.Data = Data;
+  Img.BssSize = 4096;
+  Img.Entry = Img.TextBase;
+  Img.InitialGp = Img.DataBase;
+  return Img;
+}
+
+} // namespace test
+} // namespace om64
+
+#endif // OM64_TESTS_TESTUTIL_H

@@ -1,0 +1,232 @@
+//===- tests/endtoend_test.cpp - Whole-suite soundness and shape tests ----===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property tests over the 19 SPEC92-shaped workloads: every OM variant
+/// must preserve program behaviour bit-for-bit, and the static statistics
+/// must have the monotone structure the paper reports (full removes at
+/// least what simple removes, the GAT only shrinks, text only shrinks,
+/// etc.).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace om64;
+using namespace om64::test;
+
+namespace {
+
+/// Builds (and caches) a workload plus its baseline runs.
+class SuiteFixture {
+public:
+  static SuiteFixture &get(const std::string &Name) {
+    static std::map<std::string, SuiteFixture> Cache;
+    auto It = Cache.find(Name);
+    if (It == Cache.end())
+      It = Cache.emplace(Name, SuiteFixture(Name)).first;
+    return It->second;
+  }
+
+  explicit SuiteFixture(const std::string &Name) {
+    Result<wl::BuiltWorkload> B = wl::buildWorkload(Name);
+    if (!B) {
+      BuildError = B.message();
+      return;
+    }
+    Built = B.take();
+    for (wl::CompileMode Mode :
+         {wl::CompileMode::Each, wl::CompileMode::All}) {
+      Result<obj::Image> Img = wl::linkBaseline(*Built, Mode);
+      if (!Img) {
+        BuildError = Img.message();
+        return;
+      }
+      Result<sim::SimResult> R = sim::run(*Img);
+      if (!R) {
+        BuildError = R.message();
+        return;
+      }
+      BaselineOutput[Mode] = R->Output;
+      BaselineCycles[Mode] = R->Cycles;
+    }
+  }
+
+  std::optional<wl::BuiltWorkload> Built;
+  std::string BuildError;
+  std::map<wl::CompileMode, std::string> BaselineOutput;
+  std::map<wl::CompileMode, uint64_t> BaselineCycles;
+};
+
+struct VariantParam {
+  std::string Workload;
+  wl::CompileMode Mode;
+  om::OmLevel Level;
+  bool Sched;
+};
+
+std::string paramName(const ::testing::TestParamInfo<VariantParam> &Info) {
+  std::string N = Info.param.Workload;
+  N += Info.param.Mode == wl::CompileMode::Each ? "_each" : "_all";
+  N += std::string("_") + om::levelName(Info.param.Level);
+  if (Info.param.Sched)
+    N += "_sched";
+  return N;
+}
+
+class OmSoundnessTest : public ::testing::TestWithParam<VariantParam> {};
+
+TEST_P(OmSoundnessTest, OutputIdenticalToBaseline) {
+  const VariantParam &P = GetParam();
+  SuiteFixture &F = SuiteFixture::get(P.Workload);
+  ASSERT_TRUE(F.Built.has_value()) << F.BuildError;
+
+  om::OmOptions Opts;
+  Opts.Level = P.Level;
+  Opts.Reschedule = P.Sched;
+  Opts.AlignLoopTargets = P.Sched;
+  Result<om::OmResult> R = wl::linkWithOm(*F.Built, P.Mode, Opts);
+  ASSERT_TRUE(bool(R)) << R.message();
+  EXPECT_FALSE(bool(R->Image.verify()))
+      << R->Image.verify().message();
+  Result<sim::SimResult> Run = sim::run(R->Image);
+  ASSERT_TRUE(bool(Run)) << Run.message();
+  EXPECT_EQ(Run->Output, F.BaselineOutput[P.Mode]);
+  EXPECT_EQ(Run->ExitCode, 0);
+}
+
+std::vector<VariantParam> allVariants() {
+  std::vector<VariantParam> Params;
+  for (const std::string &Name : wl::workloadNames())
+    for (wl::CompileMode Mode :
+         {wl::CompileMode::Each, wl::CompileMode::All}) {
+      Params.push_back({Name, Mode, om::OmLevel::Simple, false});
+      Params.push_back({Name, Mode, om::OmLevel::Full, false});
+      Params.push_back({Name, Mode, om::OmLevel::Full, true});
+    }
+  return Params;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, OmSoundnessTest,
+                         ::testing::ValuesIn(allVariants()), paramName);
+
+class SuiteShapeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteShapeTest, StatisticsHaveThePaperStructure) {
+  const std::string &Name = GetParam();
+  SuiteFixture &F = SuiteFixture::get(Name);
+  ASSERT_TRUE(F.Built.has_value()) << F.BuildError;
+
+  for (wl::CompileMode Mode :
+       {wl::CompileMode::Each, wl::CompileMode::All}) {
+    om::OmOptions NoneOpts, SimpleOpts, FullOpts;
+    NoneOpts.Level = om::OmLevel::None;
+    SimpleOpts.Level = om::OmLevel::Simple;
+    FullOpts.Level = om::OmLevel::Full;
+    Result<om::OmResult> None = wl::linkWithOm(*F.Built, Mode, NoneOpts);
+    Result<om::OmResult> Simple = wl::linkWithOm(*F.Built, Mode, SimpleOpts);
+    Result<om::OmResult> Full = wl::linkWithOm(*F.Built, Mode, FullOpts);
+    ASSERT_TRUE(bool(None) && bool(Simple) && bool(Full));
+
+    const om::OmStats &N = None->Stats;
+    const om::OmStats &S = Simple->Stats;
+    const om::OmStats &L = Full->Stats;
+
+    // Totals agree across levels.
+    EXPECT_EQ(S.AddressLoadsTotal, N.AddressLoadsTotal);
+    EXPECT_EQ(L.CallsTotal, N.CallsTotal);
+    EXPECT_GT(N.AddressLoadsTotal, 0u);
+    EXPECT_GT(N.CallsTotal, 0u);
+
+    // Baseline removes nothing.
+    EXPECT_EQ(N.AddressLoadsConverted + N.AddressLoadsNullified, 0u);
+
+    // OM-full eliminates at least as many address loads as OM-simple,
+    // and both eliminate something (Figure 3).
+    uint64_t SimpleGone = S.AddressLoadsConverted + S.AddressLoadsNullified;
+    uint64_t FullGone = L.AddressLoadsConverted + L.AddressLoadsNullified;
+    EXPECT_GT(SimpleGone, 0u);
+    EXPECT_GE(FullGone, SimpleGone);
+
+    // Figure 4 structure: bookkeeping only decreases with effort.
+    EXPECT_LE(S.CallsNeedingGpReset, N.CallsNeedingGpReset);
+    EXPECT_LE(L.CallsNeedingGpReset, S.CallsNeedingGpReset);
+    EXPECT_LE(S.CallsNeedingPvLoad, N.CallsNeedingPvLoad);
+    EXPECT_LE(L.CallsNeedingPvLoad, S.CallsNeedingPvLoad);
+
+    // Figure 5: simple nullifies without deleting; full deletes.
+    EXPECT_EQ(S.InstructionsDeleted, 0u);
+    EXPECT_EQ(S.TextBytesAfter, N.TextBytesAfter);
+    EXPECT_GT(L.InstructionsDeleted, 0u);
+    EXPECT_LT(L.TextBytesAfter, N.TextBytesAfter);
+
+    // Section 5.1: the GAT shrinks substantially under OM-full.
+    EXPECT_EQ(S.GatBytesAfter, S.GatBytesBefore)
+        << "OM-simple does not reduce the GAT";
+    EXPECT_LT(L.GatBytesAfter, L.GatBytesBefore);
+  }
+}
+
+TEST_P(SuiteShapeTest, DynamicCyclesImproveOnAverageShape) {
+  // Per-program dynamic checks: OM-full runs no more instructions than
+  // the baseline, and nop counts reflect the level (simple executes nops,
+  // full deletes them).
+  const std::string &Name = GetParam();
+  SuiteFixture &F = SuiteFixture::get(Name);
+  ASSERT_TRUE(F.Built.has_value()) << F.BuildError;
+
+  om::OmOptions SimpleOpts, FullOpts;
+  SimpleOpts.Level = om::OmLevel::Simple;
+  FullOpts.Level = om::OmLevel::Full;
+  Result<om::OmResult> Simple =
+      wl::linkWithOm(*F.Built, wl::CompileMode::Each, SimpleOpts);
+  Result<om::OmResult> Full =
+      wl::linkWithOm(*F.Built, wl::CompileMode::Each, FullOpts);
+  ASSERT_TRUE(bool(Simple) && bool(Full));
+
+  Result<sim::SimResult> SimpleRun = sim::run(Simple->Image);
+  Result<sim::SimResult> FullRun = sim::run(Full->Image);
+  ASSERT_TRUE(bool(SimpleRun) && bool(FullRun));
+
+  EXPECT_GT(SimpleRun->Nops, 0u)
+      << "OM-simple replaces instructions with no-ops that still execute";
+  EXPECT_LT(FullRun->Instructions, SimpleRun->Instructions)
+      << "OM-full deletes what OM-simple could only nullify";
+  EXPECT_LE(FullRun->Cycles, F.BaselineCycles[wl::CompileMode::Each])
+      << "OM-full should not be slower on " << Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, SuiteShapeTest,
+                         ::testing::ValuesIn(wl::workloadNames()),
+                         [](const ::testing::TestParamInfo<std::string> &I) {
+                           return I.param;
+                         });
+
+TEST(SuiteTest, WorkloadRegistryIsComplete) {
+  // 19 programs: SPEC92 minus gcc, as in the paper.
+  EXPECT_EQ(wl::workloadNames().size(), 19u);
+  for (const std::string &Name : wl::workloadNames())
+    EXPECT_FALSE(wl::workloadSources(Name).empty()) << Name;
+  EXPECT_TRUE(wl::workloadSources("gcc").empty());
+}
+
+TEST(SuiteTest, DeterministicRebuilds) {
+  // Building the same workload twice yields byte-identical objects (the
+  // whole pipeline is deterministic).
+  Result<wl::BuiltWorkload> A = wl::buildWorkload("eqntott");
+  Result<wl::BuiltWorkload> B = wl::buildWorkload("eqntott");
+  ASSERT_TRUE(bool(A) && bool(B));
+  ASSERT_EQ(A->UserEach.size(), B->UserEach.size());
+  for (size_t I = 0; I < A->UserEach.size(); ++I)
+    EXPECT_EQ(A->UserEach[I].serialize(), B->UserEach[I].serialize());
+  EXPECT_EQ(A->UserAll.serialize(), B->UserAll.serialize());
+}
+
+} // namespace

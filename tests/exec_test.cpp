@@ -1,0 +1,361 @@
+//===- tests/exec_test.cpp - MLang end-to-end semantics tests -------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles small MLang programs through the full pipeline and checks the
+/// simulator output against independently computed expectations. Each
+/// program is also run through every OM variant; outputs must be
+/// identical (the core soundness property of link-time optimization).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace om64;
+using namespace om64::test;
+
+namespace {
+
+std::string wrapMain(const std::string &Body,
+                     const std::string &Decls = std::string()) {
+  return "module t;\nimport io;\nimport rt;\n" + Decls +
+         "\nexport func main(): int {\n" + Body + "\n}\n";
+}
+
+TEST(ExecTest, IntegerArithmetic) {
+  EXPECT_EQ(runSourceAllVariants(wrapMain(R"(
+  io.print_int(2 + 3 * 4);
+  io.print_char(32);
+  io.print_int(10 - 17);
+  io.print_char(32);
+  io.print_int((1 << 20) + (256 >> 4));
+  io.print_char(32);
+  io.print_int(255 & 12 | 1 ^ 2);
+  return 0;
+)")), "14 -7 1048592 15");
+}
+
+struct DivCase {
+  int64_t A;
+  int64_t B;
+};
+
+class DivisionTest : public ::testing::TestWithParam<DivCase> {};
+
+TEST_P(DivisionTest, MatchesCxxTruncation) {
+  // MLang / and % lower to rt.divq/rt.remq; semantics are C-style
+  // truncation toward zero.
+  DivCase C = GetParam();
+  char Body[256];
+  std::snprintf(Body, sizeof(Body),
+                "  io.print_int(%lld / %lld);\n  io.print_char(32);\n"
+                "  io.print_int(%lld %% %lld);\n  return 0;",
+                (long long)C.A, (long long)C.B, (long long)C.A,
+                (long long)C.B);
+  char Expected[128];
+  std::snprintf(Expected, sizeof(Expected), "%lld %lld",
+                (long long)(C.A / C.B), (long long)(C.A % C.B));
+  EXPECT_EQ(runSourceAllVariants(wrapMain(Body)), Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(SignCombinations, DivisionTest,
+                         ::testing::Values(DivCase{100, 7},
+                                           DivCase{-100, 7},
+                                           DivCase{100, -7},
+                                           DivCase{-100, -7},
+                                           DivCase{6, 3},
+                                           DivCase{0, 5},
+                                           DivCase{1, 1000000007},
+                                           DivCase{987654321098765,
+                                                   12345}));
+
+TEST(ExecTest, ComparisonsAndLogic) {
+  EXPECT_EQ(runSourceAllVariants(wrapMain(R"(
+  io.print_int(3 < 4);
+  io.print_int(3 <= 3);
+  io.print_int(4 > 4);
+  io.print_int(5 >= 4);
+  io.print_int(5 == 5);
+  io.print_int(5 != 5);
+  io.print_int(2 and 3);
+  io.print_int(2 and 0);
+  io.print_int(0 or 7);
+  io.print_int(not 9);
+  io.print_int(not 0);
+  return 0;
+)")), "11011010101");
+}
+
+TEST(ExecTest, ControlFlow) {
+  EXPECT_EQ(runSourceAllVariants(wrapMain(R"(
+  var i: int;
+  var total: int;
+  i = 0;
+  total = 0;
+  while (i < 10) {
+    if (i % 2 == 0) {
+      total = total + i;
+    } else if (i == 5) {
+      total = total + 100;
+    } else {
+      total = total - 1;
+    }
+    i = i + 1;
+  }
+  io.print_int(total);
+  return 0;
+)")), "116"); // evens 0+2+4+6+8=20, i==5 adds 100, odds 1,3,7,9 subtract 4
+}
+
+TEST(ExecTest, GlobalsAndArrays) {
+  EXPECT_EQ(runSourceAllVariants(wrapMain(R"(
+  var i: int;
+  i = 0;
+  while (i < 16) {
+    table[i] = i * i;
+    i = i + 1;
+  }
+  cursor = 3;
+  io.print_int(table[cursor * 2 + 1]);
+  io.print_char(10);
+  io.print_int(table[15] - table[14]);
+  return 0;
+)", "var table: int[16];\nvar cursor: int;")), "49\n29");
+}
+
+TEST(ExecTest, InitializedGlobals) {
+  EXPECT_EQ(runSourceAllVariants(wrapMain(R"(
+  io.print_int(base);
+  io.print_char(32);
+  io.print_int(trunc(factor * 4.0));
+  return 0;
+)", "var base: int = -17;\nvar factor: real = 2.5;")), "-17 10");
+}
+
+TEST(ExecTest, RealArithmeticAndConversions) {
+  EXPECT_EQ(runSourceAllVariants(wrapMain(R"(
+  var x: real;
+  var y: real;
+  x = 7.5;
+  y = x * 2.0 - 1.0 / 4.0;   # 14.75
+  io.print_int(trunc(y * 100.0));
+  io.print_char(32);
+  io.print_int(trunc(-y));
+  io.print_char(32);
+  io.print_int(toreal(21) * 2.0 == 42.0);
+  io.print_char(32);
+  io.print_int(1.5 < 1.25);
+  io.print_int(1.25 <= 1.25);
+  io.print_int(2.0 > 1.0);
+  io.print_int(1.0 != 1.0);
+  return 0;
+)")), "1475 -14 1 0110");
+}
+
+TEST(ExecTest, FunctionsAndRecursion) {
+  EXPECT_EQ(runSourceAllVariants(R"(
+module t;
+import io;
+
+func fib(n: int): int {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+
+export func twice(x: int): int { return x * 2; }
+
+export func main(): int {
+  io.print_int(fib(15));
+  io.print_char(32);
+  io.print_int(twice(fib(10)));
+  return 0;
+}
+)"), "610 110");
+}
+
+TEST(ExecTest, RealParametersAndReturns) {
+  EXPECT_EQ(runSourceAllVariants(R"(
+module t;
+import io;
+
+func mix(a: real, b: real, w: real): real {
+  return a * (1.0 - w) + b * w;
+}
+
+export func main(): int {
+  io.print_int(trunc(mix(10.0, 20.0, 0.25) * 10.0));
+  return 0;
+}
+)"), "125");
+}
+
+TEST(ExecTest, SixArgumentCalls) {
+  EXPECT_EQ(runSourceAllVariants(R"(
+module t;
+import io;
+
+func sum6(a: int, b: int, c: int, d: int, e: int, f: int): int {
+  return a + b * 2 + c * 3 + d * 4 + e * 5 + f * 6;
+}
+
+export func main(): int {
+  io.print_int(sum6(1, 2, 3, 4, 5, 6));
+  return 0;
+}
+)"), "91");
+}
+
+TEST(ExecTest, FuncPtrDispatch) {
+  EXPECT_EQ(runSourceAllVariants(R"(
+module t;
+import io;
+
+var op: funcptr;
+
+export func add(a: int, b: int): int { return a + b; }
+export func sub(a: int, b: int): int { return a - b; }
+
+func apply(f: funcptr, x: int, y: int): int {
+  return f(x, y);
+}
+
+export func main(): int {
+  op = &add;
+  io.print_int(op(30, 12));
+  io.print_char(32);
+  op = &sub;
+  io.print_int(op(30, 12));
+  io.print_char(32);
+  io.print_int(apply(&add, 1, 2));
+  return 0;
+}
+)"), "42 18 3");
+}
+
+TEST(ExecTest, CrossModuleCallsAndGlobals) {
+  // Exercises imports in both directions of the link order.
+  lang::Program P = parseProgram({{"t", R"(
+module t;
+import helper;
+import io;
+export func main(): int {
+  helper.bump(5);
+  helper.bump(7);
+  io.print_int(helper.level);
+  io.print_char(32);
+  io.print_int(helper.saturating(9000000));
+  return 0;
+}
+)"},
+                                  {"helper", R"(
+module helper;
+export var level: int;
+export func bump(x: int) {
+  level = level + x;
+}
+export func saturating(x: int): int {
+  if (x > 1000) { return 1000; }
+  return x;
+}
+)"}});
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(lang::checkEntryPoint(P, Diags));
+  std::vector<obj::ObjectFile> Objs = compileAll(P);
+  Result<obj::Image> Img = lnk::link(Objs);
+  ASSERT_TRUE(bool(Img)) << Img.message();
+  Result<sim::SimResult> R = sim::run(*Img);
+  ASSERT_TRUE(bool(R)) << R.message();
+  EXPECT_EQ(R->Output, "12 1000");
+}
+
+TEST(ExecTest, DeepExpressionsSpill) {
+  // Right-nested computed subexpressions keep 10 intermediates live at
+  // once, forcing the expression value stack past the 8 temp registers.
+  EXPECT_EQ(runSourceAllVariants(wrapMain(R"(
+  var a: int;
+  a = 1;
+  io.print_int((a + 1) + (a + 2) *
+               ((a + 3) + (a + 4) *
+                ((a + 5) + (a + 6) *
+                 ((a + 7) + (a + 8) *
+                  ((a + 9) + (a + 10) * (a + 11))))));
+  return 0;
+)")), "135134");
+}
+
+TEST(ExecTest, TempsSurviveAcrossCalls) {
+  // A temporary held across a call must be spilled and reloaded.
+  EXPECT_EQ(runSourceAllVariants(R"(
+module t;
+import io;
+var noise: int;
+export func noisy(x: int): int {
+  noise = noise + 1000000;
+  return x + 1;
+}
+export func main(): int {
+  io.print_int(7 * 100 + noisy(3) * 10 + noisy(1));
+  return 0;
+}
+)"), "742");
+}
+
+TEST(ExecTest, BigLiteralsUseConstantPool) {
+  char Expected[128];
+  std::snprintf(Expected, sizeof(Expected), "%lld %lld",
+                (long long)(123456789123456789ll % 1000003),
+                (long long)(-9000000000ll / 3));
+  EXPECT_EQ(runSourceAllVariants(wrapMain(R"(
+  var big: int;
+  big = 123456789123456789;
+  io.print_int(big % 1000003);
+  io.print_char(32);
+  io.print_int(-9000000000 / 3);
+  return 0;
+)")), Expected);
+}
+
+TEST(ExecTest, PalCyclesIsMonotonic) {
+  std::string Out = runSource(wrapMain(R"(
+  var before: int;
+  var after: int;
+  var i: int;
+  before = pal_cycles();
+  i = 0;
+  while (i < 100) { i = i + 1; }
+  after = pal_cycles();
+  io.print_int(after > before);
+  return 0;
+)"));
+  EXPECT_EQ(Out, "1");
+}
+
+TEST(ExecTest, ExitCodePropagates) {
+  lang::Program P = parseProgram(
+      {{"t", "module t;\nexport func main(): int { return 42; }"}});
+  std::vector<obj::ObjectFile> Objs = compileAll(P);
+  Result<obj::Image> Img = lnk::link(Objs);
+  ASSERT_TRUE(bool(Img)) << Img.message();
+  Result<sim::SimResult> R = sim::run(*Img);
+  ASSERT_TRUE(bool(R)) << R.message();
+  EXPECT_EQ(R->ExitCode, 42);
+}
+
+TEST(ExecTest, PalHaltStopsImmediately) {
+  std::string Out = runSource(wrapMain(R"(
+  io.print_int(1);
+  pal_halt(0);
+  io.print_int(2);
+  return 0;
+)"));
+  EXPECT_EQ(Out, "1");
+}
+
+} // namespace

@@ -1,0 +1,235 @@
+//===- tests/interp_test.cpp - Reference interpreter unit tests -----------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "lang/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace om64;
+using namespace om64::test;
+
+namespace {
+
+lang::InterpResult interpretSource(const std::string &Source,
+                                   uint64_t MaxSteps = 50000000) {
+  lang::Program P = parseProgram({{"t", Source}});
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(lang::checkEntryPoint(P, Diags)) << Diags.render();
+  return lang::interpret(P, MaxSteps);
+}
+
+TEST(InterpTest, BasicProgram) {
+  lang::InterpResult R = interpretSource(R"(
+module t;
+import io;
+var g: int = 5;
+export func main(): int {
+  var i: int;
+  i = 0;
+  while (i < 4) {
+    g = g * 2;
+    i = i + 1;
+  }
+  io.print_int(g);
+  return g & 15;
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, "80");
+  EXPECT_EQ(R.ExitCode, 80 & 15);
+}
+
+TEST(InterpTest, OutOfBoundsIndexIsAnError) {
+  lang::InterpResult R = interpretSource(R"(
+module t;
+var a: int[8];
+export func main(): int {
+  a[9] = 1;
+  return 0;
+}
+)");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("out of bounds"), std::string::npos);
+}
+
+TEST(InterpTest, NegativeIndexIsAnError) {
+  lang::InterpResult R = interpretSource(R"(
+module t;
+var a: int[8];
+export func main(): int {
+  return a[-1];
+}
+)");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(InterpTest, NullFuncPtrIsAnError) {
+  lang::InterpResult R = interpretSource(R"(
+module t;
+var f: funcptr;
+export func main(): int {
+  return f(1);
+}
+)");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("funcptr"), std::string::npos);
+}
+
+TEST(InterpTest, StepBudgetStopsRunaways) {
+  lang::InterpResult R = interpretSource(R"(
+module t;
+export func main(): int {
+  while (1) { }
+  return 0;
+}
+)", /*MaxSteps=*/10000);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("budget"), std::string::npos);
+}
+
+TEST(InterpTest, DepthLimitStopsInfiniteRecursion) {
+  lang::InterpResult R = interpretSource(R"(
+module t;
+export func spin(x: int): int { return spin(x + 1); }
+export func main(): int { return spin(0); }
+)");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(InterpTest, PalHaltStopsWithCode) {
+  lang::InterpResult R = interpretSource(R"(
+module t;
+import io;
+export func main(): int {
+  io.print_int(1);
+  pal_halt(9);
+  io.print_int(2);
+  return 0;
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, "1");
+  EXPECT_EQ(R.ExitCode, 9);
+}
+
+TEST(InterpTest, HaltInsideCalleeUnwindsEverything) {
+  lang::InterpResult R = interpretSource(R"(
+module t;
+import io;
+func deep(n: int): int {
+  if (n == 0) {
+    pal_halt(3);
+  }
+  return deep(n - 1);
+}
+export func main(): int {
+  deep(10);
+  io.print_int(999);
+  return 0;
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, "");
+  EXPECT_EQ(R.ExitCode, 3);
+}
+
+TEST(InterpTest, WrappingArithmeticMatchesSimulator) {
+  // INT64 wraparound through the whole pipeline vs the interpreter.
+  const char *Source = R"(
+module t;
+import io;
+export func main(): int {
+  var big: int;
+  big = 6148914691236517205;   # 0x5555...5555
+  io.print_int(big * 3);       # wraps
+  io.print_char(32);
+  io.print_int(big + big + big);
+  io.print_char(32);
+  io.print_int(-(-9223372036854775807 - 1));  # -INT64_MIN wraps to itself
+  return 0;
+}
+)";
+  lang::Program P = parseProgram({{"t", Source}});
+  lang::InterpResult Oracle = lang::interpret(P);
+  ASSERT_TRUE(Oracle.Ok) << Oracle.Error;
+  EXPECT_EQ(runSourceAllVariants(Source), Oracle.Output);
+}
+
+TEST(InterpTest, NegativeZeroHandling) {
+  // -(+0.0) is +0.0 in both worlds (SUBT fzero, x), while a folded
+  // negative literal keeps its sign.
+  const char *Source = R"(
+module t;
+import io;
+var z: real;
+export func main(): int {
+  z = 0.0;
+  io.print_real(-z);
+  io.print_char(32);
+  io.print_real(-1.0 * 0.0);
+  return 0;
+}
+)";
+  lang::Program P = parseProgram({{"t", Source}});
+  lang::InterpResult Oracle = lang::interpret(P);
+  ASSERT_TRUE(Oracle.Ok) << Oracle.Error;
+  EXPECT_EQ(runSourceAllVariants(Source), Oracle.Output);
+  EXPECT_EQ(Oracle.Output, "0 -0");
+}
+
+TEST(InterpTest, NanAndInfinityFlow) {
+  const char *Source = R"(
+module t;
+import io;
+var z: real;
+export func main(): int {
+  z = 0.0;
+  io.print_real(1.0 / z);       # inf
+  io.print_char(32);
+  io.print_real(z / z);         # nan
+  io.print_char(32);
+  io.print_int(z / z == z / z); # nan != nan
+  io.print_char(32);
+  io.print_int(trunc(1.0 / z)); # clamped
+  return 0;
+}
+)";
+  lang::Program P = parseProgram({{"t", Source}});
+  lang::InterpResult Oracle = lang::interpret(P);
+  ASSERT_TRUE(Oracle.Ok) << Oracle.Error;
+  EXPECT_EQ(runSourceAllVariants(Source), Oracle.Output);
+}
+
+TEST(InterpTest, FuncPtrDispatchMatches) {
+  const char *Source = R"(
+module t;
+import io;
+var ops: funcptr;
+export func inc(a: int, b: int): int { return a + b + 1; }
+export func main(): int {
+  ops = &inc;
+  io.print_int(ops(20, 21));
+  return 0;
+}
+)";
+  lang::Program P = parseProgram({{"t", Source}});
+  lang::InterpResult Oracle = lang::interpret(P);
+  ASSERT_TRUE(Oracle.Ok) << Oracle.Error;
+  EXPECT_EQ(Oracle.Output, "42");
+  EXPECT_EQ(runSourceAllVariants(Source), "42");
+}
+
+TEST(InterpTest, EmulatedDivisionEdgeCases) {
+  EXPECT_EQ(lang::emulatedDivq(7, 0), 0);
+  EXPECT_EQ(lang::emulatedRemq(7, 0), 7) << "remq(a,0) == a by definition";
+  EXPECT_EQ(lang::emulatedDivq(INT64_MAX, 1), INT64_MAX);
+  EXPECT_EQ(lang::emulatedDivq(INT64_MAX, INT64_MAX), 1);
+  EXPECT_EQ(lang::emulatedDivq(0, 12345), 0);
+}
+
+} // namespace

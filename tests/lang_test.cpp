@@ -1,0 +1,367 @@
+//===- tests/lang_test.cpp - MLang front-end unit tests -------------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace om64;
+using namespace om64::lang;
+
+namespace {
+
+std::vector<Token> lexOk(const std::string &Src) {
+  DiagnosticEngine Diags;
+  std::vector<Token> Toks = lex("test", Src, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.render();
+  return Toks;
+}
+
+TEST(LexerTest, KeywordsIdentifiersNumbers) {
+  std::vector<Token> T = lexOk("module foo; var x: int = 42;");
+  ASSERT_GE(T.size(), 10u);
+  EXPECT_EQ(T[0].Kind, Tok::KwModule);
+  EXPECT_EQ(T[1].Kind, Tok::Identifier);
+  EXPECT_EQ(T[1].Text, "foo");
+  EXPECT_EQ(T[3].Kind, Tok::KwVar);
+  EXPECT_EQ(T[8].Kind, Tok::IntLiteral);
+  EXPECT_EQ(T[8].IntValue, 42);
+  EXPECT_EQ(T.back().Kind, Tok::EndOfFile);
+}
+
+TEST(LexerTest, RealLiteralsAndExponents) {
+  std::vector<Token> T = lexOk("1.5 2.0e3 7 1e2");
+  EXPECT_EQ(T[0].Kind, Tok::RealLiteral);
+  EXPECT_DOUBLE_EQ(T[0].RealValue, 1.5);
+  EXPECT_EQ(T[1].Kind, Tok::RealLiteral);
+  EXPECT_DOUBLE_EQ(T[1].RealValue, 2000.0);
+  EXPECT_EQ(T[2].Kind, Tok::IntLiteral);
+  EXPECT_EQ(T[3].Kind, Tok::RealLiteral);
+  EXPECT_DOUBLE_EQ(T[3].RealValue, 100.0);
+}
+
+TEST(LexerTest, OperatorsAndComments) {
+  std::vector<Token> T =
+      lexOk("== != <= >= << >> & | ^ # comment to end\n<");
+  EXPECT_EQ(T[0].Kind, Tok::EqEq);
+  EXPECT_EQ(T[1].Kind, Tok::NotEq);
+  EXPECT_EQ(T[2].Kind, Tok::LessEq);
+  EXPECT_EQ(T[3].Kind, Tok::GreaterEq);
+  EXPECT_EQ(T[4].Kind, Tok::Shl);
+  EXPECT_EQ(T[5].Kind, Tok::Shr);
+  EXPECT_EQ(T[6].Kind, Tok::Amp);
+  EXPECT_EQ(T[7].Kind, Tok::BitOr);
+  EXPECT_EQ(T[8].Kind, Tok::BitXor);
+  EXPECT_EQ(T[9].Kind, Tok::Less);
+}
+
+TEST(LexerTest, BadCharacterIsError) {
+  DiagnosticEngine Diags;
+  lex("test", "var $x;", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  std::vector<Token> T = lexOk("a\n  b");
+  EXPECT_EQ(T[0].Loc.Line, 1u);
+  EXPECT_EQ(T[0].Loc.Column, 1u);
+  EXPECT_EQ(T[1].Loc.Line, 2u);
+  EXPECT_EQ(T[1].Loc.Column, 3u);
+}
+
+std::optional<Module> parseOk(const std::string &Src) {
+  DiagnosticEngine Diags;
+  std::optional<Module> M = parseModule("test", Src, Diags);
+  EXPECT_TRUE(M.has_value()) << Diags.render();
+  return M;
+}
+
+void expectParseError(const std::string &Src, const std::string &Fragment) {
+  DiagnosticEngine Diags;
+  std::optional<Module> M = parseModule("test", Src, Diags);
+  EXPECT_FALSE(M.has_value()) << "expected parse failure";
+  EXPECT_NE(Diags.render().find(Fragment), std::string::npos)
+      << "diagnostics were: " << Diags.render();
+}
+
+TEST(ParserTest, ModuleStructure) {
+  auto M = parseOk(R"(
+module demo;
+import io;
+import rt;
+export var total: int;
+var table: real[64];
+func helper(a: int, b: real): real {
+  var x: real;
+  x = b;
+  return x;
+}
+export func main(): int {
+  return 0;
+}
+)");
+  ASSERT_TRUE(M.has_value());
+  EXPECT_EQ(M->Name, "demo");
+  ASSERT_EQ(M->Imports.size(), 2u);
+  EXPECT_EQ(M->Imports[1], "rt");
+  ASSERT_EQ(M->Globals.size(), 2u);
+  EXPECT_TRUE(M->Globals[0].Exported);
+  EXPECT_EQ(M->Globals[1].Ty.Kind, TypeKind::RealArray);
+  EXPECT_EQ(M->Globals[1].Ty.ArraySize, 64u);
+  ASSERT_EQ(M->Functions.size(), 2u);
+  EXPECT_FALSE(M->Functions[0].Exported);
+  ASSERT_EQ(M->Functions[0].Params.size(), 2u);
+  EXPECT_EQ(M->Functions[0].ReturnType.Kind, TypeKind::Real);
+  EXPECT_EQ(M->Functions[1].ReturnType.Kind, TypeKind::Int);
+}
+
+TEST(ParserTest, PrecedenceShapesTree) {
+  auto M = parseOk(R"(
+module t;
+export func main(): int {
+  var x: int;
+  x = 1 + 2 * 3 < 7 and 1 | 2;
+  return x;
+}
+)");
+  ASSERT_TRUE(M.has_value());
+  const Stmt &S = *M->Functions[0].Body[0];
+  ASSERT_EQ(S.K, Stmt::Kind::Assign);
+  // Top node is 'and'.
+  EXPECT_EQ(S.Value->Op, Tok::KwAnd);
+  // Its left child is the comparison.
+  EXPECT_EQ(S.Value->Args[0]->Op, Tok::Less);
+  // '*' binds tighter than '+'.
+  const Expr &Sum = *S.Value->Args[0]->Args[0];
+  EXPECT_EQ(Sum.Op, Tok::Plus);
+  EXPECT_EQ(Sum.Args[1]->Op, Tok::Star);
+}
+
+TEST(ParserTest, ElseIfChains) {
+  auto M = parseOk(R"(
+module t;
+export func f(x: int): int {
+  if (x == 0) { return 1; }
+  else if (x == 1) { return 2; }
+  else { return 3; }
+}
+)");
+  ASSERT_TRUE(M.has_value());
+  const Stmt &If = *M->Functions[0].Body[0];
+  ASSERT_EQ(If.K, Stmt::Kind::If);
+  ASSERT_EQ(If.ElseBody.size(), 1u);
+  EXPECT_EQ(If.ElseBody[0]->K, Stmt::Kind::If);
+  EXPECT_EQ(If.ElseBody[0]->ElseBody.size(), 1u);
+}
+
+TEST(ParserTest, Errors) {
+  expectParseError("func f() {}", "'module'");
+  expectParseError("module t; var x int;", "':'");
+  expectParseError("module t; func f() { var x: int[4]; }",
+                   "module-level");
+  expectParseError("module t; func f() { 1 + 2; }", "call expressions");
+  expectParseError("module t; func f() { x = ; }", "expected an expression");
+  expectParseError("module t; func f() { if x { } }", "'('");
+  expectParseError("module t; var a: real[0];", "array size");
+}
+
+TEST(ParserTest, DeclsOnlyAtTop) {
+  expectParseError(R"(
+module t;
+func f() {
+  f();
+  var late: int;
+}
+)", "expected");
+}
+
+//===----------------------------------------------------------------------===//
+// Sema.
+//===----------------------------------------------------------------------===//
+
+Program makeProgram(std::vector<std::pair<std::string, std::string>> Mods) {
+  Program P;
+  DiagnosticEngine Diags;
+  for (auto &[Name, Src] : Mods) {
+    std::optional<Module> M = parseModule(Name, Src, Diags);
+    EXPECT_TRUE(M.has_value()) << Diags.render();
+    if (M)
+      P.Modules.push_back(std::move(*M));
+  }
+  return P;
+}
+
+void expectSemaError(std::vector<std::pair<std::string, std::string>> Mods,
+                     const std::string &Fragment) {
+  Program P = makeProgram(std::move(Mods));
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(analyzeProgram(P, Diags)) << "expected sema failure";
+  EXPECT_NE(Diags.render().find(Fragment), std::string::npos)
+      << "diagnostics were: " << Diags.render();
+}
+
+TEST(SemaTest, ResolvesLocalsParamsGlobalsImports) {
+  Program P = makeProgram({{"lib", R"(
+module lib;
+export var shared: int;
+export func get(): int { return shared; }
+)"},
+                           {"use", R"(
+module use;
+import lib;
+var mine: real;
+export func main(): int {
+  var x: int;
+  x = lib.get() + lib.shared;
+  mine = 1.5;
+  return x;
+}
+)"}});
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(analyzeProgram(P, Diags)) << Diags.render();
+  ASSERT_TRUE(checkEntryPoint(P, Diags)) << Diags.render();
+  // The call resolved cross-module.
+  const Function &Main = P.Modules[1].Functions[0];
+  const Expr &Assign1 = *Main.Body[0]->Value;
+  EXPECT_EQ(Assign1.Args[0]->Ref, RefKind::Function);
+  EXPECT_EQ(Assign1.Args[0]->TargetModule, "lib");
+  EXPECT_EQ(Assign1.Args[1]->Ref, RefKind::Global);
+}
+
+TEST(SemaTest, TypeErrors) {
+  expectSemaError({{"t", R"(
+module t;
+export func main(): int {
+  var x: int;
+  x = 1.5;
+  return 0;
+}
+)"}}, "cannot assign real to int");
+
+  expectSemaError({{"t", R"(
+module t;
+export func main(): int {
+  return 1 + 2.0;
+}
+)"}}, "type mismatch");
+
+  expectSemaError({{"t", R"(
+module t;
+export func main(): int {
+  var r: real;
+  if (r) { }
+  return 0;
+}
+)"}}, "condition must be int");
+
+  expectSemaError({{"t", R"(
+module t;
+export func main(): int {
+  return 1.0 % 2.0;
+}
+)"}}, "requires int operands");
+}
+
+TEST(SemaTest, NameErrors) {
+  expectSemaError({{"t", R"(
+module t;
+export func main(): int { return nosuch; }
+)"}}, "undeclared variable");
+
+  expectSemaError({{"t", R"(
+module t;
+export func main(): int { return other.f(); }
+)"}}, "not imported");
+
+  expectSemaError({{"a", "module a;\nvar hidden: int;\nexport func f(): int { return hidden; }"},
+                   {"t", R"(
+module t;
+import a;
+export func main(): int { return a.hidden; }
+)"}}, "does not export");
+
+  expectSemaError({{"t", R"(
+module t;
+var x: int;
+var x: int;
+export func main(): int { return 0; }
+)"}}, "duplicate global");
+}
+
+TEST(SemaTest, CallChecking) {
+  expectSemaError({{"t", R"(
+module t;
+func f(a: int): int { return a; }
+export func main(): int { return f(1, 2); }
+)"}}, "passes 2 arguments");
+
+  expectSemaError({{"t", R"(
+module t;
+func f(a: real): real { return a; }
+export func main(): int { return f(1) > 0; }
+)"}}, "argument 1");
+
+  expectSemaError({{"t", R"(
+module t;
+export func main(): int {
+  var x: int;
+  x = 3;
+  return x(1);
+}
+)"}}, "not callable");
+}
+
+TEST(SemaTest, FuncPtrRules) {
+  Program P = makeProgram({{"t", R"(
+module t;
+var handler: funcptr;
+export func callee(a: int, b: int): int { return a + b; }
+export func main(): int {
+  var f: funcptr;
+  f = &callee;
+  handler = f;
+  return f(1, 2) + handler(3, 4);
+}
+)"}});
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(analyzeProgram(P, Diags)) << Diags.render();
+  const Function &Main = P.Modules[0].Functions[1];
+  const Expr &Ret = *Main.Body[2]->Value;
+  EXPECT_TRUE(Ret.Args[0]->IsIndirectCall);
+  EXPECT_TRUE(Ret.Args[1]->IsIndirectCall);
+  EXPECT_EQ(Ret.Args[1]->Ref, RefKind::Global);
+}
+
+TEST(SemaTest, EntryPointChecks) {
+  {
+    Program P = makeProgram({{"t", "module t;\nfunc main(): int { return 0; }"}});
+    DiagnosticEngine Diags;
+    ASSERT_TRUE(analyzeProgram(P, Diags));
+    EXPECT_FALSE(checkEntryPoint(P, Diags)) << "unexported main accepted";
+  }
+  {
+    Program P = makeProgram({{"t", "module t;\nexport func go(): int { return 0; }"}});
+    DiagnosticEngine Diags;
+    ASSERT_TRUE(analyzeProgram(P, Diags));
+    EXPECT_FALSE(checkEntryPoint(P, Diags));
+    EXPECT_TRUE(checkEntryPoint(P, Diags, /*RequireMain=*/false));
+  }
+}
+
+TEST(SemaTest, BuiltinsResolveAndCheck) {
+  EXPECT_EQ(lookupBuiltin("trunc"), Builtin::Trunc);
+  EXPECT_EQ(lookupBuiltin("pal_cycles"), Builtin::PalCycles);
+  EXPECT_EQ(lookupBuiltin("no_such"), Builtin::None);
+
+  expectSemaError({{"t", R"(
+module t;
+export func main(): int { return trunc(3); }
+)"}}, "wrong type");
+}
+
+} // namespace

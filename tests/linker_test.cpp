@@ -1,0 +1,196 @@
+//===- tests/linker_test.cpp - Traditional linker tests -------------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace om64;
+using namespace om64::obj;
+using namespace om64::test;
+
+namespace {
+
+std::vector<ObjectFile> buildObjects(const std::string &Source) {
+  lang::Program P = parseProgram({{"t", Source}});
+  return compileAll(P);
+}
+
+constexpr const char *TwoGlobalsSource = R"(
+module t;
+import io;
+var a: int;
+var b: int;
+export func main(): int {
+  a = 3;
+  b = 4;
+  io.print_int(a + b);
+  return 0;
+}
+)";
+
+TEST(LinkerTest, ProducesRunnableImage) {
+  Result<Image> Img = lnk::link(buildObjects(TwoGlobalsSource));
+  ASSERT_TRUE(bool(Img)) << Img.message();
+  EXPECT_NE(Img->Entry, 0u);
+  EXPECT_GT(Img->GatSize, 0u);
+  Result<sim::SimResult> R = sim::run(*Img);
+  ASSERT_TRUE(bool(R)) << R.message();
+  EXPECT_EQ(R->Output, "7");
+}
+
+TEST(LinkerTest, UndefinedSymbolIsAnError) {
+  lang::Program P = parseProgram({{"t", TwoGlobalsSource}});
+  cg::CompileOptions Opts;
+  Result<ObjectFile> O = cg::compileUnit(P, {"t"}, Opts);
+  ASSERT_TRUE(bool(O)) << O.message();
+  // Link without the runtime: io.print_int is unresolved.
+  Result<Image> Img = lnk::link({*O});
+  ASSERT_FALSE(bool(Img));
+  EXPECT_NE(Img.message().find("undefined symbol"), std::string::npos);
+  EXPECT_NE(Img.message().find("io.print_int"), std::string::npos);
+}
+
+TEST(LinkerTest, DuplicateExportIsAnError) {
+  lang::Program P = parseProgram(
+      {{"a", "module a;\nexport func f(): int { return 1; }"},
+       {"b", "module b;\nexport func f(): int { return 2; }"}},
+      /*WithRuntime=*/false);
+  cg::CompileOptions Opts;
+  Result<ObjectFile> OA = cg::compileUnit(P, {"a"}, Opts);
+  Result<ObjectFile> OB = cg::compileUnit(P, {"b"}, Opts);
+  ASSERT_TRUE(bool(OA) && bool(OB));
+  // Rename b's export to collide with a's.
+  for (Symbol &S : OB->Symbols)
+    if (S.Name == "b.f")
+      S.Name = "a.f";
+  Result<Image> Img = lnk::link({*OA, *OB});
+  ASSERT_FALSE(bool(Img));
+  EXPECT_NE(Img.message().find("multiply-defined"), std::string::npos);
+}
+
+TEST(LinkerTest, MissingMainIsAnError) {
+  lang::Program P = parseProgram(
+      {{"a", "module a;\nexport func f(): int { return 1; }"}},
+      /*WithRuntime=*/false);
+  cg::CompileOptions Opts;
+  Result<ObjectFile> O = cg::compileUnit(P, {"a"}, Opts);
+  ASSERT_TRUE(bool(O));
+  Result<Image> Img = lnk::link({*O});
+  ASSERT_FALSE(bool(Img));
+  EXPECT_NE(Img.message().find("main"), std::string::npos);
+}
+
+TEST(LinkerTest, GatMergingDeduplicatesAcrossModules) {
+  // Two modules both call io.print_int and reference the same exported
+  // global; the merged GAT holds one entry for each distinct address.
+  lang::Program P = parseProgram({{"a", R"(
+module a;
+import io;
+import b;
+export func main(): int {
+  io.print_int(b.get());
+  io.print_int(b.shared);
+  return 0;
+}
+)"},
+                                  {"b", R"(
+module b;
+import io;
+export var shared: int;
+export func get(): int {
+  io.print_int(shared);
+  return shared + 1;
+}
+)"}});
+  std::vector<ObjectFile> Objs = compileAll(P);
+  Result<Image> Img = lnk::link(Objs);
+  ASSERT_TRUE(bool(Img)) << Img.message();
+
+  // Count distinct values stored in the GAT region; each address appears
+  // exactly once ("removing duplicate addresses", section 2).
+  std::set<uint64_t> Values;
+  for (uint64_t Off = 0; Off < Img->GatSize; Off += 8) {
+    uint64_t V = 0;
+    for (unsigned B = 0; B < 8; ++B)
+      V |= static_cast<uint64_t>(
+               Img->Data[Img->GatBase - Img->DataBase + Off + B])
+           << (8 * B);
+    EXPECT_TRUE(Values.insert(V).second)
+        << "duplicate GAT value " << std::hex << V;
+  }
+  Result<sim::SimResult> R = sim::run(*Img);
+  ASSERT_TRUE(bool(R)) << R.message();
+  EXPECT_EQ(R->Output, "010");
+}
+
+TEST(LinkerTest, MultiGatSplittingStillRuns) {
+  // Force several GP groups by capping each group's GAT at 4 entries;
+  // every module's GP-relative addressing must still resolve, and
+  // behaviour must be identical.
+  std::vector<ObjectFile> Objs = buildObjects(TwoGlobalsSource);
+  lnk::LinkOptions Opts;
+  Opts.MaxGatEntriesPerGroup = 4;
+  Result<Image> Split = lnk::link(Objs, Opts);
+  ASSERT_TRUE(bool(Split)) << Split.message();
+
+  // More than one GP value exists.
+  std::set<uint64_t> GpValues;
+  for (const ImageProc &Proc : Split->Procs)
+    GpValues.insert(Proc.GpValue);
+  EXPECT_GT(GpValues.size(), 1u);
+
+  Result<sim::SimResult> R = sim::run(*Split);
+  ASSERT_TRUE(bool(R)) << R.message();
+  EXPECT_EQ(R->Output, "7");
+}
+
+TEST(LinkerTest, ModuleOrderPreservedInDataLayout) {
+  // The traditional linker lays data out in module order (sorting near
+  // the GAT is OM's improvement, not the baseline's).
+  std::vector<ObjectFile> Objs = buildObjects(TwoGlobalsSource);
+  Result<Image> Img = lnk::link(Objs);
+  ASSERT_TRUE(bool(Img)) << Img.message();
+  uint64_t AddrA = 0, AddrB = 0;
+  for (const ImageSymbol &S : Img->Symbols) {
+    if (S.Name == "t.a")
+      AddrA = S.Addr;
+    if (S.Name == "t.b")
+      AddrB = S.Addr;
+  }
+  ASSERT_NE(AddrA, 0u);
+  ASSERT_NE(AddrB, 0u);
+  EXPECT_EQ(AddrB, AddrA + 8) << "declaration order preserved";
+}
+
+TEST(LinkerTest, ImageCarriesProcedureGpValues) {
+  std::vector<ObjectFile> Objs = buildObjects(TwoGlobalsSource);
+  Result<Image> Img = lnk::link(Objs);
+  ASSERT_TRUE(bool(Img)) << Img.message();
+  ASSERT_FALSE(Img->Procs.empty());
+  for (const ImageProc &Proc : Img->Procs) {
+    EXPECT_GE(Proc.GpValue, Img->DataBase);
+    EXPECT_GE(Proc.Entry, Img->TextBase);
+    EXPECT_LT(Proc.Entry, Img->TextBase + Img->Text.size());
+  }
+  EXPECT_EQ(Img->InitialGp, Img->Procs.front().GpValue);
+}
+
+TEST(LinkerTest, WholeSuiteLinksInBothModes) {
+  for (const std::string &Name : {"ear", "sc"}) {
+    Result<wl::BuiltWorkload> W = wl::buildWorkload(Name);
+    ASSERT_TRUE(bool(W)) << W.message();
+    for (wl::CompileMode Mode :
+         {wl::CompileMode::Each, wl::CompileMode::All}) {
+      Result<Image> Img = wl::linkBaseline(*W, Mode);
+      EXPECT_TRUE(bool(Img)) << (Img ? "" : Img.message());
+    }
+  }
+}
+
+} // namespace

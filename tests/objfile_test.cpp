@@ -1,0 +1,233 @@
+//===- tests/objfile_test.cpp - Object format unit tests ------------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "objfile/Image.h"
+#include "TestUtil.h"
+#include "objfile/ObjectFile.h"
+
+#include "isa/Inst.h"
+
+#include <gtest/gtest.h>
+
+using namespace om64;
+using namespace om64::obj;
+
+namespace {
+
+ObjectFile sampleObject() {
+  ObjectFile O;
+  O.ModuleName = "demo";
+  for (int I = 0; I < 4; ++I) {
+    uint32_t W = isa::encode(isa::Inst::nop());
+    for (unsigned B = 0; B < 4; ++B)
+      O.Text.push_back(static_cast<uint8_t>(W >> (8 * B)));
+  }
+  O.Data = {1, 2, 3, 4, 5, 6, 7, 8};
+  O.BssSize = 64;
+
+  Symbol Proc;
+  Proc.Name = "demo.main";
+  Proc.Section = SectionKind::Text;
+  Proc.Size = 16;
+  Proc.IsProcedure = true;
+  Proc.IsExported = true;
+  Proc.IsDefined = true;
+  O.Symbols.push_back(Proc);
+
+  Symbol Var;
+  Var.Name = "demo.counter";
+  Var.Section = SectionKind::Bss;
+  Var.Offset = 0;
+  Var.Size = 8;
+  Var.IsDefined = true;
+  O.Symbols.push_back(Var);
+
+  Symbol Extern;
+  Extern.Name = "io.print_int";
+  O.Symbols.push_back(Extern);
+
+  O.Gat.push_back({1, 0});
+  O.Gat.push_back({2, 0});
+
+  Reloc Lit;
+  Lit.Kind = RelocKind::Literal;
+  Lit.Offset = 0;
+  Lit.GatIndex = 0;
+  Lit.LiteralId = 7;
+  O.Relocs.push_back(Lit);
+
+  Reloc Use;
+  Use.Kind = RelocKind::LituseBase;
+  Use.Offset = 4;
+  Use.LiteralId = 7;
+  O.Relocs.push_back(Use);
+
+  Reloc Gp;
+  Gp.Kind = RelocKind::GpDisp;
+  Gp.Offset = 8;
+  Gp.PairOffset = 4;
+  Gp.AnchorOffset = 0;
+  Gp.GpKind = 1;
+  O.Relocs.push_back(Gp);
+
+  ProcDesc D;
+  D.SymbolIndex = 0;
+  D.TextOffset = 0;
+  D.TextSize = 16;
+  D.UsesGp = true;
+  O.Procs.push_back(D);
+  return O;
+}
+
+TEST(ObjectFileTest, SerializeDeserializeRoundTrip) {
+  ObjectFile O = sampleObject();
+  std::vector<uint8_t> Bytes = O.serialize();
+  Result<ObjectFile> Back = ObjectFile::deserialize(Bytes);
+  ASSERT_TRUE(bool(Back)) << Back.message();
+  EXPECT_EQ(Back->ModuleName, "demo");
+  EXPECT_EQ(Back->Text, O.Text);
+  EXPECT_EQ(Back->Data, O.Data);
+  EXPECT_EQ(Back->BssSize, 64u);
+  ASSERT_EQ(Back->Symbols.size(), 3u);
+  EXPECT_EQ(Back->Symbols[0].Name, "demo.main");
+  EXPECT_TRUE(Back->Symbols[0].IsProcedure);
+  EXPECT_FALSE(Back->Symbols[2].IsDefined);
+  ASSERT_EQ(Back->Gat.size(), 2u);
+  EXPECT_EQ(Back->Gat[1], (GatEntry{2, 0}));
+  ASSERT_EQ(Back->Relocs.size(), 3u);
+  EXPECT_EQ(Back->Relocs[2].Kind, RelocKind::GpDisp);
+  EXPECT_EQ(Back->Relocs[2].PairOffset, 4u);
+  EXPECT_EQ(Back->Relocs[2].GpKind, 1);
+  ASSERT_EQ(Back->Procs.size(), 1u);
+  EXPECT_TRUE(Back->Procs[0].UsesGp);
+}
+
+TEST(ObjectFileTest, RejectsBadMagicAndTruncation) {
+  ObjectFile O = sampleObject();
+  std::vector<uint8_t> Bytes = O.serialize();
+  std::vector<uint8_t> Bad = Bytes;
+  Bad[0] ^= 0xFF;
+  EXPECT_FALSE(bool(ObjectFile::deserialize(Bad)));
+
+  std::vector<uint8_t> Short(Bytes.begin(), Bytes.begin() + 20);
+  EXPECT_FALSE(bool(ObjectFile::deserialize(Short)));
+}
+
+TEST(ObjectFileTest, VerifyCatchesInconsistencies) {
+  {
+    ObjectFile O = sampleObject();
+    O.Text.push_back(0); // not a multiple of 4
+    EXPECT_TRUE(bool(O.verify()));
+  }
+  {
+    ObjectFile O = sampleObject();
+    O.Gat[0].SymbolIndex = 99;
+    EXPECT_TRUE(bool(O.verify()));
+  }
+  {
+    ObjectFile O = sampleObject();
+    O.Relocs[1].LiteralId = 1234; // no matching literal
+    EXPECT_TRUE(bool(O.verify()));
+  }
+  {
+    ObjectFile O = sampleObject();
+    O.Procs[0].TextSize = 1000; // extends past text
+    EXPECT_TRUE(bool(O.verify()));
+  }
+  {
+    ObjectFile O = sampleObject();
+    O.Relocs[0].Offset = 4096; // outside .text
+    EXPECT_TRUE(bool(O.verify()));
+  }
+  EXPECT_FALSE(bool(sampleObject().verify()));
+}
+
+TEST(ObjectFileTest, FindSymbol) {
+  ObjectFile O = sampleObject();
+  EXPECT_EQ(O.findSymbol("demo.counter"), 1u);
+  EXPECT_EQ(O.findSymbol("nope"), ~0u);
+}
+
+TEST(ImageTest, FetchAndSymbols) {
+  obj::Image Img;
+  uint32_t W = isa::encode(isa::makeMem(isa::Opcode::Ldq, isa::T0, 8,
+                                        isa::GP));
+  for (unsigned B = 0; B < 4; ++B)
+    Img.Text.push_back(static_cast<uint8_t>(W >> (8 * B)));
+  EXPECT_EQ(Img.fetch(Img.TextBase), W);
+  EXPECT_EQ(Img.textWords().size(), 1u);
+  EXPECT_EQ(Img.textWords()[0], W);
+
+  Img.Symbols.push_back({"t.main", Img.TextBase, 4, true});
+  EXPECT_EQ(Img.symbolAt(Img.TextBase), "t.main");
+  EXPECT_EQ(Img.symbolAt(Img.TextBase + 4), "");
+}
+
+TEST(ImageTest, SerializeDeserializeRoundTrip) {
+  obj::Image Img;
+  Img.Text = {1, 2, 3, 4};
+  Img.Data = {9, 8};
+  Img.BssSize = 128;
+  Img.Entry = Img.TextBase;
+  Img.InitialGp = Img.DataBase + 32768;
+  Img.GatBase = Img.DataBase;
+  Img.GatSize = 40;
+  Img.Symbols.push_back({"a.b", 42, 8, false});
+  Img.Procs.push_back({"a.main", Img.TextBase, 4, Img.InitialGp, 0});
+
+  Result<obj::Image> Back = obj::Image::deserialize(Img.serialize());
+  ASSERT_TRUE(bool(Back)) << Back.message();
+  EXPECT_EQ(Back->Text, Img.Text);
+  EXPECT_EQ(Back->Data, Img.Data);
+  EXPECT_EQ(Back->BssSize, 128u);
+  EXPECT_EQ(Back->GatSize, 40u);
+  ASSERT_EQ(Back->Procs.size(), 1u);
+  EXPECT_EQ(Back->Procs[0].GpValue, Img.InitialGp);
+  EXPECT_EQ(Back->dataSegmentSize(), 130u);
+}
+
+TEST(ImageTest, VerifyAcceptsRealExecutablesAndCatchesDamage) {
+  // A real linked workload passes; corrupting a GAT slot or the entry
+  // point is caught.
+  Result<wl::BuiltWorkload> W = wl::buildWorkload("ora");
+  ASSERT_TRUE(bool(W)) << W.message();
+  Result<obj::Image> Img = wl::linkBaseline(*W, wl::CompileMode::Each);
+  ASSERT_TRUE(bool(Img)) << Img.message();
+  EXPECT_FALSE(bool(Img->verify())) << Img->verify().message();
+
+  {
+    obj::Image Bad = *Img;
+    Bad.Entry = Bad.TextBase + 2; // misaligned
+    EXPECT_TRUE(bool(Bad.verify()));
+  }
+  {
+    obj::Image Bad = *Img;
+    ASSERT_GE(Bad.GatSize, 8u);
+    for (unsigned Byte = 0; Byte < 8; ++Byte)
+      Bad.Data[Bad.GatBase - Bad.DataBase + Byte] = 0xEE;
+    EXPECT_TRUE(bool(Bad.verify()));
+  }
+  {
+    obj::Image Bad = *Img;
+    // Point a branch far outside text: craft br +huge at the entry.
+    uint32_t Word =
+        isa::encode(isa::makeBranch(isa::Opcode::Br, isa::Zero, 500000));
+    size_t Off = Bad.Entry - Bad.TextBase;
+    for (unsigned Byte = 0; Byte < 4; ++Byte)
+      Bad.Text[Off + Byte] = static_cast<uint8_t>(Word >> (8 * Byte));
+    EXPECT_TRUE(bool(Bad.verify()));
+  }
+}
+
+TEST(ImageTest, RejectsCorruption) {
+  obj::Image Img;
+  Img.Text = {0, 0, 0, 0};
+  std::vector<uint8_t> Bytes = Img.serialize();
+  Bytes[2] ^= 0x40;
+  EXPECT_FALSE(bool(obj::Image::deserialize(Bytes)));
+}
+
+} // namespace

@@ -1,0 +1,288 @@
+//===- tests/sim_test.cpp - Simulator semantics and timing tests ----------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace om64;
+using namespace om64::isa;
+using namespace om64::test;
+
+namespace {
+
+/// Runs raw code that leaves its result in v0 and halts by returning.
+int64_t runForV0(std::vector<Inst> Code, bool Timing = false) {
+  Code.push_back(makeJump(Opcode::Ret, Zero, RA));
+  obj::Image Img = makeRawImage(Code);
+  sim::SimConfig Cfg;
+  Cfg.Timing = Timing;
+  Result<sim::SimResult> R = sim::run(Img, Cfg);
+  EXPECT_TRUE(bool(R)) << (R ? "" : R.message());
+  return R ? R->ExitCode : -999;
+}
+
+/// Materializes a 64-bit constant into \p Dest (test-only helper mirroring
+/// codegen's strategy but always via lda/ldah/shifts).
+void emitConst(std::vector<Inst> &Code, uint8_t Dest, int64_t V) {
+  if (fitsDisp16(V)) {
+    Code.push_back(makeMem(Opcode::Lda, Dest, static_cast<int32_t>(V),
+                           Zero));
+    return;
+  }
+  // Build from 16-bit pieces: seed with the top half, then shift-or the
+  // remaining three halves (lda sign-extends, so mask pieces to 16 bits).
+  Code.push_back(makeMem(Opcode::Lda, Dest,
+                         static_cast<int16_t>(V >> 48), Zero));
+  for (int Piece = 2; Piece >= 0; --Piece) {
+    Code.push_back(makeOpLit(Opcode::Sll, Dest, 16, Dest));
+    int32_t Half = static_cast<int32_t>((V >> (16 * Piece)) & 0xFFFF);
+    if (Half) {
+      Code.push_back(makeMem(Opcode::Lda, AT,
+                             static_cast<int16_t>(Half), Zero));
+      Code.push_back(makeOpLit(Opcode::Sll, AT, 48, AT));
+      Code.push_back(makeOpLit(Opcode::Srl, AT, 48, AT));
+      Code.push_back(makeOp(Opcode::Bis, Dest, AT, Dest));
+    }
+  }
+}
+
+struct IntOpCase {
+  Opcode Op;
+  int64_t A;
+  int64_t B;
+  int64_t Expected;
+};
+
+class IntOpTest : public ::testing::TestWithParam<IntOpCase> {};
+
+TEST_P(IntOpTest, ComputesExpected) {
+  const IntOpCase &C = GetParam();
+  std::vector<Inst> Code;
+  emitConst(Code, T0, C.A);
+  emitConst(Code, T1, C.B);
+  Code.push_back(makeOp(C.Op, T0, T1, V0));
+  EXPECT_EQ(runForV0(Code), C.Expected) << opcodeName(C.Op);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, IntOpTest,
+    ::testing::Values(
+        IntOpCase{Opcode::Addq, 5, 9, 14},
+        IntOpCase{Opcode::Addq, -5, 3, -2},
+        IntOpCase{Opcode::Subq, 5, 9, -4},
+        IntOpCase{Opcode::Mulq, -7, 6, -42},
+        IntOpCase{Opcode::S4addq, 5, 3, 23},
+        IntOpCase{Opcode::S8addq, 5, 3, 43},
+        IntOpCase{Opcode::Cmpeq, 4, 4, 1},
+        IntOpCase{Opcode::Cmpeq, 4, 5, 0},
+        IntOpCase{Opcode::Cmplt, -1, 0, 1},
+        IntOpCase{Opcode::Cmplt, 0, -1, 0},
+        IntOpCase{Opcode::Cmple, 3, 3, 1},
+        IntOpCase{Opcode::Cmpult, -1, 0, 0}, // unsigned: ~0 > 0
+        IntOpCase{Opcode::And, 12, 10, 8},
+        IntOpCase{Opcode::Bic, 12, 10, 4},
+        IntOpCase{Opcode::Bis, 12, 10, 14},
+        IntOpCase{Opcode::Ornot, 8, -1, 8},
+        IntOpCase{Opcode::Xor, 12, 10, 6},
+        IntOpCase{Opcode::Sll, 3, 4, 48},
+        IntOpCase{Opcode::Srl, -1, 60, 15},
+        IntOpCase{Opcode::Sra, -16, 2, -4}));
+
+TEST(SimTest, LiteralOperandsAreZeroExtended) {
+  std::vector<Inst> Code;
+  Code.push_back(makeOpLit(Opcode::Addq, Zero, 255, V0));
+  EXPECT_EQ(runForV0(Code), 255);
+}
+
+TEST(SimTest, LdaLdahSemantics) {
+  std::vector<Inst> Code;
+  Code.push_back(makeMem(Opcode::Lda, T0, -4, Zero));
+  Code.push_back(makeMem(Opcode::Ldah, T0, 2, T0));
+  Code.push_back(makeOp(Opcode::Bis, T0, T0, V0));
+  EXPECT_EQ(runForV0(Code), (2 << 16) - 4);
+}
+
+TEST(SimTest, MemoryRoundTripAndLdlSignExtend) {
+  std::vector<Inst> Code;
+  emitConst(Code, T0, -2);                     // 0xFFFF...FE
+  Code.push_back(makeMem(Opcode::Stq, T0, 16, SP));
+  Code.push_back(makeMem(Opcode::Ldl, V0, 16, SP)); // low 32 bits, sext
+  EXPECT_EQ(runForV0(Code), -2);
+
+  std::vector<Inst> Code2;
+  emitConst(Code2, T0, 0x7FFFFFFF);
+  Code2.push_back(makeMem(Opcode::Stl, T0, 24, SP));
+  Code2.push_back(makeMem(Opcode::Ldl, V0, 24, SP));
+  EXPECT_EQ(runForV0(Code2), 0x7FFFFFFF);
+}
+
+TEST(SimTest, UnalignedAccessFaults) {
+  std::vector<Inst> Code;
+  Code.push_back(makeMem(Opcode::Ldq, V0, 4, SP)); // SP-512 is 16-aligned
+  Code.push_back(makeMem(Opcode::Ldq, V0, 1, SP));
+  Code.push_back(makeJump(Opcode::Ret, Zero, RA));
+  Result<sim::SimResult> R = sim::run(makeRawImage(Code));
+  EXPECT_FALSE(bool(R));
+  EXPECT_NE(R.message().find("bad 8-byte load"), std::string::npos);
+}
+
+TEST(SimTest, StoreToTextFaults) {
+  std::vector<Inst> Code;
+  Code.push_back(makeOp(Opcode::Bis, Zero, Zero, T0));
+  Code.push_back(makeMem(Opcode::Ldah, T0, 0x1200, T0));
+  Code.push_back(makeOpLit(Opcode::Sll, T0, 4, T0)); // 0x120000000
+  Code.push_back(makeMem(Opcode::Stq, Zero, 0, T0));
+  Code.push_back(makeJump(Opcode::Ret, Zero, RA));
+  Result<sim::SimResult> R = sim::run(makeRawImage(Code));
+  EXPECT_FALSE(bool(R));
+}
+
+TEST(SimTest, BranchesAndConditions) {
+  // v0 = (t0 < 0) ? 11 : 22 via blt.
+  for (int64_t X : {-5, 0, 5}) {
+    std::vector<Inst> Code;
+    emitConst(Code, T0, X);
+    Code.push_back(makeBranch(Opcode::Blt, T0, 2));       // skip 2
+    Code.push_back(makeMem(Opcode::Lda, V0, 22, Zero));
+    Code.push_back(makeBranch(Opcode::Br, Zero, 1));
+    Code.push_back(makeMem(Opcode::Lda, V0, 11, Zero));
+    int64_t Expected = X < 0 ? 11 : 22;
+    EXPECT_EQ(runForV0(Code), Expected) << "X=" << X;
+  }
+}
+
+TEST(SimTest, BsrRetLinkage) {
+  // main saves the halt address, calls a leaf via BSR (clobbering RA),
+  // adds 1 to the leaf's return value, and exits through the saved
+  // address; exercises the link-register plumbing calls rely on.
+  std::vector<Inst> Code;
+  Code.push_back(makeOp(Opcode::Bis, RA, RA, S0)); // save halt address
+  Code.push_back(makeBranch(Opcode::Bsr, RA, 2));  // -> index 4
+  Code.push_back(makeOpLit(Opcode::Addq, V0, 1, V0));
+  Code.push_back(makeJump(Opcode::Ret, Zero, S0)); // exit with v0 = 8
+  Code.push_back(makeMem(Opcode::Lda, V0, 7, Zero)); // leaf
+  Code.push_back(makeJump(Opcode::Ret, Zero, RA));
+  obj::Image Img = makeRawImage(Code);
+  sim::SimConfig Cfg;
+  Cfg.Timing = false;
+  Result<sim::SimResult> R = sim::run(Img, Cfg);
+  ASSERT_TRUE(bool(R)) << R.message();
+  EXPECT_EQ(R->ExitCode, 8);
+}
+
+TEST(SimTest, FpArithmeticAndConversion) {
+  // v0 = trunc((2.0 + 3.0) * 4.0 / 8.0) = 2 via cvtqt/cvttq round trip.
+  std::vector<Inst> Code;
+  Code.push_back(makeMem(Opcode::Lda, T0, 2, Zero));
+  Code.push_back(makeOp(Opcode::Itoft, T0, Zero, 1));
+  Code.push_back(makeOp(Opcode::Cvtqt, FZero, 1, 1)); // f1 = 2.0
+  Code.push_back(makeMem(Opcode::Lda, T0, 3, Zero));
+  Code.push_back(makeOp(Opcode::Itoft, T0, Zero, 2));
+  Code.push_back(makeOp(Opcode::Cvtqt, FZero, 2, 2)); // f2 = 3.0
+  Code.push_back(makeOp(Opcode::Addt, 1, 2, 3));      // 5.0
+  Code.push_back(makeOp(Opcode::Addt, 3, 3, 4));      // 10.0 (x2)
+  Code.push_back(makeOp(Opcode::Addt, 4, 4, 4));      // 20.0 (x4 total)
+  Code.push_back(makeOp(Opcode::Mult, 1, 2, 5));      // 6.0
+  Code.push_back(makeOp(Opcode::Divt, 4, 5, 6));      // 20/6 = 3.33..
+  Code.push_back(makeOp(Opcode::Cvttq, FZero, 6, 7));
+  Code.push_back(makeOp(Opcode::Ftoit, 7, Zero, V0)); // trunc -> 3
+  EXPECT_EQ(runForV0(Code), 3);
+}
+
+TEST(SimTest, FpComparesProduceTwoPointZero) {
+  std::vector<Inst> Code;
+  Code.push_back(makeMem(Opcode::Lda, T0, 1, Zero));
+  Code.push_back(makeOp(Opcode::Itoft, T0, Zero, 1));
+  Code.push_back(makeOp(Opcode::Cvtqt, FZero, 1, 1)); // 1.0
+  Code.push_back(makeOp(Opcode::Cmptlt, 31, 1, 2));   // 0.0 < 1.0 -> 2.0
+  Code.push_back(makeOp(Opcode::Cvttq, FZero, 2, 3));
+  Code.push_back(makeOp(Opcode::Ftoit, 3, Zero, V0));
+  EXPECT_EQ(runForV0(Code), 2);
+}
+
+TEST(SimTest, PalOutputStream) {
+  std::vector<Inst> Code;
+  Code.push_back(makeMem(Opcode::Lda, A0, 65, Zero)); // 'A'
+  Code.push_back(makePal(PalFunc::PutChar));
+  Code.push_back(makeMem(Opcode::Lda, A0, -42, Zero));
+  Code.push_back(makePal(PalFunc::PutInt));
+  Code.push_back(makeMem(Opcode::Lda, A0, 3, Zero));
+  Code.push_back(makePal(PalFunc::Halt));
+  Result<sim::SimResult> R = sim::run(makeRawImage(Code));
+  ASSERT_TRUE(bool(R)) << R.message();
+  EXPECT_EQ(R->Output, "A-42");
+  EXPECT_EQ(R->ExitCode, 3);
+}
+
+TEST(SimTest, RunawayGuard) {
+  std::vector<Inst> Code;
+  Code.push_back(makeBranch(Opcode::Br, Zero, -1)); // infinite loop
+  obj::Image Img = makeRawImage(Code);
+  sim::SimConfig Cfg;
+  Cfg.MaxInstructions = 1000;
+  Result<sim::SimResult> R = sim::run(Img, Cfg);
+  EXPECT_FALSE(bool(R));
+  EXPECT_NE(R.message().find("budget"), std::string::npos);
+}
+
+TEST(SimTest, TimingCountsDualIssueAndStalls) {
+  // Independent pair at an aligned address should dual-issue.
+  std::vector<Inst> Code;
+  Code.push_back(makeMem(Opcode::Lda, T0, 1, Zero));
+  Code.push_back(makeMem(Opcode::Lda, T1, 2, Zero));
+  Code.push_back(makeOp(Opcode::Addq, T0, T1, V0));
+  Code.push_back(makeJump(Opcode::Ret, Zero, RA));
+  obj::Image Img = makeRawImage(Code);
+  Result<sim::SimResult> R = sim::run(Img);
+  ASSERT_TRUE(bool(R)) << R.message();
+  EXPECT_EQ(R->ExitCode, 3);
+  EXPECT_GE(R->DualIssuePairs, 1u);
+
+  // A load-use chain must cost at least the load-use latency.
+  std::vector<Inst> Chain;
+  Chain.push_back(makeMem(Opcode::Ldq, T0, 0, SP));
+  Chain.push_back(makeOpLit(Opcode::Addq, T0, 1, V0));
+  Chain.push_back(makeJump(Opcode::Ret, Zero, RA));
+  Result<sim::SimResult> C = sim::run(makeRawImage(Chain));
+  ASSERT_TRUE(bool(C)) << C.message();
+  EXPECT_GE(C->Cycles, 3u + 20u /* first-touch D-cache miss */);
+  EXPECT_EQ(C->DCacheMisses, 1u);
+}
+
+TEST(SimTest, TimingChargesCacheMisses) {
+  // Touch 1024 distinct lines twice: first pass misses, second hits.
+  std::vector<Inst> Code;
+  Code.push_back(makeMem(Opcode::Lda, T0, 0, Zero));       // i = 0
+  Code.push_back(makeMem(Opcode::Lda, T2, 1024, Zero));    // limit
+  // loop: t1 = sp - i*32... simpler: ldq from stack base + (i & 15)*32.
+  Code.push_back(makeOpLit(Opcode::And, T0, 127, T1));
+  Code.push_back(makeOpLit(Opcode::Sll, T1, 5, T1));
+  Code.push_back(makeOp(Opcode::Subq, SP, T1, T1));
+  Code.push_back(makeMem(Opcode::Ldq, T3, -8, T1));
+  Code.push_back(makeOpLit(Opcode::Addq, T0, 1, T0));
+  Code.push_back(makeOp(Opcode::Cmplt, T0, T2, T4));
+  Code.push_back(makeBranch(Opcode::Bne, T4, -7));
+  Code.push_back(makeJump(Opcode::Ret, Zero, RA));
+  Result<sim::SimResult> R = sim::run(makeRawImage(Code));
+  ASSERT_TRUE(bool(R)) << R.message();
+  // 128 distinct lines, each missing exactly once.
+  EXPECT_EQ(R->DCacheMisses, 128u);
+}
+
+TEST(SimTest, FunctionalModeReportsNoCycles) {
+  std::vector<Inst> Code;
+  Code.push_back(makeMem(Opcode::Lda, V0, 1, Zero));
+  Code.push_back(makeJump(Opcode::Ret, Zero, RA));
+  sim::SimConfig Cfg;
+  Cfg.Timing = false;
+  Result<sim::SimResult> R = sim::run(makeRawImage(Code), Cfg);
+  ASSERT_TRUE(bool(R)) << R.message();
+  EXPECT_EQ(R->Cycles, 0u);
+  EXPECT_EQ(R->Instructions, 2u);
+}
+
+} // namespace

@@ -1,0 +1,196 @@
+//===- tests/tools_test.cpp - CLI toolchain integration tests -------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the installed command-line tools (mlc, omlink, aaxrun, aaxdump)
+/// through a temp directory: compile sources to .aaxo files, link them
+/// standard and with OM, execute both, and verify identical program
+/// output plus sane dump contents. The tool paths come from the build
+/// system (OM64_TOOLS_DIR).
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string toolsDir() { return OM64_TOOLS_DIR; }
+
+/// Runs a shell command, captures stdout, returns the exit status.
+int runCommand(const std::string &Cmd, std::string &Stdout) {
+  std::string Full = Cmd + " 2>/dev/null";
+  std::FILE *P = popen(Full.c_str(), "r");
+  if (!P)
+    return -1;
+  char Buf[4096];
+  Stdout.clear();
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+    Stdout.append(Buf, N);
+  int Status = pclose(P);
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+class ToolchainTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Dir = ::testing::TempDir() + "om64_tools_XXXXXX";
+    ASSERT_NE(mkdtemp(Dir.data()), nullptr);
+
+    std::ofstream Src(Dir + "/prog.ml");
+    Src << R"(
+module prog;
+import io;
+var total: int;
+export func accumulate(x: int): int {
+  total = total + x * x;
+  return total;
+}
+export func main(): int {
+  var i: int;
+  i = 1;
+  while (i <= 4) {
+    accumulate(i);
+    i = i + 1;
+  }
+  io.print_int_ln(total);
+  return total & 7;
+}
+)";
+    Src.close();
+
+    std::string Out;
+    ASSERT_EQ(runCommand("cd " + Dir + " && " + toolsDir() +
+                             "/mlc --emit-runtime . prog.ml",
+                         Out),
+              0)
+        << Out;
+  }
+
+  std::string allObjects() const {
+    return Dir + "/prog.aaxo " + Dir + "/rt.aaxo " + Dir + "/io.aaxo " +
+           Dir + "/mathlib.aaxo " + Dir + "/prng.aaxo " + Dir +
+           "/accum.aaxo " + Dir + "/workq.aaxo " + Dir + "/bits.aaxo " +
+           Dir + "/fixed.aaxo";
+  }
+
+  std::string Dir;
+};
+
+TEST_F(ToolchainTest, CompileLinkRunStandard) {
+  std::string Out;
+  ASSERT_EQ(runCommand(toolsDir() + "/omlink --standard -o " + Dir +
+                           "/std.aaxe " + allObjects(),
+                       Out),
+            0)
+      << Out;
+  // 1+4+9+16 = 30; exit = 30 & 7 = 6.
+  EXPECT_EQ(runCommand(toolsDir() + "/aaxrun " + Dir + "/std.aaxe", Out),
+            6);
+  EXPECT_EQ(Out, "30\n");
+}
+
+TEST_F(ToolchainTest, OmLinkMatchesStandardOutput) {
+  std::string StdOut, OmOut;
+  ASSERT_EQ(runCommand(toolsDir() + "/omlink --standard -o " + Dir +
+                           "/std.aaxe " + allObjects(),
+                       StdOut),
+            0);
+  for (const char *Level : {"none", "simple", "full"}) {
+    std::string Link;
+    ASSERT_EQ(runCommand(toolsDir() + "/omlink -O " + Level + " -o " +
+                             Dir + "/om.aaxe " + allObjects(),
+                         Link),
+              0)
+        << Link;
+    EXPECT_EQ(runCommand(toolsDir() + "/aaxrun " + Dir + "/std.aaxe",
+                         StdOut),
+              runCommand(toolsDir() + "/aaxrun " + Dir + "/om.aaxe",
+                         OmOut));
+    EXPECT_EQ(StdOut, OmOut) << "at -O " << Level;
+  }
+}
+
+TEST_F(ToolchainTest, CompileAllMode) {
+  std::string Out;
+  ASSERT_EQ(runCommand("cd " + Dir + " && " + toolsDir() +
+                           "/mlc --all -o unit.aaxo prog.ml",
+                       Out),
+            0)
+      << Out;
+  ASSERT_EQ(runCommand(toolsDir() + "/omlink -O full -o " + Dir +
+                           "/all.aaxe " + Dir + "/unit.aaxo " + Dir +
+                           "/rt.aaxo " + Dir + "/io.aaxo " + Dir +
+                           "/mathlib.aaxo " + Dir + "/prng.aaxo " + Dir +
+                           "/accum.aaxo " + Dir + "/workq.aaxo " + Dir +
+                           "/bits.aaxo " + Dir + "/fixed.aaxo",
+                       Out),
+            0)
+      << Out;
+  EXPECT_EQ(runCommand(toolsDir() + "/aaxrun " + Dir + "/all.aaxe", Out),
+            6);
+  EXPECT_EQ(Out, "30\n");
+}
+
+TEST_F(ToolchainTest, DumpShowsLoaderHints) {
+  std::string Out;
+  ASSERT_EQ(runCommand(toolsDir() + "/aaxdump " + Dir + "/prog.aaxo", Out),
+            0);
+  EXPECT_NE(Out.find("LITERAL"), std::string::npos);
+  EXPECT_NE(Out.find("LITUSE_JSR"), std::string::npos);
+  EXPECT_NE(Out.find("GPDISP"), std::string::npos);
+  EXPECT_NE(Out.find("prog.main"), std::string::npos);
+  EXPECT_NE(Out.find("jsr ra, (pv)"), std::string::npos);
+
+  ASSERT_EQ(runCommand(toolsDir() + "/omlink -O full -o " + Dir +
+                           "/d.aaxe " + allObjects(),
+                       Out),
+            0);
+  ASSERT_EQ(runCommand(toolsDir() + "/aaxdump " + Dir + "/d.aaxe", Out),
+            0);
+  EXPECT_NE(Out.find("AAX executable"), std::string::npos);
+  EXPECT_NE(Out.find("entry"), std::string::npos);
+}
+
+TEST_F(ToolchainTest, InstrumentedLinkProfiles) {
+  std::string Out;
+  ASSERT_EQ(runCommand(toolsDir() + "/omlink -O full --instrument -o " +
+                           Dir + "/prof.aaxe " + allObjects(),
+                       Out),
+            0)
+      << Out;
+  EXPECT_NE(Out.find("profmap"), std::string::npos);
+  // The run still behaves identically.
+  EXPECT_EQ(runCommand(toolsDir() + "/aaxrun " + Dir + "/prof.aaxe", Out),
+            6);
+  EXPECT_EQ(Out, "30\n");
+  // The sidecar names every counter.
+  std::ifstream Map(Dir + "/prof.aaxe.profmap");
+  std::stringstream SS;
+  SS << Map.rdbuf();
+  EXPECT_NE(SS.str().find("prog.accumulate"), std::string::npos);
+}
+
+TEST_F(ToolchainTest, BadInputsFailCleanly) {
+  std::string Out;
+  EXPECT_NE(runCommand(toolsDir() + "/aaxrun " + Dir + "/prog.aaxo", Out),
+            0)
+      << "running an object file must fail";
+  EXPECT_NE(runCommand(toolsDir() + "/omlink -o " + Dir + "/x.aaxe " +
+                           Dir + "/prog.aaxo",
+                       Out),
+            0)
+      << "linking without the runtime must report undefined symbols";
+  EXPECT_NE(runCommand(toolsDir() + "/aaxdump /dev/null", Out), 0);
+}
+
+} // namespace

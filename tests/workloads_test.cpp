@@ -1,0 +1,175 @@
+//===- tests/workloads_test.cpp - Workload suite regression tests ---------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pins the exact output of every SPEC92-shaped workload (the whole
+/// pipeline is deterministic, so any change here means compiler, linker,
+/// simulator, or workload semantics moved), and checks the per-program
+/// profile properties the suite was designed to have (indirect calls in
+/// li/sc, library-call density in spice, large basic blocks in fpppp,
+/// beyond-window data in hydro2d/swm256/tomcatv).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "lang/Interp.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace om64;
+using namespace om64::test;
+
+namespace {
+
+const std::map<std::string, std::string> &goldenOutputs() {
+  static const std::map<std::string, std::string> Golden = {
+      {"alvinn", "250172\n503559\n"},
+      {"compress", "e=21957\np=8171\n"},
+      {"doduc", "343299\n4163\n"},
+      {"ear", "905517159232\n"},
+      {"eqntott", "u=768\n42284297\n"},
+      {"espresso", "s=87\nc=415779\n"},
+      {"fpppp", "9710\n"},
+      {"hydro2d", "96631897\n-781812\n"},
+      {"li", "r=253\ns=1\n"},
+      {"mdljdp2", "10473\n110251\n"},
+      {"mdljsp2", "58033\n"},
+      {"nasa7", "195960\n103221\n-1810\n10371\n10188\n-75734\n-59436\n"},
+      {"ora", "h=760\nm=440\n1541821\n"},
+      {"sc", "n=225\n85715\n"},
+      {"spice", "w=0\n28794\n"},
+      {"su2cor", "5896805\n"},
+      {"swm256", "63837547\n484277\n"},
+      {"tomcatv", "22998\n208638\n"},
+      {"wave5", "q=533920\n-636357\n"},
+  };
+  return Golden;
+}
+
+class GoldenOutputTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GoldenOutputTest, BaselineOutputIsPinned) {
+  const std::string &Name = GetParam();
+  Result<wl::BuiltWorkload> W = wl::buildWorkload(Name);
+  ASSERT_TRUE(bool(W)) << W.message();
+  Result<obj::Image> Img = wl::linkBaseline(*W, wl::CompileMode::Each);
+  ASSERT_TRUE(bool(Img)) << Img.message();
+  Result<sim::SimResult> R = sim::run(*Img);
+  ASSERT_TRUE(bool(R)) << R.message();
+  EXPECT_EQ(R->Output, goldenOutputs().at(Name));
+  EXPECT_EQ(R->ExitCode, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, GoldenOutputTest,
+                         ::testing::ValuesIn(wl::workloadNames()),
+                         [](const ::testing::TestParamInfo<std::string> &I) {
+                           return I.param;
+                         });
+
+TEST(WorkloadProfileTest, InterpreterAgreesOnEveryWorkload) {
+  // The reference interpreter is an independent implementation of MLang
+  // semantics; agreement over the whole suite is a strong cross-check of
+  // compiler, linker, and simulator at once.
+  for (const std::string &Name : wl::workloadNames()) {
+    Result<wl::ParsedWorkload> PW = wl::parseWorkload(Name);
+    ASSERT_TRUE(bool(PW)) << PW.message();
+    lang::InterpResult R = lang::interpret(PW->AST, 400000000ull);
+    ASSERT_TRUE(R.Ok) << Name << ": " << R.Error;
+    EXPECT_EQ(R.Output, goldenOutputs().at(Name)) << Name;
+    EXPECT_EQ(R.ExitCode, 0) << Name;
+  }
+}
+
+TEST(WorkloadProfileTest, LiAndScKeepIndirectCallPvLoads) {
+  for (const char *Name : {"li", "sc"}) {
+    Result<wl::BuiltWorkload> W = wl::buildWorkload(Name);
+    ASSERT_TRUE(bool(W)) << W.message();
+    om::OmOptions Opts;
+    Result<om::OmResult> R =
+        wl::linkWithOm(*W, wl::CompileMode::Each, Opts);
+    ASSERT_TRUE(bool(R)) << R.message();
+    EXPECT_GT(R->Stats.CallsNeedingPvLoad, 0u)
+        << Name << " dispatches through procedure variables";
+  }
+}
+
+TEST(WorkloadProfileTest, SpiceIsLibraryCallHeavy) {
+  // The paper: "in the spice benchmark ... statically half the calls are
+  // from one library routine to another". Our spice routes nearly all its
+  // arithmetic through fixed/rt; check that a clear majority of its call
+  // sites live in library code.
+  Result<wl::BuiltWorkload> W = wl::buildWorkload("spice");
+  ASSERT_TRUE(bool(W)) << W.message();
+  unsigned UserCalls = 0, LibCalls = 0;
+  auto countJsrs = [](const obj::ObjectFile &O) {
+    unsigned N = 0;
+    for (const obj::Reloc &R : O.Relocs)
+      N += R.Kind == obj::RelocKind::LituseJsr;
+    return N;
+  };
+  for (const obj::ObjectFile &O : W->UserEach)
+    UserCalls += countJsrs(O);
+  for (const obj::ObjectFile &O : W->Library)
+    LibCalls += countJsrs(O);
+  EXPECT_GT(LibCalls, UserCalls / 2)
+      << "library-to-library chains should be a large share";
+}
+
+TEST(WorkloadProfileTest, FppppHasLargeBasicBlocks) {
+  // fpppp's huge straight-line blocks are what make link-time scheduling
+  // superlinear in Figure 7; verify the block shape exists.
+  Result<wl::BuiltWorkload> W = wl::buildWorkload("fpppp");
+  ASSERT_TRUE(bool(W)) << W.message();
+  const obj::ObjectFile &O = W->UserEach[0];
+  // Longest run of non-terminator instructions.
+  unsigned Longest = 0, Cur = 0;
+  for (size_t Off = 0; Off + 4 <= O.Text.size(); Off += 4) {
+    uint32_t Word = (uint32_t)O.Text[Off] |
+                    ((uint32_t)O.Text[Off + 1] << 8) |
+                    ((uint32_t)O.Text[Off + 2] << 16) |
+                    ((uint32_t)O.Text[Off + 3] << 24);
+    std::optional<isa::Inst> I = isa::decode(Word);
+    ASSERT_TRUE(I.has_value());
+    if (isa::isTerminator(I->Op)) {
+      Longest = std::max(Longest, Cur);
+      Cur = 0;
+    } else {
+      ++Cur;
+    }
+  }
+  Longest = std::max(Longest, Cur);
+  EXPECT_GE(Longest, 100u) << "fpppp should carry very large basic blocks";
+}
+
+TEST(WorkloadProfileTest, BigDataProgramsConvertAddressLoads) {
+  for (const char *Name : {"hydro2d", "swm256", "tomcatv"}) {
+    Result<wl::BuiltWorkload> W = wl::buildWorkload(Name);
+    ASSERT_TRUE(bool(W)) << W.message();
+    om::OmOptions Opts;
+    Result<om::OmResult> R =
+        wl::linkWithOm(*W, wl::CompileMode::Each, Opts);
+    ASSERT_TRUE(bool(R)) << R.message();
+    EXPECT_GT(R->Stats.AddressLoadsConverted, 0u)
+        << Name << " has data beyond the 64 KiB GP window";
+  }
+}
+
+TEST(WorkloadProfileTest, RuntimeLibraryIsSharedAcrossWorkloads) {
+  // The pre-compiled library objects must be identical no matter which
+  // workload they are built alongside (they are separate compilations).
+  Result<wl::BuiltWorkload> A = wl::buildWorkload("ora");
+  Result<wl::BuiltWorkload> B = wl::buildWorkload("li");
+  ASSERT_TRUE(bool(A) && bool(B));
+  ASSERT_EQ(A->Library.size(), B->Library.size());
+  for (size_t Idx = 0; Idx < A->Library.size(); ++Idx)
+    EXPECT_EQ(A->Library[Idx].serialize(), B->Library[Idx].serialize())
+        << A->Library[Idx].ModuleName;
+}
+
+} // namespace

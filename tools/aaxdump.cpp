@@ -1,0 +1,153 @@
+//===- tools/aaxdump.cpp - Inspect objects and executables -----------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// objdump-style inspection of .aaxo objects and .aaxe executables: file
+/// kind is detected from the magic. Objects print sections, symbols, the
+/// GAT literal pool, relocations (the paper's loader hints), procedure
+/// descriptors, and a disassembly; executables print layout, procedures
+/// with GP values, and a symbolized disassembly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "isa/Disassembler.h"
+#include "objfile/Image.h"
+#include "objfile/ObjectFile.h"
+#include "support/FileIO.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace om64;
+
+static void dumpObject(const obj::ObjectFile &O) {
+  std::printf("AAX object module '%s'\n", O.ModuleName.c_str());
+  std::printf("  .text %zu  .data %zu  .bss %llu  GAT entries %zu\n",
+              O.Text.size(), O.Data.size(),
+              (unsigned long long)O.BssSize, O.Gat.size());
+
+  std::printf("\nSYMBOLS\n");
+  for (size_t Idx = 0; Idx < O.Symbols.size(); ++Idx) {
+    const obj::Symbol &S = O.Symbols[Idx];
+    std::printf("  [%3zu] %-28s %-6s +%-6llu %6llub%s%s%s\n", Idx,
+                S.Name.c_str(),
+                S.IsDefined ? obj::sectionName(S.Section) : "UNDEF",
+                (unsigned long long)S.Offset, (unsigned long long)S.Size,
+                S.IsProcedure ? " proc" : "", S.IsExported ? " exp" : "",
+                S.IsDefined ? "" : " ext");
+  }
+
+  std::printf("\nGAT (literal pool)\n");
+  for (size_t Idx = 0; Idx < O.Gat.size(); ++Idx)
+    std::printf("  [%3zu] &%s\n", Idx,
+                O.Symbols[O.Gat[Idx].SymbolIndex].Name.c_str());
+
+  std::printf("\nRELOCATIONS\n");
+  for (const obj::Reloc &R : O.Relocs) {
+    std::printf("  %-6s +%-6llu %-12s", obj::sectionName(R.Section),
+                (unsigned long long)R.Offset, obj::relocKindName(R.Kind));
+    if (R.Kind == obj::RelocKind::Literal)
+      std::printf(" gat[%u] lit#%u", R.GatIndex, R.LiteralId);
+    else if (R.Kind == obj::RelocKind::GpDisp)
+      std::printf(" %s pair+%llu anchor+%llu",
+                  R.GpKind == 0 ? "prologue" : "postcall",
+                  (unsigned long long)R.PairOffset,
+                  (unsigned long long)R.AnchorOffset);
+    else
+      std::printf(" lit#%u", R.LiteralId);
+    std::printf("\n");
+  }
+
+  std::printf("\nPROCEDURES\n");
+  for (const obj::ProcDesc &P : O.Procs)
+    std::printf("  %-28s +%-6llu %6llub  %s\n",
+                O.Symbols[P.SymbolIndex].Name.c_str(),
+                (unsigned long long)P.TextOffset,
+                (unsigned long long)P.TextSize,
+                P.UsesGp ? "uses-gp" : "gp-free");
+
+  std::printf("\nDISASSEMBLY\n");
+  std::vector<uint32_t> Words;
+  for (size_t Off = 0; Off + 4 <= O.Text.size(); Off += 4)
+    Words.push_back((uint32_t)O.Text[Off] | ((uint32_t)O.Text[Off + 1] << 8) |
+                    ((uint32_t)O.Text[Off + 2] << 16) |
+                    ((uint32_t)O.Text[Off + 3] << 24));
+  std::fputs(
+      isa::disassembleRegion(Words, 0,
+                             [&](uint64_t Addr) -> std::string {
+                               for (const obj::ProcDesc &P : O.Procs)
+                                 if (P.TextOffset == Addr)
+                                   return O.Symbols[P.SymbolIndex].Name;
+                               return std::string();
+                             })
+          .c_str(),
+      stdout);
+}
+
+static void dumpImage(const obj::Image &Img) {
+  std::printf("AAX executable\n");
+  std::printf("  text  %s..%s (%zu bytes)\n",
+              formatHex64(Img.TextBase).c_str(),
+              formatHex64(Img.TextBase + Img.Text.size()).c_str(),
+              Img.Text.size());
+  std::printf("  data  %s (%zu bytes + %llu bss)\n",
+              formatHex64(Img.DataBase).c_str(), Img.Data.size(),
+              (unsigned long long)Img.BssSize);
+  std::printf("  GAT   %s (%llu bytes)\n", formatHex64(Img.GatBase).c_str(),
+              (unsigned long long)Img.GatSize);
+  std::printf("  entry %s (GP %s)\n", formatHex64(Img.Entry).c_str(),
+              formatHex64(Img.InitialGp).c_str());
+
+  std::printf("\nPROCEDURES\n");
+  for (const obj::ImageProc &P : Img.Procs)
+    std::printf("  %-28s %s %6llub  gp=%s (group %u)\n", P.Name.c_str(),
+                formatHex64(P.Entry).c_str(), (unsigned long long)P.Size,
+                formatHex64(P.GpValue).c_str(), P.GpGroup);
+
+  std::printf("\nDISASSEMBLY\n");
+  std::fputs(isa::disassembleRegion(
+                 Img.textWords(), Img.TextBase,
+                 [&](uint64_t Addr) { return Img.symbolAt(Addr); })
+                 .c_str(),
+             stdout);
+}
+
+int main(int argc, char **argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: aaxdump <file.aaxo|file.aaxe>\n");
+    return 2;
+  }
+  Result<std::vector<uint8_t>> Bytes = readFileBytes(argv[1]);
+  if (!Bytes) {
+    std::fprintf(stderr, "aaxdump: %s\n", Bytes.message().c_str());
+    return 1;
+  }
+  // Dispatch on the magic.
+  if (Bytes->size() >= 4 && (*Bytes)[0] == 'A' && (*Bytes)[1] == 'A' &&
+      (*Bytes)[2] == 'X' && (*Bytes)[3] == 'O') {
+    Result<obj::ObjectFile> O = obj::ObjectFile::deserialize(*Bytes);
+    if (!O) {
+      std::fprintf(stderr, "aaxdump: %s\n", O.message().c_str());
+      return 1;
+    }
+    dumpObject(*O);
+    return 0;
+  }
+  if (Bytes->size() >= 4 && (*Bytes)[0] == 'A' && (*Bytes)[1] == 'A' &&
+      (*Bytes)[2] == 'X' && (*Bytes)[3] == 'E') {
+    Result<obj::Image> Img = obj::Image::deserialize(*Bytes);
+    if (!Img) {
+      std::fprintf(stderr, "aaxdump: %s\n", Img.message().c_str());
+      return 1;
+    }
+    dumpImage(*Img);
+    return 0;
+  }
+  std::fprintf(stderr, "aaxdump: %s: not an AAX object or executable\n",
+               argv[1]);
+  return 1;
+}

@@ -1,0 +1,96 @@
+//===- tools/aaxrun.cpp - Run an executable on the simulator ---------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes an .aaxe image. The program's PAL output goes to stdout and
+/// the process exit code is the simulated program's.
+///
+///   aaxrun [--functional] [--stats] [--max-insts N] a.aaxe
+///
+//===----------------------------------------------------------------------===//
+
+#include "objfile/Image.h"
+#include "sim/Simulator.h"
+#include "support/FileIO.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace om64;
+
+static int usage() {
+  std::fprintf(stderr,
+               "usage: aaxrun [--functional] [--stats] [--max-insts N] "
+               "a.aaxe\n");
+  return 2;
+}
+
+int main(int argc, char **argv) {
+  std::string Input;
+  sim::SimConfig Cfg;
+  bool Stats = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--functional") {
+      Cfg.Timing = false;
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg == "--max-insts" && I + 1 < argc) {
+      Cfg.MaxInstructions = std::strtoull(argv[++I], nullptr, 10);
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      return usage();
+    } else if (Input.empty()) {
+      Input = Arg;
+    } else {
+      return usage();
+    }
+  }
+  if (Input.empty())
+    return usage();
+
+  Result<std::vector<uint8_t>> Bytes = readFileBytes(Input);
+  if (!Bytes) {
+    std::fprintf(stderr, "aaxrun: %s\n", Bytes.message().c_str());
+    return 1;
+  }
+  Result<obj::Image> Img = obj::Image::deserialize(*Bytes);
+  if (!Img) {
+    std::fprintf(stderr, "aaxrun: %s: %s\n", Input.c_str(),
+                 Img.message().c_str());
+    return 1;
+  }
+
+  Result<sim::SimResult> R = sim::run(*Img, Cfg);
+  if (!R) {
+    std::fprintf(stderr, "aaxrun: %s\n", R.message().c_str());
+    return 1;
+  }
+  std::fputs(R->Output.c_str(), stdout);
+  if (Stats && !R->ProfileCounts.empty()) {
+    std::fprintf(stderr, "aaxrun: profile counters:\n");
+    for (size_t Idx = 0; Idx < R->ProfileCounts.size(); ++Idx)
+      std::fprintf(stderr, "  count[%zu] = %llu\n", Idx,
+                   (unsigned long long)R->ProfileCounts[Idx]);
+  }
+  if (Stats)
+    std::fprintf(stderr,
+                 "aaxrun: %llu instructions (%llu nops, %llu loads, %llu "
+                 "stores), %llu cycles, %llu dual-issue pairs, I$ %llu / "
+                 "D$ %llu misses, exit %lld\n",
+                 (unsigned long long)R->Instructions,
+                 (unsigned long long)R->Nops,
+                 (unsigned long long)R->Loads,
+                 (unsigned long long)R->Stores,
+                 (unsigned long long)R->Cycles,
+                 (unsigned long long)R->DualIssuePairs,
+                 (unsigned long long)R->ICacheMisses,
+                 (unsigned long long)R->DCacheMisses,
+                 (long long)R->ExitCode);
+  return static_cast<int>(R->ExitCode & 0x7F);
+}

@@ -1,0 +1,168 @@
+//===- tools/mlc.cpp - The MLang compiler driver ---------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles MLang sources to AAX relocatable objects (.aaxo).
+///
+///   mlc file.ml ...            compile each module to <module>.aaxo
+///   mlc --all -o unit.aaxo ... compile all inputs as one interprocedural
+///                              unit (the paper's compile-all mode)
+///   mlc --emit-runtime DIR     write the pre-compiled runtime library
+///                              objects (rt/io/mathlib/...) into DIR
+///
+/// Options: -o PATH (output file for --all / directory otherwise),
+/// --no-sched (disable compile-time pipeline scheduling), --no-fold,
+/// --no-runtime (do not make the runtime modules visible to sema).
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Codegen.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "support/FileIO.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace om64;
+
+static int usage() {
+  std::fprintf(stderr,
+               "usage: mlc [options] file.ml...\n"
+               "       mlc --emit-runtime DIR\n"
+               "options:\n"
+               "  -o PATH        output object (--all) or directory\n"
+               "  --all          compile all inputs as one unit\n"
+               "  --no-sched     disable compile-time scheduling\n"
+               "  --no-fold      disable constant folding\n"
+               "  --no-runtime   do not include the runtime library in the\n"
+               "                 semantic environment\n");
+  return 2;
+}
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Inputs;
+  std::string Output;
+  std::string EmitRuntimeDir;
+  bool All = false;
+  bool WithRuntime = true;
+  cg::CompileOptions Opts;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "-o" && I + 1 < argc) {
+      Output = argv[++I];
+    } else if (Arg == "--all") {
+      All = true;
+    } else if (Arg == "--no-sched") {
+      Opts.Schedule = false;
+    } else if (Arg == "--no-fold") {
+      Opts.FoldConstants = false;
+    } else if (Arg == "--no-runtime") {
+      WithRuntime = false;
+    } else if (Arg == "--emit-runtime" && I + 1 < argc) {
+      EmitRuntimeDir = argv[++I];
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      return usage();
+    } else {
+      Inputs.push_back(Arg);
+    }
+  }
+
+  DiagnosticEngine Diags;
+  lang::Program Prog;
+  std::vector<std::string> UserModules;
+  std::vector<std::string> RuntimeNames;
+
+  for (const std::string &Path : Inputs) {
+    Result<std::string> Src = readFileText(Path);
+    if (!Src) {
+      std::fprintf(stderr, "mlc: %s\n", Src.message().c_str());
+      return 1;
+    }
+    std::optional<lang::Module> M = lang::parseModule(Path, *Src, Diags);
+    if (!M) {
+      std::fputs(Diags.render().c_str(), stderr);
+      return 1;
+    }
+    UserModules.push_back(M->Name);
+    Prog.Modules.push_back(std::move(*M));
+  }
+  if (WithRuntime || !EmitRuntimeDir.empty()) {
+    for (const wl::SourceModule &SM : wl::runtimeModules()) {
+      std::optional<lang::Module> M =
+          lang::parseModule(SM.Name, SM.Source, Diags);
+      if (!M) {
+        std::fputs(Diags.render().c_str(), stderr);
+        return 1;
+      }
+      RuntimeNames.push_back(M->Name);
+      Prog.Modules.push_back(std::move(*M));
+    }
+  }
+
+  if (Inputs.empty() && EmitRuntimeDir.empty())
+    return usage();
+
+  if (!lang::analyzeProgram(Prog, Diags)) {
+    std::fputs(Diags.render().c_str(), stderr);
+    return 1;
+  }
+
+  auto writeObject = [&](const obj::ObjectFile &O,
+                         const std::string &Path) -> bool {
+    if (Error E = writeFileBytes(Path, O.serialize())) {
+      std::fprintf(stderr, "mlc: %s\n", E.message().c_str());
+      return false;
+    }
+    std::printf("mlc: wrote %s (%zu bytes text, %zu relocations)\n",
+                Path.c_str(), O.Text.size(), O.Relocs.size());
+    return true;
+  };
+
+  if (!EmitRuntimeDir.empty()) {
+    Result<std::vector<obj::ObjectFile>> Lib =
+        cg::compileEach(Prog, RuntimeNames, Opts);
+    if (!Lib) {
+      std::fprintf(stderr, "mlc: %s\n", Lib.message().c_str());
+      return 1;
+    }
+    for (const obj::ObjectFile &O : *Lib)
+      if (!writeObject(O, EmitRuntimeDir + "/" + O.ModuleName + ".aaxo"))
+        return 1;
+  }
+
+  if (Inputs.empty())
+    return 0;
+
+  if (All) {
+    Opts.InterUnit = true;
+    Result<obj::ObjectFile> Unit = cg::compileUnit(Prog, UserModules, Opts);
+    if (!Unit) {
+      std::fprintf(stderr, "mlc: %s\n", Unit.message().c_str());
+      return 1;
+    }
+    std::string Path = Output.empty() ? Unit->ModuleName + ".aaxo" : Output;
+    return writeObject(*Unit, Path) ? 0 : 1;
+  }
+
+  Result<std::vector<obj::ObjectFile>> Objs =
+      cg::compileEach(Prog, UserModules, Opts);
+  if (!Objs) {
+    std::fprintf(stderr, "mlc: %s\n", Objs.message().c_str());
+    return 1;
+  }
+  for (const obj::ObjectFile &O : *Objs) {
+    std::string Path = (Output.empty() ? std::string() : Output + "/") +
+                       O.ModuleName + ".aaxo";
+    if (!writeObject(O, Path))
+      return 1;
+  }
+  return 0;
+}

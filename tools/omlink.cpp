@@ -1,0 +1,172 @@
+//===- tools/omlink.cpp - The optimizing linker driver ---------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Links AAX objects into an executable (.aaxe), optionally running OM:
+///
+///   omlink -o a.aaxe obj1.aaxo obj2.aaxo ...
+///
+/// Options:
+///   --standard        use the traditional linker (no OM at all)
+///   -O none|simple|full   OM level (default full)
+///   --sched           OM-full: reschedule basic blocks and align loops
+///   --no-sort         OM: keep the module-order data layout
+///   --gat-max N       entries per GAT group (forces multiple GPs)
+///   --stats           print OM's Figure 3-5 statistics for this link
+///
+//===----------------------------------------------------------------------===//
+
+#include "linker/Linker.h"
+#include "objfile/ObjectFile.h"
+#include "om/Om.h"
+#include "support/FileIO.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace om64;
+
+static int usage() {
+  std::fprintf(stderr,
+               "usage: omlink [--standard | -O none|simple|full] [--sched]\n"
+               "              [--no-sort] [--gat-max N] [--stats] [--instrument]\n"
+               "              -o out.aaxe obj.aaxo...\n");
+  return 2;
+}
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Inputs;
+  std::string Output = "a.aaxe";
+  bool Standard = false;
+  bool Stats = false;
+  om::OmOptions Opts;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "-o" && I + 1 < argc) {
+      Output = argv[++I];
+    } else if (Arg == "--standard") {
+      Standard = true;
+    } else if (Arg == "-O" && I + 1 < argc) {
+      std::string Level = argv[++I];
+      if (Level == "none")
+        Opts.Level = om::OmLevel::None;
+      else if (Level == "simple")
+        Opts.Level = om::OmLevel::Simple;
+      else if (Level == "full")
+        Opts.Level = om::OmLevel::Full;
+      else
+        return usage();
+    } else if (Arg == "--sched") {
+      Opts.Reschedule = true;
+      Opts.AlignLoopTargets = true;
+    } else if (Arg == "--no-sort") {
+      Opts.SortDataBySize = false;
+    } else if (Arg == "--gat-max" && I + 1 < argc) {
+      Opts.MaxGatEntriesPerGroup =
+          static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    } else if (Arg == "--instrument") {
+      Opts.InstrumentProcedureCounts = true;
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      return usage();
+    } else {
+      Inputs.push_back(Arg);
+    }
+  }
+  if (Inputs.empty())
+    return usage();
+
+  std::vector<obj::ObjectFile> Objs;
+  for (const std::string &Path : Inputs) {
+    Result<std::vector<uint8_t>> Bytes = readFileBytes(Path);
+    if (!Bytes) {
+      std::fprintf(stderr, "omlink: %s\n", Bytes.message().c_str());
+      return 1;
+    }
+    Result<obj::ObjectFile> O = obj::ObjectFile::deserialize(*Bytes);
+    if (!O) {
+      std::fprintf(stderr, "omlink: %s: %s\n", Path.c_str(),
+                   O.message().c_str());
+      return 1;
+    }
+    Objs.push_back(O.take());
+  }
+
+  obj::Image Img;
+  if (Standard) {
+    Result<obj::Image> R = lnk::link(Objs);
+    if (!R) {
+      std::fprintf(stderr, "omlink: %s\n", R.message().c_str());
+      return 1;
+    }
+    Img = R.take();
+  } else {
+    Result<om::OmResult> R = om::optimize(Objs, Opts);
+    if (!R) {
+      std::fprintf(stderr, "omlink: %s\n", R.message().c_str());
+      return 1;
+    }
+    Img = std::move(R->Image);
+    if (!R->ProfiledProcedures.empty()) {
+      // Sidecar map: counter index -> procedure, consumed by aaxrun.
+      std::vector<uint8_t> Map;
+      for (size_t Idx = 0; Idx < R->ProfiledProcedures.size(); ++Idx) {
+        std::string Line = std::to_string(Idx) + " " +
+                           R->ProfiledProcedures[Idx] + "\n";
+        Map.insert(Map.end(), Line.begin(), Line.end());
+      }
+      if (Error E = writeFileBytes(Output + ".profmap", Map)) {
+        std::fprintf(stderr, "omlink: %s\n", E.message().c_str());
+        return 1;
+      }
+      std::printf("omlink: wrote %s.profmap (%zu counters)\n",
+                  Output.c_str(), R->ProfiledProcedures.size());
+    }
+    if (Stats) {
+      const om::OmStats &S = R->Stats;
+      std::fprintf(stderr,
+                   "omlink: OM-%s statistics\n"
+                   "  address loads  %llu total, %llu converted, %llu "
+                   "nullified\n"
+                   "  calls          %llu total, %llu need PV, %llu need "
+                   "GP resets, %llu JSR->BSR\n"
+                   "  instructions   %llu total, %llu nullified, %llu "
+                   "deleted\n"
+                   "  GAT            %llu -> %llu bytes (%u group(s))\n"
+                   "  text           %llu -> %llu bytes\n",
+                   om::levelName(Opts.Level),
+                   (unsigned long long)S.AddressLoadsTotal,
+                   (unsigned long long)S.AddressLoadsConverted,
+                   (unsigned long long)S.AddressLoadsNullified,
+                   (unsigned long long)S.CallsTotal,
+                   (unsigned long long)S.CallsNeedingPvLoad,
+                   (unsigned long long)S.CallsNeedingGpReset,
+                   (unsigned long long)S.JsrConvertedToBsr,
+                   (unsigned long long)S.InstructionsTotal,
+                   (unsigned long long)S.InstructionsNullified,
+                   (unsigned long long)S.InstructionsDeleted,
+                   (unsigned long long)S.GatBytesBefore,
+                   (unsigned long long)S.GatBytesAfter, S.GpGroups,
+                   (unsigned long long)S.TextBytesBefore,
+                   (unsigned long long)S.TextBytesAfter);
+    }
+  }
+
+  if (Error E = writeFileBytes(Output, Img.serialize())) {
+    std::fprintf(stderr, "omlink: %s\n", E.message().c_str());
+    return 1;
+  }
+  std::printf("omlink: wrote %s (%zu bytes text, entry %s)\n",
+              Output.c_str(), Img.Text.size(),
+              formatHex64(Img.Entry).c_str());
+  return 0;
+}
