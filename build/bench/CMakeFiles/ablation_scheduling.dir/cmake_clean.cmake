@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scheduling.dir/ablation_scheduling.cpp.o"
+  "CMakeFiles/ablation_scheduling.dir/ablation_scheduling.cpp.o.d"
+  "ablation_scheduling"
+  "ablation_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_address_loads.dir/fig3_address_loads.cpp.o"
+  "CMakeFiles/fig3_address_loads.dir/fig3_address_loads.cpp.o.d"
+  "fig3_address_loads"
+  "fig3_address_loads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_address_loads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

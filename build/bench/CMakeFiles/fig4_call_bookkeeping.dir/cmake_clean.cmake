@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_call_bookkeeping.dir/fig4_call_bookkeeping.cpp.o"
+  "CMakeFiles/fig4_call_bookkeeping.dir/fig4_call_bookkeeping.cpp.o.d"
+  "fig4_call_bookkeeping"
+  "fig4_call_bookkeeping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_call_bookkeeping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_call_bookkeeping.
+# This may be replaced when dependencies are built.

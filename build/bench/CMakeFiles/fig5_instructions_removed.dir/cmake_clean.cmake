@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_instructions_removed.dir/fig5_instructions_removed.cpp.o"
+  "CMakeFiles/fig5_instructions_removed.dir/fig5_instructions_removed.cpp.o.d"
+  "fig5_instructions_removed"
+  "fig5_instructions_removed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_instructions_removed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_performance.dir/fig6_performance.cpp.o"
+  "CMakeFiles/fig6_performance.dir/fig6_performance.cpp.o.d"
+  "fig6_performance"
+  "fig6_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_build_times.dir/fig7_build_times.cpp.o"
+  "CMakeFiles/fig7_build_times.dir/fig7_build_times.cpp.o.d"
+  "fig7_build_times"
+  "fig7_build_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_build_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gat_reduction.dir/gat_reduction.cpp.o"
+  "CMakeFiles/gat_reduction.dir/gat_reduction.cpp.o.d"
+  "gat_reduction"
+  "gat_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gat_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gat_reduction.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_object.dir/inspect_object.cpp.o"
+  "CMakeFiles/inspect_object.dir/inspect_object.cpp.o.d"
+  "inspect_object"
+  "inspect_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

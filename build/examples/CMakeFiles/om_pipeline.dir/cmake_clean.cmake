@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/om_pipeline.dir/om_pipeline.cpp.o"
+  "CMakeFiles/om_pipeline.dir/om_pipeline.cpp.o.d"
+  "om_pipeline"
+  "om_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/om_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

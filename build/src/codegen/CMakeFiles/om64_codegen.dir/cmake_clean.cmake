@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/om64_codegen.dir/Codegen.cpp.o"
+  "CMakeFiles/om64_codegen.dir/Codegen.cpp.o.d"
+  "CMakeFiles/om64_codegen.dir/ProcGen.cpp.o"
+  "CMakeFiles/om64_codegen.dir/ProcGen.cpp.o.d"
+  "libom64_codegen.a"
+  "libom64_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/om64_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for om64_codegen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/Disassembler.cpp" "src/isa/CMakeFiles/om64_isa.dir/Disassembler.cpp.o" "gcc" "src/isa/CMakeFiles/om64_isa.dir/Disassembler.cpp.o.d"
+  "/root/repo/src/isa/Inst.cpp" "src/isa/CMakeFiles/om64_isa.dir/Inst.cpp.o" "gcc" "src/isa/CMakeFiles/om64_isa.dir/Inst.cpp.o.d"
+  "/root/repo/src/isa/Registers.cpp" "src/isa/CMakeFiles/om64_isa.dir/Registers.cpp.o" "gcc" "src/isa/CMakeFiles/om64_isa.dir/Registers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/om64_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

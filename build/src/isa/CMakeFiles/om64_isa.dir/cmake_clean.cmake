@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/om64_isa.dir/Disassembler.cpp.o"
+  "CMakeFiles/om64_isa.dir/Disassembler.cpp.o.d"
+  "CMakeFiles/om64_isa.dir/Inst.cpp.o"
+  "CMakeFiles/om64_isa.dir/Inst.cpp.o.d"
+  "CMakeFiles/om64_isa.dir/Registers.cpp.o"
+  "CMakeFiles/om64_isa.dir/Registers.cpp.o.d"
+  "libom64_isa.a"
+  "libom64_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/om64_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/om64_lang.dir/Interp.cpp.o"
+  "CMakeFiles/om64_lang.dir/Interp.cpp.o.d"
+  "CMakeFiles/om64_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/om64_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/om64_lang.dir/Parser.cpp.o"
+  "CMakeFiles/om64_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/om64_lang.dir/Sema.cpp.o"
+  "CMakeFiles/om64_lang.dir/Sema.cpp.o.d"
+  "libom64_lang.a"
+  "libom64_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/om64_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libom64_lang.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/om64_linker.dir/Linker.cpp.o"
+  "CMakeFiles/om64_linker.dir/Linker.cpp.o.d"
+  "libom64_linker.a"
+  "libom64_linker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/om64_linker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/om64_objfile.dir/Image.cpp.o"
+  "CMakeFiles/om64_objfile.dir/Image.cpp.o.d"
+  "CMakeFiles/om64_objfile.dir/ObjectFile.cpp.o"
+  "CMakeFiles/om64_objfile.dir/ObjectFile.cpp.o.d"
+  "libom64_objfile.a"
+  "libom64_objfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/om64_objfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/om/Emit.cpp" "src/om/CMakeFiles/om64_om.dir/Emit.cpp.o" "gcc" "src/om/CMakeFiles/om64_om.dir/Emit.cpp.o.d"
+  "/root/repo/src/om/Lift.cpp" "src/om/CMakeFiles/om64_om.dir/Lift.cpp.o" "gcc" "src/om/CMakeFiles/om64_om.dir/Lift.cpp.o.d"
+  "/root/repo/src/om/Om.cpp" "src/om/CMakeFiles/om64_om.dir/Om.cpp.o" "gcc" "src/om/CMakeFiles/om64_om.dir/Om.cpp.o.d"
+  "/root/repo/src/om/Transforms.cpp" "src/om/CMakeFiles/om64_om.dir/Transforms.cpp.o" "gcc" "src/om/CMakeFiles/om64_om.dir/Transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/objfile/CMakeFiles/om64_objfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/om64_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/om64_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/om64_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/om64_om.dir/Emit.cpp.o"
+  "CMakeFiles/om64_om.dir/Emit.cpp.o.d"
+  "CMakeFiles/om64_om.dir/Lift.cpp.o"
+  "CMakeFiles/om64_om.dir/Lift.cpp.o.d"
+  "CMakeFiles/om64_om.dir/Om.cpp.o"
+  "CMakeFiles/om64_om.dir/Om.cpp.o.d"
+  "CMakeFiles/om64_om.dir/Transforms.cpp.o"
+  "CMakeFiles/om64_om.dir/Transforms.cpp.o.d"
+  "libom64_om.a"
+  "libom64_om.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/om64_om.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

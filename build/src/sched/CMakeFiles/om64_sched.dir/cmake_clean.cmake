@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/om64_sched.dir/ListScheduler.cpp.o"
+  "CMakeFiles/om64_sched.dir/ListScheduler.cpp.o.d"
+  "libom64_sched.a"
+  "libom64_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/om64_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

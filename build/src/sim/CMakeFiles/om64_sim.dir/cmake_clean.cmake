@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/om64_sim.dir/Simulator.cpp.o"
+  "CMakeFiles/om64_sim.dir/Simulator.cpp.o.d"
+  "libom64_sim.a"
+  "libom64_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/om64_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/ByteStream.cpp" "src/support/CMakeFiles/om64_support.dir/ByteStream.cpp.o" "gcc" "src/support/CMakeFiles/om64_support.dir/ByteStream.cpp.o.d"
+  "/root/repo/src/support/Diagnostics.cpp" "src/support/CMakeFiles/om64_support.dir/Diagnostics.cpp.o" "gcc" "src/support/CMakeFiles/om64_support.dir/Diagnostics.cpp.o.d"
+  "/root/repo/src/support/FileIO.cpp" "src/support/CMakeFiles/om64_support.dir/FileIO.cpp.o" "gcc" "src/support/CMakeFiles/om64_support.dir/FileIO.cpp.o.d"
+  "/root/repo/src/support/Format.cpp" "src/support/CMakeFiles/om64_support.dir/Format.cpp.o" "gcc" "src/support/CMakeFiles/om64_support.dir/Format.cpp.o.d"
+  "/root/repo/src/support/Random.cpp" "src/support/CMakeFiles/om64_support.dir/Random.cpp.o" "gcc" "src/support/CMakeFiles/om64_support.dir/Random.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/om64_support.dir/ByteStream.cpp.o"
+  "CMakeFiles/om64_support.dir/ByteStream.cpp.o.d"
+  "CMakeFiles/om64_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/om64_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/om64_support.dir/FileIO.cpp.o"
+  "CMakeFiles/om64_support.dir/FileIO.cpp.o.d"
+  "CMakeFiles/om64_support.dir/Format.cpp.o"
+  "CMakeFiles/om64_support.dir/Format.cpp.o.d"
+  "CMakeFiles/om64_support.dir/Random.cpp.o"
+  "CMakeFiles/om64_support.dir/Random.cpp.o.d"
+  "libom64_support.a"
+  "libom64_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/om64_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

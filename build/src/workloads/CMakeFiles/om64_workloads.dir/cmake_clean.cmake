@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/om64_workloads.dir/Build.cpp.o"
+  "CMakeFiles/om64_workloads.dir/Build.cpp.o.d"
+  "CMakeFiles/om64_workloads.dir/Programs.cpp.o"
+  "CMakeFiles/om64_workloads.dir/Programs.cpp.o.d"
+  "CMakeFiles/om64_workloads.dir/ProgramsFp.cpp.o"
+  "CMakeFiles/om64_workloads.dir/ProgramsFp.cpp.o.d"
+  "CMakeFiles/om64_workloads.dir/ProgramsInt.cpp.o"
+  "CMakeFiles/om64_workloads.dir/ProgramsInt.cpp.o.d"
+  "CMakeFiles/om64_workloads.dir/Runtime.cpp.o"
+  "CMakeFiles/om64_workloads.dir/Runtime.cpp.o.d"
+  "libom64_workloads.a"
+  "libom64_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/om64_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endtoend_test.dir/endtoend_test.cpp.o"
+  "CMakeFiles/endtoend_test.dir/endtoend_test.cpp.o.d"
+  "endtoend_test"
+  "endtoend_test.pdb"
+  "endtoend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endtoend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

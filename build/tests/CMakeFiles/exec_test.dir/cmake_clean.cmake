@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_test.dir/exec_test.cpp.o"
+  "CMakeFiles/exec_test.dir/exec_test.cpp.o.d"
+  "exec_test"
+  "exec_test.pdb"
+  "exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linker_test.dir/linker_test.cpp.o"
+  "CMakeFiles/linker_test.dir/linker_test.cpp.o.d"
+  "linker_test"
+  "linker_test.pdb"
+  "linker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

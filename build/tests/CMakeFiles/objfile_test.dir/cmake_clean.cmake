@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objfile_test.dir/objfile_test.cpp.o"
+  "CMakeFiles/objfile_test.dir/objfile_test.cpp.o.d"
+  "objfile_test"
+  "objfile_test.pdb"
+  "objfile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objfile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/om_test.dir/om_test.cpp.o"
+  "CMakeFiles/om_test.dir/om_test.cpp.o.d"
+  "om_test"
+  "om_test.pdb"
+  "om_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/om_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

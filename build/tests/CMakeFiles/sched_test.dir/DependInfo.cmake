@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched_test.cpp" "tests/CMakeFiles/sched_test.dir/sched_test.cpp.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/om64_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/om/CMakeFiles/om64_om.dir/DependInfo.cmake"
+  "/root/repo/build/src/linker/CMakeFiles/om64_linker.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/om64_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/om64_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/om64_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/om64_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/objfile/CMakeFiles/om64_objfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/om64_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/om64_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aaxdump.dir/aaxdump.cpp.o"
+  "CMakeFiles/aaxdump.dir/aaxdump.cpp.o.d"
+  "aaxdump"
+  "aaxdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aaxdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

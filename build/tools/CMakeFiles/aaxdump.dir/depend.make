@@ -1,0 +1,2 @@
+# Empty dependencies file for aaxdump.
+# This may be replaced when dependencies are built.

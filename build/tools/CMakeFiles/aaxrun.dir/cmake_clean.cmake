@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aaxrun.dir/aaxrun.cpp.o"
+  "CMakeFiles/aaxrun.dir/aaxrun.cpp.o.d"
+  "aaxrun"
+  "aaxrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aaxrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

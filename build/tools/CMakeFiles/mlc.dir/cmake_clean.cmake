@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlc.dir/mlc.cpp.o"
+  "CMakeFiles/mlc.dir/mlc.cpp.o.d"
+  "mlc"
+  "mlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

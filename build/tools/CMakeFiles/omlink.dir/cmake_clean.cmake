@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omlink.dir/omlink.cpp.o"
+  "CMakeFiles/omlink.dir/omlink.cpp.o.d"
+  "omlink"
+  "omlink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
