@@ -218,5 +218,8 @@ examples/CMakeFiles/om_pipeline.dir/om_pipeline.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/lang/Parser.h \
  /root/repo/src/lang/Sema.h /root/repo/src/linker/Linker.h \
  /root/repo/src/objfile/Image.h /root/repo/src/om/Om.h \
- /root/repo/src/support/Format.h /usr/include/c++/12/cstdarg \
- /root/repo/src/workloads/Workloads.h
+ /root/repo/src/om/Verify.h /root/repo/src/om/SymbolicProgram.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/support/Format.h \
+ /usr/include/c++/12/cstdarg /root/repo/src/workloads/Workloads.h

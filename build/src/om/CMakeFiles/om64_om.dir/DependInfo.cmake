@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/om/Lift.cpp" "src/om/CMakeFiles/om64_om.dir/Lift.cpp.o" "gcc" "src/om/CMakeFiles/om64_om.dir/Lift.cpp.o.d"
   "/root/repo/src/om/Om.cpp" "src/om/CMakeFiles/om64_om.dir/Om.cpp.o" "gcc" "src/om/CMakeFiles/om64_om.dir/Om.cpp.o.d"
   "/root/repo/src/om/Transforms.cpp" "src/om/CMakeFiles/om64_om.dir/Transforms.cpp.o" "gcc" "src/om/CMakeFiles/om64_om.dir/Transforms.cpp.o.d"
+  "/root/repo/src/om/Verify.cpp" "src/om/CMakeFiles/om64_om.dir/Verify.cpp.o" "gcc" "src/om/CMakeFiles/om64_om.dir/Verify.cpp.o.d"
   )
 
 # Targets to which this target links.
@@ -19,6 +20,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/objfile/CMakeFiles/om64_objfile.dir/DependInfo.cmake"
   "/root/repo/build/src/isa/CMakeFiles/om64_isa.dir/DependInfo.cmake"
   "/root/repo/build/src/sched/CMakeFiles/om64_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/om64_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/support/CMakeFiles/om64_support.dir/DependInfo.cmake"
   )
 

@@ -139,10 +139,11 @@ src/om/CMakeFiles/om64_om.dir/Emit.cpp.o: /root/repo/src/om/Emit.cpp \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/sched/ListScheduler.h \
- /usr/include/c++/12/cstddef /root/repo/src/support/Format.h \
- /usr/include/c++/12/cstdarg /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/om/Verify.h \
+ /root/repo/src/support/Diagnostics.h \
+ /root/repo/src/sched/ListScheduler.h /usr/include/c++/12/cstddef \
+ /root/repo/src/support/Format.h /usr/include/c++/12/cstdarg \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \

@@ -139,4 +139,5 @@ src/om/CMakeFiles/om64_om.dir/Om.cpp.o: /root/repo/src/om/Om.cpp \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/om/Verify.h \
+ /root/repo/src/support/Diagnostics.h

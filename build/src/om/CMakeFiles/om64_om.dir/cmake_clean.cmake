@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/om64_om.dir/Om.cpp.o.d"
   "CMakeFiles/om64_om.dir/Transforms.cpp.o"
   "CMakeFiles/om64_om.dir/Transforms.cpp.o.d"
+  "CMakeFiles/om64_om.dir/Verify.cpp.o"
+  "CMakeFiles/om64_om.dir/Verify.cpp.o.d"
   "libom64_om.a"
   "libom64_om.pdb"
 )

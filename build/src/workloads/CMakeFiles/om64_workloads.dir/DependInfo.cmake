@@ -23,6 +23,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/om/CMakeFiles/om64_om.dir/DependInfo.cmake"
   "/root/repo/build/src/objfile/CMakeFiles/om64_objfile.dir/DependInfo.cmake"
   "/root/repo/build/src/sched/CMakeFiles/om64_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/om64_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/isa/CMakeFiles/om64_isa.dir/DependInfo.cmake"
   "/root/repo/build/src/support/CMakeFiles/om64_support.dir/DependInfo.cmake"
   )

@@ -300,4 +300,5 @@ tests/CMakeFiles/endtoend_test.dir/endtoend_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-test-part.h \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
- /root/miniconda/include/gtest/gtest_pred_impl.h
+ /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /root/repo/src/om/Verify.h /root/repo/src/om/SymbolicProgram.h

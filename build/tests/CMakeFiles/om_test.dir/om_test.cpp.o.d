@@ -300,4 +300,5 @@ tests/CMakeFiles/om_test.dir/om_test.cpp.o: /root/repo/tests/om_test.cpp \
  /root/miniconda/include/gtest/gtest-test-part.h \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
- /root/miniconda/include/gtest/gtest_pred_impl.h
+ /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /root/repo/src/om/Verify.h /root/repo/src/om/SymbolicProgram.h

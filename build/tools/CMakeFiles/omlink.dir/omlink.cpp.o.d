@@ -131,6 +131,16 @@ tools/CMakeFiles/omlink.dir/omlink.cpp.o: /root/repo/tools/omlink.cpp \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/objfile/ObjectFile.h \
- /root/repo/src/om/Om.h /root/repo/src/support/FileIO.h \
- /root/repo/src/support/Format.h /usr/include/c++/12/cstdarg \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h
+ /root/repo/src/om/Om.h /root/repo/src/om/Verify.h \
+ /root/repo/src/om/SymbolicProgram.h /root/repo/src/isa/Inst.h \
+ /root/repo/src/isa/Registers.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/ext/aligned_buffer.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/support/Diagnostics.h \
+ /root/repo/src/support/FileIO.h /root/repo/src/support/Format.h \
+ /usr/include/c++/12/cstdarg /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h

@@ -22,6 +22,7 @@
 #include "lang/Sema.h"
 #include "linker/Linker.h"
 #include "om/Om.h"
+#include "om/Verify.h"
 #include "support/Format.h"
 #include "workloads/Workloads.h"
 
@@ -141,6 +142,32 @@ int main(int argc, char **argv) {
                     Level == om::OmLevel::Full ? S.InstructionsDeleted
                                                : S.InstructionsNullified),
                 Level == om::OmLevel::Full ? "deleted" : "nullified");
+  }
+
+  // OmVerify: relink with every structural invariant checked between
+  // stages, then execute the program at each OM level and prove the
+  // architectural results identical (exit code, output, memory).
+  std::printf("\n=== OmVerify ===\n");
+  {
+    om::OmOptions Opts;
+    Opts.VerifyEachStage = true;
+    Result<om::OmResult> R = om::optimize(*Objs, Opts);
+    if (!R)
+      fail("invariant check failed:\n" + R.message());
+    std::printf("  structural invariants hold after every transform "
+                "stage\n");
+    Result<om::DifferentialReport> Rep = om::runDifferential(*Objs, Opts);
+    if (!Rep)
+      fail("differential execution failed:\n" + Rep.message());
+    for (const om::DifferentialLeg &Leg : Rep->Legs)
+      std::printf("  OM-%s%s: exit %lld, %zu output bytes, memory %s, "
+                  "%llu instructions\n",
+                  om::levelName(Leg.Level), Leg.Sched ? "+sched" : "",
+                  static_cast<long long>(Leg.ExitCode), Leg.Output.size(),
+                  formatHex64(Leg.MemoryHash).c_str(),
+                  static_cast<unsigned long long>(Leg.Instructions));
+    std::printf("  all %zu legs architecturally identical\n",
+                Rep->Legs.size());
   }
   return 0;
 }

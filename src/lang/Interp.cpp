@@ -159,7 +159,10 @@ Value Interpreter::callFunction(const Module &M, const Function &F,
                                 std::vector<Value> Args) {
   if (Failed)
     return {};
-  if (++Depth > 2000) {
+  // Keep this well under what the native stack can absorb: every
+  // interpreted call consumes several C++ frames (evalExpr/evalCall/
+  // execStmt), and sanitizer builds fatten each one with redzones.
+  if (++Depth > 400) {
     fail("call depth exceeded");
     --Depth;
     return {};

@@ -21,6 +21,7 @@
 
 #include "om/OmImpl.h"
 
+#include "om/Verify.h"
 #include "sched/ListScheduler.h"
 #include "support/Format.h"
 
@@ -685,6 +686,15 @@ Result<Image> Emitter::run() {
   bool Full = Opts.Level == OmLevel::Full;
   bool DoOpt = Opts.Level != OmLevel::None;
 
+  // Stage-granular invariant checking (om/Verify.h): each emission stage
+  // that mutates the symbolic form re-validates it before the next stage
+  // consumes it, so a verification failure names the guilty stage.
+  auto checkStage = [&](const char *Stage) -> Error {
+    if (!Opts.VerifyEachStage)
+      return Error::success();
+    return verifyStage(SP, Stage);
+  };
+
   DataLayout DL = layoutData(/*IncludeAllLiterals=*/!Full);
   if (DoOpt) {
     if (Full) {
@@ -702,6 +712,8 @@ Result<Image> Emitter::run() {
       decideAddressLoads(DL, /*Commit=*/true);
     }
     applyRewrites(DL);
+    if (Error E = checkStage("address-loads"))
+      return Result<Image>::failure(E.message());
   }
 
   // Address-load accounting must precede deletion (deleted loads vanish).
@@ -718,10 +730,18 @@ Result<Image> Emitter::run() {
   // statistics either way.
   if (Full) {
     deleteNullified();
-    if (Opts.Reschedule)
+    if (Error E = checkStage("delete-nullified"))
+      return Result<Image>::failure(E.message());
+    if (Opts.Reschedule) {
       reschedule();
-    if (Opts.InstrumentProcedureCounts)
+      if (Error E = checkStage("reschedule"))
+        return Result<Image>::failure(E.message());
+    }
+    if (Opts.InstrumentProcedureCounts) {
       instrumentProcedureCounts();
+      if (Error E = checkStage("instrument"))
+        return Result<Image>::failure(E.message());
+    }
   }
 
   Result<Image> Img = assemble(DL);

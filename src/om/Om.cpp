@@ -7,6 +7,7 @@
 #include "om/Om.h"
 
 #include "om/OmImpl.h"
+#include "om/Verify.h"
 
 using namespace om64;
 using namespace om64::om;
@@ -39,12 +40,22 @@ Result<OmResult> om64::om::optimize(const std::vector<obj::ObjectFile> &Objs,
         "instrumentation inserts code and therefore requires OM-full "
         "(section 4: only the symbolic form supports insertion)");
 
+  if (Opts.VerifyEachStage)
+    Opts.Verify = true;
+
   Result<SymbolicProgram> SP = liftProgram(Objs, Opts);
   if (!SP)
     return Result<OmResult>::failure(SP.message());
+  if (Opts.Verify)
+    if (Error E = verifyStage(*SP, "lift"))
+      return Result<OmResult>::failure(E.message());
 
   OmResult Out;
   runCallTransforms(*SP, Opts, Out.Stats);
+  if (Opts.Verify)
+    if (Error E = verifyStage(*SP, "call-transforms"))
+      return Result<OmResult>::failure(E.message());
+
   Result<obj::Image> Img =
       layoutAndEmit(*SP, Opts, Out.Stats, Out.ProfiledProcedures);
   if (!Img)

@@ -69,6 +69,14 @@ struct OmOptions {
   /// procedure-entry counters; labels look like "mod.proc" or
   /// "mod.proc+<index>". Requires OmLevel::Full.
   bool InstrumentBlockCounts = false;
+  /// Run OmVerify's structural invariant checks (om/Verify.h) after the
+  /// lift and after the call transforms; an invariant violation aborts the
+  /// link with stage-labeled diagnostics instead of emitting a miscompiled
+  /// image.
+  bool Verify = false;
+  /// Additionally verify between every emission stage (address-load
+  /// rewriting, deletion, rescheduling, instrumentation). Implies Verify.
+  bool VerifyEachStage = false;
 };
 
 /// Static statistics of one OM run, sufficient to regenerate the paper's

@@ -34,12 +34,19 @@ using namespace om64::obj;
 
 namespace {
 
-/// Moves the prologue GP-set pair of \p Proc back to instructions 0 and 1
-/// (undoing compile-time scheduling). Safe because everything the compile
-/// time scheduler may have hoisted above the pair neither reads nor writes
-/// GP or PV (any GP/PV-dependent instruction was kept below the pair by
-/// the scheduler's own dependence analysis).
-void restoreProloguePair(SymProc &Proc) {
+/// Moves the prologue GP-set pair of procedure \p ProcIdx back to
+/// instructions 0 and 1 (undoing compile-time scheduling). Safe because
+/// everything the compile-time scheduler may have hoisted above the pair
+/// neither reads nor writes GP or PV (any GP/PV-dependent instruction was
+/// kept below the pair by the scheduler's own dependence analysis).
+///
+/// The move renumbers every instruction up to the pair's low half, so all
+/// positional bookkeeping into this procedure — LocalBranch targets and the
+/// literal table's LoadIdx/JsrIdx/use indices — must be remapped, or later
+/// passes (PV-load removal, address-load decisions) dereference stale
+/// indices and nullify or rewrite the wrong instruction.
+void restoreProloguePair(SymbolicProgram &SP, uint32_t ProcIdx) {
+  SymProc &Proc = SP.Procs[ProcIdx];
   int High = -1, Low = -1;
   for (size_t Idx = 0; Idx < Proc.Insts.size(); ++Idx) {
     const SymInst &SI = Proc.Insts[Idx];
@@ -64,6 +71,41 @@ void restoreProloguePair(SymProc &Proc) {
   Proc.Insts.erase(Proc.Insts.begin() + High);
   Proc.Insts.insert(Proc.Insts.begin(), LowInst);
   Proc.Insts.insert(Proc.Insts.begin(), HighInst);
+
+  // High lands at 0 and Low at 1; instructions before the high shift down
+  // by 2, those between the halves by 1, the rest stay put.
+  auto remap = [High, Low](uint32_t Idx) -> uint32_t {
+    int I = static_cast<int>(Idx);
+    if (I == High)
+      return 0;
+    if (I == Low)
+      return 1;
+    if (I < High)
+      return Idx + 2;
+    if (I < Low)
+      return Idx + 1;
+    return Idx;
+  };
+  for (SymInst &SI : Proc.Insts)
+    if (SI.Kind == SKind::LocalBranch && SI.TargetIdx >= 0)
+      SI.TargetIdx =
+          static_cast<int32_t>(remap(static_cast<uint32_t>(SI.TargetIdx)));
+  for (auto &[LitId, L] : SP.Lits) {
+    (void)LitId;
+    if (L.Proc != ProcIdx)
+      continue;
+    if (L.LoadIdx != ~0u)
+      L.LoadIdx = remap(L.LoadIdx);
+    if (L.JsrIdx >= 0)
+      L.JsrIdx =
+          static_cast<int32_t>(remap(static_cast<uint32_t>(L.JsrIdx)));
+    for (uint32_t &Use : L.MemUses)
+      Use = remap(Use);
+    for (uint32_t &Use : L.AddrUses)
+      Use = remap(Use);
+    for (uint32_t &Use : L.DerefUses)
+      Use = remap(Use);
+  }
 }
 
 /// Call-graph reachability of GP groups: bit g set when the subtree rooted
@@ -76,7 +118,11 @@ std::vector<uint64_t> computeReachableGroups(const SymbolicProgram &SP) {
       SP.NumGroups >= 64 ? ~0ull : ((1ull << SP.NumGroups) - 1);
   std::vector<uint64_t> Reach(N);
   for (size_t Idx = 0; Idx < N; ++Idx) {
-    Reach[Idx] = 1ull << (SP.Procs[Idx].GpGroup % 64);
+    // Only 64 groups fit the bitset; procedures in higher groups saturate
+    // to the conservative all-groups set (masking the group number would
+    // alias group 64+g with group g and unsoundly nullify resets).
+    uint32_t Group = SP.Procs[Idx].GpGroup;
+    Reach[Idx] = Group < 64 ? 1ull << Group : AllGroups;
     if (SP.Procs[Idx].MakesIndirectCalls)
       Reach[Idx] = AllGroups;
   }
@@ -113,15 +159,17 @@ bool nullifyResetAfter(SymProc &Proc, size_t CallIdx) {
   for (size_t Idx = CallIdx + 1; Idx < Proc.Insts.size(); ++Idx) {
     SymInst &SI = Proc.Insts[Idx];
     if (SI.Kind == SKind::GpHigh && SI.GpKind == GpDispKind::PostCall) {
-      uint32_t PairId = SI.PairId;
-      SI.Nullified = true;
+      // Locate both halves before touching either: nullifying the high
+      // without its low would leave a half-active pair that adds the low
+      // displacement to an unreset GP (i.e. corrupts GP).
       for (size_t J = Idx + 1; J < Proc.Insts.size(); ++J)
         if (Proc.Insts[J].Kind == SKind::GpLow &&
-            Proc.Insts[J].PairId == PairId) {
+            Proc.Insts[J].PairId == SI.PairId) {
+          SI.Nullified = true;
           Proc.Insts[J].Nullified = true;
           return true;
         }
-      return true;
+      return false;
     }
     // Stop at the next call or control transfer: this call has no reset.
     if (SI.Kind == SKind::DirectCall || SI.Kind == SKind::JsrViaGat ||
@@ -146,8 +194,8 @@ void om64::om::runCallTransforms(SymbolicProgram &SP, const OmOptions &Opts,
   // restore them to their logical place at the beginning of the procedure,
   // we can avoid executing them on most or all of the calls").
   if (Full)
-    for (SymProc &Proc : SP.Procs)
-      restoreProloguePair(Proc);
+    for (uint32_t ProcIdx = 0; ProcIdx < SP.Procs.size(); ++ProcIdx)
+      restoreProloguePair(SP, ProcIdx);
 
   // JSR -> BSR, prologue skipping, PV-load removal.
   for (uint32_t ProcIdx = 0; ProcIdx < SP.Procs.size(); ++ProcIdx) {
@@ -224,7 +272,10 @@ void om64::om::runCallTransforms(SymbolicProgram &SP, const OmOptions &Opts,
         SP.NumGroups >= 64 ? ~0ull : ((1ull << SP.NumGroups) - 1);
     for (uint32_t ProcIdx = 0; ProcIdx < SP.Procs.size(); ++ProcIdx) {
       SymProc &Caller = SP.Procs[ProcIdx];
-      uint64_t CallerBit = 1ull << (Caller.GpGroup % 64);
+      // Callers beyond the 64-group bitset get an empty bit: no callee
+      // reach can be proven confined to them, so their resets all stay.
+      uint64_t CallerBit =
+          Caller.GpGroup < 64 ? 1ull << Caller.GpGroup : 0;
       for (size_t Idx = 0; Idx < Caller.Insts.size(); ++Idx) {
         SymInst &SI = Caller.Insts[Idx];
         uint64_t CalleeReach;

@@ -1,0 +1,496 @@
+//===- om/Verify.cpp - OM correctness verification -------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of OmVerify's two layers: the structural invariant
+/// checker over the symbolic form, and the differential-execution harness
+/// comparing OM levels on the functional simulator. See Verify.h.
+///
+//===----------------------------------------------------------------------===//
+
+#include "om/Verify.h"
+
+#include "sim/Simulator.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace om64;
+using namespace om64::om;
+using namespace om64::obj;
+
+//===----------------------------------------------------------------------===//
+// Structural invariants.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Bundles the diagnostic plumbing so every check site stays one line.
+class Checker {
+public:
+  Checker(const SymbolicProgram &SP, const std::string &Stage,
+          DiagnosticEngine &Diags)
+      : SP(SP), Stage(Stage), Diags(Diags) {}
+
+  /// Reports a violation at instruction \p InstIdx of \p ProcIdx
+  /// (ProcIdx == ~0u for program-level problems).
+  void bad(uint32_t ProcIdx, size_t InstIdx, std::string Message) {
+    std::string Buffer = Stage;
+    if (ProcIdx != ~0u && ProcIdx < SP.Procs.size())
+      Buffer += ":" + SP.Procs[ProcIdx].Name;
+    SourceLoc Loc;
+    Loc.Line = static_cast<uint32_t>(InstIdx + 1);
+    Diags.error(Buffer, Loc, std::move(Message));
+  }
+
+  void checkSymbols();
+  void checkProc(uint32_t ProcIdx);
+  void checkLits();
+
+private:
+  const SymbolicProgram &SP;
+  const std::string &Stage;
+  DiagnosticEngine &Diags;
+};
+
+void Checker::checkSymbols() {
+  for (uint32_t SymId = 0; SymId < SP.Syms.size(); ++SymId) {
+    const PSym &S = SP.Syms[SymId];
+    if (!S.IsProc)
+      continue;
+    if (S.ProcIdx >= SP.Procs.size()) {
+      bad(~0u, ~0u, "procedure symbol '" + S.Name +
+                        "' has out-of-range ProcIdx " +
+                        std::to_string(S.ProcIdx));
+      continue;
+    }
+    if (SP.Procs[S.ProcIdx].SymId != SymId)
+      bad(S.ProcIdx, ~0u,
+          "procedure symbol '" + S.Name + "' and procedure disagree on "
+          "their linkage (SymId mismatch)");
+  }
+}
+
+void Checker::checkProc(uint32_t ProcIdx) {
+  const SymProc &Proc = SP.Procs[ProcIdx];
+  size_t N = Proc.Insts.size();
+  bool HaveLits = !SP.Lits.empty();
+
+  // GpHigh/GpLow pairing state, keyed by PairId.
+  struct PairState {
+    int High = -1;
+    int Low = -1;
+    unsigned Highs = 0;
+    unsigned Lows = 0;
+  };
+  std::map<uint32_t, PairState> Pairs;
+
+  for (size_t Idx = 0; Idx < N; ++Idx) {
+    const SymInst &SI = Proc.Insts[Idx];
+    switch (SI.Kind) {
+    case SKind::LocalBranch:
+      if (SI.TargetIdx < 0 || static_cast<size_t>(SI.TargetIdx) >= N)
+        bad(ProcIdx, Idx,
+            "local branch target " + std::to_string(SI.TargetIdx) +
+                " outside the procedure (" + std::to_string(N) +
+                " instructions)");
+      break;
+    case SKind::DirectCall:
+      if (SI.TargetProc >= SP.Procs.size())
+        bad(ProcIdx, Idx, "direct call to out-of-range procedure index " +
+                              std::to_string(SI.TargetProc));
+      break;
+    case SKind::GpHigh: {
+      PairState &P = Pairs[SI.PairId];
+      P.High = static_cast<int>(Idx);
+      ++P.Highs;
+      break;
+    }
+    case SKind::GpLow: {
+      PairState &P = Pairs[SI.PairId];
+      P.Low = static_cast<int>(Idx);
+      ++P.Lows;
+      break;
+    }
+    case SKind::AddressLoad:
+      if (HaveLits) {
+        auto It = SP.Lits.find(SI.LitId);
+        if (It == SP.Lits.end())
+          bad(ProcIdx, Idx, "address load's literal " +
+                                std::to_string(SI.LitId) +
+                                " is not in the literal table");
+        else if (It->second.Proc != ProcIdx ||
+                 It->second.LoadIdx != static_cast<uint32_t>(Idx))
+          bad(ProcIdx, Idx,
+              "address load is not where literal " +
+                  std::to_string(SI.LitId) + " records its load (LoadIdx " +
+                  std::to_string(It->second.LoadIdx) + ")");
+        else if (It->second.TargetSym != SI.TargetSym)
+          bad(ProcIdx, Idx, "address load and literal " +
+                                std::to_string(SI.LitId) +
+                                " disagree on the target symbol");
+      }
+      break;
+    case SKind::LitUseMem:
+    case SKind::LitUseAddr:
+    case SKind::LitUseDeref:
+      if (HaveLits) {
+        auto It = SP.Lits.find(SI.LitId);
+        if (It == SP.Lits.end()) {
+          bad(ProcIdx, Idx, "literal use's literal " +
+                                std::to_string(SI.LitId) +
+                                " is not in the literal table");
+          break;
+        }
+        const std::vector<uint32_t> &Uses =
+            SI.Kind == SKind::LitUseMem    ? It->second.MemUses
+            : SI.Kind == SKind::LitUseAddr ? It->second.AddrUses
+                                           : It->second.DerefUses;
+        if (std::find(Uses.begin(), Uses.end(),
+                      static_cast<uint32_t>(Idx)) == Uses.end())
+          bad(ProcIdx, Idx,
+              "literal use is not listed at its own index by literal " +
+                  std::to_string(SI.LitId) + " (stale use list)");
+      }
+      break;
+    case SKind::JsrViaGat:
+      if (HaveLits) {
+        auto It = SP.Lits.find(SI.LitId);
+        if (It == SP.Lits.end())
+          bad(ProcIdx, Idx, "JSR-via-GAT's literal " +
+                                std::to_string(SI.LitId) +
+                                " is not in the literal table");
+        else if (It->second.JsrIdx != static_cast<int32_t>(Idx))
+          bad(ProcIdx, Idx,
+              "JSR-via-GAT is not where literal " +
+                  std::to_string(SI.LitId) + " records its call (JsrIdx " +
+                  std::to_string(It->second.JsrIdx) + ")");
+      }
+      break;
+    case SKind::Plain:
+    case SKind::JsrIndirect:
+      break;
+    }
+  }
+
+  for (const auto &[PairId, P] : Pairs) {
+    if (P.Highs != 1 || P.Lows != 1) {
+      bad(ProcIdx, P.High >= 0 ? P.High : (P.Low >= 0 ? P.Low : 0),
+          "GP pair " + std::to_string(PairId) + " has " +
+              std::to_string(P.Highs) + " high and " +
+              std::to_string(P.Lows) + " low instruction(s)");
+      continue;
+    }
+    if (P.High > P.Low)
+      bad(ProcIdx, P.High, "GP pair " + std::to_string(PairId) +
+                               ": the high half follows the low half");
+    const SymInst &High = Proc.Insts[P.High];
+    const SymInst &Low = Proc.Insts[P.Low];
+    if (High.GpKind != Low.GpKind)
+      bad(ProcIdx, P.High, "GP pair " + std::to_string(PairId) +
+                               ": halves disagree on prologue/post-call");
+    if (High.Nullified != Low.Nullified)
+      bad(ProcIdx, High.Nullified ? P.High : P.Low,
+          "GP pair " + std::to_string(PairId) +
+              " is half-nullified (corrupts GP: the surviving half adds "
+              "its displacement to the wrong base)");
+  }
+}
+
+void Checker::checkLits() {
+  for (const auto &[LitId, L] : SP.Lits) {
+    std::string Tag = "literal " + std::to_string(LitId);
+    if (L.Proc == ~0u) {
+      if (!L.escapes())
+        bad(~0u, ~0u, Tag + " has recorded uses but no owning procedure");
+      continue;
+    }
+    if (L.Proc >= SP.Procs.size()) {
+      bad(~0u, ~0u, Tag + " names out-of-range procedure " +
+                        std::to_string(L.Proc));
+      continue;
+    }
+    const SymProc &Proc = SP.Procs[L.Proc];
+    size_t N = Proc.Insts.size();
+    if (L.TargetSym >= SP.Syms.size())
+      bad(L.Proc, ~0u, Tag + " targets out-of-range symbol " +
+                           std::to_string(L.TargetSym));
+
+    if (L.LoadIdx >= N) {
+      bad(L.Proc, ~0u, Tag + " records out-of-range LoadIdx " +
+                           std::to_string(L.LoadIdx));
+      continue;
+    }
+    const SymInst &Load = Proc.Insts[L.LoadIdx];
+    if (Load.Kind != SKind::AddressLoad || Load.LitId != LitId) {
+      bad(L.Proc, L.LoadIdx,
+          Tag + ": LoadIdx points at a non-matching instruction "
+                "(stale index after reordering?)");
+      continue;
+    }
+
+    auto checkUses = [&](const std::vector<uint32_t> &Uses, SKind Want,
+                         const char *What) {
+      for (uint32_t UseIdx : Uses) {
+        if (UseIdx >= N) {
+          bad(L.Proc, ~0u, Tag + " records out-of-range " + What +
+                               " index " + std::to_string(UseIdx));
+          continue;
+        }
+        const SymInst &Use = Proc.Insts[UseIdx];
+        if (Use.Kind != Want || Use.LitId != LitId)
+          bad(L.Proc, UseIdx, Tag + ": " + What +
+                                  " index points at a non-matching "
+                                  "instruction (stale index?)");
+      }
+    };
+    checkUses(L.MemUses, SKind::LitUseMem, "MemUses");
+    checkUses(L.AddrUses, SKind::LitUseAddr, "AddrUses");
+    checkUses(L.DerefUses, SKind::LitUseDeref, "DerefUses");
+
+    bool JsrLive = false;
+    if (L.JsrIdx >= 0) {
+      if (static_cast<size_t>(L.JsrIdx) >= N) {
+        bad(L.Proc, ~0u, Tag + " records out-of-range JsrIdx " +
+                             std::to_string(L.JsrIdx));
+        continue;
+      }
+      const SymInst &Jsr = Proc.Insts[L.JsrIdx];
+      // The call site is either the original JSR or the DirectCall it was
+      // converted to; both keep the literal id.
+      if ((Jsr.Kind != SKind::JsrViaGat && Jsr.Kind != SKind::DirectCall) ||
+          Jsr.LitId != LitId)
+        bad(L.Proc, L.JsrIdx,
+            Tag + ": JsrIdx points at a non-matching instruction "
+                  "(stale index after reordering?)");
+      JsrLive = Jsr.Kind == SKind::JsrViaGat && !Jsr.Nullified;
+    }
+
+    if (Load.Nullified) {
+      // Nullified loads with direct/derived uses are fine (the uses get
+      // folded onto GP), but a JSR still reading the loaded register, or
+      // an escaping use OM cannot see, means a live consumer lost its
+      // producer.
+      if (JsrLive)
+        bad(L.Proc, L.LoadIdx,
+            Tag + ": PV load nullified while its JSR still calls through "
+                  "the loaded register");
+      if (L.escapes())
+        bad(L.Proc, L.LoadIdx,
+            Tag + ": escaping literal's load nullified (the loaded "
+                  "address has unseen consumers)");
+    }
+  }
+}
+
+} // namespace
+
+unsigned om64::om::verifyStructure(const SymbolicProgram &SP,
+                                   const std::string &Stage,
+                                   DiagnosticEngine &Diags) {
+  unsigned Before = Diags.errorCount();
+  Checker C(SP, Stage, Diags);
+  C.checkSymbols();
+  for (uint32_t ProcIdx = 0; ProcIdx < SP.Procs.size(); ++ProcIdx)
+    C.checkProc(ProcIdx);
+  if (!SP.Lits.empty())
+    C.checkLits();
+  return Diags.errorCount() - Before;
+}
+
+Error om64::om::verifyStage(const SymbolicProgram &SP,
+                            const std::string &Stage) {
+  DiagnosticEngine Diags;
+  if (verifyStructure(SP, Stage, Diags) == 0)
+    return Error::success();
+  return Error::failure("OM invariant check failed after stage '" + Stage +
+                        "':\n" + Diags.render());
+}
+
+//===----------------------------------------------------------------------===//
+// Canonical memory hash.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr uint64_t FnvOffset = 1469598103934665603ull;
+constexpr uint64_t FnvPrime = 1099511628211ull;
+
+uint64_t fnv1a(uint64_t H, const void *Bytes, size_t N) {
+  const uint8_t *P = static_cast<const uint8_t *>(Bytes);
+  for (size_t I = 0; I < N; ++I) {
+    H ^= P[I];
+    H *= FnvPrime;
+  }
+  return H;
+}
+
+uint64_t fnv1aStr(uint64_t H, const std::string &S) {
+  H = fnv1a(H, S.data(), S.size());
+  uint8_t Sep = 0;
+  return fnv1a(H, &Sep, 1);
+}
+
+uint64_t fnv1aU64(uint64_t H, uint64_t V) { return fnv1a(H, &V, 8); }
+
+} // namespace
+
+uint64_t om64::om::canonicalMemoryHash(const Image &Img,
+                                       const std::vector<uint8_t> &Final) {
+  // Data symbols sorted by address, for pointer-to-symbol resolution, and
+  // by name, for the deterministic walk order.
+  std::vector<const ImageSymbol *> ByAddr, ByName;
+  for (const ImageSymbol &S : Img.Symbols)
+    if (!S.IsProcedure) {
+      ByAddr.push_back(&S);
+      ByName.push_back(&S);
+    }
+  std::sort(ByAddr.begin(), ByAddr.end(),
+            [](const ImageSymbol *A, const ImageSymbol *B) {
+              return A->Addr < B->Addr;
+            });
+  std::sort(ByName.begin(), ByName.end(),
+            [](const ImageSymbol *A, const ImageSymbol *B) {
+              return A->Name < B->Name;
+            });
+
+  uint64_t TextEnd = Img.TextBase + Img.Text.size();
+  uint64_t DataEnd = Img.DataBase + Img.dataSegmentSize();
+
+  // Normalizes one stored quadword: addresses become symbolic references
+  // so the hash is independent of the link-time layout.
+  auto hashValue = [&](uint64_t H, uint64_t V) {
+    if (V >= Img.TextBase && V < TextEnd) {
+      for (const ImageProc &P : Img.Procs)
+        if (V >= P.Entry && V < P.Entry + P.Size) {
+          H = fnv1a(H, "T", 1);
+          H = fnv1aStr(H, P.Name);
+          return fnv1aU64(H, V - P.Entry);
+        }
+      H = fnv1a(H, "T?", 2);
+      return fnv1aU64(H, 0);
+    }
+    if (V >= Img.DataBase && V < DataEnd) {
+      // Last symbol starting at or before V.
+      auto It = std::upper_bound(ByAddr.begin(), ByAddr.end(), V,
+                                 [](uint64_t Addr, const ImageSymbol *S) {
+                                   return Addr < S->Addr;
+                                 });
+      if (It != ByAddr.begin()) {
+        const ImageSymbol *S = *(It - 1);
+        if (V < S->Addr + std::max<uint64_t>(S->Size, 1)) {
+          H = fnv1a(H, "D", 1);
+          H = fnv1aStr(H, S->Name);
+          return fnv1aU64(H, V - S->Addr);
+        }
+      }
+      H = fnv1a(H, "D?", 2);
+      return fnv1aU64(H, 0);
+    }
+    H = fnv1a(H, "V", 1);
+    return fnv1aU64(H, V);
+  };
+
+  uint64_t H = FnvOffset;
+  for (const ImageSymbol *S : ByName) {
+    uint64_t Off = S->Addr - Img.DataBase;
+    if (S->Addr < Img.DataBase || Off + S->Size > Final.size())
+      continue; // not materialized (empty program); nothing to hash
+    H = fnv1aStr(H, S->Name);
+    uint64_t Quads = S->Size / 8;
+    for (uint64_t Q = 0; Q < Quads; ++Q) {
+      uint64_t V = 0;
+      for (unsigned Byte = 0; Byte < 8; ++Byte)
+        V |= static_cast<uint64_t>(Final[Off + Q * 8 + Byte]) << (8 * Byte);
+      H = hashValue(H, V);
+    }
+    // Sub-quadword tail, hashed raw (cannot hold an 8-byte pointer).
+    H = fnv1a(H, Final.data() + Off + Quads * 8, S->Size % 8);
+  }
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// Differential execution.
+//===----------------------------------------------------------------------===//
+
+Result<DifferentialReport>
+om64::om::runDifferential(const std::vector<ObjectFile> &Objects,
+                          const OmOptions &Base) {
+  struct LegCfg {
+    OmLevel Level;
+    bool Sched;
+  };
+  const LegCfg Cfgs[] = {{OmLevel::None, false},
+                         {OmLevel::Simple, false},
+                         {OmLevel::Full, false},
+                         {OmLevel::Full, true}};
+
+  DifferentialReport Report;
+  for (const LegCfg &Cfg : Cfgs) {
+    std::string LegName = std::string("OM-") + levelName(Cfg.Level) +
+                          (Cfg.Sched ? "+sched" : "");
+    OmOptions Opts = Base;
+    Opts.Level = Cfg.Level;
+    Opts.Reschedule = Cfg.Sched;
+    Opts.AlignLoopTargets = Cfg.Sched;
+    // Instrumentation inserts code and is rejected below OM-full; the
+    // differential question is about the optimizations, so drop it.
+    Opts.InstrumentProcedureCounts = false;
+    Opts.InstrumentBlockCounts = false;
+
+    Result<OmResult> R = optimize(Objects, Opts);
+    if (!R)
+      return Result<DifferentialReport>::failure("differential leg " +
+                                                 LegName + ": " +
+                                                 R.message());
+    if (Error E = R->Image.verify())
+      return Result<DifferentialReport>::failure(
+          "differential leg " + LegName + ": image verification: " +
+          E.message());
+
+    sim::SimConfig SC;
+    SC.Timing = false;
+    Result<sim::SimResult> Run = sim::run(R->Image, SC);
+    if (!Run)
+      return Result<DifferentialReport>::failure(
+          "differential leg " + LegName + ": execution: " + Run.message());
+
+    DifferentialLeg Leg;
+    Leg.Level = Cfg.Level;
+    Leg.Sched = Cfg.Sched;
+    Leg.ExitCode = Run->ExitCode;
+    Leg.Output = Run->Output;
+    Leg.MemoryHash = canonicalMemoryHash(R->Image, Run->FinalData);
+    Leg.Instructions = Run->Instructions;
+    Report.Legs.push_back(std::move(Leg));
+  }
+
+  const DifferentialLeg &Ref = Report.Legs.front();
+  for (size_t Idx = 1; Idx < Report.Legs.size(); ++Idx) {
+    const DifferentialLeg &Leg = Report.Legs[Idx];
+    std::string LegName = std::string("OM-") + levelName(Leg.Level) +
+                          (Leg.Sched ? "+sched" : "");
+    if (Leg.ExitCode != Ref.ExitCode)
+      return Result<DifferentialReport>::failure(
+          "differential mismatch: " + LegName + " exited with " +
+          std::to_string(Leg.ExitCode) + ", OM-none with " +
+          std::to_string(Ref.ExitCode));
+    if (Leg.Output != Ref.Output)
+      return Result<DifferentialReport>::failure(
+          "differential mismatch: " + LegName + " produced " +
+          std::to_string(Leg.Output.size()) + " output bytes differing "
+          "from OM-none's " + std::to_string(Ref.Output.size()));
+    if (Leg.MemoryHash != Ref.MemoryHash)
+      return Result<DifferentialReport>::failure(
+          "differential mismatch: " + LegName +
+          " left different final memory (canonical hash " +
+          formatHex64(Leg.MemoryHash) + " vs " +
+          formatHex64(Ref.MemoryHash) + ")");
+  }
+  return Report;
+}

@@ -1,0 +1,110 @@
+//===- om/Verify.h - OM correctness verification ---------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// OmVerify: the correctness subsystem for OM's symbolic-form pipeline.
+///
+/// The symbolic form carries *positional* bookkeeping — LitInfo records raw
+/// instruction indices (LoadIdx, JsrIdx, the three use lists) and
+/// LocalBranch carries TargetIdx — so any transform that reorders a
+/// procedure's Insts vector can silently invalidate them, and a later pass
+/// that trusts a stale index will nullify or rewrite the *wrong*
+/// instruction. Production binary rewriters treat this bug class as
+/// existential and verify between passes; OmVerify does the same here, at
+/// two layers:
+///
+///   1. verifyStructure / verifyStage: a structural invariant check over a
+///      SymbolicProgram, runnable after lift and after every transform
+///      stage. Violations are reported through support/Diagnostics with the
+///      stage name, procedure, and 1-based instruction index, so a broken
+///      invariant names the transform that broke it.
+///
+///   2. runDifferential: a differential-execution harness that links the
+///      same objects at OmLevel::None vs Simple / Full / Full+sched, runs
+///      every variant on the functional simulator, and demands identical
+///      architectural results: exit value, output stream, and a
+///      layout-independent hash of the final data memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_OM_VERIFY_H
+#define OM64_OM_VERIFY_H
+
+#include "om/Om.h"
+#include "om/SymbolicProgram.h"
+#include "support/Diagnostics.h"
+#include "support/Result.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace om64 {
+namespace om {
+
+/// Checks the structural invariants of \p SP and appends one diagnostic per
+/// violation to \p Diags (buffer name "<stage>:<procedure>", line = 1-based
+/// instruction index). Returns the number of violations found.
+///
+/// Invariants:
+///   * symbol/procedure cross-references are in range and mutually
+///     consistent (PSym::ProcIdx <-> SymProc::SymId),
+///   * LocalBranch::TargetIdx and DirectCall::TargetProc are in range,
+///   * every GpHigh has exactly one GpLow with the same PairId and GpKind,
+///     the high precedes the low, and the two are both nullified or
+///     neither (a half-nullified pair corrupts GP),
+///   * while SP.Lits is populated (it is cleared by OM-full's deletion
+///     stage, after which these checks are vacuous): every LitInfo index
+///     points at an instruction of the matching SKind and LitId, every
+///     lit-tagged instruction is listed by its literal at exactly its own
+///     index, and a nullified address load has no live JsrViaGat consumer
+///     and does not feed an escaping literal.
+unsigned verifyStructure(const SymbolicProgram &SP, const std::string &Stage,
+                         DiagnosticEngine &Diags);
+
+/// Runs verifyStructure and folds any violations into an Error whose
+/// message carries the rendered diagnostics. Success when none were found.
+Error verifyStage(const SymbolicProgram &SP, const std::string &Stage);
+
+/// One linked-and-executed configuration of a differential run.
+struct DifferentialLeg {
+  OmLevel Level = OmLevel::None;
+  bool Sched = false;
+  int64_t ExitCode = 0;
+  std::string Output;
+  uint64_t MemoryHash = 0;   // canonicalMemoryHash of the final data segment
+  uint64_t Instructions = 0; // functional instruction count (informational)
+};
+
+/// The per-leg results of a successful differential run. Legs[0] is the
+/// OmLevel::None reference; every later leg matched it.
+struct DifferentialReport {
+  std::vector<DifferentialLeg> Legs;
+};
+
+/// Layout-independent hash of a program's final data memory. Data layouts
+/// legitimately differ across OM levels (size-sorted data, GAT shrinkage)
+/// and stored code/data pointers embed shifted addresses, so the raw bytes
+/// of the data segment cannot be compared. Instead the hash walks the
+/// non-procedure symbols in name order and, for each stored quadword that
+/// lands in the text or data range, substitutes the symbolic form
+/// (procedure or symbol name + offset) for the raw address.
+uint64_t canonicalMemoryHash(const obj::Image &Img,
+                             const std::vector<uint8_t> &FinalData);
+
+/// Links \p Objects at OmLevel::None, Simple, Full, and Full+sched (with
+/// \p Base supplying everything but the level/scheduling fields; any
+/// Verify/VerifyEachStage request in \p Base applies to every leg), runs
+/// each image on the functional simulator, and fails unless every leg
+/// reproduces the None leg's exit code, output, and canonical memory hash.
+Result<DifferentialReport>
+runDifferential(const std::vector<obj::ObjectFile> &Objects,
+                const OmOptions &Base = OmOptions());
+
+} // namespace om
+} // namespace om64
+
+#endif // OM64_OM_VERIFY_H

@@ -584,6 +584,7 @@ Result<SimResult> Machine::run() {
   }
   if (!Cfg.Timing)
     Res.Cycles = 0;
+  Res.FinalData = std::move(DataSegment);
   return std::move(Res);
 }
 

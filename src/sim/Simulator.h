@@ -68,6 +68,10 @@ struct SimResult {
   /// ATOM-style profile counters (CALL_PAL count[i]); indexed by the
   /// instrumentation tool's counter ids. Empty when uninstrumented.
   std::vector<uint64_t> ProfileCounts;
+  /// Final contents of the data segment (data + bss) at halt. OmVerify's
+  /// differential harness hashes this to prove that two OM levels leave
+  /// the program's memory in the same architectural state.
+  std::vector<uint8_t> FinalData;
 };
 
 /// Runs \p Img to completion. Failures (bad memory access, undecodable

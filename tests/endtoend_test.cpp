@@ -15,6 +15,8 @@
 
 #include "TestUtil.h"
 
+#include "om/Verify.h"
+
 #include <gtest/gtest.h>
 
 #include <map>
@@ -92,6 +94,9 @@ TEST_P(OmSoundnessTest, OutputIdenticalToBaseline) {
   Opts.Level = P.Level;
   Opts.Reschedule = P.Sched;
   Opts.AlignLoopTargets = P.Sched;
+  // OmVerify: every transform stage must leave the symbolic form
+  // structurally consistent on every workload variant.
+  Opts.VerifyEachStage = true;
   Result<om::OmResult> R = wl::linkWithOm(*F.Built, P.Mode, Opts);
   ASSERT_TRUE(bool(R)) << R.message();
   EXPECT_FALSE(bool(R->Image.verify()))
@@ -116,6 +121,37 @@ std::vector<VariantParam> allVariants() {
 
 INSTANTIATE_TEST_SUITE_P(AllWorkloads, OmSoundnessTest,
                          ::testing::ValuesIn(allVariants()), paramName);
+
+class DifferentialTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DifferentialTest, ArchitecturalResultsAgreeAcrossLevels) {
+  // OmVerify's differential-execution layer: link each workload at
+  // OM-none/simple/full/full+sched with per-stage invariant checks on,
+  // execute all four, and demand identical exit code, output, and
+  // canonical memory hash.
+  const std::string &Name = GetParam();
+  SuiteFixture &F = SuiteFixture::get(Name);
+  ASSERT_TRUE(F.Built.has_value()) << F.BuildError;
+
+  for (wl::CompileMode Mode :
+       {wl::CompileMode::Each, wl::CompileMode::All}) {
+    om::OmOptions Base;
+    Base.VerifyEachStage = true;
+    Result<om::DifferentialReport> Rep =
+        om::runDifferential(F.Built->linkSet(Mode), Base);
+    ASSERT_TRUE(bool(Rep)) << Name << ": " << Rep.message();
+    ASSERT_EQ(Rep->Legs.size(), 4u);
+    // The reference leg reproduces the independently linked baseline.
+    EXPECT_EQ(Rep->Legs[0].Output, F.BaselineOutput[Mode]);
+    EXPECT_EQ(Rep->Legs[0].ExitCode, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, DifferentialTest,
+                         ::testing::ValuesIn(wl::workloadNames()),
+                         [](const ::testing::TestParamInfo<std::string> &I) {
+                           return I.param;
+                         });
 
 class SuiteShapeTest : public ::testing::TestWithParam<std::string> {};
 

@@ -14,6 +14,8 @@
 
 #include "TestUtil.h"
 
+#include "om/Verify.h"
+
 #include <gtest/gtest.h>
 
 #include <set>
@@ -509,6 +511,305 @@ TEST(OmInstrumentTest, BlockCountsPreserveWorkloadBehaviour) {
   EXPECT_GT(R->Stats.InstrumentationInserted,
             R->ProfiledProcedures.size() / 2)
       << "block mode should insert more counters than procedures alone";
+}
+
+/// Hand-assembles an object whose caller has its call-address load hoisted
+/// above the prologue GP-set pair — the pattern a compile-time scheduler
+/// produces. h.main loads &h.leaf into T5 *before* its prologue (legal:
+/// the simulator enters main with GP already valid, and the prologue pair
+/// reads only PV), copies T5 into PV after the prologue, and calls leaf,
+/// which adds 7 to h.val (initially 35). main returns the final value: 42.
+///
+/// At OM-full, restoreProloguePair moves the pair to entry, shifting the
+/// load from index 0 to index 2. Without index remapping, the literal's
+/// stale LoadIdx makes the PV-load removal nullify the restored GpHigh —
+/// main's GP is miscomputed and every later GAT access reads garbage.
+ObjectFile makeHoistedLoadObject() {
+  ObjectFile O;
+  O.ModuleName = "h";
+  auto addWord = [&O](const Inst &I) {
+    uint32_t W = encode(I);
+    for (unsigned B = 0; B < 4; ++B)
+      O.Text.push_back(static_cast<uint8_t>(W >> (8 * B)));
+  };
+  // h.main at text offset 0.
+  addWord(makeMem(Opcode::Ldq, T5, 0, GP));   //  0: lit0 load, &h.leaf
+  addWord(makeMem(Opcode::Ldah, GP, 0, PV));  //  4: prologue GpHigh
+  addWord(makeMem(Opcode::Lda, GP, 0, GP));   //  8: prologue GpLow
+  addWord(makeMem(Opcode::Lda, SP, -16, SP)); // 12
+  addWord(makeMem(Opcode::Stq, RA, 0, SP));   // 16
+  addWord(makeOp(Opcode::Bis, T5, T5, PV));   // 20: PV = &h.leaf
+  addWord(makeJump(Opcode::Jsr, RA, PV));     // 24: JsrViaGat lit0
+  addWord(makeMem(Opcode::Ldah, GP, 0, RA));  // 28: post-call GpHigh
+  addWord(makeMem(Opcode::Lda, GP, 0, GP));   // 32: post-call GpLow
+  addWord(makeMem(Opcode::Ldq, T1, 0, GP));   // 36: lit1 load, &h.val
+  addWord(makeMem(Opcode::Ldq, V0, 0, T1));   // 40: LitUseMem lit1
+  addWord(makeMem(Opcode::Ldq, RA, 0, SP));   // 44
+  addWord(makeMem(Opcode::Lda, SP, 16, SP));  // 48
+  addWord(makeJump(Opcode::Ret, Zero, RA));   // 52
+  // h.leaf at text offset 56: h.val = h.val + 7.
+  addWord(makeMem(Opcode::Ldah, GP, 0, PV));  // 56: prologue GpHigh
+  addWord(makeMem(Opcode::Lda, GP, 0, GP));   // 60: prologue GpLow
+  addWord(makeMem(Opcode::Ldq, T0, 0, GP));   // 64: lit2 load, &h.val
+  addWord(makeMem(Opcode::Ldq, T1, 0, T0));   // 68: LitUseMem lit2
+  addWord(makeMem(Opcode::Lda, T1, 7, T1));   // 72
+  addWord(makeMem(Opcode::Stq, T1, 0, T0));   // 76: LitUseMem lit2
+  addWord(makeJump(Opcode::Ret, Zero, RA));   // 80
+
+  O.Data.assign(8, 0);
+  O.Data[0] = 35;
+
+  Symbol Main;
+  Main.Name = "h.main";
+  Main.Section = SectionKind::Text;
+  Main.Size = 56;
+  Main.IsProcedure = Main.IsExported = Main.IsDefined = true;
+  Symbol Leaf = Main;
+  Leaf.Name = "h.leaf";
+  Leaf.Offset = 56;
+  Leaf.Size = 28;
+  Symbol Val;
+  Val.Name = "h.val";
+  Val.Section = SectionKind::Data;
+  Val.Size = 8;
+  Val.IsExported = Val.IsDefined = true;
+  O.Symbols = {Main, Leaf, Val};
+  O.Gat = {{1, 0}, {2, 0}}; // &h.leaf, &h.val
+
+  auto lit = [](uint64_t Off, uint32_t GatIndex, uint32_t LitId) {
+    Reloc R;
+    R.Kind = RelocKind::Literal;
+    R.Offset = Off;
+    R.GatIndex = GatIndex;
+    R.LiteralId = LitId;
+    return R;
+  };
+  auto use = [](RelocKind K, uint64_t Off, uint32_t LitId) {
+    Reloc R;
+    R.Kind = K;
+    R.Offset = Off;
+    R.LiteralId = LitId;
+    return R;
+  };
+  auto gpdisp = [](uint64_t Off, uint64_t Anchor, GpDispKind K) {
+    Reloc R;
+    R.Kind = RelocKind::GpDisp;
+    R.Offset = Off;
+    R.AnchorOffset = Anchor;
+    R.PairOffset = 4;
+    R.GpKind = static_cast<uint8_t>(K);
+    return R;
+  };
+  O.Relocs = {lit(0, 0, 0),
+              gpdisp(4, 0, GpDispKind::Prologue),
+              use(RelocKind::LituseJsr, 24, 0),
+              gpdisp(28, 28, GpDispKind::PostCall),
+              lit(36, 1, 1),
+              use(RelocKind::LituseBase, 40, 1),
+              gpdisp(56, 56, GpDispKind::Prologue),
+              lit(64, 1, 2),
+              use(RelocKind::LituseBase, 68, 2),
+              use(RelocKind::LituseBase, 76, 2)};
+
+  ProcDesc MainDesc;
+  MainDesc.TextSize = 56;
+  ProcDesc LeafDesc;
+  LeafDesc.SymbolIndex = 1;
+  LeafDesc.TextOffset = 56;
+  LeafDesc.TextSize = 28;
+  O.Procs = {MainDesc, LeafDesc};
+  return O;
+}
+
+TEST(OmVerifyTest, PrologueRestorationKeepsLiteralIndices) {
+  std::vector<ObjectFile> Objs = {makeHoistedLoadObject()};
+  ASSERT_FALSE(bool(Objs[0].verify())) << Objs[0].verify().message();
+
+  // The miscompile was silent behavioural corruption: OM-full used to
+  // nullify main's restored GpHigh through the stale LoadIdx, leaving GP
+  // wrong for every later GAT access. All levels must agree on exit 42.
+  for (OmLevel Level : {OmLevel::None, OmLevel::Simple, OmLevel::Full}) {
+    for (bool Sched : {false, true}) {
+      if (Sched && Level != OmLevel::Full)
+        continue;
+      OmResult R = runOm(Objs, Level, Sched);
+      Result<sim::SimResult> Run = sim::run(R.Image);
+      ASSERT_TRUE(bool(Run))
+          << "OM-" << levelName(Level) << (Sched ? "+sched" : "") << ": "
+          << Run.message();
+      EXPECT_EQ(Run->ExitCode, 42)
+          << "OM-" << levelName(Level) << (Sched ? "+sched" : "")
+          << " miscompiled the hoisted-load caller";
+    }
+  }
+
+  // The invariant checker agrees: a link with per-stage verification on
+  // succeeds only when the restoration remapped every literal index.
+  OmOptions Opts;
+  Opts.VerifyEachStage = true;
+  Result<OmResult> Checked = om::optimize(Objs, Opts);
+  EXPECT_TRUE(bool(Checked)) << Checked.message();
+
+  // And the differential harness proves all levels architecturally equal.
+  Result<DifferentialReport> Rep = om::runDifferential(Objs, Opts);
+  ASSERT_TRUE(bool(Rep)) << Rep.message();
+  EXPECT_EQ(Rep->Legs.size(), 4u);
+  for (const DifferentialLeg &Leg : Rep->Legs)
+    EXPECT_EQ(Leg.ExitCode, 42);
+}
+
+/// Minimal two-symbol program for direct verifier unit tests: one
+/// procedure with a prologue pair and an address load of a datum.
+SymbolicProgram makeTinySymbolicProgram() {
+  SymbolicProgram SP;
+  PSym ProcSym;
+  ProcSym.Name = "m.p";
+  ProcSym.IsProc = true;
+  ProcSym.ProcIdx = 0;
+  PSym Datum;
+  Datum.Name = "m.v";
+  Datum.Size = 8;
+  SP.Syms = {ProcSym, Datum};
+
+  SymProc P;
+  P.Name = "m.p";
+  P.SymId = 0;
+  SymInst High;
+  High.Kind = SKind::GpHigh;
+  High.GpKind = GpDispKind::Prologue;
+  High.PairId = 0;
+  SymInst Low;
+  Low.Kind = SKind::GpLow;
+  Low.GpKind = GpDispKind::Prologue;
+  Low.PairId = 0;
+  SymInst Load;
+  Load.Kind = SKind::AddressLoad;
+  Load.LitId = 0;
+  Load.TargetSym = 1;
+  SymInst Use;
+  Use.Kind = SKind::LitUseMem;
+  Use.LitId = 0;
+  P.Insts = {High, Low, Load, Use};
+  SP.Procs.push_back(std::move(P));
+
+  LitInfo L;
+  L.Proc = 0;
+  L.LoadIdx = 2;
+  L.TargetSym = 1;
+  L.MemUses = {3};
+  SP.Lits[0] = L;
+  return SP;
+}
+
+TEST(OmVerifyTest, VerifierRejectsStaleLoadIndex) {
+  SymbolicProgram SP = makeTinySymbolicProgram();
+  EXPECT_FALSE(bool(verifyStage(SP, "unit"))) << "baseline must be clean";
+
+  // Point the literal at the GpHigh instead of its load — exactly what a
+  // missing remap after restoreProloguePair produces.
+  SP.Lits[0].LoadIdx = 0;
+  Error E = verifyStage(SP, "unit");
+  ASSERT_TRUE(bool(E));
+  EXPECT_NE(E.message().find("unit"), std::string::npos)
+      << "diagnostic must carry the stage label: " << E.message();
+  EXPECT_NE(E.message().find("m.p"), std::string::npos)
+      << "diagnostic must name the procedure: " << E.message();
+}
+
+TEST(OmVerifyTest, VerifierRejectsHalfNullifiedPair) {
+  SymbolicProgram SP = makeTinySymbolicProgram();
+  SP.Procs[0].Insts[0].Nullified = true; // GpHigh only: corrupts GP
+  Error E = verifyStage(SP, "unit");
+  ASSERT_TRUE(bool(E));
+  EXPECT_NE(E.message().find("half-nullified"), std::string::npos)
+      << E.message();
+
+  SP.Procs[0].Insts[1].Nullified = true; // both halves: a legal no-op pair
+  EXPECT_FALSE(bool(verifyStage(SP, "unit")));
+}
+
+TEST(OmVerifyTest, VerifierRejectsNullifiedLoadWithLiveJsr) {
+  SymbolicProgram SP = makeTinySymbolicProgram();
+  SymInst Jsr;
+  Jsr.Kind = SKind::JsrViaGat;
+  Jsr.LitId = 0;
+  SP.Procs[0].Insts.push_back(Jsr);
+  SP.Lits[0].JsrIdx = 4;
+  ASSERT_FALSE(bool(verifyStage(SP, "unit")));
+
+  // Nullifying the PV load while the JSR still jumps through the loaded
+  // register is the exact miscompile the PV-load removal can commit.
+  SP.Procs[0].Insts[2].Nullified = true;
+  Error E = verifyStage(SP, "unit");
+  ASSERT_TRUE(bool(E));
+  EXPECT_NE(E.message().find("nullified"), std::string::npos)
+      << E.message();
+}
+
+TEST(OmVerifyTest, ReachableGroupsSaturateBeyond64) {
+  // More GP groups than the 64-bit reachability bitset can name: 70
+  // single-procedure modules, each forced into its own group, plus main
+  // and the runtime. Before saturation, group 64+g aliased group g and the
+  // reset nullification dropped live cross-group GP resets.
+  std::vector<std::pair<std::string, std::string>> Mods;
+  std::string MainSrc = "module t;\nimport io;\n";
+  std::string Body;
+  for (int I = 1; I <= 70; ++I) {
+    std::string N = "m" + std::to_string(I);
+    Mods.push_back({N, "module " + N + ";\nvar v: int;\nexport func f(): "
+                           "int { v = v + " +
+                           std::to_string(I) + "; return v; }\n"});
+    MainSrc += "import " + N + ";\n";
+    Body += "  s = s + " + N + ".f();\n";
+  }
+  MainSrc += "export func main(): int {\n  var s: int;\n  s = 0;\n" + Body +
+             "  io.print_int(s);\n  return 0;\n}\n";
+  Mods.push_back({"t", MainSrc});
+
+  lang::Program P = parseProgram(Mods);
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(lang::checkEntryPoint(P, Diags)) << Diags.render();
+  std::vector<ObjectFile> Objs = compileAll(P);
+
+  OmOptions NoneOpts;
+  NoneOpts.Level = OmLevel::None;
+  NoneOpts.MaxGatEntriesPerGroup = 1;
+  OmOptions FullOpts;
+  FullOpts.Level = OmLevel::Full;
+  FullOpts.MaxGatEntriesPerGroup = 1;
+  FullOpts.VerifyEachStage = true;
+  Result<OmResult> None = om::optimize(Objs, NoneOpts);
+  Result<OmResult> Full = om::optimize(Objs, FullOpts);
+  ASSERT_TRUE(bool(None)) << None.message();
+  ASSERT_TRUE(bool(Full)) << Full.message();
+  ASSERT_GT(Full->Stats.GpGroups, 64u)
+      << "the regression needs more groups than the bitset holds";
+  EXPECT_GT(Full->Stats.CallsNeedingGpReset, 0u)
+      << "cross-group calls must keep their GP resets";
+
+  Result<sim::SimResult> NoneRun = sim::run(None->Image);
+  Result<sim::SimResult> FullRun = sim::run(Full->Image);
+  ASSERT_TRUE(bool(NoneRun)) << NoneRun.message();
+  ASSERT_TRUE(bool(FullRun)) << FullRun.message();
+  EXPECT_EQ(FullRun->Output, NoneRun->Output);
+  EXPECT_EQ(FullRun->ExitCode, 0);
+}
+
+TEST(OmVerifyTest, DifferentialHarnessAgrees) {
+  std::vector<ObjectFile> Objs = buildObjects(CallHeavySource);
+  OmOptions Base;
+  Base.VerifyEachStage = true;
+  Result<DifferentialReport> Rep = om::runDifferential(Objs, Base);
+  ASSERT_TRUE(bool(Rep)) << Rep.message();
+  ASSERT_EQ(Rep->Legs.size(), 4u);
+  EXPECT_EQ(Rep->Legs[0].Level, OmLevel::None);
+  OmResult None = runOm(Objs, OmLevel::None);
+  EXPECT_EQ(Rep->Legs[0].Output, runImage(None.Image));
+  for (const DifferentialLeg &Leg : Rep->Legs) {
+    EXPECT_EQ(Leg.ExitCode, Rep->Legs[0].ExitCode);
+    EXPECT_EQ(Leg.Output, Rep->Legs[0].Output);
+    EXPECT_EQ(Leg.MemoryHash, Rep->Legs[0].MemoryHash);
+  }
 }
 
 } // namespace

@@ -120,6 +120,25 @@ TEST_F(ToolchainTest, OmLinkMatchesStandardOutput) {
   }
 }
 
+TEST_F(ToolchainTest, VerifyEachStagePassesAtEveryLevel) {
+  // omlink --verify-each-stage: OmVerify's structural invariants must
+  // hold between every transform stage, and the built-in differential
+  // execution must find all four link variants architecturally equal.
+  for (const char *Level : {"none", "simple", "full"}) {
+    std::string Out;
+    ASSERT_EQ(runCommand(toolsDir() + "/omlink --verify-each-stage -O " +
+                             Level + " --sched -o " + Dir + "/v.aaxe " +
+                             allObjects(),
+                         Out),
+              0)
+        << "at -O " << Level << ": " << Out;
+    std::string Run;
+    EXPECT_EQ(runCommand(toolsDir() + "/aaxrun " + Dir + "/v.aaxe", Run),
+              6);
+    EXPECT_EQ(Run, "30\n");
+  }
+}
+
 TEST_F(ToolchainTest, CompileAllMode) {
   std::string Out;
   ASSERT_EQ(runCommand("cd " + Dir + " && " + toolsDir() +

@@ -16,12 +16,17 @@
 ///   --no-sort         OM: keep the module-order data layout
 ///   --gat-max N       entries per GAT group (forces multiple GPs)
 ///   --stats           print OM's Figure 3-5 statistics for this link
+///   --verify          OmVerify: check structural invariants after the lift
+///                     and the call transforms, then differentially execute
+///                     the program at every OM level and compare results
+///   --verify-each-stage   also check between every emission stage
 ///
 //===----------------------------------------------------------------------===//
 
 #include "linker/Linker.h"
 #include "objfile/ObjectFile.h"
 #include "om/Om.h"
+#include "om/Verify.h"
 #include "support/FileIO.h"
 #include "support/Format.h"
 
@@ -37,6 +42,7 @@ static int usage() {
   std::fprintf(stderr,
                "usage: omlink [--standard | -O none|simple|full] [--sched]\n"
                "              [--no-sort] [--gat-max N] [--stats] [--instrument]\n"
+               "              [--verify] [--verify-each-stage]\n"
                "              -o out.aaxe obj.aaxo...\n");
   return 2;
 }
@@ -74,6 +80,10 @@ int main(int argc, char **argv) {
           static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
     } else if (Arg == "--instrument") {
       Opts.InstrumentProcedureCounts = true;
+    } else if (Arg == "--verify") {
+      Opts.Verify = true;
+    } else if (Arg == "--verify-each-stage") {
+      Opts.VerifyEachStage = true;
     } else if (Arg == "--stats") {
       Stats = true;
     } else if (!Arg.empty() && Arg[0] == '-') {
@@ -103,6 +113,9 @@ int main(int argc, char **argv) {
 
   obj::Image Img;
   if (Standard) {
+    if (Opts.Verify || Opts.VerifyEachStage)
+      std::fprintf(stderr, "omlink: warning: --verify has no effect with "
+                           "--standard (OM pipeline not run)\n");
     Result<obj::Image> R = lnk::link(Objs);
     if (!R) {
       std::fprintf(stderr, "omlink: %s\n", R.message().c_str());
@@ -158,6 +171,28 @@ int main(int argc, char **argv) {
                    (unsigned long long)S.GatBytesAfter, S.GpGroups,
                    (unsigned long long)S.TextBytesBefore,
                    (unsigned long long)S.TextBytesAfter);
+    }
+    if (Opts.Verify || Opts.VerifyEachStage) {
+      // Differential execution: relink at every OM level and run each
+      // image on the functional simulator; any divergence from the
+      // unoptimized reference is a transform miscompile.
+      Result<om::DifferentialReport> Rep = om::runDifferential(Objs, Opts);
+      if (!Rep) {
+        std::fprintf(stderr, "omlink: verify: %s\n", Rep.message().c_str());
+        return 1;
+      }
+      for (const om::DifferentialLeg &Leg : Rep->Legs)
+        std::fprintf(stderr,
+                     "omlink: verify: OM-%s%s exit %lld, %zu output bytes, "
+                     "mem %s, %llu instructions\n",
+                     om::levelName(Leg.Level), Leg.Sched ? "+sched" : "",
+                     (long long)Leg.ExitCode, Leg.Output.size(),
+                     formatHex64(Leg.MemoryHash).c_str(),
+                     (unsigned long long)Leg.Instructions);
+      std::fprintf(stderr,
+                   "omlink: verify: all %zu legs architecturally "
+                   "identical\n",
+                   Rep->Legs.size());
     }
   }
 
