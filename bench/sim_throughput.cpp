@@ -1,0 +1,154 @@
+//===- bench/sim_throughput.cpp - Simulator throughput (simulated MIPS) ---===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures how fast the simulator itself runs: simulated instructions per
+/// host wall-clock second (simulated MIPS), per workload and aggregate, in
+/// both functional and timing mode. Every paper figure executes programs on
+/// this simulator, so its throughput bounds how large a workload suite we
+/// can afford; this bench records the trajectory across PRs.
+///
+///   sim_throughput [--reps N] [--functional-only] [--out FILE]
+///
+/// --out writes a machine-readable JSON record (see EXPERIMENTS.md for the
+/// committed baseline, docs/BENCH_sim_throughput.json).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <chrono>
+#include <cstring>
+
+using namespace om64;
+using namespace om64::bench;
+
+namespace {
+
+struct Row {
+  std::string Name;
+  uint64_t Instructions = 0;
+  double FunctionalSec = 0; // best-of-reps wall time, functional mode
+  double TimingSec = 0;     // best-of-reps wall time, timing mode
+};
+
+double mips(uint64_t Insts, double Sec) {
+  return Sec > 0 ? static_cast<double>(Insts) / Sec / 1e6 : 0.0;
+}
+
+/// Runs \p Img once and returns wall seconds; aborts the bench on failure.
+double timedRun(const std::string &Name, const obj::Image &Img,
+                bool Timing, uint64_t &InstsOut) {
+  sim::SimConfig Cfg;
+  Cfg.Timing = Timing;
+  auto Start = std::chrono::steady_clock::now();
+  Result<sim::SimResult> R = sim::run(Img, Cfg);
+  auto End = std::chrono::steady_clock::now();
+  if (!R)
+    fail(Name + ": " + R.message());
+  InstsOut = R->Instructions;
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Reps = 3;
+  bool FunctionalOnly = false;
+  std::string OutPath;
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--reps") && I + 1 < argc)
+      Reps = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    else if (!std::strcmp(argv[I], "--functional-only"))
+      FunctionalOnly = true;
+    else if (!std::strcmp(argv[I], "--out") && I + 1 < argc)
+      OutPath = argv[++I];
+    else
+      fail(std::string("unknown argument: ") + argv[I]);
+  }
+  if (Reps == 0)
+    Reps = 1;
+
+  std::vector<BuiltEntry> Suite = buildAllWorkloads();
+
+  std::vector<Row> Rows;
+  uint64_t TotalInsts = 0;
+  double TotalFunctional = 0, TotalTiming = 0;
+  for (const BuiltEntry &E : Suite) {
+    Result<obj::Image> Img = wl::linkBaseline(E.Built, wl::CompileMode::Each);
+    if (!Img)
+      fail(E.Name + ": " + Img.message());
+
+    Row R;
+    R.Name = E.Name;
+    R.FunctionalSec = 1e30;
+    R.TimingSec = 1e30;
+    for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+      R.FunctionalSec =
+          std::min(R.FunctionalSec,
+                   timedRun(E.Name, *Img, /*Timing=*/false, R.Instructions));
+      if (!FunctionalOnly) {
+        uint64_t Ignored;
+        R.TimingSec = std::min(
+            R.TimingSec, timedRun(E.Name, *Img, /*Timing=*/true, Ignored));
+      }
+    }
+    TotalInsts += R.Instructions;
+    TotalFunctional += R.FunctionalSec;
+    if (!FunctionalOnly)
+      TotalTiming += R.TimingSec;
+    Rows.push_back(R);
+  }
+
+  std::printf("Simulator throughput (simulated MIPS, best of %u reps)\n",
+              Reps);
+  std::printf("%-10s | %12s | %10s | %10s\n", "program", "insts",
+              "func MIPS", "timing MIPS");
+  rule(52);
+  for (const Row &R : Rows)
+    std::printf("%-10s | %12llu | %10.1f | %10s\n", R.Name.c_str(),
+                (unsigned long long)R.Instructions,
+                mips(R.Instructions, R.FunctionalSec),
+                FunctionalOnly
+                    ? "-"
+                    : formatString("%.1f", mips(R.Instructions, R.TimingSec))
+                          .c_str());
+  rule(52);
+  double AggFunc = mips(TotalInsts, TotalFunctional);
+  double AggTiming = FunctionalOnly ? 0 : mips(TotalInsts, TotalTiming);
+  std::printf("%-10s | %12llu | %10.1f | %10s\n", "aggregate",
+              (unsigned long long)TotalInsts, AggFunc,
+              FunctionalOnly ? "-"
+                             : formatString("%.1f", AggTiming).c_str());
+
+  if (!OutPath.empty()) {
+    std::string Json = "{\n  \"bench\": \"sim_throughput\",\n";
+    Json += formatString("  \"reps\": %u,\n", Reps);
+    Json += formatString("  \"aggregate_instructions\": %llu,\n",
+                         (unsigned long long)TotalInsts);
+    Json += formatString("  \"aggregate_functional_mips\": %.2f,\n", AggFunc);
+    Json += formatString("  \"aggregate_timing_mips\": %.2f,\n", AggTiming);
+    Json += "  \"workloads\": [\n";
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      Json += formatString(
+          "    {\"name\": \"%s\", \"instructions\": %llu, "
+          "\"functional_mips\": %.2f, \"timing_mips\": %.2f}%s\n",
+          R.Name.c_str(), (unsigned long long)R.Instructions,
+          mips(R.Instructions, R.FunctionalSec),
+          FunctionalOnly ? 0.0 : mips(R.Instructions, R.TimingSec),
+          I + 1 < Rows.size() ? "," : "");
+    }
+    Json += "  ]\n}\n";
+    std::FILE *F = std::fopen(OutPath.c_str(), "w");
+    if (!F)
+      fail("cannot open " + OutPath);
+    std::fputs(Json.c_str(), F);
+    std::fclose(F);
+    std::printf("wrote %s\n", OutPath.c_str());
+  }
+  return 0;
+}

@@ -123,117 +123,21 @@ int32_t signExtend(uint32_t Value, unsigned Bits) {
 // Classification.
 //===----------------------------------------------------------------------===//
 
-InstClass om64::isa::classOf(Opcode Op) {
-  switch (Op) {
-  case Opcode::CallPal:
-    return InstClass::Pal;
-  case Opcode::Lda:
-  case Opcode::Ldah:
-    return InstClass::LoadAddress;
-  case Opcode::Ldl:
-  case Opcode::Ldq:
-    return InstClass::IntLoad;
-  case Opcode::Stl:
-  case Opcode::Stq:
-    return InstClass::IntStore;
-  case Opcode::Ldt:
-    return InstClass::FpLoad;
-  case Opcode::Stt:
-    return InstClass::FpStore;
-  case Opcode::Jmp:
-  case Opcode::Jsr:
-  case Opcode::Ret:
-    return InstClass::Jump;
-  case Opcode::Br:
-  case Opcode::Bsr:
-  case Opcode::Beq:
-  case Opcode::Bne:
-  case Opcode::Blt:
-  case Opcode::Ble:
-  case Opcode::Bgt:
-  case Opcode::Bge:
-  case Opcode::Fbeq:
-  case Opcode::Fbne:
-    return InstClass::Branch;
-  case Opcode::Addq:
-  case Opcode::Subq:
-  case Opcode::Mulq:
-  case Opcode::S4addq:
-  case Opcode::S8addq:
-  case Opcode::Cmpeq:
-  case Opcode::Cmplt:
-  case Opcode::Cmple:
-  case Opcode::Cmpult:
-  case Opcode::And:
-  case Opcode::Bic:
-  case Opcode::Bis:
-  case Opcode::Ornot:
-  case Opcode::Xor:
-  case Opcode::Sll:
-  case Opcode::Srl:
-  case Opcode::Sra:
-    return InstClass::IntOp;
-  case Opcode::Addt:
-  case Opcode::Subt:
-  case Opcode::Mult:
-  case Opcode::Divt:
-  case Opcode::Cmpteq:
-  case Opcode::Cmptlt:
-  case Opcode::Cmptle:
-  case Opcode::Cvtqt:
-  case Opcode::Cvttq:
-  case Opcode::Cpys:
-    return InstClass::FpOp;
-  case Opcode::Itoft:
-  case Opcode::Ftoit:
-    return InstClass::Transfer;
+const char *om64::isa::instClassName(InstClass C) {
+  switch (C) {
+  case InstClass::Pal:         return "pal";
+  case InstClass::LoadAddress: return "load-address";
+  case InstClass::IntLoad:     return "int-load";
+  case InstClass::IntStore:    return "int-store";
+  case InstClass::FpLoad:      return "fp-load";
+  case InstClass::FpStore:     return "fp-store";
+  case InstClass::Jump:        return "jump";
+  case InstClass::Branch:      return "branch";
+  case InstClass::IntOp:       return "int-op";
+  case InstClass::FpOp:        return "fp-op";
+  case InstClass::Transfer:    return "transfer";
   }
-  assert(false && "unhandled opcode");
-  return InstClass::IntOp;
-}
-
-bool om64::isa::isLoad(Opcode Op) {
-  InstClass C = classOf(Op);
-  return C == InstClass::IntLoad || C == InstClass::FpLoad;
-}
-
-bool om64::isa::isStore(Opcode Op) {
-  InstClass C = classOf(Op);
-  return C == InstClass::IntStore || C == InstClass::FpStore;
-}
-
-bool om64::isa::isCondBranch(Opcode Op) {
-  switch (Op) {
-  case Opcode::Beq:
-  case Opcode::Bne:
-  case Opcode::Blt:
-  case Opcode::Ble:
-  case Opcode::Bgt:
-  case Opcode::Bge:
-  case Opcode::Fbeq:
-  case Opcode::Fbne:
-    return true;
-  default:
-    return false;
-  }
-}
-
-bool om64::isa::isTerminator(Opcode Op) {
-  InstClass C = classOf(Op);
-  return C == InstClass::Branch || C == InstClass::Jump || C == InstClass::Pal;
-}
-
-bool om64::isa::writesReturnAddress(Opcode Op) {
-  switch (Op) {
-  case Opcode::Br:
-  case Opcode::Bsr:
-  case Opcode::Jmp:
-  case Opcode::Jsr:
-  case Opcode::Ret:
-    return true;
-  default:
-    return false;
-  }
+  return "???";
 }
 
 const char *om64::isa::opcodeName(Opcode Op) {
@@ -291,34 +195,6 @@ const char *om64::isa::opcodeName(Opcode Op) {
   case Opcode::Ftoit:   return "ftoit";
   }
   return "???";
-}
-
-unsigned om64::isa::latencyOf(Opcode Op) {
-  // Dual-issue AXP-class latencies: loads have a 3-cycle load-use latency
-  // even on cache hits (the effect section 5.2 exploits when removing
-  // address loads), multiplies and fp operations are longer.
-  switch (classOf(Op)) {
-  case InstClass::IntLoad:
-  case InstClass::FpLoad:
-    return 3;
-  case InstClass::Transfer:
-    return 2;
-  case InstClass::FpOp:
-    switch (Op) {
-    case Opcode::Divt:
-      return 20;
-    case Opcode::Mult:
-      return 5;
-    case Opcode::Cpys:
-      return 1;
-    default:
-      return 4;
-    }
-  case InstClass::IntOp:
-    return Op == Opcode::Mulq ? 8 : 1;
-  default:
-    return 1;
-  }
 }
 
 //===----------------------------------------------------------------------===//

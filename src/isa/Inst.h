@@ -34,6 +34,7 @@
 
 #include "isa/Registers.h"
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -132,20 +133,206 @@ enum class InstClass : uint8_t {
   Transfer,     // ITOFT / FTOIT
 };
 
+/// Number of instruction classes (for tables indexed by InstClass).
+inline constexpr unsigned NumInstClasses =
+    static_cast<unsigned>(InstClass::Transfer) + 1;
+
+/// Returns the printable name of an instruction class ("int-load", ...).
+const char *instClassName(InstClass C);
+
+//===----------------------------------------------------------------------===//
+// Opcode property tables. The properties are defined once as constexpr
+// switches and then baked into dense opcode-indexed tables at compile time,
+// so the hot consumers (the simulator's interpreter loops, the schedulers'
+// dependence analysis) pay one indexed load per query instead of a call
+// into another translation unit.
+//===----------------------------------------------------------------------===//
+
+namespace detail {
+
+constexpr InstClass classOfImpl(Opcode Op) {
+  switch (Op) {
+  case Opcode::CallPal:
+    return InstClass::Pal;
+  case Opcode::Lda:
+  case Opcode::Ldah:
+    return InstClass::LoadAddress;
+  case Opcode::Ldl:
+  case Opcode::Ldq:
+    return InstClass::IntLoad;
+  case Opcode::Stl:
+  case Opcode::Stq:
+    return InstClass::IntStore;
+  case Opcode::Ldt:
+    return InstClass::FpLoad;
+  case Opcode::Stt:
+    return InstClass::FpStore;
+  case Opcode::Jmp:
+  case Opcode::Jsr:
+  case Opcode::Ret:
+    return InstClass::Jump;
+  case Opcode::Br:
+  case Opcode::Bsr:
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Ble:
+  case Opcode::Bgt:
+  case Opcode::Bge:
+  case Opcode::Fbeq:
+  case Opcode::Fbne:
+    return InstClass::Branch;
+  case Opcode::Addq:
+  case Opcode::Subq:
+  case Opcode::Mulq:
+  case Opcode::S4addq:
+  case Opcode::S8addq:
+  case Opcode::Cmpeq:
+  case Opcode::Cmplt:
+  case Opcode::Cmple:
+  case Opcode::Cmpult:
+  case Opcode::And:
+  case Opcode::Bic:
+  case Opcode::Bis:
+  case Opcode::Ornot:
+  case Opcode::Xor:
+  case Opcode::Sll:
+  case Opcode::Srl:
+  case Opcode::Sra:
+    return InstClass::IntOp;
+  case Opcode::Addt:
+  case Opcode::Subt:
+  case Opcode::Mult:
+  case Opcode::Divt:
+  case Opcode::Cmpteq:
+  case Opcode::Cmptlt:
+  case Opcode::Cmptle:
+  case Opcode::Cvtqt:
+  case Opcode::Cvttq:
+  case Opcode::Cpys:
+    return InstClass::FpOp;
+  case Opcode::Itoft:
+  case Opcode::Ftoit:
+    return InstClass::Transfer;
+  }
+  return InstClass::IntOp;
+}
+
+constexpr unsigned latencyOfImpl(Opcode Op) {
+  // Dual-issue AXP-class latencies: loads have a 3-cycle load-use latency
+  // even on cache hits (the effect section 5.2 exploits when removing
+  // address loads), multiplies and fp operations are longer.
+  switch (classOfImpl(Op)) {
+  case InstClass::IntLoad:
+  case InstClass::FpLoad:
+    return 3;
+  case InstClass::Transfer:
+    return 2;
+  case InstClass::FpOp:
+    switch (Op) {
+    case Opcode::Divt:
+      return 20;
+    case Opcode::Mult:
+      return 5;
+    case Opcode::Cpys:
+      return 1;
+    default:
+      return 4;
+    }
+  case InstClass::IntOp:
+    return Op == Opcode::Mulq ? 8 : 1;
+  default:
+    return 1;
+  }
+}
+
+constexpr bool isCondBranchImpl(Opcode Op) {
+  switch (Op) {
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Ble:
+  case Opcode::Bgt:
+  case Opcode::Bge:
+  case Opcode::Fbeq:
+  case Opcode::Fbne:
+    return true;
+  default:
+    return false;
+  }
+}
+
+constexpr bool writesReturnAddressImpl(Opcode Op) {
+  switch (Op) {
+  case Opcode::Br:
+  case Opcode::Bsr:
+  case Opcode::Jmp:
+  case Opcode::Jsr:
+  case Opcode::Ret:
+    return true;
+  default:
+    return false;
+  }
+}
+
+template <typename T, typename Fn>
+constexpr std::array<T, NumOpcodes> makeOpcodeTable(Fn F) {
+  std::array<T, NumOpcodes> Table{};
+  for (unsigned I = 0; I < NumOpcodes; ++I)
+    Table[I] = F(static_cast<Opcode>(I));
+  return Table;
+}
+
+inline constexpr auto ClassTable =
+    makeOpcodeTable<InstClass>([](Opcode Op) { return classOfImpl(Op); });
+inline constexpr auto LatencyTable = makeOpcodeTable<uint8_t>(
+    [](Opcode Op) { return static_cast<uint8_t>(latencyOfImpl(Op)); });
+inline constexpr auto LoadTable = makeOpcodeTable<bool>([](Opcode Op) {
+  InstClass C = classOfImpl(Op);
+  return C == InstClass::IntLoad || C == InstClass::FpLoad;
+});
+inline constexpr auto StoreTable = makeOpcodeTable<bool>([](Opcode Op) {
+  InstClass C = classOfImpl(Op);
+  return C == InstClass::IntStore || C == InstClass::FpStore;
+});
+inline constexpr auto CondBranchTable =
+    makeOpcodeTable<bool>([](Opcode Op) { return isCondBranchImpl(Op); });
+inline constexpr auto TerminatorTable = makeOpcodeTable<bool>([](Opcode Op) {
+  InstClass C = classOfImpl(Op);
+  return C == InstClass::Branch || C == InstClass::Jump ||
+         C == InstClass::Pal;
+});
+inline constexpr auto WritesRaTable = makeOpcodeTable<bool>(
+    [](Opcode Op) { return writesReturnAddressImpl(Op); });
+
+} // namespace detail
+
 /// Returns the class of \p Op.
-InstClass classOf(Opcode Op);
+inline InstClass classOf(Opcode Op) {
+  return detail::ClassTable[static_cast<unsigned>(Op)];
+}
 
 /// True for LDL/LDQ/LDT (instructions that read data memory).
-bool isLoad(Opcode Op);
+inline bool isLoad(Opcode Op) {
+  return detail::LoadTable[static_cast<unsigned>(Op)];
+}
 /// True for STL/STQ/STT.
-bool isStore(Opcode Op);
+inline bool isStore(Opcode Op) {
+  return detail::StoreTable[static_cast<unsigned>(Op)];
+}
 /// True for any conditional branch (BEQ..BGE, FBEQ/FBNE).
-bool isCondBranch(Opcode Op);
+inline bool isCondBranch(Opcode Op) {
+  return detail::CondBranchTable[static_cast<unsigned>(Op)];
+}
 /// True for instructions that end a basic block (branches, jumps, PAL).
-bool isTerminator(Opcode Op);
+inline bool isTerminator(Opcode Op) {
+  return detail::TerminatorTable[static_cast<unsigned>(Op)];
+}
 /// True if \p Op writes its Ra field with a return address (BR/BSR with
 /// Ra != zero, and all jump-format instructions).
-bool writesReturnAddress(Opcode Op);
+inline bool writesReturnAddress(Opcode Op) {
+  return detail::WritesRaTable[static_cast<unsigned>(Op)];
+}
 
 /// Returns the mnemonic text of \p Op (e.g. "ldq").
 const char *opcodeName(Opcode Op);
@@ -153,7 +340,9 @@ const char *opcodeName(Opcode Op);
 /// Result latency in cycles, shared by the compile-time scheduler, OM's
 /// link-time rescheduler, and the timing simulator. A latency of N means a
 /// dependent instruction can issue N cycles after the producer.
-unsigned latencyOf(Opcode Op);
+inline unsigned latencyOf(Opcode Op) {
+  return detail::LatencyTable[static_cast<unsigned>(Op)];
+}
 
 /// Fills RegUnits (see Registers.h) read by \p I into \p Units and returns
 /// the count (max 3). The zero units are never reported.

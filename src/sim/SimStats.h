@@ -1,0 +1,43 @@
+//===- sim/SimStats.h - Per-run simulator observability -------------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a SimResult's observability data — instruction-class histogram,
+/// branch/load/store mix, cache hit rates, and simulated MIPS — as either a
+/// human-readable block (aaxrun --stats) or a machine-readable JSON object
+/// (aaxrun --stats-json, bench/sim_throughput). Keeping the rendering out
+/// of the simulator keeps the hot loops free of presentation concerns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_SIM_SIMSTATS_H
+#define OM64_SIM_SIMSTATS_H
+
+#include "sim/Simulator.h"
+
+#include <string>
+
+namespace om64 {
+namespace sim {
+
+/// Multi-line human-readable statistics block. \p Timing selects whether
+/// the cycle/cache section is rendered (functional runs have no timing
+/// data). Lines are newline-terminated and unprefixed; callers add their
+/// own tool prefix if desired.
+std::string statsText(const SimResult &R, bool Timing);
+
+/// The same data as a single JSON object (newline-terminated). Keys are
+/// stable; class_counts maps isa::instClassName -> executed count.
+std::string statsJson(const SimResult &R, bool Timing);
+
+/// Simulated MIPS of a finished run (0 when the run was too fast for the
+/// host clock to resolve).
+double simulatedMips(const SimResult &R);
+
+} // namespace sim
+} // namespace om64
+
+#endif // OM64_SIM_SIMSTATS_H

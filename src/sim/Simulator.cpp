@@ -11,6 +11,7 @@
 #include "support/Format.h"
 
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <vector>
@@ -22,7 +23,8 @@ using namespace om64::obj;
 
 namespace {
 
-/// Direct-mapped cache tag store.
+/// Direct-mapped cache tag store. Geometry is validated by sim::run before
+/// construction (NumLines must be nonzero).
 class Cache {
 public:
   explicit Cache(const CacheConfig &Cfg)
@@ -46,21 +48,36 @@ private:
   std::vector<uint64_t> Tags;
 };
 
+/// Per-instruction properties the timing model and statistics need,
+/// precomputed once at startup so neither interpreter loop recomputes
+/// register units, latencies, or classes per executed instruction.
+struct InstMeta {
+  uint8_t Cls;      // InstClass
+  uint8_t IsNop;    // counts toward SimResult::Nops
+  uint8_t IsLoad;
+  uint8_t IsStore;
+  uint8_t NumReads; // entries of Reads[] that are valid
+  uint8_t Reads[3]; // RegUnits read
+  uint8_t Written;  // RegUnit written, 0xFF if none
+  uint8_t Latency;
+};
+
+constexpr uint8_t NoWrittenUnit = 0xFF;
+
 /// Full machine state and execution engine.
 class Machine {
 public:
-  Machine(const Image &Img, const SimConfig &Cfg)
-      : Img(Img), Cfg(Cfg), ICache(Cfg.ICache), DCache(Cfg.DCache) {
+  Machine(const Image &Img, const SimConfig &Cfg) : Img(Img), Cfg(Cfg) {
     DataSegment.assign(Img.Data.begin(), Img.Data.end());
     DataSegment.resize(Img.Data.size() + Img.BssSize, 0);
     StackSegment.assign(Layout::StackSize, 0);
-    // Pre-decode text once.
-    Decoded.reserve(Img.Text.size() / 4);
-    for (size_t Off = 0; Off + 4 <= Img.Text.size(); Off += 4) {
-      uint32_t Word = Img.fetch(Img.TextBase + Off);
-      Decoded.push_back(decode(Word));
-    }
   }
+
+  /// Decodes the whole text segment into the dense instruction array and
+  /// builds the per-instruction metadata; fails on the first undecodable
+  /// word. Also sizes the profile-counter vector from the counters the
+  /// image actually declares, bounding CALL_PAL count's reach up front.
+  Error predecode();
 
   Result<SimResult> run();
 
@@ -76,79 +93,191 @@ private:
       FpRegs[R] = V;
   }
 
-  /// Resolves an address to backing storage; null on fault.
+  /// Resolves an address to backing storage; null on fault. Overflow-safe:
+  /// addresses near 2^64 whose Addr + Size wraps must not pass.
   uint8_t *memPtr(uint64_t Addr, unsigned Size);
 
-  Error load(uint64_t Addr, unsigned Size, uint64_t &Out);
-  Error store(uint64_t Addr, unsigned Size, uint64_t Value);
+  /// load/store/step return false on fault with the message in FaultMsg;
+  /// keeping the hot path free of Error construction (an optional<string>
+  /// built and destroyed per retired instruction) is worth ~10% of
+  /// functional-simulation throughput.
+  bool load(uint64_t Addr, unsigned Size, uint64_t &Out);
+  bool store(uint64_t Addr, unsigned Size, uint64_t Value);
 
   /// Applies one instruction's architectural effects. Sets NextPc.
-  Error step(const Inst &I, uint64_t Pc, uint64_t &NextPc, bool &Halt);
+  bool step(const Inst &I, uint64_t Pc, uint64_t &NextPc, bool &Halt);
 
-  /// Timing helpers.
-  unsigned unitsRead(const Inst &I, unsigned Units[3]) const {
-    return regUnitsRead(I, const_cast<unsigned *>(Units));
+  /// The two interpreter loops. Both iterate over Code/Meta by dense
+  /// index; only the timing loop touches caches, register-ready times,
+  /// and dual-issue state. Flattened so that step/load/store/memPtr
+  /// inline into each loop and get specialized for it.
+#if defined(__GNUC__)
+  __attribute__((flatten))
+#endif
+  Result<SimResult> runFunctional();
+#if defined(__GNUC__)
+  __attribute__((flatten))
+#endif
+  Result<SimResult> runTiming();
+
+  /// Common accounting after a successfully stepped instruction.
+  void retire(const InstMeta &M) {
+    ++Res.Instructions;
+    ++Res.ClassCounts[M.Cls];
+    Res.Nops += M.IsNop;
   }
-  bool pairable(const Inst &A, const Inst &B) const;
+
+  /// Builds the failure for a step() fault (FaultMsg), with pc and
+  /// disassembly.
+  Result<SimResult> stepFault(uint64_t Pc, const Inst &I) {
+    return Result<SimResult>::failure(
+        FaultMsg + formatString(" (pc=%s, inst='%s')",
+                                formatHex64(Pc).c_str(),
+                                disassemble(I).c_str()));
+  }
+
+  Result<SimResult> pcFault(uint64_t Pc) {
+    return Result<SimResult>::failure(
+        formatString("PC out of text: %s", formatHex64(Pc).c_str()));
+  }
+
+  Result<SimResult> budgetFault() {
+    return Result<SimResult>::failure("instruction budget exceeded "
+                                      "(runaway program?)");
+  }
+
+  /// Redirect handling shared by both loops: translates a non-sequential
+  /// NextPc into an instruction index, detecting the halt address and
+  /// out-of-text targets. Returns false when execution ends or faults
+  /// (Out is then the final result).
+  bool redirect(uint64_t NextPc, size_t &Idx, bool &Done,
+                Result<SimResult> &Out) {
+    if (NextPc == Layout::HaltReturnAddress) {
+      Res.ExitCode = readInt(V0);
+      Done = true;
+      return false;
+    }
+    if (NextPc < Img.TextBase || (NextPc - Img.TextBase) % 4 != 0 ||
+        (NextPc - Img.TextBase) / 4 >= Code.size()) {
+      Out = pcFault(NextPc);
+      return false;
+    }
+    Idx = (NextPc - Img.TextBase) / 4;
+    return true;
+  }
+
+  bool pairable(const InstMeta &A, const InstMeta &B) const;
 
   const Image &Img;
   const SimConfig &Cfg;
-  Cache ICache;
-  Cache DCache;
 
   int64_t IntRegs[32] = {};
   double FpRegs[32] = {};
   std::vector<uint8_t> DataSegment;
   std::vector<uint8_t> StackSegment;
-  std::vector<std::optional<Inst>> Decoded;
+  std::vector<Inst> Code;     // dense pre-validated text
+  std::vector<InstMeta> Meta; // parallel to Code
 
   SimResult Res;
+  std::string FaultMsg; // set when load/store/step return false
   uint64_t RegReady[NumRegUnits] = {}; // cycle each unit's value is ready
-  uint64_t PendingLoadExtra = 0;       // miss penalty for the current load
 };
 
 } // namespace
 
+Error Machine::predecode() {
+  size_t NumWords = Img.Text.size() / 4;
+  Code.reserve(NumWords);
+  Meta.reserve(NumWords);
+  uint32_t DeclaredCounters = 0;
+  for (size_t Off = 0; Off + 4 <= Img.Text.size(); Off += 4) {
+    uint32_t Word = Img.fetch(Img.TextBase + Off);
+    std::optional<Inst> D = decode(Word);
+    if (!D)
+      return Error::failure(
+          formatString("undecodable instruction at %s",
+                       formatHex64(Img.TextBase + Off).c_str()));
+    const Inst &I = *D;
+    InstMeta M;
+    M.Cls = static_cast<uint8_t>(classOf(I.Op));
+    M.IsNop = I.isNop();
+    M.IsLoad = isLoad(I.Op);
+    M.IsStore = isStore(I.Op);
+    unsigned Reads[3];
+    M.NumReads = static_cast<uint8_t>(regUnitsRead(I, Reads));
+    for (unsigned R = 0; R < 3; ++R)
+      M.Reads[R] = R < M.NumReads ? static_cast<uint8_t>(Reads[R]) : 0;
+    unsigned W = regUnitWritten(I);
+    M.Written = W == ~0u ? NoWrittenUnit : static_cast<uint8_t>(W);
+    M.Latency = static_cast<uint8_t>(latencyOf(I.Op));
+
+    if (I.Op == Opcode::CallPal &&
+        static_cast<PalFunc>(I.Disp & 0xFF) == PalFunc::Count) {
+      uint32_t Index = static_cast<uint32_t>(I.Disp) >> 8;
+      DeclaredCounters = std::max(DeclaredCounters, Index + 1);
+    }
+
+    Code.push_back(I);
+    Meta.push_back(M);
+  }
+  // Profile counters get their full declared extent now; the CALL_PAL
+  // count handler only indexes, so a corrupt or hostile image can never
+  // force an unbounded mid-run resize.
+  Res.ProfileCounts.assign(DeclaredCounters, 0);
+  return Error::success();
+}
+
 uint8_t *Machine::memPtr(uint64_t Addr, unsigned Size) {
   if (Addr % Size != 0)
     return nullptr;
-  if (Addr >= Img.DataBase &&
-      Addr + Size <= Img.DataBase + DataSegment.size())
+  // Range checks are phrased on offsets so that Addr + Size cannot wrap:
+  // e.g. LDQ r,-8(zero) produces Addr = 2^64 - 8, where the naive
+  // "Addr + Size <= end" test wraps to 0 and passes.
+  auto contains = [&](uint64_t Base, uint64_t SegSize) {
+    if (Addr < Base)
+      return false;
+    uint64_t Off = Addr - Base;
+    return Off <= SegSize && SegSize - Off >= Size;
+  };
+  if (contains(Img.DataBase, DataSegment.size()))
     return &DataSegment[Addr - Img.DataBase];
   uint64_t StackBase = Layout::StackTop - Layout::StackSize;
-  if (Addr >= StackBase && Addr + Size <= Layout::StackTop)
+  if (contains(StackBase, Layout::StackSize))
     return &StackSegment[Addr - StackBase];
   // Reading text as data is legal (constants are not stored there by our
   // compiler, but be permissive for tools).
-  if (Addr >= Img.TextBase && Addr + Size <= Img.TextBase + Img.Text.size())
+  if (contains(Img.TextBase, Img.Text.size()))
     return const_cast<uint8_t *>(&Img.Text[Addr - Img.TextBase]);
   return nullptr;
 }
 
-Error Machine::load(uint64_t Addr, unsigned Size, uint64_t &Out) {
+bool Machine::load(uint64_t Addr, unsigned Size, uint64_t &Out) {
   uint8_t *P = memPtr(Addr, Size);
-  if (!P)
-    return Error::failure(formatString("bad %u-byte load at %s", Size,
-                                       formatHex64(Addr).c_str()));
+  if (!P) {
+    FaultMsg = formatString("bad %u-byte load at %s", Size,
+                            formatHex64(Addr).c_str());
+    return false;
+  }
   Out = 0;
   std::memcpy(&Out, P, Size);
-  return Error::success();
+  return true;
 }
 
-Error Machine::store(uint64_t Addr, unsigned Size, uint64_t Value) {
+bool Machine::store(uint64_t Addr, unsigned Size, uint64_t Value) {
   uint8_t *P = memPtr(Addr, Size);
   if (!P || (Addr >= Img.TextBase &&
-             Addr < Img.TextBase + Img.Text.size()))
-    return Error::failure(formatString("bad %u-byte store at %s", Size,
-                                       formatHex64(Addr).c_str()));
+             Addr < Img.TextBase + Img.Text.size())) {
+    FaultMsg = formatString("bad %u-byte store at %s", Size,
+                            formatHex64(Addr).c_str());
+    return false;
+  }
   std::memcpy(P, &Value, Size);
-  return Error::success();
+  return true;
 }
 
-Error Machine::step(const Inst &I, uint64_t Pc, uint64_t &NextPc,
-                    bool &Halt) {
+bool Machine::step(const Inst &I, uint64_t Pc, uint64_t &NextPc,
+                   bool &Halt) {
   NextPc = Pc + 4;
-  PendingLoadExtra = 0;
 
   auto intOperandB = [&]() -> int64_t {
     return I.IsLit ? static_cast<int64_t>(I.Lit) : readInt(I.Rb);
@@ -167,63 +296,71 @@ Error Machine::step(const Inst &I, uint64_t Pc, uint64_t &NextPc,
     case PalFunc::Halt:
       Halt = true;
       Res.ExitCode = readInt(A0);
-      return Error::success();
+      return true;
     case PalFunc::PutChar:
       Res.Output.push_back(static_cast<char>(readInt(A0) & 0xFF));
-      return Error::success();
+      return true;
     case PalFunc::PutInt:
       Res.Output += formatString(
           "%lld", static_cast<long long>(readInt(A0)));
-      return Error::success();
+      return true;
     case PalFunc::PutReal:
       Res.Output += formatString("%.6g", readFp(FA0));
-      return Error::success();
+      return true;
     case PalFunc::CycleCount:
       writeInt(V0, static_cast<int64_t>(Cfg.Timing ? Res.Cycles
                                                    : Res.Instructions));
-      return Error::success();
+      return true;
     case PalFunc::Count: {
       uint32_t Index = static_cast<uint32_t>(I.Disp) >> 8;
-      if (Res.ProfileCounts.size() <= Index)
-        Res.ProfileCounts.resize(Index + 1, 0);
+      // Predecode sized ProfileCounts to the image's declared counter
+      // count, so in-bounds is guaranteed for decoded text; the check
+      // stays as defense in depth against future divergence.
+      if (Index >= Res.ProfileCounts.size()) {
+        FaultMsg = formatString(
+            "profile counter %u out of range (image declares %u)", Index,
+            static_cast<unsigned>(Res.ProfileCounts.size()));
+        return false;
+      }
       ++Res.ProfileCounts[Index];
-      return Error::success();
+      return true;
     }
     }
-    return Error::failure(formatString("unknown PAL function %d", I.Disp));
+    FaultMsg = formatString("unknown PAL function %d", I.Disp);
+    return false;
 
   case Opcode::Lda:
     writeInt(I.Ra, readInt(I.Rb) + I.Disp);
-    return Error::success();
+    return true;
   case Opcode::Ldah:
     writeInt(I.Ra, readInt(I.Rb) + (static_cast<int64_t>(I.Disp) << 16));
-    return Error::success();
+    return true;
 
   case Opcode::Ldl: {
     uint64_t V;
-    if (Error E = load(readInt(I.Rb) + I.Disp, 4, V))
-      return E;
+    if (!load(readInt(I.Rb) + I.Disp, 4, V))
+      return false;
     writeInt(I.Ra, static_cast<int32_t>(V));
     ++Res.Loads;
-    return Error::success();
+    return true;
   }
   case Opcode::Ldq: {
     uint64_t V;
-    if (Error E = load(readInt(I.Rb) + I.Disp, 8, V))
-      return E;
+    if (!load(readInt(I.Rb) + I.Disp, 8, V))
+      return false;
     writeInt(I.Ra, static_cast<int64_t>(V));
     ++Res.Loads;
-    return Error::success();
+    return true;
   }
   case Opcode::Ldt: {
     uint64_t V;
-    if (Error E = load(readInt(I.Rb) + I.Disp, 8, V))
-      return E;
+    if (!load(readInt(I.Rb) + I.Disp, 8, V))
+      return false;
     double D;
     std::memcpy(&D, &V, 8);
     writeFp(I.Ra, D);
     ++Res.Loads;
-    return Error::success();
+    return true;
   }
   case Opcode::Stl:
     ++Res.Stores;
@@ -248,146 +385,146 @@ Error Machine::step(const Inst &I, uint64_t Pc, uint64_t &NextPc,
     writeInt(I.Ra, static_cast<int64_t>(Pc + 4));
     NextPc = Target;
     ++Res.TakenBranches;
-    return Error::success();
+    return true;
   }
 
   case Opcode::Br:
   case Opcode::Bsr:
     writeInt(I.Ra, static_cast<int64_t>(Pc + 4));
     takeBranch();
-    return Error::success();
+    return true;
   case Opcode::Beq:
     if (readInt(I.Ra) == 0)
       takeBranch();
-    return Error::success();
+    return true;
   case Opcode::Bne:
     if (readInt(I.Ra) != 0)
       takeBranch();
-    return Error::success();
+    return true;
   case Opcode::Blt:
     if (readInt(I.Ra) < 0)
       takeBranch();
-    return Error::success();
+    return true;
   case Opcode::Ble:
     if (readInt(I.Ra) <= 0)
       takeBranch();
-    return Error::success();
+    return true;
   case Opcode::Bgt:
     if (readInt(I.Ra) > 0)
       takeBranch();
-    return Error::success();
+    return true;
   case Opcode::Bge:
     if (readInt(I.Ra) >= 0)
       takeBranch();
-    return Error::success();
+    return true;
   case Opcode::Fbeq:
     if (readFp(I.Ra) == 0.0)
       takeBranch();
-    return Error::success();
+    return true;
   case Opcode::Fbne:
     if (readFp(I.Ra) != 0.0)
       takeBranch();
-    return Error::success();
+    return true;
 
   case Opcode::Addq:
     writeInt(I.Rc, static_cast<int64_t>(
                        static_cast<uint64_t>(readInt(I.Ra)) +
                        static_cast<uint64_t>(intOperandB())));
-    return Error::success();
+    return true;
   case Opcode::Subq:
     writeInt(I.Rc, static_cast<int64_t>(
                        static_cast<uint64_t>(readInt(I.Ra)) -
                        static_cast<uint64_t>(intOperandB())));
-    return Error::success();
+    return true;
   case Opcode::Mulq:
     writeInt(I.Rc, static_cast<int64_t>(
                        static_cast<uint64_t>(readInt(I.Ra)) *
                        static_cast<uint64_t>(intOperandB())));
-    return Error::success();
+    return true;
   case Opcode::S4addq:
     writeInt(I.Rc, static_cast<int64_t>(
                        (static_cast<uint64_t>(readInt(I.Ra)) << 2) +
                        static_cast<uint64_t>(intOperandB())));
-    return Error::success();
+    return true;
   case Opcode::S8addq:
     writeInt(I.Rc, static_cast<int64_t>(
                        (static_cast<uint64_t>(readInt(I.Ra)) << 3) +
                        static_cast<uint64_t>(intOperandB())));
-    return Error::success();
+    return true;
   case Opcode::Cmpeq:
     writeInt(I.Rc, readInt(I.Ra) == intOperandB() ? 1 : 0);
-    return Error::success();
+    return true;
   case Opcode::Cmplt:
     writeInt(I.Rc, readInt(I.Ra) < intOperandB() ? 1 : 0);
-    return Error::success();
+    return true;
   case Opcode::Cmple:
     writeInt(I.Rc, readInt(I.Ra) <= intOperandB() ? 1 : 0);
-    return Error::success();
+    return true;
   case Opcode::Cmpult:
     writeInt(I.Rc, static_cast<uint64_t>(readInt(I.Ra)) <
                            static_cast<uint64_t>(intOperandB())
                        ? 1
                        : 0);
-    return Error::success();
+    return true;
   case Opcode::And:
     writeInt(I.Rc, readInt(I.Ra) & intOperandB());
-    return Error::success();
+    return true;
   case Opcode::Bic:
     writeInt(I.Rc, readInt(I.Ra) & ~intOperandB());
-    return Error::success();
+    return true;
   case Opcode::Bis:
     writeInt(I.Rc, readInt(I.Ra) | intOperandB());
-    return Error::success();
+    return true;
   case Opcode::Ornot:
     writeInt(I.Rc, readInt(I.Ra) | ~intOperandB());
-    return Error::success();
+    return true;
   case Opcode::Xor:
     writeInt(I.Rc, readInt(I.Ra) ^ intOperandB());
-    return Error::success();
+    return true;
   case Opcode::Sll:
     writeInt(I.Rc, static_cast<int64_t>(
                        static_cast<uint64_t>(readInt(I.Ra))
                        << (intOperandB() & 63)));
-    return Error::success();
+    return true;
   case Opcode::Srl:
     writeInt(I.Rc, static_cast<int64_t>(
                        static_cast<uint64_t>(readInt(I.Ra)) >>
                        (intOperandB() & 63)));
-    return Error::success();
+    return true;
   case Opcode::Sra:
     writeInt(I.Rc, readInt(I.Ra) >> (intOperandB() & 63));
-    return Error::success();
+    return true;
 
   case Opcode::Addt:
     writeFp(I.Rc, readFp(I.Ra) + readFp(I.Rb));
-    return Error::success();
+    return true;
   case Opcode::Subt:
     writeFp(I.Rc, readFp(I.Ra) - readFp(I.Rb));
-    return Error::success();
+    return true;
   case Opcode::Mult:
     writeFp(I.Rc, readFp(I.Ra) * readFp(I.Rb));
-    return Error::success();
+    return true;
   case Opcode::Divt:
     writeFp(I.Rc, readFp(I.Ra) / readFp(I.Rb));
-    return Error::success();
+    return true;
   case Opcode::Cmpteq:
     writeFp(I.Rc, readFp(I.Ra) == readFp(I.Rb) ? 2.0 : 0.0);
-    return Error::success();
+    return true;
   case Opcode::Cmptlt:
     writeFp(I.Rc, readFp(I.Ra) < readFp(I.Rb) ? 2.0 : 0.0);
-    return Error::success();
+    return true;
   case Opcode::Cmptle:
     writeFp(I.Rc, readFp(I.Ra) <= readFp(I.Rb) ? 2.0 : 0.0);
-    return Error::success();
+    return true;
   case Opcode::Cpys:
     writeFp(I.Rc, std::copysign(readFp(I.Rb), readFp(I.Ra)));
-    return Error::success();
+    return true;
   case Opcode::Cvtqt: {
     double D = readFp(I.Rb);
     uint64_t Bits;
     std::memcpy(&Bits, &D, 8);
     writeFp(I.Rc, static_cast<double>(static_cast<int64_t>(Bits)));
-    return Error::success();
+    return true;
   }
   case Opcode::Cvttq: {
     double D = readFp(I.Rb);
@@ -404,194 +541,239 @@ Error Machine::step(const Inst &I, uint64_t Pc, uint64_t &NextPc,
     double Out;
     std::memcpy(&Out, &Bits, 8);
     writeFp(I.Rc, Out);
-    return Error::success();
+    return true;
   }
   case Opcode::Itoft: {
     uint64_t Bits = static_cast<uint64_t>(readInt(I.Ra));
     double Out;
     std::memcpy(&Out, &Bits, 8);
     writeFp(I.Rc, Out);
-    return Error::success();
+    return true;
   }
   case Opcode::Ftoit: {
     double D = readFp(I.Ra);
     uint64_t Bits;
     std::memcpy(&Bits, &D, 8);
     writeInt(I.Rc, static_cast<int64_t>(Bits));
-    return Error::success();
+    return true;
   }
   }
-  return Error::failure("unhandled opcode in simulator");
+  FaultMsg = "unhandled opcode in simulator";
+  return false;
 }
 
-bool Machine::pairable(const Inst &A, const Inst &B) const {
+bool Machine::pairable(const InstMeta &A, const InstMeta &B) const {
   // Dual issue requires: A is not a control transfer, at most one memory
   // operation, at most one branch/jump/PAL, and no data dependence of B on
   // A (RAW or WAW).
-  InstClass CA = classOf(A.Op);
+  InstClass CA = static_cast<InstClass>(A.Cls);
   if (CA == InstClass::Branch || CA == InstClass::Jump ||
       CA == InstClass::Pal)
     return false;
-  auto isMem = [](const Inst &I) {
-    InstClass C = classOf(I.Op);
-    return C == InstClass::IntLoad || C == InstClass::IntStore ||
-           C == InstClass::FpLoad || C == InstClass::FpStore;
-  };
-  if (isMem(A) && isMem(B))
+  if ((A.IsLoad || A.IsStore) && (B.IsLoad || B.IsStore))
     return false;
-  unsigned AW = regUnitWritten(A);
-  if (AW != ~0u) {
-    unsigned Reads[3];
-    unsigned N = regUnitsRead(B, Reads);
-    for (unsigned I = 0; I < N; ++I)
-      if (Reads[I] == AW)
+  if (A.Written != NoWrittenUnit) {
+    for (unsigned I = 0; I < B.NumReads; ++I)
+      if (B.Reads[I] == A.Written)
         return false;
-    if (regUnitWritten(B) == AW)
+    if (B.Written == A.Written)
       return false;
   }
   return true;
 }
 
-Result<SimResult> Machine::run() {
-  uint64_t Pc = Img.Entry;
-  writeInt(PV, static_cast<int64_t>(Img.Entry));
-  writeInt(RA, static_cast<int64_t>(Layout::HaltReturnAddress));
-  writeInt(SP, static_cast<int64_t>(Layout::StackTop - 512));
-  writeInt(GP, static_cast<int64_t>(Img.InitialGp)); // prologue resets it
+Result<SimResult> Machine::runFunctional() {
+  const Inst *C = Code.data();
+  const InstMeta *M = Meta.data();
+  const size_t N = Code.size();
+  const uint64_t TextBase = Img.TextBase;
+  const uint64_t MaxInsts = Cfg.MaxInstructions;
+  size_t Idx = (Img.Entry - TextBase) / 4;
 
-  // Timing state. Cycle is the cycle at which the next instruction issues
-  // absent stalls; SlotAvail means the previous instruction issued into
-  // slot 0 of Cycle and offered its second issue slot to us.
-  uint64_t Cycle = 0;
-  bool SlotAvail = false;
-
+  Result<SimResult> Fault = Result<SimResult>::failure("");
+  bool Done = false;
   while (true) {
-    if (Pc == Layout::HaltReturnAddress) {
-      Res.ExitCode = readInt(V0);
-      break;
-    }
-    if (Pc < Img.TextBase || Pc >= Img.TextBase + Img.Text.size() ||
-        Pc % 4 != 0)
-      return Result<SimResult>::failure(
-          formatString("PC out of text: %s", formatHex64(Pc).c_str()));
-    const std::optional<Inst> &DecodedInst =
-        Decoded[(Pc - Img.TextBase) / 4];
-    if (!DecodedInst)
-      return Result<SimResult>::failure(
-          formatString("undecodable instruction at %s",
-                       formatHex64(Pc).c_str()));
-    const Inst &I = *DecodedInst;
-
-    if (Res.Instructions >= Cfg.MaxInstructions)
-      return Result<SimResult>::failure("instruction budget exceeded "
-                                        "(runaway program?)");
-
-    // ----- timing: issue -----
-    uint64_t IssueCycle = Cycle;
-    bool IssuedAsPair = false;
-    uint64_t EffAddr = 0;
-    bool IsMem = isLoad(I.Op) || isStore(I.Op);
-    if (IsMem)
-      EffAddr = static_cast<uint64_t>(readInt(I.Rb) +
-                                      static_cast<int64_t>(I.Disp));
-    if (Cfg.Timing) {
-      unsigned IMiss = ICache.access(Pc);
-      if (IMiss) {
-        ++Res.ICacheMisses;
-        if (SlotAvail) {
-          SlotAvail = false;
-          ++Cycle;
-        }
-        Cycle += IMiss;
-      }
-      unsigned Reads[3];
-      unsigned N = regUnitsRead(I, Reads);
-      uint64_t ReadyAt = Cycle;
-      for (unsigned R = 0; R < N; ++R)
-        ReadyAt = std::max(ReadyAt, RegReady[Reads[R]]);
-
-      if (SlotAvail && ReadyAt <= Cycle) {
-        // Dual-issue with the previous instruction, same cycle.
-        IssueCycle = Cycle;
-        IssuedAsPair = true;
-        ++Res.DualIssuePairs;
-        SlotAvail = false;
-      } else {
-        if (SlotAvail) {
-          // The offered slot goes unused; the previous group ends.
-          SlotAvail = false;
-          ++Cycle;
-        }
-        Cycle = std::max(Cycle, ReadyAt);
-        IssueCycle = Cycle;
-      }
-    }
-
-    uint64_t NextPc = Pc;
+    if (Res.Instructions >= MaxInsts)
+      return budgetFault();
+    const Inst &I = C[Idx];
+    uint64_t Pc = TextBase + Idx * 4;
+    uint64_t NextPc;
     bool Halt = false;
-    if (Error E = step(I, Pc, NextPc, Halt))
-      return Result<SimResult>::failure(
-          E.message() + formatString(" (pc=%s, inst='%s')",
-                                     formatHex64(Pc).c_str(),
-                                     disassemble(I).c_str()));
-    ++Res.Instructions;
-    if (I.isNop())
-      ++Res.Nops;
-
-    if (Cfg.Timing) {
-      unsigned Written = regUnitWritten(I);
-      unsigned Lat = latencyOf(I.Op);
-      if (isLoad(I.Op)) {
-        unsigned DMiss = DCache.access(EffAddr);
-        if (DMiss) {
-          ++Res.DCacheMisses;
-          Lat += DMiss;
-        }
-      } else if (isStore(I.Op)) {
-        if (DCache.access(EffAddr))
-          ++Res.DCacheMisses; // write buffer absorbs the latency
-      }
-      if (Written != ~0u)
-        RegReady[Written] = IssueCycle + Lat;
-
-      bool Redirected = NextPc != Pc + 4;
-      if (Redirected) {
-        Cycle = IssueCycle + 1 + 2; // group ends plus taken-branch bubble
-        SlotAvail = false;
-      } else if (IssuedAsPair) {
-        Cycle = IssueCycle + 1; // both slots of the pair consumed
-      } else {
-        // This instruction sits in slot 0 of IssueCycle; offer slot 1 to
-        // the next instruction when the pair shares an aligned quadword
-        // and has no hazards (the alignment rule OM-full's quadword loop
-        // alignment exists to satisfy).
-        bool NextInText = NextPc + 4 <= Img.TextBase + Img.Text.size();
-        SlotAvail = false;
-        if (NextInText && Pc % 8 == 0) {
-          const std::optional<Inst> &NextInst =
-              Decoded[(NextPc - Img.TextBase) / 4];
-          if (NextInst && pairable(I, *NextInst))
-            SlotAvail = true;
-        }
-        Cycle = SlotAvail ? IssueCycle : IssueCycle + 1;
-      }
-      Res.Cycles = Cycle;
-    }
-
+    if (!step(I, Pc, NextPc, Halt))
+      return stepFault(Pc, I);
+    retire(M[Idx]);
     if (Halt)
       break;
-    Pc = NextPc;
+    ++Idx;
+    if (NextPc != Pc + 4) {
+      if (!redirect(NextPc, Idx, Done, Fault)) {
+        if (Done)
+          break;
+        return Fault;
+      }
+    } else if (Idx >= N) {
+      return pcFault(NextPc);
+    }
   }
-  if (!Cfg.Timing)
-    Res.Cycles = 0;
+  Res.Cycles = 0;
   Res.FinalData = std::move(DataSegment);
   return std::move(Res);
 }
 
+Result<SimResult> Machine::runTiming() {
+  Cache ICache(Cfg.ICache);
+  Cache DCache(Cfg.DCache);
+  const Inst *C = Code.data();
+  const InstMeta *M = Meta.data();
+  const size_t N = Code.size();
+  const uint64_t TextBase = Img.TextBase;
+  const uint64_t MaxInsts = Cfg.MaxInstructions;
+  size_t Idx = (Img.Entry - TextBase) / 4;
+
+  // Cycle is the cycle at which the next instruction issues absent stalls;
+  // SlotAvail means the previous instruction issued into slot 0 of Cycle
+  // and offered its second issue slot to us.
+  uint64_t Cycle = 0;
+  bool SlotAvail = false;
+
+  Result<SimResult> Fault = Result<SimResult>::failure("");
+  bool Done = false;
+  while (true) {
+    if (Res.Instructions >= MaxInsts)
+      return budgetFault();
+    const Inst &I = C[Idx];
+    const InstMeta &IM = M[Idx];
+    uint64_t Pc = TextBase + Idx * 4;
+
+    // ----- issue -----
+    uint64_t EffAddr = 0;
+    if (IM.IsLoad || IM.IsStore)
+      EffAddr = static_cast<uint64_t>(readInt(I.Rb) +
+                                      static_cast<int64_t>(I.Disp));
+    unsigned IMiss = ICache.access(Pc);
+    if (IMiss) {
+      ++Res.ICacheMisses;
+      if (SlotAvail) {
+        SlotAvail = false;
+        ++Cycle;
+      }
+      Cycle += IMiss;
+    }
+    uint64_t ReadyAt = Cycle;
+    for (unsigned R = 0; R < IM.NumReads; ++R)
+      ReadyAt = std::max(ReadyAt, RegReady[IM.Reads[R]]);
+
+    uint64_t IssueCycle;
+    bool IssuedAsPair = false;
+    if (SlotAvail && ReadyAt <= Cycle) {
+      // Dual-issue with the previous instruction, same cycle.
+      IssueCycle = Cycle;
+      IssuedAsPair = true;
+      ++Res.DualIssuePairs;
+      SlotAvail = false;
+    } else {
+      if (SlotAvail) {
+        // The offered slot goes unused; the previous group ends.
+        SlotAvail = false;
+        ++Cycle;
+      }
+      Cycle = std::max(Cycle, ReadyAt);
+      IssueCycle = Cycle;
+    }
+
+    // ----- execute -----
+    uint64_t NextPc;
+    bool Halt = false;
+    if (!step(I, Pc, NextPc, Halt))
+      return stepFault(Pc, I);
+    retire(IM);
+
+    // ----- retire timing -----
+    unsigned Lat = IM.Latency;
+    if (IM.IsLoad) {
+      unsigned DMiss = DCache.access(EffAddr);
+      if (DMiss) {
+        ++Res.DCacheMisses;
+        Lat += DMiss;
+      }
+    } else if (IM.IsStore) {
+      if (DCache.access(EffAddr))
+        ++Res.DCacheMisses; // write buffer absorbs the latency
+    }
+    if (IM.Written != NoWrittenUnit)
+      RegReady[IM.Written] = IssueCycle + Lat;
+
+    bool Redirected = NextPc != Pc + 4;
+    if (Redirected) {
+      Cycle = IssueCycle + 1 + 2; // group ends plus taken-branch bubble
+      SlotAvail = false;
+    } else if (IssuedAsPair) {
+      Cycle = IssueCycle + 1; // both slots of the pair consumed
+    } else {
+      // This instruction sits in slot 0 of IssueCycle; offer slot 1 to
+      // the next instruction when the pair shares an aligned quadword
+      // and has no hazards (the alignment rule OM-full's quadword loop
+      // alignment exists to satisfy).
+      SlotAvail = Idx + 1 < N && Pc % 8 == 0 && pairable(IM, M[Idx + 1]);
+      Cycle = SlotAvail ? IssueCycle : IssueCycle + 1;
+    }
+    Res.Cycles = Cycle;
+
+    if (Halt)
+      break;
+    ++Idx;
+    if (Redirected) {
+      if (!redirect(NextPc, Idx, Done, Fault)) {
+        if (Done)
+          break;
+        return Fault;
+      }
+    } else if (Idx >= N) {
+      return pcFault(NextPc);
+    }
+  }
+  Res.FinalData = std::move(DataSegment);
+  return std::move(Res);
+}
+
+Result<SimResult> Machine::run() {
+  writeInt(PV, static_cast<int64_t>(Img.Entry));
+  writeInt(RA, static_cast<int64_t>(Layout::HaltReturnAddress));
+  writeInt(SP, static_cast<int64_t>(Layout::StackTop - 512));
+  writeInt(GP, static_cast<int64_t>(Img.InitialGp)); // prologue resets it
+  return Cfg.Timing ? runTiming() : runFunctional();
+}
+
 Result<SimResult> om64::sim::run(const Image &Img, const SimConfig &Cfg) {
   if (Img.Text.empty() || Img.Entry < Img.TextBase ||
-      Img.Entry >= Img.TextBase + Img.Text.size())
+      Img.Entry % 4 != 0 ||
+      Img.Entry >= Img.TextBase + Img.Text.size() / 4 * 4)
     return Result<SimResult>::failure("image has no valid entry point");
+  if (Cfg.Timing) {
+    // Degenerate geometry would divide by zero (LineBytes == 0) or leave
+    // the tag store empty (SizeBytes < LineBytes makes NumLines == 0 and
+    // `line % NumLines` undefined); reject it before building the caches.
+    auto checkCache = [](const char *Which, const CacheConfig &C) {
+      if (C.LineBytes == 0 || C.SizeBytes < C.LineBytes)
+        return Error::failure(formatString(
+            "invalid %s-cache geometry: %u-byte lines, %u-byte size",
+            Which, C.LineBytes, C.SizeBytes));
+      return Error::success();
+    };
+    if (Error E = checkCache("I", Cfg.ICache))
+      return Result<SimResult>::failure(E.message());
+    if (Error E = checkCache("D", Cfg.DCache))
+      return Result<SimResult>::failure(E.message());
+  }
+  auto Start = std::chrono::steady_clock::now();
   Machine M(Img, Cfg);
-  return M.run();
+  if (Error E = M.predecode())
+    return Result<SimResult>::failure(E.message());
+  Result<SimResult> R = M.run();
+  if (R)
+    R->HostSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count();
+  return R;
 }

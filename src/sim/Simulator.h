@@ -16,6 +16,11 @@
 ///     are spent doing things other than user instructions, and the dual
 ///     issue ... means that some instructions come free").
 ///
+/// The two modes run as two separate interpreter loops over a dense,
+/// pre-validated instruction array (decoded once at startup), so the fast
+/// functional path never pays for the timing model and neither path pays
+/// for per-instruction decode or optional-engagement checks.
+///
 /// The simulator enters at Image::Entry with PV = entry (the calling
 /// convention main's prologue needs), RA = Layout::HaltReturnAddress, and
 /// SP at the top of the stack. Execution ends on a return to the halt
@@ -26,9 +31,11 @@
 #ifndef OM64_SIM_SIMULATOR_H
 #define OM64_SIM_SIMULATOR_H
 
+#include "isa/Inst.h"
 #include "objfile/Image.h"
 #include "support/Result.h"
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -65,6 +72,12 @@ struct SimResult {
   uint64_t DualIssuePairs = 0; // timing mode only
   uint64_t ICacheMisses = 0;   // timing mode only
   uint64_t DCacheMisses = 0;   // timing mode only
+  /// Executed-instruction histogram by InstClass (index with
+  /// static_cast<unsigned>(isa::InstClass)).
+  std::array<uint64_t, isa::NumInstClasses> ClassCounts{};
+  /// Host wall-clock seconds the run took; simulated MIPS is
+  /// Instructions / HostSeconds / 1e6 (see sim/SimStats.h).
+  double HostSeconds = 0;
   /// ATOM-style profile counters (CALL_PAL count[i]); indexed by the
   /// instrumentation tool's counter ids. Empty when uninstrumented.
   std::vector<uint64_t> ProfileCounts;
@@ -75,7 +88,11 @@ struct SimResult {
 };
 
 /// Runs \p Img to completion. Failures (bad memory access, undecodable
-/// instruction, instruction budget exceeded) return a message.
+/// instruction, bad cache geometry, instruction budget exceeded) return a
+/// message. The whole text segment is decoded and validated up front, so
+/// an image containing any undecodable word is rejected before the first
+/// instruction executes; timing mode additionally rejects cache configs
+/// whose geometry would be degenerate (zero or oversized lines).
 Result<SimResult> run(const obj::Image &Img, const SimConfig &Cfg = {});
 
 } // namespace sim

@@ -6,6 +6,8 @@
 
 #include "TestUtil.h"
 
+#include "sim/SimStats.h"
+
 #include <gtest/gtest.h>
 
 using namespace om64;
@@ -271,6 +273,149 @@ TEST(SimTest, TimingChargesCacheMisses) {
   ASSERT_TRUE(bool(R)) << R.message();
   // 128 distinct lines, each missing exactly once.
   EXPECT_EQ(R->DCacheMisses, 128u);
+}
+
+TEST(SimTest, WraparoundAddressFaultsCleanly) {
+  // LDQ v0, -8(zero) computes address 2^64 - 8; the naive bounds check
+  // "Addr + Size <= end" wraps to 0 and passes, indexing the data segment
+  // ~2^63 bytes out of bounds. The overflow-safe checks must fault.
+  for (Opcode Op : {Opcode::Ldq, Opcode::Ldl}) {
+    std::vector<Inst> Code;
+    Code.push_back(makeMem(Op, V0, -8, Zero));
+    Code.push_back(makeJump(Opcode::Ret, Zero, RA));
+    sim::SimConfig Cfg;
+    Cfg.Timing = false;
+    Result<sim::SimResult> R = sim::run(makeRawImage(Code), Cfg);
+    ASSERT_FALSE(bool(R)) << opcodeName(Op);
+    EXPECT_NE(R.message().find("byte load"), std::string::npos)
+        << R.message();
+  }
+  // Same for the store path.
+  std::vector<Inst> Code;
+  Code.push_back(makeMem(Opcode::Stq, V0, -8, Zero));
+  Code.push_back(makeJump(Opcode::Ret, Zero, RA));
+  Result<sim::SimResult> R = sim::run(makeRawImage(Code));
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.message().find("byte store"), std::string::npos);
+}
+
+TEST(SimTest, DegenerateCacheGeometryIsRejected) {
+  std::vector<Inst> Code;
+  Code.push_back(makeMem(Opcode::Lda, V0, 1, Zero));
+  Code.push_back(makeJump(Opcode::Ret, Zero, RA));
+  obj::Image Img = makeRawImage(Code);
+
+  // Zero line size would divide by zero in Cache construction.
+  sim::SimConfig Cfg;
+  Cfg.ICache.LineBytes = 0;
+  Result<sim::SimResult> R = sim::run(Img, Cfg);
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.message().find("cache geometry"), std::string::npos)
+      << R.message();
+
+  // SizeBytes < LineBytes leaves zero lines: `line % NumLines` would be
+  // a divide by zero on the first access.
+  Cfg = sim::SimConfig();
+  Cfg.DCache.SizeBytes = 16;
+  Cfg.DCache.LineBytes = 32;
+  R = sim::run(Img, Cfg);
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.message().find("cache geometry"), std::string::npos);
+
+  // Functional mode never touches the caches, so a bogus geometry must
+  // not prevent a functional run.
+  Cfg.Timing = false;
+  R = sim::run(Img, Cfg);
+  ASSERT_TRUE(bool(R)) << R.message();
+  EXPECT_EQ(R->ExitCode, 1);
+}
+
+TEST(SimTest, ProfileCountsSizedToDeclaredCounters) {
+  // Counter 2 executes; counter 7 is declared in text but never reached.
+  // The counter vector is sized to the image's declared extent up front
+  // (no unbounded mid-run resize), so both indices are present.
+  std::vector<Inst> Code;
+  Code.push_back(makePalCount(2));
+  Code.push_back(makeMem(Opcode::Lda, A0, 0, Zero));
+  Code.push_back(makePal(PalFunc::Halt));
+  Code.push_back(makePalCount(7)); // dead code past the halt
+  Result<sim::SimResult> R = sim::run(makeRawImage(Code));
+  ASSERT_TRUE(bool(R)) << R.message();
+  ASSERT_EQ(R->ProfileCounts.size(), 8u);
+  EXPECT_EQ(R->ProfileCounts[2], 1u);
+  EXPECT_EQ(R->ProfileCounts[7], 0u);
+}
+
+TEST(SimTest, UndecodableTextIsRejectedUpFront) {
+  // The whole text segment is validated at startup, so junk words are
+  // rejected even when control flow never reaches them.
+  std::vector<Inst> Code;
+  Code.push_back(makeMem(Opcode::Lda, A0, 0, Zero));
+  Code.push_back(makePal(PalFunc::Halt));
+  obj::Image Img = makeRawImage(Code);
+  uint32_t Junk = 0xF0000000; // primary opcode 0x3C: unassigned
+  for (unsigned B = 0; B < 4; ++B)
+    Img.Text.push_back(static_cast<uint8_t>(Junk >> (8 * B)));
+  Result<sim::SimResult> R = sim::run(Img);
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.message().find("undecodable"), std::string::npos)
+      << R.message();
+}
+
+TEST(SimTest, MisalignedEntryIsRejected) {
+  std::vector<Inst> Code;
+  Code.push_back(makeMem(Opcode::Lda, A0, 0, Zero));
+  Code.push_back(makePal(PalFunc::Halt));
+  obj::Image Img = makeRawImage(Code);
+  Img.Entry = Img.TextBase + 2;
+  Result<sim::SimResult> R = sim::run(Img);
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.message().find("entry"), std::string::npos);
+}
+
+TEST(SimTest, StatsHistogramAndMips) {
+  // 3 load-addresses, 1 int-op, 1 store, 1 load, 1 jump.
+  std::vector<Inst> Code;
+  Code.push_back(makeMem(Opcode::Lda, T0, 7, Zero));
+  Code.push_back(makeMem(Opcode::Lda, T1, 5, Zero));
+  Code.push_back(makeOp(Opcode::Addq, T0, T1, V0));
+  Code.push_back(makeMem(Opcode::Stq, V0, 16, SP));
+  Code.push_back(makeMem(Opcode::Ldq, V0, 16, SP));
+  Code.push_back(makeMem(Opcode::Lda, T2, 0, Zero));
+  Code.push_back(makeJump(Opcode::Ret, Zero, RA));
+  sim::SimConfig Cfg;
+  Cfg.Timing = false;
+  Result<sim::SimResult> R = sim::run(makeRawImage(Code), Cfg);
+  ASSERT_TRUE(bool(R)) << R.message();
+  EXPECT_EQ(R->ExitCode, 12);
+
+  auto count = [&](InstClass C) {
+    return R->ClassCounts[static_cast<unsigned>(C)];
+  };
+  EXPECT_EQ(count(InstClass::LoadAddress), 3u);
+  EXPECT_EQ(count(InstClass::IntOp), 1u);
+  EXPECT_EQ(count(InstClass::IntStore), 1u);
+  EXPECT_EQ(count(InstClass::IntLoad), 1u);
+  EXPECT_EQ(count(InstClass::Jump), 1u);
+  uint64_t Total = 0;
+  for (uint64_t N : R->ClassCounts)
+    Total += N;
+  EXPECT_EQ(Total, R->Instructions);
+  EXPECT_GE(R->HostSeconds, 0.0);
+
+  std::string Text = sim::statsText(*R, /*Timing=*/false);
+  EXPECT_NE(Text.find("load-address"), std::string::npos);
+  EXPECT_NE(Text.find("simulated MIPS"), std::string::npos);
+  std::string Json = sim::statsJson(*R, /*Timing=*/false);
+  EXPECT_NE(Json.find("\"instructions\": 7"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"timing\": null"), std::string::npos);
+
+  // Timing runs render the cycle/cache section in both formats.
+  Result<sim::SimResult> T = sim::run(makeRawImage(Code));
+  ASSERT_TRUE(bool(T)) << T.message();
+  EXPECT_NE(sim::statsText(*T, true).find("D-cache"), std::string::npos);
+  EXPECT_NE(sim::statsJson(*T, true).find("\"cycles\""),
+            std::string::npos);
 }
 
 TEST(SimTest, FunctionalModeReportsNoCycles) {

@@ -99,6 +99,36 @@ TEST_F(ToolchainTest, CompileLinkRunStandard) {
   EXPECT_EQ(Out, "30\n");
 }
 
+TEST_F(ToolchainTest, RunEmitsStatsJson) {
+  std::string Out;
+  ASSERT_EQ(runCommand(toolsDir() + "/omlink --standard -o " + Dir +
+                           "/sj.aaxe " + allObjects(),
+                       Out),
+            0)
+      << Out;
+  // JSON on stdout via "-": program output precedes the stats object.
+  EXPECT_EQ(runCommand(toolsDir() + "/aaxrun --stats-json - " + Dir +
+                           "/sj.aaxe",
+                       Out),
+            6);
+  EXPECT_NE(Out.find("30\n"), std::string::npos);
+  EXPECT_NE(Out.find("\"instructions\""), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"class_counts\""), std::string::npos);
+  EXPECT_NE(Out.find("\"cycles\""), std::string::npos)
+      << "timing runs must include the timing section";
+
+  // And to a file, in functional mode (timing section absent).
+  EXPECT_EQ(runCommand(toolsDir() + "/aaxrun --functional --stats-json " +
+                           Dir + "/stats.json " + Dir + "/sj.aaxe",
+                       Out),
+            6);
+  std::ifstream F(Dir + "/stats.json");
+  std::stringstream SS;
+  SS << F.rdbuf();
+  EXPECT_NE(SS.str().find("\"simulated_mips\""), std::string::npos);
+  EXPECT_NE(SS.str().find("\"timing\": null"), std::string::npos);
+}
+
 TEST_F(ToolchainTest, OmLinkMatchesStandardOutput) {
   std::string StdOut, OmOut;
   ASSERT_EQ(runCommand(toolsDir() + "/omlink --standard -o " + Dir +

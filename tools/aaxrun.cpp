@@ -8,11 +8,18 @@
 /// Executes an .aaxe image. The program's PAL output goes to stdout and
 /// the process exit code is the simulated program's.
 ///
-///   aaxrun [--functional] [--stats] [--max-insts N] a.aaxe
+///   aaxrun [--functional] [--stats] [--stats-json FILE] [--max-insts N]
+///          a.aaxe
+///
+/// --stats prints the run's observability block (instruction-class
+/// histogram, load/store/branch mix, cache hit rates, simulated MIPS) to
+/// stderr; --stats-json writes the same data as JSON to FILE ("-" for
+/// stdout).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "objfile/Image.h"
+#include "sim/SimStats.h"
 #include "sim/Simulator.h"
 #include "support/FileIO.h"
 
@@ -25,13 +32,14 @@ using namespace om64;
 
 static int usage() {
   std::fprintf(stderr,
-               "usage: aaxrun [--functional] [--stats] [--max-insts N] "
-               "a.aaxe\n");
+               "usage: aaxrun [--functional] [--stats] [--stats-json FILE] "
+               "[--max-insts N] a.aaxe\n");
   return 2;
 }
 
 int main(int argc, char **argv) {
   std::string Input;
+  std::string StatsJsonPath;
   sim::SimConfig Cfg;
   bool Stats = false;
 
@@ -41,6 +49,8 @@ int main(int argc, char **argv) {
       Cfg.Timing = false;
     } else if (Arg == "--stats") {
       Stats = true;
+    } else if (Arg == "--stats-json" && I + 1 < argc) {
+      StatsJsonPath = argv[++I];
     } else if (Arg == "--max-insts" && I + 1 < argc) {
       Cfg.MaxInstructions = std::strtoull(argv[++I], nullptr, 10);
     } else if (!Arg.empty() && Arg[0] == '-') {
@@ -78,19 +88,22 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "  count[%zu] = %llu\n", Idx,
                    (unsigned long long)R->ProfileCounts[Idx]);
   }
-  if (Stats)
-    std::fprintf(stderr,
-                 "aaxrun: %llu instructions (%llu nops, %llu loads, %llu "
-                 "stores), %llu cycles, %llu dual-issue pairs, I$ %llu / "
-                 "D$ %llu misses, exit %lld\n",
-                 (unsigned long long)R->Instructions,
-                 (unsigned long long)R->Nops,
-                 (unsigned long long)R->Loads,
-                 (unsigned long long)R->Stores,
-                 (unsigned long long)R->Cycles,
-                 (unsigned long long)R->DualIssuePairs,
-                 (unsigned long long)R->ICacheMisses,
-                 (unsigned long long)R->DCacheMisses,
+  if (Stats) {
+    std::fprintf(stderr, "aaxrun: run statistics (exit %lld):\n",
                  (long long)R->ExitCode);
+    std::fputs(sim::statsText(*R, Cfg.Timing).c_str(), stderr);
+  }
+  if (!StatsJsonPath.empty()) {
+    std::string Json = sim::statsJson(*R, Cfg.Timing);
+    if (StatsJsonPath == "-") {
+      std::fputs(Json.c_str(), stdout);
+    } else {
+      std::vector<uint8_t> JsonBytes(Json.begin(), Json.end());
+      if (Error E = writeFileBytes(StatsJsonPath, JsonBytes)) {
+        std::fprintf(stderr, "aaxrun: %s\n", E.message().c_str());
+        return 1;
+      }
+    }
+  }
   return static_cast<int>(R->ExitCode & 0x7F);
 }
