@@ -1,0 +1,173 @@
+//===- bench/om_link_throughput.cpp - Parallel link throughput ------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures OM full-translation wall time across all 19 workloads for
+/// -j1 versus -jN and reports the speedup, the per-stage second totals,
+/// and (optionally) a JSON record suitable for docs/BENCH_*.json. The
+/// byte-identity of the -j1 and -jN images is asserted on every link, so
+/// the bench doubles as a determinism smoke test.
+///
+/// Usage: om_link_throughput [--reps R] [--jobs N] [--out FILE]
+///
+///   --reps R   best-of-R timing for each job count (default 3)
+///   --jobs N   parallel job count to compare against -j1
+///              (default: ThreadPool::defaultConcurrency())
+///   --out F    write a JSON record to F ("-" for stdout)
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "support/ThreadPool.h"
+
+#include <chrono>
+#include <cstring>
+
+using namespace om64;
+using namespace om64::bench;
+
+namespace {
+
+/// One full pass: links every workload at OM-full with rescheduling and
+/// returns total wall seconds plus the summed per-stage seconds. Images
+/// are serialized and compared against \p Reference when provided.
+struct PassResult {
+  double WallSeconds = 0;
+  om::OmStageSeconds Stages;
+  std::vector<std::vector<uint8_t>> Images;
+};
+
+PassResult linkAll(const std::vector<BuiltEntry> &Workloads, unsigned Jobs,
+                   const std::vector<std::vector<uint8_t>> *Reference) {
+  PassResult P;
+  om::OmOptions Opts;
+  Opts.Level = om::OmLevel::Full;
+  Opts.Reschedule = true;
+  Opts.AlignLoopTargets = true;
+  Opts.Jobs = Jobs;
+  auto Start = std::chrono::steady_clock::now();
+  for (size_t I = 0; I < Workloads.size(); ++I) {
+    Result<om::OmResult> R =
+        wl::linkWithOm(Workloads[I].Built, wl::CompileMode::Each, Opts);
+    if (!R)
+      fail(Workloads[I].Name + ": " + R.message());
+    P.Stages.Lift += R->Stats.Seconds.Lift;
+    P.Stages.CallTransforms += R->Stats.Seconds.CallTransforms;
+    P.Stages.AddressLoads += R->Stats.Seconds.AddressLoads;
+    P.Stages.CodeMotion += R->Stats.Seconds.CodeMotion;
+    P.Stages.Assemble += R->Stats.Seconds.Assemble;
+    P.Stages.Verify += R->Stats.Seconds.Verify;
+    P.Stages.Total += R->Stats.Seconds.Total;
+    P.Images.push_back(R->Image.serialize());
+    if (Reference && (*Reference)[I] != P.Images.back())
+      fail(Workloads[I].Name + ": -j" + std::to_string(Jobs) +
+           " image differs from the -j1 image");
+  }
+  P.WallSeconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+  return P;
+}
+
+void printStages(const char *Label, const om::OmStageSeconds &S) {
+  std::printf("  %-6s lift %.3fs  transforms %.3fs  addr %.3fs  motion "
+              "%.3fs  assemble %.3fs  verify %.3fs  total %.3fs\n",
+              Label, S.Lift, S.CallTransforms, S.AddressLoads, S.CodeMotion,
+              S.Assemble, S.Verify, S.Total);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Reps = 3;
+  unsigned Jobs = ThreadPool::defaultConcurrency();
+  const char *OutPath = nullptr;
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--reps") && I + 1 < argc)
+      Reps = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    else if (!std::strcmp(argv[I], "--jobs") && I + 1 < argc)
+      Jobs = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    else if (!std::strcmp(argv[I], "--out") && I + 1 < argc)
+      OutPath = argv[++I];
+    else
+      fail(std::string("unknown argument: ") + argv[I]);
+  }
+  if (Reps == 0)
+    Reps = 1;
+  if (Jobs < 2)
+    Jobs = 2; // comparing -j1 to -j1 would be meaningless
+
+  std::vector<BuiltEntry> Workloads = buildAllWorkloads();
+  std::printf("om_link_throughput: %zu workloads, OM-full+sched, "
+              "best of %u rep(s), host concurrency %u\n",
+              Workloads.size(), Reps, ThreadPool::defaultConcurrency());
+
+  PassResult BestSerial, BestParallel;
+  std::vector<std::vector<uint8_t>> Reference;
+  for (unsigned R = 0; R < Reps; ++R) {
+    PassResult Serial = linkAll(Workloads, 1, nullptr);
+    if (Reference.empty())
+      Reference = Serial.Images;
+    PassResult Par = linkAll(Workloads, Jobs, &Reference);
+    if (R == 0 || Serial.WallSeconds < BestSerial.WallSeconds)
+      BestSerial = std::move(Serial);
+    if (R == 0 || Par.WallSeconds < BestParallel.WallSeconds)
+      BestParallel = std::move(Par);
+  }
+
+  double Speedup = BestParallel.WallSeconds > 0
+                       ? BestSerial.WallSeconds / BestParallel.WallSeconds
+                       : 0;
+  std::printf("  -j1    %.3fs wall\n", BestSerial.WallSeconds);
+  std::printf("  -j%-2u   %.3fs wall   (speedup %.2fx)\n", Jobs,
+              BestParallel.WallSeconds, Speedup);
+  printStages("-j1", BestSerial.Stages);
+  printStages(formatString("-j%u", Jobs).c_str(), BestParallel.Stages);
+  std::printf("  images: byte-identical across job counts on every "
+              "workload\n");
+
+  if (OutPath) {
+    std::string Json = formatString(
+        "{\n"
+        "  \"bench\": \"om_link_throughput\",\n"
+        "  \"workloads\": %zu,\n"
+        "  \"reps\": %u,\n"
+        "  \"host_hardware_concurrency\": %u,\n"
+        "  \"jobs_compared\": %u,\n"
+        "  \"j1_wall_seconds\": %.6f,\n"
+        "  \"jn_wall_seconds\": %.6f,\n"
+        "  \"speedup\": %.4f,\n"
+        "  \"images_identical\": true,\n"
+        "  \"j1_stage_seconds\": {\"lift\": %.6f, \"call_transforms\": "
+        "%.6f, \"address_loads\": %.6f, \"code_motion\": %.6f, "
+        "\"assemble\": %.6f, \"verify\": %.6f, \"total\": %.6f},\n"
+        "  \"jn_stage_seconds\": {\"lift\": %.6f, \"call_transforms\": "
+        "%.6f, \"address_loads\": %.6f, \"code_motion\": %.6f, "
+        "\"assemble\": %.6f, \"verify\": %.6f, \"total\": %.6f}\n"
+        "}\n",
+        Workloads.size(), Reps, ThreadPool::defaultConcurrency(), Jobs,
+        BestSerial.WallSeconds, BestParallel.WallSeconds, Speedup,
+        BestSerial.Stages.Lift, BestSerial.Stages.CallTransforms,
+        BestSerial.Stages.AddressLoads, BestSerial.Stages.CodeMotion,
+        BestSerial.Stages.Assemble, BestSerial.Stages.Verify,
+        BestSerial.Stages.Total, BestParallel.Stages.Lift,
+        BestParallel.Stages.CallTransforms,
+        BestParallel.Stages.AddressLoads, BestParallel.Stages.CodeMotion,
+        BestParallel.Stages.Assemble, BestParallel.Stages.Verify,
+        BestParallel.Stages.Total);
+    if (!std::strcmp(OutPath, "-")) {
+      std::fputs(Json.c_str(), stdout);
+    } else {
+      std::FILE *F = std::fopen(OutPath, "w");
+      if (!F)
+        fail(std::string("cannot open ") + OutPath);
+      std::fputs(Json.c_str(), F);
+      std::fclose(F);
+    }
+  }
+  return 0;
+}

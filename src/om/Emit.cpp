@@ -27,6 +27,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <map>
 #include <numeric>
 #include <set>
@@ -52,8 +53,9 @@ struct DataLayout {
 
 class Emitter {
 public:
-  Emitter(SymbolicProgram &SP, const OmOptions &Opts, OmStats &Stats)
-      : SP(SP), Opts(Opts), Stats(Stats) {}
+  Emitter(SymbolicProgram &SP, const OmOptions &Opts, OmStats &Stats,
+          ThreadPool &Pool)
+      : SP(SP), Opts(Opts), Stats(Stats), Pool(Pool) {}
 
   Result<Image> run();
 
@@ -61,6 +63,15 @@ private:
   /// True when this address-load's literal must stay in the GAT because it
   /// feeds a call (PV must hold the exact procedure address).
   bool isCallLiteral(const LitInfo &L) const { return L.JsrIdx >= 0; }
+
+  /// Reverts OM-created BSRs whose 21-bit word displacement cannot be
+  /// guaranteed to fit in the final layout back to their original JSR
+  /// (un-nullifying the PV load the call reads). Runs before the first
+  /// layout so reverted literals get their GAT slots back. Conservative
+  /// and linear: procedure positions are bounded from above by a
+  /// pessimistic layout (no deletions, every possible insertion), so a
+  /// call accepted here fits in every later, only-smaller layout.
+  void relaxDirectCalls();
 
   /// Builds GAT contents and data addresses for the current decision
   /// state. When \p IncludeAllLiterals, every address load contributes its
@@ -71,7 +82,10 @@ private:
   bool decideAddressLoads(const DataLayout &DL, bool Commit);
 
   /// Applies the recorded decisions' displacement rewrites against \p DL.
-  void applyRewrites(const DataLayout &DL);
+  /// Fails (in every build mode) if a committed decision's displacement no
+  /// longer fits its field — e.g. after GAT shrinking moved a symbol —
+  /// rather than silently truncating the displacement into a miscompile.
+  Error applyRewrites(const DataLayout &DL);
 
   void deleteNullified();
   void reschedule();
@@ -82,6 +96,7 @@ private:
   SymbolicProgram &SP;
   const OmOptions &Opts;
   OmStats &Stats;
+  ThreadPool &Pool;
 
 public:
   /// Labels of the inserted profile counters, in counter-index order.
@@ -158,6 +173,77 @@ DataLayout Emitter::layoutData(bool IncludeAllLiterals) const {
   DL.DataBytes = LastInitEnd - Layout::DataBase;
   DL.BssBytes = Cur - LastInitEnd;
   return DL;
+}
+
+//===----------------------------------------------------------------------===//
+// BSR range relaxation.
+//===----------------------------------------------------------------------===//
+
+void Emitter::relaxDirectCalls() {
+  // Pessimistic upper bound on where each procedure can end in the final
+  // text: nothing is deleted, every alignment nop and instrumentation
+  // counter that could be inserted is, and every start pays full 16-byte
+  // alignment. Deletion only moves code downward and every insertion is
+  // already counted, so each procedure's real end address never exceeds
+  // this bound.
+  bool Align = Opts.Level == OmLevel::Full && Opts.AlignLoopTargets;
+  bool ProcCounters =
+      Opts.Level == OmLevel::Full && Opts.InstrumentProcedureCounts;
+  bool BlockCounters =
+      Opts.Level == OmLevel::Full && Opts.InstrumentBlockCounts;
+
+  std::vector<uint64_t> MaxEnd(SP.Procs.size());
+  uint64_t Cur = 0;
+  for (size_t Idx = 0; Idx < SP.Procs.size(); ++Idx) {
+    const SymProc &Proc = SP.Procs[Idx];
+    uint64_t Branches = 0;
+    for (const SymInst &SI : Proc.Insts)
+      if (SI.Kind == SKind::LocalBranch)
+        ++Branches;
+    uint64_t Insts = Proc.Insts.size() + (ProcCounters ? 1 : 0) +
+                     (BlockCounters ? Branches : 0) +
+                     (Align ? Branches : 0);
+    Cur = ((Cur + 15) & ~15ull) + Insts * 4;
+    MaxEnd[Idx] = Cur;
+  }
+
+  // A BSR reaches +/-(2^20 - 1) words. Both site and target lie in
+  // [0, MaxEnd of their procedure), so the displacement magnitude is
+  // bounded by the larger of the two ends; any call within that budget is
+  // safe in the final layout. (Single-sided bound: positions below are
+  // taken as 0, which is exact for the first procedure and conservative
+  // for the rest — a call is only ever reverted, never miscompiled.)
+  const uint64_t Reach = ((1ull << 20) - 1) * 4;
+
+  for (size_t ProcIdx = 0; ProcIdx < SP.Procs.size(); ++ProcIdx) {
+    SymProc &Proc = SP.Procs[ProcIdx];
+    for (SymInst &SI : Proc.Insts) {
+      // OM-created direct calls keep their literal id; compiler BSRs have
+      // none (and were range-valid in their own object by construction).
+      if (SI.Kind != SKind::DirectCall || SI.LitId == ~0u)
+        continue;
+      if (std::max(MaxEnd[ProcIdx], MaxEnd[SI.TargetProc]) <= Reach)
+        continue;
+      auto It = SP.Lits.find(SI.LitId);
+      assert(It != SP.Lits.end() && "converted call without a literal");
+      if (It == SP.Lits.end())
+        continue;
+      LitInfo &L = It->second;
+      SymInst &Load = Proc.Insts[L.LoadIdx];
+      // Restore the original call shape: JSR through the PV register the
+      // (re-activated) GAT load provides. Re-entering the callee at its
+      // first instruction is correct even when prologue skipping was
+      // decided: the prologue is deleted only if every remaining direct
+      // call skips it, and this site is no longer a direct call.
+      SI.Kind = SKind::JsrViaGat;
+      SI.I = makeJump(Opcode::Jsr, RA, Load.I.Ra);
+      SI.TargetProc = ~0u;
+      SI.SkipPrologue = false;
+      Load.Nullified = false;
+      --Stats.JsrConvertedToBsr;
+      ++Stats.BsrFallbackJsrs;
+    }
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -241,9 +327,14 @@ bool Emitter::decideAddressLoads(const DataLayout &DL, bool Commit) {
   return Changed;
 }
 
-void Emitter::applyRewrites(const DataLayout &DL) {
+Error Emitter::applyRewrites(const DataLayout &DL) {
+  // Range guards below are real link errors, not asserts: the decisions
+  // were committed against an earlier layout, and GAT shrinking between
+  // rounds can legitimately move a symbol out of the range the decision
+  // assumed. Truncating the displacement (what the unchecked encode would
+  // do, silently, in NDEBUG builds) is a miscompile; failing the link is
+  // the only safe answer, and it must fire in release builds too.
   for (auto &[LitId, L] : SP.Lits) {
-    (void)LitId;
     if (L.Proc == ~0u)
       continue;
     SymProc &Proc = SP.Procs[L.Proc];
@@ -259,20 +350,38 @@ void Emitter::applyRewrites(const DataLayout &DL) {
 
     if (Load.Converted) {
       if (L.escapes()) {
-        assert(fitsDisp16(A - G) && "converted escaping load out of range");
+        if (!fitsDisp16(A - G))
+          return Error::failure(formatString(
+              "%s: literal %u (&%s): converted escaping load's GP "
+              "displacement %lld exceeds 16 bits after layout",
+              Proc.Name.c_str(), LitId, Target.Name.c_str(),
+              static_cast<long long>(A - G)));
         Load.I = makeMem(Opcode::Lda, Load.I.Ra,
                          static_cast<int32_t>(A - G), GP);
       } else {
+        if (DispUses.empty())
+          return Error::failure(formatString(
+              "%s: literal %u (&%s): converted load has no uses to take "
+              "the low displacement", Proc.Name.c_str(), LitId,
+              Target.Name.c_str()));
         int32_t High = 0, Low = 0;
         // All uses share the same high part; recompute from the first.
-        assert(!DispUses.empty() && "converted load without uses");
         splitDisp32(A - G + Proc.Insts[DispUses[0]].OrigDisp, High, Low);
+        if (!fitsDisp16(High))
+          return Error::failure(formatString(
+              "%s: literal %u (&%s): converted load's high displacement "
+              "%d exceeds 16 bits after layout", Proc.Name.c_str(), LitId,
+              Target.Name.c_str(), High));
         Load.I = makeMem(Opcode::Ldah, Load.I.Ra, High, GP);
         for (uint32_t UseIdx : DispUses) {
           SymInst &Use = Proc.Insts[UseIdx];
           int32_t UHigh, ULow;
           splitDisp32(A - G + Use.OrigDisp, UHigh, ULow);
-          assert(UHigh == High && "inconsistent high parts after layout");
+          if (UHigh != High)
+            return Error::failure(formatString(
+                "%s: literal %u (&%s): uses no longer share one high "
+                "displacement after layout (%d vs %d)", Proc.Name.c_str(),
+                LitId, Target.Name.c_str(), UHigh, High));
           Use.I.Disp = ULow;
         }
       }
@@ -285,7 +394,11 @@ void Emitter::applyRewrites(const DataLayout &DL) {
       for (uint32_t UseIdx : DispUses) {
         SymInst &Use = Proc.Insts[UseIdx];
         int64_t Du = A - G + Use.OrigDisp;
-        assert(fitsDisp16(Du) && "nullified load's use out of GP range");
+        if (!fitsDisp16(Du))
+          return Error::failure(formatString(
+              "%s: literal %u (&%s): nullified load's use displacement "
+              "%lld exceeds 16 bits after layout", Proc.Name.c_str(),
+              LitId, Target.Name.c_str(), static_cast<long long>(Du)));
         if (L.DerefUses.empty())
           Use.I.Rb = GP; // direct use: rebase onto GP
         Use.I.Disp = static_cast<int32_t>(Du);
@@ -294,6 +407,7 @@ void Emitter::applyRewrites(const DataLayout &DL) {
         Proc.Insts[AddrIdx].I.Rb = GP;
     }
   }
+  return Error::success();
 }
 
 //===----------------------------------------------------------------------===//
@@ -301,14 +415,18 @@ void Emitter::applyRewrites(const DataLayout &DL) {
 //===----------------------------------------------------------------------===//
 
 void Emitter::deleteNullified() {
-  for (SymProc &Proc : SP.Procs) {
+  // Per-procedure compaction is independent; deletion counts reduce in
+  // procedure order after the barrier.
+  std::vector<uint64_t> DeletedInProc(SP.Procs.size(), 0);
+  Pool.parallelFor(SP.Procs.size(), [&](size_t P) {
+    SymProc &Proc = SP.Procs[P];
     std::vector<uint32_t> OldToNew(Proc.Insts.size() + 1, 0);
     std::vector<SymInst> Kept;
     Kept.reserve(Proc.Insts.size());
     for (size_t Idx = 0; Idx < Proc.Insts.size(); ++Idx) {
       OldToNew[Idx] = static_cast<uint32_t>(Kept.size());
       if (Proc.Insts[Idx].Nullified)
-        ++Stats.InstructionsDeleted;
+        ++DeletedInProc[P];
       else
         Kept.push_back(Proc.Insts[Idx]);
     }
@@ -317,7 +435,9 @@ void Emitter::deleteNullified() {
       if (SI.Kind == SKind::LocalBranch)
         SI.TargetIdx = static_cast<int32_t>(OldToNew[SI.TargetIdx]);
     Proc.Insts = std::move(Kept);
-  }
+  });
+  for (uint64_t Count : DeletedInProc)
+    Stats.InstructionsDeleted += Count;
   // Literal bookkeeping indices are stale after deletion; transforms and
   // decisions are all complete by now, so drop the table to make any
   // accidental later use loud.
@@ -325,10 +445,13 @@ void Emitter::deleteNullified() {
 }
 
 void Emitter::reschedule() {
-  for (SymProc &Proc : SP.Procs) {
+  // scheduleRegion is a pure function of the region's instructions, so
+  // procedures reschedule independently.
+  Pool.parallelFor(SP.Procs.size(), [&](size_t P) {
+    SymProc &Proc = SP.Procs[P];
     std::vector<SymInst> &Insts = Proc.Insts;
     if (Insts.empty())
-      continue;
+      return;
 
     // Region boundaries: branch targets and a pinned prologue pair.
     std::vector<bool> IsBoundary(Insts.size(), false);
@@ -365,7 +488,7 @@ void Emitter::reschedule() {
     flush(Insts.size());
     assert(NewInsts.size() == Insts.size() && "rescheduling lost code");
     Insts = std::move(NewInsts);
-  }
+  });
 }
 
 void Emitter::instrumentProcedureCounts() {
@@ -479,7 +602,13 @@ Result<Image> Emitter::assemble(const DataLayout &DL) {
     for (unsigned Byte = 0; Byte < 4; ++Byte)
       Img.Text[Off + Byte] = static_cast<uint8_t>(NopWord >> (8 * Byte));
 
-  for (uint32_t ProcIdx = 0; ProcIdx < SP.Procs.size(); ++ProcIdx) {
+  // Encode procedures concurrently: each writes only its own (disjoint)
+  // byte range of the text and reads shared layout state that is frozen by
+  // now. Failures land in per-procedure slots; the first in procedure
+  // order is reported, matching the serial loop's error exactly.
+  std::vector<std::string> EncodeErrors(SP.Procs.size());
+  Pool.parallelFor(SP.Procs.size(), [&](size_t ProcIdxS) {
+    uint32_t ProcIdx = static_cast<uint32_t>(ProcIdxS);
     SymProc &Proc = SP.Procs[ProcIdx];
     int64_t G = static_cast<int64_t>(DL.GpValue[Proc.GpGroup]);
     uint64_t LastCallEnd = 0; // text offset just after the last call
@@ -496,13 +625,25 @@ Result<Image> Emitter::assemble(const DataLayout &DL) {
         case SKind::AddressLoad:
           if (!SI.Converted) {
             auto It = DL.Slot.find({Proc.GpGroup, SI.TargetSym});
-            if (It == DL.Slot.end())
-              return Result<Image>::failure(
+            if (It == DL.Slot.end()) {
+              EncodeErrors[ProcIdx] =
                   "internal: live address load without a GAT slot for " +
-                  SP.Syms[SI.TargetSym].Name);
+                  SP.Syms[SI.TargetSym].Name;
+              return;
+            }
             int64_t SlotAddr = static_cast<int64_t>(
                 DL.GroupBase[Proc.GpGroup] + It->second * 8ull);
-            assert(fitsDisp16(SlotAddr - G) && "GAT slot out of reach");
+            // A real error, not an assert: a slot pushed out of the GP
+            // window would otherwise encode a truncated displacement in
+            // NDEBUG builds (load from the wrong slot at run time).
+            if (!fitsDisp16(SlotAddr - G)) {
+              EncodeErrors[ProcIdx] = formatString(
+                  "%s: GAT slot of %s is %lld bytes from GP, beyond the "
+                  "16-bit displacement", Proc.Name.c_str(),
+                  SP.Syms[SI.TargetSym].Name.c_str(),
+                  static_cast<long long>(SlotAddr - G));
+              return;
+            }
             Out.Disp = static_cast<int32_t>(SlotAddr - G);
           }
           break;
@@ -513,10 +654,11 @@ Result<Image> Emitter::assemble(const DataLayout &DL) {
                                 : LastCallEnd;
           int64_t Value =
               G - static_cast<int64_t>(Layout::TextBase + Anchor);
-          if (!fitsDisp32(Value))
-            return Result<Image>::failure(Proc.Name +
-                                          ": GP displacement exceeds "
-                                          "32 bits");
+          if (!fitsDisp32(Value)) {
+            EncodeErrors[ProcIdx] =
+                Proc.Name + ": GP displacement exceeds 32 bits";
+            return;
+          }
           int32_t High, Low;
           splitDisp32(Value, High, Low);
           Out.Disp = SI.Kind == SKind::GpHigh ? High : Low;
@@ -528,9 +670,10 @@ Result<Image> Emitter::assemble(const DataLayout &DL) {
               InstOffset[ProcIdx][static_cast<size_t>(SI.TargetIdx)];
           int64_t Disp = (static_cast<int64_t>(TargetOff) -
                           static_cast<int64_t>(Off) - 4) / 4;
-          if (!fitsBranchDisp(Disp))
-            return Result<Image>::failure(Proc.Name +
-                                          ": branch out of range");
+          if (!fitsBranchDisp(Disp)) {
+            EncodeErrors[ProcIdx] = Proc.Name + ": branch out of range";
+            return;
+          }
           Out.Disp = static_cast<int32_t>(Disp);
           break;
         }
@@ -546,9 +689,13 @@ Result<Image> Emitter::assemble(const DataLayout &DL) {
           }
           int64_t Disp = (static_cast<int64_t>(Target) -
                           static_cast<int64_t>(Off) - 4) / 4;
-          if (!fitsBranchDisp(Disp))
-            return Result<Image>::failure(
-                Proc.Name + ": BSR out of range; JSR fallback required");
+          if (!fitsBranchDisp(Disp)) {
+            // The relaxation pass reverts every call this could happen
+            // to; reaching here means its pessimistic bound was wrong.
+            EncodeErrors[ProcIdx] =
+                Proc.Name + ": BSR out of range; JSR fallback required";
+            return;
+          }
           Out.Disp = static_cast<int32_t>(Disp);
           break;
         }
@@ -568,7 +715,10 @@ Result<Image> Emitter::assemble(const DataLayout &DL) {
       for (unsigned Byte = 0; Byte < 4; ++Byte)
         Img.Text[Off + Byte] = static_cast<uint8_t>(Word >> (8 * Byte));
     }
-  }
+  });
+  for (const std::string &Msg : EncodeErrors)
+    if (!Msg.empty())
+      return Result<Image>::failure(Msg);
 
   // Data: GAT groups then data symbols.
   Img.Data.assign(DL.DataBytes, 0);
@@ -692,9 +842,20 @@ Result<Image> Emitter::run() {
   auto checkStage = [&](const char *Stage) -> Error {
     if (!Opts.VerifyEachStage)
       return Error::success();
-    return verifyStage(SP, Stage);
+    auto Start = std::chrono::steady_clock::now();
+    Error E = verifyStage(SP, Stage, &Pool);
+    Stats.Seconds.Verify +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count();
+    return E;
   };
 
+  auto AddrStart = std::chrono::steady_clock::now();
+  // Converted calls that could overrun the 21-bit BSR reach revert to
+  // their JSR before the first layout, so their literals keep GAT slots.
+  if (DoOpt)
+    relaxDirectCalls();
   DataLayout DL = layoutData(/*IncludeAllLiterals=*/!Full);
   if (DoOpt) {
     if (Full) {
@@ -711,7 +872,12 @@ Result<Image> Emitter::run() {
     } else {
       decideAddressLoads(DL, /*Commit=*/true);
     }
-    applyRewrites(DL);
+    if (Error E = applyRewrites(DL))
+      return Result<Image>::failure(E.message());
+    Stats.Seconds.AddressLoads +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      AddrStart)
+            .count();
     if (Error E = checkStage("address-loads"))
       return Result<Image>::failure(E.message());
   }
@@ -729,22 +895,40 @@ Result<Image> Emitter::run() {
   // Deletion and code motion happen only at full level; counts feed the
   // statistics either way.
   if (Full) {
+    auto MotionStart = std::chrono::steady_clock::now();
+    auto motionSeconds = [&] {
+      Stats.Seconds.CodeMotion +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        MotionStart)
+              .count();
+      MotionStart = std::chrono::steady_clock::now();
+    };
     deleteNullified();
+    motionSeconds();
     if (Error E = checkStage("delete-nullified"))
       return Result<Image>::failure(E.message());
     if (Opts.Reschedule) {
+      MotionStart = std::chrono::steady_clock::now();
       reschedule();
+      motionSeconds();
       if (Error E = checkStage("reschedule"))
         return Result<Image>::failure(E.message());
     }
     if (Opts.InstrumentProcedureCounts) {
+      MotionStart = std::chrono::steady_clock::now();
       instrumentProcedureCounts();
+      motionSeconds();
       if (Error E = checkStage("instrument"))
         return Result<Image>::failure(E.message());
     }
   }
 
+  auto AssembleStart = std::chrono::steady_clock::now();
   Result<Image> Img = assemble(DL);
+  Stats.Seconds.Assemble +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    AssembleStart)
+          .count();
   if (!Img)
     return Img;
   finalizeStats(DL);
@@ -754,8 +938,9 @@ Result<Image> Emitter::run() {
 Result<Image> om64::om::layoutAndEmit(SymbolicProgram &SP,
                                       const OmOptions &Opts,
                                       OmStats &Stats,
-                                      std::vector<std::string> &Sites) {
-  Emitter E(SP, Opts, Stats);
+                                      std::vector<std::string> &Sites,
+                                      ThreadPool &Pool) {
+  Emitter E(SP, Opts, Stats, Pool);
   Result<Image> Img = E.run();
   Sites = std::move(E.ProfiledSites);
   return Img;

@@ -56,6 +56,7 @@ namespace {
 struct Lifter {
   const std::vector<ObjectFile> &Objs;
   const OmOptions &Opts;
+  ThreadPool &Pool;
   SymbolicProgram SP;
 
   // (objIdx, symIdx) of a definition -> program symbol id.
@@ -63,14 +64,21 @@ struct Lifter {
   // exported name -> program symbol id.
   std::map<std::string, uint32_t> PSymOfName;
 
-  Lifter(const std::vector<ObjectFile> &Objs, const OmOptions &Opts)
-      : Objs(Objs), Opts(Opts) {}
+  Lifter(const std::vector<ObjectFile> &Objs, const OmOptions &Opts,
+         ThreadPool &Pool)
+      : Objs(Objs), Opts(Opts), Pool(Pool) {}
 
   Result<SymbolicProgram> run();
   Error buildSymbols();
   Error resolve(size_t ObjIdx, uint32_t SymIdx, uint32_t &Out) const;
+  /// Decodes and classifies one procedure. Literal ids are assigned from a
+  /// procedure-local counter starting at 0 (first-encounter order over the
+  /// relocations, exactly as a shared counter would see them) and the
+  /// literal records land in \p LocalLits; run() rebases both onto the
+  /// program-wide id space in procedure order. Reads only immutable state
+  /// of the Lifter, so procedures lift concurrently.
   Error liftProc(size_t ObjIdx, const ProcDesc &Desc, SymProc &Proc,
-                 uint32_t &NextLitId);
+                 uint32_t &NextLitId, std::map<uint32_t, LitInfo> &LocalLits);
   void assignGroups();
   void computeAddressTaken();
 };
@@ -127,7 +135,8 @@ Error Lifter::resolve(size_t ObjIdx, uint32_t SymIdx, uint32_t &Out) const {
 }
 
 Error Lifter::liftProc(size_t ObjIdx, const ProcDesc &Desc, SymProc &Proc,
-                       uint32_t &NextLitId) {
+                       uint32_t &NextLitId,
+                       std::map<uint32_t, LitInfo> &LocalLits) {
   const ObjectFile &O = Objs[ObjIdx];
   size_t NumInsts = Desc.TextSize / 4;
   Proc.Insts.resize(NumInsts);
@@ -259,22 +268,22 @@ Error Lifter::liftProc(size_t ObjIdx, const ProcDesc &Desc, SymProc &Proc,
         static_cast<int32_t>((TargetOff - Desc.TextOffset) / 4);
   }
 
-  // Record literal uses.
+  // Record literal uses (into the procedure-local table; run() rebases).
   for (size_t Idx = 0; Idx < NumInsts; ++Idx) {
     SymInst &SI = Proc.Insts[Idx];
     if (SI.Kind == SKind::AddressLoad) {
-      LitInfo &L = SP.Lits[SI.LitId];
+      LitInfo &L = LocalLits[SI.LitId];
       L.Proc = Proc.SymId; // provisional; fixed by run()
       L.LoadIdx = static_cast<uint32_t>(Idx);
       L.TargetSym = SI.TargetSym;
     } else if (SI.Kind == SKind::LitUseMem) {
-      SP.Lits[SI.LitId].MemUses.push_back(static_cast<uint32_t>(Idx));
+      LocalLits[SI.LitId].MemUses.push_back(static_cast<uint32_t>(Idx));
     } else if (SI.Kind == SKind::LitUseAddr) {
-      SP.Lits[SI.LitId].AddrUses.push_back(static_cast<uint32_t>(Idx));
+      LocalLits[SI.LitId].AddrUses.push_back(static_cast<uint32_t>(Idx));
     } else if (SI.Kind == SKind::LitUseDeref) {
-      SP.Lits[SI.LitId].DerefUses.push_back(static_cast<uint32_t>(Idx));
+      LocalLits[SI.LitId].DerefUses.push_back(static_cast<uint32_t>(Idx));
     } else if (SI.Kind == SKind::JsrViaGat) {
-      SP.Lits[SI.LitId].JsrIdx = static_cast<int32_t>(Idx);
+      LocalLits[SI.LitId].JsrIdx = static_cast<int32_t>(Idx);
     }
   }
   return Error::success();
@@ -349,16 +358,44 @@ Result<SymbolicProgram> Lifter::run() {
     }
   }
 
+  // Lift every procedure on the pool. Workers touch only their own
+  // procedure, a private literal table, and a private error slot; the
+  // Lifter itself (symbol tables, Objs) is immutable here. Literal ids are
+  // rebased serially in procedure order below, which reproduces the
+  // first-encounter numbering of a single shared counter bit for bit.
+  struct LiftUnit {
+    size_t ObjIdx;
+    const ProcDesc *Desc;
+  };
+  std::vector<LiftUnit> Units;
+  Units.reserve(SP.Procs.size());
+  for (size_t ObjIdx = 0; ObjIdx < Objs.size(); ++ObjIdx)
+    for (const ProcDesc &Desc : Objs[ObjIdx].Procs)
+      Units.push_back({ObjIdx, &Desc});
+
+  std::vector<std::map<uint32_t, LitInfo>> LocalLits(Units.size());
+  std::vector<uint32_t> LocalLitCount(Units.size(), 0);
+  std::vector<std::string> LiftErrors(Units.size());
+  Pool.parallelFor(Units.size(), [&](size_t P) {
+    if (Error Err = liftProc(Units[P].ObjIdx, *Units[P].Desc, SP.Procs[P],
+                             LocalLitCount[P], LocalLits[P]))
+      LiftErrors[P] = Err.message();
+  });
+  // First error in procedure order: the same one the serial loop stops at.
+  for (const std::string &Msg : LiftErrors)
+    if (!Msg.empty())
+      return Result<SymbolicProgram>::failure(Msg);
+
   uint32_t NextLitId = 0;
-  {
-    size_t ProcCursor = 0;
-    for (size_t ObjIdx = 0; ObjIdx < Objs.size(); ++ObjIdx) {
-      for (const ProcDesc &Desc : Objs[ObjIdx].Procs) {
-        SymProc &Proc = SP.Procs[ProcCursor++];
-        if (Error Err = liftProc(ObjIdx, Desc, Proc, NextLitId))
-          return Result<SymbolicProgram>::failure(Err.message());
-      }
-    }
+  for (size_t P = 0; P < Units.size(); ++P) {
+    uint32_t Base = NextLitId;
+    NextLitId += LocalLitCount[P];
+    for (SymInst &SI : SP.Procs[P].Insts)
+      if (SI.LitId != ~0u)
+        SI.LitId += Base;
+    for (auto &[LocalId, L] : LocalLits[P])
+      SP.Lits.emplace(Base + LocalId, std::move(L));
+    LocalLits[P].clear();
   }
 
   // Fix DirectCall targets (stashed as object-local entry offsets) and
@@ -387,7 +424,7 @@ Result<SymbolicProgram> Lifter::run() {
 
 Result<SymbolicProgram>
 om64::om::liftProgram(const std::vector<ObjectFile> &Objs,
-                      const OmOptions &Opts) {
-  Lifter L(Objs, Opts);
+                      const OmOptions &Opts, ThreadPool &Pool) {
+  Lifter L(Objs, Opts, Pool);
   return L.run();
 }

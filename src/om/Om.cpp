@@ -9,6 +9,8 @@
 #include "om/OmImpl.h"
 #include "om/Verify.h"
 
+#include <chrono>
+
 using namespace om64;
 using namespace om64::om;
 
@@ -20,6 +22,17 @@ const char *om64::om::levelName(OmLevel L) {
   }
   return "?";
 }
+
+namespace {
+
+/// Seconds elapsed since \p Start on the monotonic clock.
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+} // namespace
 
 Result<OmResult> om64::om::optimize(const std::vector<obj::ObjectFile> &Objs,
                                     const OmOptions &OptsIn) {
@@ -43,21 +56,38 @@ Result<OmResult> om64::om::optimize(const std::vector<obj::ObjectFile> &Objs,
   if (Opts.VerifyEachStage)
     Opts.Verify = true;
 
-  Result<SymbolicProgram> SP = liftProgram(Objs, Opts);
+  ThreadPool Pool(Opts.Jobs);
+  OmResult Out;
+  Out.Stats.Jobs = Pool.threadCount();
+  auto TotalStart = std::chrono::steady_clock::now();
+
+  auto LiftStart = std::chrono::steady_clock::now();
+  Result<SymbolicProgram> SP = liftProgram(Objs, Opts, Pool);
+  Out.Stats.Seconds.Lift = secondsSince(LiftStart);
   if (!SP)
     return Result<OmResult>::failure(SP.message());
-  if (Opts.Verify)
-    if (Error E = verifyStage(*SP, "lift"))
+  if (Opts.Verify) {
+    auto VerifyStart = std::chrono::steady_clock::now();
+    Error E = verifyStage(*SP, "lift", &Pool);
+    Out.Stats.Seconds.Verify += secondsSince(VerifyStart);
+    if (E)
       return Result<OmResult>::failure(E.message());
+  }
 
-  OmResult Out;
-  runCallTransforms(*SP, Opts, Out.Stats);
-  if (Opts.Verify)
-    if (Error E = verifyStage(*SP, "call-transforms"))
+  auto TransformStart = std::chrono::steady_clock::now();
+  runCallTransforms(*SP, Opts, Out.Stats, Pool);
+  Out.Stats.Seconds.CallTransforms = secondsSince(TransformStart);
+  if (Opts.Verify) {
+    auto VerifyStart = std::chrono::steady_clock::now();
+    Error E = verifyStage(*SP, "call-transforms", &Pool);
+    Out.Stats.Seconds.Verify += secondsSince(VerifyStart);
+    if (E)
       return Result<OmResult>::failure(E.message());
+  }
 
   Result<obj::Image> Img =
-      layoutAndEmit(*SP, Opts, Out.Stats, Out.ProfiledProcedures);
+      layoutAndEmit(*SP, Opts, Out.Stats, Out.ProfiledProcedures, Pool);
+  Out.Stats.Seconds.Total = secondsSince(TotalStart);
   if (!Img)
     return Result<OmResult>::failure(Img.message());
   Out.Image = Img.take();

@@ -77,6 +77,25 @@ struct OmOptions {
   /// Additionally verify between every emission stage (address-load
   /// rewriting, deletion, rescheduling, instrumentation). Implies Verify.
   bool VerifyEachStage = false;
+  /// Worker threads for the per-procedure pipeline stages (lift, call
+  /// transforms, deletion, rescheduling, per-procedure verification, and
+  /// code emission). 0 means hardware concurrency; 1 is the serial
+  /// pipeline. The output image is byte-identical for every value.
+  unsigned Jobs = 0;
+};
+
+/// Wall-clock seconds per pipeline stage of one OM run (omlink --stats /
+/// --stats-json). AddressLoads covers BSR relaxation, the layout/decision
+/// fixpoint, and displacement rewriting; CodeMotion covers deletion,
+/// rescheduling, and instrumentation.
+struct OmStageSeconds {
+  double Lift = 0;
+  double CallTransforms = 0;
+  double AddressLoads = 0;
+  double CodeMotion = 0;
+  double Assemble = 0;
+  double Verify = 0;
+  double Total = 0;
 };
 
 /// Static statistics of one OM run, sufficient to regenerate the paper's
@@ -92,6 +111,11 @@ struct OmStats {
   uint64_t CallsNeedingPvLoad = 0;    // callee reads PV (or is unknown)
   uint64_t CallsNeedingGpReset = 0;   // live GP-reset pair after the call
   uint64_t JsrConvertedToBsr = 0;
+  /// Converted calls reverted to their original JSR because the BSR's
+  /// 21-bit word displacement cannot be guaranteed to fit in the final
+  /// layout (the conservative linear-time relaxation of Emit.cpp). These
+  /// sites are not counted in JsrConvertedToBsr.
+  uint64_t BsrFallbackJsrs = 0;
 
   // Figure 5: instruction counts.
   uint64_t InstructionsTotal = 0;     // before optimization
@@ -107,6 +131,11 @@ struct OmStats {
 
   uint64_t TextBytesBefore = 0;
   uint64_t TextBytesAfter = 0;
+
+  /// Observability: per-stage wall time and the worker count actually
+  /// used. Not part of the image; -j1 and -jN runs differ only here.
+  OmStageSeconds Seconds;
+  unsigned Jobs = 1;
 };
 
 /// Result of an OM run.

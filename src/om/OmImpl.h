@@ -10,6 +10,7 @@
 #include "om/Om.h"
 #include "om/SymbolicProgram.h"
 #include "support/Result.h"
+#include "support/ThreadPool.h"
 
 #include <string>
 #include <vector>
@@ -19,24 +20,32 @@ namespace om {
 
 /// Object code -> symbolic form. Resolves symbols, recovers procedures,
 /// literals with their uses, GP-disp pairs, local branches, and direct
-/// calls; assigns GP groups per object.
+/// calls; assigns GP groups per object. Per-procedure decoding runs on
+/// \p Pool; symbol resolution, literal-id assignment, and the final merge
+/// stay serial and proc-ordered so the result is identical for any pool
+/// size.
 Result<SymbolicProgram> liftProgram(const std::vector<obj::ObjectFile> &Objs,
-                                    const OmOptions &Opts);
+                                    const OmOptions &Opts, ThreadPool &Pool);
 
 /// The call-related transforms (JSR->BSR, prologue restoration/skipping/
 /// deletion, PV-load removal, GP-reset nullification). Applies the subset
 /// appropriate for Opts.Level and updates Stats counters it owns
-/// (JsrConvertedToBsr).
+/// (JsrConvertedToBsr). Per-caller rewriting runs on \p Pool against
+/// callee facts snapshotted between phases; the cross-procedure
+/// reachability analysis stays serial.
 void runCallTransforms(SymbolicProgram &SP, const OmOptions &Opts,
-                       OmStats &Stats);
+                       OmStats &Stats, ThreadPool &Pool);
 
 /// Layout, address-load conversion/nullification (to a fixpoint for
 /// OM-full), deletion, optional rescheduling and loop alignment,
 /// instrumentation, and image emission. Fills the remaining Stats fields
-/// and the labels of any inserted profile counters.
+/// and the labels of any inserted profile counters. Layout and the GAT
+/// fixpoint stay single-threaded; deletion, rescheduling, and instruction
+/// encoding fan out per procedure on \p Pool.
 Result<obj::Image> layoutAndEmit(SymbolicProgram &SP, const OmOptions &Opts,
                                  OmStats &Stats,
-                                 std::vector<std::string> &Sites);
+                                 std::vector<std::string> &Sites,
+                                 ThreadPool &Pool);
 
 } // namespace om
 } // namespace om64

@@ -184,38 +184,70 @@ bool nullifyResetAfter(SymProc &Proc, size_t CallIdx) {
 } // namespace
 
 void om64::om::runCallTransforms(SymbolicProgram &SP, const OmOptions &Opts,
-                                 OmStats &Stats) {
+                                 OmStats &Stats, ThreadPool &Pool) {
   if (Opts.Level == OmLevel::None)
     return;
   bool Full = Opts.Level == OmLevel::Full;
+  size_t NumProcs = SP.Procs.size();
 
   // OM-full first restores prologue GP-set pairs to procedure entry so
   // that direct calls can be retargeted past them (section 4: "if we can
   // restore them to their logical place at the beginning of the procedure,
-  // we can avoid executing them on most or all of the calls").
+  // we can avoid executing them on most or all of the calls"). Each
+  // restoration reorders only its own procedure and rewrites only the
+  // literal records owned by it (L.Proc, which nobody writes here, selects
+  // them), so procedures restore concurrently.
   if (Full)
-    for (uint32_t ProcIdx = 0; ProcIdx < SP.Procs.size(); ++ProcIdx)
-      restoreProloguePair(SP, ProcIdx);
+    Pool.parallelFor(NumProcs, [&](size_t ProcIdx) {
+      restoreProloguePair(SP, static_cast<uint32_t>(ProcIdx));
+    });
 
-  // JSR -> BSR, prologue skipping, PV-load removal.
-  for (uint32_t ProcIdx = 0; ProcIdx < SP.Procs.size(); ++ProcIdx) {
+  // Snapshot the callee-side facts the call rewriting reads, so that the
+  // parallel rewrite below never looks into another procedure's (possibly
+  // concurrently mutating) instruction vector. The snapshot is taken after
+  // the restoration barrier, exactly where the serial pass would read the
+  // same facts: the rewrite itself changes neither fact (it writes call
+  // Kinds, TargetProc, SkipPrologue, and address-load Nullified bits — no
+  // GpHigh/GpLow kinds and no entry pair).
+  std::vector<uint8_t> CalleeHasGpSet(NumProcs, 0);
+  std::vector<uint8_t> CalleePrologueAtEntry(NumProcs, 0);
+  Pool.parallelFor(NumProcs, [&](size_t ProcIdx) {
+    const SymProc &P = SP.Procs[ProcIdx];
+    for (const SymInst &CI : P.Insts)
+      if (CI.Kind == SKind::GpHigh && CI.GpKind == GpDispKind::Prologue) {
+        CalleeHasGpSet[ProcIdx] = 1;
+        break;
+      }
+    CalleePrologueAtEntry[ProcIdx] = P.hasProloguePairAtEntry();
+  });
+
+  // JSR -> BSR, prologue skipping, PV-load removal. Per caller: each
+  // worker mutates only its own procedure's instructions and reads shared
+  // state that is immutable during this phase (symbols, literal records,
+  // the fact snapshots). Conversion counts reduce in procedure order.
+  std::vector<uint64_t> ConvertedInProc(NumProcs, 0);
+  Pool.parallelFor(NumProcs, [&](size_t ProcIdx) {
     SymProc &Caller = SP.Procs[ProcIdx];
     for (size_t Idx = 0; Idx < Caller.Insts.size(); ++Idx) {
       SymInst &SI = Caller.Insts[Idx];
       if (SI.Kind != SKind::JsrViaGat)
         continue;
-      LitInfo &L = SP.Lits[SI.LitId];
+      // find, not operator[]: a structural map mutation here would race
+      // with the other workers' lookups.
+      auto It = SP.Lits.find(SI.LitId);
+      if (It == SP.Lits.end())
+        continue;
+      const LitInfo &L = It->second;
       const PSym &Target = SP.Syms[L.TargetSym];
       if (!Target.IsProc)
         continue; // call through a data literal: leave alone
-      SymProc &Callee = SP.Procs[Target.ProcIdx];
 
       // The conversion itself needs no analysis; range is validated at
       // emission (total text is far below the 21-bit word reach).
       SI.Kind = SKind::DirectCall;
       SI.TargetProc = Target.ProcIdx;
       SI.I = makeBranch(Opcode::Bsr, RA, 0);
-      ++Stats.JsrConvertedToBsr;
+      ++ConvertedInProc[ProcIdx];
 
       // Skip the callee's GP-set pair when it is a clean entry prefix and
       // caller/callee share a GP value; then the PV load feeding this call
@@ -223,30 +255,29 @@ void om64::om::runCallTransforms(SymbolicProgram &SP, const OmOptions &Opts,
       // prologue at all (it never reads PV) makes the load dead too --
       // the loader format's procedure descriptors tell even a traditional
       // linker that much.
-      bool SameGroup = Callee.GpGroup == Caller.GpGroup;
-      bool CalleeHasGpSet = false;
-      for (const SymInst &CI : Callee.Insts)
-        if (CI.Kind == SKind::GpHigh &&
-            CI.GpKind == GpDispKind::Prologue)
-          CalleeHasGpSet = true;
+      bool SameGroup = SP.Procs[Target.ProcIdx].GpGroup == Caller.GpGroup;
       bool PvDead = false;
-      if (SameGroup && Callee.hasProloguePairAtEntry()) {
+      if (SameGroup && CalleePrologueAtEntry[Target.ProcIdx]) {
         SI.SkipPrologue = true;
         PvDead = true;
-      } else if (!CalleeHasGpSet) {
+      } else if (!CalleeHasGpSet[Target.ProcIdx]) {
         PvDead = true;
       }
       if (PvDead && L.MemUses.empty() &&
           L.JsrIdx == static_cast<int32_t>(Idx))
         Caller.Insts[L.LoadIdx].Nullified = true;
     }
-  }
+  });
+  for (uint64_t Count : ConvertedInProc)
+    Stats.JsrConvertedToBsr += Count;
 
   // GP-reset nullification.
   if (SP.NumGroups == 1 && !Full) {
     // OM-simple: with a single GAT every GP value is identical, so every
-    // reset is redundant; no control-flow understanding required.
-    for (SymProc &Proc : SP.Procs)
+    // reset is redundant; no control-flow understanding required. Each
+    // procedure is rewritten independently.
+    Pool.parallelFor(NumProcs, [&](size_t P) {
+      SymProc &Proc = SP.Procs[P];
       for (size_t Idx = 0; Idx < Proc.Insts.size(); ++Idx) {
         SymInst &SI = Proc.Insts[Idx];
         if (SI.Kind == SKind::GpHigh &&
@@ -264,13 +295,15 @@ void om64::om::runCallTransforms(SymbolicProgram &SP, const OmOptions &Opts,
             }
         }
       }
+    });
   } else if (Full) {
     // OM-full: per-call-site subtree analysis over the recovered call
-    // graph.
+    // graph. The fixpoint is a serial whole-program pass; the per-caller
+    // reset rewriting that consumes it touches only the caller.
     std::vector<uint64_t> Reach = computeReachableGroups(SP);
     uint64_t AllGroups =
         SP.NumGroups >= 64 ? ~0ull : ((1ull << SP.NumGroups) - 1);
-    for (uint32_t ProcIdx = 0; ProcIdx < SP.Procs.size(); ++ProcIdx) {
+    Pool.parallelFor(NumProcs, [&](size_t ProcIdx) {
       SymProc &Caller = SP.Procs[ProcIdx];
       // Callers beyond the 64-group bitset get an empty bit: no callee
       // reach can be proven confined to them, so their resets all stay.
@@ -288,7 +321,7 @@ void om64::om::runCallTransforms(SymbolicProgram &SP, const OmOptions &Opts,
         if ((CalleeReach & ~CallerBit) == 0)
           nullifyResetAfter(Caller, Idx);
       }
-    }
+    });
   } else {
     // OM-simple with multiple GATs: only resets after direct calls whose
     // immediate callee shares the group and is itself leaf-safe cannot be

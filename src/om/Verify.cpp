@@ -291,21 +291,40 @@ void Checker::checkLits() {
 
 unsigned om64::om::verifyStructure(const SymbolicProgram &SP,
                                    const std::string &Stage,
-                                   DiagnosticEngine &Diags) {
+                                   DiagnosticEngine &Diags,
+                                   ThreadPool *Pool) {
   unsigned Before = Diags.errorCount();
-  Checker C(SP, Stage, Diags);
-  C.checkSymbols();
-  for (uint32_t ProcIdx = 0; ProcIdx < SP.Procs.size(); ++ProcIdx)
-    C.checkProc(ProcIdx);
-  if (!SP.Lits.empty())
+  {
+    Checker C(SP, Stage, Diags);
+    C.checkSymbols();
+  }
+  // The per-procedure checks are read-only over disjoint procedures; run
+  // them on the pool into private engines, then merge in procedure order so
+  // the diagnostic stream matches the serial one exactly.
+  if (Pool && Pool->threadCount() > 1 && SP.Procs.size() > 1) {
+    std::vector<DiagnosticEngine> PerProc(SP.Procs.size());
+    Pool->parallelFor(SP.Procs.size(), [&](size_t ProcIdx) {
+      Checker C(SP, Stage, PerProc[ProcIdx]);
+      C.checkProc(static_cast<uint32_t>(ProcIdx));
+    });
+    for (DiagnosticEngine &E : PerProc)
+      Diags.append(std::move(E));
+  } else {
+    Checker C(SP, Stage, Diags);
+    for (uint32_t ProcIdx = 0; ProcIdx < SP.Procs.size(); ++ProcIdx)
+      C.checkProc(ProcIdx);
+  }
+  if (!SP.Lits.empty()) {
+    Checker C(SP, Stage, Diags);
     C.checkLits();
+  }
   return Diags.errorCount() - Before;
 }
 
 Error om64::om::verifyStage(const SymbolicProgram &SP,
-                            const std::string &Stage) {
+                            const std::string &Stage, ThreadPool *Pool) {
   DiagnosticEngine Diags;
-  if (verifyStructure(SP, Stage, Diags) == 0)
+  if (verifyStructure(SP, Stage, Diags, Pool) == 0)
     return Error::success();
   return Error::failure("OM invariant check failed after stage '" + Stage +
                         "':\n" + Diags.render());

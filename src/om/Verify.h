@@ -37,6 +37,7 @@
 #include "om/SymbolicProgram.h"
 #include "support/Diagnostics.h"
 #include "support/Result.h"
+#include "support/ThreadPool.h"
 
 #include <cstdint>
 #include <string>
@@ -62,12 +63,18 @@ namespace om {
 ///     lit-tagged instruction is listed by its literal at exactly its own
 ///     index, and a nullified address load has no live JsrViaGat consumer
 ///     and does not feed an escaping literal.
+///
+/// When \p Pool is non-null the per-procedure checks run on its workers,
+/// each into a private engine; the engines are merged into \p Diags in
+/// procedure order, so the diagnostics are identical at any pool size.
 unsigned verifyStructure(const SymbolicProgram &SP, const std::string &Stage,
-                         DiagnosticEngine &Diags);
+                         DiagnosticEngine &Diags,
+                         ThreadPool *Pool = nullptr);
 
 /// Runs verifyStructure and folds any violations into an Error whose
 /// message carries the rendered diagnostics. Success when none were found.
-Error verifyStage(const SymbolicProgram &SP, const std::string &Stage);
+Error verifyStage(const SymbolicProgram &SP, const std::string &Stage,
+                  ThreadPool *Pool = nullptr);
 
 /// One linked-and-executed configuration of a differential run.
 struct DifferentialLeg {

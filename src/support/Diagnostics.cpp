@@ -35,6 +35,14 @@ void DiagnosticEngine::warning(const std::string &BufferName, SourceLoc Loc,
   Diags.push_back({DiagKind::Warning, Loc, BufferName, std::move(Message)});
 }
 
+void DiagnosticEngine::append(DiagnosticEngine &&Other) {
+  NumErrors += Other.NumErrors;
+  for (Diagnostic &D : Other.Diags)
+    Diags.push_back(std::move(D));
+  Other.Diags.clear();
+  Other.NumErrors = 0;
+}
+
 std::string DiagnosticEngine::render() const {
   std::string Out;
   for (const Diagnostic &D : Diags) {

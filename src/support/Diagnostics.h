@@ -51,6 +51,11 @@ public:
   void warning(const std::string &BufferName, SourceLoc Loc,
                std::string Message);
 
+  /// Appends every diagnostic of \p Other, preserving order. Used to merge
+  /// per-worker engines back into one in a deterministic (caller-chosen)
+  /// order after a parallel checking pass.
+  void append(DiagnosticEngine &&Other);
+
   bool hasErrors() const { return NumErrors != 0; }
   unsigned errorCount() const { return NumErrors; }
   const std::vector<Diagnostic> &all() const { return Diags; }

@@ -1,0 +1,85 @@
+//===- support/ThreadPool.cpp - Fixed-size worker pool --------------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace om64;
+
+unsigned ThreadPool::defaultConcurrency() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+ThreadPool::ThreadPool(unsigned ThreadCount) {
+  if (ThreadCount == 0)
+    ThreadCount = defaultConcurrency();
+  Workers.reserve(ThreadCount - 1);
+  for (unsigned I = 1; I < ThreadCount; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workerLoop() {
+  uint64_t SeenGeneration = 0;
+  while (true) {
+    const std::function<void(size_t)> *Task;
+    size_t End;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkReady.wait(Lock, [&] {
+        return ShuttingDown || Generation != SeenGeneration;
+      });
+      if (ShuttingDown)
+        return;
+      SeenGeneration = Generation;
+      Task = Body;
+      End = EndIndex;
+    }
+    for (size_t Index; (Index = NextIndex.fetch_add(1)) < End;)
+      (*Task)(Index);
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (--PendingWorkers == 0)
+        WorkDone.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  // Serial pool, or nothing to share out: run inline, lock-free. This is
+  // the -j1 path and must behave exactly like a plain for loop.
+  if (Workers.empty() || N == 1) {
+    for (size_t Index = 0; Index < N; ++Index)
+      Fn(Index);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Body = &Fn;
+    EndIndex = N;
+    NextIndex.store(0, std::memory_order_relaxed);
+    PendingWorkers = Workers.size();
+    ++Generation;
+  }
+  WorkReady.notify_all();
+  for (size_t Index; (Index = NextIndex.fetch_add(1)) < N;)
+    Fn(Index);
+  std::unique_lock<std::mutex> Lock(Mutex);
+  WorkDone.wait(Lock, [&] { return PendingWorkers == 0; });
+  Body = nullptr;
+}

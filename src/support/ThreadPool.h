@@ -1,0 +1,85 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ----------------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool for OM's per-procedure pipeline stages.
+/// The only primitive is parallelFor: run a body over an index range,
+/// distributing indices across the pool (the calling thread participates).
+///
+/// Design constraints, in order:
+///
+///   * Determinism. parallelFor makes no promise about which thread runs
+///     which index, so callers must write only into per-index slots (and
+///     reduce them in index order afterwards). Under that discipline the
+///     result is bit-identical for any thread count, which is what lets
+///     `omlink -jN` promise byte-identical images to `-j1`.
+///   * Zero overhead when serial. A pool of one thread (or a one-element
+///     range) runs the body inline on the caller with no locking, so the
+///     `-j1` path is exactly the pre-pool serial code.
+///   * No exceptions across threads. Library code reports failure through
+///     Result/Error values; bodies must store errors into their own slot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_SUPPORT_THREADPOOL_H
+#define OM64_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace om64 {
+
+class ThreadPool {
+public:
+  /// Creates a pool that runs parallelFor bodies on \p ThreadCount threads
+  /// in total (the caller plus ThreadCount-1 workers). 0 means
+  /// defaultConcurrency(); 1 spawns no workers at all.
+  explicit ThreadPool(unsigned ThreadCount = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total threads that execute a parallelFor, including the caller.
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Workers.size()) + 1;
+  }
+
+  /// Runs Body(I) for every I in [0, N), on the pool's threads plus the
+  /// calling thread, and returns when all N calls have finished. Indices
+  /// are claimed dynamically, one at a time (per-procedure work is coarse
+  /// enough that claim overhead is noise). Not reentrant: a body must not
+  /// call parallelFor on the same pool.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Body);
+
+  /// The pool size used for ThreadCount == 0: the hardware concurrency,
+  /// clamped to at least 1.
+  static unsigned defaultConcurrency();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+
+  std::mutex Mutex;
+  std::condition_variable WorkReady;
+  std::condition_variable WorkDone;
+  const std::function<void(size_t)> *Body = nullptr; // current task
+  std::atomic<size_t> NextIndex{0};
+  size_t EndIndex = 0;
+  uint64_t Generation = 0;  // bumped per parallelFor; wakes workers
+  size_t PendingWorkers = 0; // workers yet to finish the current generation
+  bool ShuttingDown = false;
+};
+
+} // namespace om64
+
+#endif // OM64_SUPPORT_THREADPOOL_H

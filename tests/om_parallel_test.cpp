@@ -1,0 +1,430 @@
+//===- tests/om_parallel_test.cpp - Parallel OM pipeline tests ------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the parallel per-procedure OM pipeline and the displacement
+/// range handling it relies on:
+///
+///   * determinism: linking every workload with -j1 and -j4 must produce
+///     byte-identical executables at every OM level,
+///   * BSR range: a synthetic program whose caller and callee are pushed
+///     more than 4MB apart must fall back to the original JSR instead of
+///     emitting an unencodable BSR,
+///   * GP displacement range: data symbols beyond the 16-bit GP window
+///     must keep (or LDAH-convert) their address loads rather than
+///     truncating displacements — in release builds too.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "om/Verify.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace om64;
+using namespace om64::isa;
+using namespace om64::obj;
+using namespace om64::om;
+using namespace om64::test;
+
+namespace {
+
+OmResult runOm(const std::vector<ObjectFile> &Objs, const OmOptions &Opts) {
+  Result<OmResult> R = om::optimize(Objs, Opts);
+  EXPECT_TRUE(bool(R)) << (R ? "" : R.message());
+  return R ? R.take() : OmResult{};
+}
+
+unsigned countOpcode(const Image &Img, Opcode Op) {
+  unsigned N = 0;
+  for (uint32_t W : Img.textWords())
+    if (std::optional<Inst> I = decode(W))
+      N += I->Op == Op;
+  return N;
+}
+
+int64_t runExitCode(const Image &Img) {
+  Result<sim::SimResult> R = sim::run(Img);
+  EXPECT_TRUE(bool(R)) << (R ? "" : R.message());
+  return R ? R->ExitCode : -1;
+}
+
+//===----------------------------------------------------------------------===//
+// Tentpole: -j1 and -jN produce byte-identical images on every workload.
+//===----------------------------------------------------------------------===//
+
+TEST(OmParallelTest, JobCountsProduceIdenticalImages) {
+  struct LevelConfig {
+    OmLevel Level;
+    bool Sched;
+    const char *Name;
+  };
+  const LevelConfig Configs[] = {
+      {OmLevel::None, false, "none"},
+      {OmLevel::Simple, false, "simple"},
+      {OmLevel::Full, false, "full"},
+      {OmLevel::Full, true, "full+sched"},
+  };
+
+  for (const std::string &Name : wl::workloadNames()) {
+    Result<wl::BuiltWorkload> W = wl::buildWorkload(Name);
+    ASSERT_TRUE(bool(W)) << Name << ": " << W.message();
+    for (const LevelConfig &C : Configs) {
+      OmOptions Opts;
+      Opts.Level = C.Level;
+      Opts.Reschedule = C.Sched;
+      Opts.AlignLoopTargets = C.Sched;
+
+      Opts.Jobs = 1;
+      Result<OmResult> Serial = wl::linkWithOm(*W, wl::CompileMode::Each, Opts);
+      ASSERT_TRUE(bool(Serial))
+          << Name << " OM-" << C.Name << " -j1: " << Serial.message();
+      Opts.Jobs = 4;
+      Result<OmResult> Par = wl::linkWithOm(*W, wl::CompileMode::Each, Opts);
+      ASSERT_TRUE(bool(Par))
+          << Name << " OM-" << C.Name << " -j4: " << Par.message();
+
+      EXPECT_EQ(Serial->Stats.Jobs, 1u);
+      EXPECT_EQ(Par->Stats.Jobs, 4u);
+      // The whole executable, not just text: GAT contents, data placement,
+      // entry metadata and all.
+      EXPECT_TRUE(Serial->Image.serialize() == Par->Image.serialize())
+          << Name << " OM-" << C.Name
+          << ": -j4 image differs from the -j1 image";
+      EXPECT_EQ(Serial->Stats.JsrConvertedToBsr, Par->Stats.JsrConvertedToBsr)
+          << Name << " OM-" << C.Name;
+      EXPECT_EQ(Serial->Stats.AddressLoadsConverted,
+                Par->Stats.AddressLoadsConverted)
+          << Name << " OM-" << C.Name;
+      EXPECT_EQ(Serial->Stats.AddressLoadsNullified,
+                Par->Stats.AddressLoadsNullified)
+          << Name << " OM-" << C.Name;
+      EXPECT_EQ(Serial->Stats.InstructionsDeleted,
+                Par->Stats.InstructionsDeleted)
+          << Name << " OM-" << C.Name;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Satellite: BSR fallback when converted calls exceed the 21-bit reach.
+//===----------------------------------------------------------------------===//
+
+/// Caller module: a.main calls the external procedure c.far through the
+/// GAT and returns its value as the exit code.
+ObjectFile makeCallerObject() {
+  ObjectFile O;
+  O.ModuleName = "a";
+  auto addWord = [&O](const Inst &I) {
+    uint32_t W = encode(I);
+    for (unsigned B = 0; B < 4; ++B)
+      O.Text.push_back(static_cast<uint8_t>(W >> (8 * B)));
+  };
+  addWord(makeMem(Opcode::Ldah, GP, 0, PV));  //  0: prologue GpHigh
+  addWord(makeMem(Opcode::Lda, GP, 0, GP));   //  4: prologue GpLow
+  addWord(makeMem(Opcode::Lda, SP, -16, SP)); //  8
+  addWord(makeMem(Opcode::Stq, RA, 0, SP));   // 12
+  addWord(makeMem(Opcode::Ldq, PV, 0, GP));   // 16: lit0 load, &c.far
+  addWord(makeJump(Opcode::Jsr, RA, PV));     // 20: LituseJsr lit0
+  addWord(makeMem(Opcode::Ldah, GP, 0, RA));  // 24: post-call GpHigh
+  addWord(makeMem(Opcode::Lda, GP, 0, GP));   // 28: post-call GpLow
+  addWord(makeMem(Opcode::Ldq, RA, 0, SP));   // 32
+  addWord(makeMem(Opcode::Lda, SP, 16, SP));  // 36
+  addWord(makeJump(Opcode::Ret, Zero, RA));   // 40
+
+  Symbol Main;
+  Main.Name = "a.main";
+  Main.Section = SectionKind::Text;
+  Main.Size = 44;
+  Main.IsProcedure = Main.IsExported = Main.IsDefined = true;
+  Symbol Far;
+  Far.Name = "c.far";
+  Far.Section = SectionKind::Text;
+  Far.IsProcedure = true; // external reference
+  O.Symbols = {Main, Far};
+  O.Gat = {{1, 0}};
+
+  auto lit = [](uint64_t Off, uint32_t GatIndex, uint32_t LitId) {
+    Reloc R;
+    R.Kind = RelocKind::Literal;
+    R.Offset = Off;
+    R.GatIndex = GatIndex;
+    R.LiteralId = LitId;
+    return R;
+  };
+  auto use = [](RelocKind K, uint64_t Off, uint32_t LitId) {
+    Reloc R;
+    R.Kind = K;
+    R.Offset = Off;
+    R.LiteralId = LitId;
+    return R;
+  };
+  auto gpdisp = [](uint64_t Off, uint64_t Anchor, GpDispKind K) {
+    Reloc R;
+    R.Kind = RelocKind::GpDisp;
+    R.Offset = Off;
+    R.AnchorOffset = Anchor;
+    R.PairOffset = 4;
+    R.GpKind = static_cast<uint8_t>(K);
+    return R;
+  };
+  O.Relocs = {gpdisp(0, 0, GpDispKind::Prologue),
+              lit(16, 0, 0),
+              use(RelocKind::LituseJsr, 20, 0),
+              gpdisp(24, 24, GpDispKind::PostCall)};
+
+  ProcDesc MainDesc;
+  MainDesc.TextSize = 44;
+  O.Procs = {MainDesc};
+  return O;
+}
+
+/// Filler module: one never-called procedure of NopCount filler
+/// instructions. Placed between caller and callee it pushes them
+/// NopCount*4 bytes apart. Every 64th instruction is an (unreachable)
+/// ret: a scheduling barrier that caps region size, because the list
+/// scheduler's ready-selection scan is quadratic in region length and a
+/// single megabyte-scale block would take minutes to reschedule.
+ObjectFile makePadObject(size_t NopCount) {
+  ObjectFile O;
+  O.ModuleName = "pad";
+  uint32_t NopW = encode(makeOp(Opcode::Addq, T0, T0, T0));
+  uint32_t RetW = encode(makeJump(Opcode::Ret, Zero, RA));
+  O.Text.reserve((NopCount + 1) * 4);
+  for (size_t I = 0; I < NopCount; ++I) {
+    uint32_t W = (I % 64 == 63) ? RetW : NopW;
+    for (unsigned B = 0; B < 4; ++B)
+      O.Text.push_back(static_cast<uint8_t>(W >> (8 * B)));
+  }
+  for (unsigned B = 0; B < 4; ++B)
+    O.Text.push_back(static_cast<uint8_t>(RetW >> (8 * B)));
+
+  Symbol Filler;
+  Filler.Name = "pad.filler";
+  Filler.Section = SectionKind::Text;
+  Filler.Size = (NopCount + 1) * 4;
+  Filler.IsProcedure = Filler.IsExported = Filler.IsDefined = true;
+  O.Symbols = {Filler};
+
+  ProcDesc Desc;
+  Desc.TextSize = (NopCount + 1) * 4;
+  Desc.UsesGp = false;
+  O.Procs = {Desc};
+  return O;
+}
+
+/// Callee module: c.far returns 7. No GP prologue (it touches no data),
+/// so converted callers may also drop their PV load.
+ObjectFile makeFarObject() {
+  ObjectFile O;
+  O.ModuleName = "c";
+  auto addWord = [&O](const Inst &I) {
+    uint32_t W = encode(I);
+    for (unsigned B = 0; B < 4; ++B)
+      O.Text.push_back(static_cast<uint8_t>(W >> (8 * B)));
+  };
+  addWord(makeOpLit(Opcode::Bis, Zero, 7, V0)); // 0: v0 = 7
+  addWord(makeJump(Opcode::Ret, Zero, RA));     // 4
+
+  Symbol Far;
+  Far.Name = "c.far";
+  Far.Section = SectionKind::Text;
+  Far.Size = 8;
+  Far.IsProcedure = Far.IsExported = Far.IsDefined = true;
+  O.Symbols = {Far};
+
+  ProcDesc Desc;
+  Desc.TextSize = 8;
+  Desc.UsesGp = false;
+  O.Procs = {Desc};
+  return O;
+}
+
+std::vector<ObjectFile> makeFarCallObjects(size_t PadNops) {
+  std::vector<ObjectFile> Objs = {makeCallerObject(), makePadObject(PadNops),
+                                  makeFarObject()};
+  for (const ObjectFile &O : Objs)
+    EXPECT_FALSE(bool(O.verify())) << O.verify().message();
+  return Objs;
+}
+
+TEST(OmParallelTest, BsrOutOfRangeFallsBackToJsr) {
+  // 1,050,000 nops = 4.2MB of pad text: the caller/callee distance exceeds
+  // the 21-bit BSR word reach, so the converted call must revert. This has
+  // to hold in release builds — the old code asserted and, under NDEBUG,
+  // silently emitted a truncated branch.
+  std::vector<ObjectFile> Objs = makeFarCallObjects(1050000);
+
+  OmOptions Opts;
+  Opts.Level = OmLevel::Full;
+  Opts.Jobs = 1;
+  OmResult Full = runOm(Objs, Opts);
+  EXPECT_EQ(runExitCode(Full.Image), 7);
+  EXPECT_EQ(Full.Stats.BsrFallbackJsrs, 1u);
+  EXPECT_EQ(Full.Stats.JsrConvertedToBsr, 0u);
+  EXPECT_EQ(countOpcode(Full.Image, Opcode::Jsr), 1u);
+  EXPECT_EQ(countOpcode(Full.Image, Opcode::Bsr), 0u);
+
+  // The fallback must be deterministic across job counts too.
+  Opts.Jobs = 4;
+  OmResult Par = runOm(Objs, Opts);
+  EXPECT_EQ(Par.Stats.BsrFallbackJsrs, 1u);
+  EXPECT_TRUE(Full.Image.serialize() == Par.Image.serialize())
+      << "-j4 image differs from -j1 with the BSR fallback active";
+
+  // All levels agree behaviourally, with per-stage verification on.
+  OmOptions DiffOpts;
+  DiffOpts.VerifyEachStage = true;
+  Result<DifferentialReport> Rep = om::runDifferential(Objs, DiffOpts);
+  ASSERT_TRUE(bool(Rep)) << Rep.message();
+  for (const DifferentialLeg &Leg : Rep->Legs)
+    EXPECT_EQ(Leg.ExitCode, 7);
+}
+
+TEST(OmParallelTest, NearBsrStillConverts) {
+  // Control: with a small pad the same program converts its JSR and keeps
+  // no fallback.
+  std::vector<ObjectFile> Objs = makeFarCallObjects(100);
+
+  OmOptions Opts;
+  Opts.Level = OmLevel::Full;
+  OmResult Full = runOm(Objs, Opts);
+  EXPECT_EQ(runExitCode(Full.Image), 7);
+  EXPECT_EQ(Full.Stats.JsrConvertedToBsr, 1u);
+  EXPECT_EQ(Full.Stats.BsrFallbackJsrs, 0u);
+  EXPECT_EQ(countOpcode(Full.Image, Opcode::Jsr), 0u);
+  EXPECT_EQ(countOpcode(Full.Image, Opcode::Bsr), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Satellite: data symbols beyond the 16-bit GP displacement window.
+//===----------------------------------------------------------------------===//
+
+/// One module with data both inside and far outside the GP window:
+///
+///   g.small  (8B, direct uses)      -> load nullified, uses GP-relative
+///   g.small2 (8B, escaping)         -> load converted to one LDA
+///   g.big    (~100KB in, direct)    -> load converted to LDAH, low
+///                                      displacements on the uses
+///   g.far2   (~200KB in, escaping)  -> beyond any single instruction:
+///                                      stays a GAT load
+///
+/// g.fill is never referenced; being smaller than g.big it sorts ahead of
+/// it and pushes both big symbols past the 32KB window under every data
+/// ordering. main stores 7 into g.big and returns the value read back.
+ObjectFile makeFarDataObject() {
+  ObjectFile O;
+  O.ModuleName = "g";
+  auto addWord = [&O](const Inst &I) {
+    uint32_t W = encode(I);
+    for (unsigned B = 0; B < 4; ++B)
+      O.Text.push_back(static_cast<uint8_t>(W >> (8 * B)));
+  };
+  addWord(makeMem(Opcode::Ldah, GP, 0, PV)); //  0: prologue GpHigh
+  addWord(makeMem(Opcode::Lda, GP, 0, GP));  //  4: prologue GpLow
+  addWord(makeMem(Opcode::Ldq, T0, 0, GP));  //  8: lit0 load, &g.big
+  addWord(makeMem(Opcode::Lda, T1, 7, Zero)); // 12: t1 = 7
+  addWord(makeMem(Opcode::Stq, T1, 0, T0));  // 16: LituseBase lit0
+  addWord(makeMem(Opcode::Ldq, V0, 0, T0));  // 20: LituseBase lit0
+  addWord(makeMem(Opcode::Ldq, T2, 0, GP));  // 24: lit1 load, &g.far2
+  addWord(makeMem(Opcode::Ldq, T3, 0, GP));  // 28: lit2 load, &g.small
+  addWord(makeMem(Opcode::Stq, T1, 0, T3));  // 32: LituseBase lit2
+  addWord(makeMem(Opcode::Ldq, T4, 0, T3));  // 36: LituseBase lit2
+  addWord(makeMem(Opcode::Ldq, T5, 0, GP));  // 40: lit3 load, &g.small2
+  addWord(makeJump(Opcode::Ret, Zero, RA));  // 44
+
+  O.Data.assign(16, 0);
+  O.BssSize = 100000 + 100008 + 100016;
+
+  Symbol Main;
+  Main.Name = "g.main";
+  Main.Section = SectionKind::Text;
+  Main.Size = 48;
+  Main.IsProcedure = Main.IsExported = Main.IsDefined = true;
+  auto data = [](const char *Name, SectionKind Sec, uint64_t Off,
+                 uint64_t Size) {
+    Symbol S;
+    S.Name = Name;
+    S.Section = Sec;
+    S.Offset = Off;
+    S.Size = Size;
+    S.IsExported = S.IsDefined = true;
+    return S;
+  };
+  O.Symbols = {Main,
+               data("g.small", SectionKind::Data, 0, 8),
+               data("g.small2", SectionKind::Data, 8, 8),
+               data("g.fill", SectionKind::Bss, 0, 100000),
+               data("g.big", SectionKind::Bss, 100000, 100008),
+               data("g.far2", SectionKind::Bss, 200008, 100016)};
+  O.Gat = {{4, 0}, {5, 0}, {1, 0}, {2, 0}}; // big, far2, small, small2
+
+  auto lit = [](uint64_t Off, uint32_t GatIndex, uint32_t LitId) {
+    Reloc R;
+    R.Kind = RelocKind::Literal;
+    R.Offset = Off;
+    R.GatIndex = GatIndex;
+    R.LiteralId = LitId;
+    return R;
+  };
+  auto use = [](uint64_t Off, uint32_t LitId) {
+    Reloc R;
+    R.Kind = RelocKind::LituseBase;
+    R.Offset = Off;
+    R.LiteralId = LitId;
+    return R;
+  };
+  Reloc Gp;
+  Gp.Kind = RelocKind::GpDisp;
+  Gp.PairOffset = 4;
+  Gp.GpKind = static_cast<uint8_t>(GpDispKind::Prologue);
+  O.Relocs = {Gp,          lit(8, 0, 0),  use(16, 0), use(20, 0),
+              lit(24, 1, 1), lit(28, 2, 2), use(32, 2), use(36, 2),
+              lit(40, 3, 3)};
+
+  ProcDesc MainDesc;
+  MainDesc.TextSize = 48;
+  O.Procs = {MainDesc};
+  return O;
+}
+
+TEST(OmParallelTest, FarDataKeepsOrConvertsAddressLoads) {
+  std::vector<ObjectFile> Objs = {makeFarDataObject()};
+  ASSERT_FALSE(bool(Objs[0].verify())) << Objs[0].verify().message();
+
+  OmOptions Opts;
+  Opts.Level = OmLevel::Full;
+  Opts.Jobs = 1;
+  OmResult Full = runOm(Objs, Opts);
+  EXPECT_EQ(runExitCode(Full.Image), 7);
+  EXPECT_EQ(Full.Stats.AddressLoadsTotal, 4u);
+  // g.big (LDAH + low displacements) and g.small2 (single LDA).
+  EXPECT_EQ(Full.Stats.AddressLoadsConverted, 2u);
+  // g.small folds into its uses; g.far2 is out of reach and keeps its
+  // GAT load, so exactly one LDQ-from-GP survives.
+  EXPECT_EQ(Full.Stats.AddressLoadsNullified, 1u);
+  EXPECT_GE(countOpcode(Full.Image, Opcode::Ldah), 1u); // big's high part
+  EXPECT_GE(Full.Stats.GatBytesAfter, 8u); // far2's slot survives
+
+  // Byte-determinism with the far-data paths active.
+  Opts.Jobs = 4;
+  OmResult Par = runOm(Objs, Opts);
+  EXPECT_TRUE(Full.Image.serialize() == Par.Image.serialize())
+      << "-j4 image differs from -j1 on the far-data workload";
+
+  // Every level computes the same answer; the formerly-asserting range
+  // checks must hold (not truncate) under NDEBUG as well.
+  OmOptions DiffOpts;
+  DiffOpts.VerifyEachStage = true;
+  Result<DifferentialReport> Rep = om::runDifferential(Objs, DiffOpts);
+  ASSERT_TRUE(bool(Rep)) << Rep.message();
+  for (const DifferentialLeg &Leg : Rep->Legs)
+    EXPECT_EQ(Leg.ExitCode, 7);
+}
+
+} // namespace

@@ -9,8 +9,12 @@
 #include "support/Format.h"
 #include "support/Random.h"
 #include "support/Result.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
 
 using namespace om64;
 
@@ -118,6 +122,89 @@ TEST(ResultTest, SuccessAndFailure) {
   EXPECT_TRUE(bool(E));
   EXPECT_EQ(E.message(), "nope");
   EXPECT_FALSE(bool(Ok.takeError()));
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.threadCount(), 4u);
+  constexpr size_t N = 10000;
+  std::vector<std::atomic<unsigned>> Hits(N);
+  Pool.parallelFor(N, [&](size_t I) { Hits[I].fetch_add(1); });
+  for (size_t I = 0; I < N; ++I)
+    ASSERT_EQ(Hits[I].load(), 1u) << "index " << I;
+}
+
+TEST(ThreadPoolTest, PerIndexSlotsReduceDeterministically) {
+  // The discipline every OM stage relies on: bodies write only their own
+  // slot, the caller reduces in index order.
+  ThreadPool Pool(4);
+  constexpr size_t N = 257;
+  std::vector<uint64_t> Slot(N, 0);
+  Pool.parallelFor(N, [&](size_t I) { Slot[I] = I * I; });
+  uint64_t Sum = std::accumulate(Slot.begin(), Slot.end(), uint64_t(0));
+  EXPECT_EQ(Sum, uint64_t(N - 1) * N * (2 * N - 1) / 6);
+}
+
+TEST(ThreadPoolTest, SerialPoolRunsInline) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.threadCount(), 1u);
+  std::thread::id Caller = std::this_thread::get_id();
+  size_t Count = 0;
+  Pool.parallelFor(100, [&](size_t) {
+    // Runs on the calling thread: plain increment is race-free.
+    EXPECT_EQ(std::this_thread::get_id(), Caller);
+    ++Count;
+  });
+  EXPECT_EQ(Count, 100u);
+}
+
+TEST(ThreadPoolTest, EmptyAndSingleRanges) {
+  ThreadPool Pool(3);
+  bool Ran = false;
+  Pool.parallelFor(0, [&](size_t) { Ran = true; });
+  EXPECT_FALSE(Ran);
+  // A one-element range runs inline on the caller even with workers.
+  std::thread::id Caller = std::this_thread::get_id();
+  Pool.parallelFor(1, [&](size_t I) {
+    EXPECT_EQ(I, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), Caller);
+    Ran = true;
+  });
+  EXPECT_TRUE(Ran);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossGenerations) {
+  ThreadPool Pool(2);
+  for (unsigned Round = 0; Round < 50; ++Round) {
+    std::atomic<unsigned> Count{0};
+    Pool.parallelFor(Round, [&](size_t) { Count.fetch_add(1); });
+    EXPECT_EQ(Count.load(), Round);
+  }
+}
+
+TEST(ThreadPoolTest, DefaultConcurrencyIsPositive) {
+  EXPECT_GE(ThreadPool::defaultConcurrency(), 1u);
+  ThreadPool Pool(0); // 0 = hardware concurrency
+  EXPECT_GE(Pool.threadCount(), 1u);
+}
+
+TEST(DiagnosticsTest, AppendMergesEnginesInOrder) {
+  DiagnosticEngine A;
+  A.error("one", {1, 1}, "first");
+  DiagnosticEngine B;
+  B.warning("two", {2, 2}, "second");
+  B.error("two", {3, 3}, "third");
+  A.append(std::move(B));
+  EXPECT_EQ(A.errorCount(), 2u);
+  std::string Text = A.render();
+  size_t First = Text.find("first");
+  size_t Second = Text.find("second");
+  size_t Third = Text.find("third");
+  ASSERT_NE(First, std::string::npos);
+  ASSERT_NE(Second, std::string::npos);
+  ASSERT_NE(Third, std::string::npos);
+  EXPECT_LT(First, Second);
+  EXPECT_LT(Second, Third);
 }
 
 TEST(DiagnosticsTest, RenderingAndCounts) {

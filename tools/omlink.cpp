@@ -15,7 +15,12 @@
 ///   --sched           OM-full: reschedule basic blocks and align loops
 ///   --no-sort         OM: keep the module-order data layout
 ///   --gat-max N       entries per GAT group (forces multiple GPs)
-///   --stats           print OM's Figure 3-5 statistics for this link
+///   -j N, --jobs N    worker threads for the per-procedure pipeline
+///                     stages (0 = hardware concurrency, 1 = serial; the
+///                     output image is byte-identical for every N)
+///   --stats           print OM's Figure 3-5 statistics for this link,
+///                     plus per-stage wall times and the worker count
+///   --stats-json FILE write the same statistics as JSON ("-" = stdout)
 ///   --verify          OmVerify: check structural invariants after the lift
 ///                     and the call transforms, then differentially execute
 ///                     the program at every OM level and compare results
@@ -41,18 +46,63 @@ using namespace om64;
 static int usage() {
   std::fprintf(stderr,
                "usage: omlink [--standard | -O none|simple|full] [--sched]\n"
-               "              [--no-sort] [--gat-max N] [--stats] [--instrument]\n"
+               "              [--no-sort] [--gat-max N] [-j N | --jobs N]\n"
+               "              [--stats] [--stats-json FILE] [--instrument]\n"
                "              [--verify] [--verify-each-stage]\n"
                "              -o out.aaxe obj.aaxo...\n");
   return 2;
 }
 
+/// Renders one link's statistics as a JSON object (one key per OmStats
+/// field, stage seconds nested), for machine consumers of --stats-json.
+static std::string statsJson(const om::OmStats &S, om::OmLevel Level) {
+  std::string J = "{\n";
+  J += formatString("  \"level\": \"%s\",\n", om::levelName(Level));
+  J += formatString("  \"jobs\": %u,\n", S.Jobs);
+  auto U = [&](const char *Key, unsigned long long V, bool Comma = true) {
+    J += formatString("  \"%s\": %llu%s\n", Key, V, Comma ? "," : "");
+  };
+  U("address_loads_total", S.AddressLoadsTotal);
+  U("address_loads_converted", S.AddressLoadsConverted);
+  U("address_loads_nullified", S.AddressLoadsNullified);
+  U("calls_total", S.CallsTotal);
+  U("calls_needing_pv_load", S.CallsNeedingPvLoad);
+  U("calls_needing_gp_reset", S.CallsNeedingGpReset);
+  U("jsr_converted_to_bsr", S.JsrConvertedToBsr);
+  U("bsr_fallback_jsrs", S.BsrFallbackJsrs);
+  U("instructions_total", S.InstructionsTotal);
+  U("instructions_nullified", S.InstructionsNullified);
+  U("instructions_deleted", S.InstructionsDeleted);
+  U("nops_inserted", S.NopsInserted);
+  U("instrumentation_inserted", S.InstrumentationInserted);
+  U("gat_bytes_before", S.GatBytesBefore);
+  U("gat_bytes_after", S.GatBytesAfter);
+  U("gp_groups", S.GpGroups);
+  U("text_bytes_before", S.TextBytesBefore);
+  U("text_bytes_after", S.TextBytesAfter);
+  J += "  \"stage_seconds\": {\n";
+  auto Sec = [&](const char *Key, double V, bool Comma = true) {
+    J += formatString("    \"%s\": %.6f%s\n", Key, V, Comma ? "," : "");
+  };
+  Sec("lift", S.Seconds.Lift);
+  Sec("call_transforms", S.Seconds.CallTransforms);
+  Sec("address_loads", S.Seconds.AddressLoads);
+  Sec("code_motion", S.Seconds.CodeMotion);
+  Sec("assemble", S.Seconds.Assemble);
+  Sec("verify", S.Seconds.Verify);
+  Sec("total", S.Seconds.Total, false);
+  J += "  }\n}\n";
+  return J;
+}
+
 int main(int argc, char **argv) {
   std::vector<std::string> Inputs;
   std::string Output = "a.aaxe";
+  std::string StatsJsonPath;
   bool Standard = false;
   bool Stats = false;
   om::OmOptions Opts;
+  Opts.Jobs = 0; // hardware concurrency unless -j overrides
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -78,6 +128,9 @@ int main(int argc, char **argv) {
     } else if (Arg == "--gat-max" && I + 1 < argc) {
       Opts.MaxGatEntriesPerGroup =
           static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    } else if ((Arg == "-j" || Arg == "--jobs") && I + 1 < argc) {
+      Opts.Jobs =
+          static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
     } else if (Arg == "--instrument") {
       Opts.InstrumentProcedureCounts = true;
     } else if (Arg == "--verify") {
@@ -86,6 +139,8 @@ int main(int argc, char **argv) {
       Opts.VerifyEachStage = true;
     } else if (Arg == "--stats") {
       Stats = true;
+    } else if (Arg == "--stats-json" && I + 1 < argc) {
+      StatsJsonPath = argv[++I];
     } else if (!Arg.empty() && Arg[0] == '-') {
       return usage();
     } else {
@@ -171,6 +226,29 @@ int main(int argc, char **argv) {
                    (unsigned long long)S.GatBytesAfter, S.GpGroups,
                    (unsigned long long)S.TextBytesBefore,
                    (unsigned long long)S.TextBytesAfter);
+      if (S.BsrFallbackJsrs)
+        std::fprintf(stderr, "  bsr fallback   %llu call(s) left as JSR "
+                             "(out of BSR range)\n",
+                     (unsigned long long)S.BsrFallbackJsrs);
+      std::fprintf(stderr,
+                   "  pipeline       %u job(s); lift %.3fs, transforms "
+                   "%.3fs, addr-loads %.3fs, code-motion %.3fs, assemble "
+                   "%.3fs, verify %.3fs, total %.3fs\n",
+                   S.Jobs, S.Seconds.Lift, S.Seconds.CallTransforms,
+                   S.Seconds.AddressLoads, S.Seconds.CodeMotion,
+                   S.Seconds.Assemble, S.Seconds.Verify, S.Seconds.Total);
+    }
+    if (!StatsJsonPath.empty()) {
+      std::string J = statsJson(R->Stats, Opts.Level);
+      if (StatsJsonPath == "-") {
+        std::fputs(J.c_str(), stdout);
+      } else {
+        std::vector<uint8_t> Bytes(J.begin(), J.end());
+        if (Error E = writeFileBytes(StatsJsonPath, Bytes)) {
+          std::fprintf(stderr, "omlink: %s\n", E.message().c_str());
+          return 1;
+        }
+      }
     }
     if (Opts.Verify || Opts.VerifyEachStage) {
       // Differential execution: relink at every OM level and run each
