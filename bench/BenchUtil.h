@@ -116,6 +116,95 @@ inline void rule(unsigned Width) {
   std::putchar('\n');
 }
 
+/// Command-line options shared by every bench binary. Individual benches
+/// may ignore fields that do not apply to them (e.g. --jobs on a bench
+/// that never links in parallel), but the flags always parse so CI can
+/// pass a uniform command line.
+struct BenchArgs {
+  unsigned Reps = 3;        ///< --reps N: best-of-N timing loops
+  unsigned Jobs = 0;        ///< --jobs N: 0 means "bench picks a default"
+  bool FunctionalOnly = false; ///< --functional-only: skip timing mode
+  std::string JsonPath;     ///< --json FILE (or legacy --out FILE)
+};
+
+/// Parses the uniform bench command line; unknown flags abort with a
+/// usage-style message. `--out` is accepted as an alias for `--json` so
+/// older invocations keep working.
+inline BenchArgs parseBenchArgs(int argc, char **argv) {
+  BenchArgs A;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--reps" && I + 1 < argc) {
+      A.Reps = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    } else if (Arg == "--jobs" && I + 1 < argc) {
+      A.Jobs = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    } else if (Arg == "--functional-only") {
+      A.FunctionalOnly = true;
+    } else if ((Arg == "--json" || Arg == "--out") && I + 1 < argc) {
+      A.JsonPath = argv[++I];
+    } else {
+      fail("unknown argument: " + Arg +
+           " (expected --reps N, --jobs N, --functional-only, --json FILE)");
+    }
+  }
+  if (A.Reps == 0)
+    A.Reps = 1;
+  return A;
+}
+
+/// One row of the stable machine-readable bench schema consumed by
+/// tools/check_bench.py. Every bench emits a flat list of these;
+/// the checker matches rows across runs by (name, metric).
+struct JsonEntry {
+  std::string Name;   ///< workload name or "aggregate"
+  std::string Metric; ///< e.g. "cycles", "functional_mips"
+  double Value = 0;
+  std::string Unit;   ///< e.g. "cycles", "mips", "seconds", "percent"
+  /// Direction of goodness: true means a larger value is an improvement
+  /// (throughput), false means smaller is better (cycles, misses, time).
+  bool HigherIsBetter = false;
+  /// Per-entry regression tolerance for check_bench.py, in percent.
+  /// Negative means "use the checker's default" (15%). Host-time metrics
+  /// set this wide because CI machines are noisy; deterministic metrics
+  /// (cycle counts, instruction counts) keep the default.
+  double TolerancePct = -1;
+};
+
+/// Serializes \p Entries in the uniform schema and writes them to
+/// \p Path ("-" for stdout). Schema:
+///   {"bench": NAME, "schema": 1, "entries": [
+///      {"name":..., "metric":..., "value":..., "unit":...,
+///       "higher_is_better":..., "tolerance_pct":...}, ...]}
+inline void writeBenchJson(const std::string &Bench,
+                           const std::vector<JsonEntry> &Entries,
+                           const std::string &Path) {
+  std::string Json = "{\n";
+  Json += formatString("  \"bench\": \"%s\",\n", Bench.c_str());
+  Json += "  \"schema\": 1,\n";
+  Json += "  \"entries\": [\n";
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    const JsonEntry &E = Entries[I];
+    Json += formatString(
+        "    {\"name\": \"%s\", \"metric\": \"%s\", \"value\": %.6f, "
+        "\"unit\": \"%s\", \"higher_is_better\": %s, "
+        "\"tolerance_pct\": %.1f}%s\n",
+        E.Name.c_str(), E.Metric.c_str(), E.Value, E.Unit.c_str(),
+        E.HigherIsBetter ? "true" : "false", E.TolerancePct,
+        I + 1 < Entries.size() ? "," : "");
+  }
+  Json += "  ]\n}\n";
+  if (Path == "-") {
+    std::fputs(Json.c_str(), stdout);
+    return;
+  }
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    fail("cannot open " + Path);
+  std::fputs(Json.c_str(), F);
+  std::fclose(F);
+  std::printf("wrote %s\n", Path.c_str());
+}
+
 } // namespace bench
 } // namespace om64
 

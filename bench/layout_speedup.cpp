@@ -1,0 +1,173 @@
+//===- bench/layout_speedup.cpp - Profile-guided layout speedup -----------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures what the profile-guided hot/cold layout pass buys on top of
+/// OM-full with rescheduling, across all 19 workloads. For each workload:
+///
+///   1. link at OM-full+sched (the best non-profile configuration),
+///   2. run the timing simulator with profiling enabled, collecting an
+///      AAXP execution profile,
+///   3. relink the same objects with --layout=hot-cold driven by that
+///      profile,
+///   4. re-simulate and compare cycles and I-cache misses.
+///
+/// The simulated output and exit code must match between the two links
+/// on every workload (the bench aborts otherwise), so this doubles as an
+/// end-to-end correctness check of the layout pass.
+///
+///   layout_speedup [--reps N] [--json FILE]
+///
+/// Cycle counts are fully deterministic, so --reps only matters for the
+/// (unreported) host wall time; CI runs --reps 1. --json writes the
+/// uniform bench schema (see bench/BenchUtil.h); the committed baseline
+/// is docs/BENCH_layout.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace om64;
+using namespace om64::bench;
+
+namespace {
+
+struct Row {
+  std::string Name;
+  uint64_t BaseCycles = 0;
+  uint64_t LayoutCycles = 0;
+  uint64_t BaseMisses = 0;   // I-cache misses, OM-full+sched
+  uint64_t LayoutMisses = 0; // I-cache misses, +layout
+  uint64_t BlocksMoved = 0;
+  uint64_t ColdBlocks = 0;
+};
+
+om::OmOptions fullSchedOpts() {
+  om::OmOptions Opts;
+  Opts.Level = om::OmLevel::Full;
+  Opts.Reschedule = true;
+  Opts.AlignLoopTargets = true;
+  return Opts;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  BenchArgs Args = parseBenchArgs(argc, argv);
+
+  std::vector<BuiltEntry> Suite = buildAllWorkloads();
+  std::printf("layout_speedup: OM-full+sched vs +profile-guided layout, "
+              "%zu workloads\n",
+              Suite.size());
+
+  std::vector<Row> Rows;
+  uint64_t TotalBase = 0, TotalLayout = 0;
+  uint64_t TotalBaseMisses = 0, TotalLayoutMisses = 0;
+  unsigned Improved = 0, Regressed = 0;
+  for (const BuiltEntry &E : Suite) {
+    // Baseline link and profiling run.
+    Result<om::OmResult> Base =
+        wl::linkWithOm(E.Built, wl::CompileMode::Each, fullSchedOpts());
+    if (!Base)
+      fail(E.Name + ": " + Base.message());
+    sim::SimConfig ProfCfg;
+    ProfCfg.Profile = true;
+    Result<sim::SimResult> BaseRun = sim::run(Base->Image, ProfCfg);
+    if (!BaseRun)
+      fail(E.Name + " (base): " + BaseRun.message());
+
+    // Relink with the collected profile driving the layout.
+    om::OmOptions LayOpts = fullSchedOpts();
+    LayOpts.HotColdLayout = true;
+    LayOpts.Profile = BaseRun->Profile;
+    Result<om::OmResult> Lay =
+        wl::linkWithOm(E.Built, wl::CompileMode::Each, LayOpts);
+    if (!Lay)
+      fail(E.Name + " (layout): " + Lay.message());
+    Result<sim::SimResult> LayRun = sim::run(Lay->Image);
+    if (!LayRun)
+      fail(E.Name + " (layout): " + LayRun.message());
+
+    if (LayRun->Output != BaseRun->Output ||
+        LayRun->ExitCode != BaseRun->ExitCode)
+      fail(E.Name + ": layout changed program behavior");
+
+    Row R;
+    R.Name = E.Name;
+    R.BaseCycles = BaseRun->Cycles;
+    R.LayoutCycles = LayRun->Cycles;
+    R.BaseMisses = BaseRun->ICacheMisses;
+    R.LayoutMisses = LayRun->ICacheMisses;
+    R.BlocksMoved = Lay->Stats.LayoutBlocksMoved;
+    R.ColdBlocks = Lay->Stats.LayoutColdBlocks;
+    TotalBase += R.BaseCycles;
+    TotalLayout += R.LayoutCycles;
+    TotalBaseMisses += R.BaseMisses;
+    TotalLayoutMisses += R.LayoutMisses;
+    if (R.LayoutCycles < R.BaseCycles || R.LayoutMisses < R.BaseMisses)
+      ++Improved;
+    if (R.LayoutCycles > R.BaseCycles)
+      ++Regressed;
+    Rows.push_back(R);
+  }
+
+  std::printf("%-10s | %12s | %12s | %7s | %9s | %9s | %6s\n", "program",
+              "base cyc", "layout cyc", "gain%", "base miss", "lay miss",
+              "moved");
+  rule(82);
+  for (const Row &R : Rows)
+    std::printf("%-10s | %12llu | %12llu | %7.2f | %9llu | %9llu | %6llu\n",
+                R.Name.c_str(), (unsigned long long)R.BaseCycles,
+                (unsigned long long)R.LayoutCycles,
+                improvementPct(R.BaseCycles, R.LayoutCycles),
+                (unsigned long long)R.BaseMisses,
+                (unsigned long long)R.LayoutMisses,
+                (unsigned long long)R.BlocksMoved);
+  rule(82);
+  std::printf("%-10s | %12llu | %12llu | %7.2f | %9llu | %9llu |\n",
+              "aggregate", (unsigned long long)TotalBase,
+              (unsigned long long)TotalLayout,
+              improvementPct(TotalBase, TotalLayout),
+              (unsigned long long)TotalBaseMisses,
+              (unsigned long long)TotalLayoutMisses);
+  std::printf("improved (cycles or I-cache): %u/%zu, cycle regressions: "
+              "%u\n",
+              Improved, Rows.size(), Regressed);
+
+  if (!Args.JsonPath.empty()) {
+    // All values here are deterministic simulator counts, so the default
+    // gate tolerance applies; a real regression in the layout pass (or
+    // in scheduling beneath it) moves these directly.
+    std::vector<JsonEntry> Entries;
+    Entries.push_back({"aggregate", "base_cycles",
+                       static_cast<double>(TotalBase), "cycles",
+                       /*HigherIsBetter=*/false, /*TolerancePct=*/-1});
+    Entries.push_back({"aggregate", "layout_cycles",
+                       static_cast<double>(TotalLayout), "cycles",
+                       /*HigherIsBetter=*/false, /*TolerancePct=*/-1});
+    Entries.push_back({"aggregate", "improvement_pct",
+                       improvementPct(TotalBase, TotalLayout), "percent",
+                       /*HigherIsBetter=*/true, /*TolerancePct=*/100});
+    Entries.push_back({"aggregate", "workloads_improved",
+                       static_cast<double>(Improved), "count",
+                       /*HigherIsBetter=*/true, /*TolerancePct=*/25});
+    for (const Row &R : Rows) {
+      Entries.push_back({R.Name, "base_cycles",
+                         static_cast<double>(R.BaseCycles), "cycles",
+                         /*HigherIsBetter=*/false, /*TolerancePct=*/-1});
+      Entries.push_back({R.Name, "layout_cycles",
+                         static_cast<double>(R.LayoutCycles), "cycles",
+                         /*HigherIsBetter=*/false, /*TolerancePct=*/-1});
+      // Miss counts are small integers; percent tolerance on them needs
+      // headroom so a one-line code change does not trip the gate.
+      Entries.push_back({R.Name, "layout_icache_misses",
+                         static_cast<double>(R.LayoutMisses), "misses",
+                         /*HigherIsBetter=*/false, /*TolerancePct=*/50});
+    }
+    writeBenchJson("layout_speedup", Entries, Args.JsonPath);
+  }
+  return 0;
+}

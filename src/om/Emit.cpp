@@ -181,31 +181,14 @@ DataLayout Emitter::layoutData(bool IncludeAllLiterals) const {
 
 void Emitter::relaxDirectCalls() {
   // Pessimistic upper bound on where each procedure can end in the final
-  // text: nothing is deleted, every alignment nop and instrumentation
-  // counter that could be inserted is, and every start pays full 16-byte
-  // alignment. Deletion only moves code downward and every insertion is
-  // already counted, so each procedure's real end address never exceeds
-  // this bound.
-  bool Align = Opts.Level == OmLevel::Full && Opts.AlignLoopTargets;
-  bool ProcCounters =
-      Opts.Level == OmLevel::Full && Opts.InstrumentProcedureCounts;
-  bool BlockCounters =
-      Opts.Level == OmLevel::Full && Opts.InstrumentBlockCounts;
-
-  std::vector<uint64_t> MaxEnd(SP.Procs.size());
-  uint64_t Cur = 0;
-  for (size_t Idx = 0; Idx < SP.Procs.size(); ++Idx) {
-    const SymProc &Proc = SP.Procs[Idx];
-    uint64_t Branches = 0;
-    for (const SymInst &SI : Proc.Insts)
-      if (SI.Kind == SKind::LocalBranch)
-        ++Branches;
-    uint64_t Insts = Proc.Insts.size() + (ProcCounters ? 1 : 0) +
-                     (BlockCounters ? Branches : 0) +
-                     (Align ? Branches : 0);
-    Cur = ((Cur + 15) & ~15ull) + Insts * 4;
-    MaxEnd[Idx] = Cur;
-  }
+  // text (pessimisticProcEnds): nothing is deleted, every alignment nop,
+  // instrumentation counter, and layout fixup branch that could be
+  // inserted is, and every start pays full 16-byte alignment. Deletion
+  // only moves code downward and every insertion is already counted, so
+  // each procedure's real end address never exceeds this bound.
+  std::vector<uint64_t> MaxEnd = pessimisticProcEnds(SP, Opts);
+  if (MaxEnd.empty())
+    return;
 
   // A BSR reaches +/-(2^20 - 1) words. Both site and target lie in
   // [0, MaxEnd of their procedure), so the displacement magnitude is
@@ -213,7 +196,12 @@ void Emitter::relaxDirectCalls() {
   // safe in the final layout. (Single-sided bound: positions below are
   // taken as 0, which is exact for the first procedure and conservative
   // for the rest — a call is only ever reverted, never miscompiled.)
+  // Profile-guided layout can reorder procedures arbitrarily, so when it
+  // is live the bound is the whole pessimistic text instead; the layout
+  // pass skips itself under the same gate, keeping the two consistent.
   const uint64_t Reach = ((1ull << 20) - 1) * 4;
+  bool LayoutLive = Opts.Level == OmLevel::Full && Opts.HotColdLayout &&
+                    !Opts.Profile.empty();
 
   for (size_t ProcIdx = 0; ProcIdx < SP.Procs.size(); ++ProcIdx) {
     SymProc &Proc = SP.Procs[ProcIdx];
@@ -222,7 +210,10 @@ void Emitter::relaxDirectCalls() {
       // none (and were range-valid in their own object by construction).
       if (SI.Kind != SKind::DirectCall || SI.LitId == ~0u)
         continue;
-      if (std::max(MaxEnd[ProcIdx], MaxEnd[SI.TargetProc]) <= Reach)
+      uint64_t Bound = LayoutLive
+                           ? MaxEnd.back()
+                           : std::max(MaxEnd[ProcIdx], MaxEnd[SI.TargetProc]);
+      if (Bound <= Reach)
         continue;
       auto It = SP.Lits.find(SI.LitId);
       assert(It != SP.Lits.end() && "converted call without a literal");
@@ -565,8 +556,12 @@ Result<Image> Emitter::assemble(const DataLayout &DL) {
     if (Align)
       for (size_t Idx = 0; Idx < Proc.Insts.size(); ++Idx) {
         const SymInst &SI = Proc.Insts[Idx];
+        // Cold code (split off by the profile-guided layout) earns no
+        // alignment padding: neither a never-executed branch nor a target
+        // in the cold tail justifies the nops.
         if (SI.Kind == SKind::LocalBranch &&
-            SI.TargetIdx <= static_cast<int32_t>(Idx))
+            SI.TargetIdx <= static_cast<int32_t>(Idx) && !SI.Cold &&
+            !Proc.Insts[static_cast<size_t>(SI.TargetIdx)].Cold)
           BackTarget[SI.TargetIdx] = true;
       }
 
@@ -919,6 +914,18 @@ Result<Image> Emitter::run() {
       instrumentProcedureCounts();
       motionSeconds();
       if (Error E = checkStage("instrument"))
+        return Result<Image>::failure(E.message());
+    }
+    if (Opts.HotColdLayout) {
+      // Last of the code-motion stages: every other transform is done, so
+      // the block structure the profile keyed against is final.
+      MotionStart = std::chrono::steady_clock::now();
+      std::string LayoutErr;
+      bool Ok = runProfileLayout(SP, Opts, Stats, Pool, LayoutErr);
+      motionSeconds();
+      if (!Ok)
+        return Result<Image>::failure(LayoutErr);
+      if (Error E = checkStage("profile-layout"))
         return Result<Image>::failure(E.message());
     }
   }

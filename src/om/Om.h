@@ -29,6 +29,7 @@
 
 #include "objfile/Image.h"
 #include "objfile/ObjectFile.h"
+#include "support/Profile.h"
 #include "support/Result.h"
 
 #include <string>
@@ -82,6 +83,19 @@ struct OmOptions {
   /// code emission). 0 means hardware concurrency; 1 is the serial
   /// pipeline. The output image is byte-identical for every value.
   unsigned Jobs = 0;
+  /// Profile-guided hot/cold code layout (omlink --profile-in FILE
+  /// --layout=hot-cold). Requires OmLevel::Full and a Profile collected
+  /// from an identically optioned link (aaxrun --profile-out). Reorders
+  /// each procedure's basic blocks so the hottest successor falls through
+  /// (Pettis–Hansen-style greedy chaining), moves never-executed blocks
+  /// into a cold tail, orders procedures by dynamic call-edge heat, and
+  /// restricts AlignLoopTargets' quadword alignment to hot branch targets.
+  /// Procedures the profile does not cover (or covers with a mismatched
+  /// branch count) are left byte-identical; an empty profile therefore
+  /// leaves the whole image byte-identical to a no-layout link.
+  bool HotColdLayout = false;
+  /// The execution profile driving HotColdLayout (ignored otherwise).
+  prof::Profile Profile;
 };
 
 /// Wall-clock seconds per pipeline stage of one OM run (omlink --stats /
@@ -131,6 +145,12 @@ struct OmStats {
 
   uint64_t TextBytesBefore = 0;
   uint64_t TextBytesAfter = 0;
+
+  // Profile-guided layout (OmOptions::HotColdLayout).
+  uint64_t LayoutProcsReordered = 0;  // procedures whose blocks moved
+  uint64_t LayoutBlocksMoved = 0;     // blocks emitted out of source order
+  uint64_t LayoutColdBlocks = 0;      // blocks split into cold tails
+  uint64_t LayoutFixupBranches = 0;   // BRs inserted to mend fall-throughs
 
   /// Observability: per-stage wall time and the worker count actually
   /// used. Not part of the image; -j1 and -jN runs differ only here.

@@ -47,6 +47,28 @@ Result<obj::Image> layoutAndEmit(SymbolicProgram &SP, const OmOptions &Opts,
                                  std::vector<std::string> &Sites,
                                  ThreadPool &Pool);
 
+/// Profile-guided hot/cold layout (OmOptions::HotColdLayout): reorders
+/// each procedure's basic blocks by branch heat, splits never-executed
+/// blocks into a cold tail (marking them SymInst::Cold), inserts fixup
+/// branches where a moved block's fall-through no longer follows it, and
+/// reorders SP.Procs by dynamic call-edge heat (remapping TargetProc and
+/// PSym::ProcIdx). Runs per procedure on \p Pool; the procedure-order
+/// decision and the remap are serial, so the result is identical for any
+/// pool size. Procedures the profile does not cover, covers with a
+/// mismatched branch count, or that contain computed jumps / split GP
+/// pairs are left untouched. Returns false (with \p Err set) only on an
+/// internal invariant failure.
+bool runProfileLayout(SymbolicProgram &SP, const OmOptions &Opts,
+                      OmStats &Stats, ThreadPool &Pool, std::string &Err);
+
+/// Pessimistic upper bound on each procedure's end offset in the final
+/// text under \p Opts: nothing deleted, every possible insertion
+/// (instrumentation counters, alignment nops, layout fixup branches)
+/// counted, full start alignment paid. Shared by the BSR relaxation and
+/// the layout pass's reach gate so the two stay consistent.
+std::vector<uint64_t> pessimisticProcEnds(const SymbolicProgram &SP,
+                                          const OmOptions &Opts);
+
 } // namespace om
 } // namespace om64
 

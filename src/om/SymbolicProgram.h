@@ -70,6 +70,11 @@ struct SymInst {
                               // recompute rewrites from this)
   bool Nullified = false;     // becomes a no-op (simple) / deleted (full)
   bool Converted = false;     // address load rewritten to LDA/LDAH
+  /// Set by the profile-guided layout on instructions moved into a cold
+  /// tail: AlignLoopTargets must not pad for branch targets that never
+  /// execute. Never set in procedures the layout skipped, so unprofiled
+  /// links keep their full alignment behaviour.
+  bool Cold = false;
 };
 
 /// One procedure in symbolic form.

@@ -10,10 +10,12 @@
 #include "isa/Inst.h"
 #include "support/Format.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <map>
 #include <vector>
 
 using namespace om64;
@@ -110,15 +112,57 @@ private:
   /// The two interpreter loops. Both iterate over Code/Meta by dense
   /// index; only the timing loop touches caches, register-ready times,
   /// and dual-issue state. Flattened so that step/load/store/memPtr
-  /// inline into each loop and get specialized for it.
+  /// inline into each loop and get specialized for it. Each is a template
+  /// over profile collection, so the Prof=false instantiations are
+  /// bit-for-bit the old hot loops and runs without --profile-out pay
+  /// nothing for the feature.
+  template <bool Prof>
 #if defined(__GNUC__)
   __attribute__((flatten))
 #endif
   Result<SimResult> runFunctional();
+  template <bool Prof>
 #if defined(__GNUC__)
   __attribute__((flatten))
 #endif
   Result<SimResult> runTiming();
+
+  /// Builds the profiling side tables (ProcOfIdx, SiteOfIdx, and the
+  /// per-site/per-procedure count arrays) from the image's procedure
+  /// table. Only called when Cfg.Profile is set.
+  void buildProfileTables();
+
+  /// Procedure ordinal (index into Img.Procs) owning \p Pc, or ~0u.
+  uint32_t procOfPc(uint64_t Pc) const {
+    if (Pc < Img.TextBase)
+      return ~0u;
+    uint64_t Idx = (Pc - Img.TextBase) / 4;
+    return Idx < ProcOfIdx.size() ? ProcOfIdx[Idx] : ~0u;
+  }
+
+  /// Per-retired-instruction profile hook (Prof instantiations only).
+  /// \p Idx is the executed instruction's dense index, \p NextPc the
+  /// resolved successor.
+  void profileRetire(size_t Idx, const Inst &I, uint64_t Pc,
+                     uint64_t NextPc) {
+    uint32_t P = ProcOfIdx[Idx];
+    if (P == ~0u)
+      return;
+    ++ProcInstCounts[P];
+    uint32_t S = SiteOfIdx[Idx];
+    if (S != ~0u) {
+      ++SiteExec[S];
+      SiteTaken[S] += NextPc != Pc + 4;
+    }
+    if (I.Op == Opcode::Bsr || I.Op == Opcode::Jsr) {
+      uint32_t Callee = procOfPc(NextPc);
+      if (Callee != ~0u)
+        ++CallEdgeCounts[(static_cast<uint64_t>(P) << 32) | Callee];
+    }
+  }
+
+  /// Converts the raw count arrays into SimResult::Profile.
+  void finishProfile();
 
   /// Common accounting after a successfully stepped instruction.
   void retire(const InstMeta &M) {
@@ -181,6 +225,18 @@ private:
   SimResult Res;
   std::string FaultMsg; // set when load/store/step return false
   uint64_t RegReady[NumRegUnits] = {}; // cycle each unit's value is ready
+
+  // Profiling side tables (built only when Cfg.Profile). SiteProc and
+  // SiteOrdinal identify each local-branch site; SiteOfIdx/ProcOfIdx map
+  // dense instruction indices to sites/procedures.
+  std::vector<uint32_t> ProcOfIdx;
+  std::vector<uint32_t> SiteOfIdx;
+  std::vector<uint32_t> SiteProc;
+  std::vector<uint32_t> SiteOrdinal;
+  std::vector<uint64_t> SiteExec;
+  std::vector<uint64_t> SiteTaken;
+  std::vector<uint64_t> ProcInstCounts;
+  std::map<uint64_t, uint64_t> CallEdgeCounts; // (caller<<32|callee)
 };
 
 } // namespace
@@ -224,7 +280,82 @@ Error Machine::predecode() {
   // count handler only indexes, so a corrupt or hostile image can never
   // force an unbounded mid-run resize.
   Res.ProfileCounts.assign(DeclaredCounters, 0);
+  if (Cfg.Profile)
+    buildProfileTables();
   return Error::success();
+}
+
+void Machine::buildProfileTables() {
+  // Procedure extents: ImageProc::Size excludes intra-procedure alignment
+  // nops, so the reliable extent of procedure i is [Entry_i, Entry_{i+1})
+  // in address order (text end for the last). Padding nops between
+  // procedures attribute to the preceding procedure; they are never
+  // branch sites and only executed as straight-line filler, so the small
+  // heat misattribution is harmless.
+  ProcOfIdx.assign(Code.size(), ~0u);
+  std::vector<uint32_t> ByEntry(Img.Procs.size());
+  for (uint32_t P = 0; P < Img.Procs.size(); ++P)
+    ByEntry[P] = P;
+  std::sort(ByEntry.begin(), ByEntry.end(), [&](uint32_t A, uint32_t B) {
+    return Img.Procs[A].Entry < Img.Procs[B].Entry;
+  });
+  for (size_t Pos = 0; Pos < ByEntry.size(); ++Pos) {
+    const ImageProc &IP = Img.Procs[ByEntry[Pos]];
+    if (IP.Entry < Img.TextBase)
+      continue;
+    uint64_t Begin = (IP.Entry - Img.TextBase) / 4;
+    uint64_t End = Pos + 1 < ByEntry.size()
+                       ? (Img.Procs[ByEntry[Pos + 1]].Entry - Img.TextBase) / 4
+                       : Code.size();
+    End = std::min<uint64_t>(End, Code.size());
+    for (uint64_t Idx = Begin; Idx < End; ++Idx)
+      ProcOfIdx[Idx] = ByEntry[Pos];
+  }
+
+  // Local-branch sites in address order: every Branch-class instruction
+  // except BSR (a call). This ordinal assignment matches the order of
+  // LocalBranch instructions in OM's symbolic form for an identically
+  // optioned link (see support/Profile.h).
+  SiteOfIdx.assign(Code.size(), ~0u);
+  std::vector<uint32_t> BranchesInProc(Img.Procs.size(), 0);
+  for (size_t Idx = 0; Idx < Code.size(); ++Idx) {
+    uint32_t P = ProcOfIdx[Idx];
+    if (P == ~0u || classOf(Code[Idx].Op) != InstClass::Branch ||
+        Code[Idx].Op == Opcode::Bsr)
+      continue;
+    SiteOfIdx[Idx] = static_cast<uint32_t>(SiteProc.size());
+    SiteProc.push_back(P);
+    SiteOrdinal.push_back(BranchesInProc[P]++);
+  }
+  SiteExec.assign(SiteProc.size(), 0);
+  SiteTaken.assign(SiteProc.size(), 0);
+  ProcInstCounts.assign(Img.Procs.size(), 0);
+}
+
+void Machine::finishProfile() {
+  prof::Profile &P = Res.Profile;
+  P.Procs.resize(Img.Procs.size());
+  std::vector<uint32_t> BranchesInProc(Img.Procs.size(), 0);
+  for (uint32_t S = 0; S < SiteProc.size(); ++S)
+    BranchesInProc[SiteProc[S]] =
+        std::max(BranchesInProc[SiteProc[S]], SiteOrdinal[S] + 1);
+  for (uint32_t Idx = 0; Idx < Img.Procs.size(); ++Idx) {
+    P.Procs[Idx].Name = Img.Procs[Idx].Name;
+    P.Procs[Idx].InstsExecuted = ProcInstCounts[Idx];
+    P.Procs[Idx].Branches.resize(BranchesInProc[Idx]);
+  }
+  for (uint32_t S = 0; S < SiteProc.size(); ++S) {
+    prof::BranchCounts &B = P.Procs[SiteProc[S]].Branches[SiteOrdinal[S]];
+    B.Executed = SiteExec[S];
+    B.Taken = SiteTaken[S];
+  }
+  for (const auto &[Key, Count] : CallEdgeCounts) {
+    prof::CallEdge E;
+    E.Caller = static_cast<uint32_t>(Key >> 32);
+    E.Callee = static_cast<uint32_t>(Key & 0xFFFFFFFFu);
+    E.Count = Count;
+    P.Edges.push_back(E);
+  }
 }
 
 uint8_t *Machine::memPtr(uint64_t Addr, unsigned Size) {
@@ -582,7 +713,7 @@ bool Machine::pairable(const InstMeta &A, const InstMeta &B) const {
   return true;
 }
 
-Result<SimResult> Machine::runFunctional() {
+template <bool Prof> Result<SimResult> Machine::runFunctional() {
   const Inst *C = Code.data();
   const InstMeta *M = Meta.data();
   const size_t N = Code.size();
@@ -602,6 +733,8 @@ Result<SimResult> Machine::runFunctional() {
     if (!step(I, Pc, NextPc, Halt))
       return stepFault(Pc, I);
     retire(M[Idx]);
+    if constexpr (Prof)
+      profileRetire(Idx, I, Pc, NextPc);
     if (Halt)
       break;
     ++Idx;
@@ -616,11 +749,13 @@ Result<SimResult> Machine::runFunctional() {
     }
   }
   Res.Cycles = 0;
+  if constexpr (Prof)
+    finishProfile();
   Res.FinalData = std::move(DataSegment);
   return std::move(Res);
 }
 
-Result<SimResult> Machine::runTiming() {
+template <bool Prof> Result<SimResult> Machine::runTiming() {
   Cache ICache(Cfg.ICache);
   Cache DCache(Cfg.DCache);
   const Inst *C = Code.data();
@@ -687,6 +822,8 @@ Result<SimResult> Machine::runTiming() {
     if (!step(I, Pc, NextPc, Halt))
       return stepFault(Pc, I);
     retire(IM);
+    if constexpr (Prof)
+      profileRetire(Idx, I, Pc, NextPc);
 
     // ----- retire timing -----
     unsigned Lat = IM.Latency;
@@ -732,6 +869,8 @@ Result<SimResult> Machine::runTiming() {
       return pcFault(NextPc);
     }
   }
+  if constexpr (Prof)
+    finishProfile();
   Res.FinalData = std::move(DataSegment);
   return std::move(Res);
 }
@@ -741,7 +880,9 @@ Result<SimResult> Machine::run() {
   writeInt(RA, static_cast<int64_t>(Layout::HaltReturnAddress));
   writeInt(SP, static_cast<int64_t>(Layout::StackTop - 512));
   writeInt(GP, static_cast<int64_t>(Img.InitialGp)); // prologue resets it
-  return Cfg.Timing ? runTiming() : runFunctional();
+  if (Cfg.Profile)
+    return Cfg.Timing ? runTiming<true>() : runFunctional<true>();
+  return Cfg.Timing ? runTiming<false>() : runFunctional<false>();
 }
 
 Result<SimResult> om64::sim::run(const Image &Img, const SimConfig &Cfg) {

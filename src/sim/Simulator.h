@@ -33,6 +33,7 @@
 
 #include "isa/Inst.h"
 #include "objfile/Image.h"
+#include "support/Profile.h"
 #include "support/Result.h"
 
 #include <array>
@@ -57,6 +58,13 @@ struct SimConfig {
   CacheConfig DCache{8192, 32, 20};
   /// Abort (with an error) after this many instructions.
   uint64_t MaxInstructions = 4000000000ull;
+  /// Collect an execution profile (SimResult::Profile): per-procedure
+  /// instruction heat, per-local-branch executed/taken counts, and the
+  /// dynamic call-edge graph, all keyed against the image's procedure
+  /// table. Works in both functional and timing mode; the profiled loops
+  /// are separate template instantiations, so runs with Profile off pay
+  /// nothing.
+  bool Profile = false;
 };
 
 /// Outcome of a run.
@@ -81,6 +89,9 @@ struct SimResult {
   /// ATOM-style profile counters (CALL_PAL count[i]); indexed by the
   /// instrumentation tool's counter ids. Empty when uninstrumented.
   std::vector<uint64_t> ProfileCounts;
+  /// Execution profile for `omlink --profile-in` (SimConfig::Profile runs
+  /// only; empty otherwise). See support/Profile.h for the keying scheme.
+  prof::Profile Profile;
   /// Final contents of the data segment (data + bss) at halt. OmVerify's
   /// differential harness hashes this to prove that two OM levels leave
   /// the program's memory in the same architectural state.

@@ -1,0 +1,144 @@
+//===- support/Profile.cpp -------------------------------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Profile.h"
+
+#include "support/ByteStream.h"
+#include "support/Format.h"
+
+using namespace om64;
+using namespace om64::prof;
+
+namespace {
+
+constexpr uint32_t Magic = 0x50584141; // "AAXP" little-endian
+constexpr uint32_t Version = 1;
+
+/// Upper bounds on declared counts: a corrupt or hostile length field must
+/// not drive a multi-gigabyte allocation before the truncation check can
+/// fire. Generous versus anything the 19-workload suite produces.
+constexpr uint64_t MaxProcs = 1u << 22;
+constexpr uint64_t MaxBranchesPerProc = 1u << 22;
+constexpr uint64_t MaxEdges = 1u << 24;
+constexpr uint64_t MaxNameBytes = 1u << 12;
+
+} // namespace
+
+bool Profile::empty() const {
+  for (const ProcProfile &P : Procs)
+    if (P.InstsExecuted != 0)
+      return false;
+  return true;
+}
+
+uint64_t Profile::totalInstructions() const {
+  uint64_t Total = 0;
+  for (const ProcProfile &P : Procs)
+    Total += P.InstsExecuted;
+  return Total;
+}
+
+std::vector<uint8_t> Profile::serialize() const {
+  ByteWriter W;
+  W.writeU32(Magic);
+  W.writeU32(Version);
+  W.writeU32(static_cast<uint32_t>(Procs.size()));
+  for (const ProcProfile &P : Procs) {
+    W.writeString(P.Name);
+    W.writeU64(P.InstsExecuted);
+    W.writeU32(static_cast<uint32_t>(P.Branches.size()));
+    for (const BranchCounts &B : P.Branches) {
+      W.writeU64(B.Executed);
+      W.writeU64(B.Taken);
+    }
+  }
+  W.writeU32(static_cast<uint32_t>(Edges.size()));
+  for (const CallEdge &E : Edges) {
+    W.writeU32(E.Caller);
+    W.writeU32(E.Callee);
+    W.writeU64(E.Count);
+  }
+  return W.take();
+}
+
+Result<Profile> Profile::deserialize(const std::vector<uint8_t> &Bytes) {
+  auto fail = [](const std::string &Msg) {
+    return Result<Profile>::failure("invalid profile: " + Msg);
+  };
+  ByteReader R(Bytes);
+  if (R.readU32() != Magic || R.hadError())
+    return fail("bad magic (not an AAXP profile)");
+  uint32_t V = R.readU32();
+  if (R.hadError())
+    return fail("truncated header");
+  if (V != Version)
+    return fail(formatString("version %u, this tool reads version %u", V,
+                             Version));
+
+  Profile P;
+  uint32_t NumProcs = R.readU32();
+  if (R.hadError() || NumProcs > MaxProcs)
+    return fail(formatString("implausible procedure count %u", NumProcs));
+  P.Procs.reserve(NumProcs);
+  for (uint32_t Idx = 0; Idx < NumProcs; ++Idx) {
+    ProcProfile Proc;
+    Proc.Name = R.readString();
+    if (R.hadError() || Proc.Name.empty() ||
+        Proc.Name.size() > MaxNameBytes)
+      return fail(formatString("bad name for procedure %u", Idx));
+    Proc.InstsExecuted = R.readU64();
+    uint32_t NumBranches = R.readU32();
+    if (R.hadError() || NumBranches > MaxBranchesPerProc)
+      return fail(formatString("implausible branch count in %s",
+                               Proc.Name.c_str()));
+    // 16 bytes per branch record must still be present; checking before
+    // the reserve keeps a lying count from allocating unbounded memory.
+    if (NumBranches > (Bytes.size() - R.position()) / 16)
+      return fail(formatString("truncated branch records in %s",
+                               Proc.Name.c_str()));
+    Proc.Branches.reserve(NumBranches);
+    for (uint32_t B = 0; B < NumBranches; ++B) {
+      BranchCounts C;
+      C.Executed = R.readU64();
+      C.Taken = R.readU64();
+      if (C.Taken > C.Executed)
+        return fail(formatString(
+            "%s branch %u: taken count %llu exceeds executed %llu",
+            Proc.Name.c_str(), B, (unsigned long long)C.Taken,
+            (unsigned long long)C.Executed));
+      Proc.Branches.push_back(C);
+    }
+    if (R.hadError())
+      return fail(formatString("truncated inside procedure %s",
+                               Proc.Name.c_str()));
+    P.Procs.push_back(std::move(Proc));
+  }
+
+  uint32_t NumEdges = R.readU32();
+  if (R.hadError() || NumEdges > MaxEdges)
+    return fail(formatString("implausible call-edge count %u", NumEdges));
+  if (NumEdges > (Bytes.size() - R.position()) / 16)
+    return fail("truncated call-edge records");
+  P.Edges.reserve(NumEdges);
+  for (uint32_t Idx = 0; Idx < NumEdges; ++Idx) {
+    CallEdge E;
+    E.Caller = R.readU32();
+    E.Callee = R.readU32();
+    E.Count = R.readU64();
+    if (!R.hadError() &&
+        (E.Caller >= P.Procs.size() || E.Callee >= P.Procs.size()))
+      return fail(formatString("call edge %u references procedure out of "
+                               "range (%u -> %u of %zu)",
+                               Idx, E.Caller, E.Callee, P.Procs.size()));
+    P.Edges.push_back(E);
+  }
+  if (R.hadError())
+    return fail("truncated call-edge records");
+  if (!R.atEnd())
+    return fail(formatString("%zu trailing bytes after the edge section",
+                             Bytes.size() - R.position()));
+  return P;
+}

@@ -1,0 +1,91 @@
+//===- support/Profile.h - Execution profiles for layout feedback ---------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compact execution-profile format that closes the loop between the
+/// timing simulator and OM's profile-guided code layout (the BOLT /
+/// Codestitcher direction named in PAPERS.md): `aaxrun --profile-out`
+/// serializes one of these from a run, and `omlink --profile-in` consumes
+/// it to drive hot/cold basic-block chaining and procedure ordering.
+///
+/// The profile is keyed *symbolically*, not by address, so it survives the
+/// relink it exists to steer: per procedure (by name), the execution and
+/// taken counts of every local branch in address order ("the k-th local
+/// branch of mod.proc"), plus per-procedure instruction heat and the
+/// dynamic call-edge multigraph. Local-branch ordinals are stable between
+/// the profiled link and the relink because both run the identical
+/// pre-layout pipeline: deletion never removes branches, rescheduling
+/// treats branches as barriers (order preserved), and alignment nops /
+/// instrumentation counters are not branches.
+///
+/// On-disk format (ByteWriter little-endian): magic "AAXP", a version
+/// word, then length-prefixed sections. Deserialization rejects bad magic,
+/// unknown versions, truncation, oversized declared counts, and trailing
+/// bytes with a diagnostic rather than trusting any length field.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_SUPPORT_PROFILE_H
+#define OM64_SUPPORT_PROFILE_H
+
+#include "support/Result.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace om64 {
+namespace prof {
+
+/// Dynamic counts of one local branch site (conditional or unconditional
+/// BR; never BSR), identified by its ordinal among the procedure's local
+/// branches in address order.
+struct BranchCounts {
+  uint64_t Executed = 0;
+  uint64_t Taken = 0; // <= Executed; unconditional BR is always taken
+};
+
+/// One procedure's profile.
+struct ProcProfile {
+  std::string Name;          // "mod.proc", as in Image::Procs
+  uint64_t InstsExecuted = 0; // retired instructions attributed to it
+  std::vector<BranchCounts> Branches; // by local-branch ordinal
+};
+
+/// One dynamic call edge: Caller and Callee index Profile::Procs.
+struct CallEdge {
+  uint32_t Caller = 0;
+  uint32_t Callee = 0;
+  uint64_t Count = 0;
+};
+
+/// A whole-run execution profile.
+struct Profile {
+  std::vector<ProcProfile> Procs;
+  std::vector<CallEdge> Edges;
+
+  /// True when no procedure recorded any executed instruction (e.g. a
+  /// freshly default-constructed profile). OM's layout pass leaves the
+  /// image untouched for such profiles.
+  bool empty() const;
+
+  /// Total retired instructions across all procedures.
+  uint64_t totalInstructions() const;
+
+  /// On-disk representation (magic "AAXP", version 1).
+  std::vector<uint8_t> serialize() const;
+
+  /// Parses the on-disk representation. Fails with a diagnostic on bad
+  /// magic, version mismatch, truncation, implausible declared counts,
+  /// inconsistent counts (Taken > Executed, edge endpoints out of range),
+  /// and trailing bytes.
+  static Result<Profile> deserialize(const std::vector<uint8_t> &Bytes);
+};
+
+} // namespace prof
+} // namespace om64
+
+#endif // OM64_SUPPORT_PROFILE_H

@@ -427,4 +427,135 @@ TEST(OmParallelTest, FarDataKeepsOrConvertsAddressLoads) {
     EXPECT_EQ(Leg.ExitCode, 7);
 }
 
+//===----------------------------------------------------------------------===//
+// Profile-guided layout: determinism, behaviour preservation, and the
+// empty-profile identity guarantee.
+//===----------------------------------------------------------------------===//
+
+om::OmOptions fullSchedOpts() {
+  OmOptions Opts;
+  Opts.Level = OmLevel::Full;
+  Opts.Reschedule = true;
+  Opts.AlignLoopTargets = true;
+  return Opts;
+}
+
+TEST(OmParallelTest, ProfileLayoutJobCountsProduceIdenticalImages) {
+  // The full feedback loop on every workload: profile a base link, relink
+  // with --layout=hot-cold at -j1 and -j4, and demand byte-identical
+  // images, unchanged program behaviour, and green per-stage invariants.
+  uint64_t TotalMoved = 0;
+  for (const std::string &Name : wl::workloadNames()) {
+    Result<wl::BuiltWorkload> W = wl::buildWorkload(Name);
+    ASSERT_TRUE(bool(W)) << Name << ": " << W.message();
+
+    Result<OmResult> Base =
+        wl::linkWithOm(*W, wl::CompileMode::Each, fullSchedOpts());
+    ASSERT_TRUE(bool(Base)) << Name << ": " << Base.message();
+    sim::SimConfig ProfCfg;
+    ProfCfg.Profile = true;
+    Result<sim::SimResult> ProfRun = sim::run(Base->Image, ProfCfg);
+    ASSERT_TRUE(bool(ProfRun)) << Name << ": " << ProfRun.message();
+    ASSERT_FALSE(ProfRun->Profile.empty()) << Name;
+
+    OmOptions Lay = fullSchedOpts();
+    Lay.HotColdLayout = true;
+    Lay.Profile = ProfRun->Profile;
+    Lay.VerifyEachStage = true; // includes the new profile-layout stage
+
+    Lay.Jobs = 1;
+    Result<OmResult> Serial = wl::linkWithOm(*W, wl::CompileMode::Each, Lay);
+    ASSERT_TRUE(bool(Serial)) << Name << " layout -j1: " << Serial.message();
+    Lay.Jobs = 4;
+    Result<OmResult> Par = wl::linkWithOm(*W, wl::CompileMode::Each, Lay);
+    ASSERT_TRUE(bool(Par)) << Name << " layout -j4: " << Par.message();
+
+    EXPECT_TRUE(Serial->Image.serialize() == Par->Image.serialize())
+        << Name << ": -j4 layout image differs from the -j1 layout image";
+    EXPECT_EQ(Serial->Stats.LayoutProcsReordered,
+              Par->Stats.LayoutProcsReordered)
+        << Name;
+    EXPECT_EQ(Serial->Stats.LayoutBlocksMoved, Par->Stats.LayoutBlocksMoved)
+        << Name;
+    EXPECT_EQ(Serial->Stats.LayoutColdBlocks, Par->Stats.LayoutColdBlocks)
+        << Name;
+    EXPECT_EQ(Serial->Stats.LayoutFixupBranches,
+              Par->Stats.LayoutFixupBranches)
+        << Name;
+    TotalMoved += Serial->Stats.LayoutBlocksMoved;
+
+    // The reordered image must still compute the same answer.
+    Result<sim::SimResult> LayRun = sim::run(Serial->Image);
+    ASSERT_TRUE(bool(LayRun)) << Name << ": " << LayRun.message();
+    EXPECT_EQ(LayRun->ExitCode, ProfRun->ExitCode) << Name;
+    EXPECT_EQ(LayRun->Output, ProfRun->Output) << Name;
+  }
+  // The pass must actually be live: if every workload came back untouched
+  // the layout is silently disabled and the bench above it meaningless.
+  EXPECT_GT(TotalMoved, 0u);
+}
+
+TEST(OmParallelTest, EmptyProfileLeavesImageByteIdentical) {
+  // --layout=hot-cold with a profile that recorded nothing must be a
+  // no-op at the byte level, not merely behaviour-preserving: cold-gated
+  // alignment and fixup insertion may only trigger in procedures the
+  // layout actually processed.
+  for (const std::string &Name : wl::workloadNames()) {
+    Result<wl::BuiltWorkload> W = wl::buildWorkload(Name);
+    ASSERT_TRUE(bool(W)) << Name << ": " << W.message();
+
+    Result<OmResult> Plain =
+        wl::linkWithOm(*W, wl::CompileMode::Each, fullSchedOpts());
+    ASSERT_TRUE(bool(Plain)) << Name << ": " << Plain.message();
+
+    OmOptions Lay = fullSchedOpts();
+    Lay.HotColdLayout = true;
+    ASSERT_TRUE(Lay.Profile.empty());
+    Result<OmResult> Empty = wl::linkWithOm(*W, wl::CompileMode::Each, Lay);
+    ASSERT_TRUE(bool(Empty)) << Name << ": " << Empty.message();
+
+    EXPECT_TRUE(Plain->Image.serialize() == Empty->Image.serialize())
+        << Name << ": empty profile changed the image";
+    EXPECT_EQ(Empty->Stats.LayoutProcsReordered, 0u) << Name;
+    EXPECT_EQ(Empty->Stats.LayoutBlocksMoved, 0u) << Name;
+  }
+}
+
+TEST(OmParallelTest, ProfileFromDifferentProgramIsSafe) {
+  // Feeding workload A's profile into workload B must not corrupt the
+  // image: procedures the profile does not match are skipped, and the
+  // result still runs to the same answer as the unprofiled link.
+  std::vector<std::string> Names = wl::workloadNames();
+  ASSERT_GE(Names.size(), 2u);
+  Result<wl::BuiltWorkload> A = wl::buildWorkload(Names[0]);
+  Result<wl::BuiltWorkload> B = wl::buildWorkload(Names[1]);
+  ASSERT_TRUE(bool(A)) << A.message();
+  ASSERT_TRUE(bool(B)) << B.message();
+
+  Result<OmResult> ABase =
+      wl::linkWithOm(*A, wl::CompileMode::Each, fullSchedOpts());
+  ASSERT_TRUE(bool(ABase)) << ABase.message();
+  sim::SimConfig ProfCfg;
+  ProfCfg.Profile = true;
+  Result<sim::SimResult> ARun = sim::run(ABase->Image, ProfCfg);
+  ASSERT_TRUE(bool(ARun)) << ARun.message();
+
+  Result<OmResult> BBase =
+      wl::linkWithOm(*B, wl::CompileMode::Each, fullSchedOpts());
+  ASSERT_TRUE(bool(BBase)) << BBase.message();
+  Result<sim::SimResult> BRef = sim::run(BBase->Image);
+  ASSERT_TRUE(bool(BRef)) << BRef.message();
+
+  OmOptions Lay = fullSchedOpts();
+  Lay.HotColdLayout = true;
+  Lay.Profile = ARun->Profile;
+  Lay.VerifyEachStage = true;
+  Result<OmResult> Mismatched = wl::linkWithOm(*B, wl::CompileMode::Each, Lay);
+  ASSERT_TRUE(bool(Mismatched)) << Mismatched.message();
+  Result<sim::SimResult> MisRun = sim::run(Mismatched->Image);
+  ASSERT_TRUE(bool(MisRun)) << MisRun.message();
+  EXPECT_EQ(MisRun->ExitCode, BRef->ExitCode);
+  EXPECT_EQ(MisRun->Output, BRef->Output);
+}
+
 } // namespace

@@ -7,6 +7,7 @@
 #include "support/ByteStream.h"
 #include "support/Diagnostics.h"
 #include "support/Format.h"
+#include "support/Profile.h"
 #include "support/Random.h"
 #include "support/Result.h"
 #include "support/ThreadPool.h"
@@ -218,6 +219,106 @@ TEST(DiagnosticsTest, RenderingAndCounts) {
   std::string Text = D.render();
   EXPECT_NE(Text.find("mod:3:7: warning: looks odd"), std::string::npos);
   EXPECT_NE(Text.find("mod:4:1: error: bad thing"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Execution-profile (AAXP) round trip and rejection paths
+//===----------------------------------------------------------------------===//
+
+prof::Profile makeSampleProfile() {
+  prof::Profile P;
+  prof::ProcProfile Main;
+  Main.Name = "t.main";
+  Main.InstsExecuted = 1234;
+  Main.Branches = {{100, 40}, {7, 7}, {0, 0}};
+  prof::ProcProfile Helper;
+  Helper.Name = "t.helper";
+  Helper.InstsExecuted = 56;
+  Helper.Branches = {{3, 1}};
+  P.Procs = {Main, Helper};
+  P.Edges = {{0, 1, 9}, {1, 1, 2}};
+  return P;
+}
+
+TEST(ProfileTest, SerializeDeserializeRoundTrip) {
+  prof::Profile P = makeSampleProfile();
+  Result<prof::Profile> R = prof::Profile::deserialize(P.serialize());
+  ASSERT_TRUE(bool(R)) << R.message();
+  ASSERT_EQ(R->Procs.size(), 2u);
+  EXPECT_EQ(R->Procs[0].Name, "t.main");
+  EXPECT_EQ(R->Procs[0].InstsExecuted, 1234u);
+  ASSERT_EQ(R->Procs[0].Branches.size(), 3u);
+  EXPECT_EQ(R->Procs[0].Branches[0].Executed, 100u);
+  EXPECT_EQ(R->Procs[0].Branches[0].Taken, 40u);
+  EXPECT_EQ(R->Procs[1].Name, "t.helper");
+  ASSERT_EQ(R->Edges.size(), 2u);
+  EXPECT_EQ(R->Edges[0].Caller, 0u);
+  EXPECT_EQ(R->Edges[0].Callee, 1u);
+  EXPECT_EQ(R->Edges[0].Count, 9u);
+  EXPECT_FALSE(R->empty());
+  EXPECT_EQ(R->totalInstructions(), 1290u);
+}
+
+TEST(ProfileTest, EmptyProfileRoundTripsAndReportsEmpty) {
+  prof::Profile P;
+  EXPECT_TRUE(P.empty());
+  Result<prof::Profile> R = prof::Profile::deserialize(P.serialize());
+  ASSERT_TRUE(bool(R)) << R.message();
+  EXPECT_TRUE(R->empty());
+  EXPECT_EQ(R->totalInstructions(), 0u);
+}
+
+TEST(ProfileTest, RejectsBadMagic) {
+  std::vector<uint8_t> Bytes = makeSampleProfile().serialize();
+  Bytes[0] ^= 0xFF;
+  Result<prof::Profile> R = prof::Profile::deserialize(Bytes);
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.message().find("invalid profile"), std::string::npos);
+  EXPECT_NE(R.message().find("bad magic"), std::string::npos);
+}
+
+TEST(ProfileTest, RejectsVersionMismatch) {
+  std::vector<uint8_t> Bytes = makeSampleProfile().serialize();
+  Bytes[4] = 99; // version word follows the 4-byte magic
+  Result<prof::Profile> R = prof::Profile::deserialize(Bytes);
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.message().find("version 99"), std::string::npos);
+}
+
+TEST(ProfileTest, RejectsTruncationAtEveryLength) {
+  std::vector<uint8_t> Bytes = makeSampleProfile().serialize();
+  // Every strict prefix must be rejected, never crash or silently parse.
+  for (size_t Len = 0; Len < Bytes.size(); ++Len) {
+    std::vector<uint8_t> Prefix(Bytes.begin(), Bytes.begin() + Len);
+    Result<prof::Profile> R = prof::Profile::deserialize(Prefix);
+    EXPECT_FALSE(bool(R)) << "prefix of " << Len << " bytes parsed";
+    if (!R)
+      EXPECT_NE(R.message().find("invalid profile"), std::string::npos);
+  }
+}
+
+TEST(ProfileTest, RejectsTrailingBytes) {
+  std::vector<uint8_t> Bytes = makeSampleProfile().serialize();
+  Bytes.push_back(0);
+  Result<prof::Profile> R = prof::Profile::deserialize(Bytes);
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.message().find("trailing"), std::string::npos);
+}
+
+TEST(ProfileTest, RejectsTakenExceedingExecuted) {
+  prof::Profile P = makeSampleProfile();
+  P.Procs[0].Branches[0] = {5, 6};
+  Result<prof::Profile> R = prof::Profile::deserialize(P.serialize());
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.message().find("taken count"), std::string::npos);
+}
+
+TEST(ProfileTest, RejectsEdgeEndpointOutOfRange) {
+  prof::Profile P = makeSampleProfile();
+  P.Edges[0].Callee = 7;
+  Result<prof::Profile> R = prof::Profile::deserialize(P.serialize());
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.message().find("out of range"), std::string::npos);
 }
 
 } // namespace

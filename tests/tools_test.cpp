@@ -229,6 +229,67 @@ TEST_F(ToolchainTest, InstrumentedLinkProfiles) {
   EXPECT_NE(SS.str().find("prog.accumulate"), std::string::npos);
 }
 
+TEST_F(ToolchainTest, ProfileGuidedRelinkLoop) {
+  // The README's three-command loop, with the --flag=value spellings:
+  // link, profile under the timing simulator, relink with hot/cold
+  // layout, and demand identical program behaviour.
+  std::string Out;
+  ASSERT_EQ(runCommand(toolsDir() + "/omlink -O full --sched -o " + Dir +
+                           "/base.aaxe " + allObjects(),
+                       Out),
+            0)
+      << Out;
+  EXPECT_EQ(runCommand(toolsDir() + "/aaxrun --profile-out=" + Dir +
+                           "/prog.aaxp " + Dir + "/base.aaxe",
+                       Out),
+            6);
+  EXPECT_EQ(Out, "30\n");
+
+  ASSERT_EQ(runCommand(toolsDir() + "/omlink -O full --sched --profile-in=" +
+                           Dir + "/prog.aaxp --layout=hot-cold " +
+                           "--stats-json - -o " + Dir + "/opt.aaxe " +
+                           allObjects(),
+                       Out),
+            0)
+      << Out;
+  EXPECT_NE(Out.find("layout_procs_reordered"), std::string::npos) << Out;
+  EXPECT_EQ(runCommand(toolsDir() + "/aaxrun " + Dir + "/opt.aaxe", Out), 6);
+  EXPECT_EQ(Out, "30\n");
+}
+
+TEST_F(ToolchainTest, LayoutFlagValidation) {
+  std::string Out;
+  // --layout=hot-cold without a profile is a usage error, not a crash.
+  EXPECT_EQ(runCommand(toolsDir() + "/omlink -O full --layout=hot-cold -o " +
+                           Dir + "/x.aaxe " + allObjects(),
+                       Out),
+            2);
+  // ... and so is requesting it below OM-full, even with a real profile.
+  ASSERT_EQ(runCommand(toolsDir() + "/omlink -O full -o " + Dir +
+                           "/base.aaxe " + allObjects(),
+                       Out),
+            0)
+      << Out;
+  EXPECT_EQ(runCommand(toolsDir() + "/aaxrun --profile-out=" + Dir +
+                           "/p.aaxp " + Dir + "/base.aaxe",
+                       Out),
+            6);
+  EXPECT_EQ(runCommand(toolsDir() + "/omlink -O simple --profile-in=" +
+                           Dir + "/p.aaxp --layout=hot-cold -o " + Dir +
+                           "/x.aaxe " + allObjects(),
+                       Out),
+            2);
+  // A corrupt profile file is rejected with a diagnostic.
+  std::ofstream Bad(Dir + "/bad.aaxp", std::ios::binary);
+  Bad << "not a profile";
+  Bad.close();
+  EXPECT_EQ(runCommand(toolsDir() + "/omlink -O full --profile-in=" + Dir +
+                           "/bad.aaxp --layout=hot-cold -o " + Dir +
+                           "/x.aaxe " + allObjects(),
+                       Out),
+            1);
+}
+
 TEST_F(ToolchainTest, BadInputsFailCleanly) {
   std::string Out;
   EXPECT_NE(runCommand(toolsDir() + "/aaxrun " + Dir + "/prog.aaxo", Out),

@@ -9,12 +9,14 @@
 /// the process exit code is the simulated program's.
 ///
 ///   aaxrun [--functional] [--stats] [--stats-json FILE] [--max-insts N]
-///          a.aaxe
+///          [--profile-out FILE] a.aaxe
 ///
 /// --stats prints the run's observability block (instruction-class
 /// histogram, load/store/branch mix, cache hit rates, simulated MIPS) to
 /// stderr; --stats-json writes the same data as JSON to FILE ("-" for
-/// stdout).
+/// stdout). --profile-out collects an execution profile (per-procedure
+/// heat, branch taken/fall-through counts, dynamic call edges) and writes
+/// it to FILE in the AAXP format `omlink --profile-in` consumes.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,32 +29,51 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 using namespace om64;
 
 static int usage() {
   std::fprintf(stderr,
                "usage: aaxrun [--functional] [--stats] [--stats-json FILE] "
-               "[--max-insts N] a.aaxe\n");
+               "[--max-insts N] [--profile-out FILE] a.aaxe\n");
   return 2;
 }
 
 int main(int argc, char **argv) {
   std::string Input;
   std::string StatsJsonPath;
+  std::string ProfileOutPath;
   sim::SimConfig Cfg;
   bool Stats = false;
 
+  // Accept both "--flag value" and "--flag=value" spellings.
+  std::vector<std::string> Argv;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
+    size_t Eq;
+    if (Arg.size() > 2 && Arg[0] == '-' && Arg[1] == '-' &&
+        (Eq = Arg.find('=')) != std::string::npos) {
+      Argv.push_back(Arg.substr(0, Eq));
+      Argv.push_back(Arg.substr(Eq + 1));
+    } else {
+      Argv.push_back(Arg);
+    }
+  }
+  const size_t NArgs = Argv.size();
+  for (size_t I = 0; I < NArgs; ++I) {
+    const std::string &Arg = Argv[I];
     if (Arg == "--functional") {
       Cfg.Timing = false;
     } else if (Arg == "--stats") {
       Stats = true;
-    } else if (Arg == "--stats-json" && I + 1 < argc) {
-      StatsJsonPath = argv[++I];
-    } else if (Arg == "--max-insts" && I + 1 < argc) {
-      Cfg.MaxInstructions = std::strtoull(argv[++I], nullptr, 10);
+    } else if (Arg == "--stats-json" && I + 1 < NArgs) {
+      StatsJsonPath = Argv[++I];
+    } else if (Arg == "--max-insts" && I + 1 < NArgs) {
+      Cfg.MaxInstructions = std::strtoull(Argv[++I].c_str(), nullptr, 10);
+    } else if (Arg == "--profile-out" && I + 1 < NArgs) {
+      ProfileOutPath = Argv[++I];
+      Cfg.Profile = true;
     } else if (!Arg.empty() && Arg[0] == '-') {
       return usage();
     } else if (Input.empty()) {
@@ -92,6 +113,12 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "aaxrun: run statistics (exit %lld):\n",
                  (long long)R->ExitCode);
     std::fputs(sim::statsText(*R, Cfg.Timing).c_str(), stderr);
+  }
+  if (!ProfileOutPath.empty()) {
+    if (Error E = writeFileBytes(ProfileOutPath, R->Profile.serialize())) {
+      std::fprintf(stderr, "aaxrun: %s\n", E.message().c_str());
+      return 1;
+    }
   }
   if (!StatsJsonPath.empty()) {
     std::string Json = sim::statsJson(*R, Cfg.Timing);

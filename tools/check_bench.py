@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for CI.
+
+Compares freshly-emitted bench JSON records against the committed
+baselines in docs/BENCH_*.json. Both sides use the uniform schema
+written by bench/BenchUtil.h::writeBenchJson:
+
+    {"bench": NAME, "schema": 1, "entries": [
+        {"name": ..., "metric": ..., "value": ..., "unit": ...,
+         "higher_is_better": ..., "tolerance_pct": ...}, ...]}
+
+Entries are matched across the two files by (name, metric). An entry
+regresses when its value moves in the *bad* direction (per
+higher_is_better) by more than the tolerance; movement in the good
+direction never fails, however large. The tolerance comes from the
+baseline entry's tolerance_pct, or --default-tolerance (15%) when the
+entry says -1. A baseline entry missing from the current record is a
+hard failure (a bench silently dropping a workload must not pass).
+
+Usage:
+    check_bench.py [--default-tolerance PCT] BASELINE CURRENT \
+                   [BASELINE CURRENT ...]
+
+Exit status: 0 all pairs pass, 1 any regression or schema problem.
+Stdlib only; do not add dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        raise SystemExit(f"check_bench: cannot read {path}: {e}")
+    if doc.get("schema") != 1 or not isinstance(doc.get("entries"), list):
+        raise SystemExit(
+            f"check_bench: {path}: not a schema-1 bench record "
+            "(regenerate with the bench's --json flag)")
+    return doc
+
+
+def index(doc, path):
+    out = {}
+    for e in doc["entries"]:
+        key = (e.get("name"), e.get("metric"))
+        if None in key:
+            raise SystemExit(
+                f"check_bench: {path}: entry missing name/metric: {e}")
+        if key in out:
+            raise SystemExit(
+                f"check_bench: {path}: duplicate entry {key}")
+        out[key] = e
+    return out
+
+
+def check_pair(baseline_path, current_path, default_tol):
+    base = load(baseline_path)
+    cur = load(current_path)
+    bench = base.get("bench", "?")
+    if cur.get("bench") != base.get("bench"):
+        print(f"FAIL {bench}: bench name mismatch "
+              f"({base.get('bench')} vs {cur.get('bench')})")
+        return 1
+
+    cur_by_key = index(cur, current_path)
+    failures = 0
+    checked = 0
+    for key, b in index(base, baseline_path).items():
+        name, metric = key
+        c = cur_by_key.get(key)
+        if c is None:
+            print(f"FAIL {bench}: {name}/{metric}: missing from current run")
+            failures += 1
+            continue
+        tol = b.get("tolerance_pct", -1)
+        if tol is None or tol < 0:
+            tol = default_tol
+        bv, cv = float(b["value"]), float(c["value"])
+        higher_better = bool(b.get("higher_is_better", False))
+        # Signed change in the "bad" direction, as a percent of baseline.
+        if bv == 0:
+            worse_pct = 0.0 if cv == 0 else float("inf")
+            if higher_better and cv > 0:
+                worse_pct = 0.0  # was zero, now positive: an improvement
+        else:
+            delta_pct = 100.0 * (cv - bv) / abs(bv)
+            worse_pct = -delta_pct if higher_better else delta_pct
+        checked += 1
+        if worse_pct > tol:
+            print(f"FAIL {bench}: {name}/{metric}: {bv:g} -> {cv:g} "
+                  f"({worse_pct:+.1f}% worse, tolerance {tol:g}%)")
+            failures += 1
+
+    extra = set(cur_by_key) - set(index(base, baseline_path))
+    for name, metric in sorted(extra):
+        print(f"note {bench}: {name}/{metric}: new entry, not in baseline "
+              "(update docs/BENCH_*.json to start gating it)")
+
+    status = "FAIL" if failures else "ok"
+    print(f"{status} {bench}: {checked} entries checked, "
+          f"{failures} regression(s)  [{baseline_path} vs {current_path}]")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--default-tolerance", type=float, default=15.0,
+                    metavar="PCT",
+                    help="tolerance for entries with tolerance_pct < 0 "
+                         "(default: 15)")
+    ap.add_argument("files", nargs="+", metavar="BASELINE CURRENT",
+                    help="one or more baseline/current file pairs")
+    args = ap.parse_args()
+    if len(args.files) % 2 != 0:
+        ap.error("files must come in BASELINE CURRENT pairs")
+
+    total_failures = 0
+    for i in range(0, len(args.files), 2):
+        total_failures += check_pair(args.files[i], args.files[i + 1],
+                                     args.default_tolerance)
+    return 1 if total_failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

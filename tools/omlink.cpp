@@ -18,6 +18,11 @@
 ///   -j N, --jobs N    worker threads for the per-procedure pipeline
 ///                     stages (0 = hardware concurrency, 1 = serial; the
 ///                     output image is byte-identical for every N)
+///   --profile-in FILE read an AAXP execution profile (aaxrun
+///                     --profile-out) to drive profile-guided decisions
+///   --layout MODE     "hot-cold" (OM-full, needs --profile-in): reorder
+///                     blocks so hot successors fall through, split cold
+///                     code, order procedures by call heat; "none" off
 ///   --stats           print OM's Figure 3-5 statistics for this link,
 ///                     plus per-stage wall times and the worker count
 ///   --stats-json FILE write the same statistics as JSON ("-" = stdout)
@@ -48,6 +53,7 @@ static int usage() {
                "usage: omlink [--standard | -O none|simple|full] [--sched]\n"
                "              [--no-sort] [--gat-max N] [-j N | --jobs N]\n"
                "              [--stats] [--stats-json FILE] [--instrument]\n"
+               "              [--profile-in FILE] [--layout none|hot-cold]\n"
                "              [--verify] [--verify-each-stage]\n"
                "              -o out.aaxe obj.aaxo...\n");
   return 2;
@@ -80,6 +86,10 @@ static std::string statsJson(const om::OmStats &S, om::OmLevel Level) {
   U("gp_groups", S.GpGroups);
   U("text_bytes_before", S.TextBytesBefore);
   U("text_bytes_after", S.TextBytesAfter);
+  U("layout_procs_reordered", S.LayoutProcsReordered);
+  U("layout_blocks_moved", S.LayoutBlocksMoved);
+  U("layout_cold_blocks", S.LayoutColdBlocks);
+  U("layout_fixup_branches", S.LayoutFixupBranches);
   J += "  \"stage_seconds\": {\n";
   auto Sec = [&](const char *Key, double V, bool Comma = true) {
     J += formatString("    \"%s\": %.6f%s\n", Key, V, Comma ? "," : "");
@@ -99,19 +109,34 @@ int main(int argc, char **argv) {
   std::vector<std::string> Inputs;
   std::string Output = "a.aaxe";
   std::string StatsJsonPath;
+  std::string ProfileInPath;
   bool Standard = false;
   bool Stats = false;
   om::OmOptions Opts;
   Opts.Jobs = 0; // hardware concurrency unless -j overrides
 
+  // Accept both "--flag value" and "--flag=value" spellings.
+  std::vector<std::string> Argv;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
-    if (Arg == "-o" && I + 1 < argc) {
-      Output = argv[++I];
+    size_t Eq;
+    if (Arg.size() > 2 && Arg[0] == '-' && Arg[1] == '-' &&
+        (Eq = Arg.find('=')) != std::string::npos) {
+      Argv.push_back(Arg.substr(0, Eq));
+      Argv.push_back(Arg.substr(Eq + 1));
+    } else {
+      Argv.push_back(Arg);
+    }
+  }
+  const size_t NArgs = Argv.size();
+  for (size_t I = 0; I < NArgs; ++I) {
+    const std::string &Arg = Argv[I];
+    if (Arg == "-o" && I + 1 < NArgs) {
+      Output = Argv[++I];
     } else if (Arg == "--standard") {
       Standard = true;
-    } else if (Arg == "-O" && I + 1 < argc) {
-      std::string Level = argv[++I];
+    } else if (Arg == "-O" && I + 1 < NArgs) {
+      std::string Level = Argv[++I];
       if (Level == "none")
         Opts.Level = om::OmLevel::None;
       else if (Level == "simple")
@@ -125,12 +150,22 @@ int main(int argc, char **argv) {
       Opts.AlignLoopTargets = true;
     } else if (Arg == "--no-sort") {
       Opts.SortDataBySize = false;
-    } else if (Arg == "--gat-max" && I + 1 < argc) {
+    } else if (Arg == "--gat-max" && I + 1 < NArgs) {
       Opts.MaxGatEntriesPerGroup =
-          static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
-    } else if ((Arg == "-j" || Arg == "--jobs") && I + 1 < argc) {
+          static_cast<unsigned>(std::strtoul(Argv[++I].c_str(), nullptr, 10));
+    } else if ((Arg == "-j" || Arg == "--jobs") && I + 1 < NArgs) {
       Opts.Jobs =
-          static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+          static_cast<unsigned>(std::strtoul(Argv[++I].c_str(), nullptr, 10));
+    } else if (Arg == "--profile-in" && I + 1 < NArgs) {
+      ProfileInPath = Argv[++I];
+    } else if (Arg == "--layout" && I + 1 < NArgs) {
+      std::string Mode = Argv[++I];
+      if (Mode == "hot-cold")
+        Opts.HotColdLayout = true;
+      else if (Mode == "none")
+        Opts.HotColdLayout = false;
+      else
+        return usage();
     } else if (Arg == "--instrument") {
       Opts.InstrumentProcedureCounts = true;
     } else if (Arg == "--verify") {
@@ -139,8 +174,8 @@ int main(int argc, char **argv) {
       Opts.VerifyEachStage = true;
     } else if (Arg == "--stats") {
       Stats = true;
-    } else if (Arg == "--stats-json" && I + 1 < argc) {
-      StatsJsonPath = argv[++I];
+    } else if (Arg == "--stats-json" && I + 1 < NArgs) {
+      StatsJsonPath = Argv[++I];
     } else if (!Arg.empty() && Arg[0] == '-') {
       return usage();
     } else {
@@ -149,6 +184,29 @@ int main(int argc, char **argv) {
   }
   if (Inputs.empty())
     return usage();
+  if (!ProfileInPath.empty()) {
+    Result<std::vector<uint8_t>> Bytes = readFileBytes(ProfileInPath);
+    if (!Bytes) {
+      std::fprintf(stderr, "omlink: %s\n", Bytes.message().c_str());
+      return 1;
+    }
+    Result<prof::Profile> P = prof::Profile::deserialize(*Bytes);
+    if (!P) {
+      std::fprintf(stderr, "omlink: %s: %s\n", ProfileInPath.c_str(),
+                   P.message().c_str());
+      return 1;
+    }
+    Opts.Profile = P.take();
+  }
+  if (Opts.HotColdLayout && ProfileInPath.empty()) {
+    std::fprintf(stderr,
+                 "omlink: --layout=hot-cold requires --profile-in\n");
+    return 2;
+  }
+  if (Opts.HotColdLayout && Opts.Level != om::OmLevel::Full) {
+    std::fprintf(stderr, "omlink: --layout=hot-cold requires -O full\n");
+    return 2;
+  }
 
   std::vector<obj::ObjectFile> Objs;
   for (const std::string &Path : Inputs) {
@@ -230,6 +288,14 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "  bsr fallback   %llu call(s) left as JSR "
                              "(out of BSR range)\n",
                      (unsigned long long)S.BsrFallbackJsrs);
+      if (Opts.HotColdLayout)
+        std::fprintf(stderr,
+                     "  layout         %llu proc(s) reordered, %llu blocks "
+                     "moved, %llu cold, %llu fixup branches\n",
+                     (unsigned long long)S.LayoutProcsReordered,
+                     (unsigned long long)S.LayoutBlocksMoved,
+                     (unsigned long long)S.LayoutColdBlocks,
+                     (unsigned long long)S.LayoutFixupBranches);
       std::fprintf(stderr,
                    "  pipeline       %u job(s); lift %.3fs, transforms "
                    "%.3fs, addr-loads %.3fs, code-motion %.3fs, assemble "
