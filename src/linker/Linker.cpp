@@ -251,6 +251,8 @@ Error LinkContext::applyRelocations(Image &Img) {
       }
       case RelocKind::LituseBase:
       case RelocKind::LituseJsr:
+      case RelocKind::LituseAddr:
+      case RelocKind::LituseDeref:
         break; // analysis hints only
       case RelocKind::GpDisp: {
         uint64_t AnchorAddr = TextBaseOf[ObjIdx] + R.AnchorOffset;

@@ -1,0 +1,1219 @@
+//===- om/Analysis.cpp - Link-time dataflow analysis ----------------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "om/Analysis.h"
+
+#include "isa/Registers.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace om64;
+using namespace om64::isa;
+using namespace om64::om;
+using namespace om64::om::analysis;
+
+//===----------------------------------------------------------------------===//
+// Abstract values
+//===----------------------------------------------------------------------===//
+
+AbsVal AbsVal::meet(const AbsVal &A, const AbsVal &B) {
+  if (A.Kind == ValueKind::Bottom)
+    return B;
+  if (B.Kind == ValueKind::Bottom)
+    return A;
+  if (A == B)
+    return A;
+  // Disagreeing global-derived values still agree on the region, which is
+  // all the scheduler's base disambiguation needs.
+  if (A.isGlobalDerived() && B.isGlobalDerived())
+    return AbsVal::globalPtr();
+  return AbsVal::unknown();
+}
+
+namespace {
+
+constexpr unsigned GpUnit = 29; // intUnit(isa::GP)
+constexpr unsigned PvUnit = 27; // intUnit(isa::PV)
+constexpr unsigned SpUnit = 30; // intUnit(isa::SP)
+constexpr unsigned RaUnit = 26; // intUnit(isa::RA)
+
+uint64_t unitBit(unsigned U) { return 1ull << U; }
+
+const char *unitName(unsigned U) {
+  return U < 32 ? intRegName(static_cast<uint8_t>(U))
+                : fpRegName(static_cast<uint8_t>(U - 32));
+}
+
+/// Register units a call conventionally reads: integer and fp arguments,
+/// SP and GP (the callee runs on the caller's stack and, without a live
+/// prologue, on the caller's GP), and the callee-saved registers (the
+/// callee's own prologue *reads* them to save them).
+uint64_t conventionalCallUse() {
+  uint64_t M = 0;
+  for (unsigned R = A0; R <= A5; ++R)
+    M |= unitBit(intUnit(static_cast<uint8_t>(R)));
+  for (unsigned F = 16; F <= 21; ++F) // f16..f21: fp arguments
+    M |= unitBit(fpUnit(static_cast<uint8_t>(F)));
+  for (unsigned R = S0; R <= S5; ++R)
+    M |= unitBit(intUnit(static_cast<uint8_t>(R)));
+  M |= unitBit(intUnit(FP)) | unitBit(intUnit(SP)) | unitBit(intUnit(GP));
+  for (unsigned F = 2; F <= 9; ++F) // f2..f9: fp callee-saved
+    M |= unitBit(fpUnit(static_cast<uint8_t>(F)));
+  return M;
+}
+
+/// Register units conventionally live at a return: the return values, the
+/// caller's stack and callee-saved state, and GP (the caller may continue
+/// on it when its post-call reset was deleted).
+uint64_t conventionalRetUse() {
+  uint64_t M = unitBit(intUnit(V0)) | unitBit(fpUnit(F0));
+  for (unsigned R = S0; R <= S5; ++R)
+    M |= unitBit(intUnit(static_cast<uint8_t>(R)));
+  M |= unitBit(intUnit(FP)) | unitBit(intUnit(SP)) | unitBit(intUnit(GP));
+  for (unsigned F = 2; F <= 9; ++F)
+    M |= unitBit(fpUnit(static_cast<uint8_t>(F)));
+  return M;
+}
+
+/// Register units a call may clobber (everything not callee-saved; PV's
+/// treatment depends on the callee's summary and is handled separately).
+uint64_t callerSavedUnits() {
+  uint64_t M = 0;
+  for (unsigned U = 0; U < NumRegUnits; ++U) {
+    if (isZeroUnit(U))
+      continue;
+    if (U < 32) {
+      if ((U >= S0 && U <= S5) || U == intUnit(FP) || U == SpUnit ||
+          U == GpUnit || U == PvUnit)
+        continue;
+      M |= unitBit(U);
+    } else {
+      unsigned F = U - 32;
+      if (F >= 2 && F <= 9) // f2..f9 callee-saved
+        continue;
+      M |= unitBit(U);
+    }
+  }
+  return M;
+}
+
+const uint64_t CallUseMask = conventionalCallUse();
+const uint64_t RetUseMask = conventionalRetUse();
+const uint64_t CallClobberMask = callerSavedUnits();
+const uint64_t AllUnitsMask =
+    ~(unitBit(intUnit(Zero)) | unitBit(fpUnit(FZero)));
+
+bool isCall(const SymInst &SI) {
+  return SI.Kind == SKind::DirectCall || SI.Kind == SKind::JsrViaGat ||
+         SI.Kind == SKind::JsrIndirect;
+}
+
+bool isHalt(const Inst &I) {
+  return classOf(I.Op) == InstClass::Pal &&
+         (static_cast<uint32_t>(I.Disp) & 0xffu) ==
+             static_cast<uint32_t>(PalFunc::Halt);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CFG construction
+//===----------------------------------------------------------------------===//
+
+bool Cfg::dominates(uint32_t A, uint32_t B) const {
+  if (A >= Blocks.size() || B >= Blocks.size() || !Reachable[A] ||
+      !Reachable[B])
+    return false;
+  while (true) {
+    if (B == A)
+      return true;
+    uint32_t Up = Idom[B];
+    if (Up == ~0u || Up == B)
+      return false;
+    B = Up;
+  }
+}
+
+Cfg analysis::buildCfg(const SymProc &Proc) {
+  Cfg C;
+  const std::vector<SymInst> &Insts = Proc.Insts;
+  const uint32_t N = static_cast<uint32_t>(Insts.size());
+  if (N == 0)
+    return C;
+
+  // Leaders: the entry, every local branch target, and every instruction
+  // after a live terminator (calls included — a call ends its block with a
+  // fall-through edge, which keeps call transfer functions edge-local).
+  // Nullified instructions are plain no-ops.
+  std::vector<uint8_t> Leader(N, 0);
+  Leader[0] = 1;
+  for (uint32_t I = 0; I < N; ++I) {
+    const SymInst &SI = Insts[I];
+    if (SI.Nullified)
+      continue;
+    if (SI.Kind == SKind::LocalBranch && SI.TargetIdx >= 0 &&
+        static_cast<uint32_t>(SI.TargetIdx) < N)
+      Leader[SI.TargetIdx] = 1;
+    if (isTerminator(SI.I.Op) && I + 1 < N)
+      Leader[I + 1] = 1;
+    if (SI.I.Op == Opcode::Jmp)
+      C.HasComputedJump = true;
+  }
+
+  C.BlockOf.assign(N, 0);
+  for (uint32_t I = 0; I < N; ++I) {
+    if (Leader[I]) {
+      CfgBlock B;
+      B.Begin = I;
+      C.Blocks.push_back(B);
+    }
+    C.BlockOf[I] = static_cast<uint32_t>(C.Blocks.size()) - 1;
+  }
+  for (size_t B = 0; B < C.Blocks.size(); ++B)
+    C.Blocks[B].End = B + 1 < C.Blocks.size() ? C.Blocks[B + 1].Begin : N;
+
+  // Edges. A successor past the last instruction is a fall-off-the-end
+  // edge, recorded per block rather than as an edge.
+  C.FallsOff.assign(C.Blocks.size(), 0);
+  for (uint32_t B = 0; B < C.Blocks.size(); ++B) {
+    CfgBlock &Blk = C.Blocks[B];
+    const SymInst &Last = Insts[Blk.End - 1];
+    auto addSucc = [&](uint32_t Target) {
+      if (Target >= N) {
+        C.FallsOff[B] = 1;
+        return;
+      }
+      Blk.Succs[Blk.NumSuccs++] = C.BlockOf[Target];
+    };
+    if (Last.Nullified) {
+      addSucc(Blk.End);
+    } else if (Last.Kind == SKind::LocalBranch) {
+      addSucc(static_cast<uint32_t>(Last.TargetIdx));
+      if (isCondBranch(Last.I.Op))
+        addSucc(Blk.End);
+    } else if (isCall(Last)) {
+      addSucc(Blk.End);
+    } else if (classOf(Last.I.Op) == InstClass::Jump) {
+      // Ret or a computed Jmp: no successors the symbolic form can see.
+    } else if (isHalt(Last.I)) {
+      // Halt: execution stops.
+    } else {
+      addSucc(Blk.End);
+    }
+  }
+  for (uint32_t B = 0; B < C.Blocks.size(); ++B)
+    for (uint32_t S = 0; S < C.Blocks[B].NumSuccs; ++S)
+      C.Blocks[C.Blocks[B].Succs[S]].Preds.push_back(B);
+
+  // Reachability and reverse postorder from the entry block.
+  C.Reachable.assign(C.Blocks.size(), 0);
+  std::vector<uint32_t> Post;
+  Post.reserve(C.Blocks.size());
+  {
+    // Iterative DFS; the second stack slot tracks the next successor.
+    std::vector<std::pair<uint32_t, uint32_t>> Stack;
+    Stack.emplace_back(0u, 0u);
+    C.Reachable[0] = 1;
+    while (!Stack.empty()) {
+      auto &[B, NextSucc] = Stack.back();
+      if (NextSucc < C.Blocks[B].NumSuccs) {
+        uint32_t S = C.Blocks[B].Succs[NextSucc++];
+        if (!C.Reachable[S]) {
+          C.Reachable[S] = 1;
+          Stack.emplace_back(S, 0u);
+        }
+      } else {
+        Post.push_back(B);
+        Stack.pop_back();
+      }
+    }
+  }
+  C.Rpo.assign(Post.rbegin(), Post.rend());
+  for (uint32_t B = 0; B < C.Blocks.size(); ++B)
+    if (C.Reachable[B] && C.FallsOff[B])
+      C.FallsOffEnd = true;
+
+  // Immediate dominators: the Cooper-Harvey-Kennedy iteration over RPO.
+  std::vector<uint32_t> RpoPos(C.Blocks.size(), ~0u);
+  for (uint32_t I = 0; I < C.Rpo.size(); ++I)
+    RpoPos[C.Rpo[I]] = I;
+  C.Idom.assign(C.Blocks.size(), ~0u);
+  auto intersect = [&](uint32_t A, uint32_t B) {
+    while (A != B) {
+      while (RpoPos[A] > RpoPos[B])
+        A = C.Idom[A] == ~0u ? 0 : C.Idom[A];
+      while (RpoPos[B] > RpoPos[A])
+        B = C.Idom[B] == ~0u ? 0 : C.Idom[B];
+    }
+    return A;
+  };
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t I = 1; I < C.Rpo.size(); ++I) {
+      uint32_t B = C.Rpo[I];
+      uint32_t NewIdom = ~0u;
+      for (uint32_t P : C.Blocks[B].Preds) {
+        if (!C.Reachable[P])
+          continue;
+        if (P != 0 && C.Idom[P] == ~0u)
+          continue; // not yet processed this round
+        NewIdom = NewIdom == ~0u ? P : intersect(NewIdom, P);
+      }
+      if (NewIdom != ~0u && C.Idom[B] != NewIdom) {
+        C.Idom[B] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Transfer functions
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Everything a transfer function needs besides the state: the program and
+/// the current interprocedural summaries (possibly mid-fixpoint).
+struct TransferCtx {
+  const SymbolicProgram &SP;
+  const std::vector<ProcSummary> &Summaries;
+  GpVal IndirectExitGp;
+  bool IndirectClobbersPv = true;
+  bool IndirectReturns = true;
+  bool IndirectReadsPv = true;
+};
+
+/// Resolves a call site to its callee procedure; ~0u means "indirect or
+/// through a data symbol" (use the combined indirect summary).
+uint32_t calleeOf(const SymbolicProgram &SP, const SymInst &SI) {
+  if (SI.Kind == SKind::DirectCall)
+    return SI.TargetProc;
+  if (SI.Kind == SKind::JsrViaGat && SI.LitId != ~0u) {
+    auto It = SP.Lits.find(SI.LitId);
+    if (It != SP.Lits.end() && It->second.TargetSym < SP.Syms.size() &&
+        SP.Syms[It->second.TargetSym].IsProc)
+      return SP.Syms[It->second.TargetSym].ProcIdx;
+  }
+  return ~0u;
+}
+
+/// Keeps the scalar GP slot consistent with the may-set domain. Entry and
+/// group GPs are global-segment addresses, so any GP that cannot be
+/// MaybeOther is at least GlobalPtr.
+void syncGpScalar(const SymProc &Proc, ValueState &S) {
+  if (S.Gp.provenGroup(Proc.GpGroup))
+    S.R[GpUnit] = AbsVal::gpOfGroup(Proc.GpGroup);
+  else if (!S.Gp.MaybeOther && (S.Gp.MaybeEntry || S.Gp.Groups != 0))
+    S.R[GpUnit] = AbsVal::globalPtr();
+  else
+    S.R[GpUnit] = AbsVal::unknown();
+}
+
+void setUnit(ValueState &S, unsigned U, const AbsVal &V) {
+  if (U == ~0u || isZeroUnit(U))
+    return;
+  S.R[U] = V;
+  if (U == GpUnit)
+    S.Gp = GpVal::other(); // a write outside a GP-disp pair is unpredictable
+}
+
+/// Forward transfer of one instruction over a value state. Nullified
+/// instructions are no-ops. Control effects (successors) live in the CFG;
+/// this models only register contents and the "call never returns" cut.
+void applyInst(const TransferCtx &C, const SymProc &Proc, const SymInst &SI,
+               ValueState &S) {
+  if (S.Unreachable || SI.Nullified)
+    return;
+  const Inst &I = SI.I;
+
+  // GP-establishing pairs and GAT loads first: their SKind carries meaning
+  // the raw opcode does not.
+  switch (SI.Kind) {
+  case SKind::GpHigh:
+    S.Gp = GpVal::other(); // mid-pair: GP holds a partial value
+    S.R[GpUnit] = AbsVal::unknown();
+    return;
+  case SKind::GpLow:
+    S.Gp = GpVal::ofGroup(Proc.GpGroup);
+    syncGpScalar(Proc, S);
+    return;
+  case SKind::AddressLoad: {
+    // Loads &TargetSym from the GAT (or computes it GP-relative once
+    // converted); the result is meaningful only under the right GP.
+    AbsVal V = AbsVal::unknown();
+    if (S.Gp.provenGroup(Proc.GpGroup) && SI.TargetSym < C.SP.Syms.size()) {
+      const PSym &Sym = C.SP.Syms[SI.TargetSym];
+      V = Sym.IsProc ? AbsVal::entryOf(Sym.ProcIdx)
+                     : AbsVal::addrOf(SI.TargetSym);
+    }
+    setUnit(S, intUnit(I.Ra), V);
+    return;
+  }
+  default:
+    break;
+  }
+
+  if (isCall(SI)) {
+    uint32_t Callee = calleeOf(C.SP, SI);
+    GpVal ExitGp = C.IndirectExitGp;
+    bool ClobbersPv = C.IndirectClobbersPv;
+    bool Returns = C.IndirectReturns;
+    if (Callee != ~0u && Callee < C.Summaries.size()) {
+      const ProcSummary &Sum = C.Summaries[Callee];
+      ExitGp = Sum.ExitGp;
+      ClobbersPv = Sum.ClobbersPv;
+      Returns = Sum.Returns;
+    }
+    if (!Returns) {
+      S = ValueState(); // everything after this call is unreachable
+      return;
+    }
+    GpVal PreGp = S.Gp;
+    for (unsigned U = 0; U < NumRegUnits; ++U)
+      if (CallClobberMask & unitBit(U))
+        S.R[U] = AbsVal::unknown();
+    if (ClobbersPv)
+      S.R[PvUnit] = AbsVal::unknown();
+    // Compose the callee's exit-GP summary with the caller's value:
+    // MaybeEntry in the summary means "some path returns with the GP the
+    // callee was entered with", i.e. this site's pre-call GP.
+    GpVal After;
+    After.Groups = ExitGp.Groups | (ExitGp.MaybeEntry ? PreGp.Groups : 0);
+    After.MaybeOther =
+        ExitGp.MaybeOther || (ExitGp.MaybeEntry && PreGp.MaybeOther);
+    After.MaybeEntry = ExitGp.MaybeEntry && PreGp.MaybeEntry;
+    S.Gp = After;
+    syncGpScalar(Proc, S);
+    return;
+  }
+
+  switch (classOf(I.Op)) {
+  case InstClass::Pal:
+    setUnit(S, regUnitWritten(I), AbsVal::unknown());
+    return;
+  case InstClass::LoadAddress: {
+    // LDA/LDAH: pointer arithmetic. A zero-displacement LDA is a move;
+    // otherwise the result stays in the base value's region.
+    AbsVal Base = S.R[intUnit(I.Rb)];
+    AbsVal V;
+    if (I.Op == Opcode::Lda && I.Disp == 0)
+      V = Base;
+    else if (Base.Kind == ValueKind::Stack)
+      V = AbsVal::stack();
+    else if (Base.isGlobalDerived())
+      V = AbsVal::globalPtr();
+    else
+      V = AbsVal::unknown();
+    setUnit(S, intUnit(I.Ra), V);
+    return;
+  }
+  case InstClass::IntOp: {
+    AbsVal A = S.R[intUnit(I.Ra)];
+    AbsVal B = I.IsLit ? AbsVal::unknown() : S.R[intUnit(I.Rb)];
+    AbsVal V = AbsVal::unknown();
+    switch (I.Op) {
+    case Opcode::Bis:
+      // The canonical move: BIS with one zero operand copies the other.
+      if (I.Ra == Zero && !I.IsLit)
+        V = B;
+      else if (!I.IsLit && I.Rb == Zero)
+        V = A;
+      else if (I.IsLit && I.Lit == 0)
+        V = A;
+      break;
+    case Opcode::Addq:
+    case Opcode::Subq:
+    case Opcode::S4addq:
+    case Opcode::S8addq:
+      // Pointer arithmetic keeps the pointer operand's region: MLang
+      // derives a pointer only from its own object, so for defined
+      // executions the sum stays in that object's segment (DESIGN.md
+      // records the out-of-bounds caveat).
+      if (A.Kind == ValueKind::Stack || B.Kind == ValueKind::Stack)
+        V = AbsVal::stack();
+      else if (A.isGlobalDerived() || B.isGlobalDerived())
+        V = AbsVal::globalPtr();
+      break;
+    default:
+      break;
+    }
+    setUnit(S, intUnit(I.Rc), V);
+    return;
+  }
+  default:
+    setUnit(S, regUnitWritten(I), AbsVal::unknown());
+    return;
+  }
+}
+
+void meetInto(ValueState &Into, const ValueState &From) {
+  if (From.Unreachable)
+    return;
+  if (Into.Unreachable) {
+    Into = From;
+    return;
+  }
+  for (unsigned U = 0; U < NumRegUnits; ++U)
+    Into.R[U] = AbsVal::meet(Into.R[U], From.R[U]);
+  Into.Gp |= From.Gp;
+}
+
+bool sameState(const ValueState &A, const ValueState &B) {
+  if (A.Unreachable != B.Unreachable)
+    return false;
+  if (A.Unreachable)
+    return true;
+  return A.R == B.R && A.Gp == B.Gp;
+}
+
+/// The abstract state every procedure is entered with. Temporaries are
+/// provably uninitialized (the basis of L001); argument, callee-saved, and
+/// linkage registers hold caller values, defined by convention (the loader
+/// provides SP, RA, GP, and PV for the entry procedure). GP starts as the
+/// MaybeEntry marker, resolved against the procedure's entry summary at
+/// query time, so the per-procedure analysis is independent of EntryGp.
+ValueState entryState(uint32_t ProcIdx) {
+  ValueState S;
+  S.Unreachable = false;
+  for (unsigned U = 0; U < NumRegUnits; ++U)
+    S.R[U] = AbsVal::uninit();
+  auto def = [&](unsigned U) { S.R[U] = AbsVal::unknown(); };
+  def(intUnit(Zero));
+  def(fpUnit(FZero));
+  for (unsigned R = A0; R <= A5; ++R)
+    def(intUnit(static_cast<uint8_t>(R)));
+  for (unsigned F = 16; F <= 21; ++F)
+    def(fpUnit(static_cast<uint8_t>(F)));
+  for (unsigned R = S0; R <= S5; ++R)
+    def(intUnit(static_cast<uint8_t>(R)));
+  for (unsigned F = 2; F <= 9; ++F)
+    def(fpUnit(static_cast<uint8_t>(F)));
+  def(intUnit(FP));
+  def(RaUnit);
+  def(fpUnit(F0)); // scratch, but conventionally holds the caller's value
+  S.R[SpUnit] = AbsVal::stack();
+  S.R[PvUnit] = AbsVal::entryOf(ProcIdx);
+  S.Gp = GpVal::entry();
+  S.R[GpUnit] = AbsVal::globalPtr();
+  return S;
+}
+
+/// One procedure's per-round analysis products that feed the
+/// interprocedural fixpoint.
+struct ProcRound {
+  ProcValues Values;
+  ProcSummary Summary;
+  /// Call-site EntryGp contributions: (callee, raw pre-call GpVal). Raw
+  /// means MaybeEntry is not yet resolved through this procedure's own
+  /// EntryGp.
+  std::vector<std::pair<uint32_t, GpVal>> CalleeEntries;
+  /// Raw pre-call GpVals of indirect call sites and computed jumps — they
+  /// contribute to every address-taken procedure's entry.
+  std::vector<GpVal> IndirectEntries;
+  bool HasDataCall = false; // JsrViaGat through a non-procedure symbol
+};
+
+/// Runs the intra-procedural value fixpoint for one procedure under the
+/// given (mid-fixpoint) summaries and extracts the round products.
+ProcRound analyzeProcRound(const TransferCtx &C, const Cfg &Cfg_,
+                           uint32_t ProcIdx) {
+  const SymProc &Proc = C.SP.Procs[ProcIdx];
+  ProcRound R;
+  R.Values.In.assign(Cfg_.Blocks.size(), ValueState());
+  if (Cfg_.Blocks.empty())
+    return R;
+  R.Values.In[0] = entryState(ProcIdx);
+
+  // Iterate over RPO to a fixpoint: meets only descend the lattice, so
+  // in-states are meet-accumulated and never reset. (The entry block keeps
+  // its entry state met with any back edges into instruction 0.)
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t B : Cfg_.Rpo) {
+      ValueState S = R.Values.In[B];
+      if (S.Unreachable)
+        continue;
+      const CfgBlock &Blk = Cfg_.Blocks[B];
+      for (uint32_t I = Blk.Begin; I < Blk.End; ++I)
+        applyInst(C, Proc, Proc.Insts[I], S);
+      for (uint32_t SuccI = 0; SuccI < Blk.NumSuccs; ++SuccI) {
+        ValueState &In = R.Values.In[Blk.Succs[SuccI]];
+        ValueState Old = In;
+        meetInto(In, S);
+        if (!sameState(Old, In))
+          Changed = true;
+      }
+    }
+  }
+
+  // Summary extraction: walk each reachable block once more, recording
+  // call-site GP values, exit GP at returns, and the PV-clobber bit.
+  R.Summary.ReadsPvAtEntry = false;
+  for (const SymInst &SI : Proc.Insts)
+    if (SI.Kind == SKind::GpHigh && !SI.Nullified &&
+        SI.GpKind == obj::GpDispKind::Prologue)
+      R.Summary.ReadsPvAtEntry = true;
+  R.Summary.ClobbersPv = false;
+  R.Summary.Returns = false;
+  for (uint32_t B = 0; B < Cfg_.Blocks.size(); ++B) {
+    ValueState S = R.Values.In[B];
+    if (S.Unreachable)
+      continue;
+    const CfgBlock &Blk = Cfg_.Blocks[B];
+    for (uint32_t I = Blk.Begin; I < Blk.End; ++I) {
+      const SymInst &SI = Proc.Insts[I];
+      if (!SI.Nullified && !S.Unreachable) {
+        if (isCall(SI)) {
+          uint32_t Callee = calleeOf(C.SP, SI);
+          if (Callee != ~0u) {
+            R.CalleeEntries.emplace_back(Callee, S.Gp);
+            if (C.Summaries[Callee].ClobbersPv)
+              R.Summary.ClobbersPv = true;
+          } else {
+            R.IndirectEntries.push_back(S.Gp);
+            if (SI.Kind == SKind::JsrViaGat)
+              R.HasDataCall = true;
+            if (C.IndirectClobbersPv)
+              R.Summary.ClobbersPv = true;
+          }
+        } else if (regUnitWritten(SI.I) == PvUnit) {
+          R.Summary.ClobbersPv = true;
+        }
+        if (SI.I.Op == Opcode::Jmp) {
+          // A computed jump may land anywhere: treat it as an indirect
+          // tail-transfer with this GP that may also return to our caller.
+          R.IndirectEntries.push_back(S.Gp);
+          R.Summary.ClobbersPv = true;
+        }
+      }
+      applyInst(C, Proc, Proc.Insts[I], S);
+    }
+    if (S.Unreachable)
+      continue;
+    const SymInst &Last = Proc.Insts[Blk.End - 1];
+    if (!Last.Nullified && Last.I.Op == Opcode::Ret) {
+      R.Summary.Returns = true;
+      R.Summary.ExitGp |= S.Gp;
+    }
+    if (!Last.Nullified && Last.I.Op == Opcode::Jmp) {
+      R.Summary.Returns = true;
+      R.Summary.ExitGp |= GpVal::other();
+    }
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Liveness
+//===----------------------------------------------------------------------===//
+
+/// Backward transfer of one instruction over a live-unit mask.
+uint64_t liveStep(const TransferCtx &C, const SymInst &SI, uint64_t Live) {
+  if (SI.Nullified)
+    return Live;
+  const Inst &I = SI.I;
+  if (isCall(SI)) {
+    // The call writes its link register; the callee conventionally reads
+    // arguments, anchors, and callee-saved registers (to save them). PV is
+    // read when the callee's entry executes a live prologue (direct calls
+    // with SkipPrologue enter past it); the JSR's own target-register read
+    // is added with regUnitsRead below.
+    unsigned W = regUnitWritten(I);
+    if (W != ~0u)
+      Live &= ~unitBit(W);
+    Live |= CallUseMask;
+    uint32_t Callee = calleeOf(C.SP, SI);
+    bool ReadsPv;
+    if (Callee != ~0u)
+      ReadsPv = C.Summaries[Callee].ReadsPvAtEntry &&
+                !(SI.Kind == SKind::DirectCall && SI.SkipPrologue);
+    else
+      ReadsPv = C.IndirectReadsPv;
+    if (ReadsPv)
+      Live |= unitBit(PvUnit);
+  } else {
+    unsigned W = regUnitWritten(I);
+    if (W != ~0u)
+      Live &= ~unitBit(W);
+  }
+  unsigned Units[3];
+  unsigned N = regUnitsRead(I, Units);
+  for (unsigned K = 0; K < N; ++K)
+    if (!isZeroUnit(Units[K]))
+      Live |= unitBit(Units[K]);
+  return Live;
+}
+
+/// Live-out mask of a block with no recorded successors.
+uint64_t exitLiveOut(const Cfg &Cfg_, const SymProc &Proc, uint32_t B) {
+  const CfgBlock &Blk = Cfg_.Blocks[B];
+  const SymInst &Last = Proc.Insts[Blk.End - 1];
+  if (!Last.Nullified && Last.I.Op == Opcode::Ret)
+    return RetUseMask;
+  if (!Last.Nullified && Last.I.Op == Opcode::Jmp)
+    return AllUnitsMask; // computed target: anything may be read
+  if (!Last.Nullified && classOf(Last.I.Op) == InstClass::Pal)
+    return 0; // halt (the only successor-less PAL)
+  // Falls off the end of the procedure into whatever the layout places
+  // next: everything is potentially read.
+  return AllUnitsMask;
+}
+
+ProcLiveness analyzeLiveness(const TransferCtx &C, const Cfg &Cfg_,
+                             uint32_t ProcIdx) {
+  const SymProc &Proc = C.SP.Procs[ProcIdx];
+  ProcLiveness L;
+  L.In.assign(Cfg_.Blocks.size(), 0);
+  L.Out.assign(Cfg_.Blocks.size(), 0);
+  if (Cfg_.Blocks.empty())
+    return L;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (auto It = Cfg_.Rpo.rbegin(); It != Cfg_.Rpo.rend(); ++It) {
+      uint32_t B = *It;
+      const CfgBlock &Blk = Cfg_.Blocks[B];
+      uint64_t Out = 0;
+      if (Blk.NumSuccs == 0 && !Cfg_.FallsOff[B])
+        Out = exitLiveOut(Cfg_, Proc, B);
+      for (uint32_t S = 0; S < Blk.NumSuccs; ++S)
+        Out |= L.In[Blk.Succs[S]];
+      if (Cfg_.FallsOff[B])
+        Out |= AllUnitsMask; // the fall-off edge reads everything
+      uint64_t LiveIn = Out;
+      for (uint32_t I = Blk.End; I > Blk.Begin; --I)
+        LiveIn = liveStep(C, Proc.Insts[I - 1], LiveIn);
+      if (Out != L.Out[B] || LiveIn != L.In[B]) {
+        L.Out[B] = Out;
+        L.In[B] = LiveIn;
+        Changed = true;
+      }
+    }
+  }
+  return L;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Whole-program analysis
+//===----------------------------------------------------------------------===//
+
+ProgramAnalysis analysis::analyzeProgram(const SymbolicProgram &SP,
+                                         ThreadPool &Pool) {
+  ProgramAnalysis PA;
+  const size_t N = SP.Procs.size();
+  PA.Cfgs.resize(N);
+  Pool.parallelFor(N, [&](size_t I) { PA.Cfgs[I] = buildCfg(SP.Procs[I]); });
+
+  bool AnyComputedJump = false;
+  for (const Cfg &C : PA.Cfgs)
+    AnyComputedJump |= C.HasComputedJump;
+  std::vector<uint32_t> AddressTaken;
+  for (uint32_t I = 0; I < N; ++I)
+    if (SP.Procs[I].AddressTaken)
+      AddressTaken.push_back(I);
+
+  // Interprocedural fixpoint over {ExitGp, Returns, ClobbersPv}: start
+  // from the optimistic bottom (the least fixpoint — sound because any
+  // concrete returning execution has a finite call tree whose innermost
+  // return surfaces in round one and propagates outward). Each round
+  // re-runs the per-procedure value analysis in parallel against the
+  // previous round's summaries; the round count is bounded by the summary
+  // lattice height. All reductions are in procedure-index order.
+  PA.Summaries.assign(N, ProcSummary{});
+  for (ProcSummary &S : PA.Summaries) {
+    S.Returns = false;
+    S.ClobbersPv = false;
+  }
+  std::vector<ProcRound> Rounds(N);
+  auto makeCtx = [&]() {
+    TransferCtx C{SP, PA.Summaries, GpVal::other(), true, true, true};
+    if (!AnyComputedJump && !AddressTaken.empty()) {
+      GpVal Exit = GpVal::bottom();
+      bool Clobbers = false, Returns = false, ReadsPv = false;
+      for (uint32_t P : AddressTaken) {
+        Exit |= PA.Summaries[P].ExitGp;
+        Clobbers |= PA.Summaries[P].ClobbersPv;
+        Returns |= PA.Summaries[P].Returns;
+        ReadsPv |= PA.Summaries[P].ReadsPvAtEntry;
+      }
+      C.IndirectExitGp = Exit;
+      C.IndirectClobbersPv = Clobbers;
+      C.IndirectReturns = Returns;
+      C.IndirectReadsPv = ReadsPv;
+    }
+    return C;
+  };
+  bool SummariesChanged = true;
+  while (SummariesChanged) {
+    TransferCtx C = makeCtx();
+    Pool.parallelFor(N, [&](size_t I) {
+      Rounds[I] = analyzeProcRound(C, PA.Cfgs[I], static_cast<uint32_t>(I));
+    });
+    SummariesChanged = false;
+    for (size_t I = 0; I < N; ++I) {
+      ProcSummary &Old = PA.Summaries[I];
+      const ProcSummary &New = Rounds[I].Summary;
+      if (Old.ExitGp != New.ExitGp || Old.Returns != New.Returns ||
+          Old.ClobbersPv != New.ClobbersPv ||
+          Old.ReadsPvAtEntry != New.ReadsPvAtEntry) {
+        GpVal Entry = Old.EntryGp; // filled below; preserve across rounds
+        Old = New;
+        Old.EntryGp = Entry;
+        SummariesChanged = true;
+      }
+    }
+  }
+  PA.Values.resize(N);
+  for (size_t I = 0; I < N; ++I)
+    PA.Values[I] = std::move(Rounds[I].Values);
+
+  // Final combined indirect summary, stored for query-time transfers.
+  bool AnyDataCall = false;
+  for (size_t I = 0; I < N; ++I)
+    AnyDataCall |= Rounds[I].HasDataCall;
+  {
+    TransferCtx C = makeCtx();
+    PA.IndirectExitGp = C.IndirectExitGp;
+    PA.IndirectClobbersPv = C.IndirectClobbersPv;
+    PA.IndirectReturns = C.IndirectReturns;
+    PA.IndirectReadsPv = C.IndirectReadsPv;
+    if (AnyDataCall) {
+      // A call through a data symbol can reach code the symbolic form
+      // doesn't model; poison the combined summary.
+      PA.IndirectExitGp |= GpVal::other();
+      PA.IndirectClobbersPv = true;
+      PA.IndirectReturns = true;
+      PA.IndirectReadsPv = true;
+    }
+  }
+
+  // EntryGp fixpoint: a serial union iteration over the collected
+  // call-site contributions (cheap bitset unions), seeded by the loader
+  // contract: the simulator enters the entry procedure with GP already
+  // holding its group's value.
+  for (uint32_t I = 0; I < N; ++I)
+    if (SP.Procs[I].IsEntry)
+      PA.Summaries[I].EntryGp |= GpVal::ofGroup(SP.Procs[I].GpGroup);
+  auto resolveEntry = [](const GpVal &Raw, const GpVal &CallerEntry) {
+    if (!Raw.MaybeEntry)
+      return Raw;
+    GpVal V = Raw;
+    V.MaybeEntry = false;
+    V.Groups |= CallerEntry.Groups;
+    V.MaybeOther |= CallerEntry.MaybeOther;
+    // CallerEntry bottom: the caller itself is never entered, so this
+    // site never executes and contributes nothing (yet).
+    return V;
+  };
+  if (AnyDataCall || AnyComputedJump)
+    for (uint32_t P : AddressTaken)
+      PA.Summaries[P].EntryGp |= GpVal::other();
+  bool EntryChanged = true;
+  while (EntryChanged) {
+    EntryChanged = false;
+    for (uint32_t I = 0; I < N; ++I) {
+      const GpVal MyEntry = PA.Summaries[I].EntryGp;
+      for (const auto &[Callee, Raw] : Rounds[I].CalleeEntries) {
+        if (Callee >= N)
+          continue;
+        GpVal V = resolveEntry(Raw, MyEntry);
+        GpVal &E = PA.Summaries[Callee].EntryGp;
+        GpVal Old = E;
+        E |= V;
+        EntryChanged |= !(E == Old);
+      }
+      for (const GpVal &Raw : Rounds[I].IndirectEntries) {
+        GpVal V = resolveEntry(Raw, MyEntry);
+        for (uint32_t P : AddressTaken) {
+          GpVal &E = PA.Summaries[P].EntryGp;
+          GpVal Old = E;
+          E |= V;
+          EntryChanged |= !(E == Old);
+        }
+      }
+    }
+  }
+
+  // Backward liveness per procedure (pure: needs only the converged
+  // summaries).
+  PA.Live.resize(N);
+  {
+    TransferCtx C{SP,
+                  PA.Summaries,
+                  PA.IndirectExitGp,
+                  PA.IndirectClobbersPv,
+                  PA.IndirectReturns,
+                  PA.IndirectReadsPv};
+    Pool.parallelFor(N, [&](size_t I) {
+      PA.Live[I] = analyzeLiveness(C, PA.Cfgs[I], static_cast<uint32_t>(I));
+    });
+  }
+
+  // Dataflow reach sets for the verify-stage audit against
+  // computeReachableGroups: the groups a procedure's call subtree may
+  // leave established in GP at return (pass-through excluded; MaybeOther
+  // saturates to all groups, the pattern side's convention).
+  PA.ReachableGroups.assign(N, 0);
+  for (size_t I = 0; I < N; ++I) {
+    const GpVal &Exit = PA.Summaries[I].ExitGp;
+    PA.ReachableGroups[I] = Exit.Groups | (Exit.MaybeOther ? ~0ull : 0);
+  }
+  return PA;
+}
+
+ValueState ProgramAnalysis::valuesBefore(const SymbolicProgram &SP,
+                                         uint32_t ProcIdx,
+                                         uint32_t InstIdx) const {
+  const SymProc &Proc = SP.Procs[ProcIdx];
+  const Cfg &C = Cfgs[ProcIdx];
+  if (InstIdx >= C.BlockOf.size())
+    return ValueState();
+  uint32_t B = C.BlockOf[InstIdx];
+  ValueState S = Values[ProcIdx].In[B];
+  TransferCtx Ctx{SP,
+                  Summaries,
+                  IndirectExitGp,
+                  IndirectClobbersPv,
+                  IndirectReturns,
+                  IndirectReadsPv};
+  for (uint32_t I = C.Blocks[B].Begin; I < InstIdx; ++I)
+    applyInst(Ctx, Proc, Proc.Insts[I], S);
+  return S;
+}
+
+uint64_t ProgramAnalysis::liveAfter(const SymbolicProgram &SP,
+                                    uint32_t ProcIdx, uint32_t InstIdx) const {
+  const SymProc &Proc = SP.Procs[ProcIdx];
+  const Cfg &C = Cfgs[ProcIdx];
+  if (InstIdx >= C.BlockOf.size())
+    return AllUnitsMask;
+  uint32_t B = C.BlockOf[InstIdx];
+  const CfgBlock &Blk = C.Blocks[B];
+  TransferCtx Ctx{SP,
+                  Summaries,
+                  IndirectExitGp,
+                  IndirectClobbersPv,
+                  IndirectReturns,
+                  IndirectReadsPv};
+  uint64_t L = Live[ProcIdx].Out[B];
+  for (uint32_t I = Blk.End; I > InstIdx + 1; --I)
+    L = liveStep(Ctx, Proc.Insts[I - 1], L);
+  return L;
+}
+
+std::vector<uint8_t> analysis::memBaseRegions(const SymbolicProgram &SP,
+                                              const ProgramAnalysis &PA,
+                                              uint32_t ProcIdx) {
+  const SymProc &Proc = SP.Procs[ProcIdx];
+  std::vector<uint8_t> Regions(Proc.Insts.size(), 0);
+  const Cfg &C = PA.Cfgs[ProcIdx];
+  TransferCtx Ctx{SP,
+                  PA.Summaries,
+                  PA.IndirectExitGp,
+                  PA.IndirectClobbersPv,
+                  PA.IndirectReturns,
+                  PA.IndirectReadsPv};
+  for (uint32_t B = 0; B < C.Blocks.size(); ++B) {
+    ValueState S = PA.Values[ProcIdx].In[B];
+    const CfgBlock &Blk = C.Blocks[B];
+    for (uint32_t I = Blk.Begin; I < Blk.End; ++I) {
+      const SymInst &SI = Proc.Insts[I];
+      if (!S.Unreachable && !SI.Nullified &&
+          (isLoad(SI.I.Op) || isStore(SI.I.Op))) {
+        const AbsVal &Base = S.R[intUnit(SI.I.Rb)];
+        if (Base.Kind == ValueKind::Stack)
+          Regions[I] = 2;
+        else if (Base.isGlobalDerived())
+          Regions[I] = 1;
+      }
+      applyInst(Ctx, Proc, SI, S);
+    }
+  }
+  return Regions;
+}
+
+GpProof ProgramAnalysis::gpBefore(const SymbolicProgram &SP, uint32_t ProcIdx,
+                                  uint32_t InstIdx, uint32_t Group) const {
+  ValueState S = valuesBefore(SP, ProcIdx, InstIdx);
+  if (S.Unreachable)
+    return GpProof::Unreachable;
+  GpVal G = S.Gp;
+  if (G.MaybeEntry) {
+    const GpVal &E = Summaries[ProcIdx].EntryGp;
+    if (E.isBottom())
+      return GpProof::Unreachable; // the procedure is never entered
+    G.MaybeEntry = false;
+    G.Groups |= E.Groups;
+    G.MaybeOther |= E.MaybeOther;
+  }
+  return G.provenGroup(Group) ? GpProof::Proven : GpProof::Unproven;
+}
+
+//===----------------------------------------------------------------------===//
+// Lint
+//===----------------------------------------------------------------------===//
+
+unsigned analysis::runLint(const SymbolicProgram &SP,
+                           const ProgramAnalysis &PA,
+                           DiagnosticEngine &Diags) {
+  unsigned Findings = 0;
+  TransferCtx Ctx{SP,
+                  PA.Summaries,
+                  PA.IndirectExitGp,
+                  PA.IndirectClobbersPv,
+                  PA.IndirectReturns,
+                  PA.IndirectReadsPv};
+  for (uint32_t ProcIdx = 0; ProcIdx < SP.Procs.size(); ++ProcIdx) {
+    const SymProc &Proc = SP.Procs[ProcIdx];
+    const Cfg &C = PA.Cfgs[ProcIdx];
+    if (Proc.Insts.empty())
+      continue;
+    std::string Buffer = "lint:" + Proc.Name;
+    auto report = [&](uint32_t InstIdx, const std::string &Msg) {
+      Diags.warning(Buffer, SourceLoc{InstIdx + 1, 0}, Msg);
+      ++Findings;
+    };
+
+    for (uint32_t B = 0; B < C.Blocks.size(); ++B) {
+      if (!C.Reachable[B])
+        continue;
+      ValueState S = PA.Values[ProcIdx].In[B];
+      const CfgBlock &Blk = C.Blocks[B];
+      for (uint32_t I = Blk.Begin; I < Blk.End; ++I) {
+        const SymInst &SI = Proc.Insts[I];
+        if (SI.Nullified || S.Unreachable) {
+          applyInst(Ctx, Proc, SI, S);
+          continue;
+        }
+        // L001: a read of a register no path has written since entry.
+        unsigned Units[3];
+        unsigned NR = regUnitsRead(SI.I, Units);
+        for (unsigned K = 0; K < NR; ++K) {
+          unsigned U = Units[K];
+          if (!isZeroUnit(U) && S.R[U].Kind == ValueKind::Uninit) {
+            report(I, formatString(
+                          "L001: reads uninitialized register %s at +%u",
+                          unitName(U), I * 4));
+            break;
+          }
+        }
+        // L002: a GAT address load whose GP is not provably this group's.
+        if (SI.Kind == SKind::AddressLoad) {
+          GpVal G = S.Gp;
+          bool NeverEntered = false;
+          if (G.MaybeEntry) {
+            const GpVal &E = PA.Summaries[ProcIdx].EntryGp;
+            if (E.isBottom()) {
+              NeverEntered = true; // dead procedure: the load can't run
+            } else {
+              G.MaybeEntry = false;
+              G.Groups |= E.Groups;
+              G.MaybeOther |= E.MaybeOther;
+            }
+          }
+          if (!NeverEntered && !G.provenGroup(Proc.GpGroup))
+            report(I, formatString("L002: GAT address load at +%u is "
+                                   "reachable with a wrong or unknown GP",
+                                   I * 4));
+        }
+        // L005: call-convention violations.
+        if (SI.Kind == SKind::JsrViaGat && SI.LitId != ~0u) {
+          auto It = SP.Lits.find(SI.LitId);
+          if (It != SP.Lits.end() && It->second.TargetSym < SP.Syms.size() &&
+              !SP.Syms[It->second.TargetSym].IsProc)
+            report(I,
+                   formatString("L005: call at +%u targets data symbol '%s'",
+                                I * 4,
+                                SP.Syms[It->second.TargetSym].Name.c_str()));
+        }
+        if (SI.I.Op == Opcode::Jsr && SI.I.Ra != RA)
+          report(I, formatString(
+                        "L005: call at +%u links through %s instead of ra",
+                        I * 4, intRegName(SI.I.Ra)));
+        if (SI.Kind == SKind::DirectCall && SI.I.Op == Opcode::Bsr &&
+            SI.I.Ra != RA)
+          report(I, formatString(
+                        "L005: call at +%u links through %s instead of ra",
+                        I * 4, intRegName(SI.I.Ra)));
+        if (SI.I.Op == Opcode::Ret && SI.I.Rb != RA)
+          report(I, formatString(
+                        "L005: return at +%u through %s instead of ra",
+                        I * 4, intRegName(SI.I.Rb)));
+        applyInst(Ctx, Proc, SI, S);
+      }
+    }
+    // L003: blocks no path from the procedure entry reaches. Compiled code
+    // legitimately contains dead register-only straight-line blocks — the
+    // compiler's default-return guard behind an always-taken branch, nop
+    // padding — so only blocks with an observable effect (a store, a call,
+    // or control flow of their own) are reported.
+    for (uint32_t B = 0; B < C.Blocks.size(); ++B) {
+      if (C.Reachable[B])
+        continue;
+      bool Observable = false;
+      for (uint32_t I = C.Blocks[B].Begin;
+           I < C.Blocks[B].End && !Observable; ++I) {
+        const SymInst &SI = Proc.Insts[I];
+        if (SI.Nullified)
+          continue;
+        InstClass Cls = classOf(SI.I.Op);
+        Observable = isStore(SI.I.Op) || Cls == InstClass::Branch ||
+                     Cls == InstClass::Jump || Cls == InstClass::Pal;
+      }
+      if (Observable)
+        report(C.Blocks[B].Begin,
+               formatString("L003: unreachable block at +%u",
+                            C.Blocks[B].Begin * 4));
+    }
+    // L004: a reachable path runs past the last instruction into whatever
+    // the layout places next.
+    if (C.FallsOffEnd)
+      report(static_cast<uint32_t>(Proc.Insts.size()) - 1,
+             "L004: control can fall through the end of the procedure");
+  }
+  return Findings;
+}
+
+//===----------------------------------------------------------------------===//
+// Lint corpus
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct CorpusProc {
+  std::string Name;
+  std::vector<Inst> Insts;
+  bool UsesGp = false;
+};
+
+obj::ObjectFile makeCorpusObject(const std::vector<CorpusProc> &Procs) {
+  obj::ObjectFile O;
+  O.ModuleName = "lintcase";
+  uint64_t Off = 0;
+  for (const CorpusProc &P : Procs) {
+    obj::Symbol S;
+    S.Name = "lintcase." + P.Name;
+    S.Section = obj::SectionKind::Text;
+    S.Offset = Off;
+    S.Size = P.Insts.size() * 4;
+    S.IsProcedure = true;
+    S.IsExported = true;
+    S.IsDefined = true;
+    obj::ProcDesc D;
+    D.SymbolIndex = static_cast<uint32_t>(O.Symbols.size());
+    D.TextOffset = Off;
+    D.TextSize = S.Size;
+    D.UsesGp = P.UsesGp;
+    O.Symbols.push_back(std::move(S));
+    O.Procs.push_back(D);
+    for (const Inst &I : P.Insts) {
+      uint32_t W = encode(I);
+      O.Text.push_back(static_cast<uint8_t>(W));
+      O.Text.push_back(static_cast<uint8_t>(W >> 8));
+      O.Text.push_back(static_cast<uint8_t>(W >> 16));
+      O.Text.push_back(static_cast<uint8_t>(W >> 24));
+    }
+    Off += P.Insts.size() * 4;
+  }
+  return O;
+}
+
+} // namespace
+
+std::vector<LintCase> analysis::lintCorpus() {
+  std::vector<LintCase> Cases;
+
+  // clean: a well-formed module with no findings — the gate's
+  // false-positive check.
+  {
+    CorpusProc Main{"main",
+                    {makeMem(Opcode::Lda, V0, 7, Zero),
+                     makeJump(Opcode::Ret, Zero, RA)},
+                    false};
+    Cases.push_back({"", "clean", makeCorpusObject({Main})});
+  }
+
+  // L001: the ADDQ reads t0, which no path has written since entry.
+  {
+    CorpusProc Main{"main",
+                    {makeOpLit(Opcode::Addq, T0, 1, V0),
+                     makeJump(Opcode::Ret, Zero, RA)},
+                    false};
+    Cases.push_back({"L001", "uninit_read", makeCorpusObject({Main})});
+  }
+
+  // L002: main clobbers GP, then calls f, whose GAT load therefore runs
+  // under an unknown GP.
+  {
+    CorpusProc Main{"main",
+                    {makeMem(Opcode::Lda, GP, 0, Zero),
+                     makeBranch(Opcode::Bsr, RA, 1), // -> f at +12
+                     makeJump(Opcode::Ret, Zero, RA)},
+                    false};
+    CorpusProc F{"f",
+                 {makeMem(Opcode::Ldq, T0, 0, GP),
+                  makeJump(Opcode::Ret, Zero, RA)},
+                 true};
+    obj::ObjectFile O = makeCorpusObject({Main, F});
+    obj::Symbol D;
+    D.Name = "lintcase.d";
+    D.Section = obj::SectionKind::Data;
+    D.Offset = 0;
+    D.Size = 8;
+    D.IsDefined = true;
+    uint32_t DIdx = static_cast<uint32_t>(O.Symbols.size());
+    O.Symbols.push_back(std::move(D));
+    O.Data.assign(8, 0);
+    O.Gat.push_back({DIdx, 0});
+    obj::Reloc R;
+    R.Kind = obj::RelocKind::Literal;
+    R.Section = obj::SectionKind::Text;
+    R.Offset = 12; // f's LDQ
+    R.GatIndex = 0;
+    R.LiteralId = 0;
+    O.Relocs.push_back(R);
+    Cases.push_back({"L002", "wrong_gp_load", std::move(O)});
+  }
+
+  // L003: the BR skips over a block nothing branches to; the dead block
+  // has its own RET, so it is real code, not a benign dead-value guard.
+  {
+    CorpusProc Main{"main",
+                    {makeBranch(Opcode::Br, Zero, 2), // -> ret at index 3
+                     makeMem(Opcode::Lda, V0, 1, Zero),
+                     makeJump(Opcode::Ret, Zero, RA),
+                     makeJump(Opcode::Ret, Zero, RA)},
+                    false};
+    Cases.push_back({"L003", "unreachable_block", makeCorpusObject({Main})});
+  }
+
+  // L004: main has no terminator and falls into f.
+  {
+    CorpusProc Main{"main", {makeMem(Opcode::Lda, V0, 0, Zero)}, false};
+    CorpusProc F{"f", {makeJump(Opcode::Ret, Zero, RA)}, false};
+    Cases.push_back({"L004", "fall_through", makeCorpusObject({Main, F})});
+  }
+
+  // L005: an indirect call that links through t0 instead of RA.
+  {
+    CorpusProc Main{"main",
+                    {makeMem(Opcode::Lda, T1, 0, Zero),
+                     makeJump(Opcode::Jsr, T0, T1),
+                     makeJump(Opcode::Ret, Zero, RA)},
+                    false};
+    Cases.push_back({"L005", "bad_link_reg", makeCorpusObject({Main})});
+  }
+
+  return Cases;
+}

@@ -1,0 +1,342 @@
+//===- om/Analysis.h - Link-time dataflow analysis over symbolic form -----===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// OmAnalysis: the dataflow layer under OM's transforms, lint mode, and
+/// deletion-proof verification.
+///
+/// The paper's OM-full justifies its deletions by understanding the
+/// recovered control structure; the pattern transforms in Transforms.cpp
+/// approximate that understanding syntactically ("this looks like a GP
+/// reset after a call"). This file provides the real thing:
+///
+///   * a per-procedure CFG over SymbolicProgram with dominator trees,
+///   * a forward abstract interpretation tracking register contents as
+///     symbolic values (GpOfGroup(g), EntryOf(proc), AddrOf(sym), Stack,
+///     Uninit, Unknown; meet at joins) with a dedicated may-set domain for
+///     GP so pass-through callees keep caller facts precise,
+///   * backward register liveness over the 64 register units,
+///   * an interprocedural fixpoint over per-procedure entry/exit GP
+///     summaries, seeded from the loader contract (the simulator enters
+///     the entry procedure with PV = entry address and GP = its group's
+///     GP value),
+///   * a binary lint (`omlink --lint`, tools/aaxlint) reporting convention
+///     violations as L001..L005 diagnostics, with a built-in corpus of
+///     broken modules that seed exactly one finding each.
+///
+/// Everything here is a pure function of the SymbolicProgram: per-procedure
+/// passes fan out on the ThreadPool into per-index slots and are reduced in
+/// procedure order, so results are identical for any pool size. OmContext
+/// (OmImpl.h) caches one ProgramAnalysis per mutation epoch; transforms
+/// invalidate it by stage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_OM_ANALYSIS_H
+#define OM64_OM_ANALYSIS_H
+
+#include "om/SymbolicProgram.h"
+#include "support/Diagnostics.h"
+#include "support/ThreadPool.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace om64 {
+namespace om {
+namespace analysis {
+
+//===----------------------------------------------------------------------===//
+// Abstract values
+//===----------------------------------------------------------------------===//
+
+/// What a register may hold at a program point, as a single symbolic value.
+/// Bottom is the meet identity (no path reaches the point yet); Unknown is
+/// the top ("anything"). Uninit means every path reaches the point without
+/// the register ever being written — the basis of lint L001.
+enum class ValueKind : uint8_t {
+  Bottom,
+  Uninit,
+  EntryOf,   // entry address of procedure Id
+  AddrOf,    // address of data symbol Id (exact, offset 0)
+  GpOfGroup, // the GP value of GAT group Id
+  GlobalPtr, // derived pointer into the text/data segment (identity lost)
+  Stack,     // SP-derived pointer into the stack segment
+  Unknown,
+};
+
+/// One abstract register value.
+struct AbsVal {
+  ValueKind Kind = ValueKind::Bottom;
+  uint32_t Id = 0; // EntryOf: proc index; AddrOf: symbol id; GpOfGroup: group
+
+  static AbsVal bottom() { return {}; }
+  static AbsVal uninit() { return {ValueKind::Uninit, 0}; }
+  static AbsVal unknown() { return {ValueKind::Unknown, 0}; }
+  static AbsVal entryOf(uint32_t Proc) { return {ValueKind::EntryOf, Proc}; }
+  static AbsVal addrOf(uint32_t Sym) { return {ValueKind::AddrOf, Sym}; }
+  static AbsVal gpOfGroup(uint32_t G) { return {ValueKind::GpOfGroup, G}; }
+  static AbsVal globalPtr() { return {ValueKind::GlobalPtr, 0}; }
+  static AbsVal stack() { return {ValueKind::Stack, 0}; }
+
+  bool operator==(const AbsVal &O) const = default;
+
+  /// True for values that are provably addresses into text/data (never the
+  /// stack segment).
+  bool isGlobalDerived() const {
+    return Kind == ValueKind::EntryOf || Kind == ValueKind::AddrOf ||
+           Kind == ValueKind::GpOfGroup || Kind == ValueKind::GlobalPtr;
+  }
+
+  /// Lattice meet: Bottom is the identity, equal values meet to themselves,
+  /// and any disagreement goes to Unknown (GlobalPtr absorbs other
+  /// global-derived values so base classification survives joins).
+  static AbsVal meet(const AbsVal &A, const AbsVal &B);
+};
+
+/// The GP register gets a richer domain than one scalar: a may-set. This is
+/// what keeps pass-through callees precise — a callee that establishes no
+/// GP on some paths and its own group's GP on others returns
+/// "entry-GP-or-group-g", which a same-group caller can still prove
+/// correct. Joins are field-wise unions; GP is *proven* to hold group g's
+/// value only when the set is exactly {g} (after resolving MaybeEntry
+/// through the procedure's entry summary).
+struct GpVal {
+  bool MaybeEntry = false; // may still hold the procedure's entry GP
+  bool MaybeOther = false; // may hold a non-GP-of-any-group value
+  uint64_t Groups = 0;     // may hold group g's GP, for every set bit g
+                           // (groups >= 64 saturate into MaybeOther, the
+                           // same convention as computeReachableGroups)
+
+  static GpVal bottom() { return {}; }
+  static GpVal entry() { return {true, false, 0}; }
+  static GpVal other() { return {false, true, 0}; }
+  static GpVal ofGroup(uint32_t G) {
+    if (G >= 64)
+      return other();
+    return {false, false, 1ull << G};
+  }
+
+  bool isBottom() const { return !MaybeEntry && !MaybeOther && Groups == 0; }
+  bool operator==(const GpVal &O) const = default;
+
+  GpVal &operator|=(const GpVal &O) {
+    MaybeEntry |= O.MaybeEntry;
+    MaybeOther |= O.MaybeOther;
+    Groups |= O.Groups;
+    return *this;
+  }
+
+  /// True when this value, with MaybeEntry already resolved away, is
+  /// exactly group \p G's GP.
+  bool provenGroup(uint32_t G) const {
+    return !MaybeEntry && !MaybeOther && G < 64 && Groups == (1ull << G);
+  }
+};
+
+/// Result of asking whether GP provably holds a group's value at a point.
+enum class GpProof : uint8_t {
+  Proven,      // GP == GpOfGroup(g) on every path into the point
+  Unreachable, // no path reaches the point at all
+  Unproven,
+};
+
+//===----------------------------------------------------------------------===//
+// Control-flow graph
+//===----------------------------------------------------------------------===//
+
+/// One basic block: the half-open instruction range [Begin, End) plus its
+/// successor/predecessor edges (block indices). At most two successors
+/// (fall-through and/or one branch target).
+struct CfgBlock {
+  uint32_t Begin = 0;
+  uint32_t End = 0;
+  uint32_t NumSuccs = 0;
+  std::array<uint32_t, 2> Succs = {~0u, ~0u};
+  std::vector<uint32_t> Preds;
+};
+
+/// Per-procedure CFG with reachability, reverse postorder, and immediate
+/// dominators. Nullified instructions are treated as no-ops (they fall
+/// through), calls end their block with a fall-through edge, and Ret /
+/// Halt / computed jumps end their block with no successors.
+struct Cfg {
+  std::vector<CfgBlock> Blocks;   // in instruction order
+  std::vector<uint32_t> BlockOf;  // instruction index -> block index
+  std::vector<uint8_t> Reachable; // per block, from the entry block
+  std::vector<uint32_t> Rpo;      // reachable blocks in reverse postorder
+  std::vector<uint32_t> Idom;     // per block; ~0u for entry/unreachable
+  /// Per block: control can run past the last instruction of the procedure
+  /// from here (a missing terminator, or a conditional branch at the end).
+  /// Liveness treats the fall-off edge as reading every register.
+  std::vector<uint8_t> FallsOff;
+  /// True when some reachable block can fall through past the last
+  /// instruction (into the next procedure) — lint L004.
+  bool FallsOffEnd = false;
+  /// True when the procedure contains a computed jump (Opcode::Jmp); its
+  /// targets are invisible to the symbolic form, so every analysis goes
+  /// conservative for the whole program.
+  bool HasComputedJump = false;
+
+  /// True when block \p A dominates block \p B (reflexive). Unreachable
+  /// blocks are dominated by nothing and dominate nothing.
+  bool dominates(uint32_t A, uint32_t B) const;
+};
+
+/// Builds the CFG of one procedure. Pure; safe to call concurrently on
+/// different procedures.
+Cfg buildCfg(const SymProc &Proc);
+
+//===----------------------------------------------------------------------===//
+// Per-procedure dataflow results
+//===----------------------------------------------------------------------===//
+
+/// Abstract register state at a program point: one scalar value per
+/// register unit, plus the may-set GP domain (the scalar slot for GP holds
+/// the projection of Gp — GpOfGroup(g) when proven, Unknown otherwise).
+/// Unreachable marks points no execution reaches (the meet identity); it
+/// covers both CFG-unreachable blocks and code after provably
+/// non-returning calls.
+struct ValueState {
+  std::array<AbsVal, 64> R;
+  GpVal Gp;
+  bool Unreachable = true;
+};
+
+/// Forward value-analysis result: the state at entry to each block
+/// (indices align with Cfg::Blocks). Unreachable blocks keep all-Bottom
+/// states.
+struct ProcValues {
+  std::vector<ValueState> In;
+};
+
+/// Backward liveness result: live register units (bit = unit) at block
+/// entry and exit.
+struct ProcLiveness {
+  std::vector<uint64_t> In;
+  std::vector<uint64_t> Out;
+};
+
+/// Interprocedural summary of one procedure, produced by the optimistic
+/// fixpoint in analyzeProgram.
+struct ProcSummary {
+  /// GP on entry, as the union over every call site (plus the loader for
+  /// the entry procedure and every indirect call site for address-taken
+  /// procedures). MaybeEntry is always resolved away here.
+  GpVal EntryGp;
+  /// GP on return, relative to entry: MaybeEntry set means some path
+  /// returns with the entry GP untouched (pass-through).
+  GpVal ExitGp;
+  /// True when some reachable return exists (false: provably no return,
+  /// e.g. every path halts — the least-fixpoint reading is sound).
+  bool Returns = false;
+  /// May write PV anywhere in its call subtree before returning. A callee
+  /// with this false preserves the caller's PV — the basis of the
+  /// "provably equal PV at the call" deletion.
+  bool ClobbersPv = true;
+  /// Entering at instruction 0 executes a live prologue GP-set pair,
+  /// whose LDAH reads PV.
+  bool ReadsPvAtEntry = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Whole-program analysis
+//===----------------------------------------------------------------------===//
+
+/// Everything OmAnalysis knows about one SymbolicProgram. All vectors are
+/// indexed by procedure.
+struct ProgramAnalysis {
+  std::vector<Cfg> Cfgs;
+  std::vector<ProcValues> Values;
+  std::vector<ProcLiveness> Live;
+  std::vector<ProcSummary> Summaries;
+  /// Combined summary applied at indirect call sites: the union of every
+  /// address-taken procedure's ExitGp/ClobbersPv (conservatively Unknown
+  /// when the program has computed jumps or calls through data literals).
+  GpVal IndirectExitGp;
+  bool IndirectClobbersPv = true;
+  bool IndirectReturns = true;
+  bool IndirectReadsPv = true;
+  /// Groups the dataflow proves each procedure's call subtree may leave in
+  /// GP at return (same ~0 saturation as computeReachableGroups); the
+  /// verify stage asserts this is a subset of the pattern's reach set.
+  std::vector<uint64_t> ReachableGroups;
+
+  /// Abstract register state immediately before Procs[ProcIdx].Insts[InstIdx]
+  /// (all-Bottom when the instruction's block is unreachable). Walks the
+  /// block from its stored entry state.
+  ValueState valuesBefore(const SymbolicProgram &SP, uint32_t ProcIdx,
+                          uint32_t InstIdx) const;
+
+  /// Live register units immediately after Insts[InstIdx] (i.e. the set a
+  /// deletion of InstIdx must not be observed by). Walks the block
+  /// backward from its stored exit liveness.
+  uint64_t liveAfter(const SymbolicProgram &SP, uint32_t ProcIdx,
+                     uint32_t InstIdx) const;
+
+  /// Whether GP provably holds group \p Group's value on every path into
+  /// Insts[InstIdx].
+  GpProof gpBefore(const SymbolicProgram &SP, uint32_t ProcIdx,
+                   uint32_t InstIdx, uint32_t Group) const;
+};
+
+/// Analyzes the whole program: CFGs and dominators per procedure, the
+/// interprocedural GP fixpoint, per-procedure value states and liveness.
+/// Deterministic for any pool size (per-index slots, procedure-order
+/// reductions, order-insensitive meets).
+ProgramAnalysis analyzeProgram(const SymbolicProgram &SP, ThreadPool &Pool);
+
+/// Classifies every instruction's memory base register for the
+/// rescheduler's alias disambiguation: 0 = unknown, 1 = global (a
+/// text/data-segment pointer: GP, a GAT-loaded address, or arithmetic on
+/// one), 2 = stack (SP-derived). Non-memory instructions get 0. The codes
+/// match sched::MemRegion by value. Pure per procedure.
+std::vector<uint8_t> memBaseRegions(const SymbolicProgram &SP,
+                                    const ProgramAnalysis &PA,
+                                    uint32_t ProcIdx);
+
+//===----------------------------------------------------------------------===//
+// Lint
+//===----------------------------------------------------------------------===//
+
+/// Runs the binary lint over an analyzed program and appends one warning
+/// per finding to \p Diags (buffer "lint:<procedure>", line = 1-based
+/// instruction index, message prefixed with the L-code). Returns the
+/// number of findings. Codes (see docs/LINT.md):
+///
+///   L001  read of a provably-uninitialized register
+///   L002  GAT address load reachable with a wrong or unknown GP
+///   L003  unreachable basic block containing real code (a store, call,
+///         or control flow; dead register-only guards and padding that
+///         compilers legitimately emit are not reported)
+///   L004  control falls through the end of a procedure
+///   L005  call-convention violation (call linking through a register
+///         other than RA, return through a register other than RA, or a
+///         GAT call through a data symbol)
+unsigned runLint(const SymbolicProgram &SP, const ProgramAnalysis &PA,
+                 DiagnosticEngine &Diags);
+
+/// One corpus case: a complete, linkable module seeded with exactly one
+/// lint defect (Code "L001".."L005"), or none (Code empty, Name "clean").
+struct LintCase {
+  std::string Code;
+  std::string Name;
+  obj::ObjectFile Obj;
+};
+
+/// The built-in lint corpus: one broken module per L-code plus one clean
+/// module. Shared by the lint tests (exact-diagnostic assertions),
+/// `aaxlint --emit-corpus` (writes each case to <dir>/<Code>_<Name>.aaxo),
+/// and the CI gate self-test driven by tools/check_bench.py.
+std::vector<LintCase> lintCorpus();
+
+} // namespace analysis
+} // namespace om
+} // namespace om64
+
+#endif // OM64_OM_ANALYSIS_H

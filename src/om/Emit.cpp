@@ -54,8 +54,8 @@ struct DataLayout {
 class Emitter {
 public:
   Emitter(SymbolicProgram &SP, const OmOptions &Opts, OmStats &Stats,
-          ThreadPool &Pool)
-      : SP(SP), Opts(Opts), Stats(Stats), Pool(Pool) {}
+          OmContext &Ctx)
+      : SP(SP), Opts(Opts), Stats(Stats), Pool(Ctx.pool()), Ctx(Ctx) {}
 
   Result<Image> run();
 
@@ -97,6 +97,7 @@ private:
   const OmOptions &Opts;
   OmStats &Stats;
   ThreadPool &Pool;
+  OmContext &Ctx;
 
 public:
   /// Labels of the inserted profile counters, in counter-index order.
@@ -230,11 +231,21 @@ void Emitter::relaxDirectCalls() {
       SI.I = makeJump(Opcode::Jsr, RA, Load.I.Ra);
       SI.TargetProc = ~0u;
       SI.SkipPrologue = false;
+      // The load may have been nullified by the dataflow's equal-PV proof
+      // rather than by prologue skipping; the revert resurrects it either
+      // way (harmless when the proof held — the reload is a no-op), so the
+      // proof bookkeeping must follow or verifyDeletionProofs would check
+      // a deletion that no longer exists.
+      if (Load.AnalysisNullified && Load.Nullified) {
+        Load.AnalysisNullified = false;
+        --Stats.AnalysisPvLoadsDeleted;
+      }
       Load.Nullified = false;
       --Stats.JsrConvertedToBsr;
       ++Stats.BsrFallbackJsrs;
     }
   }
+  Ctx.invalidate();
 }
 
 //===----------------------------------------------------------------------===//
@@ -433,16 +444,30 @@ void Emitter::deleteNullified() {
   // decisions are all complete by now, so drop the table to make any
   // accidental later use loud.
   SP.Lits.clear();
+  Ctx.invalidate();
 }
 
 void Emitter::reschedule() {
+  // With the dataflow live, classify every memory base register (GAT/data
+  // vs stack) against the post-deletion program; the scheduler then skips
+  // ordering edges between proven-disjoint accesses. Without it the
+  // classification pointer stays null and the scheduler's default path is
+  // byte-identical to the historical conservative one.
+  const analysis::ProgramAnalysis *PA =
+      Opts.Analysis ? &Ctx.program() : nullptr;
+
   // scheduleRegion is a pure function of the region's instructions, so
-  // procedures reschedule independently.
+  // procedures reschedule independently; freed-pair counts reduce in
+  // procedure order.
+  std::vector<uint64_t> FreedInProc(SP.Procs.size(), 0);
   Pool.parallelFor(SP.Procs.size(), [&](size_t P) {
     SymProc &Proc = SP.Procs[P];
     std::vector<SymInst> &Insts = Proc.Insts;
     if (Insts.empty())
       return;
+    std::vector<uint8_t> BaseOf;
+    if (PA)
+      BaseOf = analysis::memBaseRegions(SP, *PA, static_cast<uint32_t>(P));
 
     // Region boundaries: branch targets and a pinned prologue pair.
     std::vector<bool> IsBoundary(Insts.size(), false);
@@ -461,10 +486,19 @@ void Emitter::reschedule() {
         return;
       std::vector<Inst> Region;
       Region.reserve(End - RegionStart);
-      for (size_t I = RegionStart; I < End; ++I)
+      std::vector<sched::MemRegion> Bases;
+      if (PA)
+        Bases.reserve(End - RegionStart);
+      for (size_t I = RegionStart; I < End; ++I) {
         Region.push_back(Insts[I].I);
-      for (size_t Local : sched::scheduleRegion(Region))
+        if (PA)
+          Bases.push_back(static_cast<sched::MemRegion>(BaseOf[I]));
+      }
+      sched::SchedStats SStats;
+      for (size_t Local : sched::scheduleRegion(
+               Region, PA ? &Bases : nullptr, PA ? &SStats : nullptr))
         NewInsts.push_back(Insts[RegionStart + Local]);
+      FreedInProc[P] += SStats.MemDepPairsFreed;
       RegionStart = End;
     };
     for (size_t Idx = Start; Idx < Insts.size(); ++Idx) {
@@ -480,6 +514,9 @@ void Emitter::reschedule() {
     assert(NewInsts.size() == Insts.size() && "rescheduling lost code");
     Insts = std::move(NewInsts);
   });
+  for (uint64_t Count : FreedInProc)
+    Stats.SchedMemDepsFreed += Count;
+  Ctx.invalidate();
 }
 
 void Emitter::instrumentProcedureCounts() {
@@ -532,6 +569,7 @@ void Emitter::instrumentProcedureCounts() {
       ++Stats.InstrumentationInserted;
     }
   }
+  Ctx.invalidate();
 }
 
 //===----------------------------------------------------------------------===//
@@ -867,8 +905,10 @@ Result<Image> Emitter::run() {
     } else {
       decideAddressLoads(DL, /*Commit=*/true);
     }
-    if (Error E = applyRewrites(DL))
-      return Result<Image>::failure(E.message());
+    Error RewriteErr = applyRewrites(DL);
+    Ctx.invalidate(); // decisions and rewrites changed the instructions
+    if (RewriteErr)
+      return Result<Image>::failure(RewriteErr.message());
     Stats.Seconds.AddressLoads +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       AddrStart)
@@ -922,6 +962,7 @@ Result<Image> Emitter::run() {
       MotionStart = std::chrono::steady_clock::now();
       std::string LayoutErr;
       bool Ok = runProfileLayout(SP, Opts, Stats, Pool, LayoutErr);
+      Ctx.invalidate();
       motionSeconds();
       if (!Ok)
         return Result<Image>::failure(LayoutErr);
@@ -946,8 +987,8 @@ Result<Image> om64::om::layoutAndEmit(SymbolicProgram &SP,
                                       const OmOptions &Opts,
                                       OmStats &Stats,
                                       std::vector<std::string> &Sites,
-                                      ThreadPool &Pool) {
-  Emitter E(SP, Opts, Stats, Pool);
+                                      OmContext &Ctx) {
+  Emitter E(SP, Opts, Stats, Ctx);
   Result<Image> Img = E.run();
   Sites = std::move(E.ProfiledSites);
   return Img;

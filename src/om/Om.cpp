@@ -74,19 +74,27 @@ Result<OmResult> om64::om::optimize(const std::vector<obj::ObjectFile> &Objs,
       return Result<OmResult>::failure(E.message());
   }
 
+  OmContext Ctx(*SP, Pool);
+
   auto TransformStart = std::chrono::steady_clock::now();
-  runCallTransforms(*SP, Opts, Out.Stats, Pool);
+  runCallTransforms(*SP, Opts, Out.Stats, Ctx);
   Out.Stats.Seconds.CallTransforms = secondsSince(TransformStart);
   if (Opts.Verify) {
     auto VerifyStart = std::chrono::steady_clock::now();
     Error E = verifyStage(*SP, "call-transforms", &Pool);
+    // Every analysis-justified deletion must still prove out against a
+    // fresh dataflow run over the mutated program — this catches a
+    // transform miscompile even when the differential harness's inputs
+    // never execute the deleted path.
+    if (!E && Opts.Analysis && Opts.Level == OmLevel::Full)
+      E = verifyDeletionProofs(*SP, Pool);
     Out.Stats.Seconds.Verify += secondsSince(VerifyStart);
     if (E)
       return Result<OmResult>::failure(E.message());
   }
 
   Result<obj::Image> Img =
-      layoutAndEmit(*SP, Opts, Out.Stats, Out.ProfiledProcedures, Pool);
+      layoutAndEmit(*SP, Opts, Out.Stats, Out.ProfiledProcedures, Ctx);
   Out.Stats.Seconds.Total = secondsSince(TotalStart);
   if (!Img)
     return Result<OmResult>::failure(Img.message());

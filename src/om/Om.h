@@ -70,10 +70,20 @@ struct OmOptions {
   /// procedure-entry counters; labels look like "mod.proc" or
   /// "mod.proc+<index>". Requires OmLevel::Full.
   bool InstrumentBlockCounts = false;
+  /// Analysis-driven deletions (OM-full only): run the dataflow layer of
+  /// om/Analysis.h after the pattern transforms and additionally delete
+  /// what it can *prove* — GP-reset and prologue pairs whose GP is already
+  /// correct on every incoming path, PV loads whose register provably
+  /// holds the callee address already, and address loads whose result is
+  /// dead. Off by default so the pattern baseline stays measurable
+  /// (omlink --analysis; the AnalysisXxx counters report the extra wins).
+  bool Analysis = false;
   /// Run OmVerify's structural invariant checks (om/Verify.h) after the
   /// lift and after the call transforms; an invariant violation aborts the
   /// link with stage-labeled diagnostics instead of emitting a miscompiled
-  /// image.
+  /// image. With Analysis it also re-derives every dataflow-justified
+  /// deletion's proof on the mutated program (om/Verify.h:
+  /// verifyDeletionProofs).
   bool Verify = false;
   /// Additionally verify between every emission stage (address-load
   /// rewriting, deletion, rescheduling, instrumentation). Implies Verify.
@@ -137,6 +147,17 @@ struct OmStats {
   uint64_t InstructionsDeleted = 0;   // removed (OM-full)
   uint64_t NopsInserted = 0;          // alignment padding added
   uint64_t InstrumentationInserted = 0; // profile hooks added
+
+  // Analysis-driven deletions (OmOptions::Analysis), over and above the
+  // pattern transforms' own nullifications. Each counts sites the pattern
+  // baseline kept.
+  uint64_t AnalysisGpPairsDeleted = 0;   // GP pairs proven redundant
+  uint64_t AnalysisPvLoadsDeleted = 0;   // call loads proven equal
+  uint64_t AnalysisDeadLoadsDeleted = 0; // address loads proven dead
+  /// Memory-ordering pairs the rescheduler skipped because the dataflow
+  /// proved the two base registers point into disjoint regions (GAT/data
+  /// vs stack). Nonzero only with Reschedule and Analysis.
+  uint64_t SchedMemDepsFreed = 0;
 
   // Section 5.1: GAT size.
   uint64_t GatBytesBefore = 0; // merged + deduplicated, before reduction

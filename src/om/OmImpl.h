@@ -7,16 +7,50 @@
 #ifndef OM64_OM_OMIMPL_H
 #define OM64_OM_OMIMPL_H
 
+#include "om/Analysis.h"
 #include "om/Om.h"
 #include "om/SymbolicProgram.h"
 #include "support/Result.h"
 #include "support/ThreadPool.h"
 
+#include <optional>
 #include <string>
 #include <vector>
 
 namespace om64 {
 namespace om {
+
+/// Shared state of one OM run that the phases thread through: the dataflow
+/// analysis (om/Analysis.h), computed lazily and cached per mutation epoch.
+/// Every transform that changes the symbolic form calls invalidate(); the
+/// next program() call recomputes against the mutated program, so no phase
+/// can consume facts derived from a shape that no longer exists (the same
+/// bug class OmVerify exists for, closed structurally).
+class OmContext {
+public:
+  OmContext(SymbolicProgram &SP, ThreadPool &Pool) : SP(SP), Pool(Pool) {}
+
+  /// Marks every cached analysis stale. Cheap; call after any mutation.
+  void invalidate() { ++Epoch; }
+
+  /// The analysis of the current program, recomputing if stale.
+  const analysis::ProgramAnalysis &program() {
+    if (!Cached || CachedEpoch != Epoch) {
+      Cached.emplace(analysis::analyzeProgram(SP, Pool));
+      CachedEpoch = Epoch;
+    }
+    return *Cached;
+  }
+
+  ThreadPool &pool() { return Pool; }
+
+private:
+  SymbolicProgram &SP;
+  ThreadPool &Pool;
+  uint64_t Epoch = 0;
+  uint64_t CachedEpoch = ~0ull;
+  std::optional<analysis::ProgramAnalysis> Cached;
+};
 
 /// Object code -> symbolic form. Resolves symbols, recovers procedures,
 /// literals with their uses, GP-disp pairs, local branches, and direct
@@ -30,22 +64,35 @@ Result<SymbolicProgram> liftProgram(const std::vector<obj::ObjectFile> &Objs,
 /// The call-related transforms (JSR->BSR, prologue restoration/skipping/
 /// deletion, PV-load removal, GP-reset nullification). Applies the subset
 /// appropriate for Opts.Level and updates Stats counters it owns
-/// (JsrConvertedToBsr). Per-caller rewriting runs on \p Pool against
-/// callee facts snapshotted between phases; the cross-procedure
-/// reachability analysis stays serial.
+/// (JsrConvertedToBsr, the AnalysisXxx deletion counts). Per-caller
+/// rewriting runs on \p Ctx's pool against callee facts snapshotted
+/// between phases; the cross-procedure reachability analysis stays serial.
+/// With Opts.Analysis, a final phase deletes what the dataflow proves
+/// (marking SymInst::AnalysisNullified), invalidating \p Ctx between its
+/// two passes so the second pass proves against the once-mutated program.
 void runCallTransforms(SymbolicProgram &SP, const OmOptions &Opts,
-                       OmStats &Stats, ThreadPool &Pool);
+                       OmStats &Stats, OmContext &Ctx);
+
+/// Call-graph reachability of GP groups: bit g set when the subtree rooted
+/// at the procedure can execute GP-setting code of group g (~0 saturation
+/// past 64 groups). This is the *pattern* side of the reset-safety
+/// argument; the dataflow's ProgramAnalysis::ReachableGroups must always
+/// be a subset of it (asserted by verifyDeletionProofs). Exposed from
+/// Transforms.cpp for that audit and the analysis tests.
+std::vector<uint64_t> computeReachableGroups(const SymbolicProgram &SP);
 
 /// Layout, address-load conversion/nullification (to a fixpoint for
 /// OM-full), deletion, optional rescheduling and loop alignment,
 /// instrumentation, and image emission. Fills the remaining Stats fields
 /// and the labels of any inserted profile counters. Layout and the GAT
 /// fixpoint stay single-threaded; deletion, rescheduling, and instruction
-/// encoding fan out per procedure on \p Pool.
+/// encoding fan out per procedure on \p Ctx's pool. With Opts.Analysis and
+/// Opts.Reschedule, the rescheduler consumes \p Ctx's base-register
+/// classification to relax memory ordering across proven-disjoint bases.
 Result<obj::Image> layoutAndEmit(SymbolicProgram &SP, const OmOptions &Opts,
                                  OmStats &Stats,
                                  std::vector<std::string> &Sites,
-                                 ThreadPool &Pool);
+                                 OmContext &Ctx);
 
 /// Profile-guided hot/cold layout (OmOptions::HotColdLayout): reorders
 /// each procedure's basic blocks by branch heat, splits never-executed

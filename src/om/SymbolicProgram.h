@@ -69,6 +69,11 @@ struct SymInst {
   int32_t OrigDisp = 0;       // displacement as compiled (layout rounds
                               // recompute rewrites from this)
   bool Nullified = false;     // becomes a no-op (simple) / deleted (full)
+  /// Set alongside Nullified when the deletion was justified by a dataflow
+  /// proof (om/Analysis.h) rather than a pattern: the proof-checking verify
+  /// stage re-derives these, and OmVerify's literal checks know an
+  /// analysis-nullified call load keeps its (provably equal) register.
+  bool AnalysisNullified = false;
   bool Converted = false;     // address load rewritten to LDA/LDAH
   /// Set by the profile-guided layout on instructions moved into a cold
   /// tail: AlignLoopTargets must not pad for branch targets that never

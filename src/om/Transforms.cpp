@@ -108,11 +108,14 @@ void restoreProloguePair(SymbolicProgram &SP, uint32_t ProcIdx) {
   }
 }
 
+} // namespace
+
 /// Call-graph reachability of GP groups: bit g set when the subtree rooted
 /// at the procedure can execute GP-setting code of group g. Indirect calls
 /// poison the set with every group of every address-taken procedure
 /// (conservatively: all groups).
-std::vector<uint64_t> computeReachableGroups(const SymbolicProgram &SP) {
+std::vector<uint64_t>
+om64::om::computeReachableGroups(const SymbolicProgram &SP) {
   size_t N = SP.Procs.size();
   uint64_t AllGroups =
       SP.NumGroups >= 64 ? ~0ull : ((1ull << SP.NumGroups) - 1);
@@ -125,6 +128,24 @@ std::vector<uint64_t> computeReachableGroups(const SymbolicProgram &SP) {
     Reach[Idx] = Group < 64 ? 1ull << Group : AllGroups;
     if (SP.Procs[Idx].MakesIndirectCalls)
       Reach[Idx] = AllGroups;
+    for (const SymInst &SI : SP.Procs[Idx].Insts) {
+      if (SI.Nullified)
+        continue;
+      // A computed jump's targets are invisible to the symbolic form: the
+      // subtree can reach any GP-setting code at all. (Our codegen never
+      // emits JMP, but hand-assembled objects can.)
+      if (SI.I.Op == isa::Opcode::Jmp)
+        Reach[Idx] = AllGroups;
+      // A GP write outside a recognized GP-disp pair leaves GP holding a
+      // value no group argument covers; treating it as all-groups keeps
+      // every reset after calls into this subtree alive. Without this the
+      // set understates and a caller's reset is unsoundly nullified — the
+      // dataflow audit (verifyDeletionProofs' subset check) is what caught
+      // the gap.
+      if (SI.Kind != SKind::GpHigh && SI.Kind != SKind::GpLow &&
+          isa::regUnitWritten(SI.I) == isa::intUnit(isa::GP))
+        Reach[Idx] = AllGroups;
+    }
   }
   // Propagate over direct call edges to a fixpoint.
   bool Changed = true;
@@ -151,6 +172,8 @@ std::vector<uint64_t> computeReachableGroups(const SymbolicProgram &SP) {
   }
   return Reach;
 }
+
+namespace {
 
 /// Nullifies the GP-reset pair that follows the call at \p CallIdx, if one
 /// exists (the next post-call GpHigh before any other call or branch
@@ -181,12 +204,149 @@ bool nullifyResetAfter(SymProc &Proc, size_t CallIdx) {
   return false;
 }
 
+/// The analysis-driven deletion phase (OmOptions::Analysis, OM-full only).
+/// Two passes against Ctx's dataflow, invalidating between them:
+///
+///   Pass A deletes instructions that are concrete no-ops under a proof —
+///   a GP pair whose GP already holds the group's value on every path into
+///   its high half, and a call's address load whose destination register
+///   already holds the callee's entry address. No-ops can all be deleted
+///   simultaneously against one analysis: no deletion changes any register
+///   value, so no proof invalidates another.
+///
+///   Pass B deletes address loads whose result is dead. Deadness is a
+///   property of the *current* program, so it proves against a fresh
+///   analysis of the Pass-A result (Pass A only removes reads, which can
+///   only make more registers dead, never fewer).
+///
+/// Every deletion sets SymInst::AnalysisNullified so OmVerify's literal
+/// checks and verifyDeletionProofs can tell proof-based deletions from
+/// pattern ones. Counters reduce in procedure order.
+void runAnalysisDeletions(SymbolicProgram &SP, OmStats &Stats,
+                          OmContext &Ctx) {
+  size_t NumProcs = SP.Procs.size();
+  ThreadPool &Pool = Ctx.pool();
+  const unsigned GpUnit = intUnit(GP);
+
+  // --- Pass A: equality proofs. ---
+  Ctx.invalidate(); // the pattern transforms just mutated the program
+  std::vector<uint64_t> PairCount(NumProcs, 0), PvCount(NumProcs, 0);
+  {
+    const analysis::ProgramAnalysis &PA = Ctx.program();
+    Pool.parallelFor(NumProcs, [&](size_t ProcIdx) {
+      SymProc &Proc = SP.Procs[ProcIdx];
+      const analysis::Cfg &Cfg = PA.Cfgs[ProcIdx];
+      for (size_t Idx = 0; Idx < Proc.Insts.size(); ++Idx) {
+        SymInst &SI = Proc.Insts[Idx];
+        if (SI.Nullified)
+          continue;
+        if (SI.Kind == SKind::GpHigh) {
+          // Locate the low half; only the *pair* is a no-op (between the
+          // halves GP holds the intermediate LDAH result), so both halves
+          // must sit in one block with nothing touching GP in between —
+          // then every execution of either half executes both.
+          size_t Low = Proc.Insts.size();
+          for (size_t J = Idx + 1; J < Proc.Insts.size(); ++J)
+            if (Proc.Insts[J].Kind == SKind::GpLow &&
+                Proc.Insts[J].PairId == SI.PairId) {
+              Low = J;
+              break;
+            }
+          if (Low == Proc.Insts.size() ||
+              Cfg.BlockOf[Idx] != Cfg.BlockOf[Low])
+            continue;
+          bool Clean = true;
+          for (size_t K = Idx + 1; K < Low && Clean; ++K) {
+            const SymInst &Mid = Proc.Insts[K];
+            if (Mid.Nullified)
+              continue;
+            unsigned Units[3];
+            unsigned NumRead = regUnitsRead(Mid.I, Units);
+            for (unsigned R = 0; R < NumRead; ++R)
+              if (Units[R] == GpUnit)
+                Clean = false;
+            if (regUnitWritten(Mid.I) == GpUnit)
+              Clean = false;
+          }
+          if (!Clean)
+            continue;
+          if (PA.gpBefore(SP, static_cast<uint32_t>(ProcIdx),
+                          static_cast<uint32_t>(Idx),
+                          Proc.GpGroup) != analysis::GpProof::Proven)
+            continue;
+          SI.Nullified = SI.AnalysisNullified = true;
+          Proc.Insts[Low].Nullified = true;
+          Proc.Insts[Low].AnalysisNullified = true;
+          ++PairCount[ProcIdx];
+        } else if (SI.Kind == SKind::AddressLoad && !SI.Converted) {
+          // A call's PV load is a no-op when the destination register
+          // already holds the callee's entry address (classically: a
+          // second call to a callee that preserved PV). Restricted to
+          // pure call literals so applyRewrites never folds displacements
+          // of a load *we* nullified.
+          auto It = SP.Lits.find(SI.LitId);
+          if (It == SP.Lits.end())
+            continue;
+          const LitInfo &L = It->second;
+          if (L.JsrIdx < 0 || !L.MemUses.empty() || !L.AddrUses.empty() ||
+              !L.DerefUses.empty())
+            continue;
+          const PSym &Target = SP.Syms[L.TargetSym];
+          if (!Target.IsProc)
+            continue;
+          analysis::ValueState S = PA.valuesBefore(
+              SP, static_cast<uint32_t>(ProcIdx), static_cast<uint32_t>(Idx));
+          if (S.Unreachable)
+            continue;
+          if (S.R[intUnit(SI.I.Ra)] ==
+              analysis::AbsVal::entryOf(Target.ProcIdx)) {
+            SI.Nullified = SI.AnalysisNullified = true;
+            ++PvCount[ProcIdx];
+          }
+        }
+      }
+    });
+  }
+
+  // --- Pass B: deadness, proven against the Pass-A program. ---
+  Ctx.invalidate();
+  std::vector<uint64_t> DeadCount(NumProcs, 0);
+  {
+    const analysis::ProgramAnalysis &PA = Ctx.program();
+    Pool.parallelFor(NumProcs, [&](size_t ProcIdx) {
+      SymProc &Proc = SP.Procs[ProcIdx];
+      for (size_t Idx = 0; Idx < Proc.Insts.size(); ++Idx) {
+        SymInst &SI = Proc.Insts[Idx];
+        if (SI.Kind != SKind::AddressLoad || SI.Nullified || SI.Converted)
+          continue;
+        auto It = SP.Lits.find(SI.LitId);
+        if (It == SP.Lits.end() || !It->second.escapes())
+          continue; // a recorded use reads the register; liveness agrees
+        uint64_t LiveOut = PA.liveAfter(SP, static_cast<uint32_t>(ProcIdx),
+                                        static_cast<uint32_t>(Idx));
+        if ((LiveOut >> intUnit(SI.I.Ra)) & 1)
+          continue;
+        SI.Nullified = SI.AnalysisNullified = true;
+        ++DeadCount[ProcIdx];
+      }
+    });
+  }
+  Ctx.invalidate();
+
+  for (size_t Idx = 0; Idx < NumProcs; ++Idx) {
+    Stats.AnalysisGpPairsDeleted += PairCount[Idx];
+    Stats.AnalysisPvLoadsDeleted += PvCount[Idx];
+    Stats.AnalysisDeadLoadsDeleted += DeadCount[Idx];
+  }
+}
+
 } // namespace
 
 void om64::om::runCallTransforms(SymbolicProgram &SP, const OmOptions &Opts,
-                                 OmStats &Stats, ThreadPool &Pool) {
+                                 OmStats &Stats, OmContext &Ctx) {
   if (Opts.Level == OmLevel::None)
     return;
+  ThreadPool &Pool = Ctx.pool();
   bool Full = Opts.Level == OmLevel::Full;
   size_t NumProcs = SP.Procs.size();
 
@@ -354,4 +514,14 @@ void om64::om::runCallTransforms(SymbolicProgram &SP, const OmOptions &Opts,
       Proc.Insts[1].Nullified = true;
     }
   }
+
+  // Whatever the patterns above could not justify, the dataflow may still
+  // prove (prologues of procedures every caller enters with the right GP,
+  // resets after pass-through callees, repeated PV loads, dead address
+  // loads). Runs last so its counters measure exactly the wins over the
+  // pattern baseline.
+  if (Full && Opts.Analysis)
+    runAnalysisDeletions(SP, Stats, Ctx);
+  else
+    Ctx.invalidate();
 }

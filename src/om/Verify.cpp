@@ -13,6 +13,8 @@
 
 #include "om/Verify.h"
 
+#include "om/Analysis.h"
+#include "om/OmImpl.h"
 #include "sim/Simulator.h"
 #include "support/Format.h"
 
@@ -270,11 +272,14 @@ void Checker::checkLits() {
       JsrLive = Jsr.Kind == SKind::JsrViaGat && !Jsr.Nullified;
     }
 
-    if (Load.Nullified) {
+    if (Load.Nullified && !Load.AnalysisNullified) {
       // Nullified loads with direct/derived uses are fine (the uses get
       // folded onto GP), but a JSR still reading the loaded register, or
       // an escaping use OM cannot see, means a live consumer lost its
-      // producer.
+      // producer. Analysis-based deletions legitimately hit both shapes —
+      // a JSR whose register provably already holds the callee, or an
+      // escaping load whose destination is provably dead — and are
+      // re-proved by verifyDeletionProofs instead.
       if (JsrLive)
         bad(L.Proc, L.LoadIdx,
             Tag + ": PV load nullified while its JSR still calls through "
@@ -328,6 +333,111 @@ Error om64::om::verifyStage(const SymbolicProgram &SP,
     return Error::success();
   return Error::failure("OM invariant check failed after stage '" + Stage +
                         "':\n" + Diags.render());
+}
+
+//===----------------------------------------------------------------------===//
+// Deletion-proof verification.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Re-derives the dataflow proof for one procedure's analysis deletions.
+/// Sound to run against the post-deletion program: every analysis deletion
+/// removes a provable no-op or a dead write, so the facts that justified it
+/// survive the deletion itself.
+void checkProcProofs(const SymbolicProgram &SP,
+                     const analysis::ProgramAnalysis &PA, uint32_t ProcIdx,
+                     DiagnosticEngine &Diags) {
+  const SymProc &Proc = SP.Procs[ProcIdx];
+  auto bad = [&](uint32_t InstIdx, std::string Message) {
+    SourceLoc Loc;
+    Loc.Line = InstIdx + 1;
+    Diags.error("deletion-proofs:" + Proc.Name, Loc, std::move(Message));
+  };
+  for (uint32_t Idx = 0; Idx < Proc.Insts.size(); ++Idx) {
+    const SymInst &SI = Proc.Insts[Idx];
+    if (!SI.AnalysisNullified)
+      continue;
+    if (!SI.Nullified) {
+      bad(Idx,
+          "instruction carries an analysis-deletion mark but is not "
+          "nullified");
+      continue;
+    }
+    switch (SI.Kind) {
+    case SKind::GpLow:
+      // Covered by its GpHigh below; the structural checker already
+      // enforces that the two halves are deleted together.
+      break;
+    case SKind::GpHigh: {
+      analysis::GpProof Pr = PA.gpBefore(SP, ProcIdx, Idx, Proc.GpGroup);
+      if (Pr == analysis::GpProof::Unproven)
+        bad(Idx, "deleted GP pair: dataflow no longer proves GP holds "
+                 "group " +
+                     std::to_string(Proc.GpGroup) +
+                     " on every path into the pair");
+      break;
+    }
+    case SKind::AddressLoad: {
+      analysis::ValueState S = PA.valuesBefore(SP, ProcIdx, Idx);
+      if (S.Unreachable)
+        break; // no execution reaches the load; no value proof needed
+      unsigned Dest = isa::intUnit(SI.I.Ra);
+      if (!(PA.liveAfter(SP, ProcIdx, Idx) & (1ull << Dest)))
+        break; // destination dead: the load was unobservable
+      // Remaining justification: the equal-value proof — the register
+      // already held the loaded address, so the load was a no-op.
+      uint32_t Target = ~0u;
+      auto It = SP.Lits.find(SI.LitId);
+      if (It != SP.Lits.end() && It->second.TargetSym < SP.Syms.size() &&
+          SP.Syms[It->second.TargetSym].IsProc)
+        Target = SP.Syms[It->second.TargetSym].ProcIdx;
+      if (Target == ~0u || !(S.R[Dest] == analysis::AbsVal::entryOf(Target)))
+        bad(Idx, "deleted address load: destination is live and dataflow "
+                 "no longer proves it already held the loaded value");
+      break;
+    }
+    default:
+      bad(Idx, "analysis-deletion mark on an instruction kind the "
+               "analysis never deletes");
+      break;
+    }
+  }
+}
+
+} // namespace
+
+Error om64::om::verifyDeletionProofs(const SymbolicProgram &SP,
+                                     ThreadPool &Pool) {
+  analysis::ProgramAnalysis PA = analysis::analyzeProgram(SP, Pool);
+
+  DiagnosticEngine Diags;
+  std::vector<DiagnosticEngine> PerProc(SP.Procs.size());
+  Pool.parallelFor(SP.Procs.size(), [&](size_t ProcIdx) {
+    checkProcProofs(SP, PA, static_cast<uint32_t>(ProcIdx),
+                    PerProc[ProcIdx]);
+  });
+  for (DiagnosticEngine &E : PerProc)
+    Diags.append(std::move(E));
+
+  // The dataflow may only ever *narrow* the pattern matcher's GP reach
+  // sets; a group the dataflow claims reachable that the pattern excludes
+  // means one of the two computations is wrong.
+  std::vector<uint64_t> Pattern = computeReachableGroups(SP);
+  for (uint32_t P = 0; P < SP.Procs.size(); ++P) {
+    uint64_t Extra = PA.ReachableGroups[P] & ~Pattern[P];
+    if (Extra) {
+      SourceLoc Loc;
+      Diags.error("deletion-proofs:" + SP.Procs[P].Name, Loc,
+                  "analysis reach set claims groups the pattern reach set "
+                  "excludes (extra mask " +
+                      formatHex64(Extra) + ")");
+    }
+  }
+
+  if (!Diags.hasErrors())
+    return Error::success();
+  return Error::failure("OM deletion-proof check failed:\n" + Diags.render());
 }
 
 //===----------------------------------------------------------------------===//

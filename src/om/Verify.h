@@ -76,6 +76,18 @@ unsigned verifyStructure(const SymbolicProgram &SP, const std::string &Stage,
 Error verifyStage(const SymbolicProgram &SP, const std::string &Stage,
                   ThreadPool *Pool = nullptr);
 
+/// Re-derives the dataflow proof behind every analysis-based deletion
+/// (SymInst::AnalysisNullified) from a *fresh* ProgramAnalysis and fails
+/// if any deletion is no longer justified: a deleted GP pair must see GP
+/// already holding the procedure's group on every path into the pair (or
+/// the pair must be unreachable), and a deleted address load must be
+/// unreachable, have a dead destination, or provably load a value its
+/// destination register already held. Also audits the dataflow's
+/// ReachableGroups against the pattern matcher's reach set — the dataflow
+/// result must be a subset, else one of the two is wrong. Run after the
+/// call-transform stage when OmOptions::Analysis is on.
+Error verifyDeletionProofs(const SymbolicProgram &SP, ThreadPool &Pool);
+
 /// One linked-and-executed configuration of a differential run.
 struct DifferentialLeg {
   OmLevel Level = OmLevel::None;

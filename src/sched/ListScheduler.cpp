@@ -35,15 +35,26 @@ struct DepGraph {
   /// Height[i]: critical-path length from i to any leaf (priority).
   std::vector<unsigned> Height;
 
-  explicit DepGraph(const std::vector<Inst> &Region);
+  explicit DepGraph(const std::vector<Inst> &Region,
+                    const std::vector<MemRegion> *Bases = nullptr,
+                    SchedStats *Stats = nullptr);
 };
+
+/// True when the two classified bases provably never alias: one points
+/// into the global (GAT/data) segment and the other into the stack
+/// segment, which are disjoint address ranges in the AAX layout.
+bool disjointRegions(MemRegion A, MemRegion B) {
+  return (A == MemRegion::Global && B == MemRegion::Stack) ||
+         (A == MemRegion::Stack && B == MemRegion::Global);
+}
 
 void addEdge(DepGraph &G, size_t From, size_t To) {
   G.Succs[From].push_back(To);
   G.Preds[To].push_back(From);
 }
 
-DepGraph::DepGraph(const std::vector<Inst> &Region) {
+DepGraph::DepGraph(const std::vector<Inst> &Region,
+                   const std::vector<MemRegion> *Bases, SchedStats *Stats) {
   size_t N = Region.size();
   Succs.resize(N);
   Preds.resize(N);
@@ -58,10 +69,18 @@ DepGraph::DepGraph(const std::vector<Inst> &Region) {
   std::vector<int> LastWriter(NumRegUnits, -1);
   std::vector<std::vector<size_t>> ReadersSince(NumRegUnits);
 
-  // Memory dependences: conservative (no alias info), stores order against
-  // every other memory access; loads reorder freely among themselves.
+  // Memory dependences. Without alias info (Bases == nullptr), stores
+  // order against every other memory access and loads reorder freely among
+  // themselves — the chain through LastStore/LoadsSinceStore encodes the
+  // full ordering transitively. With base classification, a disjoint pair
+  // carries no edge, which breaks that transitivity; the classified path
+  // therefore orders pairwise against every prior memory operation
+  // (redundant transitive edges change neither the feasible orders nor the
+  // greedy schedule's choices). Regions are basic-block-sized, so the
+  // pairwise walk stays cheap.
   int LastStore = -1;
   std::vector<size_t> LoadsSinceStore;
+  std::vector<size_t> PriorMemOps;
 
   for (size_t I = 0; I < N; ++I) {
     const Inst &In = Region[I];
@@ -86,7 +105,22 @@ DepGraph::DepGraph(const std::vector<Inst> &Region) {
       ReadersSince[Written].clear();
     }
 
-    if (isStore(In.Op)) {
+    if (Bases) {
+      if (isStore(In.Op) || isLoad(In.Op)) {
+        bool IsStoreI = isStore(In.Op);
+        for (size_t J : PriorMemOps) {
+          if (!IsStoreI && !isStore(Region[J].Op))
+            continue; // load/load pairs never need ordering
+          if (disjointRegions((*Bases)[J], (*Bases)[I])) {
+            if (Stats)
+              ++Stats->MemDepPairsFreed;
+            continue;
+          }
+          addEdge(*this, J, I);
+        }
+        PriorMemOps.push_back(I);
+      }
+    } else if (isStore(In.Op)) {
       if (LastStore >= 0)
         addEdge(*this, static_cast<size_t>(LastStore), I);
       for (size_t L : LoadsSinceStore)
@@ -120,14 +154,18 @@ bool isMemoryOp(const Inst &I) {
 } // namespace
 
 std::vector<size_t>
-om64::sched::scheduleRegion(const std::vector<Inst> &Region) {
+om64::sched::scheduleRegion(const std::vector<Inst> &Region,
+                            const std::vector<MemRegion> *Bases,
+                            SchedStats *Stats) {
+  assert((!Bases || Bases->size() == Region.size()) &&
+         "base classification must parallel the region");
   size_t N = Region.size();
   std::vector<size_t> Order;
   Order.reserve(N);
   if (N == 0)
     return Order;
 
-  DepGraph G(Region);
+  DepGraph G(Region, Bases, Stats);
 
   std::vector<unsigned> PredsLeft(N);
   for (size_t I = 0; I < N; ++I)

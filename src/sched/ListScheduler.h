@@ -39,11 +39,37 @@ namespace sched {
 /// only appear last in a region and are barriers too.)
 bool isSchedulingBarrier(const isa::Inst &I);
 
+/// Provenance of a memory operation's base register, supplied by a caller
+/// with dataflow information (OM's Analysis layer classifies GP- and
+/// SP-derived bases). Global and Stack accesses land in disjoint segments
+/// of the AAX address space, so a pair with one of each never aliases;
+/// Unknown aliases everything.
+enum class MemRegion : uint8_t { Unknown, Global, Stack };
+
+/// Scheduling observability: how much the optional alias information
+/// bought.
+struct SchedStats {
+  /// Ordered pairs of memory operations (at least one a store) that the
+  /// conservative model would have serialized but whose base regions are
+  /// proven disjoint.
+  uint64_t MemDepPairsFreed = 0;
+};
+
 /// Computes a dependence-preserving issue order for the straight-line
 /// region \p Region (which must contain no barriers). Returns a
 /// permutation P such that the scheduled code is Region[P[0]],
 /// Region[P[1]], ... Deterministic: ties break toward original order.
-std::vector<size_t> scheduleRegion(const std::vector<isa::Inst> &Region);
+///
+/// \p Bases, when non-null, classifies each instruction's memory base
+/// register (parallel to \p Region; entries for non-memory instructions
+/// are ignored): memory-ordering edges between accesses in provably
+/// disjoint regions are skipped, and \p Stats (when non-null) counts the
+/// pairs freed. A null \p Bases reproduces the conservative ordering
+/// byte-identically.
+std::vector<size_t>
+scheduleRegion(const std::vector<isa::Inst> &Region,
+               const std::vector<MemRegion> *Bases = nullptr,
+               SchedStats *Stats = nullptr);
 
 /// Schedules a whole instruction sequence, leaving barriers (calls, PAL,
 /// branches, jumps) fixed in place and scheduling each barrier-free

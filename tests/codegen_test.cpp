@@ -363,7 +363,7 @@ export func main(): int { return 100 / 7 + 100 % 7; }
 }
 
 TEST(CodegenTest, ObjectsPassVerification) {
-  for (const std::string &Name : {"alvinn", "li", "spice"}) {
+  for (const char *Name : {"alvinn", "li", "spice"}) {
     Result<wl::BuiltWorkload> W = wl::buildWorkload(Name);
     ASSERT_TRUE(bool(W)) << W.message();
     for (const ObjectFile &O : W->linkSet(wl::CompileMode::Each))

@@ -341,8 +341,9 @@ TEST_P(DifferentialFuzzTest, InterpreterAgreesWithEveryVariant) {
     EXPECT_EQ(ProfRun->Output, Oracle.Output)
         << "instrumented OM-full\nsource:\n" << Source;
     for (size_t Idx = 0; Idx < Prof->ProfiledProcedures.size(); ++Idx)
-      if (Prof->ProfiledProcedures[Idx] == "fz.main")
+      if (Prof->ProfiledProcedures[Idx] == "fz.main") {
         EXPECT_EQ(ProfRun->ProfileCounts[Idx], 1u);
+      }
   }
 }
 

@@ -17,13 +17,6 @@ using namespace om64::isa;
 
 namespace {
 
-std::vector<Opcode> allOpcodes() {
-  std::vector<Opcode> Ops;
-  for (unsigned I = 0; I < NumOpcodes; ++I)
-    Ops.push_back(static_cast<Opcode>(I));
-  return Ops;
-}
-
 /// Builds a representative instruction of each opcode with nontrivial
 /// operand values.
 Inst sampleInst(Opcode Op, uint64_t Seed) {

@@ -182,7 +182,7 @@ TEST(LinkerTest, ImageCarriesProcedureGpValues) {
 }
 
 TEST(LinkerTest, WholeSuiteLinksInBothModes) {
-  for (const std::string &Name : {"ear", "sc"}) {
+  for (const char *Name : {"ear", "sc"}) {
     Result<wl::BuiltWorkload> W = wl::buildWorkload(Name);
     ASSERT_TRUE(bool(W)) << W.message();
     for (wl::CompileMode Mode :

@@ -1,0 +1,95 @@
+//===- tests/lint_test.cpp - Binary lint gate tests -----------------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lint half of the tier-1 gate: every SPEC92-shaped workload must
+/// lint clean in both compile modes (a lint finding on real toolchain
+/// output is either a toolchain bug or a lint false positive — both block
+/// the gate), and the seeded corpus modules must each report exactly their
+/// defect with the right code, procedure, and instruction provenance.
+///
+//===----------------------------------------------------------------------===//
+
+#include "om/Analysis.h"
+#include "om/OmImpl.h"
+#include "support/ThreadPool.h"
+
+#include "TestUtil.h"
+
+using namespace om64;
+using namespace om64::om;
+using namespace om64::om::analysis;
+using namespace om64::test;
+
+namespace {
+
+/// Lints the given objects; returns the findings count and fills
+/// \p Rendered with the diagnostics.
+unsigned lintObjects(const std::vector<obj::ObjectFile> &Objs,
+                     std::string &Rendered) {
+  ThreadPool Pool(0);
+  OmOptions Opts;
+  Result<SymbolicProgram> SP = liftProgram(Objs, Opts, Pool);
+  EXPECT_TRUE(bool(SP)) << SP.message();
+  if (!SP)
+    return ~0u;
+  ProgramAnalysis PA = analyzeProgram(*SP, Pool);
+  DiagnosticEngine Diags;
+  unsigned N = runLint(*SP, PA, Diags);
+  Rendered = Diags.render();
+  return N;
+}
+
+class WorkloadLintTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadLintTest, LintsClean) {
+  const std::string &Name = GetParam();
+  Result<wl::BuiltWorkload> W = wl::buildWorkload(Name);
+  ASSERT_TRUE(bool(W)) << W.message();
+  for (wl::CompileMode Mode : {wl::CompileMode::Each, wl::CompileMode::All}) {
+    std::string Rendered;
+    unsigned N = lintObjects(W->linkSet(Mode), Rendered);
+    EXPECT_EQ(N, 0u) << Name << " ("
+                     << (Mode == wl::CompileMode::Each ? "each" : "all")
+                     << "): " << Rendered;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadLintTest,
+                         ::testing::ValuesIn(wl::workloadNames()),
+                         [](const auto &Info) { return Info.param; });
+
+/// The corpus cases double as provenance goldens: the diagnostic must name
+/// the defective procedure, not merely the code.
+TEST(LintCorpusTest, FindingsCarryProvenance) {
+  for (const LintCase &Case : lintCorpus()) {
+    if (Case.Code.empty())
+      continue;
+    std::string Rendered;
+    unsigned N = lintObjects({Case.Obj}, Rendered);
+    ASSERT_EQ(N, 1u) << Case.Name << ":\n" << Rendered;
+    EXPECT_NE(Rendered.find(Case.Code), std::string::npos) << Rendered;
+    // Every corpus diagnostic is anchored in a lintcase procedure buffer.
+    EXPECT_NE(Rendered.find("lint:lintcase."), std::string::npos)
+        << Case.Name << " diagnostic lacks a procedure buffer:\n"
+        << Rendered;
+  }
+}
+
+/// The clean corpus module also survives a whole optimize() run — corpus
+/// objects are real linkable modules, not just lint fixtures.
+TEST(LintCorpusTest, CleanModuleLinks) {
+  for (const LintCase &Case : lintCorpus()) {
+    if (!Case.Code.empty())
+      continue;
+    OmOptions Opts;
+    Opts.Level = OmLevel::Full;
+    Result<OmResult> R = optimize({Case.Obj}, Opts);
+    EXPECT_TRUE(bool(R)) << R.message();
+  }
+}
+
+} // namespace

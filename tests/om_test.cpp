@@ -418,9 +418,10 @@ export func main(): int {
   ASSERT_TRUE(bool(Run)) << Run.message();
   EXPECT_EQ(Run->Output, "7");
   for (size_t Idx = 0; Idx < R->ProfiledProcedures.size(); ++Idx)
-    if (R->ProfiledProcedures[Idx] == "t.callee")
+    if (R->ProfiledProcedures[Idx] == "t.callee") {
       EXPECT_EQ(Run->ProfileCounts[Idx], 7u)
           << "indirect entries must be counted";
+    }
 }
 
 TEST(OmInstrumentTest, RequiresFullLevel) {

@@ -102,10 +102,11 @@ TEST_P(SchedulerPropertyTest, PermutationPreservesDependences) {
     PosOf[Perm[P]] = P;
   for (size_t I = 0; I < Region.size(); ++I)
     for (size_t J = I + 1; J < Region.size(); ++J)
-      if (mustFollow(Region[I], Region[J]))
+      if (mustFollow(Region[I], Region[J])) {
         EXPECT_LT(PosOf[I], PosOf[J])
             << "dependence " << I << " -> " << J << " violated (seed "
             << Seed << ")";
+      }
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomRegions, SchedulerPropertyTest,

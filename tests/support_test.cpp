@@ -292,8 +292,9 @@ TEST(ProfileTest, RejectsTruncationAtEveryLength) {
     std::vector<uint8_t> Prefix(Bytes.begin(), Bytes.begin() + Len);
     Result<prof::Profile> R = prof::Profile::deserialize(Prefix);
     EXPECT_FALSE(bool(R)) << "prefix of " << Len << " bytes parsed";
-    if (!R)
+    if (!R) {
       EXPECT_NE(R.message().find("invalid profile"), std::string::npos);
+    }
   }
 }
 

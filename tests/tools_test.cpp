@@ -290,6 +290,59 @@ TEST_F(ToolchainTest, LayoutFlagValidation) {
             1);
 }
 
+TEST_F(ToolchainTest, AnalysisFlagDeletesAndReports) {
+  std::string Out;
+  ASSERT_EQ(runCommand(toolsDir() + "/omlink -O full --analysis "
+                           "--stats-json - -o " +
+                           Dir + "/ana.aaxe " + allObjects(),
+                       Out),
+            0)
+      << Out;
+  EXPECT_NE(Out.find("analysis_gp_pairs_deleted"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("analysis_dead_loads_deleted"), std::string::npos);
+  // Program behaviour is unchanged by the extra deletions.
+  EXPECT_EQ(runCommand(toolsDir() + "/aaxrun " + Dir + "/ana.aaxe", Out), 6);
+  EXPECT_EQ(Out, "30\n");
+  // The analysis is an OM-full layer; requesting it lower is a usage error.
+  EXPECT_EQ(runCommand(toolsDir() + "/omlink -O simple --analysis -o " +
+                           Dir + "/x.aaxe " + allObjects(),
+                       Out),
+            2);
+}
+
+TEST_F(ToolchainTest, LintModeAndStandaloneLinter) {
+  std::string Out;
+  // Real toolchain output lints clean through both front doors.
+  EXPECT_EQ(runCommand(toolsDir() + "/omlink --lint " + allObjects(), Out),
+            0)
+      << Out;
+  EXPECT_EQ(runCommand(toolsDir() + "/aaxlint --werror " + allObjects(),
+                       Out),
+            0)
+      << Out;
+  // Lint needs the OM lifter; --standard bypasses it.
+  EXPECT_EQ(runCommand(toolsDir() + "/omlink --lint --standard " +
+                           allObjects(),
+                       Out),
+            2);
+  // The seeded corpus modules each trip --werror with their code.
+  ASSERT_EQ(runCommand(toolsDir() + "/aaxlint --emit-corpus " + Dir +
+                           "/corpus",
+                       Out),
+            0)
+      << Out;
+  EXPECT_EQ(runCommand(toolsDir() + "/aaxlint --werror " + Dir +
+                           "/corpus/L001_uninit_read.aaxo",
+                       Out),
+            1);
+  EXPECT_NE(Out.find("L001:"), std::string::npos) << Out;
+  EXPECT_EQ(runCommand(toolsDir() + "/aaxlint --werror " + Dir +
+                           "/corpus/clean_clean.aaxo",
+                       Out),
+            0)
+      << Out;
+}
+
 TEST_F(ToolchainTest, BadInputsFailCleanly) {
   std::string Out;
   EXPECT_NE(runCommand(toolsDir() + "/aaxrun " + Dir + "/prog.aaxo", Out),

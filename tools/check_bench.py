@@ -17,9 +17,17 @@ baseline entry's tolerance_pct, or --default-tolerance (15%) when the
 entry says -1. A baseline entry missing from the current record is a
 hard failure (a bench silently dropping a workload must not pass).
 
+Also hosts the lint-gate self-test (--lint-selftest): runs aaxlint
+--werror over a corpus directory emitted by `aaxlint --emit-corpus` and
+demands that every seeded defect (files named L00x_*.aaxo) fails with its
+code in the output and every clean*.aaxo passes. A linter that silently
+stops reporting a code therefore fails the CI job rather than the gate
+going quietly green.
+
 Usage:
     check_bench.py [--default-tolerance PCT] BASELINE CURRENT \
                    [BASELINE CURRENT ...]
+    check_bench.py --lint-selftest DIR --aaxlint PATH
 
 Exit status: 0 all pairs pass, 1 any regression or schema problem.
 Stdlib only; do not add dependencies.
@@ -27,6 +35,9 @@ Stdlib only; do not add dependencies.
 
 import argparse
 import json
+import os
+import re
+import subprocess
 import sys
 
 
@@ -106,15 +117,82 @@ def check_pair(baseline_path, current_path, default_tol):
     return failures
 
 
+def lint_selftest(corpus_dir, aaxlint):
+    try:
+        cases = sorted(f for f in os.listdir(corpus_dir)
+                       if f.endswith(".aaxo"))
+    except OSError as e:
+        raise SystemExit(f"check_bench: cannot read {corpus_dir}: {e}")
+    if not cases:
+        raise SystemExit(
+            f"check_bench: {corpus_dir}: no .aaxo corpus files "
+            "(regenerate with aaxlint --emit-corpus)")
+
+    failures = 0
+    seen_codes = set()
+    for f in cases:
+        path = os.path.join(corpus_dir, f)
+        try:
+            proc = subprocess.run([aaxlint, "--werror", path],
+                                  capture_output=True, text=True)
+        except OSError as e:
+            raise SystemExit(f"check_bench: cannot run {aaxlint}: {e}")
+        out = proc.stdout + proc.stderr
+        m = re.match(r"(L\d{3})_", f)
+        if m:
+            code = m.group(1)
+            seen_codes.add(code)
+            if proc.returncode == 0:
+                print(f"FAIL lint-selftest: {f}: aaxlint --werror passed "
+                      f"a corpus module seeded with a {code} defect")
+                failures += 1
+            elif code not in out:
+                print(f"FAIL lint-selftest: {f}: failed (exit "
+                      f"{proc.returncode}) but never reported {code}")
+                failures += 1
+        elif f.startswith("clean"):
+            if proc.returncode != 0:
+                print(f"FAIL lint-selftest: {f}: clean corpus module "
+                      f"flagged (exit {proc.returncode}):\n{out}")
+                failures += 1
+        else:
+            print(f"FAIL lint-selftest: {f}: unrecognized corpus file "
+                  "(expected L00x_*.aaxo or clean*.aaxo)")
+            failures += 1
+
+    expected = {f"L{n:03d}" for n in range(1, 6)}
+    for code in sorted(expected - seen_codes):
+        print(f"FAIL lint-selftest: corpus has no module for {code}")
+        failures += 1
+
+    status = "FAIL" if failures else "ok"
+    print(f"{status} lint-selftest: {len(cases)} corpus module(s), "
+          f"{failures} failure(s)")
+    return 1 if failures else 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--default-tolerance", type=float, default=15.0,
                     metavar="PCT",
                     help="tolerance for entries with tolerance_pct < 0 "
                          "(default: 15)")
-    ap.add_argument("files", nargs="+", metavar="BASELINE CURRENT",
+    ap.add_argument("--lint-selftest", metavar="DIR",
+                    help="self-test the lint gate against the corpus "
+                         "directory DIR instead of checking bench pairs")
+    ap.add_argument("--aaxlint", metavar="PATH",
+                    help="aaxlint binary for --lint-selftest")
+    ap.add_argument("files", nargs="*", metavar="BASELINE CURRENT",
                     help="one or more baseline/current file pairs")
     args = ap.parse_args()
+    if args.lint_selftest:
+        if not args.aaxlint:
+            ap.error("--lint-selftest requires --aaxlint PATH")
+        if args.files:
+            ap.error("--lint-selftest takes no bench file pairs")
+        return lint_selftest(args.lint_selftest, args.aaxlint)
+    if not args.files:
+        ap.error("files must come in BASELINE CURRENT pairs")
     if len(args.files) % 2 != 0:
         ap.error("files must come in BASELINE CURRENT pairs")
 

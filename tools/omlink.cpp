@@ -23,6 +23,16 @@
 ///   --layout MODE     "hot-cold" (OM-full, needs --profile-in): reorder
 ///                     blocks so hot successors fall through, split cold
 ///                     code, order procedures by call heat; "none" off
+///   --analysis        OM-full: run the dataflow analysis (OmAnalysis) and
+///                     delete what it proves — GP resets already correct on
+///                     every path, PV loads of values the register already
+///                     holds, address loads with dead destinations — beyond
+///                     the pattern-matched transforms; every deletion is
+///                     re-proved by an analysis-backed verify stage
+///   --lint            report-only mode: lift the inputs, run the dataflow,
+///                     and print the binary lint findings (L001..L005, see
+///                     docs/LINT.md) instead of linking
+///   --lint-werror     --lint, and exit nonzero if anything was found
 ///   --stats           print OM's Figure 3-5 statistics for this link,
 ///                     plus per-stage wall times and the worker count
 ///   --stats-json FILE write the same statistics as JSON ("-" = stdout)
@@ -35,10 +45,14 @@
 
 #include "linker/Linker.h"
 #include "objfile/ObjectFile.h"
+#include "om/Analysis.h"
 #include "om/Om.h"
+#include "om/OmImpl.h"
 #include "om/Verify.h"
+#include "support/Diagnostics.h"
 #include "support/FileIO.h"
 #include "support/Format.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -51,6 +65,7 @@ using namespace om64;
 static int usage() {
   std::fprintf(stderr,
                "usage: omlink [--standard | -O none|simple|full] [--sched]\n"
+               "              [--analysis] [--lint] [--lint-werror]\n"
                "              [--no-sort] [--gat-max N] [-j N | --jobs N]\n"
                "              [--stats] [--stats-json FILE] [--instrument]\n"
                "              [--profile-in FILE] [--layout none|hot-cold]\n"
@@ -90,6 +105,10 @@ static std::string statsJson(const om::OmStats &S, om::OmLevel Level) {
   U("layout_blocks_moved", S.LayoutBlocksMoved);
   U("layout_cold_blocks", S.LayoutColdBlocks);
   U("layout_fixup_branches", S.LayoutFixupBranches);
+  U("analysis_gp_pairs_deleted", S.AnalysisGpPairsDeleted);
+  U("analysis_pv_loads_deleted", S.AnalysisPvLoadsDeleted);
+  U("analysis_dead_loads_deleted", S.AnalysisDeadLoadsDeleted);
+  U("sched_mem_deps_freed", S.SchedMemDepsFreed);
   J += "  \"stage_seconds\": {\n";
   auto Sec = [&](const char *Key, double V, bool Comma = true) {
     J += formatString("    \"%s\": %.6f%s\n", Key, V, Comma ? "," : "");
@@ -112,6 +131,8 @@ int main(int argc, char **argv) {
   std::string ProfileInPath;
   bool Standard = false;
   bool Stats = false;
+  bool Lint = false;
+  bool LintWerror = false;
   om::OmOptions Opts;
   Opts.Jobs = 0; // hardware concurrency unless -j overrides
 
@@ -148,6 +169,13 @@ int main(int argc, char **argv) {
     } else if (Arg == "--sched") {
       Opts.Reschedule = true;
       Opts.AlignLoopTargets = true;
+    } else if (Arg == "--analysis") {
+      Opts.Analysis = true;
+    } else if (Arg == "--lint") {
+      Lint = true;
+    } else if (Arg == "--lint-werror") {
+      Lint = true;
+      LintWerror = true;
     } else if (Arg == "--no-sort") {
       Opts.SortDataBySize = false;
     } else if (Arg == "--gat-max" && I + 1 < NArgs) {
@@ -207,6 +235,15 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "omlink: --layout=hot-cold requires -O full\n");
     return 2;
   }
+  if (Opts.Analysis && Opts.Level != om::OmLevel::Full) {
+    std::fprintf(stderr, "omlink: --analysis requires -O full\n");
+    return 2;
+  }
+  if (Lint && Standard) {
+    std::fprintf(stderr, "omlink: --lint needs the OM pipeline; drop "
+                         "--standard\n");
+    return 2;
+  }
 
   std::vector<obj::ObjectFile> Objs;
   for (const std::string &Path : Inputs) {
@@ -222,6 +259,25 @@ int main(int argc, char **argv) {
       return 1;
     }
     Objs.push_back(O.take());
+  }
+
+  if (Lint) {
+    // Report-only: lift the inputs into the symbolic form, run the
+    // dataflow, and print the lint findings. No image is produced.
+    ThreadPool Pool(Opts.Jobs);
+    Result<om::SymbolicProgram> SP = om::liftProgram(Objs, Opts, Pool);
+    if (!SP) {
+      std::fprintf(stderr, "omlink: lint: %s\n", SP.message().c_str());
+      return 1;
+    }
+    om::analysis::ProgramAnalysis PA = om::analysis::analyzeProgram(*SP, Pool);
+    DiagnosticEngine Diags;
+    unsigned Findings = om::analysis::runLint(*SP, PA, Diags);
+    if (Findings)
+      std::fputs(Diags.render().c_str(), stdout);
+    std::fprintf(stderr, "omlink: lint: %u finding(s) in %zu procedure(s)\n",
+                 Findings, SP->Procs.size());
+    return (LintWerror && Findings) ? 1 : 0;
   }
 
   obj::Image Img;
@@ -288,6 +344,14 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "  bsr fallback   %llu call(s) left as JSR "
                              "(out of BSR range)\n",
                      (unsigned long long)S.BsrFallbackJsrs);
+      if (Opts.Analysis)
+        std::fprintf(stderr,
+                     "  analysis       %llu GP pair(s), %llu PV load(s), "
+                     "%llu dead load(s) deleted; %llu sched dep(s) freed\n",
+                     (unsigned long long)S.AnalysisGpPairsDeleted,
+                     (unsigned long long)S.AnalysisPvLoadsDeleted,
+                     (unsigned long long)S.AnalysisDeadLoadsDeleted,
+                     (unsigned long long)S.SchedMemDepsFreed);
       if (Opts.HotColdLayout)
         std::fprintf(stderr,
                      "  layout         %llu proc(s) reordered, %llu blocks "
