@@ -1,0 +1,590 @@
+//===- megagen/MegaGen.cpp - Mega-scale synthetic workload generator ------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "megagen/MegaGen.h"
+
+#include "isa/Inst.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <string>
+
+using namespace om64;
+using namespace om64::isa;
+using namespace om64::obj;
+using namespace om64::megagen;
+
+namespace {
+
+/// Maximum generation-time distance (bytes) at which a backward BSR to the
+/// module's leaf is emitted. The hardware reach is 21 signed word bits
+/// (+-4,194,300 bytes); half of that leaves room for the alignment nops OM
+/// may insert between the call site and the leaf.
+constexpr uint64_t BsrSafeDistance = 2u << 20;
+
+/// Maximum straight-line run before a `br zero, +0` barrier. Every branch
+/// ends a scheduling region, and OM's list scheduler is quadratic per
+/// region, so unbounded straight runs would make -O full --sched quadratic
+/// in module size.
+constexpr unsigned MaxStraightRun = 48;
+
+/// Builds one module. All randomness comes from the single program-wide
+/// DetRandom passed in, consumed strictly sequentially, so module contents
+/// depend only on the spec seed and on how much entropy earlier modules
+/// drew — never on host iteration order.
+class ModuleBuilder {
+public:
+  ModuleBuilder(const MegaSpec &Spec, unsigned ModuleIdx, unsigned Procs,
+                unsigned DataSyms, DetRandom &Rng, MegaSummary &Sum)
+      : Spec(Spec), M(ModuleIdx), P(Procs), D(DataSyms), Rng(Rng), Sum(Sum) {
+    O.ModuleName = moduleName(M);
+  }
+
+  static std::string moduleName(unsigned M) { return "mg" + std::to_string(M); }
+  static std::string procName(unsigned M, unsigned K) {
+    return moduleName(M) + ".p" + std::to_string(K);
+  }
+  static std::string dataName(unsigned M, unsigned I) {
+    return moduleName(M) + ".d" + std::to_string(I);
+  }
+
+  /// Emits data symbols, the two leaves, and the body procedures; \p
+  /// BudgetFor returns the remaining-instruction budget for the next body
+  /// procedure each time one starts.
+  template <typename BudgetFn>
+  ObjectFile build(bool IsEntryModule, BudgetFn BudgetFor) {
+    makeDataSymbols();
+    makeBranchLeaf();
+    makeGpLeaf();
+    for (unsigned K = 2; K < P; ++K) {
+      bool IsMain = IsEntryModule && K == P - 1;
+      makeBodyProc(K, IsMain, BudgetFor());
+    }
+    Sum.TotalProcedures += P;
+    Sum.TotalDataBytes += O.Data.size() + O.BssSize;
+    Sum.GatEntries += O.Gat.size();
+    return std::move(O);
+  }
+
+private:
+  const MegaSpec &Spec;
+  const unsigned M, P, D;
+  DetRandom &Rng;
+  MegaSummary &Sum;
+  ObjectFile O;
+  uint32_t NextLitId = 0;
+  unsigned StraightRun = 0;
+  std::map<uint32_t, uint32_t> GatIdxOfSym; // symbol index -> GAT slot
+  std::map<std::string, uint32_t> ExternIdx;
+
+  //===--------------------------------------------------------------------===
+  // Low-level emission.
+  //===--------------------------------------------------------------------===
+
+  uint64_t here() const { return O.Text.size(); }
+
+  void emit(const Inst &I) {
+    uint32_t W = encode(I);
+    for (unsigned B = 0; B < 4; ++B)
+      O.Text.push_back(static_cast<uint8_t>(W >> (8 * B)));
+    ++Sum.TotalInstructions;
+    InstClass C = classOf(I.Op);
+    if (C == InstClass::Branch || C == InstClass::Jump || C == InstClass::Pal)
+      StraightRun = 0;
+    else
+      ++StraightRun;
+  }
+
+  /// Caps scheduling-region size before a straight-line block is emitted.
+  void maybeBarrier(unsigned BlockLen) {
+    if (StraightRun + BlockLen > MaxStraightRun)
+      emit(makeBranch(Opcode::Br, Zero, 0));
+  }
+
+  uint32_t addDefinedSym(const std::string &Name, SectionKind Sec,
+                         uint64_t Off, uint64_t Size, bool IsProc) {
+    Symbol S;
+    S.Name = Name;
+    S.Section = Sec;
+    S.Offset = Off;
+    S.Size = Size;
+    S.IsProcedure = IsProc;
+    S.IsExported = S.IsDefined = true;
+    O.Symbols.push_back(S);
+    return static_cast<uint32_t>(O.Symbols.size() - 1);
+  }
+
+  uint32_t externSym(const std::string &Name, SectionKind Sec, bool IsProc) {
+    auto It = ExternIdx.find(Name);
+    if (It != ExternIdx.end())
+      return It->second;
+    Symbol S;
+    S.Name = Name;
+    S.Section = Sec;
+    S.IsProcedure = IsProc;
+    O.Symbols.push_back(S);
+    uint32_t Idx = static_cast<uint32_t>(O.Symbols.size() - 1);
+    ExternIdx.emplace(Name, Idx);
+    return Idx;
+  }
+
+  uint32_t gatSlotFor(uint32_t SymIdx) {
+    auto It = GatIdxOfSym.find(SymIdx);
+    if (It != GatIdxOfSym.end())
+      return It->second;
+    O.Gat.push_back({SymIdx, 0});
+    uint32_t Slot = static_cast<uint32_t>(O.Gat.size() - 1);
+    GatIdxOfSym.emplace(SymIdx, Slot);
+    return Slot;
+  }
+
+  /// Emits `ldq Reg, 0(gp)` carrying a Literal reloc for \p SymIdx's GAT
+  /// slot and returns the fresh literal id.
+  uint32_t emitAddressLoad(uint8_t Reg, uint32_t SymIdx) {
+    Reloc R;
+    R.Kind = RelocKind::Literal;
+    R.Offset = here();
+    R.GatIndex = gatSlotFor(SymIdx);
+    R.LiteralId = NextLitId++;
+    O.Relocs.push_back(R);
+    emit(makeMem(Opcode::Ldq, Reg, 0, GP));
+    return R.LiteralId;
+  }
+
+  void addUse(RelocKind K, uint64_t Off, uint32_t LitId) {
+    Reloc R;
+    R.Kind = K;
+    R.Offset = Off;
+    R.LiteralId = LitId;
+    O.Relocs.push_back(R);
+  }
+
+  void addGpDisp(uint64_t Off, GpDispKind K) {
+    Reloc R;
+    R.Kind = RelocKind::GpDisp;
+    R.Offset = Off;
+    R.AnchorOffset = Off;
+    R.PairOffset = 4;
+    R.GpKind = static_cast<uint8_t>(K);
+    O.Relocs.push_back(R);
+  }
+
+  /// Emits the two-instruction GP establishment pair (Figure 1 of the
+  /// paper): LDAH gp,(base); LDA gp,(gp), plus the pairing reloc.
+  void emitGpPair(GpDispKind K) {
+    addGpDisp(here(), K);
+    emit(makeMem(Opcode::Ldah, GP, 0, K == GpDispKind::Prologue ? PV : RA));
+    emit(makeMem(Opcode::Lda, GP, 0, GP));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Data symbols.
+  //===--------------------------------------------------------------------===
+
+  void makeDataSymbols() {
+    for (unsigned I = 0; I < D; ++I) {
+      uint64_t Size = 8 * (1 + Rng.nextBelow(8)); // 8..64 bytes
+      if (I % 2 == 0) {
+        uint64_t Off = O.Data.size();
+        for (uint64_t B = 0; B < Size; ++B)
+          O.Data.push_back(static_cast<uint8_t>((M * 131 + I * 13 + B * 7)));
+        addDefinedSym(dataName(M, I), SectionKind::Data, Off, Size, false);
+      } else {
+        uint64_t Off = O.BssSize;
+        O.BssSize += Size;
+        addDefinedSym(dataName(M, I), SectionKind::Bss, Off, Size, false);
+      }
+    }
+  }
+
+  /// A random own-module data symbol index (data symbols occupy the first D
+  /// slots of the symbol table).
+  uint32_t randomLocalData() {
+    return static_cast<uint32_t>(Rng.nextBelow(D));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Straight-line body blocks. Each block writes every temporary it reads
+  // before reading it, so OM's load nullification (which leaves a stale
+  // value in the old destination register) can never change the program's
+  // result; V0 is the only value that flows between blocks.
+  //===--------------------------------------------------------------------===
+
+  void blockWork() {
+    maybeBarrier(6);
+    static const Opcode Fold[] = {Opcode::Addq, Opcode::Subq, Opcode::Xor,
+                                  Opcode::And,  Opcode::Bis,  Opcode::Ornot};
+    emit(makeMem(Opcode::Lda, T1, static_cast<int32_t>(Rng.nextInRange(1, 255)),
+                 Zero));
+    emit(makeMem(Opcode::Lda, T2, static_cast<int32_t>(Rng.nextInRange(1, 255)),
+                 Zero));
+    emit(makeOp(Fold[Rng.nextBelow(6)], T1, T2, T3));
+    emit(makeOpLit(Opcode::Sll, T3, static_cast<uint8_t>(Rng.nextBelow(8)),
+                   T3));
+    emit(makeOp(Fold[Rng.nextBelow(6)], T3, T1, T4));
+    emit(makeOp(Opcode::Addq, V0, T4, V0));
+  }
+
+  /// Read-modify-write of a data symbol through a GAT address load with
+  /// recorded uses: the pattern address-load nullification/conversion
+  /// (section 5) targets.
+  void blockDataAccess(uint32_t SymIdx) {
+    maybeBarrier(5);
+    uint32_t Lit = emitAddressLoad(T1, SymIdx);
+    addUse(RelocKind::LituseBase, here(), Lit);
+    emit(makeMem(Opcode::Ldq, T2, 0, T1));
+    emit(makeOpLit(Opcode::Addq, T2, 1, T2));
+    addUse(RelocKind::LituseBase, here(), Lit);
+    emit(makeMem(Opcode::Stq, T2, 0, T1));
+    emit(makeOp(Opcode::Addq, V0, T2, V0));
+  }
+
+  void blockDataLocal() { blockDataAccess(randomLocalData()); }
+
+  void blockDataRemote(unsigned Modules) {
+    if (Modules < 2)
+      return blockDataLocal();
+    unsigned Other = static_cast<unsigned>(Rng.nextBelow(Modules - 1));
+    if (Other >= M)
+      ++Other; // any module but this one
+    // Even indices are .data in every module; referencing only those keeps
+    // the declared section of the extern accurate.
+    unsigned I = 2 * static_cast<unsigned>(Rng.nextBelow((D + 1) / 2));
+    uint32_t Sym = externSym(dataName(Other, I), SectionKind::Data, false);
+    blockDataAccess(Sym);
+  }
+
+  /// An address load with no recorded use: the literal escapes, so OM must
+  /// keep the address computation (possibly as an LDA off GP) rather than
+  /// deleting it. The unrecorded dereference reads memory whose *contents*
+  /// are layout-independent, so the exit code stays comparable across OM
+  /// levels even though the address itself differs.
+  void blockEscape() {
+    maybeBarrier(3);
+    emitAddressLoad(T1, randomLocalData());
+    emit(makeMem(Opcode::Ldq, T2, 0, T1));
+    emit(makeOp(Opcode::Addq, V0, T2, V0));
+  }
+
+  /// A bounded counter loop: branch targets for the loop-alignment pass and
+  /// a guaranteed scheduling barrier.
+  void blockLoop() {
+    maybeBarrier(3);
+    unsigned Ops = 1 + static_cast<unsigned>(Rng.nextBelow(3));
+    emit(makeMem(Opcode::Lda, T4,
+                 static_cast<int32_t>(Rng.nextInRange(2, 6)), Zero));
+    uint64_t Top = here();
+    for (unsigned I = 0; I < Ops; ++I)
+      emit(makeOpLit(Opcode::Addq, V0,
+                     static_cast<uint8_t>(Rng.nextInRange(1, 9)), V0));
+    emit(makeOpLit(Opcode::Subq, T4, 1, T4));
+    int64_t WordDisp =
+        (static_cast<int64_t>(Top) - static_cast<int64_t>(here() + 4)) / 4;
+    emit(makeBranch(Opcode::Bgt, T4, static_cast<int32_t>(WordDisp)));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Call blocks. V0 is spilled around every call (callees recompute it),
+  // then the callee's return value is folded in.
+  //===--------------------------------------------------------------------===
+
+  /// BSR to the module's GP-less leaf at text offset 0. The leaf has no
+  /// prologue, so reaching it with a stale PV is harmless — the property
+  /// that makes compiler BSRs legal without OM's same-group proof.
+  void blockBsrLeaf() {
+    emit(makeMem(Opcode::Stq, V0, 8, SP));
+    int64_t WordDisp = -static_cast<int64_t>(here() + 4) / 4;
+    emit(makeBranch(Opcode::Bsr, RA, static_cast<int32_t>(WordDisp)));
+    emit(makeMem(Opcode::Ldq, T0, 8, SP));
+    emit(makeOp(Opcode::Addq, V0, T0, V0));
+    ++Sum.LeafBsrCalls;
+  }
+
+  /// Full GAT call sequence: PV load, JSR, post-call GP reset pair.
+  void blockJsrCall(uint32_t CalleeSym, bool Cross) {
+    emit(makeMem(Opcode::Stq, V0, 8, SP));
+    uint32_t Lit = emitAddressLoad(PV, CalleeSym);
+    addUse(RelocKind::LituseJsr, here(), Lit);
+    emit(makeJump(Opcode::Jsr, RA, PV));
+    emitGpPair(GpDispKind::PostCall);
+    emit(makeMem(Opcode::Ldq, T0, 8, SP));
+    emit(makeOp(Opcode::Addq, V0, T0, V0));
+    if (Cross)
+      ++Sum.CrossModuleCalls;
+    else
+      ++Sum.IntraModuleCalls;
+  }
+
+  /// A call to the module's own leaves: BSR when the leaf is within safe
+  /// branch reach, otherwise through the GAT like any other call.
+  void blockLeafCall() {
+    if (here() + 4 < BsrSafeDistance)
+      blockBsrLeaf();
+    else
+      blockJsrCall(GpLeafSym, /*Cross=*/false);
+  }
+
+  /// Main-only: a counted loop around a GAT call, spilling the counter to
+  /// the frame because callees clobber the temporaries.
+  void blockLoopedCall(uint32_t CalleeSym, bool Cross) {
+    emit(makeMem(Opcode::Lda, T3,
+                 static_cast<int32_t>(Rng.nextInRange(4, 8)), Zero));
+    uint64_t Top = here();
+    emit(makeMem(Opcode::Stq, T3, 16, SP));
+    blockJsrCall(CalleeSym, Cross);
+    emit(makeMem(Opcode::Ldq, T3, 16, SP));
+    emit(makeOpLit(Opcode::Subq, T3, 1, T3));
+    int64_t WordDisp =
+        (static_cast<int64_t>(Top) - static_cast<int64_t>(here() + 4)) / 4;
+    emit(makeBranch(Opcode::Bgt, T3, static_cast<int32_t>(WordDisp)));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Procedures.
+  //===--------------------------------------------------------------------===
+
+  uint32_t GpLeafSym = 0; // symbol index of this module's GP-using leaf
+
+  void beginProc() { StraightRun = 0; }
+
+  void finishProc(const std::string &Name, uint64_t Base, bool UsesGp) {
+    uint32_t Sym = addDefinedSym(Name, SectionKind::Text, Base, here() - Base,
+                                 /*IsProc=*/true);
+    ProcDesc PD;
+    PD.SymbolIndex = Sym;
+    PD.TextOffset = Base;
+    PD.TextSize = here() - Base;
+    PD.UsesGp = UsesGp;
+    O.Procs.push_back(PD);
+    if (Name == moduleName(M) + ".gleaf")
+      GpLeafSym = Sym;
+  }
+
+  /// Procedure 0, "mgM.bleaf": GP-less arithmetic leaf at text offset 0,
+  /// the BSR target. No prologue, no frame, clobbers only V0/T1.
+  void makeBranchLeaf() {
+    beginProc();
+    uint64_t Base = here();
+    emit(makeMem(Opcode::Lda, V0,
+                 static_cast<int32_t>(Rng.nextInRange(1, 99)), Zero));
+    emit(makeMem(Opcode::Lda, T1,
+                 static_cast<int32_t>(Rng.nextInRange(1, 99)), Zero));
+    emit(makeOp(Opcode::Addq, V0, T1, V0));
+    emit(makeJump(Opcode::Ret, Zero, RA));
+    finishProc(moduleName(M) + ".bleaf", Base, /*UsesGp=*/false);
+  }
+
+  /// Procedure 1, "mgM.gleaf": GP-using leaf. Establishes GP, touches its
+  /// own module's data through the GAT, calls nothing — the intra-module
+  /// callee whose post-call GP resets OM-full must prove redundant.
+  void makeGpLeaf() {
+    beginProc();
+    uint64_t Base = here();
+    emitGpPair(GpDispKind::Prologue);
+    emit(makeMem(Opcode::Lda, V0,
+                 static_cast<int32_t>(Rng.nextInRange(1, 99)), Zero));
+    blockDataLocal();
+    emit(makeJump(Opcode::Ret, Zero, RA));
+    finishProc(moduleName(M) + ".gleaf", Base, /*UsesGp=*/true);
+  }
+
+  struct CallPlan {
+    uint32_t Sym = 0;
+    bool Cross = false;
+    bool Looped = false; // main-only hot loop
+    bool Leaf = false;   // own bleaf/gleaf
+  };
+
+  /// Cross-module call plan for one body procedure, by shape. All targets
+  /// are body procedures of *higher* modules, so the static call graph is
+  /// acyclic by construction.
+  void planBodyCalls(unsigned K, std::vector<CallPlan> &Plan,
+                     unsigned Modules) {
+    bool HasNext = M + 1 < Modules;
+    auto Target = [&](unsigned Mod, unsigned Proc) {
+      CallPlan C;
+      C.Sym = externSym(procName(Mod, Proc), SectionKind::Text, true);
+      C.Cross = true;
+      return C;
+    };
+    switch (Spec.Shape) {
+    case CallShape::DeepChains:
+    case CallShape::HotLoops:
+      // One chain link per procedure; under HotLoops only the chains rooted
+      // at the hot procedures ever execute — the rest is the cold library.
+      if (HasNext)
+        Plan.push_back(Target(M + 1, K));
+      break;
+    case CallShape::WideFanout:
+      break; // bodies call only their own leaves; main does the fan-out
+    case CallShape::Mixed:
+      if (HasNext && !Rng.chance(1, 4)) {
+        unsigned Proc = Rng.chance(1, 2)
+                            ? K
+                            : 2 + static_cast<unsigned>(Rng.nextBelow(P - 2));
+        Plan.push_back(Target(M + 1, Proc));
+      }
+      break;
+    }
+  }
+
+  /// Call plan for "mg0.main", by shape.
+  void planMainCalls(std::vector<CallPlan> &Plan, unsigned Modules) {
+    auto Target = [&](unsigned Mod, unsigned Proc, bool Looped) {
+      CallPlan C;
+      C.Sym = externSym(procName(Mod, Proc), SectionKind::Text, true);
+      C.Cross = true;
+      C.Looped = Looped;
+      return C;
+    };
+    if (Modules < 2)
+      return;
+    switch (Spec.Shape) {
+    case CallShape::DeepChains:
+      // Start every chain.
+      for (unsigned K = 2; K < P; ++K)
+        Plan.push_back(Target(1, K, false));
+      break;
+    case CallShape::WideFanout:
+      for (unsigned Mod = 1; Mod < Modules; ++Mod) {
+        unsigned N = 1 + static_cast<unsigned>(Rng.nextBelow(
+                             std::min<unsigned>(3, P - 2)));
+        for (unsigned I = 0; I < N; ++I)
+          Plan.push_back(Target(
+              Mod, 2 + static_cast<unsigned>(Rng.nextBelow(P - 2)), false));
+      }
+      break;
+    case CallShape::HotLoops:
+      for (unsigned K = 2; K < 2 + std::min<unsigned>(3, P - 2); ++K)
+        Plan.push_back(Target(1, K, true));
+      break;
+    case CallShape::Mixed:
+      for (unsigned Mod = 1; Mod < Modules; ++Mod)
+        if (Rng.chance(1, 2))
+          Plan.push_back(Target(
+              Mod, 2 + static_cast<unsigned>(Rng.nextBelow(P - 2)), false));
+      break;
+    }
+  }
+
+  /// Procedures 2..P-1: framed bodies mixing filler blocks with the
+  /// planned calls at random positions.
+  void makeBodyProc(unsigned K, bool IsMain, uint64_t Budget) {
+    beginProc();
+    uint64_t Base = here();
+    unsigned Modules = std::max(1u, Spec.Modules);
+
+    std::vector<CallPlan> Calls;
+    // Leaf coverage from every body: BSR to bleaf and a GAT call to gleaf.
+    for (unsigned I = 0, N = 1 + Rng.chance(1, 2); I < N; ++I) {
+      CallPlan C;
+      C.Leaf = true;
+      Calls.push_back(C);
+    }
+    {
+      CallPlan C;
+      C.Sym = GpLeafSym;
+      Calls.push_back(C); // intra-module GAT call
+    }
+    if (IsMain)
+      planMainCalls(Calls, Modules);
+    else
+      planBodyCalls(K, Calls, Modules);
+
+    int32_t Frame = IsMain ? 32 : 16;
+    emitGpPair(GpDispKind::Prologue);
+    emit(makeMem(Opcode::Lda, SP, -Frame, SP));
+    emit(makeMem(Opcode::Stq, RA, 0, SP));
+    emit(makeMem(Opcode::Lda, V0,
+                 static_cast<int32_t>(Rng.nextInRange(1, 99)), Zero));
+
+    size_t NextCall = 0;
+    while (here() - Base < Budget * 4 || NextCall < Calls.size()) {
+      if (NextCall < Calls.size() &&
+          (here() - Base >= Budget * 4 || Rng.chance(1, 5))) {
+        const CallPlan &C = Calls[NextCall++];
+        if (C.Leaf)
+          blockLeafCall();
+        else if (C.Looped)
+          blockLoopedCall(C.Sym, C.Cross);
+        else
+          blockJsrCall(C.Sym, C.Cross);
+        continue;
+      }
+      uint64_t Pick = Rng.nextBelow(100);
+      if (Pick < 45)
+        blockWork();
+      else if (Pick < 65)
+        blockDataLocal();
+      else if (Pick < 72)
+        blockDataRemote(Modules);
+      else if (Pick < 80)
+        blockEscape();
+      else
+        blockLoop();
+    }
+
+    emit(makeMem(Opcode::Ldq, RA, 0, SP));
+    emit(makeMem(Opcode::Lda, SP, Frame, SP));
+    emit(makeJump(Opcode::Ret, Zero, RA));
+    finishProc(IsMain ? moduleName(M) + ".main" : procName(M, K), Base,
+               /*UsesGp=*/true);
+  }
+};
+
+} // namespace
+
+const char *megagen::shapeName(CallShape S) {
+  switch (S) {
+  case CallShape::DeepChains:
+    return "deep-chains";
+  case CallShape::WideFanout:
+    return "wide-fanout";
+  case CallShape::HotLoops:
+    return "hot-loops";
+  case CallShape::Mixed:
+    return "mixed";
+  }
+  return "mixed";
+}
+
+std::optional<CallShape> megagen::parseShape(const std::string &Name) {
+  for (CallShape S : {CallShape::DeepChains, CallShape::WideFanout,
+                      CallShape::HotLoops, CallShape::Mixed})
+    if (Name == shapeName(S))
+      return S;
+  return std::nullopt;
+}
+
+MegaProgram megagen::generate(const MegaSpec &Spec) {
+  unsigned Modules = std::max(1u, Spec.Modules);
+  unsigned P = std::max(3u, Spec.ProcsPerModule);
+  unsigned D = std::max(2u, Spec.DataSymsPerModule);
+
+  MegaProgram Prog;
+  DetRandom Rng(Spec.Seed * 0x9E3779B97F4A7C15ull + 1);
+
+  uint64_t TotalBodies = static_cast<uint64_t>(Modules) * (P - 2);
+  uint64_t BodiesLeft = TotalBodies;
+  Prog.Objects.reserve(Modules);
+  for (unsigned M = 0; M < Modules; ++M) {
+    ModuleBuilder B(Spec, M, P, D, Rng, Prog.Summary);
+    Prog.Objects.push_back(B.build(
+        /*IsEntryModule=*/M == 0, [&]() {
+          uint64_t Emitted = Prog.Summary.TotalInstructions;
+          uint64_t Left = Spec.TargetInstructions > Emitted
+                              ? Spec.TargetInstructions - Emitted
+                              : 0;
+          uint64_t Budget =
+              std::max<uint64_t>(32, Left / std::max<uint64_t>(1, BodiesLeft));
+          --BodiesLeft;
+          return Budget;
+        }));
+  }
+  return Prog;
+}

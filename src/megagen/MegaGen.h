@@ -1,0 +1,122 @@
+//===- megagen/MegaGen.h - Mega-scale synthetic workload generator --------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized generator of million-instruction, thousand-procedure,
+/// many-module programs for exercising OM at the scale the paper targets
+/// ("the object code of the entire program"). The 19 SPEC-shaped workloads
+/// in src/workloads link in milliseconds, which is far too small to observe
+/// the parallel pipeline's behaviour; these inputs are built directly as
+/// relocatable objects (no compile step) so generating a million
+/// instructions takes tens of milliseconds.
+///
+/// Properties the generator guarantees:
+///
+///   * Deterministic: the same MegaSpec produces byte-identical modules on
+///     every host (DetRandom; no iteration over unordered containers).
+///   * Runnable: the call graph is acyclic (all cross-module calls point to
+///     higher module indices, intra-module calls target leaf procedures),
+///     loops are bounded, every procedure keeps the RA/SP frame discipline,
+///     and exactly one procedure is named "<module>.main". Exit codes are
+///     compared differentially (OM-full vs OM-none), so generated code
+///     never lets a data-layout-dependent value (an address) flow into the
+///     result.
+///   * Representative: bodies mix GAT address loads with recorded uses,
+///     escaping literals, GP prologues and post-call reset pairs, JSRs
+///     through the GAT, compiler BSRs to prologue-less leaves, and bounded
+///     local loops — every pattern the section-3 transforms act on.
+///   * Scheduler-safe: straight-line runs are capped with branch barriers
+///     so OM's quadratic-per-region list scheduler never sees a
+///     megabyte-scale region.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_MEGAGEN_MEGAGEN_H
+#define OM64_MEGAGEN_MEGAGEN_H
+
+#include "objfile/ObjectFile.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace om64 {
+namespace megagen {
+
+/// Call-graph shape of a generated program.
+enum class CallShape : uint8_t {
+  /// Module m's body procedures each make exactly one cross-module call to
+  /// the same-index procedure of module m+1: call chains as deep as the
+  /// module count.
+  DeepChains,
+  /// main fans out directly to body procedures of every module; body
+  /// procedures call only their module's leaves.
+  WideFanout,
+  /// main loops over calls into a few hot procedures; everything else is a
+  /// cold library that is linked but never executed.
+  HotLoops,
+  /// Per-procedure random mix of the above behaviours.
+  Mixed,
+};
+
+/// Returns "deep-chains", "wide-fanout", "hot-loops" or "mixed".
+const char *shapeName(CallShape S);
+
+/// Parses a shapeName() string; nullopt on unknown names.
+std::optional<CallShape> parseShape(const std::string &Name);
+
+/// All generation parameters. The defaults describe the mega benchmark
+/// input: ~1M instructions across 1024 procedures in 64 modules.
+struct MegaSpec {
+  uint64_t Seed = 1;
+  CallShape Shape = CallShape::Mixed;
+  /// Number of object modules (clamped to >= 1).
+  unsigned Modules = 64;
+  /// Procedures per module (clamped to >= 3: two leaves plus bodies).
+  unsigned ProcsPerModule = 16;
+  /// Total instruction target; generation stops adding body blocks once
+  /// met, so the real total overshoots by at most a few blocks per
+  /// procedure.
+  uint64_t TargetInstructions = 1050000;
+  /// Exported 8-byte-aligned data symbols per module (clamped to >= 2).
+  unsigned DataSymsPerModule = 8;
+};
+
+/// Exact static counts of one generated program, for tests that assert OM
+/// stats against ground truth (e.g. every intra-module call's GP reset must
+/// be nullified at OM-full).
+struct MegaSummary {
+  uint64_t TotalInstructions = 0;
+  uint64_t TotalProcedures = 0;
+  uint64_t TotalDataBytes = 0; // data + bss, all modules
+  /// JSR-via-GAT call sites whose callee lives in another module. Each
+  /// emits a post-call GP-reset pair.
+  uint64_t CrossModuleCalls = 0;
+  /// JSR-via-GAT call sites targeting the caller's own module's GP-using
+  /// leaf (which calls nothing). Each emits a post-call GP-reset pair that
+  /// OM-full must prove redundant — even when the module's GAT group index
+  /// exceeds 64.
+  uint64_t IntraModuleCalls = 0;
+  /// Compiler BSR call sites targeting the GP-less leaf; no reset pairs.
+  uint64_t LeafBsrCalls = 0;
+  uint64_t GatEntries = 0; // sum of per-module GAT sizes
+};
+
+/// A generated program.
+struct MegaProgram {
+  std::vector<obj::ObjectFile> Objects;
+  MegaSummary Summary;
+};
+
+/// Generates the program described by \p Spec. Deterministic: equal specs
+/// yield byte-identical objects (ObjectFile::serialize) on every platform.
+MegaProgram generate(const MegaSpec &Spec);
+
+} // namespace megagen
+} // namespace om64
+
+#endif // OM64_MEGAGEN_MEGAGEN_H

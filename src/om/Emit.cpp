@@ -31,6 +31,7 @@
 #include <map>
 #include <numeric>
 #include <set>
+#include <unordered_map>
 
 using namespace om64;
 using namespace om64::om;
@@ -39,12 +40,17 @@ using namespace om64::obj;
 
 namespace {
 
+/// Slot map key: one 64-bit word packing (group, symId).
+uint64_t slotKey(uint32_t Group, uint32_t Sym) {
+  return (static_cast<uint64_t>(Group) << 32) | Sym;
+}
+
 /// One layout round's results.
 struct DataLayout {
   std::vector<uint64_t> GroupBase; // address of each group's GAT
   std::vector<uint64_t> GpValue;
-  // (group, symId) -> slot index within that group's GAT.
-  std::map<std::pair<uint32_t, uint32_t>, uint32_t> Slot;
+  // slotKey(group, symId) -> slot index within that group's GAT.
+  std::unordered_map<uint64_t, uint32_t> Slot;
   std::vector<std::vector<uint32_t>> GroupSyms; // slot -> symId
   uint64_t DataBytes = 0; // initialized-data extent past the GATs
   uint64_t BssBytes = 0;
@@ -93,6 +99,13 @@ private:
   Result<Image> assemble(const DataLayout &DL);
   void finalizeStats(const DataLayout &DL);
 
+  /// Splits SP.Lits by owning procedure so the decision and rewrite loops
+  /// can fan out per procedure. Within each procedure literal ids ascend,
+  /// and the lift assigns ids in procedure order, so walking LitsOfProc in
+  /// procedure order visits literals exactly as the global ascending-id
+  /// iteration did.
+  void partitionLiterals();
+
   SymbolicProgram &SP;
   const OmOptions &Opts;
   OmStats &Stats;
@@ -109,6 +122,10 @@ private:
   std::vector<uint64_t> ProcBase;
   std::vector<std::vector<uint32_t>> InstOffset; // per proc, per inst
   uint64_t TextBytes = 0;
+
+  // Per-procedure (LitId, literal) views into SP.Lits; map nodes are
+  // pointer-stable, and dropped together with SP.Lits after deletion.
+  std::vector<std::vector<std::pair<uint32_t, LitInfo *>>> LitsOfProc;
 };
 
 } // namespace
@@ -122,21 +139,30 @@ DataLayout Emitter::layoutData(bool IncludeAllLiterals) const {
   uint32_t NumGroups = SP.NumGroups;
   DL.GroupSyms.resize(NumGroups);
 
-  // GAT contents: entries still loaded from memory.
-  for (const SymProc &Proc : SP.Procs) {
+  // GAT contents: entries still loaded from memory. Qualifying
+  // (group, symbol) pairs are collected per procedure in parallel; slot
+  // numbers are then assigned serially in procedure order, so every group's
+  // GAT lays out exactly as the old serial scan produced it.
+  std::vector<std::vector<uint64_t>> KeysOfProc(SP.Procs.size());
+  Pool.parallelFor(SP.Procs.size(), [&](size_t P) {
+    const SymProc &Proc = SP.Procs[P];
     for (const SymInst &SI : Proc.Insts) {
       if (SI.Kind != SKind::AddressLoad)
         continue;
       if (!IncludeAllLiterals && (SI.Nullified || SI.Converted))
         continue;
-      auto Key = std::make_pair(Proc.GpGroup, SI.TargetSym);
-      if (DL.Slot.count(Key))
-        continue;
-      DL.Slot[Key] =
-          static_cast<uint32_t>(DL.GroupSyms[Proc.GpGroup].size());
-      DL.GroupSyms[Proc.GpGroup].push_back(SI.TargetSym);
+      KeysOfProc[P].push_back(slotKey(Proc.GpGroup, SI.TargetSym));
     }
-  }
+  });
+  for (const std::vector<uint64_t> &Keys : KeysOfProc)
+    for (uint64_t Key : Keys) {
+      uint32_t Group = static_cast<uint32_t>(Key >> 32);
+      auto [It, Inserted] = DL.Slot.emplace(
+          Key, static_cast<uint32_t>(DL.GroupSyms[Group].size()));
+      (void)It;
+      if (Inserted)
+        DL.GroupSyms[Group].push_back(static_cast<uint32_t>(Key));
+    }
 
   // GAT placement and GP values.
   DL.GroupBase.resize(NumGroups);
@@ -252,80 +278,95 @@ void Emitter::relaxDirectCalls() {
 // Address-load decisions.
 //===----------------------------------------------------------------------===//
 
-bool Emitter::decideAddressLoads(const DataLayout &DL, bool Commit) {
-  bool Changed = false;
-  for (auto &[LitId, L] : SP.Lits) {
-    (void)LitId;
-    if (L.Proc == ~0u)
-      continue;
-    SymProc &Proc = SP.Procs[L.Proc];
-    SymInst &Load = Proc.Insts[L.LoadIdx];
-    if (Load.Kind != SKind::AddressLoad || Load.Nullified || Load.Converted)
-      continue;
-    if (isCallLiteral(L))
-      continue; // PV must be the exact procedure address
-    const PSym &Target = SP.Syms[L.TargetSym];
-    if (Target.IsProc)
-      continue; // escaping procedure address: must stay exact
-    int64_t A = static_cast<int64_t>(Target.Addr);
-    int64_t G = static_cast<int64_t>(DL.GpValue[Proc.GpGroup]);
+void Emitter::partitionLiterals() {
+  LitsOfProc.assign(SP.Procs.size(), {});
+  for (auto &[LitId, L] : SP.Lits)
+    if (L.Proc != ~0u)
+      LitsOfProc[L.Proc].emplace_back(LitId, &L);
+}
 
-    if (L.escapes()) {
-      // &variable: the loaded value must be exact, so only a
-      // one-instruction LDA can replace it.
-      if (fitsDisp16(A - G)) {
+bool Emitter::decideAddressLoads(const DataLayout &DL, bool Commit) {
+  // Each literal reads and writes only its owning procedure's
+  // instructions, so procedures decide independently; the per-procedure
+  // flags OR-reduce to the same Changed the serial scan returned.
+  std::vector<uint8_t> ChangedInProc(SP.Procs.size(), 0);
+  Pool.parallelFor(SP.Procs.size(), [&](size_t P) {
+    SymProc &Proc = SP.Procs[P];
+    for (auto &[LitId, LPtr] : LitsOfProc[P]) {
+      (void)LitId;
+      LitInfo &L = *LPtr;
+      SymInst &Load = Proc.Insts[L.LoadIdx];
+      if (Load.Kind != SKind::AddressLoad || Load.Nullified ||
+          Load.Converted)
+        continue;
+      if (isCallLiteral(L))
+        continue; // PV must be the exact procedure address
+      const PSym &Target = SP.Syms[L.TargetSym];
+      if (Target.IsProc)
+        continue; // escaping procedure address: must stay exact
+      int64_t A = static_cast<int64_t>(Target.Addr);
+      int64_t G = static_cast<int64_t>(DL.GpValue[Proc.GpGroup]);
+
+      if (L.escapes()) {
+        // &variable: the loaded value must be exact, so only a
+        // one-instruction LDA can replace it.
+        if (fitsDisp16(A - G)) {
+          if (Commit)
+            Load.Converted = true;
+          ChangedInProc[P] = 1;
+        }
+        continue;
+      }
+
+      // Mixed direct and derived uses never come out of our compiler; be
+      // conservative if they somehow appear.
+      if (!L.MemUses.empty() && !L.DerefUses.empty())
+        continue;
+      // A derived-pointer chain needs its address computation rewritten as
+      // well; keep chains with unusual shapes.
+      if (!L.DerefUses.empty() && L.AddrUses.size() != 1)
+        continue;
+
+      // The displacement-carrying instructions: direct memory uses, or the
+      // dereferences at the end of an address-arithmetic chain.
+      const std::vector<uint32_t> &DispUses =
+          L.DerefUses.empty() ? L.MemUses : L.DerefUses;
+      if (DispUses.empty())
+        continue; // derived address never dereferenced: leave alone
+      bool AllNear = true;
+      bool HaveHigh = false;
+      int32_t SharedHigh = 0;
+      bool HighConsistent = true;
+      for (uint32_t UseIdx : DispUses) {
+        const SymInst &Use = Proc.Insts[UseIdx];
+        int64_t Du = A - G + Use.OrigDisp;
+        if (!fitsDisp16(Du))
+          AllNear = false;
+        int32_t High, Low;
+        splitDisp32(Du, High, Low);
+        if (!fitsDisp16(High))
+          HighConsistent = false;
+        else if (!HaveHigh) {
+          SharedHigh = High;
+          HaveHigh = true;
+        } else if (High != SharedHigh) {
+          HighConsistent = false;
+        }
+      }
+      if (AllNear) {
+        if (Commit)
+          Load.Nullified = true;
+        ChangedInProc[P] = 1;
+      } else if (HighConsistent && HaveHigh) {
         if (Commit)
           Load.Converted = true;
-        Changed = true;
-      }
-      continue;
-    }
-
-    // Mixed direct and derived uses never come out of our compiler; be
-    // conservative if they somehow appear.
-    if (!L.MemUses.empty() && !L.DerefUses.empty())
-      continue;
-    // A derived-pointer chain needs its address computation rewritten as
-    // well; keep chains with unusual shapes.
-    if (!L.DerefUses.empty() && L.AddrUses.size() != 1)
-      continue;
-
-    // The displacement-carrying instructions: direct memory uses, or the
-    // dereferences at the end of an address-arithmetic chain.
-    const std::vector<uint32_t> &DispUses =
-        L.DerefUses.empty() ? L.MemUses : L.DerefUses;
-    if (DispUses.empty())
-      continue; // derived address never dereferenced: leave alone
-    bool AllNear = true;
-    bool HaveHigh = false;
-    int32_t SharedHigh = 0;
-    bool HighConsistent = true;
-    for (uint32_t UseIdx : DispUses) {
-      const SymInst &Use = Proc.Insts[UseIdx];
-      int64_t Du = A - G + Use.OrigDisp;
-      if (!fitsDisp16(Du))
-        AllNear = false;
-      int32_t High, Low;
-      splitDisp32(Du, High, Low);
-      if (!fitsDisp16(High))
-        HighConsistent = false;
-      else if (!HaveHigh) {
-        SharedHigh = High;
-        HaveHigh = true;
-      } else if (High != SharedHigh) {
-        HighConsistent = false;
+        ChangedInProc[P] = 1;
       }
     }
-    if (AllNear) {
-      if (Commit)
-        Load.Nullified = true;
-      Changed = true;
-    } else if (HighConsistent && HaveHigh) {
-      if (Commit)
-        Load.Converted = true;
-      Changed = true;
-    }
-  }
+  });
+  bool Changed = false;
+  for (uint8_t C : ChangedInProc)
+    Changed |= C != 0;
   return Changed;
 }
 
@@ -336,79 +377,99 @@ Error Emitter::applyRewrites(const DataLayout &DL) {
   // assumed. Truncating the displacement (what the unchecked encode would
   // do, silently, in NDEBUG builds) is a miscompile; failing the link is
   // the only safe answer, and it must fire in release builds too.
-  for (auto &[LitId, L] : SP.Lits) {
-    if (L.Proc == ~0u)
-      continue;
-    SymProc &Proc = SP.Procs[L.Proc];
-    SymInst &Load = Proc.Insts[L.LoadIdx];
-    if (Load.Kind != SKind::AddressLoad)
-      continue;
-    const PSym &Target = SP.Syms[L.TargetSym];
-    int64_t A = static_cast<int64_t>(Target.Addr);
-    int64_t G = static_cast<int64_t>(DL.GpValue[Proc.GpGroup]);
+  //
+  // Procedures rewrite independently; failures land in per-procedure
+  // slots and the first in procedure order is reported — the error the
+  // serial loop raised, since literal ids ascend in procedure order.
+  std::vector<std::string> Errors(SP.Procs.size());
+  Pool.parallelFor(SP.Procs.size(), [&](size_t P) {
+    SymProc &Proc = SP.Procs[P];
+    for (auto &[LitId, LPtr] : LitsOfProc[P]) {
+      LitInfo &L = *LPtr;
+      SymInst &Load = Proc.Insts[L.LoadIdx];
+      if (Load.Kind != SKind::AddressLoad)
+        continue;
+      const PSym &Target = SP.Syms[L.TargetSym];
+      int64_t A = static_cast<int64_t>(Target.Addr);
+      int64_t G = static_cast<int64_t>(DL.GpValue[Proc.GpGroup]);
 
-    const std::vector<uint32_t> &DispUses =
-        L.DerefUses.empty() ? L.MemUses : L.DerefUses;
+      const std::vector<uint32_t> &DispUses =
+          L.DerefUses.empty() ? L.MemUses : L.DerefUses;
 
-    if (Load.Converted) {
-      if (L.escapes()) {
-        if (!fitsDisp16(A - G))
-          return Error::failure(formatString(
-              "%s: literal %u (&%s): converted escaping load's GP "
-              "displacement %lld exceeds 16 bits after layout",
-              Proc.Name.c_str(), LitId, Target.Name.c_str(),
-              static_cast<long long>(A - G)));
-        Load.I = makeMem(Opcode::Lda, Load.I.Ra,
-                         static_cast<int32_t>(A - G), GP);
-      } else {
-        if (DispUses.empty())
-          return Error::failure(formatString(
-              "%s: literal %u (&%s): converted load has no uses to take "
-              "the low displacement", Proc.Name.c_str(), LitId,
-              Target.Name.c_str()));
-        int32_t High = 0, Low = 0;
-        // All uses share the same high part; recompute from the first.
-        splitDisp32(A - G + Proc.Insts[DispUses[0]].OrigDisp, High, Low);
-        if (!fitsDisp16(High))
-          return Error::failure(formatString(
-              "%s: literal %u (&%s): converted load's high displacement "
-              "%d exceeds 16 bits after layout", Proc.Name.c_str(), LitId,
-              Target.Name.c_str(), High));
-        Load.I = makeMem(Opcode::Ldah, Load.I.Ra, High, GP);
+      if (Load.Converted) {
+        if (L.escapes()) {
+          if (!fitsDisp16(A - G)) {
+            Errors[P] = formatString(
+                "%s: literal %u (&%s): converted escaping load's GP "
+                "displacement %lld exceeds 16 bits after layout",
+                Proc.Name.c_str(), LitId, Target.Name.c_str(),
+                static_cast<long long>(A - G));
+            return;
+          }
+          Load.I = makeMem(Opcode::Lda, Load.I.Ra,
+                           static_cast<int32_t>(A - G), GP);
+        } else {
+          if (DispUses.empty()) {
+            Errors[P] = formatString(
+                "%s: literal %u (&%s): converted load has no uses to take "
+                "the low displacement", Proc.Name.c_str(), LitId,
+                Target.Name.c_str());
+            return;
+          }
+          int32_t High = 0, Low = 0;
+          // All uses share the same high part; recompute from the first.
+          splitDisp32(A - G + Proc.Insts[DispUses[0]].OrigDisp, High, Low);
+          if (!fitsDisp16(High)) {
+            Errors[P] = formatString(
+                "%s: literal %u (&%s): converted load's high displacement "
+                "%d exceeds 16 bits after layout", Proc.Name.c_str(),
+                LitId, Target.Name.c_str(), High);
+            return;
+          }
+          Load.I = makeMem(Opcode::Ldah, Load.I.Ra, High, GP);
+          for (uint32_t UseIdx : DispUses) {
+            SymInst &Use = Proc.Insts[UseIdx];
+            int32_t UHigh, ULow;
+            splitDisp32(A - G + Use.OrigDisp, UHigh, ULow);
+            if (UHigh != High) {
+              Errors[P] = formatString(
+                  "%s: literal %u (&%s): uses no longer share one high "
+                  "displacement after layout (%d vs %d)",
+                  Proc.Name.c_str(), LitId, Target.Name.c_str(), UHigh,
+                  High);
+              return;
+            }
+            Use.I.Disp = ULow;
+          }
+        }
+        continue;
+      }
+      if (Load.Nullified && !DispUses.empty()) {
+        // Folded into the uses: direct memory uses become GP-relative, and
+        // chained address computations add to GP instead of the (dead)
+        // loaded base.
         for (uint32_t UseIdx : DispUses) {
           SymInst &Use = Proc.Insts[UseIdx];
-          int32_t UHigh, ULow;
-          splitDisp32(A - G + Use.OrigDisp, UHigh, ULow);
-          if (UHigh != High)
-            return Error::failure(formatString(
-                "%s: literal %u (&%s): uses no longer share one high "
-                "displacement after layout (%d vs %d)", Proc.Name.c_str(),
-                LitId, Target.Name.c_str(), UHigh, High));
-          Use.I.Disp = ULow;
+          int64_t Du = A - G + Use.OrigDisp;
+          if (!fitsDisp16(Du)) {
+            Errors[P] = formatString(
+                "%s: literal %u (&%s): nullified load's use displacement "
+                "%lld exceeds 16 bits after layout", Proc.Name.c_str(),
+                LitId, Target.Name.c_str(), static_cast<long long>(Du));
+            return;
+          }
+          if (L.DerefUses.empty())
+            Use.I.Rb = GP; // direct use: rebase onto GP
+          Use.I.Disp = static_cast<int32_t>(Du);
         }
+        for (uint32_t AddrIdx : L.AddrUses)
+          Proc.Insts[AddrIdx].I.Rb = GP;
       }
-      continue;
     }
-    if (Load.Nullified && !DispUses.empty()) {
-      // Folded into the uses: direct memory uses become GP-relative, and
-      // chained address computations add to GP instead of the (dead)
-      // loaded base.
-      for (uint32_t UseIdx : DispUses) {
-        SymInst &Use = Proc.Insts[UseIdx];
-        int64_t Du = A - G + Use.OrigDisp;
-        if (!fitsDisp16(Du))
-          return Error::failure(formatString(
-              "%s: literal %u (&%s): nullified load's use displacement "
-              "%lld exceeds 16 bits after layout", Proc.Name.c_str(),
-              LitId, Target.Name.c_str(), static_cast<long long>(Du)));
-        if (L.DerefUses.empty())
-          Use.I.Rb = GP; // direct use: rebase onto GP
-        Use.I.Disp = static_cast<int32_t>(Du);
-      }
-      for (uint32_t AddrIdx : L.AddrUses)
-        Proc.Insts[AddrIdx].I.Rb = GP;
-    }
-  }
+  });
+  for (const std::string &Msg : Errors)
+    if (!Msg.empty())
+      return Error::failure(Msg);
   return Error::success();
 }
 
@@ -441,9 +502,10 @@ void Emitter::deleteNullified() {
   for (uint64_t Count : DeletedInProc)
     Stats.InstructionsDeleted += Count;
   // Literal bookkeeping indices are stale after deletion; transforms and
-  // decisions are all complete by now, so drop the table to make any
-  // accidental later use loud.
+  // decisions are all complete by now, so drop the table (and the
+  // per-procedure views into it) to make any accidental later use loud.
   SP.Lits.clear();
+  LitsOfProc.clear();
   Ctx.invalidate();
 }
 
@@ -581,15 +643,17 @@ Result<Image> Emitter::assemble(const DataLayout &DL) {
 
   // Per-procedure offsets, inserting alignment nops before targets of
   // backward branches ("quadword-aligning instructions that are the
-  // targets of backward branches", section 4).
+  // targets of backward branches", section 4). Relative offsets compute
+  // per procedure in parallel — every procedure starts 16-byte aligned,
+  // so the mod-8 alignment decisions cannot observe the base — and a
+  // serial prefix pass accumulates bases and nop counts in procedure
+  // order.
   ProcBase.resize(SP.Procs.size());
   InstOffset.resize(SP.Procs.size());
-  uint64_t Cur = 0;
-  for (uint32_t ProcIdx = 0; ProcIdx < SP.Procs.size(); ++ProcIdx) {
-    SymProc &Proc = SP.Procs[ProcIdx];
-    Cur = (Cur + 15) & ~15ull;
-    ProcBase[ProcIdx] = Cur;
-
+  std::vector<uint64_t> BytesOfProc(SP.Procs.size(), 0);
+  std::vector<uint64_t> NopsOfProc(SP.Procs.size(), 0);
+  Pool.parallelFor(SP.Procs.size(), [&](size_t P) {
+    const SymProc &Proc = SP.Procs[P];
     std::vector<bool> BackTarget(Proc.Insts.size(), false);
     if (Align)
       for (size_t Idx = 0; Idx < Proc.Insts.size(); ++Idx) {
@@ -603,17 +667,24 @@ Result<Image> Emitter::assemble(const DataLayout &DL) {
           BackTarget[SI.TargetIdx] = true;
       }
 
-    InstOffset[ProcIdx].resize(Proc.Insts.size());
-    uint64_t Off = Cur;
+    InstOffset[P].resize(Proc.Insts.size());
+    uint64_t Off = 0;
     for (size_t Idx = 0; Idx < Proc.Insts.size(); ++Idx) {
       if (Align && BackTarget[Idx] && Off % 8 != 0) {
         Off += 4; // an alignment nop will be placed here
-        ++Stats.NopsInserted;
+        ++NopsOfProc[P];
       }
-      InstOffset[ProcIdx][Idx] = static_cast<uint32_t>(Off - Cur);
+      InstOffset[P][Idx] = static_cast<uint32_t>(Off);
       Off += 4;
     }
-    Cur = Off;
+    BytesOfProc[P] = Off;
+  });
+  uint64_t Cur = 0;
+  for (uint32_t ProcIdx = 0; ProcIdx < SP.Procs.size(); ++ProcIdx) {
+    Cur = (Cur + 15) & ~15ull;
+    ProcBase[ProcIdx] = Cur;
+    Cur += BytesOfProc[ProcIdx];
+    Stats.NopsInserted += NopsOfProc[ProcIdx];
   }
   TextBytes = Cur;
 
@@ -657,7 +728,7 @@ Result<Image> Emitter::assemble(const DataLayout &DL) {
         switch (SI.Kind) {
         case SKind::AddressLoad:
           if (!SI.Converted) {
-            auto It = DL.Slot.find({Proc.GpGroup, SI.TargetSym});
+            auto It = DL.Slot.find(slotKey(Proc.GpGroup, SI.TargetSym));
             if (It == DL.Slot.end()) {
               EncodeErrors[ProcIdx] =
                   "internal: live address load without a GAT slot for " +
@@ -808,23 +879,32 @@ void Emitter::finalizeStats(const DataLayout &DL) {
   Stats.GpGroups = SP.NumGroups;
   Stats.TextBytesAfter = TextBytes;
 
-  for (const SymProc &Proc : SP.Procs) {
+  // Per-procedure counting is independent (the callee scans are read-only
+  // and no instruction mutates here); counters reduce in procedure order
+  // after the barrier.
+  struct Counts {
+    uint64_t Nullified = 0, GpResets = 0, Calls = 0, PvLoads = 0;
+  };
+  std::vector<Counts> CountsOfProc(SP.Procs.size());
+  Pool.parallelFor(SP.Procs.size(), [&](size_t P) {
+    Counts &C = CountsOfProc[P];
+    const SymProc &Proc = SP.Procs[P];
     for (size_t Idx = 0; Idx < Proc.Insts.size(); ++Idx) {
       const SymInst &SI = Proc.Insts[Idx];
       if (SI.Nullified)
-        ++Stats.InstructionsNullified;
+        ++C.Nullified;
       // GP-reset pairs correspond 1:1 to the calls that emitted them, so
       // a surviving post-call pair means its call still needs resets.
       if (SI.Kind == SKind::GpHigh && SI.GpKind == GpDispKind::PostCall &&
           !SI.Nullified)
-        ++Stats.CallsNeedingGpReset;
+        ++C.GpResets;
 
       bool IsCall = SI.Kind == SKind::JsrViaGat ||
                     SI.Kind == SKind::JsrIndirect ||
                     SI.Kind == SKind::DirectCall;
       if (!IsCall)
         continue;
-      ++Stats.CallsTotal;
+      ++C.Calls;
       bool NeedsPv = false;
       switch (SI.Kind) {
       case SKind::JsrViaGat:
@@ -847,8 +927,14 @@ void Emitter::finalizeStats(const DataLayout &DL) {
         break;
       }
       if (NeedsPv)
-        ++Stats.CallsNeedingPvLoad;
+        ++C.PvLoads;
     }
+  });
+  for (const Counts &C : CountsOfProc) {
+    Stats.InstructionsNullified += C.Nullified;
+    Stats.CallsNeedingGpReset += C.GpResets;
+    Stats.CallsTotal += C.Calls;
+    Stats.CallsNeedingPvLoad += C.PvLoads;
   }
 }
 
@@ -858,11 +944,18 @@ void Emitter::finalizeStats(const DataLayout &DL) {
 
 Result<Image> Emitter::run() {
   Stats.GatBytesBefore = SP.OriginalGatEntries * 8;
-  for (const SymProc &Proc : SP.Procs) {
-    Stats.InstructionsTotal += Proc.Insts.size();
-    for (const SymInst &SI : Proc.Insts)
-      if (SI.Kind == SKind::AddressLoad)
-        ++Stats.AddressLoadsTotal;
+  {
+    // Read-only census; counts reduce in procedure order.
+    std::vector<uint64_t> LoadsInProc(SP.Procs.size(), 0);
+    Pool.parallelFor(SP.Procs.size(), [&](size_t P) {
+      for (const SymInst &SI : SP.Procs[P].Insts)
+        if (SI.Kind == SKind::AddressLoad)
+          ++LoadsInProc[P];
+    });
+    for (size_t P = 0; P < SP.Procs.size(); ++P) {
+      Stats.InstructionsTotal += SP.Procs[P].Insts.size();
+      Stats.AddressLoadsTotal += LoadsInProc[P];
+    }
   }
   Stats.TextBytesBefore = Stats.InstructionsTotal * 4;
 
@@ -889,6 +982,9 @@ Result<Image> Emitter::run() {
   // their JSR before the first layout, so their literals keep GAT slots.
   if (DoOpt)
     relaxDirectCalls();
+  // Literal ownership is final after the relaxation; the decision and
+  // rewrite loops below fan out over this per-procedure partition.
+  partitionLiterals();
   DataLayout DL = layoutData(/*IncludeAllLiterals=*/!Full);
   if (DoOpt) {
     if (Full) {
@@ -918,14 +1014,23 @@ Result<Image> Emitter::run() {
   }
 
   // Address-load accounting must precede deletion (deleted loads vanish).
-  for (const SymProc &Proc : SP.Procs)
-    for (const SymInst &SI : Proc.Insts)
-      if (SI.Kind == SKind::AddressLoad) {
-        if (SI.Converted)
-          ++Stats.AddressLoadsConverted;
-        else if (SI.Nullified)
-          ++Stats.AddressLoadsNullified;
-      }
+  {
+    std::vector<uint64_t> ConvInProc(SP.Procs.size(), 0);
+    std::vector<uint64_t> NullInProc(SP.Procs.size(), 0);
+    Pool.parallelFor(SP.Procs.size(), [&](size_t P) {
+      for (const SymInst &SI : SP.Procs[P].Insts)
+        if (SI.Kind == SKind::AddressLoad) {
+          if (SI.Converted)
+            ++ConvInProc[P];
+          else if (SI.Nullified)
+            ++NullInProc[P];
+        }
+    });
+    for (size_t P = 0; P < SP.Procs.size(); ++P) {
+      Stats.AddressLoadsConverted += ConvInProc[P];
+      Stats.AddressLoadsNullified += NullInProc[P];
+    }
+  }
 
   // Deletion and code motion happen only at full level; counts feed the
   // statistics either way.

@@ -16,10 +16,13 @@
 #include "om/OmImpl.h"
 
 #include "support/Format.h"
+#include "support/ShardedMap.h"
 
+#include <algorithm>
 #include <cassert>
 #include <map>
 #include <set>
+#include <unordered_map>
 
 using namespace om64;
 using namespace om64::om;
@@ -59,10 +62,13 @@ struct Lifter {
   ThreadPool &Pool;
   SymbolicProgram SP;
 
-  // (objIdx, symIdx) of a definition -> program symbol id.
-  std::map<std::pair<size_t, uint32_t>, uint32_t> PSymOfDef;
-  // exported name -> program symbol id.
-  std::map<std::string, uint32_t> PSymOfName;
+  // Dense per-object tables replacing map lookups on the hot resolve path:
+  // PSymIdOfDef[obj][symIdx] is the program symbol id of a defined symbol,
+  // ~0u for undefined entries.
+  std::vector<std::vector<uint32_t>> PSymIdOfDef;
+  // Exported name -> program symbol id, interned concurrently during the
+  // parallel symbol pass (mold-style sharded map).
+  ShardedStringMap PSymOfName;
 
   Lifter(const std::vector<ObjectFile> &Objs, const OmOptions &Opts,
          ThreadPool &Pool)
@@ -71,14 +77,17 @@ struct Lifter {
   Result<SymbolicProgram> run();
   Error buildSymbols();
   Error resolve(size_t ObjIdx, uint32_t SymIdx, uint32_t &Out) const;
-  /// Decodes and classifies one procedure. Literal ids are assigned from a
-  /// procedure-local counter starting at 0 (first-encounter order over the
-  /// relocations, exactly as a shared counter would see them) and the
-  /// literal records land in \p LocalLits; run() rebases both onto the
-  /// program-wide id space in procedure order. Reads only immutable state
-  /// of the Lifter, so procedures lift concurrently.
+  /// Decodes and classifies one procedure. \p RelocIdxs indexes the
+  /// object's relocations belonging to this procedure, in table order.
+  /// Literal ids are assigned from a procedure-local counter starting at 0
+  /// (first-encounter order over the relocations, exactly as a shared
+  /// counter would see them) and the literal records land in \p LocalLits;
+  /// run() rebases both onto the program-wide id space in procedure order.
+  /// Reads only immutable state of the Lifter, so procedures lift
+  /// concurrently.
   Error liftProc(size_t ObjIdx, const ProcDesc &Desc, SymProc &Proc,
-                 uint32_t &NextLitId, std::map<uint32_t, LitInfo> &LocalLits);
+                 uint32_t &NextLitId, std::map<uint32_t, LitInfo> &LocalLits,
+                 const std::vector<uint32_t> &RelocIdxs);
   void assignGroups();
   void computeAddressTaken();
 };
@@ -86,13 +95,44 @@ struct Lifter {
 } // namespace
 
 Error Lifter::buildSymbols() {
-  for (size_t ObjIdx = 0; ObjIdx < Objs.size(); ++ObjIdx) {
+  size_t NumObjs = Objs.size();
+  PSymIdOfDef.resize(NumObjs);
+
+  // Count definitions per object in parallel, then fix every object's id
+  // range with a serial prefix sum: program symbol ids depend only on
+  // object order, never on which thread interned what first.
+  std::vector<uint64_t> DefCount(NumObjs, 0);
+  Pool.parallelFor(NumObjs, [&](size_t ObjIdx) {
+    uint64_t N = 0;
+    for (const Symbol &S : Objs[ObjIdx].Symbols)
+      N += S.IsDefined;
+    DefCount[ObjIdx] = N;
+  });
+  std::vector<uint64_t> IdBase(NumObjs, 0);
+  uint64_t Total = 0;
+  for (size_t ObjIdx = 0; ObjIdx < NumObjs; ++ObjIdx) {
+    IdBase[ObjIdx] = Total;
+    Total += DefCount[ObjIdx];
+  }
+  if (Total >= ~0u)
+    return Error::failure(
+        formatString("program defines %llu symbols, exceeding the 32-bit "
+                     "symbol-id space",
+                     static_cast<unsigned long long>(Total)));
+  SP.Syms.resize(Total);
+
+  // Build each object's PSyms into its preassigned slots and intern the
+  // exported names concurrently.
+  Pool.parallelFor(NumObjs, [&](size_t ObjIdx) {
     const ObjectFile &O = Objs[ObjIdx];
+    std::vector<uint32_t> &Ids = PSymIdOfDef[ObjIdx];
+    Ids.assign(O.Symbols.size(), ~0u);
+    uint32_t Id = static_cast<uint32_t>(IdBase[ObjIdx]);
     for (uint32_t SymIdx = 0; SymIdx < O.Symbols.size(); ++SymIdx) {
       const Symbol &S = O.Symbols[SymIdx];
       if (!S.IsDefined)
         continue;
-      PSym P;
+      PSym &P = SP.Syms[Id];
       P.Name = S.Name;
       P.Size = S.Size;
       P.ObjIdx = static_cast<uint32_t>(ObjIdx);
@@ -107,14 +147,25 @@ Error Lifter::buildSymbols() {
           P.IsBss = true;
         }
       }
-      uint32_t Id = static_cast<uint32_t>(SP.Syms.size());
-      SP.Syms.push_back(std::move(P));
-      PSymOfDef[{ObjIdx, SymIdx}] = Id;
-      if (S.IsExported) {
-        auto [It, Inserted] = PSymOfName.emplace(S.Name, Id);
-        if (!Inserted)
-          return Error::failure("multiply-defined symbol '" + S.Name + "'");
-      }
+      Ids[SymIdx] = Id;
+      if (S.IsExported)
+        PSymOfName.insert(S.Name, Id);
+      ++Id;
+    }
+  });
+
+  // Which duplicate won the concurrent interning is a race, so the
+  // diagnosis is a serial object-order scan: the first definition whose
+  // name resolved to some other id is the duplicate the serial code would
+  // have reported (the message carries only the name either way).
+  for (size_t ObjIdx = 0; ObjIdx < NumObjs; ++ObjIdx) {
+    const ObjectFile &O = Objs[ObjIdx];
+    for (uint32_t SymIdx = 0; SymIdx < O.Symbols.size(); ++SymIdx) {
+      const Symbol &S = O.Symbols[SymIdx];
+      if (!S.IsDefined || !S.IsExported)
+        continue;
+      if (PSymOfName.lookup(S.Name) != PSymIdOfDef[ObjIdx][SymIdx])
+        return Error::failure("multiply-defined symbol '" + S.Name + "'");
     }
   }
   return Error::success();
@@ -123,20 +174,21 @@ Error Lifter::buildSymbols() {
 Error Lifter::resolve(size_t ObjIdx, uint32_t SymIdx, uint32_t &Out) const {
   const Symbol &S = Objs[ObjIdx].Symbols[SymIdx];
   if (S.IsDefined) {
-    Out = PSymOfDef.at({ObjIdx, SymIdx});
+    Out = PSymIdOfDef[ObjIdx][SymIdx];
     return Error::success();
   }
-  auto It = PSymOfName.find(S.Name);
-  if (It == PSymOfName.end())
+  uint32_t Id = PSymOfName.lookup(S.Name);
+  if (Id == ~0u)
     return Error::failure("undefined symbol '" + S.Name +
                           "' referenced from " + Objs[ObjIdx].ModuleName);
-  Out = It->second;
+  Out = Id;
   return Error::success();
 }
 
 Error Lifter::liftProc(size_t ObjIdx, const ProcDesc &Desc, SymProc &Proc,
                        uint32_t &NextLitId,
-                       std::map<uint32_t, LitInfo> &LocalLits) {
+                       std::map<uint32_t, LitInfo> &LocalLits,
+                       const std::vector<uint32_t> &RelocIdxs) {
   const ObjectFile &O = Objs[ObjIdx];
   size_t NumInsts = Desc.TextSize / 4;
   Proc.Insts.resize(NumInsts);
@@ -169,10 +221,8 @@ Error Lifter::liftProc(size_t ObjIdx, const ProcDesc &Desc, SymProc &Proc,
   };
 
   uint32_t NextPairId = 0;
-  for (const Reloc &R : O.Relocs) {
-    if (R.Offset < Desc.TextOffset ||
-        R.Offset >= Desc.TextOffset + Desc.TextSize)
-      continue;
+  for (uint32_t RelocIdx : RelocIdxs) {
+    const Reloc &R = O.Relocs[RelocIdx];
     size_t Idx = (R.Offset - Desc.TextOffset) / 4;
     SymInst &SI = Proc.Insts[Idx];
     switch (R.Kind) {
@@ -291,28 +341,40 @@ Error Lifter::liftProc(size_t ObjIdx, const ProcDesc &Desc, SymProc &Proc,
 
 void Lifter::assignGroups() {
   // Same grouping policy as the traditional linker: whole objects, in
-  // order, while the merged (deduplicated) GAT fits one GP window.
+  // order, while the merged (deduplicated) GAT fits one GP window. Each
+  // object's entries resolve in parallel; the packing decision itself is a
+  // serial object-order scan (it is inherently sequential and cheap), and
+  // counts new entries against the running group instead of materializing
+  // a merged copy per object.
   SP.GroupOfObj.resize(Objs.size());
-  uint32_t Group = 0;
-  std::set<uint32_t> GroupEntries;
-  uint64_t TotalEntries = 0;
-
-  for (size_t ObjIdx = 0; ObjIdx < Objs.size(); ++ObjIdx) {
-    std::set<uint32_t> ObjEntries;
+  std::vector<std::vector<uint32_t>> EntriesOfObj(Objs.size());
+  Pool.parallelFor(Objs.size(), [&](size_t ObjIdx) {
+    std::vector<uint32_t> &Entries = EntriesOfObj[ObjIdx];
     for (const GatEntry &E : Objs[ObjIdx].Gat) {
       uint32_t Target;
       if (!resolve(ObjIdx, E.SymbolIndex, Target))
-        ObjEntries.insert(Target);
+        Entries.push_back(Target);
     }
-    std::set<uint32_t> Merged = GroupEntries;
-    Merged.insert(ObjEntries.begin(), ObjEntries.end());
-    if (Merged.size() > Opts.MaxGatEntriesPerGroup && !GroupEntries.empty()) {
+    std::sort(Entries.begin(), Entries.end());
+    Entries.erase(std::unique(Entries.begin(), Entries.end()),
+                  Entries.end());
+  });
+
+  uint32_t Group = 0;
+  std::set<uint32_t> GroupEntries;
+  uint64_t TotalEntries = 0;
+  for (size_t ObjIdx = 0; ObjIdx < Objs.size(); ++ObjIdx) {
+    const std::vector<uint32_t> &ObjEntries = EntriesOfObj[ObjIdx];
+    size_t NewEntries = 0;
+    for (uint32_t E : ObjEntries)
+      NewEntries += !GroupEntries.count(E);
+    if (GroupEntries.size() + NewEntries > Opts.MaxGatEntriesPerGroup &&
+        !GroupEntries.empty()) {
       TotalEntries += GroupEntries.size();
       ++Group;
-      GroupEntries = ObjEntries;
-    } else {
-      GroupEntries = std::move(Merged);
+      GroupEntries.clear();
     }
+    GroupEntries.insert(ObjEntries.begin(), ObjEntries.end());
     SP.GroupOfObj[ObjIdx] = Group;
   }
   TotalEntries += GroupEntries.size();
@@ -341,11 +403,12 @@ Result<SymbolicProgram> Lifter::run() {
     return Result<SymbolicProgram>::failure(Err.message());
 
   // Create procedures in object order.
-  std::map<std::pair<size_t, uint64_t>, uint32_t> ProcByEntryOffset;
+  std::vector<std::unordered_map<uint64_t, uint32_t>> ProcByEntryOffset(
+      Objs.size());
   for (size_t ObjIdx = 0; ObjIdx < Objs.size(); ++ObjIdx) {
     for (const ProcDesc &Desc : Objs[ObjIdx].Procs) {
       SymProc Proc;
-      uint32_t SymId = PSymOfDef.at({ObjIdx, Desc.SymbolIndex});
+      uint32_t SymId = PSymIdOfDef[ObjIdx][Desc.SymbolIndex];
       Proc.Name = SP.Syms[SymId].Name;
       Proc.ObjIdx = static_cast<uint32_t>(ObjIdx);
       Proc.SymId = SymId;
@@ -353,10 +416,45 @@ Result<SymbolicProgram> Lifter::run() {
       Proc.UsesGp = Desc.UsesGp;
       uint32_t ProcIdx = static_cast<uint32_t>(SP.Procs.size());
       SP.Syms[SymId].ProcIdx = ProcIdx;
-      ProcByEntryOffset[{ObjIdx, Desc.TextOffset}] = ProcIdx;
+      ProcByEntryOffset[ObjIdx][Desc.TextOffset] = ProcIdx;
       SP.Procs.push_back(std::move(Proc));
     }
   }
+
+  // Bucket each object's relocations by owning procedure (parallel, one
+  // pass over the table with a binary search per entry): lifting becomes
+  // O(insts + relocs) instead of every procedure rescanning its object's
+  // whole relocation table, which was quadratic in procedures per module
+  // on mega-scale inputs.
+  std::vector<std::vector<std::vector<uint32_t>>> RelocBuckets(Objs.size());
+  Pool.parallelFor(Objs.size(), [&](size_t ObjIdx) {
+    const ObjectFile &O = Objs[ObjIdx];
+    std::vector<std::vector<uint32_t>> &Buckets = RelocBuckets[ObjIdx];
+    Buckets.resize(O.Procs.size());
+    struct Range {
+      uint64_t Begin, End;
+      uint32_t Proc;
+    };
+    std::vector<Range> Ranges;
+    Ranges.reserve(O.Procs.size());
+    for (uint32_t P = 0; P < O.Procs.size(); ++P)
+      if (O.Procs[P].TextSize != 0)
+        Ranges.push_back({O.Procs[P].TextOffset,
+                          O.Procs[P].TextOffset + O.Procs[P].TextSize, P});
+    std::sort(Ranges.begin(), Ranges.end(),
+              [](const Range &A, const Range &B) { return A.Begin < B.Begin; });
+    for (uint32_t RelocIdx = 0; RelocIdx < O.Relocs.size(); ++RelocIdx) {
+      uint64_t Off = O.Relocs[RelocIdx].Offset;
+      auto It = std::upper_bound(
+          Ranges.begin(), Ranges.end(), Off,
+          [](uint64_t V, const Range &R) { return V < R.Begin; });
+      if (It == Ranges.begin())
+        continue;
+      const Range &R = *std::prev(It);
+      if (Off < R.End)
+        Buckets[R.Proc].push_back(RelocIdx);
+    }
+  });
 
   // Lift every procedure on the pool. Workers touch only their own
   // procedure, a private literal table, and a private error slot; the
@@ -366,19 +464,22 @@ Result<SymbolicProgram> Lifter::run() {
   struct LiftUnit {
     size_t ObjIdx;
     const ProcDesc *Desc;
+    const std::vector<uint32_t> *Relocs;
   };
   std::vector<LiftUnit> Units;
   Units.reserve(SP.Procs.size());
   for (size_t ObjIdx = 0; ObjIdx < Objs.size(); ++ObjIdx)
-    for (const ProcDesc &Desc : Objs[ObjIdx].Procs)
-      Units.push_back({ObjIdx, &Desc});
+    for (uint32_t P = 0; P < Objs[ObjIdx].Procs.size(); ++P)
+      Units.push_back({ObjIdx, &Objs[ObjIdx].Procs[P],
+                       &RelocBuckets[ObjIdx][P]});
 
   std::vector<std::map<uint32_t, LitInfo>> LocalLits(Units.size());
   std::vector<uint32_t> LocalLitCount(Units.size(), 0);
   std::vector<std::string> LiftErrors(Units.size());
   Pool.parallelFor(Units.size(), [&](size_t P) {
     if (Error Err = liftProc(Units[P].ObjIdx, *Units[P].Desc, SP.Procs[P],
-                             LocalLitCount[P], LocalLits[P]))
+                             LocalLitCount[P], LocalLits[P],
+                             *Units[P].Relocs))
       LiftErrors[P] = Err.message();
   });
   // First error in procedure order: the same one the serial loop stops at.
@@ -386,30 +487,45 @@ Result<SymbolicProgram> Lifter::run() {
     if (!Msg.empty())
       return Result<SymbolicProgram>::failure(Msg);
 
-  uint32_t NextLitId = 0;
+  // Serial 64-bit prefix sum fixes every procedure's literal-id range (a
+  // 32-bit running counter would wrap silently before the range check on
+  // inputs with billions of sites), then the per-instruction rebase and
+  // the DirectCall fixup fan back out.
+  std::vector<uint64_t> LitBase(Units.size(), 0);
+  uint64_t TotalLits = 0;
   for (size_t P = 0; P < Units.size(); ++P) {
-    uint32_t Base = NextLitId;
-    NextLitId += LocalLitCount[P];
-    for (SymInst &SI : SP.Procs[P].Insts)
+    LitBase[P] = TotalLits;
+    TotalLits += LocalLitCount[P];
+  }
+  if (Error Err = checkLiteralIdSpace(TotalLits))
+    return Result<SymbolicProgram>::failure(Err.message());
+
+  Pool.parallelFor(Units.size(), [&](size_t P) {
+    SymProc &Proc = SP.Procs[P];
+    uint32_t Base = static_cast<uint32_t>(LitBase[P]);
+    const std::unordered_map<uint64_t, uint32_t> &Entries =
+        ProcByEntryOffset[Proc.ObjIdx];
+    for (SymInst &SI : Proc.Insts) {
       if (SI.LitId != ~0u)
         SI.LitId += Base;
-    for (auto &[LocalId, L] : LocalLits[P])
-      SP.Lits.emplace(Base + LocalId, std::move(L));
-    LocalLits[P].clear();
-  }
-
-  // Fix DirectCall targets (stashed as object-local entry offsets) and
-  // literal owners.
-  for (uint32_t ProcIdx = 0; ProcIdx < SP.Procs.size(); ++ProcIdx) {
-    SymProc &Proc = SP.Procs[ProcIdx];
-    for (SymInst &SI : Proc.Insts)
+      // DirectCall targets were stashed as object-local entry offsets.
       if (SI.Kind == SKind::DirectCall)
-        SI.TargetProc =
-            ProcByEntryOffset.at({Proc.ObjIdx, SI.TargetProc});
-    for (SymInst &SI : Proc.Insts)
-      if (SI.Kind == SKind::AddressLoad)
-        SP.Lits[SI.LitId].Proc = ProcIdx;
+        SI.TargetProc = Entries.at(SI.TargetProc);
+    }
     Proc.IsEntry = false;
+  });
+
+  // Serial procedure-order merge keeps the id -> LitInfo mapping identical
+  // to what a single shared counter would have produced, and fixes each
+  // literal's owner (every literal in LocalLits[P] belongs to procedure P).
+  for (size_t P = 0; P < Units.size(); ++P) {
+    for (auto &[LocalId, L] : LocalLits[P]) {
+      if (L.LoadIdx != ~0u)
+        L.Proc = static_cast<uint32_t>(P);
+      SP.Lits.emplace(static_cast<uint32_t>(LitBase[P]) + LocalId,
+                      std::move(L));
+    }
+    LocalLits[P].clear();
   }
   uint32_t Entry = SP.findProcBySuffix(Opts.EntryName);
   if (Entry == ~0u)
@@ -427,4 +543,14 @@ om64::om::liftProgram(const std::vector<ObjectFile> &Objs,
                       const OmOptions &Opts, ThreadPool &Pool) {
   Lifter L(Objs, Opts, Pool);
   return L.run();
+}
+
+Error om64::om::checkLiteralIdSpace(uint64_t TotalLiteralSites) {
+  // SymInst::LitId is 32 bits with ~0u reserved as "no literal".
+  if (TotalLiteralSites >= ~0u)
+    return Error::failure(formatString(
+        "program has %llu literal sites, exceeding the 32-bit literal-id "
+        "space",
+        static_cast<unsigned long long>(TotalLiteralSites)));
+  return Error::success();
 }

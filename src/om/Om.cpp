@@ -56,7 +56,19 @@ Result<OmResult> om64::om::optimize(const std::vector<obj::ObjectFile> &Objs,
   if (Opts.VerifyEachStage)
     Opts.Verify = true;
 
-  ThreadPool Pool(Opts.Jobs);
+  unsigned Jobs = Opts.Jobs;
+  if (Opts.SerialFallbackInsts != 0) {
+    uint64_t TotalInsts = 0;
+    for (const obj::ObjectFile &O : Objs)
+      TotalInsts += O.Text.size() / 4;
+    // Below the cutoff the per-procedure work is so small that waking
+    // workers costs more than it saves; run serially so -jN never loses
+    // to -j1 on tiny programs. Determinism makes this safe: the image
+    // does not depend on the thread count.
+    if (TotalInsts < Opts.SerialFallbackInsts)
+      Jobs = 1;
+  }
+  ThreadPool Pool(Jobs);
   OmResult Out;
   Out.Stats.Jobs = Pool.threadCount();
   auto TotalStart = std::chrono::steady_clock::now();

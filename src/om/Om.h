@@ -93,6 +93,13 @@ struct OmOptions {
   /// code emission). 0 means hardware concurrency; 1 is the serial
   /// pipeline. The output image is byte-identical for every value.
   unsigned Jobs = 0;
+  /// Inputs below this many total text instructions run the whole pipeline
+  /// serially regardless of Jobs: the 19 SPEC-shaped seed workloads link in
+  /// milliseconds, where worker wakeups cost more than they save, and -jN
+  /// must never lose to -j1. 0 disables the fallback (tests that assert on
+  /// Stats.Jobs or exercise true parallelism on tiny inputs). The image is
+  /// byte-identical either way; only Stats.Jobs and stage times observe it.
+  uint64_t SerialFallbackInsts = 1u << 15;
   /// Profile-guided hot/cold code layout (omlink --profile-in FILE
   /// --layout=hot-cold). Requires OmLevel::Full and a Profile collected
   /// from an identically optioned link (aaxrun --profile-out). Reorders

@@ -73,13 +73,58 @@ Result<SymbolicProgram> liftProgram(const std::vector<obj::ObjectFile> &Objs,
 void runCallTransforms(SymbolicProgram &SP, const OmOptions &Opts,
                        OmStats &Stats, OmContext &Ctx);
 
-/// Call-graph reachability of GP groups: bit g set when the subtree rooted
-/// at the procedure can execute GP-setting code of group g (~0 saturation
-/// past 64 groups). This is the *pattern* side of the reset-safety
-/// argument; the dataflow's ProgramAnalysis::ReachableGroups must always
-/// be a subset of it (asserted by verifyDeletionProofs). Exposed from
-/// Transforms.cpp for that audit and the analysis tests.
-std::vector<uint64_t> computeReachableGroups(const SymbolicProgram &SP);
+/// Fails when \p TotalLiteralSites no longer fits the 32-bit literal-id
+/// space (SymInst::LitId, with ~0u reserved). The lift accumulates the
+/// program-wide count in 64 bits precisely so this check sees the true
+/// total instead of a wrapped one; exposed for the overflow regression
+/// test.
+Error checkLiteralIdSpace(uint64_t TotalLiteralSites);
+
+/// Call-graph reachability of GP groups, exact at any group count: bit g
+/// of row(P) is set when the subtree rooted at procedure P can execute
+/// GP-setting code of group g. Rows are (NumGroups+63)/64 words; the old
+/// single-word representation silently saturated to ~0 past 64 groups,
+/// pessimizing every reset-nullification decision on mega-scale inputs
+/// with per-module groups. This is the *pattern* side of the reset-safety
+/// argument; the dataflow's ProgramAnalysis::ReachableGroups (still one
+/// word, using its MaybeOther bit past 64 groups) must always be a subset
+/// of projected64() (asserted by verifyDeletionProofs).
+struct GroupReachability {
+  uint32_t NumGroups = 1;
+  uint32_t Words = 1;
+  std::vector<uint64_t> Bits; // Procs x Words, row-major
+
+  const uint64_t *row(uint32_t Proc) const { return &Bits[Proc * Words]; }
+
+  /// True when procedure \p Proc's subtree can only reach \p Group.
+  bool confinedTo(uint32_t Proc, uint32_t Group) const {
+    const uint64_t *R = row(Proc);
+    for (uint32_t W = 0; W < Words; ++W) {
+      uint64_t Mask = W == Group / 64 ? ~(1ull << (Group % 64)) : ~0ull;
+      if (R[W] & Mask)
+        return false;
+    }
+    return true;
+  }
+
+  /// The row projected onto the legacy one-word form: bits 0..63 exact,
+  /// any group >= 64 collapsing to ~0 (the superset the 64-bit consumers
+  /// assumed). Sound for the subset audit because the dataflow side can
+  /// only name groups < 64 individually.
+  uint64_t projected64(uint32_t Proc) const {
+    const uint64_t *R = row(Proc);
+    for (uint32_t W = 1; W < Words; ++W)
+      if (R[W])
+        return ~0ull;
+    return R[0];
+  }
+};
+
+/// Computes exact group reachability for every procedure. The per-procedure
+/// seeding/poisoning pass runs on \p Pool; the worklist fixpoint over the
+/// reversed call graph is serial.
+GroupReachability computeReachableGroups(const SymbolicProgram &SP,
+                                         ThreadPool &Pool);
 
 /// Layout, address-load conversion/nullification (to a fixpoint for
 /// OM-full), deletion, optional rescheduling and loop alignment,

@@ -24,6 +24,7 @@
 
 #include "om/OmImpl.h"
 
+#include <algorithm>
 #include <cassert>
 #include <vector>
 
@@ -113,29 +114,52 @@ void restoreProloguePair(SymbolicProgram &SP, uint32_t ProcIdx) {
 /// Call-graph reachability of GP groups: bit g set when the subtree rooted
 /// at the procedure can execute GP-setting code of group g. Indirect calls
 /// poison the set with every group of every address-taken procedure
-/// (conservatively: all groups).
-std::vector<uint64_t>
-om64::om::computeReachableGroups(const SymbolicProgram &SP) {
+/// (conservatively: all groups). Rows are as many 64-bit words as the
+/// program has groups, so the result is exact at any group count — the old
+/// single-word form saturated past 64 groups, keeping every reset alive on
+/// mega-scale inputs with per-module groups.
+GroupReachability
+om64::om::computeReachableGroups(const SymbolicProgram &SP,
+                                 ThreadPool &Pool) {
   size_t N = SP.Procs.size();
-  uint64_t AllGroups =
-      SP.NumGroups >= 64 ? ~0ull : ((1ull << SP.NumGroups) - 1);
-  std::vector<uint64_t> Reach(N);
-  for (size_t Idx = 0; Idx < N; ++Idx) {
-    // Only 64 groups fit the bitset; procedures in higher groups saturate
-    // to the conservative all-groups set (masking the group number would
-    // alias group 64+g with group g and unsoundly nullify resets).
-    uint32_t Group = SP.Procs[Idx].GpGroup;
-    Reach[Idx] = Group < 64 ? 1ull << Group : AllGroups;
-    if (SP.Procs[Idx].MakesIndirectCalls)
-      Reach[Idx] = AllGroups;
-    for (const SymInst &SI : SP.Procs[Idx].Insts) {
+  GroupReachability R;
+  R.NumGroups = SP.NumGroups;
+  R.Words = (SP.NumGroups + 63) / 64;
+  R.Bits.assign(N * R.Words, 0);
+
+  auto setAll = [&R](uint64_t *Row) {
+    for (uint32_t W = 0; W < R.Words; ++W)
+      Row[W] = ~0ull;
+    if (uint32_t Tail = R.NumGroups % 64)
+      Row[R.Words - 1] = (1ull << Tail) - 1;
+  };
+
+  // Seed every procedure and collect its call edges, in parallel: each
+  // worker writes only its own row and edge list.
+  std::vector<std::vector<uint32_t>> Callees(N);
+  Pool.parallelFor(N, [&](size_t Idx) {
+    const SymProc &P = SP.Procs[Idx];
+    uint64_t *Row = &R.Bits[Idx * R.Words];
+    Row[P.GpGroup / 64] |= 1ull << (P.GpGroup % 64);
+    bool All = P.MakesIndirectCalls;
+    for (const SymInst &SI : P.Insts) {
+      if (SI.Kind == SKind::DirectCall) {
+        Callees[Idx].push_back(SI.TargetProc);
+      } else if (SI.Kind == SKind::JsrViaGat) {
+        const LitInfo &L = SP.Lits.at(SI.LitId);
+        const PSym &Target = SP.Syms[L.TargetSym];
+        if (Target.IsProc)
+          Callees[Idx].push_back(Target.ProcIdx);
+        else
+          All = true; // call through data: unknown
+      }
       if (SI.Nullified)
         continue;
       // A computed jump's targets are invisible to the symbolic form: the
       // subtree can reach any GP-setting code at all. (Our codegen never
       // emits JMP, but hand-assembled objects can.)
       if (SI.I.Op == isa::Opcode::Jmp)
-        Reach[Idx] = AllGroups;
+        All = true;
       // A GP write outside a recognized GP-disp pair leaves GP holding a
       // value no group argument covers; treating it as all-groups keeps
       // every reset after calls into this subtree alive. Without this the
@@ -144,33 +168,51 @@ om64::om::computeReachableGroups(const SymbolicProgram &SP) {
       // the gap.
       if (SI.Kind != SKind::GpHigh && SI.Kind != SKind::GpLow &&
           isa::regUnitWritten(SI.I) == isa::intUnit(isa::GP))
-        Reach[Idx] = AllGroups;
+        All = true;
     }
-  }
-  // Propagate over direct call edges to a fixpoint.
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (size_t Idx = 0; Idx < N; ++Idx) {
-      const SymProc &P = SP.Procs[Idx];
-      uint64_t Old = Reach[Idx];
-      for (const SymInst &SI : P.Insts) {
-        if (SI.Kind == SKind::DirectCall)
-          Reach[Idx] |= Reach[SI.TargetProc];
-        else if (SI.Kind == SKind::JsrViaGat) {
-          const LitInfo &L = SP.Lits.at(SI.LitId);
-          const PSym &Target = SP.Syms[L.TargetSym];
-          if (Target.IsProc)
-            Reach[Idx] |= Reach[Target.ProcIdx];
-          else
-            Reach[Idx] = AllGroups; // call through data: unknown
+    if (All)
+      setAll(Row);
+    std::sort(Callees[Idx].begin(), Callees[Idx].end());
+    Callees[Idx].erase(std::unique(Callees[Idx].begin(), Callees[Idx].end()),
+                       Callees[Idx].end());
+  });
+
+  // Serial worklist over the reversed call graph to the (unique) least
+  // fixpoint; re-visits only procedures whose callees actually grew, unlike
+  // the old rescan-everything loop.
+  std::vector<std::vector<uint32_t>> Callers(N);
+  for (uint32_t P = 0; P < N; ++P)
+    for (uint32_t C : Callees[P])
+      if (C != P)
+        Callers[C].push_back(P);
+  std::vector<uint32_t> Work(N);
+  for (uint32_t P = 0; P < N; ++P)
+    Work[P] = P;
+  std::vector<uint8_t> Queued(N, 1);
+  while (!Work.empty()) {
+    uint32_t P = Work.back();
+    Work.pop_back();
+    Queued[P] = 0;
+    uint64_t *Row = &R.Bits[P * R.Words];
+    bool Changed = false;
+    for (uint32_t C : Callees[P]) {
+      const uint64_t *CalleeRow = &R.Bits[C * R.Words];
+      for (uint32_t W = 0; W < R.Words; ++W) {
+        uint64_t Merged = Row[W] | CalleeRow[W];
+        if (Merged != Row[W]) {
+          Row[W] = Merged;
+          Changed = true;
         }
       }
-      if (Reach[Idx] != Old)
-        Changed = true;
     }
+    if (Changed)
+      for (uint32_t Caller : Callers[P])
+        if (!Queued[Caller]) {
+          Queued[Caller] = 1;
+          Work.push_back(Caller);
+        }
   }
-  return Reach;
+  return R;
 }
 
 namespace {
@@ -458,27 +500,24 @@ void om64::om::runCallTransforms(SymbolicProgram &SP, const OmOptions &Opts,
     });
   } else if (Full) {
     // OM-full: per-call-site subtree analysis over the recovered call
-    // graph. The fixpoint is a serial whole-program pass; the per-caller
-    // reset rewriting that consumes it touches only the caller.
-    std::vector<uint64_t> Reach = computeReachableGroups(SP);
-    uint64_t AllGroups =
-        SP.NumGroups >= 64 ? ~0ull : ((1ull << SP.NumGroups) - 1);
+    // graph, exact at any group count. The fixpoint is a serial
+    // whole-program pass; the per-caller reset rewriting that consumes it
+    // touches only the caller.
+    GroupReachability Reach = computeReachableGroups(SP, Pool);
     Pool.parallelFor(NumProcs, [&](size_t ProcIdx) {
       SymProc &Caller = SP.Procs[ProcIdx];
-      // Callers beyond the 64-group bitset get an empty bit: no callee
-      // reach can be proven confined to them, so their resets all stay.
-      uint64_t CallerBit =
-          Caller.GpGroup < 64 ? 1ull << Caller.GpGroup : 0;
       for (size_t Idx = 0; Idx < Caller.Insts.size(); ++Idx) {
         SymInst &SI = Caller.Insts[Idx];
-        uint64_t CalleeReach;
+        bool Confined;
         if (SI.Kind == SKind::DirectCall)
-          CalleeReach = Reach[SI.TargetProc];
+          Confined = Reach.confinedTo(SI.TargetProc, Caller.GpGroup);
         else if (SI.Kind == SKind::JsrIndirect)
-          CalleeReach = AllGroups;
+          // An indirect call can reach any GP-setting code: confined only
+          // in the degenerate single-group program.
+          Confined = SP.NumGroups == 1;
         else
           continue;
-        if ((CalleeReach & ~CallerBit) == 0)
+        if (Confined)
           nullifyResetAfter(Caller, Idx);
       }
     });

@@ -422,10 +422,13 @@ Error om64::om::verifyDeletionProofs(const SymbolicProgram &SP,
 
   // The dataflow may only ever *narrow* the pattern matcher's GP reach
   // sets; a group the dataflow claims reachable that the pattern excludes
-  // means one of the two computations is wrong.
-  std::vector<uint64_t> Pattern = computeReachableGroups(SP);
+  // means one of the two computations is wrong. The exact multi-word
+  // pattern rows project onto the dataflow's one-word form (groups >= 64
+  // collapse to ~0), which can only widen the pattern side — so the subset
+  // check stays sound.
+  GroupReachability Pattern = computeReachableGroups(SP, Pool);
   for (uint32_t P = 0; P < SP.Procs.size(); ++P) {
-    uint64_t Extra = PA.ReachableGroups[P] & ~Pattern[P];
+    uint64_t Extra = PA.ReachableGroups[P] & ~Pattern.projected64(P);
     if (Extra) {
       SourceLoc Loc;
       Diags.error("deletion-proofs:" + SP.Procs[P].Name, Loc,

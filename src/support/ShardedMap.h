@@ -1,0 +1,71 @@
+//===- support/ShardedMap.h - Sharded concurrent string interning ---------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A mutex-sharded string-to-id map for concurrent symbol interning, the
+/// mold-style alternative to guarding one global symbol table: writers
+/// contend only within a shard (picked by the name's hash), so parallel
+/// object parsing scales while lookups stay exact.
+///
+/// Determinism caveat, by design: when two threads insert the *same* key
+/// with different values, which value wins is a race. Callers that need a
+/// deterministic winner (OM's multiply-defined-symbol diagnosis) must
+/// follow the parallel insert phase with a serial input-order scan that
+/// compares each insertion's id against the resident one — the map makes
+/// that cheap, it does not make it unnecessary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_SUPPORT_SHARDEDMAP_H
+#define OM64_SUPPORT_SHARDEDMAP_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace om64 {
+
+/// String keys to 32-bit ids, sharded 16 ways.
+class ShardedStringMap {
+public:
+  /// Inserts Name -> Id if absent and returns the resident id (the already
+  /// present one on collision). Thread-safe.
+  uint32_t insert(const std::string &Name, uint32_t Id) {
+    Shard &S = shardOf(Name);
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    return S.Map.emplace(Name, Id).first->second;
+  }
+
+  /// Returns the id mapped to Name, or ~0u when absent. Thread-safe.
+  uint32_t lookup(const std::string &Name) const {
+    const Shard &S = shardOf(Name);
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    auto It = S.Map.find(Name);
+    return It == S.Map.end() ? ~0u : It->second;
+  }
+
+private:
+  static constexpr unsigned NumShards = 16;
+
+  struct Shard {
+    mutable std::mutex Mutex;
+    std::unordered_map<std::string, uint32_t> Map;
+  };
+
+  Shard &shardOf(const std::string &Name) {
+    return Shards[std::hash<std::string>{}(Name) % NumShards];
+  }
+  const Shard &shardOf(const std::string &Name) const {
+    return Shards[std::hash<std::string>{}(Name) % NumShards];
+  }
+
+  Shard Shards[NumShards];
+};
+
+} // namespace om64
+
+#endif // OM64_SUPPORT_SHARDEDMAP_H

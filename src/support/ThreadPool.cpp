@@ -6,6 +6,8 @@
 
 #include "support/ThreadPool.h"
 
+#include <algorithm>
+
 using namespace om64;
 
 unsigned ThreadPool::defaultConcurrency() {
@@ -36,6 +38,7 @@ void ThreadPool::workerLoop() {
   while (true) {
     const std::function<void(size_t)> *Task;
     size_t End;
+    size_t Chunk;
     {
       std::unique_lock<std::mutex> Lock(Mutex);
       WorkReady.wait(Lock, [&] {
@@ -46,9 +49,13 @@ void ThreadPool::workerLoop() {
       SeenGeneration = Generation;
       Task = Body;
       End = EndIndex;
+      Chunk = ChunkSize;
     }
-    for (size_t Index; (Index = NextIndex.fetch_add(1)) < End;)
-      (*Task)(Index);
+    for (size_t Base; (Base = NextIndex.fetch_add(Chunk)) < End;) {
+      size_t Hi = std::min(Base + Chunk, End);
+      for (size_t Index = Base; Index < Hi; ++Index)
+        (*Task)(Index);
+    }
     {
       std::lock_guard<std::mutex> Lock(Mutex);
       if (--PendingWorkers == 0)
@@ -68,17 +75,24 @@ void ThreadPool::parallelFor(size_t N,
       Fn(Index);
     return;
   }
+  size_t Chunk;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     Body = &Fn;
     EndIndex = N;
     NextIndex.store(0, std::memory_order_relaxed);
+    // Coarse dynamic chunks: ~8 claims per thread keeps load balance while
+    // making the shared fetch_add negligible even at millions of indices.
+    ChunkSize = Chunk = std::max<size_t>(1, N / (threadCount() * 8));
     PendingWorkers = Workers.size();
     ++Generation;
   }
   WorkReady.notify_all();
-  for (size_t Index; (Index = NextIndex.fetch_add(1)) < N;)
-    Fn(Index);
+  for (size_t Base; (Base = NextIndex.fetch_add(Chunk)) < N;) {
+    size_t Hi = std::min(Base + Chunk, N);
+    for (size_t Index = Base; Index < Hi; ++Index)
+      Fn(Index);
+  }
   std::unique_lock<std::mutex> Lock(Mutex);
   WorkDone.wait(Lock, [&] { return PendingWorkers == 0; });
   Body = nullptr;

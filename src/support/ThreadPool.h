@@ -55,9 +55,12 @@ public:
 
   /// Runs Body(I) for every I in [0, N), on the pool's threads plus the
   /// calling thread, and returns when all N calls have finished. Indices
-  /// are claimed dynamically, one at a time (per-procedure work is coarse
-  /// enough that claim overhead is noise). Not reentrant: a body must not
-  /// call parallelFor on the same pool.
+  /// are claimed dynamically in contiguous chunks of ~N/(threads*8): large
+  /// mega-workload ranges amortize the atomic claim to noise while small
+  /// ranges still spread across every thread, and because each index runs
+  /// exactly once regardless of which thread claims it, chunking cannot
+  /// affect results under the per-index-slot discipline above. Not
+  /// reentrant: a body must not call parallelFor on the same pool.
   void parallelFor(size_t N, const std::function<void(size_t)> &Body);
 
   /// The pool size used for ThreadCount == 0: the hardware concurrency,
@@ -75,6 +78,7 @@ private:
   const std::function<void(size_t)> *Body = nullptr; // current task
   std::atomic<size_t> NextIndex{0};
   size_t EndIndex = 0;
+  size_t ChunkSize = 1; // indices claimed per fetch_add
   uint64_t Generation = 0;  // bumped per parallelFor; wakes workers
   size_t PendingWorkers = 0; // workers yet to finish the current generation
   bool ShuttingDown = false;

@@ -41,6 +41,8 @@ TEST(AnalysisSlowTest, DeletionsAreDeterministicAcrossJobCounts) {
     Opts.Analysis = true;
     Opts.Reschedule = true;
     Opts.AlignLoopTargets = true;
+    // Tiny inputs: keep -j4 genuinely parallel despite the fallback.
+    Opts.SerialFallbackInsts = 0;
 
     Opts.Jobs = 1;
     Result<OmResult> Serial = wl::linkWithOm(*W, wl::CompileMode::Each, Opts);

@@ -278,10 +278,10 @@ TEST(AnalysisTest, ReachableGroupsIsSubsetOfPattern) {
   Result<SymbolicProgram> SP = liftProgram(Objs, Opts, Pool);
   ASSERT_TRUE(bool(SP)) << SP.message();
   ProgramAnalysis PA = analyzeProgram(*SP, Pool);
-  std::vector<uint64_t> Pattern = computeReachableGroups(*SP);
-  ASSERT_EQ(PA.ReachableGroups.size(), Pattern.size());
-  for (size_t I = 0; I < Pattern.size(); ++I)
-    EXPECT_EQ(PA.ReachableGroups[I] & ~Pattern[I], 0u)
+  GroupReachability Pattern = computeReachableGroups(*SP, Pool);
+  ASSERT_EQ(PA.ReachableGroups.size(), Pattern.Bits.size() / Pattern.Words);
+  for (size_t I = 0; I < PA.ReachableGroups.size(); ++I)
+    EXPECT_EQ(PA.ReachableGroups[I] & ~Pattern.projected64(I), 0u)
         << "dataflow reach set exceeds the pattern's for "
         << SP->Procs[I].Name;
 }

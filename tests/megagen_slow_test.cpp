@@ -1,0 +1,95 @@
+//===- tests/megagen_slow_test.cpp - Mega shape sweep (slow suite) --------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The full shape sweep: every call-graph shape the generator can emit is
+/// linked with the whole pipeline on (OM-full, rescheduling, dataflow
+/// analysis) at -j1 and -j4, demanding byte-identical images, identical
+/// statistics, and unchanged program behaviour versus the unoptimized
+/// link. Tier-1 covers one shape; this covers the rest at a larger size.
+///
+//===----------------------------------------------------------------------===//
+
+#include "megagen/MegaGen.h"
+#include "om/Om.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace om64;
+using namespace om64::megagen;
+using namespace om64::obj;
+using namespace om64::om;
+
+namespace {
+
+OmResult runOm(const std::vector<ObjectFile> &Objs, const OmOptions &Opts) {
+  Result<OmResult> R = om::optimize(Objs, Opts);
+  EXPECT_TRUE(bool(R)) << (R ? "" : R.message());
+  return R ? R.take() : OmResult{};
+}
+
+int64_t runExitCode(const Image &Img) {
+  Result<sim::SimResult> R = sim::run(Img);
+  EXPECT_TRUE(bool(R)) << (R ? "" : R.message());
+  return R ? R->ExitCode : -1;
+}
+
+TEST(MegaGenSlowTest, AllShapesLinkDeterministicallyAndRun) {
+  const CallShape Shapes[] = {CallShape::DeepChains, CallShape::WideFanout,
+                              CallShape::HotLoops, CallShape::Mixed};
+  for (CallShape Shape : Shapes) {
+    MegaSpec Spec;
+    Spec.Seed = 23;
+    Spec.Shape = Shape;
+    Spec.Modules = 24;
+    Spec.ProcsPerModule = 10;
+    Spec.TargetInstructions = 60000;
+    MegaProgram MP = generate(Spec);
+    for (const ObjectFile &O : MP.Objects)
+      ASSERT_FALSE(bool(O.verify()))
+          << shapeName(Shape) << ": " << O.verify().message();
+
+    OmOptions Opts;
+    Opts.Level = OmLevel::Full;
+    Opts.Reschedule = true;
+    Opts.AlignLoopTargets = true;
+    Opts.Analysis = true;
+    Opts.MaxGatEntriesPerGroup = 32; // several groups without forcing 1:1
+    Opts.SerialFallbackInsts = 0;
+
+    Opts.Jobs = 1;
+    OmResult Serial = runOm(MP.Objects, Opts);
+    Opts.Jobs = 4;
+    OmResult Par = runOm(MP.Objects, Opts);
+
+    EXPECT_TRUE(Serial.Image.serialize() == Par.Image.serialize())
+        << shapeName(Shape) << ": -j4 image differs from the -j1 image";
+    EXPECT_EQ(Serial.Stats.AddressLoadsConverted,
+              Par.Stats.AddressLoadsConverted)
+        << shapeName(Shape);
+    EXPECT_EQ(Serial.Stats.AddressLoadsNullified,
+              Par.Stats.AddressLoadsNullified)
+        << shapeName(Shape);
+    EXPECT_EQ(Serial.Stats.InstructionsDeleted, Par.Stats.InstructionsDeleted)
+        << shapeName(Shape);
+    EXPECT_EQ(Serial.Stats.JsrConvertedToBsr, Par.Stats.JsrConvertedToBsr)
+        << shapeName(Shape);
+    EXPECT_EQ(Serial.Stats.AnalysisGpPairsDeleted,
+              Par.Stats.AnalysisGpPairsDeleted)
+        << shapeName(Shape);
+    EXPECT_EQ(Serial.Stats.SchedMemDepsFreed, Par.Stats.SchedMemDepsFreed)
+        << shapeName(Shape);
+
+    OmOptions NoneOpts;
+    NoneOpts.Level = OmLevel::None;
+    OmResult None = runOm(MP.Objects, NoneOpts);
+    EXPECT_EQ(runExitCode(Serial.Image), runExitCode(None.Image))
+        << shapeName(Shape) << ": the optimized image changed the answer";
+  }
+}
+
+} // namespace

@@ -79,6 +79,9 @@ TEST(OmParallelTest, JobCountsProduceIdenticalImages) {
       Opts.Level = C.Level;
       Opts.Reschedule = C.Sched;
       Opts.AlignLoopTargets = C.Sched;
+      // These workloads sit far below the serial-fallback cutoff; disable
+      // it so -j4 genuinely exercises the parallel pipeline here.
+      Opts.SerialFallbackInsts = 0;
 
       Opts.Jobs = 1;
       Result<OmResult> Serial = wl::linkWithOm(*W, wl::CompileMode::Each, Opts);
@@ -399,6 +402,7 @@ TEST(OmParallelTest, FarDataKeepsOrConvertsAddressLoads) {
 
   OmOptions Opts;
   Opts.Level = OmLevel::Full;
+  Opts.SerialFallbackInsts = 0; // keep -j4 genuinely parallel below
   Opts.Jobs = 1;
   OmResult Full = runOm(Objs, Opts);
   EXPECT_EQ(runExitCode(Full.Image), 7);
@@ -437,6 +441,9 @@ om::OmOptions fullSchedOpts() {
   Opts.Level = OmLevel::Full;
   Opts.Reschedule = true;
   Opts.AlignLoopTargets = true;
+  // The layout tests compare -j1 against -j4 on tiny workloads; disable
+  // the serial fallback so the comparison exercises real parallelism.
+  Opts.SerialFallbackInsts = 0;
   return Opts;
 }
 

@@ -343,6 +343,56 @@ TEST_F(ToolchainTest, LintModeAndStandaloneLinter) {
       << Out;
 }
 
+TEST_F(ToolchainTest, MegagenGeneratesLinkableDeterministicWorkloads) {
+  // The CI scaling smoke in tool form: generate a synthetic many-module
+  // workload, link it at -j 1 and -j 4, and demand byte-identical
+  // executables that actually run. Generation itself must be
+  // deterministic at the file level too.
+  std::string Out;
+  ASSERT_EQ(runCommand("mkdir -p " + Dir + "/mg1 " + Dir + "/mg2", Out), 0);
+  std::string GenFlags =
+      " --shape mixed --modules 6 --procs 5 --insts 8000 --seed 7 -o ";
+  ASSERT_EQ(runCommand(toolsDir() + "/megagen" + GenFlags + Dir + "/mg1",
+                       Out),
+            0)
+      << Out;
+  EXPECT_NE(Out.find("wrote 6 object(s)"), std::string::npos) << Out;
+  ASSERT_EQ(runCommand(toolsDir() + "/megagen" + GenFlags + Dir + "/mg2",
+                       Out),
+            0);
+  EXPECT_EQ(runCommand("cmp " + Dir + "/mg1/mg0003.aaxo " + Dir +
+                           "/mg2/mg0003.aaxo",
+                       Out),
+            0)
+      << "two identical-spec megagen runs produced different objects";
+
+  ASSERT_EQ(runCommand(toolsDir() + "/omlink -O full --sched -j 1 -o " +
+                           Dir + "/mg-j1.aaxe " + Dir + "/mg1/mg*.aaxo",
+                       Out),
+            0)
+      << Out;
+  ASSERT_EQ(runCommand(toolsDir() + "/omlink -O full --sched -j 4 -o " +
+                           Dir + "/mg-j4.aaxe " + Dir + "/mg1/mg*.aaxo",
+                       Out),
+            0)
+      << Out;
+  EXPECT_EQ(runCommand("cmp " + Dir + "/mg-j1.aaxe " + Dir + "/mg-j4.aaxe",
+                       Out),
+            0)
+      << "-j 4 produced a different executable than -j 1";
+  // The generated program runs to completion (any exit code; the program
+  // computes a layout-independent checksum, not a fixed answer).
+  int J1 = runCommand(toolsDir() + "/aaxrun " + Dir + "/mg-j1.aaxe", Out);
+  EXPECT_GE(J1, 0);
+  EXPECT_EQ(J1, runCommand(toolsDir() + "/aaxrun " + Dir + "/mg-j4.aaxe",
+                           Out));
+
+  // Unknown shapes are a usage error, not a crash.
+  EXPECT_EQ(runCommand(toolsDir() + "/megagen --shape spiral -o " + Dir,
+                       Out),
+            2);
+}
+
 TEST_F(ToolchainTest, BadInputsFailCleanly) {
   std::string Out;
   EXPECT_NE(runCommand(toolsDir() + "/aaxrun " + Dir + "/prog.aaxo", Out),
