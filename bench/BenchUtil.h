@@ -135,9 +135,15 @@ inline BenchArgs parseBenchArgs(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--reps" && I + 1 < argc) {
-      A.Reps = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+      Result<uint64_t> V = parseUnsigned(argv[++I], ~0u);
+      if (!V)
+        fail("--reps: " + V.message());
+      A.Reps = static_cast<unsigned>(*V);
     } else if (Arg == "--jobs" && I + 1 < argc) {
-      A.Jobs = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+      Result<uint64_t> V = parseUnsigned(argv[++I], ~0u);
+      if (!V)
+        fail("--jobs: " + V.message());
+      A.Jobs = static_cast<unsigned>(*V);
     } else if (Arg == "--functional-only") {
       A.FunctionalOnly = true;
     } else if ((Arg == "--json" || Arg == "--out") && I + 1 < argc) {

@@ -1,0 +1,261 @@
+//===- bench/relink_latency.cpp - Cold vs warm relink latency -------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays seeded edit streams against a persistent IncrementalLinker (the
+/// engine behind omlinkd) and compares each warm relink against a
+/// from-scratch link of the same inputs:
+///
+///   * tiny: the 19 SPEC-shaped seed workloads, a short edit stream each.
+///     Individually these link in milliseconds; the aggregate P50s show
+///     the daemon never makes small links slower.
+///   * mega: the generated 64-module million-instruction mixed program, in
+///     the plain OM-full+sched configuration and with --analysis (the
+///     dataflow fixpoint that dominates link time and that the summary
+///     cache exists for). The analysis-config warm speedup is the
+///     headline, gated number.
+///
+/// Every edit is megagen::perturbModule (one instruction of one procedure
+/// changed — a single-proc recompile), so a warm relink re-lifts one
+/// module and re-analyzes one procedure's worth of summaries. After every
+/// warm relink the image is compared byte-for-byte against the
+/// from-scratch link; the bench is also a cache-soundness test, and the
+/// from-scratch runs double as the cold samples.
+///
+/// Usage: relink_latency [--reps R] [--jobs N] [--functional-only]
+///                       [--json FILE]
+///
+///   --reps R   edit-stream length scale (default 3)
+///   --jobs N   job count for every link (default: host concurrency)
+///   --json F   write the uniform bench schema to F ("-" for stdout);
+///              committed baseline: docs/BENCH_relink_latency.json
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "megagen/MegaGen.h"
+#include "om/Incremental.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace om64;
+using namespace om64::bench;
+
+namespace {
+
+double percentile(std::vector<double> Samples, double P) {
+  if (Samples.empty())
+    return 0;
+  std::sort(Samples.begin(), Samples.end());
+  size_t Idx = static_cast<size_t>(P * (Samples.size() - 1) + 0.5);
+  return Samples[std::min(Idx, Samples.size() - 1)];
+}
+
+/// From-scratch link of serialized modules: parse + optimize + serialize,
+/// all timed. This is what a cold `omlink` run does, and its output is the
+/// byte-identity oracle for every warm relink.
+std::vector<uint8_t> coldLink(const std::string &Name,
+                              const std::vector<std::vector<uint8_t>> &Mods,
+                              const om::OmOptions &Opts, double &Seconds) {
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<obj::ObjectFile> Objs;
+  Objs.reserve(Mods.size());
+  for (const std::vector<uint8_t> &B : Mods) {
+    Result<obj::ObjectFile> O = obj::ObjectFile::deserialize(B);
+    if (!O)
+      fail(Name + ": " + O.message());
+    Objs.push_back(O.take());
+  }
+  Result<om::OmResult> R = om::optimize(Objs, Opts);
+  if (!R)
+    fail(Name + ": " + R.message());
+  std::vector<uint8_t> Img = R->Image.serialize();
+  Seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          Start)
+                .count();
+  return Img;
+}
+
+/// Rewrites one module of \p Mods with one instruction perturbed,
+/// starting at \p Idx and rotating past modules with no perturbable site
+/// (e.g. all-relocated text and no data).
+void editModule(const std::string &Name,
+                std::vector<std::vector<uint8_t>> &Mods, size_t Idx,
+                uint64_t Seed) {
+  for (size_t Tried = 0; Tried < Mods.size(); ++Tried) {
+    size_t I = (Idx + Tried) % Mods.size();
+    Result<obj::ObjectFile> O = obj::ObjectFile::deserialize(Mods[I]);
+    if (!O)
+      fail(Name + ": " + O.message());
+    if (!megagen::perturbModule(*O, Seed))
+      continue;
+    Mods[I] = O->serialize();
+    return;
+  }
+  fail(Name + ": no module has a perturbable site");
+}
+
+/// Replays \p Steps single-module edits through one persistent linker.
+/// Appends a cold sample and a warm sample per step (plus the initial
+/// cold pair), failing on the first warm image that differs from the
+/// from-scratch link of the same inputs.
+void runEditStream(const std::string &Name,
+                   std::vector<std::vector<uint8_t>> Mods,
+                   const om::OmOptions &Opts, unsigned Steps, uint64_t Seed,
+                   std::vector<double> &ColdSamples,
+                   std::vector<double> &WarmSamples) {
+  om::IncrementalLinker L(Opts);
+  double Sec = 0;
+  std::vector<uint8_t> Ref = coldLink(Name, Mods, Opts, Sec);
+  ColdSamples.push_back(Sec);
+
+  auto Start = std::chrono::steady_clock::now();
+  Result<om::RelinkResult> R = L.relink(Mods);
+  Sec = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count();
+  if (!R)
+    fail(Name + ": " + R.message());
+  if (R->Stats.Warm)
+    fail(Name + ": first relink reported warm");
+  if (R->ImageBytes != Ref)
+    fail(Name + ": cold relink differs from from-scratch link");
+
+  for (unsigned S = 0; S < Steps; ++S) {
+    // Spread edits over the modules; each edit is one procedure's worth
+    // of change, like a compiler re-emitting one file.
+    editModule(Name, Mods, (S * 7 + 3) % Mods.size(), Seed + S);
+
+    Start = std::chrono::steady_clock::now();
+    R = L.relink(Mods);
+    Sec = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        Start)
+              .count();
+    if (!R)
+      fail(Name + ": " + R.message());
+    WarmSamples.push_back(Sec);
+    if (!R->Stats.Warm)
+      fail(Name + ": edited relink was not warm");
+    if (R->Stats.ModulesReparsed != 1)
+      fail(Name + ": expected 1 reparsed module, got " +
+           std::to_string(R->Stats.ModulesReparsed));
+
+    Ref = coldLink(Name, Mods, Opts, Sec);
+    ColdSamples.push_back(Sec);
+    if (R->ImageBytes != Ref)
+      fail(Name + ": warm image differs from from-scratch link at edit " +
+           std::to_string(S));
+  }
+}
+
+struct ConfigStats {
+  double ColdP50 = 0, WarmP50 = 0, WarmP99 = 0, Speedup = 0;
+};
+
+ConfigStats summarize(const char *Label,
+                      const std::vector<double> &ColdSamples,
+                      const std::vector<double> &WarmSamples) {
+  ConfigStats C;
+  C.ColdP50 = percentile(ColdSamples, 0.5);
+  C.WarmP50 = percentile(WarmSamples, 0.5);
+  C.WarmP99 = percentile(WarmSamples, 0.99);
+  C.Speedup = C.WarmP50 > 0 ? C.ColdP50 / C.WarmP50 : 0;
+  std::printf("  %-14s cold P50 %8.3f ms   warm P50 %8.3f ms   warm P99 "
+              "%8.3f ms   speedup %5.2fx\n",
+              Label, C.ColdP50 * 1e3, C.WarmP50 * 1e3, C.WarmP99 * 1e3,
+              C.Speedup);
+  return C;
+}
+
+void pushConfig(std::vector<JsonEntry> &Entries, const std::string &Name,
+                const ConfigStats &C) {
+  // Host-time metrics on shared runners: wide bands, gate on blowups only.
+  Entries.push_back({Name, "cold_p50_ms", C.ColdP50 * 1e3, "ms",
+                     /*HigherIsBetter=*/false, /*TolerancePct=*/300});
+  Entries.push_back({Name, "warm_p50_ms", C.WarmP50 * 1e3, "ms",
+                     /*HigherIsBetter=*/false, /*TolerancePct=*/300});
+  Entries.push_back({Name, "warm_p99_ms", C.WarmP99 * 1e3, "ms",
+                     /*HigherIsBetter=*/false, /*TolerancePct=*/300});
+  // The speedup is a ratio of two timings on the same host, so it is far
+  // more stable than either timing alone.
+  Entries.push_back({Name, "warm_speedup", C.Speedup, "ratio",
+                     /*HigherIsBetter=*/true, /*TolerancePct=*/60});
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  BenchArgs Args = parseBenchArgs(argc, argv);
+  unsigned Jobs = Args.Jobs ? Args.Jobs : ThreadPool::defaultConcurrency();
+  unsigned Steps = Args.FunctionalOnly ? 1 : std::max(Args.Reps, 3u);
+
+  om::OmOptions Base;
+  Base.Level = om::OmLevel::Full;
+  Base.Reschedule = true;
+  Base.AlignLoopTargets = true;
+  Base.Jobs = Jobs;
+
+  // --- Tiny scale: the 19 seed workloads. -----------------------------
+  std::vector<BuiltEntry> Workloads = buildAllWorkloads();
+  std::printf("relink_latency: %zu tiny workloads, %u-edit streams, "
+              "-j%u\n",
+              Workloads.size(), Steps, Jobs);
+  std::vector<double> TinyCold, TinyWarm;
+  for (const BuiltEntry &W : Workloads) {
+    std::vector<std::vector<uint8_t>> Mods;
+    for (const obj::ObjectFile &O : W.Built.linkSet(wl::CompileMode::Each))
+      Mods.push_back(O.serialize());
+    runEditStream(W.Name, std::move(Mods), Base, Steps, /*Seed=*/100,
+                  TinyCold, TinyWarm);
+  }
+  ConfigStats Tiny = summarize("tiny", TinyCold, TinyWarm);
+
+  // --- Mega scale: the 64-module mixed program. -----------------------
+  megagen::MegaSpec Spec;
+  megagen::MegaProgram MP = megagen::generate(Spec);
+  std::vector<std::vector<uint8_t>> MegaMods;
+  for (const obj::ObjectFile &O : MP.Objects)
+    MegaMods.push_back(O.serialize());
+  std::printf("relink_latency: mega workload (%s): %llu instructions, "
+              "%llu procedures, %u modules\n",
+              megagen::shapeName(Spec.Shape),
+              (unsigned long long)MP.Summary.TotalInstructions,
+              (unsigned long long)MP.Summary.TotalProcedures, Spec.Modules);
+
+  std::vector<double> MegaCold, MegaWarm;
+  runEditStream("mega", MegaMods, Base, Steps, /*Seed=*/200, MegaCold,
+                MegaWarm);
+  ConfigStats Mega = summarize("mega", MegaCold, MegaWarm);
+
+  om::OmOptions Analysis = Base;
+  Analysis.Analysis = true;
+  std::vector<double> AnaCold, AnaWarm;
+  runEditStream("mega-analysis", std::move(MegaMods), Analysis, Steps,
+                /*Seed=*/300, AnaCold, AnaWarm);
+  ConfigStats Ana = summarize("mega-analysis", AnaCold, AnaWarm);
+
+  // The reason the daemon exists: on the analysis configuration a
+  // single-procedure edit must relink at least twice as fast warm as
+  // cold. (Measured ~4x; 2x is the acceptance floor.)
+  if (!Args.FunctionalOnly && Ana.Speedup < 2.0)
+    fail(formatString("mega --analysis warm relink is only %.2fx of cold "
+                      "(floor: 2x)",
+                      Ana.Speedup));
+  std::printf("  every warm image byte-identical to its from-scratch "
+              "link\n");
+
+  if (!Args.JsonPath.empty()) {
+    std::vector<JsonEntry> Entries;
+    pushConfig(Entries, "tiny", Tiny);
+    pushConfig(Entries, "mega", Mega);
+    pushConfig(Entries, "mega-analysis", Ana);
+    writeBenchJson("relink_latency", Entries, Args.JsonPath);
+  }
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <set>
 #include <string>
 
 using namespace om64;
@@ -587,4 +588,53 @@ MegaProgram megagen::generate(const MegaSpec &Spec) {
         }));
   }
   return Prog;
+}
+
+bool megagen::perturbModule(ObjectFile &Obj, uint64_t Seed) {
+  // Offsets the edit must avoid: every relocated instruction plus the LDA
+  // half of each GP-disp pair (only the LDAH carries the Reloc record).
+  std::set<uint64_t> Pinned;
+  for (const Reloc &R : Obj.Relocs) {
+    Pinned.insert(R.Offset);
+    if (R.Kind == RelocKind::GpDisp)
+      Pinned.insert(R.Offset + R.PairOffset);
+  }
+
+  size_t NumWords = Obj.Text.size() / 4;
+  if (NumWords) {
+    // Seed-rotated scan: different seeds edit different sites, and the
+    // scan is over words so the choice is independent of procedure
+    // metadata.
+    size_t Start = static_cast<size_t>(Seed % NumWords);
+    for (size_t Step = 0; Step < NumWords; ++Step) {
+      size_t Word = (Start + Step) % NumWords;
+      uint64_t Off = Word * 4;
+      if (Pinned.count(Off))
+        continue;
+      uint32_t Raw = static_cast<uint32_t>(Obj.Text[Off]) |
+                     (static_cast<uint32_t>(Obj.Text[Off + 1]) << 8) |
+                     (static_cast<uint32_t>(Obj.Text[Off + 2]) << 16) |
+                     (static_cast<uint32_t>(Obj.Text[Off + 3]) << 24);
+      std::optional<Inst> I = decode(Raw);
+      if (!I || classOf(I->Op) != InstClass::IntOp || !I->IsLit)
+        continue;
+      uint8_t NewLit =
+          static_cast<uint8_t>(I->Lit + 1 + (Seed % 7)); // != I->Lit
+      I->Lit = NewLit;
+      uint32_t NewRaw = encode(*I);
+      if (NewRaw == Raw)
+        continue;
+      Obj.Text[Off] = static_cast<uint8_t>(NewRaw);
+      Obj.Text[Off + 1] = static_cast<uint8_t>(NewRaw >> 8);
+      Obj.Text[Off + 2] = static_cast<uint8_t>(NewRaw >> 16);
+      Obj.Text[Off + 3] = static_cast<uint8_t>(NewRaw >> 24);
+      return true;
+    }
+  }
+
+  if (!Obj.Data.empty()) {
+    Obj.Data[static_cast<size_t>(Seed % Obj.Data.size())] ^= 1;
+    return true;
+  }
+  return false;
 }

@@ -116,6 +116,19 @@ struct MegaProgram {
 /// yield byte-identical objects (ObjectFile::serialize) on every platform.
 MegaProgram generate(const MegaSpec &Spec);
 
+/// Deterministically edits one instruction of \p Obj in place: picks a
+/// procedure and an operate-format instruction with an immediate literal
+/// whose text offset carries no relocation (and is not the LDA half of a
+/// GP-disp pair), and changes the literal. The result still decodes and
+/// links — it models a compiler re-emitting one module after a source
+/// edit — but its execution semantics may differ from the original, so
+/// it is for relink workloads whose oracle is warm-vs-cold byte identity,
+/// not differential execution. Falls back to flipping a data byte when no
+/// instruction is eligible. Returns false only when the module has
+/// neither an eligible instruction nor data. Different seeds pick
+/// different sites; equal (module, seed) pairs make equal edits.
+bool perturbModule(obj::ObjectFile &Obj, uint64_t Seed);
+
 } // namespace megagen
 } // namespace om64
 

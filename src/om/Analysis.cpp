@@ -7,10 +7,12 @@
 #include "om/Analysis.h"
 
 #include "isa/Registers.h"
+#include "support/ContentHash.h"
 #include "support/Format.h"
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 
 using namespace om64;
 using namespace om64::isa;
@@ -506,20 +508,7 @@ ValueState entryState(uint32_t ProcIdx) {
   return S;
 }
 
-/// One procedure's per-round analysis products that feed the
-/// interprocedural fixpoint.
-struct ProcRound {
-  ProcValues Values;
-  ProcSummary Summary;
-  /// Call-site EntryGp contributions: (callee, raw pre-call GpVal). Raw
-  /// means MaybeEntry is not yet resolved through this procedure's own
-  /// EntryGp.
-  std::vector<std::pair<uint32_t, GpVal>> CalleeEntries;
-  /// Raw pre-call GpVals of indirect call sites and computed jumps — they
-  /// contribute to every address-taken procedure's entry.
-  std::vector<GpVal> IndirectEntries;
-  bool HasDataCall = false; // JsrViaGat through a non-procedure symbol
-};
+using ProcRound = om::analysis::detail::ProcRound;
 
 /// Runs the intra-procedural value fixpoint for one procedure under the
 /// given (mid-fixpoint) summaries and extracts the round products.
@@ -702,14 +691,156 @@ ProcLiveness analyzeLiveness(const TransferCtx &C, const Cfg &Cfg_,
   return L;
 }
 
+//===----------------------------------------------------------------------===//
+// Summary-cache keys
+//===----------------------------------------------------------------------===//
+
+void addGpVal(Hasher &H, const GpVal &G) {
+  H.addBool(G.MaybeEntry);
+  H.addBool(G.MaybeOther);
+  H.addU64(G.Groups);
+}
+
+/// Mixes the summary fields the per-procedure transfers read. EntryGp is
+/// deliberately excluded: neither analyzeProcRound nor analyzeLiveness
+/// consumes a callee's EntryGp, and excluding it keeps warm-link keys
+/// stable across links.
+void addSummary(Hasher &H, const ProcSummary &S) {
+  addGpVal(H, S.ExitGp);
+  H.addBool(S.Returns);
+  H.addBool(S.ClobbersPv);
+  H.addBool(S.ReadsPvAtEntry);
+}
+
+/// Content key of one procedure for the summary cache: every per-procedure
+/// fact analyzeProcRound and analyzeLiveness read. That is the procedure's
+/// instructions (all fields — Nullified/SkipPrologue/Converted change the
+/// transfers), its index (entryState pins PV to EntryOf(ProcIdx)), its
+/// group/flags, and, per literal- or symbol-bearing site, the referent
+/// facts calleeOf and the AddressLoad transfer consult (the literal's
+/// target symbol and that symbol's IsProc/ProcIdx). Callee summaries are
+/// NOT part of this key — they go into the per-round inputs hash, so a
+/// procedure whose own bytes are unchanged re-keys cheaply every round.
+uint64_t hashProcContent(const SymbolicProgram &SP, uint32_t ProcIdx) {
+  const SymProc &P = SP.Procs[ProcIdx];
+  Hasher H;
+  H.addU32(ProcIdx);
+  H.addU32(P.GpGroup);
+  H.addBool(P.IsEntry);
+  H.addBool(P.AddressTaken);
+  H.addU64(P.Insts.size());
+  auto addSymFacts = [&](uint32_t SymId) {
+    H.addU32(SymId);
+    if (SymId < SP.Syms.size()) {
+      const PSym &S = SP.Syms[SymId];
+      H.addBool(S.IsProc);
+      H.addU32(S.ProcIdx);
+    } else {
+      H.addU64(0x6b6173686d697373ull); // out-of-bounds marker
+    }
+  };
+  for (const SymInst &SI : P.Insts) {
+    const Inst &I = SI.I;
+    H.addU64(static_cast<uint64_t>(I.Op));
+    H.addU64(static_cast<uint64_t>(I.Ra) | (uint64_t(I.Rb) << 8) |
+             (uint64_t(I.Rc) << 16) | (uint64_t(I.IsLit) << 24) |
+             (uint64_t(I.Lit) << 32));
+    H.addI32(I.Disp);
+    H.addU64(static_cast<uint64_t>(SI.Kind) |
+             (uint64_t(static_cast<uint8_t>(SI.GpKind)) << 8) |
+             (uint64_t(SI.SkipPrologue) << 16) |
+             (uint64_t(SI.Nullified) << 17) |
+             (uint64_t(SI.AnalysisNullified) << 18) |
+             (uint64_t(SI.Converted) << 19) | (uint64_t(SI.Cold) << 20));
+    H.addU32(SI.LitId);
+    H.addU32(SI.PairId);
+    H.addU32(SI.TargetProc);
+    H.addI32(SI.TargetIdx);
+    H.addI32(SI.OrigDisp);
+    if (SI.LitId != ~0u) {
+      auto It = SP.Lits.find(SI.LitId);
+      if (It != SP.Lits.end())
+        addSymFacts(It->second.TargetSym);
+      else
+        H.addU64(0x6e6f6c6974ull); // dangling-literal marker
+    }
+    if (SI.TargetSym != ~0u)
+      addSymFacts(SI.TargetSym);
+  }
+  return H.digest();
+}
+
+/// Sorted, deduplicated direct-callee indices: the summaries a round of
+/// this procedure may read. Conservatively includes nullified call sites.
+std::vector<uint32_t> directCallees(const SymbolicProgram &SP,
+                                    uint32_t ProcIdx) {
+  std::vector<uint32_t> Out;
+  for (const SymInst &SI : SP.Procs[ProcIdx].Insts) {
+    if (!isCall(SI))
+      continue;
+    uint32_t Callee = calleeOf(SP, SI);
+    if (Callee != ~0u && Callee < SP.Procs.size())
+      Out.push_back(Callee);
+  }
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+size_t roundEntryBytes(const ProcRound &R, bool WithValues) {
+  size_t B = 128 +
+             R.CalleeEntries.size() * sizeof(std::pair<uint32_t, GpVal>) +
+             R.IndirectEntries.size() * sizeof(GpVal);
+  if (WithValues)
+    B += R.Values.In.size() * sizeof(ValueState);
+  return B;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
 // Whole-program analysis
 //===----------------------------------------------------------------------===//
 
+void SummaryCache::trim(size_t MaxBytes) {
+  if (Bytes <= MaxBytes)
+    return;
+  struct Victim {
+    uint64_t LastUse;
+    Key K;
+    bool IsLive;
+    size_t EntryBytes;
+  };
+  std::vector<Victim> Order;
+  Order.reserve(Rounds.size() + Liveness.size());
+  for (const auto &[K, E] : Rounds)
+    Order.push_back({E->LastUse, K, false, E->Bytes});
+  for (const auto &[K, E] : Liveness)
+    Order.push_back({E->LastUse, K, true, E->Bytes});
+  std::sort(Order.begin(), Order.end(),
+            [](const Victim &A, const Victim &B) {
+              if (A.LastUse != B.LastUse)
+                return A.LastUse < B.LastUse;
+              if (A.IsLive != B.IsLive)
+                return !A.IsLive && B.IsLive;
+              if (A.K.Proc != B.K.Proc)
+                return A.K.Proc < B.K.Proc;
+              return A.K.Inputs < B.K.Inputs;
+            });
+  for (const Victim &V : Order) {
+    if (Bytes <= MaxBytes)
+      break;
+    if (V.IsLive)
+      Liveness.erase(V.K);
+    else
+      Rounds.erase(V.K);
+    Bytes -= V.EntryBytes;
+  }
+}
+
 ProgramAnalysis analysis::analyzeProgram(const SymbolicProgram &SP,
-                                         ThreadPool &Pool) {
+                                         ThreadPool &Pool,
+                                         SummaryCache *Cache) {
   ProgramAnalysis PA;
   const size_t N = SP.Procs.size();
   PA.Cfgs.resize(N);
@@ -735,7 +866,27 @@ ProgramAnalysis analysis::analyzeProgram(const SymbolicProgram &SP,
     S.Returns = false;
     S.ClobbersPv = false;
   }
-  std::vector<ProcRound> Rounds(N);
+  // Uncached path: per-round results live in Rounds. Cached path: results
+  // are shared_ptrs into the cache (Shared), so converged rounds persist
+  // across links; ProcHash/Callees are computed once per call, InputsHash
+  // is re-keyed every round against the evolving summaries.
+  std::vector<ProcRound> Rounds(Cache ? 0 : N);
+  std::vector<std::shared_ptr<SummaryCache::RoundEntry>> Shared(Cache ? N
+                                                                      : 0);
+  std::vector<uint64_t> ProcHash, InputsHash;
+  std::vector<std::vector<uint32_t>> Callees;
+  std::vector<uint8_t> FreshRound;
+  if (Cache) {
+    ++Cache->Gen;
+    ProcHash.resize(N);
+    InputsHash.resize(N);
+    Callees.resize(N);
+    FreshRound.assign(N, 0);
+    Pool.parallelFor(N, [&](size_t I) {
+      ProcHash[I] = hashProcContent(SP, static_cast<uint32_t>(I));
+      Callees[I] = directCallees(SP, static_cast<uint32_t>(I));
+    });
+  }
   auto makeCtx = [&]() {
     TransferCtx C{SP, PA.Summaries, GpVal::other(), true, true, true};
     if (!AnyComputedJump && !AddressTaken.empty()) {
@@ -757,13 +908,73 @@ ProgramAnalysis analysis::analyzeProgram(const SymbolicProgram &SP,
   bool SummariesChanged = true;
   while (SummariesChanged) {
     TransferCtx C = makeCtx();
-    Pool.parallelFor(N, [&](size_t I) {
-      Rounds[I] = analyzeProcRound(C, PA.Cfgs[I], static_cast<uint32_t>(I));
-    });
+    if (!Cache) {
+      Pool.parallelFor(N, [&](size_t I) {
+        Rounds[I] =
+            analyzeProcRound(C, PA.Cfgs[I], static_cast<uint32_t>(I));
+      });
+    } else {
+      // Key this round: the procedure's content hash plus everything its
+      // transfers read from outside it — the combined indirect summary
+      // and each direct callee's current summary, in sorted-callee order.
+      Hasher CtxH;
+      addGpVal(CtxH, C.IndirectExitGp);
+      CtxH.addBool(C.IndirectClobbersPv);
+      CtxH.addBool(C.IndirectReturns);
+      CtxH.addBool(C.IndirectReadsPv);
+      const uint64_t CtxHash = CtxH.digest();
+      Pool.parallelFor(N, [&](size_t I) {
+        Hasher H;
+        H.addU64(ProcHash[I]);
+        H.addU64(CtxHash);
+        for (uint32_t Callee : Callees[I])
+          addSummary(H, PA.Summaries[Callee]);
+        InputsHash[I] = H.digest();
+      });
+      for (size_t I = 0; I < N; ++I) {
+        auto It = Cache->Rounds.find({ProcHash[I], InputsHash[I]});
+        if (It != Cache->Rounds.end()) {
+          Shared[I] = It->second;
+          It->second->LastUse = Cache->Gen;
+          FreshRound[I] = 0;
+          ++Cache->Totals.RoundHits;
+        } else {
+          Shared[I] = nullptr;
+          FreshRound[I] = 1;
+          ++Cache->Totals.RoundMisses;
+        }
+      }
+      Pool.parallelFor(N, [&](size_t I) {
+        if (Shared[I])
+          return;
+        auto E = std::make_shared<SummaryCache::RoundEntry>();
+        E->R = analyzeProcRound(C, PA.Cfgs[I], static_cast<uint32_t>(I));
+        E->HasValues = true;
+        Shared[I] = std::move(E);
+      });
+      // Publish the freshly computed rounds stripped of their value
+      // tables: mid-fixpoint rounds recur every link, but only the
+      // converged round's values are worth their footprint (the upgrade
+      // happens after the loop).
+      for (size_t I = 0; I < N; ++I) {
+        if (!FreshRound[I])
+          continue;
+        auto S = std::make_shared<SummaryCache::RoundEntry>();
+        S->R.Summary = Shared[I]->R.Summary;
+        S->R.CalleeEntries = Shared[I]->R.CalleeEntries;
+        S->R.IndirectEntries = Shared[I]->R.IndirectEntries;
+        S->R.HasDataCall = Shared[I]->R.HasDataCall;
+        S->LastUse = Cache->Gen;
+        S->Bytes = roundEntryBytes(S->R, false);
+        Cache->Bytes += S->Bytes;
+        Cache->Rounds[{ProcHash[I], InputsHash[I]}] = S;
+      }
+    }
     SummariesChanged = false;
     for (size_t I = 0; I < N; ++I) {
       ProcSummary &Old = PA.Summaries[I];
-      const ProcSummary &New = Rounds[I].Summary;
+      const ProcSummary &New =
+          Cache ? Shared[I]->R.Summary : Rounds[I].Summary;
       if (Old.ExitGp != New.ExitGp || Old.Returns != New.Returns ||
           Old.ClobbersPv != New.ClobbersPv ||
           Old.ReadsPvAtEntry != New.ReadsPvAtEntry) {
@@ -774,14 +985,56 @@ ProgramAnalysis analysis::analyzeProgram(const SymbolicProgram &SP,
       }
     }
   }
-  PA.Values.resize(N);
-  for (size_t I = 0; I < N; ++I)
-    PA.Values[I] = std::move(Rounds[I].Values);
+  if (!Cache) {
+    PA.Values.resize(N);
+    for (size_t I = 0; I < N; ++I)
+      PA.Values[I] = std::move(Rounds[I].Values);
+  } else {
+    // Converged: the keys of the final round name the fixpoint state.
+    // Ensure every procedure's entry at its converged key carries the
+    // value tables (recomputing the round for procedures whose final
+    // lookup hit a stripped mid-fixpoint entry), then copy them out.
+    TransferCtx C = makeCtx();
+    std::vector<std::shared_ptr<SummaryCache::RoundEntry>> Recomputed(N);
+    Pool.parallelFor(N, [&](size_t I) {
+      if (Shared[I]->HasValues)
+        return;
+      auto E = std::make_shared<SummaryCache::RoundEntry>();
+      E->R = analyzeProcRound(C, PA.Cfgs[I], static_cast<uint32_t>(I));
+      E->HasValues = true;
+      Recomputed[I] = std::move(E);
+    });
+    for (size_t I = 0; I < N; ++I) {
+      std::shared_ptr<SummaryCache::RoundEntry> Full;
+      if (Recomputed[I])
+        Full = Recomputed[I]; // converged lookup hit a stripped entry
+      else if (FreshRound[I])
+        Full = Shared[I]; // computed in the final round, values in hand
+      else
+        continue; // hit an already-upgraded entry
+      SummaryCache::Key K{ProcHash[I], InputsHash[I]};
+      auto It = Cache->Rounds.find(K);
+      if (It != Cache->Rounds.end())
+        Cache->Bytes -= It->second->Bytes;
+      Full->HasValues = true;
+      Full->LastUse = Cache->Gen;
+      Full->Bytes = roundEntryBytes(Full->R, true);
+      Cache->Bytes += Full->Bytes;
+      Cache->Rounds[K] = Full;
+      Shared[I] = Full;
+    }
+    PA.Values.resize(N);
+    Pool.parallelFor(N,
+                     [&](size_t I) { PA.Values[I] = Shared[I]->R.Values; });
+  }
+  auto roundOf = [&](size_t I) -> const ProcRound & {
+    return Cache ? Shared[I]->R : Rounds[I];
+  };
 
   // Final combined indirect summary, stored for query-time transfers.
   bool AnyDataCall = false;
   for (size_t I = 0; I < N; ++I)
-    AnyDataCall |= Rounds[I].HasDataCall;
+    AnyDataCall |= roundOf(I).HasDataCall;
   {
     TransferCtx C = makeCtx();
     PA.IndirectExitGp = C.IndirectExitGp;
@@ -824,7 +1077,7 @@ ProgramAnalysis analysis::analyzeProgram(const SymbolicProgram &SP,
     EntryChanged = false;
     for (uint32_t I = 0; I < N; ++I) {
       const GpVal MyEntry = PA.Summaries[I].EntryGp;
-      for (const auto &[Callee, Raw] : Rounds[I].CalleeEntries) {
+      for (const auto &[Callee, Raw] : roundOf(I).CalleeEntries) {
         if (Callee >= N)
           continue;
         GpVal V = resolveEntry(Raw, MyEntry);
@@ -833,7 +1086,7 @@ ProgramAnalysis analysis::analyzeProgram(const SymbolicProgram &SP,
         E |= V;
         EntryChanged |= !(E == Old);
       }
-      for (const GpVal &Raw : Rounds[I].IndirectEntries) {
+      for (const GpVal &Raw : roundOf(I).IndirectEntries) {
         GpVal V = resolveEntry(Raw, MyEntry);
         for (uint32_t P : AddressTaken) {
           GpVal &E = PA.Summaries[P].EntryGp;
@@ -855,9 +1108,59 @@ ProgramAnalysis analysis::analyzeProgram(const SymbolicProgram &SP,
                   PA.IndirectClobbersPv,
                   PA.IndirectReturns,
                   PA.IndirectReadsPv};
-    Pool.parallelFor(N, [&](size_t I) {
-      PA.Live[I] = analyzeLiveness(C, PA.Cfgs[I], static_cast<uint32_t>(I));
-    });
+    if (!Cache) {
+      Pool.parallelFor(N, [&](size_t I) {
+        PA.Live[I] =
+            analyzeLiveness(C, PA.Cfgs[I], static_cast<uint32_t>(I));
+      });
+    } else {
+      // Liveness depends on the same per-procedure inputs the rounds do,
+      // but against the final (possibly data-call-poisoned) indirect
+      // summary — hash it independently.
+      Hasher CtxH;
+      addGpVal(CtxH, C.IndirectExitGp);
+      CtxH.addBool(C.IndirectClobbersPv);
+      CtxH.addBool(C.IndirectReturns);
+      CtxH.addBool(C.IndirectReadsPv);
+      const uint64_t CtxHash = CtxH.digest();
+      std::vector<uint64_t> LiveKey(N);
+      Pool.parallelFor(N, [&](size_t I) {
+        Hasher H;
+        H.addU64(ProcHash[I]);
+        H.addU64(CtxHash);
+        for (uint32_t Callee : Callees[I])
+          addSummary(H, PA.Summaries[Callee]);
+        LiveKey[I] = H.digest();
+      });
+      std::vector<std::shared_ptr<SummaryCache::LiveEntry>> L(N);
+      for (size_t I = 0; I < N; ++I) {
+        auto It = Cache->Liveness.find({ProcHash[I], LiveKey[I]});
+        if (It != Cache->Liveness.end()) {
+          L[I] = It->second;
+          It->second->LastUse = Cache->Gen;
+          ++Cache->Totals.LiveHits;
+        } else {
+          ++Cache->Totals.LiveMisses;
+        }
+      }
+      Pool.parallelFor(N, [&](size_t I) {
+        if (L[I])
+          return;
+        auto E = std::make_shared<SummaryCache::LiveEntry>();
+        E->L = analyzeLiveness(C, PA.Cfgs[I], static_cast<uint32_t>(I));
+        L[I] = std::move(E);
+      });
+      for (size_t I = 0; I < N; ++I) {
+        SummaryCache::Key K{ProcHash[I], LiveKey[I]};
+        if (!Cache->Liveness.count(K)) {
+          L[I]->LastUse = Cache->Gen;
+          L[I]->Bytes = 64 + L[I]->L.In.size() * 16;
+          Cache->Bytes += L[I]->Bytes;
+          Cache->Liveness.emplace(K, L[I]);
+        }
+        PA.Live[I] = L[I]->L;
+      }
+    }
   }
 
   // Dataflow reach sets for the verify-stage audit against

@@ -44,7 +44,10 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace om64 {
@@ -244,6 +247,26 @@ struct ProcSummary {
   bool ReadsPvAtEntry = false;
 };
 
+namespace detail {
+
+/// One procedure's per-round analysis products that feed the
+/// interprocedural fixpoint. Exposed outside Analysis.cpp only so
+/// SummaryCache can store rounds; not part of the stable analysis API.
+struct ProcRound {
+  ProcValues Values;
+  ProcSummary Summary;
+  /// Call-site EntryGp contributions: (callee, raw pre-call GpVal). Raw
+  /// means MaybeEntry is not yet resolved through this procedure's own
+  /// EntryGp.
+  std::vector<std::pair<uint32_t, GpVal>> CalleeEntries;
+  /// Raw pre-call GpVals of indirect call sites and computed jumps — they
+  /// contribute to every address-taken procedure's entry.
+  std::vector<GpVal> IndirectEntries;
+  bool HasDataCall = false; // JsrViaGat through a non-procedure symbol
+};
+
+} // namespace detail
+
 //===----------------------------------------------------------------------===//
 // Whole-program analysis
 //===----------------------------------------------------------------------===//
@@ -285,11 +308,70 @@ struct ProgramAnalysis {
                    uint32_t InstIdx, uint32_t Group) const;
 };
 
+/// Cross-link cache of per-procedure analysis results, owned by an
+/// om::IncrementalLinker and consulted by analyzeProgram when one is
+/// passed. Keys are content hashes: the procedure's own code plus every
+/// cross-procedure fact its transfer functions read (Proc), and the
+/// summary inputs of the fixpoint round (Inputs — callee summaries plus
+/// the combined indirect summary). A hit is therefore exactly a round the
+/// fixpoint would recompute bit-identically, which is what keeps warm
+/// relinks byte-identical to cold ones. Mid-fixpoint rounds are stored
+/// stripped (no value table); the converged round per procedure is
+/// upgraded to carry block-entry values. Not thread-safe: one cache per
+/// output image, used under that image's serialization lock.
+class SummaryCache {
+public:
+  struct Key {
+    uint64_t Proc = 0;
+    uint64_t Inputs = 0;
+    bool operator==(const Key &O) const = default;
+  };
+  struct KeyHasher {
+    size_t operator()(const Key &K) const {
+      return static_cast<size_t>(K.Proc ^
+                                 (K.Inputs * 0x9e3779b97f4a7c15ull));
+    }
+  };
+  struct RoundEntry {
+    detail::ProcRound R;
+    bool HasValues = false; // R.Values populated (converged rounds only)
+    uint64_t LastUse = 0;   // generation stamp for eviction
+    size_t Bytes = 0;       // estimated footprint
+  };
+  struct LiveEntry {
+    ProcLiveness L;
+    uint64_t LastUse = 0;
+    size_t Bytes = 0;
+  };
+  struct Counters {
+    uint64_t RoundHits = 0;
+    uint64_t RoundMisses = 0;
+    uint64_t LiveHits = 0;
+    uint64_t LiveMisses = 0;
+  };
+  Counters Totals;
+
+  /// Evicts least-recently-used entries (ties broken by key, so eviction
+  /// is deterministic) until the estimated footprint fits \p MaxBytes.
+  void trim(size_t MaxBytes);
+  size_t estimatedBytes() const { return Bytes; }
+
+  // State below is written only by analyzeProgram.
+  std::unordered_map<Key, std::shared_ptr<RoundEntry>, KeyHasher> Rounds;
+  std::unordered_map<Key, std::shared_ptr<LiveEntry>, KeyHasher> Liveness;
+  uint64_t Gen = 0;
+  size_t Bytes = 0;
+};
+
 /// Analyzes the whole program: CFGs and dominators per procedure, the
 /// interprocedural GP fixpoint, per-procedure value states and liveness.
 /// Deterministic for any pool size (per-index slots, procedure-order
-/// reductions, order-insensitive meets).
-ProgramAnalysis analyzeProgram(const SymbolicProgram &SP, ThreadPool &Pool);
+/// reductions, order-insensitive meets). With \p Cache, per-procedure
+/// rounds and liveness are reused across calls when their content keys
+/// match; the result is bit-identical to an uncached run by construction
+/// (keys cover every input the per-procedure computations read).
+ProgramAnalysis analyzeProgram(const SymbolicProgram &SP, ThreadPool &Pool,
+                               SummaryCache *Cache = nullptr);
 
 /// Classifies every instruction's memory base register for the
 /// rescheduler's alias disambiguation: 0 = unknown, 1 = global (a

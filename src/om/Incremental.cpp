@@ -1,0 +1,106 @@
+//===- om/Incremental.cpp - Incremental relinking --------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "om/Incremental.h"
+
+#include "support/ContentHash.h"
+#include "support/Format.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
+
+using namespace om64;
+using namespace om64::om;
+
+IncrementalLinker::IncrementalLinker(const OmOptions &OptsIn) {
+  Result<OmOptions> Canon = canonicalizeOptions(OptsIn);
+  if (Canon)
+    Opts = Canon.take();
+  else
+    OptionsError = Canon.message();
+}
+
+Result<RelinkResult>
+IncrementalLinker::relink(const std::vector<std::vector<uint8_t>> &Modules) {
+  if (!OptionsError.empty())
+    return Result<RelinkResult>::failure(OptionsError);
+  auto Start = std::chrono::steady_clock::now();
+  RelinkResult Out;
+  Out.Stats.Warm = !Cold;
+  Out.Stats.ModulesTotal = Modules.size();
+
+  // Content-hash every position; decide which modules need reparsing.
+  const bool CountChanged = Modules.size() != Objs.size();
+  std::vector<uint64_t> NewHashes(Modules.size());
+  std::vector<uint8_t> Reparse(Modules.size(), 0);
+  bool AnyChanged = CountChanged;
+  for (size_t I = 0; I < Modules.size(); ++I) {
+    NewHashes[I] = hashBytes(Modules[I]);
+    Reparse[I] =
+        I >= Objs.size() || NewHashes[I] != ModuleHashes[I] ? 1 : 0;
+    AnyChanged |= Reparse[I] != 0;
+  }
+
+  // Identical inputs: the previous image is the answer by determinism of
+  // the pipeline (same bytes, same options -> same image).
+  if (!AnyChanged && HaveImage) {
+    Out.Stats.InputUnchanged = true;
+    Out.ImageBytes = LastImageBytes;
+    Out.Stats.Seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count();
+    return Out;
+  }
+
+  // Reparse changed positions only. A parse failure leaves this linker's
+  // caches untouched (the hash is recorded only after a successful parse),
+  // so a later relink with fixed bytes starts from the last good state.
+  Objs.resize(Modules.size());
+  ModuleHashes.resize(Modules.size(), 0);
+  for (size_t I = 0; I < Modules.size(); ++I) {
+    if (!Reparse[I])
+      continue;
+    Result<obj::ObjectFile> O = obj::ObjectFile::deserialize(Modules[I]);
+    if (!O)
+      return Result<RelinkResult>::failure(
+          formatString("module %zu: ", I) + O.message());
+    Objs[I] = O.take();
+    ModuleHashes[I] = NewHashes[I];
+    ++Out.Stats.ModulesReparsed;
+  }
+
+  uint64_t TotalInsts = 0;
+  for (const obj::ObjectFile &O : Objs)
+    TotalInsts += O.Text.size() / 4;
+  ThreadPool Pool(effectiveJobs(Opts, TotalInsts));
+
+  Lifts.CurrentHashes = ModuleHashes;
+  const analysis::SummaryCache::Counters Before = Summaries.Totals;
+  Result<OmResult> R = runPipeline(Objs, Opts, Pool, &Lifts, &Summaries);
+  if (!R)
+    return Result<RelinkResult>::failure(R.message());
+
+  Out.Stats.ModulesRelifted = Lifts.ModulesLifted;
+  Out.Stats.ProcsTotal = Lifts.ProcsReused + Lifts.ProcsLifted;
+  Out.Stats.ProcsRelifted = Lifts.ProcsLifted;
+  Out.Stats.SummaryRoundHits = Summaries.Totals.RoundHits - Before.RoundHits;
+  Out.Stats.SummaryRoundMisses =
+      Summaries.Totals.RoundMisses - Before.RoundMisses;
+  Out.Stats.Om = R->Stats;
+
+  Out.ImageBytes = R->Image.serialize();
+  LastImageBytes = Out.ImageBytes;
+  HaveImage = true;
+  Cold = false;
+
+  Summaries.trim(CacheBudget);
+
+  Out.Stats.Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return Out;
+}

@@ -15,6 +15,7 @@
 
 #include "om/OmImpl.h"
 
+#include "support/ContentHash.h"
 #include "support/Format.h"
 #include "support/ShardedMap.h"
 
@@ -60,6 +61,7 @@ struct Lifter {
   const std::vector<ObjectFile> &Objs;
   const OmOptions &Opts;
   ThreadPool &Pool;
+  LiftCache *Cache;
   SymbolicProgram SP;
 
   // Dense per-object tables replacing map lookups on the hot resolve path:
@@ -71,8 +73,8 @@ struct Lifter {
   ShardedStringMap PSymOfName;
 
   Lifter(const std::vector<ObjectFile> &Objs, const OmOptions &Opts,
-         ThreadPool &Pool)
-      : Objs(Objs), Opts(Opts), Pool(Pool) {}
+         ThreadPool &Pool, LiftCache *Cache)
+      : Objs(Objs), Opts(Opts), Pool(Pool), Cache(Cache) {}
 
   Result<SymbolicProgram> run();
   Error buildSymbols();
@@ -421,16 +423,55 @@ Result<SymbolicProgram> Lifter::run() {
     }
   }
 
+  // Decide per module whether the lift cache slot is reusable: bytes
+  // unchanged (ContentHash, supplied by the caller) and every GAT entry
+  // still resolving to the same program symbol. The signature hashes all
+  // GAT resolutions — a superset of what Literal relocs actually consume —
+  // so a match is sound for every AddressLoad target the cached
+  // instructions carry.
+  std::vector<uint64_t> Sig(Cache ? Objs.size() : 0);
+  std::vector<uint8_t> UseSlot(Objs.size(), 0);
+  if (Cache) {
+    if (Cache->Slots.size() != Objs.size() ||
+        Cache->CurrentHashes.size() != Objs.size()) {
+      Cache->Slots.clear();
+      Cache->Slots.resize(Objs.size());
+      if (Cache->CurrentHashes.size() != Objs.size())
+        Cache->CurrentHashes.assign(Objs.size(), 0);
+    }
+    Pool.parallelFor(Objs.size(), [&](size_t ObjIdx) {
+      Hasher H;
+      for (const GatEntry &E : Objs[ObjIdx].Gat) {
+        uint32_t Target = ~0u;
+        if (resolve(ObjIdx, E.SymbolIndex, Target))
+          H.addU64(0x756e7265736f6cull); // "unresol": caught again below
+        else
+          H.addU32(Target);
+        H.addI64(E.Addend);
+      }
+      Sig[ObjIdx] = H.digest();
+      const LiftCache::Slot &S = Cache->Slots[ObjIdx];
+      UseSlot[ObjIdx] = S.Valid &&
+                        S.ContentHash == Cache->CurrentHashes[ObjIdx] &&
+                        S.ResolutionSig == Sig[ObjIdx] &&
+                        S.Procs.size() == Objs[ObjIdx].Procs.size();
+    });
+  }
+
   // Bucket each object's relocations by owning procedure (parallel, one
   // pass over the table with a binary search per entry): lifting becomes
   // O(insts + relocs) instead of every procedure rescanning its object's
   // whole relocation table, which was quadratic in procedures per module
-  // on mega-scale inputs.
+  // on mega-scale inputs. Modules taking the cached path skip the fill
+  // (their buckets are never read) but keep the per-procedure shape so
+  // the unit table below can point into it unconditionally.
   std::vector<std::vector<std::vector<uint32_t>>> RelocBuckets(Objs.size());
   Pool.parallelFor(Objs.size(), [&](size_t ObjIdx) {
     const ObjectFile &O = Objs[ObjIdx];
     std::vector<std::vector<uint32_t>> &Buckets = RelocBuckets[ObjIdx];
     Buckets.resize(O.Procs.size());
+    if (UseSlot[ObjIdx])
+      return;
     struct Range {
       uint64_t Begin, End;
       uint32_t Proc;
@@ -463,6 +504,7 @@ Result<SymbolicProgram> Lifter::run() {
   // first-encounter numbering of a single shared counter bit for bit.
   struct LiftUnit {
     size_t ObjIdx;
+    uint32_t ProcInObj;
     const ProcDesc *Desc;
     const std::vector<uint32_t> *Relocs;
   };
@@ -470,13 +512,25 @@ Result<SymbolicProgram> Lifter::run() {
   Units.reserve(SP.Procs.size());
   for (size_t ObjIdx = 0; ObjIdx < Objs.size(); ++ObjIdx)
     for (uint32_t P = 0; P < Objs[ObjIdx].Procs.size(); ++P)
-      Units.push_back({ObjIdx, &Objs[ObjIdx].Procs[P],
+      Units.push_back({ObjIdx, P, &Objs[ObjIdx].Procs[P],
                        &RelocBuckets[ObjIdx][P]});
 
   std::vector<std::map<uint32_t, LitInfo>> LocalLits(Units.size());
   std::vector<uint32_t> LocalLitCount(Units.size(), 0);
   std::vector<std::string> LiftErrors(Units.size());
   Pool.parallelFor(Units.size(), [&](size_t P) {
+    if (UseSlot[Units[P].ObjIdx]) {
+      // Cached: the pre-rebase product is a pure function of inputs the
+      // slot match just validated; copy it (the rebase below mutates the
+      // working copy, never the cache's).
+      const LiftCache::ProcData &D =
+          Cache->Slots[Units[P].ObjIdx].Procs[Units[P].ProcInObj];
+      SP.Procs[P].Insts = D.Insts;
+      SP.Procs[P].MakesIndirectCalls = D.MakesIndirectCalls;
+      LocalLits[P] = D.LocalLits;
+      LocalLitCount[P] = D.LitCount;
+      return;
+    }
     if (Error Err = liftProc(Units[P].ObjIdx, *Units[P].Desc, SP.Procs[P],
                              LocalLitCount[P], LocalLits[P],
                              *Units[P].Relocs))
@@ -486,6 +540,43 @@ Result<SymbolicProgram> Lifter::run() {
   for (const std::string &Msg : LiftErrors)
     if (!Msg.empty())
       return Result<SymbolicProgram>::failure(Msg);
+
+  // Refill the cache for modules that lifted fresh, before the rebase
+  // rewrites literal ids and call targets into link-specific form.
+  if (Cache) {
+    Cache->ModulesReused = Cache->ModulesLifted = 0;
+    Cache->ProcsReused = Cache->ProcsLifted = 0;
+    Pool.parallelFor(Objs.size(), [&](size_t ObjIdx) {
+      if (UseSlot[ObjIdx])
+        return;
+      LiftCache::Slot &S = Cache->Slots[ObjIdx];
+      S.Valid = true;
+      S.ContentHash = Cache->CurrentHashes[ObjIdx];
+      S.ResolutionSig = Sig[ObjIdx];
+      S.Procs.clear();
+      S.Procs.resize(Objs[ObjIdx].Procs.size());
+    });
+    Pool.parallelFor(Units.size(), [&](size_t P) {
+      if (UseSlot[Units[P].ObjIdx])
+        return;
+      LiftCache::ProcData &D =
+          Cache->Slots[Units[P].ObjIdx].Procs[Units[P].ProcInObj];
+      D.Insts = SP.Procs[P].Insts;
+      D.LocalLits = LocalLits[P];
+      D.LitCount = LocalLitCount[P];
+      D.MakesIndirectCalls = SP.Procs[P].MakesIndirectCalls;
+    });
+    for (size_t ObjIdx = 0; ObjIdx < Objs.size(); ++ObjIdx) {
+      uint64_t NProcs = Objs[ObjIdx].Procs.size();
+      if (UseSlot[ObjIdx]) {
+        ++Cache->ModulesReused;
+        Cache->ProcsReused += NProcs;
+      } else {
+        ++Cache->ModulesLifted;
+        Cache->ProcsLifted += NProcs;
+      }
+    }
+  }
 
   // Serial 64-bit prefix sum fixes every procedure's literal-id range (a
   // 32-bit running counter would wrap silently before the range check on
@@ -540,8 +631,9 @@ Result<SymbolicProgram> Lifter::run() {
 
 Result<SymbolicProgram>
 om64::om::liftProgram(const std::vector<ObjectFile> &Objs,
-                      const OmOptions &Opts, ThreadPool &Pool) {
-  Lifter L(Objs, Opts, Pool);
+                      const OmOptions &Opts, ThreadPool &Pool,
+                      LiftCache *Cache) {
+  Lifter L(Objs, Opts, Pool, Cache);
   return L.run();
 }
 

@@ -34,8 +34,7 @@ double secondsSince(std::chrono::steady_clock::time_point Start) {
 
 } // namespace
 
-Result<OmResult> om64::om::optimize(const std::vector<obj::ObjectFile> &Objs,
-                                    const OmOptions &OptsIn) {
+Result<OmOptions> om64::om::canonicalizeOptions(const OmOptions &OptsIn) {
   OmOptions Opts = OptsIn;
   if (Opts.Level == OmLevel::None) {
     // The no-optimization configuration measures OM's overhead against the
@@ -49,32 +48,48 @@ Result<OmResult> om64::om::optimize(const std::vector<obj::ObjectFile> &Objs,
   if (Opts.InstrumentBlockCounts)
     Opts.InstrumentProcedureCounts = true;
   if (Opts.InstrumentProcedureCounts && Opts.Level != OmLevel::Full)
-    return Result<OmResult>::failure(
+    return Result<OmOptions>::failure(
         "instrumentation inserts code and therefore requires OM-full "
         "(section 4: only the symbolic form supports insertion)");
 
   if (Opts.VerifyEachStage)
     Opts.Verify = true;
+  return Opts;
+}
 
-  unsigned Jobs = Opts.Jobs;
-  if (Opts.SerialFallbackInsts != 0) {
-    uint64_t TotalInsts = 0;
-    for (const obj::ObjectFile &O : Objs)
-      TotalInsts += O.Text.size() / 4;
-    // Below the cutoff the per-procedure work is so small that waking
-    // workers costs more than it saves; run serially so -jN never loses
-    // to -j1 on tiny programs. Determinism makes this safe: the image
-    // does not depend on the thread count.
-    if (TotalInsts < Opts.SerialFallbackInsts)
-      Jobs = 1;
-  }
-  ThreadPool Pool(Jobs);
+unsigned om64::om::effectiveJobs(const OmOptions &Opts,
+                                 uint64_t TotalInsts) {
+  // Below the cutoff the per-procedure work is so small that waking
+  // workers costs more than it saves; run serially so -jN never loses
+  // to -j1 on tiny programs. Determinism makes this safe: the image
+  // does not depend on the thread count.
+  if (Opts.SerialFallbackInsts != 0 && TotalInsts < Opts.SerialFallbackInsts)
+    return 1;
+  return Opts.Jobs;
+}
+
+Result<OmResult> om64::om::optimize(const std::vector<obj::ObjectFile> &Objs,
+                                    const OmOptions &OptsIn) {
+  Result<OmOptions> Opts = canonicalizeOptions(OptsIn);
+  if (!Opts)
+    return Result<OmResult>::failure(Opts.message());
+  uint64_t TotalInsts = 0;
+  for (const obj::ObjectFile &O : Objs)
+    TotalInsts += O.Text.size() / 4;
+  ThreadPool Pool(effectiveJobs(*Opts, TotalInsts));
+  return runPipeline(Objs, *Opts, Pool, nullptr, nullptr);
+}
+
+Result<OmResult> om64::om::runPipeline(const std::vector<obj::ObjectFile> &Objs,
+                                       const OmOptions &Opts, ThreadPool &Pool,
+                                       LiftCache *LC,
+                                       analysis::SummaryCache *SC) {
   OmResult Out;
   Out.Stats.Jobs = Pool.threadCount();
   auto TotalStart = std::chrono::steady_clock::now();
 
   auto LiftStart = std::chrono::steady_clock::now();
-  Result<SymbolicProgram> SP = liftProgram(Objs, Opts, Pool);
+  Result<SymbolicProgram> SP = liftProgram(Objs, Opts, Pool, LC);
   Out.Stats.Seconds.Lift = secondsSince(LiftStart);
   if (!SP)
     return Result<OmResult>::failure(SP.message());
@@ -86,7 +101,7 @@ Result<OmResult> om64::om::optimize(const std::vector<obj::ObjectFile> &Objs,
       return Result<OmResult>::failure(E.message());
   }
 
-  OmContext Ctx(*SP, Pool);
+  OmContext Ctx(*SP, Pool, SC);
 
   auto TransformStart = std::chrono::steady_clock::now();
   runCallTransforms(*SP, Opts, Out.Stats, Ctx);

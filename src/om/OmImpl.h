@@ -13,6 +13,7 @@
 #include "support/Result.h"
 #include "support/ThreadPool.h"
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -28,7 +29,9 @@ namespace om {
 /// bug class OmVerify exists for, closed structurally).
 class OmContext {
 public:
-  OmContext(SymbolicProgram &SP, ThreadPool &Pool) : SP(SP), Pool(Pool) {}
+  OmContext(SymbolicProgram &SP, ThreadPool &Pool,
+            analysis::SummaryCache *SC = nullptr)
+      : SP(SP), Pool(Pool), SC(SC) {}
 
   /// Marks every cached analysis stale. Cheap; call after any mutation.
   void invalidate() { ++Epoch; }
@@ -36,7 +39,7 @@ public:
   /// The analysis of the current program, recomputing if stale.
   const analysis::ProgramAnalysis &program() {
     if (!Cached || CachedEpoch != Epoch) {
-      Cached.emplace(analysis::analyzeProgram(SP, Pool));
+      Cached.emplace(analysis::analyzeProgram(SP, Pool, SC));
       CachedEpoch = Epoch;
     }
     return *Cached;
@@ -47,9 +50,50 @@ public:
 private:
   SymbolicProgram &SP;
   ThreadPool &Pool;
+  /// Cross-link memo of per-procedure fixpoint rounds and liveness,
+  /// owned by the incremental relinker; nullptr for one-shot links.
+  /// Verify.cpp and the lint deliberately run analyzeProgram without it
+  /// so their re-derivations stay independent of the cache.
+  analysis::SummaryCache *SC;
   uint64_t Epoch = 0;
   uint64_t CachedEpoch = ~0ull;
   std::optional<analysis::ProgramAnalysis> Cached;
+};
+
+/// Per-module memo of the lift, keyed by module position. A slot is
+/// reusable when the module's serialized bytes are unchanged AND its
+/// resolution signature — the program symbol ids its GAT entries resolve
+/// to — is unchanged; together those cover every cross-module input
+/// liftProc consumes (AddressLoad targets come from resolve() of GAT
+/// entries, DirectCall targets are stashed as object-local entry offsets
+/// until the rebase, and literal ids are procedure-local until then).
+/// Owned by the incremental relinker; a from-scratch link passes nullptr.
+struct LiftCache {
+  struct ProcData {
+    /// The lifted instructions in pre-rebase form: literal ids are
+    /// procedure-local, DirectCall targets are object-local text offsets.
+    std::vector<SymInst> Insts;
+    /// Procedure-local literal table (LitInfo::Proc is provisional here;
+    /// the merge in the lift rewrites it for every load-bearing entry).
+    std::map<uint32_t, LitInfo> LocalLits;
+    uint32_t LitCount = 0;
+    bool MakesIndirectCalls = false;
+  };
+  struct Slot {
+    bool Valid = false;
+    uint64_t ContentHash = 0;   ///< hash of the module's serialized bytes
+    uint64_t ResolutionSig = 0; ///< hash of its GAT resolution results
+    std::vector<ProcData> Procs;
+  };
+
+  /// Content hash of each module in the current link, set by the caller
+  /// before liftProgram (the caller hashes the raw bytes it parsed).
+  std::vector<uint64_t> CurrentHashes;
+  std::vector<Slot> Slots;
+
+  // Reuse counters for the last lift (telemetry for RelinkStats).
+  uint64_t ModulesReused = 0, ModulesLifted = 0;
+  uint64_t ProcsReused = 0, ProcsLifted = 0;
 };
 
 /// Object code -> symbolic form. Resolves symbols, recovers procedures,
@@ -57,9 +101,14 @@ private:
 /// calls; assigns GP groups per object. Per-procedure decoding runs on
 /// \p Pool; symbol resolution, literal-id assignment, and the final merge
 /// stay serial and proc-ordered so the result is identical for any pool
-/// size.
+/// size. With \p Cache, per-procedure decode/classify work is skipped for
+/// modules whose cache slot matches (see LiftCache); the result is
+/// bit-identical to an uncached lift because only the pre-rebase
+/// per-procedure product is memoized and every cross-module fixup still
+/// runs.
 Result<SymbolicProgram> liftProgram(const std::vector<obj::ObjectFile> &Objs,
-                                    const OmOptions &Opts, ThreadPool &Pool);
+                                    const OmOptions &Opts, ThreadPool &Pool,
+                                    LiftCache *Cache = nullptr);
 
 /// The call-related transforms (JSR->BSR, prologue restoration/skipping/
 /// deletion, PV-load removal, GP-reset nullification). Applies the subset
@@ -152,6 +201,30 @@ Result<obj::Image> layoutAndEmit(SymbolicProgram &SP, const OmOptions &Opts,
 /// internal invariant failure.
 bool runProfileLayout(SymbolicProgram &SP, const OmOptions &Opts,
                       OmStats &Stats, ThreadPool &Pool, std::string &Err);
+
+/// Resolves option implications into the exact configuration the pipeline
+/// runs: OmLevel::None clears the layout-changing knobs, block-count
+/// instrumentation implies procedure-count instrumentation (and both
+/// require OM-full), VerifyEachStage implies Verify. Fails on an
+/// inconsistent request. optimize() and the incremental relinker share
+/// this so a warm relink runs the same configuration a one-shot link
+/// would.
+Result<OmOptions> canonicalizeOptions(const OmOptions &Opts);
+
+/// The worker count the pipeline will actually use for \p Opts on an input
+/// of \p TotalInsts text instructions: Opts.Jobs, forced to 1 below the
+/// serial-fallback cutoff. The image never depends on the result.
+unsigned effectiveJobs(const OmOptions &Opts, uint64_t TotalInsts);
+
+/// The OM pipeline proper: lift, verify, call transforms, verify, layout
+/// and emit — everything optimize() does after option canonicalization
+/// and pool selection. \p Opts must already be canonicalized. The two
+/// caches are optional cross-link memos (see LiftCache /
+/// analysis::SummaryCache); passing nullptr gives the one-shot behavior,
+/// and any combination produces a byte-identical image.
+Result<OmResult> runPipeline(const std::vector<obj::ObjectFile> &Objs,
+                             const OmOptions &Opts, ThreadPool &Pool,
+                             LiftCache *LC, analysis::SummaryCache *SC);
 
 /// Pessimistic upper bound on each procedure's end offset in the final
 /// text under \p Opts: nothing deleted, every possible insertion

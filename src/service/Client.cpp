@@ -1,0 +1,70 @@
+//===- service/Client.cpp - omlinkd client calls ---------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include "support/Format.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace om64;
+using namespace om64::service;
+
+Result<Response> om64::service::sendRequest(
+    const std::string &SocketPath, MsgType Type,
+    const std::vector<uint8_t> &Payload) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.empty() || SocketPath.size() >= sizeof(Addr.sun_path))
+    return Result<Response>::failure("bad socket path: " + SocketPath);
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Result<Response>::failure(
+        formatString("socket: %s", std::strerror(errno)));
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    Result<Response> E = Result<Response>::failure(
+        formatString("cannot connect to %s: %s", SocketPath.c_str(),
+                     std::strerror(errno)));
+    ::close(Fd);
+    return E;
+  }
+
+  if (Error E = writeFrame(Fd, Type, Payload)) {
+    ::close(Fd);
+    return Result<Response>::failure(E.message());
+  }
+  Result<Frame> F = readFrame(Fd);
+  ::close(Fd);
+  if (!F)
+    return Result<Response>::failure(F.message());
+  if (F->Type != MsgType::Response)
+    return Result<Response>::failure("daemon sent a non-Response frame");
+  return decodeResponse(F->Payload);
+}
+
+Result<Response>
+om64::service::requestRelink(const std::string &SocketPath,
+                             const RelinkRequest &Req) {
+  return sendRequest(SocketPath, MsgType::RelinkRequest,
+                     encodeRelinkRequest(Req));
+}
+
+Result<Response> om64::service::requestPing(const std::string &SocketPath) {
+  return sendRequest(SocketPath, MsgType::PingRequest, {});
+}
+
+Result<Response>
+om64::service::requestShutdown(const std::string &SocketPath) {
+  return sendRequest(SocketPath, MsgType::ShutdownRequest, {});
+}

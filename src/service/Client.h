@@ -1,0 +1,39 @@
+//===- service/Client.h - omlinkd client calls -----------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Client side of the omlinkd protocol: connect to the daemon's socket,
+/// send one request frame, read the Response. Used by tools/omlinkc.cpp
+/// and by the in-process service tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_SERVICE_CLIENT_H
+#define OM64_SERVICE_CLIENT_H
+
+#include "service/Protocol.h"
+#include "support/Result.h"
+
+#include <string>
+
+namespace om64 {
+namespace service {
+
+/// Connects to \p SocketPath, sends one frame, reads the Response.
+/// Transport and protocol errors fail the Result; a daemon-side failure
+/// comes back as a Response with nonzero Status.
+Result<Response> sendRequest(const std::string &SocketPath, MsgType Type,
+                             const std::vector<uint8_t> &Payload);
+
+Result<Response> requestRelink(const std::string &SocketPath,
+                               const RelinkRequest &Req);
+Result<Response> requestPing(const std::string &SocketPath);
+Result<Response> requestShutdown(const std::string &SocketPath);
+
+} // namespace service
+} // namespace om64
+
+#endif // OM64_SERVICE_CLIENT_H

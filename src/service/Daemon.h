@@ -1,0 +1,94 @@
+//===- service/Daemon.h - The omlinkd relink daemon ------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon behind tools/omlinkd.cpp, built as a library so tests can
+/// run it in-process. It listens on a Unix-domain socket, keeps one
+/// om::IncrementalLinker per output path (the warm state: parsed modules,
+/// lift memo, analysis memo), and serves RelinkRequests by reading the
+/// input files, relinking incrementally, and writing the image atomically
+/// (support/FileIO.h writeFileBytes: temp + rename, so a killed daemon
+/// never leaves a truncated output).
+///
+/// Concurrency: one thread per connection; relinks on the same output
+/// path serialize on that image's mutex while different images proceed
+/// in parallel. Each relink parallelizes internally on its own pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_SERVICE_DAEMON_H
+#define OM64_SERVICE_DAEMON_H
+
+#include "om/Incremental.h"
+#include "service/Protocol.h"
+#include "support/Result.h"
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace om64 {
+namespace service {
+
+struct DaemonOptions {
+  std::string SocketPath;
+  /// Stop after serving this many requests; 0 means run until
+  /// requestStop() (tests and the CI step use a bound as a safety net).
+  uint64_t MaxRequests = 0;
+  /// Analysis-memo budget per image (om::IncrementalLinker::setCacheBudget).
+  size_t CacheBudgetBytes = om::IncrementalLinker::DefaultCacheBudget;
+};
+
+class Daemon {
+public:
+  explicit Daemon(DaemonOptions Opts) : Opts(std::move(Opts)) {}
+  ~Daemon();
+
+  Daemon(const Daemon &) = delete;
+  Daemon &operator=(const Daemon &) = delete;
+
+  /// Binds and listens on Opts.SocketPath (unlinking a stale socket
+  /// first). Separate from run() so a caller can start run() on its own
+  /// thread only after the socket provably exists.
+  Error start();
+
+  /// Accept loop; returns when requestStop() was called or MaxRequests
+  /// was reached. Joins every connection thread before returning.
+  Error run();
+
+  /// Thread- and signal-safe stop: closes the listening socket, which
+  /// wakes the accept loop. In-flight requests finish first.
+  void requestStop();
+
+  uint64_t requestsServed() const { return Served.load(); }
+
+private:
+  struct ImageState {
+    std::mutex M; ///< serializes relinks of this output path
+    std::unique_ptr<om::IncrementalLinker> Linker;
+    uint64_t OptionsKey = 0;
+  };
+
+  void handleConnection(int Fd);
+  Response handleRelink(const RelinkRequest &Req);
+
+  DaemonOptions Opts;
+  int ListenFd = -1;
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Served{0};
+
+  std::mutex RegistryMutex; ///< guards Images (map shape, not relinks)
+  std::map<std::string, std::unique_ptr<ImageState>> Images;
+};
+
+} // namespace service
+} // namespace om64
+
+#endif // OM64_SERVICE_DAEMON_H

@@ -1,0 +1,267 @@
+//===- service/Protocol.cpp - omlinkd wire protocol ------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+#include "support/ByteStream.h"
+#include "support/ContentHash.h"
+#include "support/Format.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+using namespace om64;
+using namespace om64::service;
+
+std::vector<uint8_t>
+om64::service::encodeFrame(MsgType Type,
+                           const std::vector<uint8_t> &Payload) {
+  ByteWriter W;
+  W.writeU32(FrameMagic);
+  W.writeU16(ProtocolVersion);
+  W.writeU16(static_cast<uint16_t>(Type));
+  W.writeU64(Payload.size());
+  std::vector<uint8_t> Out = W.take();
+  Out.insert(Out.end(), Payload.begin(), Payload.end());
+  return Out;
+}
+
+Result<Frame> om64::service::decodeFrame(const std::vector<uint8_t> &Bytes) {
+  if (Bytes.size() < FrameHeaderSize)
+    return Result<Frame>::failure(
+        formatString("frame truncated: %zu bytes, header needs %zu",
+                     Bytes.size(), FrameHeaderSize));
+  ByteReader R(Bytes);
+  uint32_t Magic = R.readU32();
+  uint16_t Version = R.readU16();
+  uint16_t RawType = R.readU16();
+  uint64_t Len = R.readU64();
+  if (Magic != FrameMagic)
+    return Result<Frame>::failure(
+        formatString("bad frame magic 0x%08x", Magic));
+  if (Version != ProtocolVersion)
+    return Result<Frame>::failure(formatString(
+        "unsupported protocol version %u (expected %u)", Version,
+        ProtocolVersion));
+  if (RawType < static_cast<uint16_t>(MsgType::RelinkRequest) ||
+      RawType > static_cast<uint16_t>(MsgType::Response))
+    return Result<Frame>::failure(
+        formatString("unknown message type %u", RawType));
+  if (Len > MaxPayloadBytes)
+    return Result<Frame>::failure(formatString(
+        "payload length %llu exceeds the %llu-byte cap",
+        static_cast<unsigned long long>(Len),
+        static_cast<unsigned long long>(MaxPayloadBytes)));
+  if (Bytes.size() - FrameHeaderSize != Len)
+    return Result<Frame>::failure(formatString(
+        "frame length mismatch: header says %llu payload bytes, got %zu",
+        static_cast<unsigned long long>(Len),
+        Bytes.size() - FrameHeaderSize));
+  Frame F;
+  F.Type = static_cast<MsgType>(RawType);
+  F.Payload.assign(Bytes.begin() + FrameHeaderSize, Bytes.end());
+  return F;
+}
+
+namespace {
+
+/// Option flags packed into one byte on the wire (bit positions are part
+/// of protocol version 1).
+enum OptFlagBits : uint8_t {
+  FlagReschedule = 1 << 0,
+  FlagAlignLoopTargets = 1 << 1,
+  FlagSortDataBySize = 1 << 2,
+  FlagAnalysis = 1 << 3,
+  FlagVerify = 1 << 4,
+  FlagVerifyEachStage = 1 << 5,
+};
+
+void writeOptions(ByteWriter &W, const om::OmOptions &O) {
+  W.writeU8(static_cast<uint8_t>(O.Level));
+  uint8_t Flags = 0;
+  Flags |= O.Reschedule ? FlagReschedule : 0;
+  Flags |= O.AlignLoopTargets ? FlagAlignLoopTargets : 0;
+  Flags |= O.SortDataBySize ? FlagSortDataBySize : 0;
+  Flags |= O.Analysis ? FlagAnalysis : 0;
+  Flags |= O.Verify ? FlagVerify : 0;
+  Flags |= O.VerifyEachStage ? FlagVerifyEachStage : 0;
+  W.writeU8(Flags);
+  W.writeU32(O.Jobs);
+  W.writeU32(O.MaxGatEntriesPerGroup);
+  W.writeU64(O.SerialFallbackInsts);
+  W.writeString(O.EntryName);
+}
+
+om::OmOptions readOptions(ByteReader &R) {
+  om::OmOptions O;
+  O.Level = static_cast<om::OmLevel>(R.readU8());
+  uint8_t Flags = R.readU8();
+  O.Reschedule = Flags & FlagReschedule;
+  O.AlignLoopTargets = Flags & FlagAlignLoopTargets;
+  O.SortDataBySize = Flags & FlagSortDataBySize;
+  O.Analysis = Flags & FlagAnalysis;
+  O.Verify = Flags & FlagVerify;
+  O.VerifyEachStage = Flags & FlagVerifyEachStage;
+  O.Jobs = R.readU32();
+  O.MaxGatEntriesPerGroup = R.readU32();
+  O.SerialFallbackInsts = R.readU64();
+  O.EntryName = R.readString();
+  return O;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+om64::service::encodeRelinkRequest(const RelinkRequest &Req) {
+  ByteWriter W;
+  writeOptions(W, Req.Opts);
+  W.writeString(Req.OutputPath);
+  W.writeU32(static_cast<uint32_t>(Req.InputPaths.size()));
+  for (const std::string &P : Req.InputPaths)
+    W.writeString(P);
+  return W.take();
+}
+
+Result<RelinkRequest>
+om64::service::decodeRelinkRequest(const std::vector<uint8_t> &Payload) {
+  ByteReader R(Payload);
+  RelinkRequest Req;
+  Req.Opts = readOptions(R);
+  Req.OutputPath = R.readString();
+  uint32_t N = R.readU32();
+  if (R.hadError())
+    return Result<RelinkRequest>::failure("malformed relink request");
+  for (uint32_t I = 0; I < N; ++I) {
+    Req.InputPaths.push_back(R.readString());
+    if (R.hadError())
+      return Result<RelinkRequest>::failure("malformed relink request");
+  }
+  if (!R.atEnd())
+    return Result<RelinkRequest>::failure(
+        "trailing bytes after relink request");
+  if (static_cast<uint8_t>(Req.Opts.Level) >
+      static_cast<uint8_t>(om::OmLevel::Full))
+    return Result<RelinkRequest>::failure("bad optimization level");
+  if (Req.OutputPath.empty())
+    return Result<RelinkRequest>::failure("empty output path");
+  if (Req.InputPaths.empty())
+    return Result<RelinkRequest>::failure("no input modules");
+  return Req;
+}
+
+std::vector<uint8_t> om64::service::encodeResponse(const Response &Resp) {
+  ByteWriter W;
+  W.writeU8(Resp.Status);
+  W.writeString(Resp.Message);
+  W.writeU8(Resp.Warm);
+  W.writeU8(Resp.InputUnchanged);
+  W.writeU64(Resp.ModulesTotal);
+  W.writeU64(Resp.ModulesReparsed);
+  W.writeU64(Resp.ModulesRelifted);
+  W.writeU64(Resp.ProcsTotal);
+  W.writeU64(Resp.ProcsRelifted);
+  W.writeU64(Resp.SummaryRoundHits);
+  W.writeU64(Resp.SummaryRoundMisses);
+  W.writeU64(Resp.Micros);
+  return W.take();
+}
+
+Result<Response>
+om64::service::decodeResponse(const std::vector<uint8_t> &Payload) {
+  ByteReader R(Payload);
+  Response Resp;
+  Resp.Status = R.readU8();
+  Resp.Message = R.readString();
+  Resp.Warm = R.readU8();
+  Resp.InputUnchanged = R.readU8();
+  Resp.ModulesTotal = R.readU64();
+  Resp.ModulesReparsed = R.readU64();
+  Resp.ModulesRelifted = R.readU64();
+  Resp.ProcsTotal = R.readU64();
+  Resp.ProcsRelifted = R.readU64();
+  Resp.SummaryRoundHits = R.readU64();
+  Resp.SummaryRoundMisses = R.readU64();
+  Resp.Micros = R.readU64();
+  if (R.hadError() || !R.atEnd())
+    return Result<Response>::failure("malformed response");
+  return Resp;
+}
+
+uint64_t om64::service::optionsKey(const om::OmOptions &Opts) {
+  ByteWriter W;
+  writeOptions(W, Opts);
+  return hashBytes(W.bytes());
+}
+
+Error om64::service::writeFrame(int Fd, MsgType Type,
+                                const std::vector<uint8_t> &Payload) {
+  std::vector<uint8_t> Bytes = encodeFrame(Type, Payload);
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    ssize_t N = ::write(Fd, Bytes.data() + Off, Bytes.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Error::failure(formatString("socket write failed: %s",
+                                         std::strerror(errno)));
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return Error::success();
+}
+
+namespace {
+
+/// Reads exactly \p Len bytes; fails on EOF mid-object.
+Error readExact(int Fd, uint8_t *Buf, size_t Len, bool &SawAnyByte) {
+  size_t Off = 0;
+  while (Off < Len) {
+    ssize_t N = ::read(Fd, Buf + Off, Len - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Error::failure(formatString("socket read failed: %s",
+                                         std::strerror(errno)));
+    }
+    if (N == 0) {
+      if (!SawAnyByte && Off == 0)
+        return Error::failure("connection closed");
+      return Error::failure("connection closed mid-frame");
+    }
+    SawAnyByte = true;
+    Off += static_cast<size_t>(N);
+  }
+  return Error::success();
+}
+
+} // namespace
+
+Result<Frame> om64::service::readFrame(int Fd) {
+  std::vector<uint8_t> Bytes(FrameHeaderSize);
+  bool SawAnyByte = false;
+  if (Error E = readExact(Fd, Bytes.data(), FrameHeaderSize, SawAnyByte))
+    return Result<Frame>::failure(E.message());
+  // Validate the header before allocating the payload; reuse decodeFrame's
+  // checks by decoding a zero-payload view first when the length is zero.
+  ByteReader R(Bytes);
+  R.readU32(); // magic, rechecked by decodeFrame
+  R.readU16();
+  R.readU16();
+  uint64_t Len = R.readU64();
+  if (Len > MaxPayloadBytes)
+    return Result<Frame>::failure(formatString(
+        "payload length %llu exceeds the %llu-byte cap",
+        static_cast<unsigned long long>(Len),
+        static_cast<unsigned long long>(MaxPayloadBytes)));
+  Bytes.resize(FrameHeaderSize + Len);
+  if (Len)
+    if (Error E = readExact(Fd, Bytes.data() + FrameHeaderSize, Len,
+                            SawAnyByte))
+      return Result<Frame>::failure(E.message());
+  return decodeFrame(Bytes);
+}

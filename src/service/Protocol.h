@@ -1,0 +1,119 @@
+//===- service/Protocol.h - omlinkd wire protocol --------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The framing and message encoding shared by omlinkd and omlinkc. One
+/// frame per message on a Unix-domain stream socket:
+///
+///   offset  size  field
+///        0     4  magic "AXLD" (0x444C5841 little-endian)
+///        4     2  protocol version (currently 1)
+///        6     2  message type (MsgType)
+///        8     8  payload length in bytes
+///       16     N  payload (per-type encoding, ByteStream little-endian)
+///
+/// decodeFrame() is a pure function over a byte vector and requires the
+/// vector to be exactly one frame: every truncation and every byte of
+/// trailing junk is an error, which is what makes the framing testable
+/// without sockets (service_test feeds it every prefix length). The fd
+/// variants layer blocking full-read/full-write loops on top.
+///
+/// Payloads carry module *paths*, not module bytes: omlinkd and omlinkc
+/// share a filesystem (the socket is local by construction), and the
+/// daemon re-reads inputs itself so a relink always sees the bytes on
+/// disk at request time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_SERVICE_PROTOCOL_H
+#define OM64_SERVICE_PROTOCOL_H
+
+#include "om/Om.h"
+#include "support/Result.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace om64 {
+namespace service {
+
+constexpr uint32_t FrameMagic = 0x444C5841; // "AXLD" little-endian
+constexpr uint16_t ProtocolVersion = 1;
+constexpr size_t FrameHeaderSize = 16;
+/// Upper bound on a payload; a header announcing more is rejected before
+/// any allocation (a garbage or hostile length would otherwise turn into
+/// an attempted multi-gigabyte resize).
+constexpr uint64_t MaxPayloadBytes = 64ull << 20;
+
+enum class MsgType : uint16_t {
+  RelinkRequest = 1,
+  PingRequest = 2,
+  ShutdownRequest = 3,
+  Response = 4,
+};
+
+/// One decoded frame.
+struct Frame {
+  MsgType Type = MsgType::Response;
+  std::vector<uint8_t> Payload;
+};
+
+/// A relink request: link the modules at \p InputPaths (in order) with
+/// \p Opts and write the image to \p OutputPath atomically.
+struct RelinkRequest {
+  om::OmOptions Opts;
+  std::string OutputPath;
+  std::vector<std::string> InputPaths;
+};
+
+/// The daemon's reply to any request.
+struct Response {
+  uint8_t Status = 0; ///< 0 ok, nonzero error (Message says why)
+  std::string Message;
+  // Relink observability (zero for ping/shutdown replies).
+  bool Warm = false;
+  bool InputUnchanged = false;
+  uint64_t ModulesTotal = 0;
+  uint64_t ModulesReparsed = 0;
+  uint64_t ModulesRelifted = 0;
+  uint64_t ProcsTotal = 0;
+  uint64_t ProcsRelifted = 0;
+  uint64_t SummaryRoundHits = 0;
+  uint64_t SummaryRoundMisses = 0;
+  uint64_t Micros = 0; ///< daemon-side wall time of the request
+};
+
+/// Serializes one frame (header + payload).
+std::vector<uint8_t> encodeFrame(MsgType Type,
+                                 const std::vector<uint8_t> &Payload);
+
+/// Decodes \p Bytes, which must be exactly one frame; any truncation,
+/// bad magic/version, oversized length, or trailing junk fails.
+Result<Frame> decodeFrame(const std::vector<uint8_t> &Bytes);
+
+// Per-type payload encodings. Decoders reject short and over-long
+// payloads.
+std::vector<uint8_t> encodeRelinkRequest(const RelinkRequest &Req);
+Result<RelinkRequest> decodeRelinkRequest(const std::vector<uint8_t> &Payload);
+std::vector<uint8_t> encodeResponse(const Response &R);
+Result<Response> decodeResponse(const std::vector<uint8_t> &Payload);
+
+/// A stable hash of the option fields the wire carries; the daemon keys
+/// "same options?" decisions on it when reusing an image's warm state.
+uint64_t optionsKey(const om::OmOptions &Opts);
+
+/// Blocking full-write of one frame to \p Fd.
+Error writeFrame(int Fd, MsgType Type, const std::vector<uint8_t> &Payload);
+
+/// Blocking full-read of one frame from \p Fd. A cleanly closed peer
+/// before any byte yields an error with message "connection closed".
+Result<Frame> readFrame(int Fd);
+
+} // namespace service
+} // namespace om64
+
+#endif // OM64_SERVICE_PROTOCOL_H

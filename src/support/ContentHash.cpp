@@ -1,0 +1,39 @@
+//===- support/ContentHash.cpp ---------------------------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ContentHash.h"
+
+#include <cstring>
+
+using namespace om64;
+
+void Hasher::add(const void *Data, size_t Len) {
+  addU64(Len);
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  size_t Whole = Len / 8;
+  for (size_t I = 0; I < Whole; ++I) {
+    uint64_t Lane;
+    std::memcpy(&Lane, P + I * 8, 8); // little-endian hosts only (the
+                                      // project already assumes LE I/O)
+    addU64(Lane);
+  }
+  uint64_t Tail = 0;
+  size_t Rest = Len % 8;
+  if (Rest != 0) {
+    std::memcpy(&Tail, P + Whole * 8, Rest);
+    addU64(Tail);
+  }
+}
+
+uint64_t om64::hashBytes(const void *Data, size_t Len) {
+  Hasher H;
+  H.add(Data, Len);
+  return H.digest();
+}
+
+uint64_t om64::hashBytes(const std::vector<uint8_t> &Bytes) {
+  return hashBytes(Bytes.data(), Bytes.size());
+}

@@ -6,7 +6,11 @@
 
 #include "support/FileIO.h"
 
+#include "support/Format.h"
+
 #include <cstdio>
+
+#include <unistd.h>
 
 using namespace om64;
 
@@ -37,12 +41,27 @@ Result<std::string> om64::readFileText(const std::string &Path) {
 
 Error om64::writeFileBytes(const std::string &Path,
                            const std::vector<uint8_t> &Bytes) {
-  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  // Write to a sibling temp file and rename over the target: a crash or
+  // kill mid-write leaves either the old content or the complete new
+  // content at Path, never a truncated image a downstream aaxrun would
+  // consume. The pid suffix keeps concurrent writers (omlinkd serves
+  // multiple images) off each other's temp files.
+  std::string Tmp = Path + formatString(".tmp.%ld", static_cast<long>(getpid()));
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
   if (!F)
-    return Error::failure("cannot open '" + Path + "' for writing");
+    return Error::failure("cannot open '" + Tmp + "' for writing");
   size_t Written = std::fwrite(Bytes.data(), 1, Bytes.size(), F);
-  bool Bad = Written != Bytes.size() || std::fclose(F) != 0;
-  if (Bad)
-    return Error::failure("write error on '" + Path + "'");
+  bool Bad = Written != Bytes.size();
+  Bad |= std::fflush(F) != 0;
+  Bad |= fsync(fileno(F)) != 0;
+  Bad |= std::fclose(F) != 0;
+  if (Bad) {
+    std::remove(Tmp.c_str());
+    return Error::failure("write error on '" + Tmp + "'");
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return Error::failure("cannot rename '" + Tmp + "' to '" + Path + "'");
+  }
   return Error::success();
 }

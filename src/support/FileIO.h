@@ -21,7 +21,10 @@ Result<std::vector<uint8_t>> readFileBytes(const std::string &Path);
 /// Reads an entire file as text.
 Result<std::string> readFileText(const std::string &Path);
 
-/// Writes (truncating) the bytes to the path.
+/// Writes the bytes to the path atomically: the data lands in a sibling
+/// temp file first and is renamed over the target only after a clean
+/// flush+fsync+close, so an interrupted write never leaves a truncated
+/// file at \p Path.
 Error writeFileBytes(const std::string &Path,
                      const std::vector<uint8_t> &Bytes);
 

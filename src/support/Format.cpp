@@ -43,6 +43,25 @@ std::string om64::padLeft(std::string S, size_t Width) {
   return S;
 }
 
+Result<uint64_t> om64::parseUnsigned(const std::string &S, uint64_t Max) {
+  if (S.empty())
+    return Result<uint64_t>::failure("expected a number, got an empty string");
+  uint64_t Value = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return Result<uint64_t>::failure("invalid number '" + S + "'");
+    uint64_t Digit = static_cast<uint64_t>(C - '0');
+    if (Value > (~0ull - Digit) / 10)
+      return Result<uint64_t>::failure("number '" + S + "' is out of range");
+    Value = Value * 10 + Digit;
+  }
+  if (Value > Max)
+    return Result<uint64_t>::failure(
+        formatString("number '%s' is out of range (max %llu)", S.c_str(),
+                     static_cast<unsigned long long>(Max)));
+  return Value;
+}
+
 std::vector<std::string> om64::splitString(const std::string &S, char Sep) {
   std::vector<std::string> Fields;
   size_t Start = 0;

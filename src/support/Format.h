@@ -14,6 +14,8 @@
 #ifndef OM64_SUPPORT_FORMAT_H
 #define OM64_SUPPORT_FORMAT_H
 
+#include "support/Result.h"
+
 #include <cstdarg>
 #include <cstdint>
 #include <string>
@@ -37,6 +39,13 @@ std::string padLeft(std::string S, size_t Width);
 
 /// Splits \p S on \p Sep; keeps empty fields.
 std::vector<std::string> splitString(const std::string &S, char Sep);
+
+/// Strict decimal parse for CLI numeric arguments. Accepts only a
+/// non-empty, all-digit string whose value fits in uint64_t and is at most
+/// \p Max; anything else ("abc", "4x", "", "-1", overflow) fails with a
+/// message quoting the input. Unlike strtoul, trailing garbage and
+/// wraparound are errors, never silent truncation.
+Result<uint64_t> parseUnsigned(const std::string &S, uint64_t Max = ~0ull);
 
 } // namespace om64
 

@@ -1,0 +1,108 @@
+//===- tests/service_slow_test.cpp - Mega-scale relink sweeps -------------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Edit-stream sweeps at generated-program scale: a persistent
+/// IncrementalLinker replays seeded single-module edits over a
+/// 16-module/150k-instruction mixed program and every warm image is
+/// compared byte-for-byte against a from-scratch link — at -j1 and -j4,
+/// which must also agree with each other (the caches may not change the
+/// answer, and neither may the thread count). The analysis configuration
+/// additionally sweeps the summary cache's hit path.
+///
+//===----------------------------------------------------------------------===//
+
+#include "megagen/MegaGen.h"
+#include "om/Incremental.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace om64;
+
+namespace {
+
+std::vector<std::vector<uint8_t>> megaModules() {
+  megagen::MegaSpec Spec;
+  Spec.Modules = 16;
+  Spec.ProcsPerModule = 8;
+  Spec.TargetInstructions = 150000;
+  megagen::MegaProgram MP = megagen::generate(Spec);
+  std::vector<std::vector<uint8_t>> Mods;
+  for (const obj::ObjectFile &O : MP.Objects)
+    Mods.push_back(O.serialize());
+  return Mods;
+}
+
+std::vector<uint8_t> coldLink(const std::vector<std::vector<uint8_t>> &Mods,
+                              const om::OmOptions &Opts) {
+  std::vector<obj::ObjectFile> Objs;
+  for (const std::vector<uint8_t> &B : Mods) {
+    Result<obj::ObjectFile> O = obj::ObjectFile::deserialize(B);
+    EXPECT_TRUE(bool(O)) << O.message();
+    Objs.push_back(O.take());
+  }
+  Result<om::OmResult> R = om::optimize(Objs, Opts);
+  EXPECT_TRUE(bool(R)) << R.message();
+  return R->Image.serialize();
+}
+
+void editModule(std::vector<std::vector<uint8_t>> &Mods, size_t Idx,
+                uint64_t Seed) {
+  Result<obj::ObjectFile> O = obj::ObjectFile::deserialize(Mods[Idx]);
+  ASSERT_TRUE(bool(O)) << O.message();
+  ASSERT_TRUE(megagen::perturbModule(*O, Seed)) << "module " << Idx;
+  Mods[Idx] = O->serialize();
+}
+
+/// One warm linker per job count over the same edit stream; asserts both
+/// match the from-scratch image at every step.
+void sweep(const om::OmOptions &Base, unsigned Edits, uint64_t Seed) {
+  std::vector<std::vector<uint8_t>> Mods = megaModules();
+
+  om::OmOptions J1 = Base, J4 = Base;
+  J1.Jobs = 1;
+  J4.Jobs = 4;
+  // Force the parallel path even though this program sits below the
+  // serial-fallback cutoff; the sweep is about thread-count identity.
+  J4.SerialFallbackInsts = 0;
+
+  om::IncrementalLinker L1(J1), L4(J4);
+  for (unsigned E = 0; E <= Edits; ++E) {
+    if (E > 0)
+      editModule(Mods, (E * 7 + 3) % Mods.size(), Seed + E);
+    Result<om::RelinkResult> R1 = L1.relink(Mods);
+    Result<om::RelinkResult> R4 = L4.relink(Mods);
+    ASSERT_TRUE(bool(R1)) << R1.message();
+    ASSERT_TRUE(bool(R4)) << R4.message();
+    EXPECT_EQ(R1->Stats.Warm, E > 0);
+    EXPECT_EQ(R4->Stats.Warm, E > 0);
+    std::vector<uint8_t> Ref = coldLink(Mods, J1);
+    EXPECT_EQ(R1->ImageBytes, Ref) << "-j1 differs at edit " << E;
+    EXPECT_EQ(R4->ImageBytes, Ref) << "-j4 differs at edit " << E;
+  }
+}
+
+TEST(ServiceSlowTest, MegaEditStreamWarmEqualsColdBothJobCounts) {
+  om::OmOptions Opts;
+  Opts.Level = om::OmLevel::Full;
+  Opts.Reschedule = true;
+  Opts.AlignLoopTargets = true;
+  sweep(Opts, /*Edits=*/4, /*Seed=*/500);
+}
+
+TEST(ServiceSlowTest, MegaEditStreamWithAnalysis) {
+  om::OmOptions Opts;
+  Opts.Level = om::OmLevel::Full;
+  Opts.Reschedule = true;
+  Opts.AlignLoopTargets = true;
+  Opts.Analysis = true;
+  sweep(Opts, /*Edits=*/3, /*Seed=*/900);
+}
+
+} // namespace

@@ -5,7 +5,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/ByteStream.h"
+#include "support/ContentHash.h"
 #include "support/Diagnostics.h"
+#include "support/FileIO.h"
 #include "support/Format.h"
 #include "support/Profile.h"
 #include "support/Random.h"
@@ -15,7 +17,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <numeric>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 using namespace om64;
 
@@ -320,6 +327,133 @@ TEST(ProfileTest, RejectsEdgeEndpointOutOfRange) {
   Result<prof::Profile> R = prof::Profile::deserialize(P.serialize());
   ASSERT_FALSE(bool(R));
   EXPECT_NE(R.message().find("out of range"), std::string::npos);
+}
+
+TEST(ParseUnsignedTest, AcceptsPlainDecimal) {
+  Result<uint64_t> R = parseUnsigned("0");
+  ASSERT_TRUE(bool(R));
+  EXPECT_EQ(*R, 0u);
+  R = parseUnsigned("42");
+  ASSERT_TRUE(bool(R));
+  EXPECT_EQ(*R, 42u);
+  R = parseUnsigned("18446744073709551615"); // UINT64_MAX
+  ASSERT_TRUE(bool(R));
+  EXPECT_EQ(*R, ~0ull);
+}
+
+TEST(ParseUnsignedTest, RejectsNonNumeric) {
+  for (const char *Bad : {"", "abc", "4x", "-1", "+3", " 7", "7 ", "0x10"})
+    EXPECT_FALSE(bool(parseUnsigned(Bad))) << Bad;
+}
+
+TEST(ParseUnsignedTest, RejectsOverflowAndMax) {
+  // One past UINT64_MAX must fail, not wrap.
+  EXPECT_FALSE(bool(parseUnsigned("18446744073709551616")));
+  EXPECT_FALSE(bool(parseUnsigned("99999999999999999999999")));
+  EXPECT_FALSE(bool(parseUnsigned("256", 255)));
+  Result<uint64_t> R = parseUnsigned("255", 255);
+  ASSERT_TRUE(bool(R));
+  EXPECT_EQ(*R, 255u);
+}
+
+TEST(ParseUnsignedTest, MessageQuotesInput) {
+  Result<uint64_t> R = parseUnsigned("4x");
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.message().find("4x"), std::string::npos);
+}
+
+TEST(ContentHashTest, DeterministicAndOrderSensitive) {
+  Hasher A, B;
+  A.addU64(1);
+  A.addU64(2);
+  B.addU64(1);
+  B.addU64(2);
+  EXPECT_EQ(A.digest(), B.digest());
+  Hasher C;
+  C.addU64(2);
+  C.addU64(1);
+  EXPECT_NE(A.digest(), C.digest());
+}
+
+TEST(ContentHashTest, SingleBitSensitivity) {
+  std::vector<uint8_t> Bytes(1027, 0xA5);
+  uint64_t Base = hashBytes(Bytes);
+  for (size_t I : {size_t(0), size_t(513), Bytes.size() - 1}) {
+    Bytes[I] ^= 1;
+    EXPECT_NE(hashBytes(Bytes), Base) << "flipped byte " << I;
+    Bytes[I] ^= 1;
+  }
+  EXPECT_EQ(hashBytes(Bytes), Base);
+}
+
+TEST(ContentHashTest, LengthPrefixPreventsConcatAliasing) {
+  Hasher A, B;
+  A.addString("ab");
+  A.addString("c");
+  B.addString("a");
+  B.addString("bc");
+  EXPECT_NE(A.digest(), B.digest());
+}
+
+class AtomicWriteTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Dir = ::testing::TempDir() + "om64_atomic_XXXXXX";
+    ASSERT_NE(mkdtemp(Dir.data()), nullptr);
+  }
+  /// Entries in Dir other than "." and "..".
+  std::vector<std::string> entries() const {
+    std::vector<std::string> Out;
+    DIR *D = opendir(Dir.c_str());
+    if (!D)
+      return Out;
+    while (dirent *E = readdir(D)) {
+      std::string Name = E->d_name;
+      if (Name != "." && Name != "..")
+        Out.push_back(Name);
+    }
+    closedir(D);
+    return Out;
+  }
+  std::string Dir;
+};
+
+TEST_F(AtomicWriteTest, WritesAndReplacesWithoutStrayTempFiles) {
+  std::string Path = Dir + "/out.bin";
+  std::vector<uint8_t> First = {1, 2, 3};
+  ASSERT_FALSE(bool(writeFileBytes(Path, First)));
+  Result<std::vector<uint8_t>> R = readFileBytes(Path);
+  ASSERT_TRUE(bool(R));
+  EXPECT_EQ(*R, First);
+
+  std::vector<uint8_t> Second(4096, 0x7E);
+  ASSERT_FALSE(bool(writeFileBytes(Path, Second)));
+  R = readFileBytes(Path);
+  ASSERT_TRUE(bool(R));
+  EXPECT_EQ(*R, Second);
+
+  // The temp file the write staged through must be gone either way.
+  std::vector<std::string> Left = entries();
+  ASSERT_EQ(Left.size(), 1u);
+  EXPECT_EQ(Left[0], "out.bin");
+}
+
+TEST_F(AtomicWriteTest, FailureNamesThePathAndLeavesNoFile) {
+  std::string Path = Dir + "/missing-subdir/out.bin";
+  Error E = writeFileBytes(Path, {1});
+  ASSERT_TRUE(bool(E));
+  EXPECT_NE(E.message().find(Path), std::string::npos);
+  EXPECT_EQ(entries().size(), 0u);
+}
+
+TEST_F(AtomicWriteTest, UnwritableDirectoryFailsCleanly) {
+  if (::geteuid() == 0)
+    GTEST_SKIP() << "root ignores directory permissions";
+  ASSERT_EQ(chmod(Dir.c_str(), 0500), 0);
+  Error E = writeFileBytes(Dir + "/out.bin", {1});
+  chmod(Dir.c_str(), 0700);
+  EXPECT_TRUE(bool(E));
+  EXPECT_EQ(entries().size(), 0u);
 }
 
 } // namespace

@@ -21,6 +21,8 @@
 #include <sstream>
 #include <string>
 
+#include <unistd.h>
+
 namespace {
 
 std::string toolsDir() { return OM64_TOOLS_DIR; }
@@ -391,6 +393,129 @@ TEST_F(ToolchainTest, MegagenGeneratesLinkableDeterministicWorkloads) {
   EXPECT_EQ(runCommand(toolsDir() + "/megagen --shape spiral -o " + Dir,
                        Out),
             2);
+}
+
+/// Like runCommand but captures stderr instead of discarding it, for
+/// asserting diagnostic text.
+int runCommandErr(const std::string &Cmd, std::string &Output) {
+  std::string Full = Cmd + " 2>&1";
+  std::FILE *P = popen(Full.c_str(), "r");
+  if (!P)
+    return -1;
+  char Buf[4096];
+  Output.clear();
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+    Output.append(Buf, N);
+  int Status = pclose(P);
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+TEST_F(ToolchainTest, BadNumericArgsExitTwoWithDiagnostic) {
+  // Every tool must reject non-numeric or overflowing numeric arguments
+  // with exit code 2 and a diagnostic quoting the bad value — never
+  // strtoul-truncate and run anyway.
+  struct Case {
+    const char *Cmd;
+    const char *MustMention;
+  };
+  const Case Cases[] = {
+      {"/omlink -j abc -o /dev/null x.aaxo", "abc"},
+      {"/omlink --gat-max 4x -o /dev/null x.aaxo", "4x"},
+      {"/omlink -j 18446744073709551616 -o /dev/null x.aaxo",
+       "18446744073709551616"},
+      {"/megagen --modules 1x", "1x"},
+      {"/megagen --seed -o", "-o"},
+      {"/aaxrun --max-insts twelve x.aaxe", "twelve"},
+      {"/aaxlint --jobs 9e9 x.aaxo", "9e9"},
+      {"/omlinkd --socket /tmp/x.sock --max-requests abc", "abc"},
+      {"/omlinkd --socket /tmp/x.sock --cache-mb 1x", "1x"},
+      {"/omlinkc --socket /tmp/x.sock --gat-max zz -o o.aaxe x.aaxo",
+       "zz"},
+      {"/omlinkc --socket /tmp/x.sock -j 1.5 -o o.aaxe x.aaxo", "1.5"},
+  };
+  for (const Case &C : Cases) {
+    std::string Out;
+    EXPECT_EQ(runCommandErr(toolsDir() + C.Cmd, Out), 2) << C.Cmd;
+    EXPECT_NE(Out.find(C.MustMention), std::string::npos)
+        << C.Cmd << " diagnostic was: " << Out;
+  }
+}
+
+TEST_F(ToolchainTest, OmlinkdWarmRelinkMatchesOmlink) {
+  std::string Out;
+  ASSERT_EQ(runCommand("mkdir -p " + Dir + "/svc", Out), 0);
+  ASSERT_EQ(runCommand(toolsDir() + "/megagen --shape mixed --modules 4 "
+                           "--procs 6 --insts 6000 --seed 11 -o " +
+                           Dir + "/svc",
+                       Out),
+            0)
+      << Out;
+  // Socket paths are capped around 108 bytes; gtest temp dirs stay short.
+  std::string Sock = Dir + "/d.sock";
+  ASSERT_LT(Sock.size(), 100u);
+  std::string Objs = Dir + "/svc/mg0000.aaxo " + Dir + "/svc/mg0001.aaxo " +
+                     Dir + "/svc/mg0002.aaxo " + Dir + "/svc/mg0003.aaxo";
+  std::string LinkFlags = "-O full --sched ";
+
+  // Background daemon, bounded as a safety net against a hung test.
+  ASSERT_EQ(runCommand("sh -c '" + toolsDir() + "/omlinkd --socket " +
+                           Sock + " --max-requests 8 >" + Dir +
+                           "/d.log 2>&1 &'",
+                       Out),
+            0);
+  bool Up = false;
+  for (int I = 0; I < 100 && !Up; ++I) {
+    Up = runCommand(toolsDir() + "/omlinkc --socket " + Sock + " --ping",
+                    Out) == 0;
+    if (!Up)
+      usleep(100 * 1000);
+  }
+  ASSERT_TRUE(Up) << "daemon never answered ping";
+
+  // Cold relink == from-scratch omlink.
+  ASSERT_EQ(runCommand(toolsDir() + "/omlinkc --socket " + Sock + " " +
+                           LinkFlags + "-o " + Dir + "/warm.aaxe " + Objs,
+                       Out),
+            0)
+      << Out;
+  ASSERT_EQ(runCommand(toolsDir() + "/omlink " + LinkFlags + "-o " + Dir +
+                           "/ref.aaxe " + Objs,
+                       Out),
+            0)
+      << Out;
+  EXPECT_EQ(
+      runCommand("cmp " + Dir + "/warm.aaxe " + Dir + "/ref.aaxe", Out), 0)
+      << "cold daemon link differs from omlink";
+
+  // Edit one module, warm relink, compare against a fresh omlink again.
+  ASSERT_EQ(runCommand(toolsDir() + "/megagen --perturb " + Dir +
+                           "/svc/mg0001.aaxo --seed 3",
+                       Out),
+            0)
+      << Out;
+  ASSERT_EQ(runCommand(toolsDir() + "/omlinkc --socket " + Sock + " " +
+                           LinkFlags + "-o " + Dir + "/warm.aaxe " + Objs,
+                       Out),
+            0)
+      << Out;
+  EXPECT_NE(Out.find("warm relink, 1/4 modules reparsed"),
+            std::string::npos)
+      << Out;
+  ASSERT_EQ(runCommand(toolsDir() + "/omlink " + LinkFlags + "-o " + Dir +
+                           "/ref.aaxe " + Objs,
+                       Out),
+            0)
+      << Out;
+  EXPECT_EQ(
+      runCommand("cmp " + Dir + "/warm.aaxe " + Dir + "/ref.aaxe", Out), 0)
+      << "warm daemon link differs from omlink after an edit";
+
+  EXPECT_EQ(runCommand(toolsDir() + "/omlinkc --socket " + Sock +
+                           " --shutdown",
+                       Out),
+            0)
+      << Out;
 }
 
 TEST_F(ToolchainTest, BadInputsFailCleanly) {

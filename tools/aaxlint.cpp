@@ -30,6 +30,7 @@
 #include "om/OmImpl.h"
 #include "support/Diagnostics.h"
 #include "support/FileIO.h"
+#include "support/Format.h"
 #include "support/ThreadPool.h"
 
 #include <cerrno>
@@ -81,7 +82,13 @@ int main(int argc, char **argv) {
     if (Arg == "--werror") {
       Werror = true;
     } else if ((Arg == "-j" || Arg == "--jobs") && I + 1 < argc) {
-      Jobs = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+      Result<uint64_t> V = parseUnsigned(argv[++I], ~0u);
+      if (!V) {
+        std::fprintf(stderr, "aaxlint: %s: %s\n", Arg.c_str(),
+                     V.message().c_str());
+        return 2;
+      }
+      Jobs = static_cast<unsigned>(*V);
     } else if (Arg == "--emit-corpus" && I + 1 < argc) {
       return emitCorpus(argv[++I]);
     } else if (!Arg.empty() && Arg[0] == '-') {

@@ -24,6 +24,7 @@
 #include "sim/SimStats.h"
 #include "sim/Simulator.h"
 #include "support/FileIO.h"
+#include "support/Format.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -70,7 +71,13 @@ int main(int argc, char **argv) {
     } else if (Arg == "--stats-json" && I + 1 < NArgs) {
       StatsJsonPath = Argv[++I];
     } else if (Arg == "--max-insts" && I + 1 < NArgs) {
-      Cfg.MaxInstructions = std::strtoull(Argv[++I].c_str(), nullptr, 10);
+      Result<uint64_t> V = parseUnsigned(Argv[++I]);
+      if (!V) {
+        std::fprintf(stderr, "aaxrun: --max-insts: %s\n",
+                     V.message().c_str());
+        return 2;
+      }
+      Cfg.MaxInstructions = *V;
     } else if (Arg == "--profile-out" && I + 1 < NArgs) {
       ProfileOutPath = Argv[++I];
       Cfg.Profile = true;

@@ -21,6 +21,14 @@
 ///   --data N      data symbols per module
 ///   -o DIR        output directory (must exist; default ".")
 ///
+/// A second mode models a compiler re-emitting one module after a source
+/// edit, for relink workloads:
+///
+///   megagen --perturb FILE [--seed N]
+///
+/// rewrites FILE in place with one instruction (or data byte) changed; see
+/// megagen::perturbModule for the exact edit rules.
+///
 //===----------------------------------------------------------------------===//
 
 #include "megagen/MegaGen.h"
@@ -40,13 +48,41 @@ static int usage() {
                "usage: megagen [--seed N] [--shape deep-chains|wide-fanout|"
                "hot-loops|mixed]\n"
                "               [--modules N] [--procs N] [--insts N] "
-               "[--data N] [-o DIR]\n");
+               "[--data N] [-o DIR]\n"
+               "       megagen --perturb FILE [--seed N]\n");
   return 2;
+}
+
+/// --perturb FILE: edit one instruction of an existing module in place.
+static int perturbFile(const std::string &Path, uint64_t Seed) {
+  Result<std::vector<uint8_t>> Bytes = readFileBytes(Path);
+  if (!Bytes) {
+    std::fprintf(stderr, "megagen: %s\n", Bytes.message().c_str());
+    return 1;
+  }
+  Result<obj::ObjectFile> Obj = obj::ObjectFile::deserialize(*Bytes);
+  if (!Obj) {
+    std::fprintf(stderr, "megagen: %s: %s\n", Path.c_str(),
+                 Obj.message().c_str());
+    return 1;
+  }
+  if (!megagen::perturbModule(*Obj, Seed)) {
+    std::fprintf(stderr, "megagen: %s: no perturbable site\n", Path.c_str());
+    return 1;
+  }
+  if (Error E = writeFileBytes(Path, Obj->serialize())) {
+    std::fprintf(stderr, "megagen: %s\n", E.message().c_str());
+    return 1;
+  }
+  std::printf("megagen: perturbed %s (seed %llu)\n", Path.c_str(),
+              (unsigned long long)Seed);
+  return 0;
 }
 
 int main(int argc, char **argv) {
   megagen::MegaSpec Spec;
   std::string OutDir = ".";
+  std::string PerturbPath;
 
   // Accept both "--flag value" and "--flag=value" spellings.
   std::vector<std::string> Argv;
@@ -62,10 +98,25 @@ int main(int argc, char **argv) {
     }
   }
   const size_t NArgs = Argv.size();
+  // Strict numeric parsing: "--modules 1x" is a fatal diagnostic, not a
+  // silent truncation to 1.
+  auto NumArg = [](const char *Flag, const std::string &Value, uint64_t Max,
+                   uint64_t &Out) {
+    Result<uint64_t> V = parseUnsigned(Value, Max);
+    if (!V) {
+      std::fprintf(stderr, "megagen: %s: %s\n", Flag, V.message().c_str());
+      return false;
+    }
+    Out = *V;
+    return true;
+  };
+  uint64_t N = 0;
   for (size_t I = 0; I < NArgs; ++I) {
     const std::string &Arg = Argv[I];
     if (Arg == "--seed" && I + 1 < NArgs) {
-      Spec.Seed = std::strtoull(Argv[++I].c_str(), nullptr, 10);
+      if (!NumArg("--seed", Argv[++I], ~0ull, N))
+        return 2;
+      Spec.Seed = N;
     } else if (Arg == "--shape" && I + 1 < NArgs) {
       std::optional<megagen::CallShape> S = megagen::parseShape(Argv[++I]);
       if (!S) {
@@ -75,22 +126,31 @@ int main(int argc, char **argv) {
       }
       Spec.Shape = *S;
     } else if (Arg == "--modules" && I + 1 < NArgs) {
-      Spec.Modules =
-          static_cast<unsigned>(std::strtoul(Argv[++I].c_str(), nullptr, 10));
+      if (!NumArg("--modules", Argv[++I], ~0u, N))
+        return 2;
+      Spec.Modules = static_cast<unsigned>(N);
     } else if (Arg == "--procs" && I + 1 < NArgs) {
-      Spec.ProcsPerModule =
-          static_cast<unsigned>(std::strtoul(Argv[++I].c_str(), nullptr, 10));
+      if (!NumArg("--procs", Argv[++I], ~0u, N))
+        return 2;
+      Spec.ProcsPerModule = static_cast<unsigned>(N);
     } else if (Arg == "--insts" && I + 1 < NArgs) {
-      Spec.TargetInstructions = std::strtoull(Argv[++I].c_str(), nullptr, 10);
+      if (!NumArg("--insts", Argv[++I], ~0ull, N))
+        return 2;
+      Spec.TargetInstructions = N;
     } else if (Arg == "--data" && I + 1 < NArgs) {
-      Spec.DataSymsPerModule =
-          static_cast<unsigned>(std::strtoul(Argv[++I].c_str(), nullptr, 10));
+      if (!NumArg("--data", Argv[++I], ~0u, N))
+        return 2;
+      Spec.DataSymsPerModule = static_cast<unsigned>(N);
     } else if (Arg == "-o" && I + 1 < NArgs) {
       OutDir = Argv[++I];
+    } else if (Arg == "--perturb" && I + 1 < NArgs) {
+      PerturbPath = Argv[++I];
     } else {
       return usage();
     }
   }
+  if (!PerturbPath.empty())
+    return perturbFile(PerturbPath, Spec.Seed);
 
   megagen::MegaProgram MP = megagen::generate(Spec);
   for (size_t Idx = 0; Idx < MP.Objects.size(); ++Idx) {

@@ -179,11 +179,20 @@ int main(int argc, char **argv) {
     } else if (Arg == "--no-sort") {
       Opts.SortDataBySize = false;
     } else if (Arg == "--gat-max" && I + 1 < NArgs) {
-      Opts.MaxGatEntriesPerGroup =
-          static_cast<unsigned>(std::strtoul(Argv[++I].c_str(), nullptr, 10));
+      Result<uint64_t> V = parseUnsigned(Argv[++I], ~0u);
+      if (!V) {
+        std::fprintf(stderr, "omlink: --gat-max: %s\n", V.message().c_str());
+        return 2;
+      }
+      Opts.MaxGatEntriesPerGroup = static_cast<unsigned>(*V);
     } else if ((Arg == "-j" || Arg == "--jobs") && I + 1 < NArgs) {
-      Opts.Jobs =
-          static_cast<unsigned>(std::strtoul(Argv[++I].c_str(), nullptr, 10));
+      Result<uint64_t> V = parseUnsigned(Argv[++I], ~0u);
+      if (!V) {
+        std::fprintf(stderr, "omlink: %s: %s\n", Arg.c_str(),
+                     V.message().c_str());
+        return 2;
+      }
+      Opts.Jobs = static_cast<unsigned>(*V);
     } else if (Arg == "--profile-in" && I + 1 < NArgs) {
       ProfileInPath = Argv[++I];
     } else if (Arg == "--layout" && I + 1 < NArgs) {

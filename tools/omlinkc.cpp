@@ -1,0 +1,169 @@
+//===- tools/omlinkc.cpp - Client for the omlinkd relink daemon ------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin client: sends one request to a running omlinkd and prints the
+/// reply. The relink form mirrors omlink's option subset the daemon
+/// supports, so swapping `omlink` for `omlinkc --socket S` in a build
+/// command turns cold links into warm ones:
+///
+///   omlinkc --socket PATH -o out.aaxe obj1.aaxo obj2.aaxo ...
+///   omlinkc --socket PATH --ping
+///   omlinkc --socket PATH --shutdown
+///
+/// Relink options (same meanings as omlink): -O none|simple|full,
+/// --sched, --analysis, --no-sort, --gat-max N, -j N / --jobs N,
+/// --verify. Input and output paths are resolved by the daemon, so they
+/// are sent absolute (made so here when relative).
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <limits.h>
+#include <unistd.h>
+
+using namespace om64;
+
+static int usage() {
+  std::fprintf(stderr,
+               "usage: omlinkc --socket PATH [-O none|simple|full] [--sched]"
+               "\n"
+               "               [--analysis] [--no-sort] [--gat-max N]\n"
+               "               [-j N | --jobs N] [--verify]\n"
+               "               -o out.aaxe obj.aaxo...\n"
+               "       omlinkc --socket PATH --ping\n"
+               "       omlinkc --socket PATH --shutdown\n");
+  return 2;
+}
+
+/// The daemon resolves paths in its own working directory; send absolute
+/// paths so the client's cwd is what counts, like a local linker run.
+static std::string absolutePath(const std::string &Path) {
+  if (!Path.empty() && Path[0] == '/')
+    return Path;
+  char Buf[PATH_MAX];
+  if (!getcwd(Buf, sizeof(Buf)))
+    return Path;
+  return std::string(Buf) + "/" + Path;
+}
+
+int main(int argc, char **argv) {
+  std::string Socket;
+  bool Ping = false, Shutdown = false;
+  service::RelinkRequest Req;
+  Req.OutputPath = "a.aaxe";
+  Req.Opts.Jobs = 0;
+
+  std::vector<std::string> Argv;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    size_t Eq;
+    if (Arg.size() > 2 && Arg[0] == '-' && Arg[1] == '-' &&
+        (Eq = Arg.find('=')) != std::string::npos) {
+      Argv.push_back(Arg.substr(0, Eq));
+      Argv.push_back(Arg.substr(Eq + 1));
+    } else {
+      Argv.push_back(Arg);
+    }
+  }
+  const size_t NArgs = Argv.size();
+  for (size_t I = 0; I < NArgs; ++I) {
+    const std::string &Arg = Argv[I];
+    if (Arg == "--socket" && I + 1 < NArgs) {
+      Socket = Argv[++I];
+    } else if (Arg == "--ping") {
+      Ping = true;
+    } else if (Arg == "--shutdown") {
+      Shutdown = true;
+    } else if (Arg == "-o" && I + 1 < NArgs) {
+      Req.OutputPath = Argv[++I];
+    } else if (Arg == "-O" && I + 1 < NArgs) {
+      std::string Level = Argv[++I];
+      if (Level == "none")
+        Req.Opts.Level = om::OmLevel::None;
+      else if (Level == "simple")
+        Req.Opts.Level = om::OmLevel::Simple;
+      else if (Level == "full")
+        Req.Opts.Level = om::OmLevel::Full;
+      else
+        return usage();
+    } else if (Arg == "--sched") {
+      Req.Opts.Reschedule = true;
+      Req.Opts.AlignLoopTargets = true;
+    } else if (Arg == "--analysis") {
+      Req.Opts.Analysis = true;
+    } else if (Arg == "--no-sort") {
+      Req.Opts.SortDataBySize = false;
+    } else if (Arg == "--verify") {
+      Req.Opts.Verify = true;
+    } else if (Arg == "--gat-max" && I + 1 < NArgs) {
+      Result<uint64_t> V = parseUnsigned(Argv[++I], ~0u);
+      if (!V) {
+        std::fprintf(stderr, "omlinkc: --gat-max: %s\n",
+                     V.message().c_str());
+        return 2;
+      }
+      Req.Opts.MaxGatEntriesPerGroup = static_cast<unsigned>(*V);
+    } else if ((Arg == "-j" || Arg == "--jobs") && I + 1 < NArgs) {
+      Result<uint64_t> V = parseUnsigned(Argv[++I], ~0u);
+      if (!V) {
+        std::fprintf(stderr, "omlinkc: %s: %s\n", Arg.c_str(),
+                     V.message().c_str());
+        return 2;
+      }
+      Req.Opts.Jobs = static_cast<unsigned>(*V);
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      return usage();
+    } else {
+      Req.InputPaths.push_back(Arg);
+    }
+  }
+  if (Socket.empty())
+    return usage();
+  if (Ping && Shutdown)
+    return usage();
+  if (!Ping && !Shutdown && Req.InputPaths.empty())
+    return usage();
+  if (Req.Opts.Analysis && Req.Opts.Level != om::OmLevel::Full) {
+    std::fprintf(stderr, "omlinkc: --analysis requires -O full\n");
+    return 2;
+  }
+
+  Result<service::Response> R = [&] {
+    if (Ping)
+      return service::requestPing(Socket);
+    if (Shutdown)
+      return service::requestShutdown(Socket);
+    Req.OutputPath = absolutePath(Req.OutputPath);
+    for (std::string &P : Req.InputPaths)
+      P = absolutePath(P);
+    return service::requestRelink(Socket, Req);
+  }();
+  if (!R) {
+    std::fprintf(stderr, "omlinkc: %s\n", R.message().c_str());
+    return 1;
+  }
+  if (R->Status != 0) {
+    std::fprintf(stderr, "omlinkc: daemon error: %s\n",
+                 R->Message.c_str());
+    return 1;
+  }
+  std::printf("omlinkc: %s (%.3f ms daemon time)\n", R->Message.c_str(),
+              static_cast<double>(R->Micros) / 1000.0);
+  if (!Ping && !Shutdown)
+    std::printf(
+        "omlinkc: summary cache %llu hit(s) / %llu miss(es)\n",
+        static_cast<unsigned long long>(R->SummaryRoundHits),
+        static_cast<unsigned long long>(R->SummaryRoundMisses));
+  return 0;
+}

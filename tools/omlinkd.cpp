@@ -1,0 +1,113 @@
+//===- tools/omlinkd.cpp - The incremental relink daemon -------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Long-lived relink service: listens on a Unix-domain socket and serves
+/// omlinkc requests, keeping each output image's parsed modules and
+/// analysis memos warm so an edit-relink cycle redoes only what changed
+/// (see docs/OMLINKD.md for the protocol and the cache-invalidation
+/// rules).
+///
+///   omlinkd --socket PATH [--max-requests N] [--cache-mb N]
+///
+///   --socket PATH     Unix-domain socket to listen on (required)
+///   --max-requests N  exit after serving N requests (CI safety net)
+///   --cache-mb N      analysis-cache budget per image, in MiB
+///                     (default 512)
+///
+/// SIGINT/SIGTERM stop the daemon cleanly: in-flight relinks finish (and
+/// their outputs appear atomically or not at all), then the socket is
+/// removed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Daemon.h"
+#include "support/Format.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace om64;
+
+static service::Daemon *ActiveDaemon = nullptr;
+
+static void onSignal(int) {
+  if (ActiveDaemon)
+    ActiveDaemon->requestStop();
+}
+
+static int usage() {
+  std::fprintf(stderr, "usage: omlinkd --socket PATH [--max-requests N] "
+                       "[--cache-mb N]\n");
+  return 2;
+}
+
+int main(int argc, char **argv) {
+  service::DaemonOptions Opts;
+
+  std::vector<std::string> Argv;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    size_t Eq;
+    if (Arg.size() > 2 && Arg[0] == '-' && Arg[1] == '-' &&
+        (Eq = Arg.find('=')) != std::string::npos) {
+      Argv.push_back(Arg.substr(0, Eq));
+      Argv.push_back(Arg.substr(Eq + 1));
+    } else {
+      Argv.push_back(Arg);
+    }
+  }
+  const size_t NArgs = Argv.size();
+  for (size_t I = 0; I < NArgs; ++I) {
+    const std::string &Arg = Argv[I];
+    if (Arg == "--socket" && I + 1 < NArgs) {
+      Opts.SocketPath = Argv[++I];
+    } else if (Arg == "--max-requests" && I + 1 < NArgs) {
+      Result<uint64_t> V = parseUnsigned(Argv[++I]);
+      if (!V) {
+        std::fprintf(stderr, "omlinkd: --max-requests: %s\n",
+                     V.message().c_str());
+        return 2;
+      }
+      Opts.MaxRequests = *V;
+    } else if (Arg == "--cache-mb" && I + 1 < NArgs) {
+      Result<uint64_t> V = parseUnsigned(Argv[++I], ~0ull >> 20);
+      if (!V) {
+        std::fprintf(stderr, "omlinkd: --cache-mb: %s\n",
+                     V.message().c_str());
+        return 2;
+      }
+      Opts.CacheBudgetBytes = static_cast<size_t>(*V << 20);
+    } else {
+      return usage();
+    }
+  }
+  if (Opts.SocketPath.empty())
+    return usage();
+
+  service::Daemon D(Opts);
+  if (Error E = D.start()) {
+    std::fprintf(stderr, "omlinkd: %s\n", E.message().c_str());
+    return 1;
+  }
+  ActiveDaemon = &D;
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::fprintf(stderr, "omlinkd: listening on %s\n",
+               Opts.SocketPath.c_str());
+
+  Error E = D.run();
+  ActiveDaemon = nullptr;
+  if (E) {
+    std::fprintf(stderr, "omlinkd: %s\n", E.message().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "omlinkd: served %llu request(s), exiting\n",
+               static_cast<unsigned long long>(D.requestsServed()));
+  return 0;
+}
