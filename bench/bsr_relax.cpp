@@ -1,0 +1,167 @@
+//===- bench/bsr_relax.cpp - BSR relaxation retention at mega scale -------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures what the worst-case-then-shrink BSR relaxation (src/om/Emit.cpp)
+/// retains on the million-instruction megagen workload — the scale where
+/// the old one-shot pessimistic pass reverted 100% of JSR→BSR conversions
+/// and the profile-guided layout refused to run at all:
+///
+///   1. link the mega program at OM-full,
+///   2. run the simulator with profiling on, collecting an AAXP profile,
+///   3. relink with --layout=hot-cold driven by that profile (the hardest
+///      configuration: reach is decided against the reordered procedure
+///      order) with the post-assembly range audit on,
+///   4. report conversions retained/reverted, the retention percentage,
+///      and the fixpoint round count.
+///
+/// The bench aborts unless hot-cold layout actually reordered procedures,
+/// over 90% of conversions survived, and the -j1 and -jN images are
+/// byte-identical — so it doubles as the acceptance check for the
+/// silent-forfeit regression.
+///
+/// Usage: bsr_relax [--reps R] [--jobs N] [--json FILE]
+///
+/// All reported counts are deterministic; only the wall-seconds entry
+/// varies by host. The committed baseline is docs/BENCH_bsr_relax.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "megagen/MegaGen.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
+
+using namespace om64;
+using namespace om64::bench;
+
+int main(int argc, char **argv) {
+  BenchArgs Args = parseBenchArgs(argc, argv);
+  unsigned Jobs = Args.Jobs ? Args.Jobs : ThreadPool::defaultConcurrency();
+  if (Jobs < 2)
+    Jobs = 2;
+
+  megagen::MegaSpec Spec;
+  Spec.Seed = 1;
+  Spec.Shape = megagen::CallShape::Mixed;
+  Spec.Modules = 64;
+  Spec.ProcsPerModule = 16;
+  Spec.TargetInstructions = 1050000;
+  megagen::MegaProgram MP = megagen::generate(Spec);
+  if (MP.Summary.TotalInstructions < 1000000)
+    fail("mega workload came out under a million instructions");
+  std::printf("bsr_relax: mega workload (%s): %llu instructions, %llu "
+              "procedures, %u modules\n",
+              megagen::shapeName(Spec.Shape),
+              (unsigned long long)MP.Summary.TotalInstructions,
+              (unsigned long long)MP.Summary.TotalProcedures, Spec.Modules);
+
+  // Base link (no profile yet) and the profiling run.
+  om::OmOptions Base;
+  Base.Level = om::OmLevel::Full;
+  Base.Jobs = 1;
+  Result<om::OmResult> BaseLink = om::optimize(MP.Objects, Base);
+  if (!BaseLink)
+    fail("base link: " + BaseLink.message());
+  sim::SimConfig ProfCfg;
+  ProfCfg.Profile = true;
+  Result<sim::SimResult> ProfRun = sim::run(BaseLink->Image, ProfCfg);
+  if (!ProfRun)
+    fail("profiling run: " + ProfRun.message());
+
+  // Profile-guided relink with the range audit on; best-of-R for the
+  // host-time entry, stats taken from the first rep (deterministic).
+  om::OmOptions Lay = Base;
+  Lay.HotColdLayout = true;
+  Lay.Profile = ProfRun->Profile;
+  Lay.Verify = true;
+  double BestWall = 0;
+  om::OmStats Stats;
+  std::vector<uint8_t> RefImage;
+  for (unsigned R = 0; R < Args.Reps; ++R) {
+    auto Start = std::chrono::steady_clock::now();
+    Result<om::OmResult> Link = om::optimize(MP.Objects, Lay);
+    double Wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+    if (!Link)
+      fail("layout link: " + Link.message());
+    if (R == 0) {
+      Stats = Link->Stats;
+      RefImage = Link->Image.serialize();
+      BestWall = Wall;
+    } else {
+      BestWall = std::min(BestWall, Wall);
+    }
+  }
+
+  // The regression gates this bench exists for. The layout image's
+  // procedure table must differ from the base link's somewhere — the old
+  // code bailed on the whole-text gate and left the order untouched.
+  bool Reordered = false;
+  {
+    Result<obj::Image> LayImg = obj::Image::deserialize(RefImage);
+    if (!LayImg)
+      fail("layout image does not round-trip: " + LayImg.message());
+    for (size_t I = 0; I < LayImg->Procs.size(); ++I)
+      if (LayImg->Procs[I].Name != BaseLink->Image.Procs[I].Name) {
+        Reordered = true;
+        break;
+      }
+  }
+  if (!Reordered)
+    fail("hot-cold layout did not reorder procedures at mega scale (the "
+         "whole-text bail is back)");
+  uint64_t Kept = Stats.JsrConvertedToBsr;
+  uint64_t Reverted = Stats.BsrFallbackJsrs;
+  double RetainedPct =
+      Kept + Reverted
+          ? 100.0 * static_cast<double>(Kept) /
+                static_cast<double>(Kept + Reverted)
+          : 0;
+  if (RetainedPct <= 90.0)
+    fail(formatString("only %.1f%% of conversions survived relaxation "
+                      "(floor: >90%%)",
+                      RetainedPct));
+
+  om::OmOptions LayPar = Lay;
+  LayPar.Jobs = Jobs;
+  Result<om::OmResult> Par = om::optimize(MP.Objects, LayPar);
+  if (!Par)
+    fail("-jN layout link: " + Par.message());
+  if (Par->Image.serialize() != RefImage)
+    fail(formatString("-j%u layout image differs from -j1", Jobs));
+
+  std::printf("  conversions: %llu kept, %llu reverted (%.2f%% retained)\n",
+              (unsigned long long)Kept, (unsigned long long)Reverted,
+              RetainedPct);
+  std::printf("  fixpoint rounds: %llu   relink wall: %.3fs\n",
+              (unsigned long long)Stats.BsrRelaxRounds, BestWall);
+  std::printf("  images: byte-identical at -j1 and -j%u; range audit "
+              "green\n",
+              Jobs);
+
+  if (!Args.JsonPath.empty()) {
+    std::vector<JsonEntry> Entries;
+    // Counts and percentages are deterministic (same spec, same
+    // profile); tight tolerances keep the gate sharp. Wall time is host
+    // noise; wide band.
+    Entries.push_back({"mega", "retained_pct", RetainedPct, "percent",
+                       /*HigherIsBetter=*/true, /*TolerancePct=*/5});
+    Entries.push_back({"mega", "conversions_kept",
+                       static_cast<double>(Kept), "count",
+                       /*HigherIsBetter=*/true, /*TolerancePct=*/10});
+    Entries.push_back({"mega", "relax_rounds",
+                       static_cast<double>(Stats.BsrRelaxRounds), "count",
+                       /*HigherIsBetter=*/false, /*TolerancePct=*/100});
+    Entries.push_back({"mega", "relink_wall_seconds", BestWall, "seconds",
+                       /*HigherIsBetter=*/false, /*TolerancePct=*/300});
+    writeBenchJson("bsr_relax", Entries, Args.JsonPath);
+  }
+  return 0;
+}

@@ -70,14 +70,24 @@ private:
   /// feeds a call (PV must hold the exact procedure address).
   bool isCallLiteral(const LitInfo &L) const { return L.JsrIdx >= 0; }
 
-  /// Reverts OM-created BSRs whose 21-bit word displacement cannot be
-  /// guaranteed to fit in the final layout back to their original JSR
-  /// (un-nullifying the PV load the call reads). Runs before the first
-  /// layout so reverted literals get their GAT slots back. Conservative
-  /// and linear: procedure positions are bounded from above by a
-  /// pessimistic layout (no deletions, every possible insertion), so a
-  /// call accepted here fits in every later, only-smaller layout.
-  void relaxDirectCalls();
+  /// Worst-case-then-shrink BSR relaxation (Dickson's linear-time jump
+  /// encoding, inverted to the shrink direction): start from a layout in
+  /// which every OM-created JSR->BSR conversion is reverted (maximal
+  /// text), then iteratively re-admit each conversion whose displacement
+  /// fits under the current layout, re-running offset assignment until no
+  /// call changes state. Sizes only shrink and 16-byte-aligned spans are
+  /// monotone in them, so an admitted call stays admitted and the loop
+  /// terminates. Reach is decided against the procedure order the profile
+  /// layout proposes (ProcOrder); compiler-emitted BSRs — which cannot
+  /// revert — are audited against the same fixpoint, vetoing first the
+  /// reorder and then the layout pass itself (LayoutAllowed) if they
+  /// cannot survive. Calls that stay reverted mutate back to their JSR
+  /// (un-nullifying the PV load) before the first layout so their
+  /// literals get GAT slots back. Serial decision order is the
+  /// determinism barrier; per-procedure size census runs on the pool.
+  /// Fails hard when a converted call's literal is missing — continuing
+  /// would leave an un-range-checked BSR in the image.
+  Error relaxDirectCalls();
 
   /// Builds GAT contents and data addresses for the current decision
   /// state. When \p IncludeAllLiterals, every address load contributes its
@@ -122,6 +132,16 @@ private:
   std::vector<uint64_t> ProcBase;
   std::vector<std::vector<uint32_t>> InstOffset; // per proc, per inst
   uint64_t TextBytes = 0;
+
+  /// Procedure order proposed by the profile layout and validated by the
+  /// relaxation fixpoint; runProfileLayout applies exactly this
+  /// permutation. Empty means identity.
+  std::vector<uint32_t> ProcOrder;
+  /// Cleared by relaxDirectCalls when even the identity order cannot keep
+  /// every compiler BSR in reach once layout may insert fixups; run()
+  /// then skips the profile layout pass (the legacy whole-text bail,
+  /// now reached only when genuinely necessary).
+  bool LayoutAllowed = true;
 
   // Per-procedure (LitId, literal) views into SP.Lits; map nodes are
   // pointer-stable, and dropped together with SP.Lits after deletion.
@@ -206,72 +226,232 @@ DataLayout Emitter::layoutData(bool IncludeAllLiterals) const {
 // BSR range relaxation.
 //===----------------------------------------------------------------------===//
 
-void Emitter::relaxDirectCalls() {
-  // Pessimistic upper bound on where each procedure can end in the final
-  // text (pessimisticProcEnds): nothing is deleted, every alignment nop,
-  // instrumentation counter, and layout fixup branch that could be
-  // inserted is, and every start pays full 16-byte alignment. Deletion
-  // only moves code downward and every insertion is already counted, so
-  // each procedure's real end address never exceeds this bound.
-  std::vector<uint64_t> MaxEnd = pessimisticProcEnds(SP, Opts);
-  if (MaxEnd.empty())
-    return;
+Error Emitter::relaxDirectCalls() {
+  const size_t N = SP.Procs.size();
+  if (N == 0)
+    return Error::success();
+  const bool Full = Opts.Level == OmLevel::Full;
+  const bool LayoutLive = profileLayoutLive(Opts);
 
-  // A BSR reaches +/-(2^20 - 1) words. Both site and target lie in
-  // [0, MaxEnd of their procedure), so the displacement magnitude is
-  // bounded by the larger of the two ends; any call within that budget is
-  // safe in the final layout. (Single-sided bound: positions below are
-  // taken as 0, which is exact for the first procedure and conservative
-  // for the rest — a call is only ever reverted, never miscompiled.)
-  // Profile-guided layout can reorder procedures arbitrarily, so when it
-  // is live the bound is the whole pessimistic text instead; the layout
-  // pass skips itself under the same gate, keeping the two consistent.
-  const uint64_t Reach = ((1ull << 20) - 1) * 4;
-  bool LayoutLive = Opts.Level == OmLevel::Full && Opts.HotColdLayout &&
-                    !Opts.Profile.empty();
+  // One OM-created conversion that the fixpoint decides about. Compiler
+  // BSRs carry no literal (LitId == ~0u) and cannot revert; they become
+  // hard constraints on the procedure order instead.
+  struct Cand {
+    uint32_t Proc = 0;
+    uint32_t Inst = 0;
+    uint32_t Target = 0;
+    LitInfo *L = nullptr; // map node, pointer-stable
+    /// The conversion nullified the PV load, so reverting it resurrects
+    /// one instruction (at OM-full, where nullified code is deleted).
+    bool LoadWasNullified = false;
+    bool Admitted = false;
+  };
 
-  for (size_t ProcIdx = 0; ProcIdx < SP.Procs.size(); ++ProcIdx) {
-    SymProc &Proc = SP.Procs[ProcIdx];
-    for (SymInst &SI : Proc.Insts) {
-      // OM-created direct calls keep their literal id; compiler BSRs have
-      // none (and were range-valid in their own object by construction).
-      if (SI.Kind != SKind::DirectCall || SI.LitId == ~0u)
+  // Per-procedure census on the pool: live instruction counts, branch
+  // counts (for the insertion allowances, matching pessimisticProcEnds),
+  // candidate conversions and compiler-BSR constraints. Decisions below
+  // stay serial in procedure order, so -jN is byte-identical to -j1.
+  std::vector<uint64_t> LiveInsts(N, 0), Branches(N, 0);
+  std::vector<std::vector<Cand>> CandsOfProc(N);
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> BsrsOfProc(N);
+  std::vector<std::string> ErrOfProc(N);
+  Pool.parallelFor(N, [&](size_t P) {
+    SymProc &Proc = SP.Procs[P];
+    for (uint32_t Idx = 0; Idx < Proc.Insts.size(); ++Idx) {
+      const SymInst &SI = Proc.Insts[Idx];
+      if (SI.Kind == SKind::LocalBranch)
+        ++Branches[P];
+      if (!Full || !SI.Nullified)
+        ++LiveInsts[P];
+      if (SI.Kind != SKind::DirectCall)
         continue;
-      uint64_t Bound = LayoutLive
-                           ? MaxEnd.back()
-                           : std::max(MaxEnd[ProcIdx], MaxEnd[SI.TargetProc]);
-      if (Bound <= Reach)
+      if (SI.LitId == ~0u) {
+        // Compiler-emitted BSR: range-valid in its own object, but a
+        // reorder could stretch it; record the constraint.
+        if (SI.TargetProc != ~0u)
+          BsrsOfProc[P].emplace_back(static_cast<uint32_t>(P),
+                                     SI.TargetProc);
         continue;
-      auto It = SP.Lits.find(SI.LitId);
-      assert(It != SP.Lits.end() && "converted call without a literal");
-      if (It == SP.Lits.end())
-        continue;
-      LitInfo &L = It->second;
-      SymInst &Load = Proc.Insts[L.LoadIdx];
-      // Restore the original call shape: JSR through the PV register the
-      // (re-activated) GAT load provides. Re-entering the callee at its
-      // first instruction is correct even when prologue skipping was
-      // decided: the prologue is deleted only if every remaining direct
-      // call skips it, and this site is no longer a direct call.
-      SI.Kind = SKind::JsrViaGat;
-      SI.I = makeJump(Opcode::Jsr, RA, Load.I.Ra);
-      SI.TargetProc = ~0u;
-      SI.SkipPrologue = false;
-      // The load may have been nullified by the dataflow's equal-PV proof
-      // rather than by prologue skipping; the revert resurrects it either
-      // way (harmless when the proof held — the reload is a no-op), so the
-      // proof bookkeeping must follow or verifyDeletionProofs would check
-      // a deletion that no longer exists.
-      if (Load.AnalysisNullified && Load.Nullified) {
-        Load.AnalysisNullified = false;
-        --Stats.AnalysisPvLoadsDeleted;
       }
-      Load.Nullified = false;
-      --Stats.JsrConvertedToBsr;
-      ++Stats.BsrFallbackJsrs;
+      auto It = SP.Lits.find(SI.LitId);
+      if (It == SP.Lits.end()) {
+        // A converted call that lost its literal cannot revert, and
+        // admitting it unchecked could emit an out-of-range BSR. This is
+        // a link error in every build mode, not an assert-then-continue.
+        if (ErrOfProc[P].empty())
+          ErrOfProc[P] = formatString(
+              "%s: converted call at instruction %u has no literal %u to "
+              "revert through; refusing to emit an un-range-checked BSR",
+              Proc.Name.c_str(), Idx, SI.LitId);
+        continue;
+      }
+      Cand C;
+      C.Proc = static_cast<uint32_t>(P);
+      C.Inst = Idx;
+      C.Target = SI.TargetProc;
+      C.L = &It->second;
+      C.LoadWasNullified = Proc.Insts[It->second.LoadIdx].Nullified;
+      CandsOfProc[P].push_back(C);
+    }
+  });
+  for (const std::string &Msg : ErrOfProc)
+    if (!Msg.empty())
+      return Error::failure(Msg);
+  std::vector<Cand> Cands;
+  std::vector<std::pair<uint32_t, uint32_t>> CompilerBsrs;
+  for (size_t P = 0; P < N; ++P) {
+    Cands.insert(Cands.end(), CandsOfProc[P].begin(), CandsOfProc[P].end());
+    CompilerBsrs.insert(CompilerBsrs.end(), BsrsOfProc[P].begin(),
+                        BsrsOfProc[P].end());
+  }
+  if (Cands.empty() && (!LayoutLive || CompilerBsrs.empty()))
+    return Error::success();
+
+  // Worst-case per-procedure sizes in instruction slots: every candidate
+  // reverted (its nullified PV load resurrected), nothing else deleted
+  // beyond what is already nullified, and every possible insertion
+  // counted — the same allowance formula as pessimisticProcEnds. Real
+  // procedure sizes at assembly never exceed these, and admission only
+  // shrinks them, so spans computed from them are monotone upper bounds.
+  const bool Align = Full && Opts.AlignLoopTargets;
+  const bool ProcCounters = Full && Opts.InstrumentProcedureCounts;
+  const bool BlockCounters = Full && Opts.InstrumentBlockCounts;
+  auto buildWorst = [&](bool WithLayout) {
+    std::vector<uint64_t> W(N);
+    for (size_t P = 0; P < N; ++P) {
+      uint64_t Fixups = WithLayout ? 2 * Branches[P] + 2 : 0;
+      W[P] = LiveInsts[P] + (ProcCounters ? 1 : 0) +
+             (BlockCounters ? Branches[P] : 0) + Fixups +
+             (Align ? Branches[P] + Fixups : 0);
+    }
+    for (const Cand &C : Cands)
+      if (Full && C.LoadWasNullified)
+        ++W[C.Proc];
+    return W;
+  };
+  std::vector<uint64_t> BaseWorst = buildWorst(LayoutLive);
+
+  // The procedure order reach is decided against: what the profile layout
+  // will apply. Computing it here (before any emission-stage mutation)
+  // and handing the same permutation to runProfileLayout keeps the two
+  // consistent by construction.
+  if (LayoutLive)
+    ProcOrder = proposeProcOrder(SP, Opts);
+
+  std::vector<uint64_t> Worst(N), Base(N), End(N);
+  auto computeLayout = [&]() {
+    uint64_t Cur = 0;
+    auto Place = [&](uint32_t P) {
+      Cur = (Cur + 15) & ~15ull;
+      Base[P] = Cur;
+      Cur += Worst[P] * 4;
+      End[P] = Cur;
+    };
+    if (ProcOrder.empty())
+      for (uint32_t P = 0; P < N; ++P)
+        Place(P);
+    else
+      for (uint32_t P : ProcOrder)
+        Place(P);
+  };
+  // Both the call site and its target lie within their procedures'
+  // [Base, End) spans, so the displacement magnitude is bounded by the
+  // span of everything between the two procedures inclusive. Spans are
+  // sums of per-procedure 16-byte-aligned sizes, monotone in each size,
+  // so a bound that holds under the worst case holds in the final image.
+  auto fits = [&](uint32_t A, uint32_t B) {
+    uint64_t Hi = std::max(End[A], End[B]);
+    uint64_t Lo = std::min(Base[A], Base[B]);
+    return Hi - Lo <= BsrReachBytes;
+  };
+  auto runFixpoint = [&]() {
+    Worst = BaseWorst;
+    for (Cand &C : Cands)
+      C.Admitted = false;
+    bool Changed = true;
+    while (Changed) {
+      ++Stats.BsrRelaxRounds;
+      Changed = false;
+      computeLayout();
+      for (Cand &C : Cands) {
+        if (C.Admitted || !fits(C.Proc, C.Target))
+          continue;
+        C.Admitted = true;
+        if (Full && C.LoadWasNullified)
+          --Worst[C.Proc]; // the PV load stays deleted after all
+        Changed = true;
+      }
+    }
+    // The loop exits after a no-change round, whose layout at the top
+    // already reflects every admission; Base/End are the fixpoint state.
+  };
+  auto compilerBsrsFit = [&]() {
+    for (const auto &[A, B] : CompilerBsrs)
+      if (!fits(A, B))
+        return false;
+    return true;
+  };
+
+  runFixpoint();
+  if (LayoutLive && !compilerBsrsFit()) {
+    // An un-revertible compiler BSR cannot survive the proposed order:
+    // veto the reorder and re-run against the identity order.
+    if (!ProcOrder.empty()) {
+      ProcOrder.clear();
+      runFixpoint();
+    }
+    if (!compilerBsrsFit()) {
+      // Even identity order fails once layout may insert fixup branches;
+      // drop the layout pass entirely and relax without its allowances.
+      // (Without layout no code moves or grows, so the constraint
+      // reduces to the compiler's own object-local guarantee.)
+      LayoutAllowed = false;
+      BaseWorst = buildWorst(false);
+      runFixpoint();
     }
   }
-  Ctx.invalidate();
+
+  // Commit: admitted conversions survive as BSRs; the rest revert to
+  // their original JSR through the (re-activated) GAT load. This runs
+  // before the first data layout so reverted literals get GAT slots back.
+  uint64_t Retained = 0;
+  bool AnyRevert = false;
+  for (const Cand &C : Cands) {
+    if (C.Admitted) {
+      ++Retained;
+      continue;
+    }
+    SymProc &Proc = SP.Procs[C.Proc];
+    SymInst &SI = Proc.Insts[C.Inst];
+    LitInfo &L = *C.L;
+    SymInst &Load = Proc.Insts[L.LoadIdx];
+    // Restore the original call shape: JSR through the PV register the
+    // (re-activated) GAT load provides. Re-entering the callee at its
+    // first instruction is correct even when prologue skipping was
+    // decided: the prologue is deleted only if every remaining direct
+    // call skips it, and this site is no longer a direct call.
+    SI.Kind = SKind::JsrViaGat;
+    SI.I = makeJump(Opcode::Jsr, RA, Load.I.Ra);
+    SI.TargetProc = ~0u;
+    SI.SkipPrologue = false;
+    // The load may have been nullified by the dataflow's equal-PV proof
+    // rather than by prologue skipping; the revert resurrects it either
+    // way (harmless when the proof held — the reload is a no-op), so the
+    // proof bookkeeping must follow or verifyDeletionProofs would check
+    // a deletion that no longer exists.
+    if (Load.AnalysisNullified && Load.Nullified) {
+      Load.AnalysisNullified = false;
+      checkedDecrement(Stats.AnalysisPvLoadsDeleted);
+    }
+    Load.Nullified = false;
+    checkedDecrement(Stats.JsrConvertedToBsr);
+    ++Stats.BsrFallbackJsrs;
+    AnyRevert = true;
+  }
+  Stats.BsrRetainedByRelax += Retained;
+  if (AnyRevert)
+    Ctx.invalidate();
+  return Error::success();
 }
 
 //===----------------------------------------------------------------------===//
@@ -981,7 +1161,8 @@ Result<Image> Emitter::run() {
   // Converted calls that could overrun the 21-bit BSR reach revert to
   // their JSR before the first layout, so their literals keep GAT slots.
   if (DoOpt)
-    relaxDirectCalls();
+    if (Error E = relaxDirectCalls())
+      return Result<Image>::failure(E.message());
   // Literal ownership is final after the relaxation; the decision and
   // rewrite loops below fan out over this per-procedure partition.
   partitionLiterals();
@@ -1061,12 +1242,14 @@ Result<Image> Emitter::run() {
       if (Error E = checkStage("instrument"))
         return Result<Image>::failure(E.message());
     }
-    if (Opts.HotColdLayout) {
+    if (Opts.HotColdLayout && LayoutAllowed) {
       // Last of the code-motion stages: every other transform is done, so
-      // the block structure the profile keyed against is final.
+      // the block structure the profile keyed against is final. The
+      // procedure order applied here is the one relaxDirectCalls already
+      // validated every BSR against.
       MotionStart = std::chrono::steady_clock::now();
       std::string LayoutErr;
-      bool Ok = runProfileLayout(SP, Opts, Stats, Pool, LayoutErr);
+      bool Ok = runProfileLayout(SP, Opts, Stats, Pool, LayoutErr, ProcOrder);
       Ctx.invalidate();
       motionSeconds();
       if (!Ok)

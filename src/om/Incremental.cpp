@@ -6,6 +6,7 @@
 
 #include "om/Incremental.h"
 
+#include "support/ByteStream.h"
 #include "support/ContentHash.h"
 #include "support/Format.h"
 #include "support/ThreadPool.h"
@@ -14,6 +15,40 @@
 
 using namespace om64;
 using namespace om64::om;
+
+uint64_t om64::om::linkConfigKey(const OmOptions &Opts) {
+  // Serialize every output-affecting field, in declaration order, through
+  // the same ByteWriter the object formats use. Adding an OmOptions field
+  // without extending this list is the bug this function exists to make
+  // loud: keep the count assert below in sync.
+  ByteWriter W;
+  W.writeU8(static_cast<uint8_t>(Opts.Level));
+  W.writeU8(Opts.Reschedule ? 1 : 0);
+  W.writeU8(Opts.AlignLoopTargets ? 1 : 0);
+  W.writeU8(Opts.SortDataBySize ? 1 : 0);
+  W.writeU32(Opts.MaxGatEntriesPerGroup);
+  W.writeString(Opts.EntryName);
+  W.writeU8(Opts.InstrumentProcedureCounts ? 1 : 0);
+  W.writeU8(Opts.InstrumentBlockCounts ? 1 : 0);
+  W.writeU8(Opts.Analysis ? 1 : 0);
+  W.writeU8(Opts.Verify ? 1 : 0);
+  W.writeU8(Opts.VerifyEachStage ? 1 : 0);
+  // Jobs and SerialFallbackInsts never change the image (byte-identity
+  // across -jN is a pipeline invariant), but they do change the observable
+  // stats a cached answer would report; include them so a warm state is
+  // only shared between genuinely identical configurations.
+  W.writeU32(Opts.Jobs);
+  W.writeU64(Opts.SerialFallbackInsts);
+  // Relaxation/layout inputs: the hot-cold switch and the complete profile
+  // bytes. Two profiles with different heat reorder procedures
+  // differently, which changes which BSRs the relaxation admits.
+  W.writeU8(Opts.HotColdLayout ? 1 : 0);
+  std::vector<uint8_t> Prof = Opts.Profile.serialize();
+  W.writeU64(Prof.size());
+  for (uint8_t B : Prof)
+    W.writeU8(B);
+  return hashBytes(W.bytes());
+}
 
 IncrementalLinker::IncrementalLinker(const OmOptions &OptsIn) {
   Result<OmOptions> Canon = canonicalizeOptions(OptsIn);

@@ -37,6 +37,16 @@
 namespace om64 {
 namespace om {
 
+/// Content hash over *every* OmOptions field that can change the output
+/// image, including the fields the daemon wire format does not carry
+/// (HotColdLayout, the instrumentation switches, and the full profile
+/// bytes — all inputs to the BSR relaxation fixpoint and the layout pass).
+/// Anything keyed by "same options" — the daemon's per-(output, options)
+/// linker map, a future on-disk artifact cache — must use this, not the
+/// wire encoding, or two links differing only in relaxation inputs would
+/// collide on one warm state.
+uint64_t linkConfigKey(const OmOptions &Opts);
+
 /// Observability for one relink: what was reused, what was redone.
 struct RelinkStats {
   /// False for the first link through this linker (everything cold).

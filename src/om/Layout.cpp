@@ -419,7 +419,7 @@ om64::om::pessimisticProcEnds(const SymbolicProgram &SP,
   bool Align = Full && Opts.AlignLoopTargets;
   bool ProcCounters = Full && Opts.InstrumentProcedureCounts;
   bool BlockCounters = Full && Opts.InstrumentBlockCounts;
-  bool Layout = Full && Opts.HotColdLayout && !Opts.Profile.empty();
+  bool Layout = profileLayoutLive(Opts);
 
   std::vector<uint64_t> MaxEnd(SP.Procs.size());
   uint64_t Cur = 0;
@@ -442,21 +442,171 @@ om64::om::pessimisticProcEnds(const SymbolicProgram &SP,
   return MaxEnd;
 }
 
+std::vector<uint32_t>
+om64::om::proposeProcOrder(const SymbolicProgram &SP, const OmOptions &Opts) {
+  if (!profileLayoutLive(Opts) || SP.Procs.empty())
+    return {};
+  const prof::Profile &Prof = Opts.Profile;
+  const uint32_t N = static_cast<uint32_t>(SP.Procs.size());
+
+  // Resolve profile procedures by name, first match winning — the same
+  // resolution the block-level layout performs, so the order proposed
+  // here is exactly the one runProfileLayout will apply.
+  std::map<std::string, uint32_t> SymIdxOfName;
+  for (uint32_t Idx = 0; Idx < N; ++Idx)
+    SymIdxOfName.emplace(SP.Procs[Idx].Name, Idx);
+  std::vector<int64_t> SymOfProf(Prof.Procs.size(), -1);
+  std::vector<int64_t> ProfOfSym(N, -1);
+  for (uint32_t P = 0; P < Prof.Procs.size(); ++P) {
+    auto It = SymIdxOfName.find(Prof.Procs[P].Name);
+    if (It != SymIdxOfName.end() && ProfOfSym[It->second] < 0) {
+      SymOfProf[P] = It->second;
+      ProfOfSym[It->second] = P;
+    }
+  }
+
+  std::vector<uint64_t> Heat(N, 0);
+  for (uint32_t Idx = 0; Idx < N; ++Idx)
+    if (ProfOfSym[Idx] >= 0)
+      Heat[Idx] = Prof.Procs[ProfOfSym[Idx]].InstsExecuted;
+
+  // Compiler-emitted BSRs cannot fall back to a JSR, so on images large
+  // enough that a reorder could stretch one past BSR reach, the
+  // procedures they connect are clustered (union-find, min-index root)
+  // and each cluster moves as one contiguous unit: an un-revertible call
+  // then spans at most its cluster, not the text. Below that size any
+  // order is safe and the clustering is skipped, keeping small-workload
+  // orders byte-identical to the pre-clustering layout.
+  std::vector<uint32_t> Parent(N);
+  for (uint32_t I = 0; I < N; ++I)
+    Parent[I] = I;
+  auto Find = [&Parent](uint32_t X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  };
+  if (pessimisticProcEnds(SP, Opts).back() > BsrReachBytes)
+    for (uint32_t P = 0; P < N; ++P)
+      for (const SymInst &SI : SP.Procs[P].Insts) {
+        if (SI.Kind != SKind::DirectCall || SI.LitId != ~0u ||
+            SI.TargetProc == ~0u || SI.TargetProc == P)
+          continue;
+        uint32_t RA = Find(P), RB = Find(SI.TargetProc);
+        if (RA == RB)
+          continue;
+        if (RA < RB)
+          Parent[RB] = RA;
+        else
+          Parent[RA] = RB;
+      }
+  std::vector<std::vector<uint32_t>> Members(N);
+  std::vector<uint64_t> NodeHeat(N, 0);
+  for (uint32_t P = 0; P < N; ++P) {
+    uint32_t R = Find(P);
+    Members[R].push_back(P);
+    NodeHeat[R] += Heat[P];
+  }
+
+  // Chain the dynamic call graph's hottest edges over cluster nodes (with
+  // no clustering every node is a singleton and this is the legacy
+  // procedure order), order chains by heat, and sink never-executed
+  // nodes to the end in original order.
+  std::map<std::pair<uint32_t, uint32_t>, uint64_t> EdgeW;
+  for (const prof::CallEdge &E : Prof.Edges) {
+    if (SymOfProf[E.Caller] < 0 || SymOfProf[E.Callee] < 0)
+      continue;
+    uint32_t A = Find(static_cast<uint32_t>(SymOfProf[E.Caller]));
+    uint32_t B = Find(static_cast<uint32_t>(SymOfProf[E.Callee]));
+    if (A != B)
+      EdgeW[{A, B}] += E.Count;
+  }
+  struct PEdge {
+    uint64_t W;
+    uint32_t A, B;
+  };
+  std::vector<PEdge> PEdges;
+  for (const auto &[Key, W] : EdgeW)
+    PEdges.push_back({W, Key.first, Key.second});
+  std::stable_sort(PEdges.begin(), PEdges.end(),
+                   [](const PEdge &X, const PEdge &Y) {
+                     if (X.W != Y.W)
+                       return X.W > Y.W;
+                     if (X.A != Y.A)
+                       return X.A < Y.A;
+                     return X.B < Y.B;
+                   });
+
+  std::vector<uint32_t> ChainOf(N, ~0u);
+  std::vector<std::vector<uint32_t>> Chains;
+  for (uint32_t Idx = 0; Idx < N; ++Idx)
+    if (!Members[Idx].empty() && NodeHeat[Idx] > 0) {
+      ChainOf[Idx] = static_cast<uint32_t>(Chains.size());
+      Chains.push_back({Idx});
+    }
+  for (const PEdge &E : PEdges) {
+    if (ChainOf[E.A] == ~0u || ChainOf[E.B] == ~0u)
+      continue;
+    uint32_t CA = ChainOf[E.A], CB = ChainOf[E.B];
+    if (CA == CB)
+      continue;
+    for (uint32_t P : Chains[CB]) {
+      ChainOf[P] = CA;
+      Chains[CA].push_back(P);
+    }
+    Chains[CB].clear();
+  }
+  std::vector<uint32_t> ChainIds;
+  for (uint32_t C = 0; C < Chains.size(); ++C)
+    if (!Chains[C].empty())
+      ChainIds.push_back(C);
+  std::stable_sort(ChainIds.begin(), ChainIds.end(),
+                   [&](uint32_t X, uint32_t Y) {
+                     uint64_t HX = 0, HY = 0;
+                     for (uint32_t P : Chains[X])
+                       HX += NodeHeat[P];
+                     for (uint32_t P : Chains[Y])
+                       HY += NodeHeat[P];
+                     if (HX != HY)
+                       return HX > HY;
+                     return Chains[X].front() < Chains[Y].front();
+                   });
+  std::vector<uint32_t> NewOrder;
+  NewOrder.reserve(N);
+  for (uint32_t C : ChainIds)
+    for (uint32_t Node : Chains[C])
+      for (uint32_t P : Members[Node])
+        NewOrder.push_back(P);
+  for (uint32_t Idx = 0; Idx < N; ++Idx)
+    if (!Members[Idx].empty() && NodeHeat[Idx] == 0)
+      for (uint32_t P : Members[Idx])
+        NewOrder.push_back(P);
+  if (NewOrder.size() != N)
+    return {}; // defensive: identity is always safe
+
+  bool Identity = true;
+  for (uint32_t Pos = 0; Pos < N; ++Pos)
+    if (NewOrder[Pos] != Pos)
+      Identity = false;
+  if (Identity)
+    return {};
+  return NewOrder;
+}
+
 bool om64::om::runProfileLayout(SymbolicProgram &SP, const OmOptions &Opts,
                                 OmStats &Stats, ThreadPool &Pool,
-                                std::string &Err) {
+                                std::string &Err,
+                                const std::vector<uint32_t> &ProcOrder) {
   const prof::Profile &Prof = Opts.Profile;
   if (Prof.empty() || SP.Procs.empty())
     return true;
 
-  // Compiler-emitted BSRs cannot fall back to a JSR, and a reorder can
-  // stretch any call across the whole text. Lay out only when even the
-  // pessimistic total text keeps every possible displacement in BSR reach
-  // (relaxDirectCalls applied the same whole-text bound to OM-created
-  // calls, so those that survive are safe under any procedure order).
-  const uint64_t Reach = ((1ull << 20) - 1) * 4;
-  if (pessimisticProcEnds(SP, Opts).back() > Reach)
-    return true;
+  // No whole-text reach gate here any more: the BSR relaxation fixpoint
+  // already decided every OM-created call's reach against exactly the
+  // procedure order this pass applies (and vetoed the order if an
+  // un-revertible compiler BSR could not survive it), so mega-scale
+  // images keep both hot-cold layout and every BSR that actually fits.
 
   // Resolve profile procedures against the symbolic program by name.
   std::map<std::string, uint32_t> SymIdxOfName;
@@ -505,90 +655,15 @@ bool om64::om::runProfileLayout(SymbolicProgram &SP, const OmOptions &Opts,
     Stats.LayoutFixupBranches += R.Fixups;
   }
 
-  // Procedure order: chain the dynamic call graph's hottest edges, order
-  // chains by heat, and sink never-executed procedures to the end.
-  std::vector<uint64_t> Heat(SP.Procs.size(), 0);
-  for (uint32_t Idx = 0; Idx < SP.Procs.size(); ++Idx)
-    if (ProfOfSym[Idx] >= 0)
-      Heat[Idx] = Prof.Procs[ProfOfSym[Idx]].InstsExecuted;
-
-  std::map<std::pair<uint32_t, uint32_t>, uint64_t> EdgeW;
-  for (const prof::CallEdge &E : Prof.Edges) {
-    if (SymOfProf[E.Caller] < 0 || SymOfProf[E.Callee] < 0)
-      continue;
-    uint32_t A = static_cast<uint32_t>(SymOfProf[E.Caller]);
-    uint32_t B = static_cast<uint32_t>(SymOfProf[E.Callee]);
-    if (A != B)
-      EdgeW[{A, B}] += E.Count;
-  }
-  struct PEdge {
-    uint64_t W;
-    uint32_t A, B;
-  };
-  std::vector<PEdge> PEdges;
-  for (const auto &[Key, W] : EdgeW)
-    PEdges.push_back({W, Key.first, Key.second});
-  std::stable_sort(PEdges.begin(), PEdges.end(),
-                   [](const PEdge &X, const PEdge &Y) {
-                     if (X.W != Y.W)
-                       return X.W > Y.W;
-                     if (X.A != Y.A)
-                       return X.A < Y.A;
-                     return X.B < Y.B;
-                   });
-
-  std::vector<uint32_t> ChainOf(SP.Procs.size(), ~0u);
-  std::vector<std::vector<uint32_t>> Chains;
-  for (uint32_t Idx = 0; Idx < SP.Procs.size(); ++Idx)
-    if (Heat[Idx] > 0) {
-      ChainOf[Idx] = static_cast<uint32_t>(Chains.size());
-      Chains.push_back({Idx});
-    }
-  for (const PEdge &E : PEdges) {
-    if (ChainOf[E.A] == ~0u || ChainOf[E.B] == ~0u)
-      continue;
-    uint32_t CA = ChainOf[E.A], CB = ChainOf[E.B];
-    if (CA == CB)
-      continue;
-    for (uint32_t P : Chains[CB]) {
-      ChainOf[P] = CA;
-      Chains[CA].push_back(P);
-    }
-    Chains[CB].clear();
-  }
-  std::vector<uint32_t> ChainIds;
-  for (uint32_t C = 0; C < Chains.size(); ++C)
-    if (!Chains[C].empty())
-      ChainIds.push_back(C);
-  std::stable_sort(ChainIds.begin(), ChainIds.end(),
-                   [&](uint32_t X, uint32_t Y) {
-                     uint64_t HX = 0, HY = 0;
-                     for (uint32_t P : Chains[X])
-                       HX += Heat[P];
-                     for (uint32_t P : Chains[Y])
-                       HY += Heat[P];
-                     if (HX != HY)
-                       return HX > HY;
-                     return Chains[X].front() < Chains[Y].front();
-                   });
-  std::vector<uint32_t> NewOrder;
-  NewOrder.reserve(SP.Procs.size());
-  for (uint32_t C : ChainIds)
-    for (uint32_t P : Chains[C])
-      NewOrder.push_back(P);
-  for (uint32_t Idx = 0; Idx < SP.Procs.size(); ++Idx)
-    if (Heat[Idx] == 0)
-      NewOrder.push_back(Idx);
-  if (NewOrder.size() != SP.Procs.size()) {
-    Err = "profile layout: procedure reorder dropped a procedure";
+  // Procedure order: apply the permutation the relaxation fixpoint
+  // already validated (proposeProcOrder); empty means identity.
+  if (ProcOrder.empty())
+    return true;
+  if (ProcOrder.size() != SP.Procs.size()) {
+    Err = "profile layout: procedure order size mismatch";
     return false;
   }
-  bool Identity = true;
-  for (uint32_t Pos = 0; Pos < NewOrder.size(); ++Pos)
-    if (NewOrder[Pos] != Pos)
-      Identity = false;
-  if (Identity)
-    return true;
+  const std::vector<uint32_t> &NewOrder = ProcOrder;
 
   std::vector<uint32_t> NewIdxOfOld(SP.Procs.size());
   for (uint32_t Pos = 0; Pos < NewOrder.size(); ++Pos)

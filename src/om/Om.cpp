@@ -122,9 +122,21 @@ Result<OmResult> om64::om::runPipeline(const std::vector<obj::ObjectFile> &Objs,
 
   Result<obj::Image> Img =
       layoutAndEmit(*SP, Opts, Out.Stats, Out.ProfiledProcedures, Ctx);
-  Out.Stats.Seconds.Total = secondsSince(TotalStart);
-  if (!Img)
+  if (!Img) {
+    Out.Stats.Seconds.Total = secondsSince(TotalStart);
     return Result<OmResult>::failure(Img.message());
+  }
+  if (Opts.Verify) {
+    // Close the relaxation loop: every BSR that survived the worst-case-
+    // then-shrink fixpoint is re-checked against the addresses actually
+    // assembled, not the upper-bound layout the admission reasoned about.
+    auto VerifyStart = std::chrono::steady_clock::now();
+    Error E = verifyBsrRanges(*Img);
+    Out.Stats.Seconds.Verify += secondsSince(VerifyStart);
+    if (E)
+      return Result<OmResult>::failure(E.message());
+  }
+  Out.Stats.Seconds.Total = secondsSince(TotalStart);
   Out.Image = Img.take();
   return Out;
 }

@@ -144,9 +144,18 @@ struct OmStats {
   uint64_t JsrConvertedToBsr = 0;
   /// Converted calls reverted to their original JSR because the BSR's
   /// 21-bit word displacement cannot be guaranteed to fit in the final
-  /// layout (the conservative linear-time relaxation of Emit.cpp). These
+  /// layout (the worst-case-then-shrink relaxation of Emit.cpp). These
   /// sites are not counted in JsrConvertedToBsr.
   uint64_t BsrFallbackJsrs = 0;
+  /// Layout rounds the relaxation fixpoint ran before no call changed
+  /// state (Dickson-style worst-case-then-shrink; sizes only shrink, so
+  /// the round count is bounded and small in practice).
+  uint64_t BsrRelaxRounds = 0;
+  /// Conversions the fixpoint re-admitted from the worst-case layout —
+  /// i.e. calls that survive as BSRs because their displacement provably
+  /// fits the final (possibly profile-reordered) procedure order. Always
+  /// equals the surviving JsrConvertedToBsr count.
+  uint64_t BsrRetainedByRelax = 0;
 
   // Figure 5: instruction counts.
   uint64_t InstructionsTotal = 0;     // before optimization

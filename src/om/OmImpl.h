@@ -192,15 +192,19 @@ Result<obj::Image> layoutAndEmit(SymbolicProgram &SP, const OmOptions &Opts,
 /// each procedure's basic blocks by branch heat, splits never-executed
 /// blocks into a cold tail (marking them SymInst::Cold), inserts fixup
 /// branches where a moved block's fall-through no longer follows it, and
-/// reorders SP.Procs by dynamic call-edge heat (remapping TargetProc and
-/// PSym::ProcIdx). Runs per procedure on \p Pool; the procedure-order
-/// decision and the remap are serial, so the result is identical for any
-/// pool size. Procedures the profile does not cover, covers with a
-/// mismatched branch count, or that contain computed jumps / split GP
-/// pairs are left untouched. Returns false (with \p Err set) only on an
-/// internal invariant failure.
+/// applies \p ProcOrder to SP.Procs (remapping TargetProc and
+/// PSym::ProcIdx; an empty order means identity). The order must come
+/// from proposeProcOrder over the same program — the BSR relaxation
+/// already decided every call's reach against it, which is why this pass
+/// no longer carries a whole-text reach gate. Runs per procedure on
+/// \p Pool; the remap is serial, so the result is identical for any pool
+/// size. Procedures the profile does not cover, covers with a mismatched
+/// branch count, or that contain computed jumps / split GP pairs are left
+/// untouched. Returns false (with \p Err set) only on an internal
+/// invariant failure.
 bool runProfileLayout(SymbolicProgram &SP, const OmOptions &Opts,
-                      OmStats &Stats, ThreadPool &Pool, std::string &Err);
+                      OmStats &Stats, ThreadPool &Pool, std::string &Err,
+                      const std::vector<uint32_t> &ProcOrder);
 
 /// Resolves option implications into the exact configuration the pipeline
 /// runs: OmLevel::None clears the layout-changing knobs, block-count
@@ -230,9 +234,54 @@ Result<OmResult> runPipeline(const std::vector<obj::ObjectFile> &Objs,
 /// text under \p Opts: nothing deleted, every possible insertion
 /// (instrumentation counters, alignment nops, layout fixup branches)
 /// counted, full start alignment paid. Shared by the BSR relaxation and
-/// the layout pass's reach gate so the two stay consistent.
+/// the layout order proposal so the two stay consistent.
 std::vector<uint64_t> pessimisticProcEnds(const SymbolicProgram &SP,
                                           const OmOptions &Opts);
+
+/// A BSR reaches +/-(2^20 - 1) words from the instruction after it. The
+/// single definition shared by the relaxation fixpoint, the layout order
+/// proposal, and the post-assembly range audit — these reasoned about
+/// reach with two hand-copied constants before, with a comment pleading
+/// that they stay consistent.
+constexpr uint64_t BsrReachBytes = ((1ull << 20) - 1) * 4;
+
+/// True when the profile-guided layout pass will actually move code for
+/// \p Opts: OM-full, --layout=hot-cold, and a non-empty profile. The BSR
+/// relaxation and the layout pass share this single gate so the
+/// relaxation's insertion allowances always match what layout may insert.
+inline bool profileLayoutLive(const OmOptions &Opts) {
+  return Opts.Level == OmLevel::Full && Opts.HotColdLayout &&
+         !Opts.Profile.empty();
+}
+
+/// Saturating decrement for OmStats counters. The revert path subtracts
+/// from counters another phase incremented; if a future reordering ever
+/// runs the revert before the increment, a raw `--` would wrap to ~1e19
+/// and poison every stats consumer. Clamping at zero keeps the counter
+/// merely wrong-by-one instead of absurd. Returns false when the counter
+/// was already zero (callers may want to assert or log).
+inline bool checkedDecrement(uint64_t &Counter) {
+  if (Counter == 0)
+    return false;
+  --Counter;
+  return true;
+}
+
+/// Computes the procedure order the profile-guided layout pass intends to
+/// apply (runProfileLayout later applies exactly this permutation): chain
+/// the dynamic call graph's hottest edges, order chains by heat, sink
+/// never-executed procedures to the end. Returns an empty vector for the
+/// identity order (profile layout not live, empty/unmatched profile, or a
+/// heat order equal to the input order).
+///
+/// On images whose pessimistic text exceeds BsrReachBytes, procedures
+/// connected by compiler-emitted BSRs (which cannot fall back to a JSR)
+/// are first clustered and each cluster kept contiguous in the order, so
+/// reordering cannot stretch an un-revertible call across the text. Below
+/// that size the clustering is skipped and the order is exactly the
+/// legacy heat order (keeping small-workload layouts byte-identical).
+std::vector<uint32_t> proposeProcOrder(const SymbolicProgram &SP,
+                                       const OmOptions &Opts);
 
 } // namespace om
 } // namespace om64

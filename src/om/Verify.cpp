@@ -444,6 +444,66 @@ Error om64::om::verifyDeletionProofs(const SymbolicProgram &SP,
 }
 
 //===----------------------------------------------------------------------===//
+// Post-assembly BSR range audit.
+//===----------------------------------------------------------------------===//
+
+Error om64::om::verifyBsrRanges(const Image &Img) {
+  // Procedure spans sorted by entry for the landing check. The table is
+  // emitted in layout order, which is address order, but sort defensively:
+  // this is the auditor, so it must not inherit the assumptions it audits.
+  std::vector<const ImageProc *> ByEntry;
+  ByEntry.reserve(Img.Procs.size());
+  for (const ImageProc &P : Img.Procs)
+    ByEntry.push_back(&P);
+  std::sort(ByEntry.begin(), ByEntry.end(),
+            [](const ImageProc *A, const ImageProc *B) {
+              return A->Entry < B->Entry;
+            });
+  auto ProcAt = [&](uint64_t Addr) -> const ImageProc * {
+    auto It = std::upper_bound(ByEntry.begin(), ByEntry.end(), Addr,
+                               [](uint64_t A, const ImageProc *P) {
+                                 return A < P->Entry;
+                               });
+    if (It == ByEntry.begin())
+      return nullptr;
+    const ImageProc *P = *std::prev(It);
+    return Addr < P->Entry + P->Size ? P : nullptr;
+  };
+
+  const uint64_t TextEnd = Img.TextBase + Img.Text.size();
+  std::vector<uint32_t> Words = Img.textWords();
+  for (size_t Idx = 0; Idx < Words.size(); ++Idx) {
+    std::optional<isa::Inst> I = isa::decode(Words[Idx]);
+    if (!I || I->Op != isa::Opcode::Bsr)
+      continue;
+    uint64_t Site = Img.TextBase + Idx * 4;
+    // The encoded field is 21 bits, so the displacement trivially "fits";
+    // the audit is that the target the hardware would compute from it
+    // lands at a real instruction of a real procedure.
+    uint64_t Target = Site + 4 + static_cast<int64_t>(I->Disp) * 4;
+    const ImageProc *SiteProc = ProcAt(Site);
+    std::string Where =
+        (SiteProc ? SiteProc->Name : std::string("<no procedure>")) +
+        formatString("+0x%llx (text offset 0x%llx)",
+                     (unsigned long long)(SiteProc ? Site - SiteProc->Entry
+                                                   : 0),
+                     (unsigned long long)(Idx * 4));
+    if (Target < Img.TextBase || Target >= TextEnd)
+      return Error::failure(
+          "BSR range audit: bsr at " + Where +
+          formatString(" targets 0x%llx, outside the text segment",
+                       (unsigned long long)Target));
+    if (!ProcAt(Target))
+      return Error::failure(
+          "BSR range audit: bsr at " + Where +
+          formatString(" targets 0x%llx, inside text but not inside any "
+                       "procedure's span",
+                       (unsigned long long)Target));
+  }
+  return Error::success();
+}
+
+//===----------------------------------------------------------------------===//
 // Canonical memory hash.
 //===----------------------------------------------------------------------===//
 

@@ -88,6 +88,16 @@ Error verifyStage(const SymbolicProgram &SP, const std::string &Stage,
 /// call-transform stage when OmOptions::Analysis is on.
 Error verifyDeletionProofs(const SymbolicProgram &SP, ThreadPool &Pool);
 
+/// Post-assembly range audit for the worst-case-then-shrink BSR relaxation
+/// (Emit.cpp): decodes every text word of the *final* image and, for each
+/// surviving BSR, re-derives the target address from the encoded 21-bit
+/// word displacement and demands it land inside some procedure's
+/// [Entry, Entry + Size) span. The relaxation admits conversions against a
+/// monotone upper-bound layout; this check closes the loop against the
+/// addresses actually assembled, so a bound bug cannot ship a branch into
+/// the void. Runs under OmOptions::Verify after assembly.
+Error verifyBsrRanges(const obj::Image &Img);
+
 /// One linked-and-executed configuration of a differential run.
 struct DifferentialLeg {
   OmLevel Level = OmLevel::None;

@@ -6,6 +6,7 @@
 
 #include "service/Protocol.h"
 
+#include "om/Incremental.h"
 #include "support/ByteStream.h"
 #include "support/ContentHash.h"
 #include "support/Format.h"
@@ -193,9 +194,12 @@ om64::service::decodeResponse(const std::vector<uint8_t> &Payload) {
 }
 
 uint64_t om64::service::optionsKey(const om::OmOptions &Opts) {
-  ByteWriter W;
-  writeOptions(W, Opts);
-  return hashBytes(W.bytes());
+  // The wire encoding (writeOptions) deliberately carries only what the
+  // daemon protocol transports; keying warm linker state off it would
+  // collide configurations that differ in fields it omits (hot-cold
+  // layout, instrumentation, the profile — all BSR-relaxation inputs).
+  // Delegate to the pipeline's own exhaustive key.
+  return om::linkConfigKey(Opts);
 }
 
 Error om64::service::writeFrame(int Fd, MsgType Type,

@@ -1,0 +1,323 @@
+//===- tests/bsr_relax_slow_test.cpp - BSR relaxation at scale (slow) -----===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The silent-forfeit regression suite for the worst-case-then-shrink BSR
+/// relaxation:
+///
+///   * Boundary pinning: a caller/callee pair pushed to the exact edge of
+///     the 21-bit reach must flip from retained to reverted at one
+///     additional pad word — the fixpoint's bound is sharp, at -j1 and
+///     -j4 alike.
+///   * Mega scale: the ~1.05M-instruction megagen image plus a collected
+///     profile must produce a layout-reordered, BSR-retaining link. On the
+///     pre-fixpoint code this fails twice over: the one-shot pessimistic
+///     pass reverted 100% of conversions, and runProfileLayout bailed on
+///     the whole-text gate, so the image got neither optimization.
+///   * Warm relinks through IncrementalLinker stay byte-identical to cold
+///     links with the same profile (the linker's warm state is keyed by
+///     linkConfigKey, which covers the relaxation inputs).
+///
+//===----------------------------------------------------------------------===//
+
+#include "megagen/MegaGen.h"
+#include "om/Incremental.h"
+#include "om/Om.h"
+#include "om/Verify.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace om64;
+using namespace om64::isa;
+using namespace om64::megagen;
+using namespace om64::obj;
+using namespace om64::om;
+
+namespace {
+
+OmResult runOm(const std::vector<ObjectFile> &Objs, const OmOptions &Opts) {
+  Result<OmResult> R = om::optimize(Objs, Opts);
+  EXPECT_TRUE(bool(R)) << (R ? "" : R.message());
+  return R ? R.take() : OmResult{};
+}
+
+int64_t runExitCode(const Image &Img) {
+  Result<sim::SimResult> R = sim::run(Img);
+  EXPECT_TRUE(bool(R)) << (R ? "" : R.message());
+  return R ? R->ExitCode : -1;
+}
+
+//===----------------------------------------------------------------------===//
+// Boundary pinning: the admission bound is sharp.
+//===----------------------------------------------------------------------===//
+
+// The same three-module shape as om_parallel_test's far-call suite: a.main
+// calls c.far through the GAT with a pad module in between.
+
+ObjectFile makeCallerObject() {
+  ObjectFile O;
+  O.ModuleName = "a";
+  auto addWord = [&O](const Inst &I) {
+    uint32_t W = encode(I);
+    for (unsigned B = 0; B < 4; ++B)
+      O.Text.push_back(static_cast<uint8_t>(W >> (8 * B)));
+  };
+  addWord(makeMem(Opcode::Ldah, GP, 0, PV));  //  0: prologue GpHigh
+  addWord(makeMem(Opcode::Lda, GP, 0, GP));   //  4: prologue GpLow
+  addWord(makeMem(Opcode::Lda, SP, -16, SP)); //  8
+  addWord(makeMem(Opcode::Stq, RA, 0, SP));   // 12
+  addWord(makeMem(Opcode::Ldq, PV, 0, GP));   // 16: lit0 load, &c.far
+  addWord(makeJump(Opcode::Jsr, RA, PV));     // 20: LituseJsr lit0
+  addWord(makeMem(Opcode::Ldah, GP, 0, RA));  // 24: post-call GpHigh
+  addWord(makeMem(Opcode::Lda, GP, 0, GP));   // 28: post-call GpLow
+  addWord(makeMem(Opcode::Ldq, RA, 0, SP));   // 32
+  addWord(makeMem(Opcode::Lda, SP, 16, SP));  // 36
+  addWord(makeJump(Opcode::Ret, Zero, RA));   // 40
+
+  Symbol Main;
+  Main.Name = "a.main";
+  Main.Section = SectionKind::Text;
+  Main.Size = 44;
+  Main.IsProcedure = Main.IsExported = Main.IsDefined = true;
+  Symbol Far;
+  Far.Name = "c.far";
+  Far.Section = SectionKind::Text;
+  Far.IsProcedure = true; // external reference
+  O.Symbols = {Main, Far};
+  O.Gat = {{1, 0}};
+
+  auto lit = [](uint64_t Off, uint32_t GatIndex, uint32_t LitId) {
+    Reloc R;
+    R.Kind = RelocKind::Literal;
+    R.Offset = Off;
+    R.GatIndex = GatIndex;
+    R.LiteralId = LitId;
+    return R;
+  };
+  auto use = [](RelocKind K, uint64_t Off, uint32_t LitId) {
+    Reloc R;
+    R.Kind = K;
+    R.Offset = Off;
+    R.LiteralId = LitId;
+    return R;
+  };
+  auto gpdisp = [](uint64_t Off, uint64_t Anchor, GpDispKind K) {
+    Reloc R;
+    R.Kind = RelocKind::GpDisp;
+    R.Offset = Off;
+    R.AnchorOffset = Anchor;
+    R.PairOffset = 4;
+    R.GpKind = static_cast<uint8_t>(K);
+    return R;
+  };
+  O.Relocs = {gpdisp(0, 0, GpDispKind::Prologue),
+              lit(16, 0, 0),
+              use(RelocKind::LituseJsr, 20, 0),
+              gpdisp(24, 24, GpDispKind::PostCall)};
+
+  ProcDesc MainDesc;
+  MainDesc.TextSize = 44;
+  O.Procs = {MainDesc};
+  return O;
+}
+
+ObjectFile makePadObject(size_t NopCount) {
+  ObjectFile O;
+  O.ModuleName = "pad";
+  uint32_t NopW = encode(makeOp(Opcode::Addq, T0, T0, T0));
+  uint32_t RetW = encode(makeJump(Opcode::Ret, Zero, RA));
+  O.Text.reserve((NopCount + 1) * 4);
+  for (size_t I = 0; I < NopCount; ++I) {
+    uint32_t W = (I % 64 == 63) ? RetW : NopW;
+    for (unsigned B = 0; B < 4; ++B)
+      O.Text.push_back(static_cast<uint8_t>(W >> (8 * B)));
+  }
+  for (unsigned B = 0; B < 4; ++B)
+    O.Text.push_back(static_cast<uint8_t>(RetW >> (8 * B)));
+
+  Symbol Filler;
+  Filler.Name = "pad.filler";
+  Filler.Section = SectionKind::Text;
+  Filler.Size = (NopCount + 1) * 4;
+  Filler.IsProcedure = Filler.IsExported = Filler.IsDefined = true;
+  O.Symbols = {Filler};
+
+  ProcDesc Desc;
+  Desc.TextSize = (NopCount + 1) * 4;
+  Desc.UsesGp = false;
+  O.Procs = {Desc};
+  return O;
+}
+
+ObjectFile makeFarObject() {
+  ObjectFile O;
+  O.ModuleName = "c";
+  auto addWord = [&O](const Inst &I) {
+    uint32_t W = encode(I);
+    for (unsigned B = 0; B < 4; ++B)
+      O.Text.push_back(static_cast<uint8_t>(W >> (8 * B)));
+  };
+  addWord(makeOpLit(Opcode::Bis, Zero, 7, V0)); // 0: v0 = 7
+  addWord(makeJump(Opcode::Ret, Zero, RA));     // 4
+
+  Symbol Far;
+  Far.Name = "c.far";
+  Far.Section = SectionKind::Text;
+  Far.Size = 8;
+  Far.IsProcedure = Far.IsExported = Far.IsDefined = true;
+  O.Symbols = {Far};
+
+  ProcDesc Desc;
+  Desc.TextSize = 8;
+  Desc.UsesGp = false;
+  O.Procs = {Desc};
+  return O;
+}
+
+std::vector<ObjectFile> makeFarCallObjects(size_t PadNops) {
+  std::vector<ObjectFile> Objs = {makeCallerObject(), makePadObject(PadNops),
+                                  makeFarObject()};
+  for (const ObjectFile &O : Objs)
+    EXPECT_FALSE(bool(O.verify())) << O.verify().message();
+  return Objs;
+}
+
+/// Links the far-call program with \p PadNops filler words at \p Jobs and
+/// returns whether the conversion survived relaxation (checking the stats
+/// and the emitted opcodes agree).
+bool conversionSurvives(size_t PadNops, unsigned Jobs, OmResult *Out = nullptr) {
+  OmOptions Opts;
+  Opts.Level = OmLevel::Full;
+  Opts.Jobs = Jobs;
+  Opts.SerialFallbackInsts = 0; // tiny input; exercise the real pipeline
+  Opts.Verify = true;           // post-assembly range audit on every link
+  OmResult R = runOm(makeFarCallObjects(PadNops), Opts);
+  unsigned Bsrs = 0, Jsrs = 0;
+  for (uint32_t W : R.Image.textWords())
+    if (std::optional<Inst> I = decode(W)) {
+      Bsrs += I->Op == Opcode::Bsr;
+      Jsrs += I->Op == Opcode::Jsr;
+    }
+  bool Survived = R.Stats.JsrConvertedToBsr == 1;
+  EXPECT_EQ(R.Stats.BsrRetainedByRelax, R.Stats.JsrConvertedToBsr);
+  EXPECT_EQ(R.Stats.BsrFallbackJsrs, Survived ? 0u : 1u);
+  EXPECT_EQ(Bsrs, Survived ? 1u : 0u);
+  EXPECT_EQ(Jsrs, Survived ? 0u : 1u);
+  EXPECT_EQ(runExitCode(R.Image), 7);
+  if (Out)
+    *Out = std::move(R);
+  return Survived;
+}
+
+TEST(BsrRelaxSlowTest, AdmissionBoundIsSharpAtTheReachBoundary) {
+  // The 21-bit reach spans ((1<<20)-1)*4 bytes. Binary-search the pad size
+  // for the retained->reverted flip and demand it is a single-word step:
+  // F words retained, F+1 reverted, identically at -j1 and -j4.
+  size_t Lo = 1048000, Hi = 1049000;
+  ASSERT_TRUE(conversionSurvives(Lo, 1));
+  ASSERT_FALSE(conversionSurvives(Hi, 1));
+  while (Hi - Lo > 1) {
+    size_t Mid = Lo + (Hi - Lo) / 2;
+    if (conversionSurvives(Mid, 1))
+      Lo = Mid;
+    else
+      Hi = Mid;
+  }
+  EXPECT_EQ(Hi, Lo + 1);
+
+  // The flip point is identical in the parallel pipeline, and the images
+  // on both sides of it are byte-identical across job counts.
+  OmResult S1, P1;
+  EXPECT_TRUE(conversionSurvives(Lo, 1, &S1));
+  EXPECT_TRUE(conversionSurvives(Lo, 4, &P1));
+  EXPECT_TRUE(S1.Image.serialize() == P1.Image.serialize())
+      << "-j4 image differs at the last retained pad size";
+  OmResult S2, P2;
+  EXPECT_FALSE(conversionSurvives(Hi, 1, &S2));
+  EXPECT_FALSE(conversionSurvives(Hi, 4, &P2));
+  EXPECT_TRUE(S2.Image.serialize() == P2.Image.serialize())
+      << "-j4 image differs at the first reverted pad size";
+}
+
+//===----------------------------------------------------------------------===//
+// Mega scale: layout runs and conversions survive.
+//===----------------------------------------------------------------------===//
+
+TEST(BsrRelaxSlowTest, MegaImageKeepsLayoutAndConversions) {
+  // The default spec: ~1.05M instructions, 1024 procedures, 64 modules —
+  // pessimistic whole-text size far beyond the 21-bit BSR reach.
+  MegaSpec Spec;
+  MegaProgram MP = generate(Spec);
+  for (const ObjectFile &O : MP.Objects)
+    ASSERT_FALSE(bool(O.verify())) << O.verify().message();
+
+  OmOptions Base;
+  Base.Level = OmLevel::Full;
+  Base.SerialFallbackInsts = 0;
+  Base.Jobs = 1;
+  OmResult BaseLink = runOm(MP.Objects, Base);
+  ASSERT_GT(BaseLink.Stats.InstructionsTotal, 1000000u);
+  // Even without a profile the two-sided span bound must keep most
+  // conversions: only calls genuinely stretching past 4MB revert.
+  ASSERT_GT(BaseLink.Stats.JsrConvertedToBsr, 0u);
+
+  sim::SimConfig ProfCfg;
+  ProfCfg.Profile = true;
+  Result<sim::SimResult> ProfRun = sim::run(BaseLink.Image, ProfCfg);
+  ASSERT_TRUE(bool(ProfRun)) << ProfRun.message();
+
+  OmOptions Lay = Base;
+  Lay.HotColdLayout = true;
+  Lay.Profile = ProfRun->Profile;
+  Lay.Verify = true; // includes the post-assembly range audit
+  OmResult LayLink = runOm(MP.Objects, Lay);
+
+  // Regression core: hot-cold layout must actually run (the old code
+  // bailed on the whole-text gate, leaving the procedure order untouched).
+  std::vector<std::string> BaseOrder, LayOrder;
+  for (const ImageProc &P : BaseLink.Image.Procs)
+    BaseOrder.push_back(P.Name);
+  for (const ImageProc &P : LayLink.Image.Procs)
+    LayOrder.push_back(P.Name);
+  EXPECT_NE(BaseOrder, LayOrder)
+      << "profile-guided procedure reordering did not happen at mega scale";
+
+  // >90% of conversions must survive relaxation under the reordered
+  // layout (the old one-shot pass reverted 100%).
+  uint64_t Kept = LayLink.Stats.JsrConvertedToBsr;
+  uint64_t Reverted = LayLink.Stats.BsrFallbackJsrs;
+  ASSERT_GT(Kept + Reverted, 0u);
+  EXPECT_GT(static_cast<double>(Kept) / static_cast<double>(Kept + Reverted),
+            0.9)
+      << Kept << " kept vs " << Reverted << " reverted";
+  EXPECT_EQ(LayLink.Stats.BsrRetainedByRelax, Kept);
+  EXPECT_GE(LayLink.Stats.BsrRelaxRounds, 1u);
+
+  // Behaviour unchanged; -j4 byte-identical.
+  EXPECT_EQ(runExitCode(LayLink.Image), runExitCode(BaseLink.Image));
+  OmOptions LayPar = Lay;
+  LayPar.Jobs = 4;
+  OmResult ParLink = runOm(MP.Objects, LayPar);
+  EXPECT_TRUE(LayLink.Image.serialize() == ParLink.Image.serialize())
+      << "-j4 mega layout image differs from -j1";
+
+  // Warm relink through the incremental layer reproduces the cold image.
+  std::vector<std::vector<uint8_t>> Modules;
+  for (const ObjectFile &O : MP.Objects)
+    Modules.push_back(O.serialize());
+  IncrementalLinker Inc(Lay);
+  Result<RelinkResult> Cold = Inc.relink(Modules);
+  ASSERT_TRUE(bool(Cold)) << Cold.message();
+  EXPECT_TRUE(Cold->ImageBytes == LayLink.Image.serialize());
+  Result<RelinkResult> Warm = Inc.relink(Modules);
+  ASSERT_TRUE(bool(Warm)) << Warm.message();
+  EXPECT_TRUE(Warm->Stats.Warm);
+  EXPECT_TRUE(Warm->ImageBytes == Cold->ImageBytes)
+      << "warm relink diverged from the cold link";
+}
+
+} // namespace

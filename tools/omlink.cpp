@@ -91,6 +91,8 @@ static std::string statsJson(const om::OmStats &S, om::OmLevel Level) {
   U("calls_needing_gp_reset", S.CallsNeedingGpReset);
   U("jsr_converted_to_bsr", S.JsrConvertedToBsr);
   U("bsr_fallback_jsrs", S.BsrFallbackJsrs);
+  U("bsr_relax_rounds", S.BsrRelaxRounds);
+  U("bsr_retained_by_relax", S.BsrRetainedByRelax);
   U("instructions_total", S.InstructionsTotal);
   U("instructions_nullified", S.InstructionsNullified);
   U("instructions_deleted", S.InstructionsDeleted);
@@ -349,6 +351,11 @@ int main(int argc, char **argv) {
                    (unsigned long long)S.GatBytesAfter, S.GpGroups,
                    (unsigned long long)S.TextBytesBefore,
                    (unsigned long long)S.TextBytesAfter);
+      if (S.BsrRelaxRounds)
+        std::fprintf(stderr, "  bsr relax      %llu round(s), %llu "
+                             "conversion(s) retained\n",
+                     (unsigned long long)S.BsrRelaxRounds,
+                     (unsigned long long)S.BsrRetainedByRelax);
       if (S.BsrFallbackJsrs)
         std::fprintf(stderr, "  bsr fallback   %llu call(s) left as JSR "
                              "(out of BSR range)\n",
