@@ -6,10 +6,19 @@
 ///
 /// \file
 /// Measures how fast the simulator itself runs: simulated instructions per
-/// host wall-clock second (simulated MIPS), per workload and aggregate, in
-/// both functional and timing mode. Every paper figure executes programs on
-/// this simulator, so its throughput bounds how large a workload suite we
-/// can afford; this bench records the trajectory across PRs.
+/// host wall-clock second (simulated MIPS), per workload and aggregate.
+/// Every paper figure executes programs on this simulator, so its
+/// throughput bounds how large a workload suite we can afford; this bench
+/// records the trajectory across PRs.
+///
+/// Functional throughput is measured per dispatch core — the computed-goto
+/// threaded core (the default, metric `functional_mips`) and the legacy
+/// switch core (`functional_mips_switch`) — plus their ratio
+/// (`dispatch_speedup`) and timing-mode throughput. A final section runs
+/// the whole 19-workload suite concurrently through sim::runSuite and
+/// records the wall-clock and effective MIPS of the parallel sweep
+/// (`suite_wall_s`, `suite_mips`), the shape the slow differential tests
+/// and CI actually execute.
 ///
 ///   sim_throughput [--reps N] [--functional-only] [--json FILE]
 ///
@@ -22,6 +31,9 @@
 
 #include "BenchUtil.h"
 
+#include "sim/SuiteRunner.h"
+#include "support/ThreadPool.h"
+
 #include <chrono>
 #include <cstring>
 
@@ -33,8 +45,9 @@ namespace {
 struct Row {
   std::string Name;
   uint64_t Instructions = 0;
-  double FunctionalSec = 0; // best-of-reps wall time, functional mode
-  double TimingSec = 0;     // best-of-reps wall time, timing mode
+  double ThreadedSec = 1e30; // best-of-reps wall time, threaded core
+  double SwitchSec = 1e30;   // best-of-reps wall time, switch core
+  double TimingSec = 1e30;   // best-of-reps wall time, timing mode
 };
 
 double mips(uint64_t Insts, double Sec) {
@@ -43,9 +56,7 @@ double mips(uint64_t Insts, double Sec) {
 
 /// Runs \p Img once and returns wall seconds; aborts the bench on failure.
 double timedRun(const std::string &Name, const obj::Image &Img,
-                bool Timing, uint64_t &InstsOut) {
-  sim::SimConfig Cfg;
-  Cfg.Timing = Timing;
+                const sim::SimConfig &Cfg, uint64_t &InstsOut) {
   auto Start = std::chrono::steady_clock::now();
   Result<sim::SimResult> R = sim::run(Img, Cfg);
   auto End = std::chrono::steady_clock::now();
@@ -53,6 +64,13 @@ double timedRun(const std::string &Name, const obj::Image &Img,
     fail(Name + ": " + R.message());
   InstsOut = R->Instructions;
   return std::chrono::duration<double>(End - Start).count();
+}
+
+sim::SimConfig functionalConfig(sim::DispatchMode Mode) {
+  sim::SimConfig Cfg;
+  Cfg.Timing = false;
+  Cfg.Dispatch = Mode;
+  return Cfg;
 }
 
 } // namespace
@@ -64,55 +82,99 @@ int main(int argc, char **argv) {
 
   std::vector<BuiltEntry> Suite = buildAllWorkloads();
 
-  std::vector<Row> Rows;
-  uint64_t TotalInsts = 0;
-  double TotalFunctional = 0, TotalTiming = 0;
+  // Link everything up front; the images also feed the suite-runner
+  // section below, which needs them all alive at once.
+  std::vector<obj::Image> Images;
   for (const BuiltEntry &E : Suite) {
     Result<obj::Image> Img = wl::linkBaseline(E.Built, wl::CompileMode::Each);
     if (!Img)
       fail(E.Name + ": " + Img.message());
+    Images.push_back(Img.take());
+  }
 
+  std::vector<Row> Rows;
+  uint64_t TotalInsts = 0;
+  double TotalThreaded = 0, TotalSwitch = 0, TotalTiming = 0;
+  for (size_t I = 0; I < Suite.size(); ++I) {
     Row R;
-    R.Name = E.Name;
-    R.FunctionalSec = 1e30;
-    R.TimingSec = 1e30;
+    R.Name = Suite[I].Name;
     for (unsigned Rep = 0; Rep < Reps; ++Rep) {
-      R.FunctionalSec =
-          std::min(R.FunctionalSec,
-                   timedRun(E.Name, *Img, /*Timing=*/false, R.Instructions));
+      R.ThreadedSec = std::min(
+          R.ThreadedSec,
+          timedRun(R.Name, Images[I],
+                   functionalConfig(sim::DispatchMode::Threaded),
+                   R.Instructions));
+      uint64_t SwitchInsts;
+      R.SwitchSec = std::min(
+          R.SwitchSec,
+          timedRun(R.Name, Images[I],
+                   functionalConfig(sim::DispatchMode::Switch),
+                   SwitchInsts));
+      if (SwitchInsts != R.Instructions)
+        fail(R.Name + ": dispatch cores disagree on instruction count");
       if (!FunctionalOnly) {
         uint64_t Ignored;
         R.TimingSec = std::min(
-            R.TimingSec, timedRun(E.Name, *Img, /*Timing=*/true, Ignored));
+            R.TimingSec,
+            timedRun(R.Name, Images[I], sim::SimConfig{}, Ignored));
       }
     }
     TotalInsts += R.Instructions;
-    TotalFunctional += R.FunctionalSec;
+    TotalThreaded += R.ThreadedSec;
+    TotalSwitch += R.SwitchSec;
     if (!FunctionalOnly)
       TotalTiming += R.TimingSec;
     Rows.push_back(R);
   }
 
-  std::printf("Simulator throughput (simulated MIPS, best of %u reps)\n",
-              Reps);
-  std::printf("%-10s | %12s | %10s | %10s\n", "program", "insts",
-              "func MIPS", "timing MIPS");
-  rule(52);
+  // Whole-suite shape: every workload concurrently via the suite runner
+  // (threaded core), best of reps. On a single-core host this degrades
+  // to roughly the serial sum; on wider hosts it tracks the wall-clock
+  // the slow differential sweeps actually spend simulating.
+  std::vector<sim::SuiteJob> Jobs;
+  for (size_t I = 0; I < Suite.size(); ++I)
+    Jobs.push_back({Suite[I].Name, &Images[I],
+                    functionalConfig(sim::DispatchMode::Threaded)});
+  double SuiteSec = 1e30;
+  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+    auto Start = std::chrono::steady_clock::now();
+    std::vector<sim::SuiteJobResult> Results = sim::runSuite(Jobs);
+    auto End = std::chrono::steady_clock::now();
+    for (const sim::SuiteJobResult &SR : Results)
+      if (!SR.Ok)
+        fail("suite: " + SR.Name + ": " + SR.Error);
+    SuiteSec = std::min(
+        SuiteSec, std::chrono::duration<double>(End - Start).count());
+  }
+
+  std::printf(
+      "Simulator throughput (simulated MIPS, best of %u reps)\n", Reps);
+  std::printf("%-10s | %12s | %10s | %10s | %11s\n", "program", "insts",
+              "thr MIPS", "sw MIPS", "timing MIPS");
+  rule(66);
   for (const Row &R : Rows)
-    std::printf("%-10s | %12llu | %10.1f | %10s\n", R.Name.c_str(),
+    std::printf("%-10s | %12llu | %10.1f | %10.1f | %11s\n", R.Name.c_str(),
                 (unsigned long long)R.Instructions,
-                mips(R.Instructions, R.FunctionalSec),
+                mips(R.Instructions, R.ThreadedSec),
+                mips(R.Instructions, R.SwitchSec),
                 FunctionalOnly
                     ? "-"
                     : formatString("%.1f", mips(R.Instructions, R.TimingSec))
                           .c_str());
-  rule(52);
-  double AggFunc = mips(TotalInsts, TotalFunctional);
+  rule(66);
+  double AggThreaded = mips(TotalInsts, TotalThreaded);
+  double AggSwitch = mips(TotalInsts, TotalSwitch);
   double AggTiming = FunctionalOnly ? 0 : mips(TotalInsts, TotalTiming);
-  std::printf("%-10s | %12llu | %10.1f | %10s\n", "aggregate",
-              (unsigned long long)TotalInsts, AggFunc,
+  std::printf("%-10s | %12llu | %10.1f | %10.1f | %11s\n", "aggregate",
+              (unsigned long long)TotalInsts, AggThreaded, AggSwitch,
               FunctionalOnly ? "-"
                              : formatString("%.1f", AggTiming).c_str());
+  std::printf("dispatch speedup (threaded/switch): %.2fx\n",
+              AggSwitch > 0 ? AggThreaded / AggSwitch : 0.0);
+  std::printf("suite sweep (%zu workloads, %u threads): %.3fs wall, "
+              "%.1f MIPS\n",
+              Jobs.size(), ThreadPool::defaultConcurrency(), SuiteSec,
+              mips(TotalInsts, SuiteSec));
 
   if (!Args.JsonPath.empty()) {
     // Host-time MIPS swings wildly on shared CI runners, so the gate
@@ -123,7 +185,18 @@ int main(int argc, char **argv) {
     Entries.push_back({"aggregate", "instructions",
                        static_cast<double>(TotalInsts), "insts",
                        /*HigherIsBetter=*/false, /*TolerancePct=*/-1});
-    Entries.push_back({"aggregate", "functional_mips", AggFunc, "mips",
+    Entries.push_back({"aggregate", "functional_mips", AggThreaded, "mips",
+                       /*HigherIsBetter=*/true, /*TolerancePct=*/80});
+    Entries.push_back({"aggregate", "functional_mips_switch", AggSwitch,
+                       "mips", /*HigherIsBetter=*/true,
+                       /*TolerancePct=*/80});
+    Entries.push_back({"aggregate", "dispatch_speedup",
+                       AggSwitch > 0 ? AggThreaded / AggSwitch : 0.0, "x",
+                       /*HigherIsBetter=*/true, /*TolerancePct=*/60});
+    Entries.push_back({"aggregate", "suite_wall_s", SuiteSec, "s",
+                       /*HigherIsBetter=*/false, /*TolerancePct=*/400});
+    Entries.push_back({"aggregate", "suite_mips",
+                       mips(TotalInsts, SuiteSec), "mips",
                        /*HigherIsBetter=*/true, /*TolerancePct=*/80});
     if (!FunctionalOnly)
       Entries.push_back({"aggregate", "timing_mips", AggTiming, "mips",
@@ -133,7 +206,10 @@ int main(int argc, char **argv) {
                          static_cast<double>(R.Instructions), "insts",
                          /*HigherIsBetter=*/false, /*TolerancePct=*/-1});
       Entries.push_back({R.Name, "functional_mips",
-                         mips(R.Instructions, R.FunctionalSec), "mips",
+                         mips(R.Instructions, R.ThreadedSec), "mips",
+                         /*HigherIsBetter=*/true, /*TolerancePct=*/80});
+      Entries.push_back({R.Name, "functional_mips_switch",
+                         mips(R.Instructions, R.SwitchSec), "mips",
                          /*HigherIsBetter=*/true, /*TolerancePct=*/80});
     }
     writeBenchJson("sim_throughput", Entries, Args.JsonPath);

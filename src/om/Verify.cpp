@@ -15,7 +15,7 @@
 
 #include "om/Analysis.h"
 #include "om/OmImpl.h"
-#include "sim/Simulator.h"
+#include "sim/SuiteRunner.h"
 #include "support/Format.h"
 
 #include <algorithm>
@@ -622,10 +622,17 @@ om64::om::runDifferential(const std::vector<ObjectFile> &Objects,
                          {OmLevel::Full, false},
                          {OmLevel::Full, true}};
 
-  DifferentialReport Report;
+  auto legName = [](const LegCfg &Cfg) {
+    return std::string("OM-") + levelName(Cfg.Level) +
+           (Cfg.Sched ? "+sched" : "");
+  };
+
+  // Link every leg serially — omlink fans each link out onto its own
+  // worker pool, so stacking the legs would only oversubscribe the host.
+  // The images must stay alive past the runs: canonicalMemoryHash walks
+  // their symbol tables against the final data snapshot.
+  std::vector<OmResult> Linked;
   for (const LegCfg &Cfg : Cfgs) {
-    std::string LegName = std::string("OM-") + levelName(Cfg.Level) +
-                          (Cfg.Sched ? "+sched" : "");
     OmOptions Opts = Base;
     Opts.Level = Cfg.Level;
     Opts.Reschedule = Cfg.Sched;
@@ -638,27 +645,67 @@ om64::om::runDifferential(const std::vector<ObjectFile> &Objects,
     Result<OmResult> R = optimize(Objects, Opts);
     if (!R)
       return Result<DifferentialReport>::failure("differential leg " +
-                                                 LegName + ": " +
+                                                 legName(Cfg) + ": " +
                                                  R.message());
     if (Error E = R->Image.verify())
       return Result<DifferentialReport>::failure(
-          "differential leg " + LegName + ": image verification: " +
+          "differential leg " + legName(Cfg) + ": image verification: " +
           E.message());
+    Linked.push_back(std::move(*R));
+  }
 
-    sim::SimConfig SC;
-    SC.Timing = false;
-    Result<sim::SimResult> Run = sim::run(R->Image, SC);
-    if (!Run)
+  // The runs are independent, so execute every leg on BOTH functional
+  // dispatch cores concurrently (8 jobs through the suite runner). This
+  // both parallelizes the sweep and turns every differential invocation
+  // into a dispatch-parity check: the computed-goto core must reproduce
+  // the switch core bit for bit before the legs are compared.
+  const size_t NLegs = Linked.size();
+  std::vector<sim::SuiteJob> Jobs;
+  Jobs.reserve(NLegs * 2);
+  for (size_t I = 0; I < NLegs; ++I) {
+    for (sim::DispatchMode Mode :
+         {sim::DispatchMode::Threaded, sim::DispatchMode::Switch}) {
+      sim::SuiteJob Job;
+      Job.Name = legName(Cfgs[I]) +
+                 (Mode == sim::DispatchMode::Threaded ? "/threaded"
+                                                      : "/switch");
+      Job.Image = &Linked[I].Image;
+      Job.Config.Timing = false;
+      Job.Config.Dispatch = Mode;
+      Jobs.push_back(std::move(Job));
+    }
+  }
+  std::vector<sim::SuiteJobResult> Runs = sim::runSuite(Jobs);
+  for (const sim::SuiteJobResult &Run : Runs)
+    if (!Run.Ok)
       return Result<DifferentialReport>::failure(
-          "differential leg " + LegName + ": execution: " + Run.message());
+          "differential leg " + Run.Name + ": execution: " + Run.Error);
+
+  DifferentialReport Report;
+  for (size_t I = 0; I < NLegs; ++I) {
+    const sim::SimResult &Th = Runs[2 * I].Result;
+    const sim::SimResult &Sw = Runs[2 * I + 1].Result;
+    const char *Field = Th.ExitCode != Sw.ExitCode ? "exit code"
+                        : Th.Output != Sw.Output   ? "output"
+                        : Th.FinalData != Sw.FinalData ? "final memory"
+                        : Th.Instructions != Sw.Instructions
+                            ? "instruction count"
+                        : Th.ClassCounts != Sw.ClassCounts
+                            ? "class histogram"
+                        : Th.Nops != Sw.Nops ? "nop count"
+                                             : nullptr;
+    if (Field)
+      return Result<DifferentialReport>::failure(
+          "dispatch mismatch: " + legName(Cfgs[I]) +
+          ": threaded and switch cores disagree on " + Field);
 
     DifferentialLeg Leg;
-    Leg.Level = Cfg.Level;
-    Leg.Sched = Cfg.Sched;
-    Leg.ExitCode = Run->ExitCode;
-    Leg.Output = Run->Output;
-    Leg.MemoryHash = canonicalMemoryHash(R->Image, Run->FinalData);
-    Leg.Instructions = Run->Instructions;
+    Leg.Level = Cfgs[I].Level;
+    Leg.Sched = Cfgs[I].Sched;
+    Leg.ExitCode = Th.ExitCode;
+    Leg.Output = Th.Output;
+    Leg.MemoryHash = canonicalMemoryHash(Linked[I].Image, Th.FinalData);
+    Leg.Instructions = Th.Instructions;
     Report.Legs.push_back(std::move(Leg));
   }
 

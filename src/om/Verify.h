@@ -129,6 +129,14 @@ uint64_t canonicalMemoryHash(const obj::Image &Img,
 /// Verify/VerifyEachStage request in \p Base applies to every leg), runs
 /// each image on the functional simulator, and fails unless every leg
 /// reproduces the None leg's exit code, output, and canonical memory hash.
+///
+/// Every leg executes on BOTH functional dispatch cores (the computed-goto
+/// threaded core and the legacy switch core, concurrently via
+/// sim::runSuite) and the harness additionally fails if the two cores
+/// disagree on any leg's exit code, output, final memory, instruction
+/// count, or class histogram — so each differential run is also a
+/// dispatch-parity proof. The cross-level comparison uses the threaded
+/// core's results.
 Result<DifferentialReport>
 runDifferential(const std::vector<obj::ObjectFile> &Objects,
                 const OmOptions &Base = OmOptions());

@@ -127,6 +127,14 @@ private:
 #endif
   Result<SimResult> runTiming();
 
+  /// The computed-goto functional core (DispatchMode::Threaded). Translates
+  /// Code/Meta into a handler-address + operand array once, then runs one
+  /// indirect goto per instruction. Compiled to the switch core's loop on
+  /// compilers without the `&&label` extension. Behaviour (including every
+  /// fault message) is identical to runFunctional<false>; sim_test's parity
+  /// sweep and om::runDifferential enforce that.
+  Result<SimResult> runFunctionalThreaded();
+
   /// Builds the profiling side tables (ProcOfIdx, SiteOfIdx, and the
   /// per-site/per-procedure count arrays) from the image's procedure
   /// table. Only called when Cfg.Profile is set.
@@ -755,6 +763,869 @@ template <bool Prof> Result<SimResult> Machine::runFunctional() {
   return std::move(Res);
 }
 
+//===----------------------------------------------------------------------===//
+// Threaded dispatch (DispatchMode::Threaded).
+//
+// The switch core pays, per executed instruction: one indirect branch that
+// every opcode funnels through (so the host predictor sees one maximally
+// polluted target), zero-register guards on every operand, an IsLit test on
+// every operate, and four member-field counter updates in retire(). The
+// threaded core removes all of that at translation time:
+//
+//   * each instruction becomes { handler label address, resolved operands },
+//     so dispatch is `goto *PP->H` — one indirect jump *per handler copy*,
+//     giving the predictor per-opcode history (the classic token-threading
+//     win), and integer operates are split into register/literal handlers;
+//   * the register files grow a 33rd slot that absorbs writes to the
+//     hardwired zero registers, so handlers write unconditionally;
+//   * the instruction budget is a countdown ("fuel") decremented at handler
+//     entry, and all statistics accumulate in locals folded into SimResult
+//     once at exit;
+//   * loads/stores take an inline aligned-and-in-segment fast path and fall
+//     back to Machine::load/store for everything else, so every fault keeps
+//     the switch core's exact message.
+//
+// Faults discard the in-flight result, so only fault *messages* must match
+// the switch core, which is why the fast paths may count before checking.
+//===----------------------------------------------------------------------===//
+
+// The computed-goto core needs the GNU/Clang `&&label` extension; elsewhere
+// (or under -DOM64_SIM_FORCE_SWITCH, the build's escape hatch for exercising
+// the portable path) DispatchMode::Threaded silently runs the switch loop.
+#if !defined(OM64_SIM_FORCE_SWITCH) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define OM64_SIM_THREADED_DISPATCH 1
+#else
+#define OM64_SIM_THREADED_DISPATCH 0
+#endif
+
+#if OM64_SIM_THREADED_DISPATCH
+
+namespace {
+
+/// Write-sink slot of the threaded core's 33-entry register files.
+constexpr uint8_t ThSink = 32;
+
+constexpr unsigned ThClsPal = static_cast<unsigned>(InstClass::Pal);
+constexpr unsigned ThClsLoadAddress =
+    static_cast<unsigned>(InstClass::LoadAddress);
+constexpr unsigned ThClsIntLoad = static_cast<unsigned>(InstClass::IntLoad);
+constexpr unsigned ThClsIntStore =
+    static_cast<unsigned>(InstClass::IntStore);
+constexpr unsigned ThClsFpLoad = static_cast<unsigned>(InstClass::FpLoad);
+constexpr unsigned ThClsFpStore = static_cast<unsigned>(InstClass::FpStore);
+constexpr unsigned ThClsJump = static_cast<unsigned>(InstClass::Jump);
+constexpr unsigned ThClsBranch = static_cast<unsigned>(InstClass::Branch);
+constexpr unsigned ThClsIntOp = static_cast<unsigned>(InstClass::IntOp);
+constexpr unsigned ThClsFpOp = static_cast<unsigned>(InstClass::FpOp);
+constexpr unsigned ThClsTransfer =
+    static_cast<unsigned>(InstClass::Transfer);
+
+/// Handler ids of the threaded core. R/L suffixes are the register/literal
+/// operand variants of the integer operates, split at translation time so
+/// handlers never test Inst::IsLit.
+enum ThHandler : uint8_t {
+  TH_Nop,
+  TH_PalHalt,
+  TH_PalPutChar,
+  TH_PalPutInt,
+  TH_PalPutReal,
+  TH_PalCycle,
+  TH_PalCount,
+  TH_PalUnknown,
+  TH_Lda,
+  TH_Ldah,
+  TH_Ldl,
+  TH_Ldq,
+  TH_Ldt,
+  TH_Stl,
+  TH_Stq,
+  TH_Stt,
+  TH_Jump,
+  TH_BrBsr,
+  TH_Beq,
+  TH_Bne,
+  TH_Blt,
+  TH_Ble,
+  TH_Bgt,
+  TH_Bge,
+  TH_Fbeq,
+  TH_Fbne,
+  TH_AddqR,
+  TH_AddqL,
+  TH_SubqR,
+  TH_SubqL,
+  TH_MulqR,
+  TH_MulqL,
+  TH_S4addqR,
+  TH_S4addqL,
+  TH_S8addqR,
+  TH_S8addqL,
+  TH_CmpeqR,
+  TH_CmpeqL,
+  TH_CmpltR,
+  TH_CmpltL,
+  TH_CmpleR,
+  TH_CmpleL,
+  TH_CmpultR,
+  TH_CmpultL,
+  TH_AndR,
+  TH_AndL,
+  TH_BicR,
+  TH_BicL,
+  TH_BisR,
+  TH_BisL,
+  TH_OrnotR,
+  TH_OrnotL,
+  TH_XorR,
+  TH_XorL,
+  TH_SllR,
+  TH_SllL,
+  TH_SrlR,
+  TH_SrlL,
+  TH_SraR,
+  TH_SraL,
+  TH_Addt,
+  TH_Subt,
+  TH_Mult,
+  TH_Divt,
+  TH_Cmpteq,
+  TH_Cmptlt,
+  TH_Cmptle,
+  TH_Cvtqt,
+  TH_Cvttq,
+  TH_Cpys,
+  TH_Itoft,
+  TH_Ftoit,
+  TH_OffEnd,
+  NumThHandlers,
+};
+
+/// One translated instruction: the handler's label address plus operands
+/// resolved to direct register-file indices. Exactly 16 bytes, so the
+/// operand stream stays dense. Two merges make that fit:
+///
+///   * W is the one write index a handler needs — Ra for loads/LDA/link
+///     writes, Rc for operates — sink-remapped (zero register -> ThSink);
+///   * B doubles as the 8-bit literal for the *L operate handlers, which
+///     were split from the register forms at translation precisely so each
+///     reads the field one way unconditionally.
+struct ThInst {
+  const void *H;
+  int32_t Disp;
+  uint8_t A;   // Ra as a read index (int file; fp file for fp handlers)
+  uint8_t B;   // Rb as a read index, or the operate literal (*L handlers)
+  uint8_t W;   // write index, sink-remapped
+  uint8_t Cls; // InstClass (the nop handler's histogram index)
+};
+static_assert(sizeof(ThInst) == 16, "threaded operand record grew");
+
+ThHandler thHandlerFor(const Inst &I, bool IsNop) {
+  // Nops (any side-effect-free write to a zero register, Inst::isNop) get
+  // a dedicated handler: the write would be sunk anyway, so only the nop
+  // and class counters remain.
+  if (IsNop)
+    return TH_Nop;
+  switch (I.Op) {
+  case Opcode::CallPal:
+    switch (static_cast<PalFunc>(I.Disp & 0xFF)) {
+    case PalFunc::Halt:
+      return TH_PalHalt;
+    case PalFunc::PutChar:
+      return TH_PalPutChar;
+    case PalFunc::PutInt:
+      return TH_PalPutInt;
+    case PalFunc::PutReal:
+      return TH_PalPutReal;
+    case PalFunc::CycleCount:
+      return TH_PalCycle;
+    case PalFunc::Count:
+      return TH_PalCount;
+    }
+    return TH_PalUnknown;
+  case Opcode::Lda:
+    return TH_Lda;
+  case Opcode::Ldah:
+    return TH_Ldah;
+  case Opcode::Ldl:
+    return TH_Ldl;
+  case Opcode::Ldq:
+    return TH_Ldq;
+  case Opcode::Ldt:
+    return TH_Ldt;
+  case Opcode::Stl:
+    return TH_Stl;
+  case Opcode::Stq:
+    return TH_Stq;
+  case Opcode::Stt:
+    return TH_Stt;
+  case Opcode::Jmp:
+  case Opcode::Jsr:
+  case Opcode::Ret:
+    return TH_Jump;
+  case Opcode::Br:
+  case Opcode::Bsr:
+    return TH_BrBsr;
+  case Opcode::Beq:
+    return TH_Beq;
+  case Opcode::Bne:
+    return TH_Bne;
+  case Opcode::Blt:
+    return TH_Blt;
+  case Opcode::Ble:
+    return TH_Ble;
+  case Opcode::Bgt:
+    return TH_Bgt;
+  case Opcode::Bge:
+    return TH_Bge;
+  case Opcode::Fbeq:
+    return TH_Fbeq;
+  case Opcode::Fbne:
+    return TH_Fbne;
+  case Opcode::Addq:
+    return I.IsLit ? TH_AddqL : TH_AddqR;
+  case Opcode::Subq:
+    return I.IsLit ? TH_SubqL : TH_SubqR;
+  case Opcode::Mulq:
+    return I.IsLit ? TH_MulqL : TH_MulqR;
+  case Opcode::S4addq:
+    return I.IsLit ? TH_S4addqL : TH_S4addqR;
+  case Opcode::S8addq:
+    return I.IsLit ? TH_S8addqL : TH_S8addqR;
+  case Opcode::Cmpeq:
+    return I.IsLit ? TH_CmpeqL : TH_CmpeqR;
+  case Opcode::Cmplt:
+    return I.IsLit ? TH_CmpltL : TH_CmpltR;
+  case Opcode::Cmple:
+    return I.IsLit ? TH_CmpleL : TH_CmpleR;
+  case Opcode::Cmpult:
+    return I.IsLit ? TH_CmpultL : TH_CmpultR;
+  case Opcode::And:
+    return I.IsLit ? TH_AndL : TH_AndR;
+  case Opcode::Bic:
+    return I.IsLit ? TH_BicL : TH_BicR;
+  case Opcode::Bis:
+    return I.IsLit ? TH_BisL : TH_BisR;
+  case Opcode::Ornot:
+    return I.IsLit ? TH_OrnotL : TH_OrnotR;
+  case Opcode::Xor:
+    return I.IsLit ? TH_XorL : TH_XorR;
+  case Opcode::Sll:
+    return I.IsLit ? TH_SllL : TH_SllR;
+  case Opcode::Srl:
+    return I.IsLit ? TH_SrlL : TH_SrlR;
+  case Opcode::Sra:
+    return I.IsLit ? TH_SraL : TH_SraR;
+  case Opcode::Addt:
+    return TH_Addt;
+  case Opcode::Subt:
+    return TH_Subt;
+  case Opcode::Mult:
+    return TH_Mult;
+  case Opcode::Divt:
+    return TH_Divt;
+  case Opcode::Cmpteq:
+    return TH_Cmpteq;
+  case Opcode::Cmptlt:
+    return TH_Cmptlt;
+  case Opcode::Cmptle:
+    return TH_Cmptle;
+  case Opcode::Cvtqt:
+    return TH_Cvtqt;
+  case Opcode::Cvttq:
+    return TH_Cvttq;
+  case Opcode::Cpys:
+    return TH_Cpys;
+  case Opcode::Itoft:
+    return TH_Itoft;
+  case Opcode::Ftoit:
+    return TH_Ftoit;
+  }
+  return TH_PalUnknown; // unreachable: predecode validated every opcode
+}
+
+} // namespace
+
+#endif // OM64_SIM_THREADED_DISPATCH
+
+Result<SimResult> Machine::runFunctionalThreaded() {
+#if !OM64_SIM_THREADED_DISPATCH
+  return runFunctional<false>();
+#else
+  // Label addresses, indexed by ThHandler. Filled by assignment (not an
+  // initializer list) so an ordering slip between the enum and the table
+  // is impossible.
+  const void *Lab[NumThHandlers];
+  Lab[TH_Nop] = &&L_Nop;
+  Lab[TH_PalHalt] = &&L_PalHalt;
+  Lab[TH_PalPutChar] = &&L_PalPutChar;
+  Lab[TH_PalPutInt] = &&L_PalPutInt;
+  Lab[TH_PalPutReal] = &&L_PalPutReal;
+  Lab[TH_PalCycle] = &&L_PalCycle;
+  Lab[TH_PalCount] = &&L_PalCount;
+  Lab[TH_PalUnknown] = &&L_PalUnknown;
+  Lab[TH_Lda] = &&L_Lda;
+  Lab[TH_Ldah] = &&L_Ldah;
+  Lab[TH_Ldl] = &&L_Ldl;
+  Lab[TH_Ldq] = &&L_Ldq;
+  Lab[TH_Ldt] = &&L_Ldt;
+  Lab[TH_Stl] = &&L_Stl;
+  Lab[TH_Stq] = &&L_Stq;
+  Lab[TH_Stt] = &&L_Stt;
+  Lab[TH_Jump] = &&L_Jump;
+  Lab[TH_BrBsr] = &&L_BrBsr;
+  Lab[TH_Beq] = &&L_Beq;
+  Lab[TH_Bne] = &&L_Bne;
+  Lab[TH_Blt] = &&L_Blt;
+  Lab[TH_Ble] = &&L_Ble;
+  Lab[TH_Bgt] = &&L_Bgt;
+  Lab[TH_Bge] = &&L_Bge;
+  Lab[TH_Fbeq] = &&L_Fbeq;
+  Lab[TH_Fbne] = &&L_Fbne;
+  Lab[TH_AddqR] = &&L_AddqR;
+  Lab[TH_AddqL] = &&L_AddqL;
+  Lab[TH_SubqR] = &&L_SubqR;
+  Lab[TH_SubqL] = &&L_SubqL;
+  Lab[TH_MulqR] = &&L_MulqR;
+  Lab[TH_MulqL] = &&L_MulqL;
+  Lab[TH_S4addqR] = &&L_S4addqR;
+  Lab[TH_S4addqL] = &&L_S4addqL;
+  Lab[TH_S8addqR] = &&L_S8addqR;
+  Lab[TH_S8addqL] = &&L_S8addqL;
+  Lab[TH_CmpeqR] = &&L_CmpeqR;
+  Lab[TH_CmpeqL] = &&L_CmpeqL;
+  Lab[TH_CmpltR] = &&L_CmpltR;
+  Lab[TH_CmpltL] = &&L_CmpltL;
+  Lab[TH_CmpleR] = &&L_CmpleR;
+  Lab[TH_CmpleL] = &&L_CmpleL;
+  Lab[TH_CmpultR] = &&L_CmpultR;
+  Lab[TH_CmpultL] = &&L_CmpultL;
+  Lab[TH_AndR] = &&L_AndR;
+  Lab[TH_AndL] = &&L_AndL;
+  Lab[TH_BicR] = &&L_BicR;
+  Lab[TH_BicL] = &&L_BicL;
+  Lab[TH_BisR] = &&L_BisR;
+  Lab[TH_BisL] = &&L_BisL;
+  Lab[TH_OrnotR] = &&L_OrnotR;
+  Lab[TH_OrnotL] = &&L_OrnotL;
+  Lab[TH_XorR] = &&L_XorR;
+  Lab[TH_XorL] = &&L_XorL;
+  Lab[TH_SllR] = &&L_SllR;
+  Lab[TH_SllL] = &&L_SllL;
+  Lab[TH_SrlR] = &&L_SrlR;
+  Lab[TH_SrlL] = &&L_SrlL;
+  Lab[TH_SraR] = &&L_SraR;
+  Lab[TH_SraL] = &&L_SraL;
+  Lab[TH_Addt] = &&L_Addt;
+  Lab[TH_Subt] = &&L_Subt;
+  Lab[TH_Mult] = &&L_Mult;
+  Lab[TH_Divt] = &&L_Divt;
+  Lab[TH_Cmpteq] = &&L_Cmpteq;
+  Lab[TH_Cmptlt] = &&L_Cmptlt;
+  Lab[TH_Cmptle] = &&L_Cmptle;
+  Lab[TH_Cvtqt] = &&L_Cvtqt;
+  Lab[TH_Cvttq] = &&L_Cvttq;
+  Lab[TH_Cpys] = &&L_Cpys;
+  Lab[TH_Itoft] = &&L_Itoft;
+  Lab[TH_Ftoit] = &&L_Ftoit;
+  Lab[TH_OffEnd] = &&L_OffEnd;
+
+  const size_t N = Code.size();
+  std::vector<ThInst> Prog(N + 1);
+  for (size_t I = 0; I < N; ++I) {
+    const Inst &In = Code[I];
+    ThInst &T = Prog[I];
+    T.H = Lab[thHandlerFor(In, Meta[I].IsNop != 0)];
+    T.Disp = In.Disp;
+    T.A = In.Ra;
+    const InstClass C = classOf(In.Op);
+    // Only integer operates dispatch to *L handlers; a literal-form fp
+    // operate decodes with Rb = Zero, and its handler must read F[31]
+    // (+0.0) exactly like the switch core's readFp.
+    T.B = C == InstClass::IntOp && In.IsLit ? In.Lit : In.Rb;
+    const uint8_t Dest =
+        C == InstClass::IntOp || C == InstClass::FpOp ||
+                C == InstClass::Transfer
+            ? In.Rc
+            : In.Ra;
+    T.W = Dest == Zero ? ThSink : Dest;
+    T.Cls = Meta[I].Cls;
+    // Branch-class instructions never use Disp as data, so translation
+    // stores the resolved target *index* (fall-through index + word
+    // displacement) instead — the taken path is one sign-extend away from
+    // the next handler. Indices and 21-bit displacements both fit int32.
+    if (C == InstClass::Branch)
+      T.Disp = static_cast<int32_t>(static_cast<int64_t>(I) + 1 + In.Disp);
+  }
+  // Sentinel at index N: sequential fall-through past the last instruction
+  // lands here (the switch loop's `Idx >= N` check, without a per-
+  // instruction compare).
+  Prog[N].H = &&L_OffEnd;
+
+  // 33-slot register files: slot ThSink absorbs writes whose architectural
+  // destination is the hardwired zero register, so handlers store
+  // unconditionally. Slots 31 hold zero and are never written (translation
+  // redirected every write), so reads need no guard either.
+  int64_t R[ThSink + 1];
+  double F[ThSink + 1];
+  for (unsigned I = 0; I < NumIntRegs; ++I) {
+    R[I] = IntRegs[I];
+    F[I] = FpRegs[I];
+  }
+  R[ThSink] = 0;
+  F[ThSink] = 0.0;
+
+  const uint64_t TextBase = Img.TextBase;
+  const uint64_t DataBase = Img.DataBase;
+  const uint64_t StackBase = Layout::StackTop - Layout::StackSize;
+  uint8_t *const DataPtr = DataSegment.data();
+  uint8_t *const StackPtr = StackSegment.data();
+
+  // Inline fast-path extents. A segment only qualifies if it cannot alias
+  // text (store() faults on text addresses, which the fast path skips
+  // checking); real layouts never overlap, so this is a translation-time
+  // constant, not a hot-path test. The *4/*8 extents are pre-shrunk by the
+  // access size so the hot test is one subtraction-free compare.
+  const uint64_t TextEnd = TextBase + Img.Text.size();
+  const bool DataAliasesText =
+      DataBase < TextEnd && TextBase < DataBase + DataSegment.size();
+  const bool StackAliasesText =
+      StackBase < TextEnd && TextBase < StackBase + Layout::StackSize;
+  const uint64_t DSz = DataAliasesText ? 0 : DataSegment.size();
+  const uint64_t SSz = StackAliasesText ? 0 : Layout::StackSize;
+  const uint64_t Data4 = DSz >= 4 ? DSz - 3 : 0;
+  const uint64_t Data8 = DSz >= 8 ? DSz - 7 : 0;
+  const uint64_t Stack4 = SSz >= 4 ? SSz - 3 : 0;
+  const uint64_t Stack8 = SSz >= 8 ? SSz - 7 : 0;
+
+  // Instruction budget as countdown fuel: decremented at every handler
+  // entry, budget-faulting when it reaches zero. Starting at MaxInsts + 1
+  // makes "executed so far" = MaxInsts + 1 - Fuel (modular arithmetic keeps
+  // that correct even for MaxInsts == UINT64_MAX, where the budget is
+  // unreachable exactly as in the switch core).
+  const uint64_t MaxInsts = Cfg.MaxInstructions;
+  uint64_t Fuel = MaxInsts + 1;
+  uint64_t NNops = 0;
+  uint64_t NTaken = 0;
+  uint64_t Cls[NumInstClasses] = {};
+
+  const ThInst *const PB = Prog.data();
+  const ThInst *PP = PB + (Img.Entry - TextBase) / 4;
+
+// Every real handler starts with the fuel check (the switch loop's
+// pre-execution budget test); the sentinel and fault labels do not, which
+// preserves the switch core's check ordering at text edges.
+#define OM64_TH_ENTER()                                                    \
+  const void *NH_ __attribute__((unused)) = PP[1].H;                       \
+  if (--Fuel == 0)                                                         \
+  goto L_Budget
+#define OM64_TH_NEXT()                                                     \
+  do {                                                                     \
+    ++PP;                                                                  \
+    goto *NH_;                                                             \
+  } while (0)
+// Taken branch to a translation-resolved target index (sign-extended, so
+// backward-past-zero targets wrap exactly like the switch core's mod-2^64
+// NextPc arithmetic and fault with the same pcFault value).
+#define OM64_TH_TAKEN(TIdx)                                                \
+  do {                                                                     \
+    const uint64_t TI =                                                    \
+        static_cast<uint64_t>(static_cast<int64_t>(TIdx));                 \
+    ++NTaken;                                                              \
+    if (TI >= N)                                                           \
+      return pcFault(TextBase + TI * 4);                                   \
+    PP = PB + TI;                                                          \
+    goto *PP->H;                                                           \
+  } while (0)
+// Conditional branch on the integer or fp file.
+#define OM64_TH_CONDBR(LABEL, FILE, CMP)                                   \
+  LABEL : {                                                                \
+    OM64_TH_ENTER();                                                       \
+    ++Cls[ThClsBranch];                                                    \
+    if (FILE[PP->A] CMP 0)                                                 \
+      OM64_TH_TAKEN(PP->Disp);                                             \
+    OM64_TH_NEXT();                                                        \
+  }
+// Integer operate, instantiated as register (B = R[rb]) and literal
+// (B = zero-extended 8-bit literal) handlers. The dominant class carries
+// no histogram increment: Cls[IntOp] is reconstructed at exit as
+// Instructions minus every other class (the L_Halt derivation).
+#define OM64_TH_INTOP(NAME, EXPR)                                          \
+  L_##NAME##R : {                                                          \
+    OM64_TH_ENTER();                                                       \
+    const int64_t A = R[PP->A];                                            \
+    const int64_t B = R[PP->B];                                            \
+    R[PP->W] = (EXPR);                                                     \
+    OM64_TH_NEXT();                                                        \
+  }                                                                        \
+  L_##NAME##L : {                                                          \
+    OM64_TH_ENTER();                                                       \
+    const int64_t A = R[PP->A];                                            \
+    const int64_t B = static_cast<int64_t>(PP->B);                         \
+    R[PP->W] = (EXPR);                                                     \
+    OM64_TH_NEXT();                                                        \
+  }
+// Floating operate reading both sources.
+#define OM64_TH_FPOP(NAME, EXPR)                                           \
+  L_##NAME : {                                                             \
+    OM64_TH_ENTER();                                                       \
+    ++Cls[ThClsFpOp];                                                      \
+    const double A = F[PP->A];                                             \
+    const double B = F[PP->B];                                             \
+    F[PP->W] = (EXPR);                                                    \
+    OM64_TH_NEXT();                                                        \
+  }
+
+  goto *PP->H;
+
+L_Nop: {
+  OM64_TH_ENTER();
+  ++NNops;
+  ++Cls[PP->Cls];
+  OM64_TH_NEXT();
+}
+
+L_PalHalt: {
+  OM64_TH_ENTER();
+  ++Cls[ThClsPal];
+  Res.ExitCode = R[A0];
+  goto L_Halt;
+}
+L_PalPutChar: {
+  OM64_TH_ENTER();
+  ++Cls[ThClsPal];
+  Res.Output.push_back(static_cast<char>(R[A0] & 0xFF));
+  OM64_TH_NEXT();
+}
+L_PalPutInt: {
+  OM64_TH_ENTER();
+  ++Cls[ThClsPal];
+  Res.Output += formatString("%lld", static_cast<long long>(R[A0]));
+  OM64_TH_NEXT();
+}
+L_PalPutReal: {
+  OM64_TH_ENTER();
+  ++Cls[ThClsPal];
+  Res.Output += formatString("%.6g", F[FA0]);
+  OM64_TH_NEXT();
+}
+L_PalCycle: {
+  OM64_TH_ENTER();
+  ++Cls[ThClsPal];
+  // Functional runs report instructions executed before this one — the
+  // switch core reads Res.Instructions pre-retire.
+  R[V0] = static_cast<int64_t>(MaxInsts - Fuel);
+  OM64_TH_NEXT();
+}
+L_PalCount: {
+  OM64_TH_ENTER();
+  ++Cls[ThClsPal];
+  const uint32_t Index = static_cast<uint32_t>(PP->Disp) >> 8;
+  if (Index >= Res.ProfileCounts.size()) {
+    FaultMsg = formatString(
+        "profile counter %u out of range (image declares %u)", Index,
+        static_cast<unsigned>(Res.ProfileCounts.size()));
+    goto L_Fault;
+  }
+  ++Res.ProfileCounts[Index];
+  OM64_TH_NEXT();
+}
+L_PalUnknown: {
+  OM64_TH_ENTER();
+  FaultMsg = formatString("unknown PAL function %d", PP->Disp);
+  goto L_Fault;
+}
+
+L_Lda: {
+  OM64_TH_ENTER();
+  ++Cls[ThClsLoadAddress];
+  R[PP->W] = R[PP->B] + PP->Disp;
+  OM64_TH_NEXT();
+}
+L_Ldah: {
+  OM64_TH_ENTER();
+  ++Cls[ThClsLoadAddress];
+  R[PP->W] = R[PP->B] + (static_cast<int64_t>(PP->Disp) << 16);
+  OM64_TH_NEXT();
+}
+
+L_Ldl: {
+  OM64_TH_ENTER();
+  ++Cls[ThClsIntLoad];
+  const uint64_t Addr = static_cast<uint64_t>(R[PP->B] + PP->Disp);
+  const uint64_t DOff = Addr - DataBase;
+  const uint64_t SOff = Addr - StackBase;
+  int64_t V;
+  if ((((Addr & 3) == 0) & (DOff < Data4)) != 0) {
+    uint32_t W;
+    std::memcpy(&W, DataPtr + DOff, 4);
+    V = static_cast<int32_t>(W);
+  } else if ((((Addr & 3) == 0) & (SOff < Stack4)) != 0) {
+    uint32_t W;
+    std::memcpy(&W, StackPtr + SOff, 4);
+    V = static_cast<int32_t>(W);
+  } else {
+    uint64_t W;
+    if (!load(Addr, 4, W))
+      goto L_Fault;
+    V = static_cast<int32_t>(W);
+  }
+  R[PP->W] = V;
+  OM64_TH_NEXT();
+}
+L_Ldq: {
+  OM64_TH_ENTER();
+  ++Cls[ThClsIntLoad];
+  const uint64_t Addr = static_cast<uint64_t>(R[PP->B] + PP->Disp);
+  const uint64_t DOff = Addr - DataBase;
+  const uint64_t SOff = Addr - StackBase;
+  uint64_t W;
+  if ((((Addr & 7) == 0) & (DOff < Data8)) != 0) {
+    std::memcpy(&W, DataPtr + DOff, 8);
+  } else if ((((Addr & 7) == 0) & (SOff < Stack8)) != 0) {
+    std::memcpy(&W, StackPtr + SOff, 8);
+  } else if (!load(Addr, 8, W)) {
+    goto L_Fault;
+  }
+  R[PP->W] = static_cast<int64_t>(W);
+  OM64_TH_NEXT();
+}
+L_Ldt: {
+  OM64_TH_ENTER();
+  ++Cls[ThClsFpLoad];
+  const uint64_t Addr = static_cast<uint64_t>(R[PP->B] + PP->Disp);
+  const uint64_t DOff = Addr - DataBase;
+  const uint64_t SOff = Addr - StackBase;
+  uint64_t W;
+  if ((((Addr & 7) == 0) & (DOff < Data8)) != 0) {
+    std::memcpy(&W, DataPtr + DOff, 8);
+  } else if ((((Addr & 7) == 0) & (SOff < Stack8)) != 0) {
+    std::memcpy(&W, StackPtr + SOff, 8);
+  } else if (!load(Addr, 8, W)) {
+    goto L_Fault;
+  }
+  double D;
+  std::memcpy(&D, &W, 8);
+  F[PP->W] = D;
+  OM64_TH_NEXT();
+}
+
+L_Stl: {
+  OM64_TH_ENTER();
+  ++Cls[ThClsIntStore];
+  const uint64_t Addr = static_cast<uint64_t>(R[PP->B] + PP->Disp);
+  const uint64_t DOff = Addr - DataBase;
+  const uint64_t SOff = Addr - StackBase;
+  const uint32_t W = static_cast<uint32_t>(R[PP->A]);
+  if ((((Addr & 3) == 0) & (DOff < Data4)) != 0)
+    std::memcpy(DataPtr + DOff, &W, 4);
+  else if ((((Addr & 3) == 0) & (SOff < Stack4)) != 0)
+    std::memcpy(StackPtr + SOff, &W, 4);
+  else if (!store(Addr, 4, W))
+    goto L_Fault;
+  OM64_TH_NEXT();
+}
+L_Stq: {
+  OM64_TH_ENTER();
+  ++Cls[ThClsIntStore];
+  const uint64_t Addr = static_cast<uint64_t>(R[PP->B] + PP->Disp);
+  const uint64_t DOff = Addr - DataBase;
+  const uint64_t SOff = Addr - StackBase;
+  const uint64_t W = static_cast<uint64_t>(R[PP->A]);
+  if ((((Addr & 7) == 0) & (DOff < Data8)) != 0)
+    std::memcpy(DataPtr + DOff, &W, 8);
+  else if ((((Addr & 7) == 0) & (SOff < Stack8)) != 0)
+    std::memcpy(StackPtr + SOff, &W, 8);
+  else if (!store(Addr, 8, W))
+    goto L_Fault;
+  OM64_TH_NEXT();
+}
+L_Stt: {
+  OM64_TH_ENTER();
+  ++Cls[ThClsFpStore];
+  const uint64_t Addr = static_cast<uint64_t>(R[PP->B] + PP->Disp);
+  const uint64_t DOff = Addr - DataBase;
+  const uint64_t SOff = Addr - StackBase;
+  const double D = F[PP->A];
+  uint64_t W;
+  std::memcpy(&W, &D, 8);
+  if ((((Addr & 7) == 0) & (DOff < Data8)) != 0)
+    std::memcpy(DataPtr + DOff, &W, 8);
+  else if ((((Addr & 7) == 0) & (SOff < Stack8)) != 0)
+    std::memcpy(StackPtr + SOff, &W, 8);
+  else if (!store(Addr, 8, W))
+    goto L_Fault;
+  OM64_TH_NEXT();
+}
+
+L_Jump: {
+  OM64_TH_ENTER();
+  ++Cls[ThClsJump];
+  ++NTaken;
+  // Target reads Rb before the return-address write (jsr ra,(ra) is legal).
+  const uint64_t Target = static_cast<uint64_t>(R[PP->B]) & ~3ull;
+  R[PP->W] = static_cast<int64_t>(TextBase + (PP - PB) * 4 + 4);
+  if (Target == Layout::HaltReturnAddress) {
+    Res.ExitCode = R[V0];
+    goto L_Halt;
+  }
+  const uint64_t TI = (Target - TextBase) / 4;
+  if (Target < TextBase || TI >= N)
+    return pcFault(Target);
+  PP = PB + TI;
+  goto *PP->H;
+}
+
+L_BrBsr: {
+  OM64_TH_ENTER();
+  ++Cls[ThClsBranch];
+  R[PP->W] = static_cast<int64_t>(TextBase + (PP - PB) * 4 + 4);
+  OM64_TH_TAKEN(PP->Disp);
+}
+
+OM64_TH_CONDBR(L_Beq, R, ==)
+OM64_TH_CONDBR(L_Bne, R, !=)
+OM64_TH_CONDBR(L_Blt, R, <)
+OM64_TH_CONDBR(L_Ble, R, <=)
+OM64_TH_CONDBR(L_Bgt, R, >)
+OM64_TH_CONDBR(L_Bge, R, >=)
+OM64_TH_CONDBR(L_Fbeq, F, ==)
+OM64_TH_CONDBR(L_Fbne, F, !=)
+
+OM64_TH_INTOP(Addq, static_cast<int64_t>(static_cast<uint64_t>(A) +
+                                         static_cast<uint64_t>(B)))
+OM64_TH_INTOP(Subq, static_cast<int64_t>(static_cast<uint64_t>(A) -
+                                         static_cast<uint64_t>(B)))
+OM64_TH_INTOP(Mulq, static_cast<int64_t>(static_cast<uint64_t>(A) *
+                                         static_cast<uint64_t>(B)))
+OM64_TH_INTOP(S4addq, static_cast<int64_t>((static_cast<uint64_t>(A) << 2) +
+                                           static_cast<uint64_t>(B)))
+OM64_TH_INTOP(S8addq, static_cast<int64_t>((static_cast<uint64_t>(A) << 3) +
+                                           static_cast<uint64_t>(B)))
+OM64_TH_INTOP(Cmpeq, A == B ? 1 : 0)
+OM64_TH_INTOP(Cmplt, A < B ? 1 : 0)
+OM64_TH_INTOP(Cmple, A <= B ? 1 : 0)
+OM64_TH_INTOP(Cmpult,
+              static_cast<uint64_t>(A) < static_cast<uint64_t>(B) ? 1 : 0)
+OM64_TH_INTOP(And, A &B)
+OM64_TH_INTOP(Bic, A & ~B)
+OM64_TH_INTOP(Bis, A | B)
+OM64_TH_INTOP(Ornot, A | ~B)
+OM64_TH_INTOP(Xor, A ^ B)
+OM64_TH_INTOP(Sll, static_cast<int64_t>(static_cast<uint64_t>(A)
+                                        << (B & 63)))
+OM64_TH_INTOP(Srl,
+              static_cast<int64_t>(static_cast<uint64_t>(A) >> (B & 63)))
+OM64_TH_INTOP(Sra, A >> (B & 63))
+
+OM64_TH_FPOP(Addt, A + B)
+OM64_TH_FPOP(Subt, A - B)
+OM64_TH_FPOP(Mult, A *B)
+OM64_TH_FPOP(Divt, A / B)
+OM64_TH_FPOP(Cmpteq, A == B ? 2.0 : 0.0)
+OM64_TH_FPOP(Cmptlt, A < B ? 2.0 : 0.0)
+OM64_TH_FPOP(Cmptle, A <= B ? 2.0 : 0.0)
+
+L_Cvtqt: {
+  OM64_TH_ENTER();
+  ++Cls[ThClsFpOp];
+  const double D = F[PP->B];
+  uint64_t Bits;
+  std::memcpy(&Bits, &D, 8);
+  F[PP->W] = static_cast<double>(static_cast<int64_t>(Bits));
+  OM64_TH_NEXT();
+}
+L_Cvttq: {
+  OM64_TH_ENTER();
+  ++Cls[ThClsFpOp];
+  const double D = F[PP->B];
+  int64_t V;
+  if (std::isnan(D))
+    V = 0;
+  else if (D >= 9.2233720368547758e18)
+    V = INT64_MAX;
+  else if (D <= -9.2233720368547758e18)
+    V = INT64_MIN;
+  else
+    V = static_cast<int64_t>(D);
+  const uint64_t Bits = static_cast<uint64_t>(V);
+  double Out;
+  std::memcpy(&Out, &Bits, 8);
+  F[PP->W] = Out;
+  OM64_TH_NEXT();
+}
+L_Cpys: {
+  OM64_TH_ENTER();
+  ++Cls[ThClsFpOp];
+  F[PP->W] = std::copysign(F[PP->B], F[PP->A]);
+  OM64_TH_NEXT();
+}
+L_Itoft: {
+  OM64_TH_ENTER();
+  ++Cls[ThClsTransfer];
+  const uint64_t Bits = static_cast<uint64_t>(R[PP->A]);
+  double D;
+  std::memcpy(&D, &Bits, 8);
+  F[PP->W] = D;
+  OM64_TH_NEXT();
+}
+L_Ftoit: {
+  OM64_TH_ENTER();
+  ++Cls[ThClsTransfer];
+  const double D = F[PP->A];
+  uint64_t Bits;
+  std::memcpy(&Bits, &D, 8);
+  R[PP->W] = static_cast<int64_t>(Bits);
+  OM64_TH_NEXT();
+}
+
+L_OffEnd:
+  // Sequential fall-through past the last instruction; same check order as
+  // the switch loop (before the next budget test).
+  return pcFault(TextBase + N * 4);
+
+L_Budget:
+  return budgetFault();
+
+L_Fault:
+  return stepFault(TextBase + (PP - PB) * 4, Code[PP - PB]);
+
+L_Halt:
+  Res.Instructions = MaxInsts + 1 - Fuel;
+  // Derived counters. Loads/stores: every executed load/store instruction
+  // is exactly one IntLoad/FpLoad (IntStore/FpStore) class retirement — a
+  // memory op is never a nop, and faulted ones discard the result — so the
+  // hot handlers skip those increments. IntOp: the integer-operate
+  // handlers carry no histogram update at all; their count is what is left
+  // of Instructions after every counted class (including int-op *nops*,
+  // which the nop handler did count into Cls[IntOp] — the subtraction
+  // yields all integer operates either way, and the slot is overwritten).
+  {
+    uint64_t Others = 0;
+    for (unsigned C = 0; C < NumInstClasses; ++C)
+      if (C != ThClsIntOp)
+        Others += Cls[C];
+    Cls[ThClsIntOp] = Res.Instructions - Others;
+  }
+  Res.Nops = NNops;
+  Res.Loads = Cls[ThClsIntLoad] + Cls[ThClsFpLoad];
+  Res.Stores = Cls[ThClsIntStore] + Cls[ThClsFpStore];
+  Res.TakenBranches = NTaken;
+  for (unsigned C = 0; C < NumInstClasses; ++C)
+    Res.ClassCounts[C] = Cls[C];
+  Res.Cycles = 0;
+  Res.FinalData = std::move(DataSegment);
+  return std::move(Res);
+
+#undef OM64_TH_ENTER
+#undef OM64_TH_NEXT
+#undef OM64_TH_TAKEN
+#undef OM64_TH_CONDBR
+#undef OM64_TH_INTOP
+#undef OM64_TH_FPOP
+#endif // OM64_SIM_THREADED_DISPATCH
+}
+
 template <bool Prof> Result<SimResult> Machine::runTiming() {
   Cache ICache(Cfg.ICache);
   Cache DCache(Cfg.DCache);
@@ -880,9 +1751,17 @@ Result<SimResult> Machine::run() {
   writeInt(RA, static_cast<int64_t>(Layout::HaltReturnAddress));
   writeInt(SP, static_cast<int64_t>(Layout::StackTop - 512));
   writeInt(GP, static_cast<int64_t>(Img.InitialGp)); // prologue resets it
+  // Timing and profiled runs always use the switch-based loops: the
+  // timing model needs per-instruction cache/issue state the threaded
+  // handlers deliberately do not carry, and profiled runs are rare enough
+  // that a third set of handler instantiations is not worth the icache.
   if (Cfg.Profile)
     return Cfg.Timing ? runTiming<true>() : runFunctional<true>();
-  return Cfg.Timing ? runTiming<false>() : runFunctional<false>();
+  if (Cfg.Timing)
+    return runTiming<false>();
+  if (Cfg.Dispatch == DispatchMode::Threaded)
+    return runFunctionalThreaded();
+  return runFunctional<false>();
 }
 
 Result<SimResult> om64::sim::run(const Image &Img, const SimConfig &Cfg) {

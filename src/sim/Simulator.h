@@ -51,6 +51,26 @@ struct CacheConfig {
   unsigned MissPenalty = 20;
 };
 
+/// Functional-core dispatch strategy.
+///
+///   * Threaded: the computed-goto core. Predecode translates every
+///     instruction into a handler address plus a sink-remapped operand
+///     record, so the hot loop is one indirect goto per instruction with
+///     no zero-register branches and no per-instruction accounting stores.
+///     On compilers without the `&&label` extension (see
+///     OM64_SIM_THREADED_DISPATCH in Simulator.cpp) it silently runs the
+///     switch core — results are identical either way.
+///   * Switch: the legacy template-interpreter loop over step()'s opcode
+///     switch.
+///
+/// Both cores stay selectable forever (aaxrun --dispatch=switch|threaded)
+/// so they can be differenced against each other: om::runDifferential runs
+/// every leg on both and demands identical results, and sim_test's parity
+/// sweep covers every opcode class and fault path. Timing and profiled
+/// runs always use the switch-based loops; Dispatch selects the plain
+/// functional core only (the differential-harness hot path).
+enum class DispatchMode : uint8_t { Threaded, Switch };
+
 /// Simulation options.
 struct SimConfig {
   bool Timing = true;
@@ -65,6 +85,9 @@ struct SimConfig {
   /// are separate template instantiations, so runs with Profile off pay
   /// nothing.
   bool Profile = false;
+  /// Functional-core selection (see DispatchMode). Ignored by timing and
+  /// profiled runs, which always use the switch-based loops.
+  DispatchMode Dispatch = DispatchMode::Threaded;
 };
 
 /// Outcome of a run.

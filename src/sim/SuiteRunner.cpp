@@ -1,0 +1,43 @@
+//===- sim/SuiteRunner.cpp -------------------------------------------------=//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SuiteRunner.h"
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace om64;
+using namespace om64::sim;
+
+std::vector<SuiteJobResult> om64::sim::runSuite(
+    const std::vector<SuiteJob> &Jobs, unsigned Threads) {
+  std::vector<SuiteJobResult> Out(Jobs.size());
+  if (Jobs.empty())
+    return Out;
+  // More threads than jobs would only spawn idle workers; clamp so a
+  // two-job suite on a 16-way host builds a two-thread pool.
+  unsigned Want = Threads == 0 ? ThreadPool::defaultConcurrency() : Threads;
+  Want = std::min<unsigned>(Want,
+                            static_cast<unsigned>(Jobs.size()));
+  ThreadPool Pool(std::max(1u, Want));
+  // Each index writes only its own slot, so results are bit-identical for
+  // any thread count (the ThreadPool per-index-slot discipline).
+  Pool.parallelFor(Jobs.size(), [&](size_t I) {
+    const SuiteJob &Job = Jobs[I];
+    SuiteJobResult &Slot = Out[I];
+    Slot.Name = Job.Name;
+    Result<SimResult> R = run(*Job.Image, Job.Config);
+    if (R) {
+      Slot.Ok = true;
+      Slot.Result = std::move(*R);
+    } else {
+      Slot.Ok = false;
+      Slot.Error = R.message();
+    }
+  });
+  return Out;
+}

@@ -1,0 +1,62 @@
+//===- sim/SuiteRunner.h - Parallel multi-workload simulation driver ------===//
+//
+// Part of the om64 project (PLDI 1994 OM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs a batch of independent simulations concurrently on a ThreadPool.
+///
+/// The slow test label's differential sweeps run 19 workloads × 4 OM levels
+/// through the simulator; each run is independent, so they parallelize
+/// perfectly. runSuite is the one shared driver for that shape — used by
+/// aaxrun --suite, om::runDifferential, tests/endtoend_test.cpp, and
+/// bench/sim_throughput — so every consumer gets the same determinism
+/// contract:
+///
+///   * results come back indexed exactly like the job list (per-index
+///     slots, the ThreadPool discipline), so aggregation in job order is
+///     bit-identical for any thread count, including 1;
+///   * a failed run carries its failure message in its own slot instead of
+///     aborting the batch — callers decide how to surface partial failure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OM64_SIM_SUITERUNNER_H
+#define OM64_SIM_SUITERUNNER_H
+
+#include "objfile/Image.h"
+#include "sim/Simulator.h"
+
+#include <string>
+#include <vector>
+
+namespace om64 {
+namespace sim {
+
+/// One simulation to run: a label for reporting, the image (not owned;
+/// must outlive runSuite), and the full per-run configuration.
+struct SuiteJob {
+  std::string Name;
+  const obj::Image *Image = nullptr;
+  SimConfig Config;
+};
+
+/// Outcome slot for one SuiteJob, in job order.
+struct SuiteJobResult {
+  std::string Name;
+  bool Ok = false;
+  std::string Error; // failure message when !Ok
+  SimResult Result;  // valid when Ok
+};
+
+/// Runs every job, distributing them across \p Threads pool threads
+/// (0 = hardware concurrency, clamped to the job count; 1 = serial on the
+/// caller). Returns one result per job, in job order.
+std::vector<SuiteJobResult> runSuite(const std::vector<SuiteJob> &Jobs,
+                                     unsigned Threads = 0);
+
+} // namespace sim
+} // namespace om64
+
+#endif // OM64_SIM_SUITERUNNER_H

@@ -42,12 +42,6 @@ using namespace om64::test;
 
 namespace {
 
-OmResult runOm(const std::vector<ObjectFile> &Objs, const OmOptions &Opts) {
-  Result<OmResult> R = om::optimize(Objs, Opts);
-  EXPECT_TRUE(bool(R)) << (R ? "" : R.message());
-  return R ? R.take() : OmResult{};
-}
-
 //===----------------------------------------------------------------------===//
 // checkedDecrement: underflow-proof stats bookkeeping.
 //===----------------------------------------------------------------------===//

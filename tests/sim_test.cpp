@@ -7,8 +7,11 @@
 #include "TestUtil.h"
 
 #include "sim/SimStats.h"
+#include "sim/SuiteRunner.h"
 
 #include <gtest/gtest.h>
+
+#include <optional>
 
 using namespace om64;
 using namespace om64::isa;
@@ -428,6 +431,297 @@ TEST(SimTest, FunctionalModeReportsNoCycles) {
   ASSERT_TRUE(bool(R)) << R.message();
   EXPECT_EQ(R->Cycles, 0u);
   EXPECT_EQ(R->Instructions, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Dispatch parity: the computed-goto threaded core versus the legacy
+// switch core. Every opcode class and every fault path must produce a
+// bit-identical SimResult (or an identical fault message) on both.
+//===----------------------------------------------------------------------===//
+
+sim::SimConfig coreConfig(sim::DispatchMode Mode, uint64_t MaxInsts) {
+  sim::SimConfig Cfg;
+  Cfg.Timing = false;
+  Cfg.Dispatch = Mode;
+  Cfg.MaxInstructions = MaxInsts;
+  return Cfg;
+}
+
+/// Runs \p Img through both functional cores and demands identical
+/// results. Returns the threaded-core result when both runs succeeded.
+std::optional<sim::SimResult>
+expectDispatchParity(const obj::Image &Img, const std::string &What,
+                     uint64_t MaxInsts = 1u << 20) {
+  Result<sim::SimResult> T =
+      sim::run(Img, coreConfig(sim::DispatchMode::Threaded, MaxInsts));
+  Result<sim::SimResult> S =
+      sim::run(Img, coreConfig(sim::DispatchMode::Switch, MaxInsts));
+  EXPECT_EQ(bool(T), bool(S))
+      << What << ": one core faulted and the other did not: "
+      << (T ? S.message() : T.message());
+  if (!T || !S) {
+    if (!T && !S) {
+      EXPECT_EQ(T.message(), S.message()) << What;
+    }
+    return std::nullopt;
+  }
+  EXPECT_EQ(T->ExitCode, S->ExitCode) << What;
+  EXPECT_EQ(T->Output, S->Output) << What;
+  EXPECT_EQ(T->Instructions, S->Instructions) << What;
+  EXPECT_EQ(T->Nops, S->Nops) << What;
+  EXPECT_EQ(T->Loads, S->Loads) << What;
+  EXPECT_EQ(T->Stores, S->Stores) << What;
+  EXPECT_EQ(T->TakenBranches, S->TakenBranches) << What;
+  EXPECT_EQ(T->ClassCounts, S->ClassCounts) << What;
+  EXPECT_EQ(T->FinalData, S->FinalData) << What;
+  EXPECT_EQ(T->ProfileCounts, S->ProfileCounts) << What;
+  return *T;
+}
+
+/// One straight-line program exercising every instruction class: PAL
+/// output/counters, load-addresses, int/fp memory, jumps, taken and
+/// fall-through branches, every operate family, transfers, and nops.
+std::vector<Inst> allClassProgram() {
+  std::vector<Inst> Code;
+  Code.push_back(makeOp(Opcode::Bis, RA, RA, S0)); // save halt address
+  emitConst(Code, T0, 13);
+  emitConst(Code, T1, 5);
+
+  // Every integer operate, register and literal forms, results folded
+  // into an accumulator so nothing is dead.
+  const Opcode IntOps[] = {
+      Opcode::Addq, Opcode::Subq,  Opcode::Mulq, Opcode::S4addq,
+      Opcode::S8addq, Opcode::Cmpeq, Opcode::Cmplt, Opcode::Cmple,
+      Opcode::Cmpult, Opcode::And, Opcode::Bic,  Opcode::Bis,
+      Opcode::Ornot, Opcode::Xor,  Opcode::Sll,  Opcode::Srl,
+      Opcode::Sra};
+  for (Opcode Op : IntOps) {
+    Code.push_back(makeOp(Op, T0, T1, T2));
+    Code.push_back(makeOp(Opcode::Xor, T3, T2, T3));
+    Code.push_back(makeOpLit(Op, T0, 3, T2));
+    Code.push_back(makeOp(Opcode::Xor, T3, T2, T3));
+  }
+  // Zero-register destinations execute as nops on both cores.
+  Code.push_back(Inst::nop());
+  Code.push_back(makeOp(Opcode::Addq, T0, T1, Zero));
+
+  // Int memory round trips (stack and data segment, via GP).
+  Code.push_back(makeMem(Opcode::Stq, T3, 16, SP));
+  Code.push_back(makeMem(Opcode::Ldq, T4, 16, SP));
+  Code.push_back(makeMem(Opcode::Stl, T0, 24, SP));
+  Code.push_back(makeMem(Opcode::Ldl, T5, 24, SP));
+  Code.push_back(makeMem(Opcode::Stq, T3, 64, GP));
+  Code.push_back(makeMem(Opcode::Ldq, T6, 64, GP));
+
+  // FP pipeline: build 13.0 and 5.0, push them through every fp operate,
+  // store/load through memory, and round the quotient back to an int.
+  Code.push_back(makeOp(Opcode::Itoft, T0, Zero, 1));
+  Code.push_back(makeOp(Opcode::Cvtqt, FZero, 1, 1)); // f1 = 13.0
+  Code.push_back(makeOp(Opcode::Itoft, T1, Zero, 2));
+  Code.push_back(makeOp(Opcode::Cvtqt, FZero, 2, 2)); // f2 = 5.0
+  Code.push_back(makeOp(Opcode::Addt, 1, 2, 3));
+  Code.push_back(makeOp(Opcode::Subt, 1, 2, 4));
+  Code.push_back(makeOp(Opcode::Mult, 1, 2, 5));
+  Code.push_back(makeOp(Opcode::Divt, 1, 2, 6));
+  Code.push_back(makeOp(Opcode::Cmpteq, 1, 2, 7));
+  Code.push_back(makeOp(Opcode::Cmptlt, 2, 1, 8));
+  Code.push_back(makeOp(Opcode::Cmptle, 1, 1, 9));
+  Code.push_back(makeOp(Opcode::Cpys, 4, 6, 10));
+  Code.push_back(makeMem(Opcode::Stt, 10, 32, SP));
+  Code.push_back(makeMem(Opcode::Ldt, 11, 32, SP));
+  Code.push_back(makeOp(Opcode::Cvttq, FZero, 11, 12));
+  Code.push_back(makeOp(Opcode::Ftoit, 12, Zero, T2));
+  Code.push_back(makeOp(Opcode::Xor, T3, T2, T3));
+
+  // Conditional branches: a taken and a fall-through flavour of each
+  // direction, plus the fp pair (f1 = 13.0 is nonzero, f13 stays +0.0).
+  Code.push_back(makeBranch(Opcode::Beq, T0, 1)); // not taken (t0 = 13)
+  Code.push_back(makeBranch(Opcode::Bne, T0, 1)); // taken, skips the nop
+  Code.push_back(Inst::nop());
+  Code.push_back(makeBranch(Opcode::Blt, T0, 1)); // not taken
+  Code.push_back(makeBranch(Opcode::Ble, T0, 1)); // not taken
+  Code.push_back(makeBranch(Opcode::Bgt, T0, 1)); // taken
+  Code.push_back(Inst::nop());
+  Code.push_back(makeBranch(Opcode::Bge, T0, 1)); // taken
+  Code.push_back(Inst::nop());
+  Code.push_back(makeBranch(Opcode::Fbeq, 1, 1)); // not taken (13.0)
+  Code.push_back(makeBranch(Opcode::Fbne, 1, 1)); // taken
+  Code.push_back(Inst::nop());
+  Code.push_back(makeBranch(Opcode::Fbeq, 13, 1)); // taken (+0.0)
+  Code.push_back(Inst::nop());
+  Code.push_back(makeBranch(Opcode::Br, Zero, 1)); // unconditional
+  Code.push_back(Inst::nop());
+
+  // Jumps: BSR to a leaf that returns (RET), then a JSR through a
+  // register address computed from a zero-displacement BSR's link value.
+  Code.push_back(makeBranch(Opcode::Bsr, RA, 4)); // -> leaf below
+  Code.push_back(makeOp(Opcode::Xor, T3, V0, T3));
+  Code.push_back(makeBranch(Opcode::Bsr, T4, 0)); // t4 = next address
+  Code.push_back(makeOpLit(Opcode::Addq, T4, 16, T4));
+  Code.push_back(makeJump(Opcode::Jsr, T5, T4)); // skips the leaf + ret
+  Code.push_back(makeMem(Opcode::Lda, V0, 7, Zero)); // leaf
+  Code.push_back(makeJump(Opcode::Ret, Zero, RA));
+
+  // PAL services: the output stream, the cycle counter, and profile
+  // counters (declared twice, hit once each).
+  Code.push_back(makeMem(Opcode::Lda, A0, 80, Zero)); // 'P'
+  Code.push_back(makePal(PalFunc::PutChar));
+  Code.push_back(makeMem(Opcode::Lda, A0, -7, Zero));
+  Code.push_back(makePal(PalFunc::PutInt));
+  Code.push_back(makeOp(Opcode::Cpys, 6, 6, 16)); // fa0 = 13.0/5.0
+  Code.push_back(makePal(PalFunc::PutReal));
+  Code.push_back(makePal(PalFunc::CycleCount)); // v0 = insts so far
+  Code.push_back(makeOp(Opcode::Xor, T3, V0, T3));
+  Code.push_back(makePalCount(0));
+  Code.push_back(makePalCount(1));
+
+  // Exit through JMP to the saved halt address with a data-derived code.
+  Code.push_back(makeOpLit(Opcode::And, T3, 63, V0));
+  Code.push_back(makeJump(Opcode::Jmp, Zero, S0));
+  return Code;
+}
+
+TEST(DispatchParityTest, EveryOpcodeClassAgrees) {
+  std::optional<sim::SimResult> R =
+      expectDispatchParity(makeRawImage(allClassProgram()), "all-classes");
+  ASSERT_TRUE(R.has_value());
+  // The program genuinely exercised every class, so the parity above
+  // compared a fully populated histogram.
+  for (unsigned C = 0; C < NumInstClasses; ++C)
+    EXPECT_GT(R->ClassCounts[C], 0u)
+        << "class " << instClassName(static_cast<InstClass>(C))
+        << " never executed";
+  EXPECT_FALSE(R->Output.empty());
+  EXPECT_GT(R->Nops, 0u);
+}
+
+TEST(DispatchParityTest, EveryFaultPathAgrees) {
+  struct FaultCase {
+    const char *Name;
+    std::vector<Inst> Code;
+    uint64_t MaxInsts;
+  };
+  std::vector<FaultCase> Cases;
+  auto add = [&Cases](const char *Name, std::vector<Inst> Code,
+                      uint64_t MaxInsts = 1u << 20) {
+    Cases.push_back({Name, std::move(Code), MaxInsts});
+  };
+
+  // Misalignment, one per access width and direction (fp included).
+  add("unaligned-ldq", {makeMem(Opcode::Ldq, V0, 1, SP)});
+  add("unaligned-ldl", {makeMem(Opcode::Ldl, V0, 2, SP)});
+  add("unaligned-stq", {makeMem(Opcode::Stq, V0, 1, SP)});
+  add("unaligned-stl", {makeMem(Opcode::Stl, V0, 2, SP)});
+  add("unaligned-ldt", {makeMem(Opcode::Ldt, 1, 4, SP)});
+  add("unaligned-stt", {makeMem(Opcode::Stt, 1, 4, SP)});
+
+  // Bounds, including the 2^64 wraparound corner.
+  add("oob-load-wrap", {makeMem(Opcode::Ldq, V0, -8, Zero)});
+  add("oob-store-wrap", {makeMem(Opcode::Stq, V0, -8, Zero)});
+  add("oob-load-low", {makeMem(Opcode::Ldq, V0, 0, Zero)});
+  {
+    // Store into the text segment (read-only by construction).
+    std::vector<Inst> Code;
+    Code.push_back(makeOp(Opcode::Bis, Zero, Zero, T0));
+    Code.push_back(makeMem(Opcode::Ldah, T0, 0x1200, T0));
+    Code.push_back(makeOpLit(Opcode::Sll, T0, 4, T0));
+    Code.push_back(makeMem(Opcode::Stq, Zero, 0, T0));
+    add("store-to-text", std::move(Code));
+  }
+
+  // Control flow escaping the text segment.
+  add("fall-off-end", {makeMem(Opcode::Lda, V0, 1, Zero)});
+  add("br-before-text", {makeBranch(Opcode::Br, Zero, -5)});
+  add("br-past-end", {makeBranch(Opcode::Br, Zero, 100)});
+  {
+    std::vector<Inst> Code;
+    emitConst(Code, T0, 0x5000);
+    Code.push_back(makeJump(Opcode::Jsr, RA, T0));
+    add("jump-out-of-range", std::move(Code));
+  }
+  {
+    std::vector<Inst> Code;
+    emitConst(Code, T0, 1);
+    Code.push_back(makeBranch(Opcode::Bne, T0, -100));
+    add("taken-cond-out-of-range", std::move(Code));
+  }
+
+  // Resource limits and PAL misuse.
+  add("budget-exceeded", {makeBranch(Opcode::Br, Zero, -1)}, 100);
+  add("unknown-pal", {makePal(static_cast<PalFunc>(99))});
+
+  for (FaultCase &C : Cases) {
+    std::optional<sim::SimResult> R = expectDispatchParity(
+        makeRawImage(C.Code), C.Name, C.MaxInsts);
+    EXPECT_FALSE(R.has_value()) << C.Name << " did not fault";
+  }
+}
+
+TEST(DispatchParityTest, EveryIntOpAgreesOnEdgeOperands) {
+  // Sweep every integer operate over sign/magnitude edge cases in both
+  // register and literal form; the two cores must agree exactly.
+  const Opcode IntOps[] = {
+      Opcode::Addq, Opcode::Subq,  Opcode::Mulq, Opcode::S4addq,
+      Opcode::S8addq, Opcode::Cmpeq, Opcode::Cmplt, Opcode::Cmple,
+      Opcode::Cmpult, Opcode::And, Opcode::Bic,  Opcode::Bis,
+      Opcode::Ornot, Opcode::Xor,  Opcode::Sll,  Opcode::Srl,
+      Opcode::Sra};
+  const int64_t As[] = {0, -1, 13, static_cast<int64_t>(0x8000000000000000ull)};
+  for (Opcode Op : IntOps) {
+    for (int64_t A : As) {
+      std::vector<Inst> Code;
+      emitConst(Code, T0, A);
+      emitConst(Code, T1, 3);
+      Code.push_back(makeOp(Op, T0, T1, T2));
+      Code.push_back(makeOpLit(Op, T0, 255, T3));
+      Code.push_back(makeOp(Opcode::Xor, T2, T3, V0));
+      Code.push_back(makeJump(Opcode::Ret, Zero, RA));
+      expectDispatchParity(makeRawImage(Code),
+                           std::string(opcodeName(Op)) + "/A=" +
+                               std::to_string(A));
+    }
+  }
+}
+
+TEST(SuiteRunnerTest, ParallelAndSerialRunsAreIdentical) {
+  // The suite runner's determinism contract: the same job list must
+  // produce identical result slots at any thread count, including the
+  // serial fallback, with failures staying in their own slots.
+  std::vector<Inst> Good = allClassProgram();
+  std::vector<Inst> Faulty = {makeMem(Opcode::Ldq, V0, 1, SP)};
+  obj::Image GoodImg = makeRawImage(Good);
+  obj::Image FaultImg = makeRawImage(Faulty);
+
+  std::vector<sim::SuiteJob> Jobs;
+  for (sim::DispatchMode Mode :
+       {sim::DispatchMode::Threaded, sim::DispatchMode::Switch}) {
+    sim::SimConfig Cfg = coreConfig(Mode, 1u << 20);
+    Jobs.push_back({"good", &GoodImg, Cfg});
+    Jobs.push_back({"fault", &FaultImg, Cfg});
+    Jobs.push_back({"good2", &GoodImg, Cfg});
+  }
+
+  std::vector<sim::SuiteJobResult> Serial = sim::runSuite(Jobs, 1);
+  std::vector<sim::SuiteJobResult> Parallel = sim::runSuite(Jobs, 4);
+  ASSERT_EQ(Serial.size(), Jobs.size());
+  ASSERT_EQ(Parallel.size(), Jobs.size());
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    EXPECT_EQ(Serial[I].Name, Jobs[I].Name);
+    EXPECT_EQ(Parallel[I].Name, Jobs[I].Name);
+    EXPECT_EQ(Serial[I].Ok, Parallel[I].Ok) << Jobs[I].Name;
+    EXPECT_EQ(Serial[I].Error, Parallel[I].Error) << Jobs[I].Name;
+    const sim::SimResult &A = Serial[I].Result;
+    const sim::SimResult &B = Parallel[I].Result;
+    EXPECT_EQ(A.ExitCode, B.ExitCode) << Jobs[I].Name;
+    EXPECT_EQ(A.Output, B.Output) << Jobs[I].Name;
+    EXPECT_EQ(A.Instructions, B.Instructions) << Jobs[I].Name;
+    EXPECT_EQ(A.ClassCounts, B.ClassCounts) << Jobs[I].Name;
+    EXPECT_EQ(A.FinalData, B.FinalData) << Jobs[I].Name;
+  }
+  // The good jobs faulted nowhere and the faulty ones everywhere.
+  EXPECT_TRUE(Serial[0].Ok);
+  EXPECT_FALSE(Serial[1].Ok);
+  EXPECT_NE(Serial[1].Error.find("load"), std::string::npos);
 }
 
 } // namespace

@@ -131,6 +131,69 @@ TEST_F(ToolchainTest, RunEmitsStatsJson) {
   EXPECT_NE(SS.str().find("\"timing\": null"), std::string::npos);
 }
 
+TEST_F(ToolchainTest, DispatchFlagSelectsACore) {
+  std::string Out;
+  ASSERT_EQ(runCommand(toolsDir() + "/omlink --standard -o " + Dir +
+                           "/dsp.aaxe " + allObjects(),
+                       Out),
+            0)
+      << Out;
+  // Both cores run the image to the same exit code and output.
+  EXPECT_EQ(runCommand(toolsDir() + "/aaxrun --dispatch=threaded " + Dir +
+                           "/dsp.aaxe",
+                       Out),
+            6);
+  EXPECT_EQ(Out, "30\n");
+  EXPECT_EQ(runCommand(toolsDir() + "/aaxrun --dispatch=switch " + Dir +
+                           "/dsp.aaxe",
+                       Out),
+            6);
+  EXPECT_EQ(Out, "30\n");
+  // An unknown mode is a usage error, not a silent default.
+  EXPECT_EQ(runCommand(toolsDir() + "/aaxrun --dispatch=bogus " + Dir +
+                           "/dsp.aaxe",
+                       Out),
+            2);
+}
+
+TEST_F(ToolchainTest, SuiteModeRunsManyImagesInOrder) {
+  std::string Out;
+  ASSERT_EQ(runCommand(toolsDir() + "/omlink --standard -o " + Dir +
+                           "/s.aaxe " + allObjects(),
+                       Out),
+            0)
+      << Out;
+  // Outputs appear in command-line order regardless of --jobs, and the
+  // exit code is 0 when every image loads and runs.
+  EXPECT_EQ(runCommand(toolsDir() + "/aaxrun --suite --jobs 3 " + Dir +
+                           "/s.aaxe " + Dir + "/s.aaxe " + Dir + "/s.aaxe",
+                       Out),
+            0);
+  EXPECT_EQ(Out, "30\n30\n30\n");
+  // Per-image stats blocks are keyed by image name.
+  EXPECT_EQ(runCommand(toolsDir() + "/aaxrun --suite --stats-json - " +
+                           Dir + "/s.aaxe " + Dir + "/s.aaxe",
+                       Out),
+            0);
+  EXPECT_NE(Out.find("\"suite\""), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"exit_code\": 6"), std::string::npos) << Out;
+  // Usage errors: several inputs need --suite; suite profiles are
+  // ambiguous (a profile keys against one image's procedure table).
+  EXPECT_EQ(runCommand(toolsDir() + "/aaxrun " + Dir + "/s.aaxe " + Dir +
+                           "/s.aaxe",
+                       Out),
+            2);
+  EXPECT_EQ(runCommand(toolsDir() + "/aaxrun --suite --profile-out=" +
+                           Dir + "/p.aaxp " + Dir + "/s.aaxe",
+                       Out),
+            2);
+  // A bad image fails the whole suite with exit 1.
+  EXPECT_EQ(runCommand(toolsDir() + "/aaxrun --suite " + Dir +
+                           "/s.aaxe " + Dir + "/prog.aaxo",
+                       Out),
+            1);
+}
+
 TEST_F(ToolchainTest, OmLinkMatchesStandardOutput) {
   std::string StdOut, OmOut;
   ASSERT_EQ(runCommand(toolsDir() + "/omlink --standard -o " + Dir +

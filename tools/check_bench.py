@@ -24,10 +24,18 @@ code in the output and every clean*.aaxo passes. A linter that silently
 stops reporting a code therefore fails the CI job rather than the gate
 going quietly green.
 
+Also hosts the ctest wall-clock budget gate (--ctest-budget): parses the
+JUnit XML that `ctest --output-junit` emits and fails when the suite's
+summed test time, or any single test's time, exceeds the committed budget
+(docs/CTEST_BUDGET.json). A change that quietly makes the slow label
+several times slower therefore fails CI with the offending tests named,
+instead of the suite creeping toward the job timeout.
+
 Usage:
     check_bench.py [--default-tolerance PCT] BASELINE CURRENT \
                    [BASELINE CURRENT ...]
     check_bench.py --lint-selftest DIR --aaxlint PATH
+    check_bench.py --ctest-budget JUNIT_XML --budget BUDGET_JSON
 
 Exit status: 0 all pairs pass, 1 any regression or schema problem.
 Stdlib only; do not add dependencies.
@@ -171,6 +179,61 @@ def lint_selftest(corpus_dir, aaxlint):
     return 1 if failures else 0
 
 
+def ctest_budget(junit_path, budget_path):
+    import xml.etree.ElementTree as ET
+
+    try:
+        with open(budget_path, "r", encoding="utf-8") as f:
+            budget = json.load(f)
+    except (OSError, ValueError) as e:
+        raise SystemExit(f"check_bench: cannot read {budget_path}: {e}")
+    for field in ("total_seconds", "max_test_seconds", "min_tests"):
+        if not isinstance(budget.get(field), (int, float)):
+            raise SystemExit(
+                f"check_bench: {budget_path}: missing numeric '{field}'")
+
+    try:
+        root = ET.parse(junit_path).getroot()
+    except (OSError, ET.ParseError) as e:
+        raise SystemExit(f"check_bench: cannot parse {junit_path}: {e}")
+
+    # ctest --output-junit: a <testsuite> of <testcase name= time= status=>
+    # elements; skipped tests carry status="notrun" and a ~zero time.
+    times = []
+    for tc in root.iter("testcase"):
+        name = tc.get("name", "?")
+        try:
+            seconds = float(tc.get("time") or 0.0)
+        except ValueError:
+            seconds = 0.0
+        if tc.get("status") != "notrun":
+            times.append((seconds, name))
+
+    failures = 0
+    total = sum(t for t, _ in times)
+    if len(times) < budget["min_tests"]:
+        # An empty or truncated run must not pass a wall-clock gate.
+        print(f"FAIL ctest-budget: only {len(times)} test(s) ran, "
+              f"budget expects at least {budget['min_tests']:g}")
+        failures += 1
+    if total > budget["total_seconds"]:
+        print(f"FAIL ctest-budget: suite took {total:.1f}s, "
+              f"budget {budget['total_seconds']:g}s")
+        failures += 1
+    for seconds, name in times:
+        if seconds > budget["max_test_seconds"]:
+            print(f"FAIL ctest-budget: {name}: {seconds:.1f}s exceeds "
+                  f"per-test budget {budget['max_test_seconds']:g}s")
+            failures += 1
+
+    for seconds, name in sorted(times, reverse=True)[:5]:
+        print(f"  {seconds:7.2f}s  {name}")
+    status = "FAIL" if failures else "ok"
+    print(f"{status} ctest-budget: {len(times)} test(s), {total:.1f}s total "
+          f"(budget {budget['total_seconds']:g}s), {failures} violation(s)")
+    return 1 if failures else 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--default-tolerance", type=float, default=15.0,
@@ -182,6 +245,11 @@ def main():
                          "directory DIR instead of checking bench pairs")
     ap.add_argument("--aaxlint", metavar="PATH",
                     help="aaxlint binary for --lint-selftest")
+    ap.add_argument("--ctest-budget", metavar="JUNIT_XML",
+                    help="gate the wall-clock budget of a ctest run's "
+                         "JUnit output instead of checking bench pairs")
+    ap.add_argument("--budget", metavar="BUDGET_JSON",
+                    help="committed budget file for --ctest-budget")
     ap.add_argument("files", nargs="*", metavar="BASELINE CURRENT",
                     help="one or more baseline/current file pairs")
     args = ap.parse_args()
@@ -191,6 +259,12 @@ def main():
         if args.files:
             ap.error("--lint-selftest takes no bench file pairs")
         return lint_selftest(args.lint_selftest, args.aaxlint)
+    if args.ctest_budget:
+        if not args.budget:
+            ap.error("--ctest-budget requires --budget BUDGET_JSON")
+        if args.files:
+            ap.error("--ctest-budget takes no bench file pairs")
+        return ctest_budget(args.ctest_budget, args.budget)
     if not args.files:
         ap.error("files must come in BASELINE CURRENT pairs")
     if len(args.files) % 2 != 0:
