@@ -37,6 +37,45 @@ AbsVal AbsVal::meet(const AbsVal &A, const AbsVal &B) {
   return AbsVal::unknown();
 }
 
+//===----------------------------------------------------------------------===//
+// Memory abstract state
+//===----------------------------------------------------------------------===//
+
+const MemVal *MemState::slot(int64_t Off) const {
+  auto It = std::lower_bound(
+      Slots.begin(), Slots.end(), Off,
+      [](const std::pair<int64_t, MemVal> &E, int64_t O) {
+        return E.first < O;
+      });
+  if (It != Slots.end() && It->first == Off)
+    return &It->second;
+  return nullptr;
+}
+
+void MemState::setSlot(int64_t Off, const MemVal &V) {
+  auto It = std::lower_bound(
+      Slots.begin(), Slots.end(), Off,
+      [](const std::pair<int64_t, MemVal> &E, int64_t O) {
+        return E.first < O;
+      });
+  if (It != Slots.end() && It->first == Off) {
+    It->second = V;
+    return;
+  }
+  Slots.insert(It, {Off, V});
+}
+
+void MemState::invalidateSlots(int64_t Off, int64_t Size) {
+  // Tracked slots are 8 bytes wide: [SlotOff, SlotOff + 8) overlaps the
+  // store's [Off, Off + Size) iff SlotOff > Off - 8 and SlotOff < Off+Size.
+  auto Cmp = [](const std::pair<int64_t, MemVal> &E, int64_t O) {
+    return E.first < O;
+  };
+  auto First = std::lower_bound(Slots.begin(), Slots.end(), Off - 7, Cmp);
+  auto Last = std::lower_bound(First, Slots.end(), Off + Size, Cmp);
+  Slots.erase(First, Last);
+}
+
 namespace {
 
 constexpr unsigned GpUnit = 29; // intUnit(isa::GP)
@@ -104,11 +143,55 @@ uint64_t callerSavedUnits() {
   return M;
 }
 
+/// Register units the L007 audit examines at returns: the callee-saved
+/// set without RA. A call rewrites RA by design, so RA misuse surfaces
+/// through its save slot (L008) rather than as a preservation failure.
+uint64_t calleeSavedUnits() {
+  uint64_t M = 0;
+  for (unsigned R = S0; R <= S5; ++R)
+    M |= unitBit(intUnit(static_cast<uint8_t>(R)));
+  M |= unitBit(intUnit(FP));
+  for (unsigned F = 2; F <= 9; ++F)
+    M |= unitBit(fpUnit(static_cast<uint8_t>(F)));
+  return M;
+}
+
 const uint64_t CallUseMask = conventionalCallUse();
 const uint64_t RetUseMask = conventionalRetUse();
 const uint64_t CallClobberMask = callerSavedUnits();
+const uint64_t CalleeSavedMask = calleeSavedUnits();
 const uint64_t AllUnitsMask =
     ~(unitBit(intUnit(Zero)) | unitBit(fpUnit(FZero)));
+
+/// One data-memory access, classified for the memory-domain checks. Lda
+/// and Ldah are address arithmetic, not accesses.
+struct MemAccess {
+  bool IsMem = false;
+  bool IsStore = false;
+  int64_t Size = 0;
+};
+
+MemAccess accessOf(const Inst &I) {
+  switch (I.Op) {
+  case Opcode::Ldl:
+    return {true, false, 4};
+  case Opcode::Ldq:
+  case Opcode::Ldt:
+    return {true, false, 8};
+  case Opcode::Stl:
+    return {true, true, 4};
+  case Opcode::Stq:
+  case Opcode::Stt:
+    return {true, true, 8};
+  default:
+    return {};
+  }
+}
+
+/// Register unit a store's value comes from (STT stores an fp register).
+unsigned storedUnit(const Inst &I) {
+  return I.Op == Opcode::Stt ? fpUnit(I.Ra) : intUnit(I.Ra);
+}
 
 bool isCall(const SymInst &SI) {
   return SI.Kind == SKind::DirectCall || SI.Kind == SKind::JsrViaGat ||
@@ -291,7 +374,26 @@ struct TransferCtx {
   bool IndirectClobbersPv = true;
   bool IndirectReturns = true;
   bool IndirectReadsPv = true;
+  /// When set (lint only), AddressLoad provenness resolves MaybeEntry
+  /// through this converged entry-GP summary, exactly as gpBefore and the
+  /// L002 check do. The fixpoint rounds leave it null: they run before
+  /// EntryGp exists, which is what keeps EntryGp out of the cache keys.
+  const GpVal *ResolveEntry = nullptr;
 };
+
+/// Whether \p Raw, with MaybeEntry resolved through \p EntryGp, is exactly
+/// the procedure's own group GP (the L002/gpBefore resolution).
+bool gpProvenAt(const SymProc &Proc, const GpVal &Raw, const GpVal &EntryGp) {
+  GpVal G = Raw;
+  if (G.MaybeEntry) {
+    if (EntryGp.isBottom())
+      return false; // never entered; nothing is proven
+    G.MaybeEntry = false;
+    G.Groups |= EntryGp.Groups;
+    G.MaybeOther |= EntryGp.MaybeOther;
+  }
+  return G.provenGroup(Proc.GpGroup);
+}
 
 /// Resolves a call site to its callee procedure; ~0u means "indirect or
 /// through a data symbol" (use the combined indirect summary).
@@ -351,7 +453,10 @@ void applyInst(const TransferCtx &C, const SymProc &Proc, const SymInst &SI,
     // Loads &TargetSym from the GAT (or computes it GP-relative once
     // converted); the result is meaningful only under the right GP.
     AbsVal V = AbsVal::unknown();
-    if (S.Gp.provenGroup(Proc.GpGroup) && SI.TargetSym < C.SP.Syms.size()) {
+    bool Proven = C.ResolveEntry
+                      ? gpProvenAt(Proc, S.Gp, *C.ResolveEntry)
+                      : S.Gp.provenGroup(Proc.GpGroup);
+    if (Proven && SI.TargetSym < C.SP.Syms.size()) {
       const PSym &Sym = C.SP.Syms[SI.TargetSym];
       V = Sym.IsProc ? AbsVal::entryOf(Sym.ProcIdx)
                      : AbsVal::addrOf(SI.TargetSym);
@@ -456,6 +561,193 @@ void applyInst(const TransferCtx &C, const SymProc &Proc, const SymInst &SI,
   }
 }
 
+void setMemUnit(MemState &M, unsigned U, const MemVal &V) {
+  if (U == ~0u || isZeroUnit(U))
+    return;
+  M.R[U] = V;
+}
+
+/// Forward transfer of one instruction over a memory state. \p S is the
+/// value state *before* the instruction (callers run applyMem first, then
+/// applyInst): it supplies the GP proof for AddressLoad and nothing else.
+/// Mirrors applyInst's reachability cut at provably non-returning calls,
+/// so MemState::Unreachable stays in lockstep with ValueState's.
+void applyMem(const TransferCtx &C, const SymProc &Proc, const SymInst &SI,
+              const ValueState &S, MemState &M) {
+  if (M.Unreachable || SI.Nullified)
+    return;
+  const Inst &I = SI.I;
+
+  switch (SI.Kind) {
+  case SKind::GpHigh:
+  case SKind::GpLow:
+    M.R[GpUnit] = MemVal::unknown();
+    return;
+  case SKind::AddressLoad: {
+    // GAT slot provenance: the loaded register is &TargetSym exactly when
+    // the value transfer proves it (procedure addresses are not tracked —
+    // no data access ever goes through one legitimately).
+    MemVal V = MemVal::unknown();
+    bool Proven = C.ResolveEntry
+                      ? gpProvenAt(Proc, S.Gp, *C.ResolveEntry)
+                      : S.Gp.provenGroup(Proc.GpGroup);
+    if (Proven && SI.TargetSym < C.SP.Syms.size() &&
+        !C.SP.Syms[SI.TargetSym].IsProc)
+      V = MemVal::gatAddr(SI.TargetSym, 0);
+    setMemUnit(M, intUnit(I.Ra), V);
+    return;
+  }
+  default:
+    break;
+  }
+
+  if (isCall(SI)) {
+    // Callee-saved facts survive a call only when the callee provably
+    // preserves the unit; invisible callees (indirect sites the program
+    // analysis cannot enumerate) are assumed convention-abiding, so L007
+    // only ever fires on a positive proof. SP is restored by every
+    // convention-abiding callee; the frame slots survive because no
+    // callee can name this frame (MLang has no address-of-local — the
+    // same caveat memBaseRegions and the rescheduler rely on).
+    uint32_t Callee = calleeOf(C.SP, SI);
+    uint64_t Preserved = ~0ull;
+    bool Returns = C.IndirectReturns;
+    if (Callee != ~0u && Callee < C.Summaries.size()) {
+      Preserved = C.Summaries[Callee].PreservedSaved;
+      Returns = C.Summaries[Callee].Returns;
+    }
+    if (!Returns) {
+      M = MemState(); // everything after this call is unreachable
+      return;
+    }
+    for (unsigned U = 0; U < NumRegUnits; ++U) {
+      if (isZeroUnit(U) || U == SpUnit)
+        continue;
+      if ((CalleeSavedMask & unitBit(U)) && (Preserved & unitBit(U)))
+        continue;
+      M.R[U] = MemVal::unknown();
+    }
+    return;
+  }
+
+  MemAccess A = accessOf(I);
+  if (A.IsMem) {
+    const MemVal Base = M.R[intUnit(I.Rb)];
+    if (A.IsStore) {
+      if (Base.Kind == MemVal::K::SpRel) {
+        int64_t Addr = Base.Off + I.Disp;
+        M.invalidateSlots(Addr, A.Size);
+        if (A.Size == 8)
+          M.setSlot(Addr, M.R[storedUnit(I)]);
+      }
+      // Stores through global-derived or unknown bases cannot touch this
+      // frame's slots: globals live in a disjoint segment, and no pointer
+      // into the stack escapes (no address-of-local; DESIGN.md records
+      // the caveat).
+      return;
+    }
+    MemVal V = MemVal::unknown();
+    if (Base.Kind == MemVal::K::SpRel && A.Size == 8)
+      if (const MemVal *Slot = M.slot(Base.Off + I.Disp))
+        V = *Slot;
+    setMemUnit(M, regUnitWritten(I), V);
+    return;
+  }
+
+  switch (classOf(I.Op)) {
+  case InstClass::LoadAddress: {
+    const MemVal Base = M.R[intUnit(I.Rb)];
+    MemVal V = MemVal::unknown();
+    if (I.Op == Opcode::Lda) {
+      if (Base.Kind == MemVal::K::SpRel)
+        V = MemVal::spRel(Base.Off + I.Disp);
+      else if (Base.Kind == MemVal::K::GatAddr)
+        V = MemVal::gatAddr(Base.Id, Base.Off + I.Disp);
+      else if (I.Disp == 0)
+        V = Base; // a zero-displacement LDA is a move
+    }
+    setMemUnit(M, intUnit(I.Ra), V);
+    return;
+  }
+  case InstClass::IntOp: {
+    MemVal V = MemVal::unknown();
+    if (I.Op == Opcode::Bis) {
+      if (I.Ra == Zero && !I.IsLit)
+        V = M.R[intUnit(I.Rb)];
+      else if (!I.IsLit && I.Rb == Zero)
+        V = M.R[intUnit(I.Ra)];
+      else if (I.IsLit && I.Lit == 0)
+        V = M.R[intUnit(I.Ra)];
+    }
+    setMemUnit(M, intUnit(I.Rc), V);
+    return;
+  }
+  case InstClass::FpOp: {
+    MemVal V = MemVal::unknown();
+    if (I.Op == Opcode::Cpys && I.Ra == I.Rb)
+      V = M.R[fpUnit(I.Ra)]; // the exact fp move
+    setMemUnit(M, regUnitWritten(I), V);
+    return;
+  }
+  default:
+    setMemUnit(M, regUnitWritten(I), MemVal::unknown());
+    return;
+  }
+}
+
+void meetMemInto(MemState &Into, const MemState &From) {
+  if (From.Unreachable)
+    return;
+  if (Into.Unreachable) {
+    Into = From;
+    return;
+  }
+  for (unsigned U = 0; U < NumRegUnits; ++U)
+    Into.R[U] = MemVal::meet(Into.R[U], From.R[U]);
+  // Keep only the slots both paths agree on (sorted intersection).
+  std::vector<std::pair<int64_t, MemVal>> Keep;
+  size_t A = 0, B = 0;
+  while (A < Into.Slots.size() && B < From.Slots.size()) {
+    if (Into.Slots[A].first < From.Slots[B].first) {
+      ++A;
+    } else if (From.Slots[B].first < Into.Slots[A].first) {
+      ++B;
+    } else {
+      if (Into.Slots[A].second == From.Slots[B].second)
+        Keep.push_back(Into.Slots[A]);
+      ++A;
+      ++B;
+    }
+  }
+  Into.Slots = std::move(Keep);
+}
+
+bool sameMem(const MemState &A, const MemState &B) {
+  if (A.Unreachable != B.Unreachable)
+    return false;
+  if (A.Unreachable)
+    return true;
+  return A.R == B.R && A.Slots == B.Slots;
+}
+
+/// The memory state every procedure is entered with: SP is the frame
+/// anchor, and every callee-saved unit (plus RA, whose save slot L008
+/// watches) still holds its own entry value.
+MemState entryMemState() {
+  MemState M;
+  M.Unreachable = false;
+  M.R[SpUnit] = MemVal::spRel(0);
+  for (unsigned R = S0; R <= S5; ++R)
+    M.R[intUnit(static_cast<uint8_t>(R))] =
+        MemVal::savedOf(intUnit(static_cast<uint8_t>(R)));
+  M.R[intUnit(FP)] = MemVal::savedOf(intUnit(FP));
+  M.R[RaUnit] = MemVal::savedOf(RaUnit);
+  for (unsigned F = 2; F <= 9; ++F)
+    M.R[fpUnit(static_cast<uint8_t>(F))] =
+        MemVal::savedOf(fpUnit(static_cast<uint8_t>(F)));
+  return M;
+}
+
 void meetInto(ValueState &Into, const ValueState &From) {
   if (From.Unreachable)
     return;
@@ -520,6 +812,12 @@ ProcRound analyzeProcRound(const TransferCtx &C, const Cfg &Cfg_,
   if (Cfg_.Blocks.empty())
     return R;
   R.Values.In[0] = entryState(ProcIdx);
+  // The memory states ride the same fixpoint (their transfers need the
+  // value state only for the AddressLoad GP proof); they are consumed by
+  // the PreservedSaved extraction below and then discarded — the lint
+  // recomputes them per procedure with entry-GP resolution.
+  std::vector<MemState> MemIn(Cfg_.Blocks.size());
+  MemIn[0] = entryMemState();
 
   // Iterate over RPO to a fixpoint: meets only descend the lattice, so
   // in-states are meet-accumulated and never reset. (The entry block keeps
@@ -529,23 +827,36 @@ ProcRound analyzeProcRound(const TransferCtx &C, const Cfg &Cfg_,
     Changed = false;
     for (uint32_t B : Cfg_.Rpo) {
       ValueState S = R.Values.In[B];
+      MemState M = MemIn[B];
       if (S.Unreachable)
         continue;
       const CfgBlock &Blk = Cfg_.Blocks[B];
-      for (uint32_t I = Blk.Begin; I < Blk.End; ++I)
+      for (uint32_t I = Blk.Begin; I < Blk.End; ++I) {
+        applyMem(C, Proc, Proc.Insts[I], S, M);
         applyInst(C, Proc, Proc.Insts[I], S);
+      }
       for (uint32_t SuccI = 0; SuccI < Blk.NumSuccs; ++SuccI) {
-        ValueState &In = R.Values.In[Blk.Succs[SuccI]];
+        uint32_t Succ = Blk.Succs[SuccI];
+        ValueState &In = R.Values.In[Succ];
         ValueState Old = In;
         meetInto(In, S);
         if (!sameState(Old, In))
+          Changed = true;
+        MemState &MIn = MemIn[Succ];
+        MemState MOld = MIn;
+        meetMemInto(MIn, M);
+        if (!sameMem(MOld, MIn))
           Changed = true;
       }
     }
   }
 
   // Summary extraction: walk each reachable block once more, recording
-  // call-site GP values, exit GP at returns, and the PV-clobber bit.
+  // call-site GP values, exit GP at returns, the PV-clobber bit, and the
+  // callee-saved units still provably holding their entry values at every
+  // reachable RET. Computed-jump exits leave PreservedSaved alone: the
+  // invisible continuation is assumed convention-abiding, so a cleared
+  // bit is always a positive clobber proof.
   R.Summary.ReadsPvAtEntry = false;
   for (const SymInst &SI : Proc.Insts)
     if (SI.Kind == SKind::GpHigh && !SI.Nullified &&
@@ -553,8 +864,10 @@ ProcRound analyzeProcRound(const TransferCtx &C, const Cfg &Cfg_,
       R.Summary.ReadsPvAtEntry = true;
   R.Summary.ClobbersPv = false;
   R.Summary.Returns = false;
+  R.Summary.PreservedSaved = ~0ull;
   for (uint32_t B = 0; B < Cfg_.Blocks.size(); ++B) {
     ValueState S = R.Values.In[B];
+    MemState M = MemIn[B];
     if (S.Unreachable)
       continue;
     const CfgBlock &Blk = Cfg_.Blocks[B];
@@ -584,6 +897,7 @@ ProcRound analyzeProcRound(const TransferCtx &C, const Cfg &Cfg_,
           R.Summary.ClobbersPv = true;
         }
       }
+      applyMem(C, Proc, Proc.Insts[I], S, M);
       applyInst(C, Proc, Proc.Insts[I], S);
     }
     if (S.Unreachable)
@@ -592,6 +906,10 @@ ProcRound analyzeProcRound(const TransferCtx &C, const Cfg &Cfg_,
     if (!Last.Nullified && Last.I.Op == Opcode::Ret) {
       R.Summary.Returns = true;
       R.Summary.ExitGp |= S.Gp;
+      for (unsigned U = 0; U < NumRegUnits; ++U)
+        if ((CalleeSavedMask & unitBit(U)) &&
+            !(M.R[U] == MemVal::savedOf(U)))
+          R.Summary.PreservedSaved &= ~unitBit(U);
     }
     if (!Last.Nullified && Last.I.Op == Opcode::Jmp) {
       R.Summary.Returns = true;
@@ -710,6 +1028,7 @@ void addSummary(Hasher &H, const ProcSummary &S) {
   H.addBool(S.Returns);
   H.addBool(S.ClobbersPv);
   H.addBool(S.ReadsPvAtEntry);
+  H.addU64(S.PreservedSaved);
 }
 
 /// Content key of one procedure for the summary cache: every per-procedure
@@ -977,7 +1296,8 @@ ProgramAnalysis analysis::analyzeProgram(const SymbolicProgram &SP,
           Cache ? Shared[I]->R.Summary : Rounds[I].Summary;
       if (Old.ExitGp != New.ExitGp || Old.Returns != New.Returns ||
           Old.ClobbersPv != New.ClobbersPv ||
-          Old.ReadsPvAtEntry != New.ReadsPvAtEntry) {
+          Old.ReadsPvAtEntry != New.ReadsPvAtEntry ||
+          Old.PreservedSaved != New.PreservedSaved) {
         GpVal Entry = Old.EntryGp; // filled below; preserve across rounds
         Old = New;
         Old.EntryGp = Entry;
@@ -1267,125 +1587,588 @@ GpProof ProgramAnalysis::gpBefore(const SymbolicProgram &SP, uint32_t ProcIdx,
 // Lint
 //===----------------------------------------------------------------------===//
 
-unsigned analysis::runLint(const SymbolicProgram &SP,
-                           const ProgramAnalysis &PA,
-                           DiagnosticEngine &Diags) {
-  unsigned Findings = 0;
+namespace {
+
+/// Shortest path (by block count) from the entry block to \p Target; empty
+/// when Target is unreachable. The result lists blocks in forward order.
+std::vector<uint32_t> shortestBlockPath(const Cfg &C, uint32_t Target) {
+  std::vector<uint32_t> Path;
+  if (C.Blocks.empty() || Target >= C.Blocks.size())
+    return Path;
+  std::vector<uint32_t> Prev(C.Blocks.size(), ~0u);
+  std::vector<uint8_t> Seen(C.Blocks.size(), 0);
+  std::vector<uint32_t> Queue;
+  Queue.push_back(0);
+  Seen[0] = 1;
+  for (size_t Q = 0; Q < Queue.size() && !Seen[Target]; ++Q) {
+    uint32_t B = Queue[Q];
+    for (uint32_t S = 0; S < C.Blocks[B].NumSuccs; ++S) {
+      uint32_t T = C.Blocks[B].Succs[S];
+      if (!Seen[T]) {
+        Seen[T] = 1;
+        Prev[T] = B;
+        Queue.push_back(T);
+      }
+    }
+  }
+  if (!Seen[Target])
+    return Path;
+  for (uint32_t B = Target;; B = Prev[B]) {
+    Path.push_back(B);
+    if (B == 0 || Prev[B] == ~0u)
+      break;
+  }
+  std::reverse(Path.begin(), Path.end());
+  return Path;
+}
+
+/// One-line description of a witness step.
+std::string describeStep(const SymInst &SI) {
+  if (isCall(SI))
+    return formatString("%s: call (callee facts applied)",
+                        opcodeName(SI.I.Op));
+  if (isStore(SI.I.Op))
+    return formatString("%s stores %s", opcodeName(SI.I.Op),
+                        SI.I.Op == Opcode::Stt ? fpRegName(SI.I.Ra)
+                                               : intRegName(SI.I.Ra));
+  unsigned W = regUnitWritten(SI.I);
+  if (W != ~0u)
+    return formatString("%s writes %s", opcodeName(SI.I.Op), unitName(W));
+  return opcodeName(SI.I.Op);
+}
+
+/// Builds a finding's witness path: the shortest CFG path from the
+/// procedure entry to the defect block, replayed through both abstract
+/// transfers, keeping the instructions that write a watched register unit
+/// or store into the watched frame slot (plus calls — they apply callee
+/// facts to the watched units). Always non-empty: the entry fact and the
+/// defect site frame the trace.
+std::vector<LintWitnessStep>
+buildWitness(const TransferCtx &Ctx, const SymProc &Proc, const Cfg &C,
+             const std::vector<ValueState> &VIn,
+             const std::vector<MemState> &MIn, uint32_t DefBlock,
+             uint32_t DefInst, uint64_t WatchUnits, bool WatchSlot,
+             int64_t SlotOff, std::string DefectNote) {
+  std::vector<LintWitnessStep> W;
+  constexpr size_t MaxSteps = 12;
+  std::vector<uint32_t> Path = shortestBlockPath(C, DefBlock);
+  if (Path.empty()) {
+    W.push_back({DefInst, "no path from the procedure entry reaches this "
+                          "block (the defect is the block itself)"});
+    W.push_back({DefInst, std::move(DefectNote)});
+    return W;
+  }
+  W.push_back({C.Blocks[0].Begin,
+               "entry: argument, callee-saved, and linkage registers hold "
+               "caller values; sp anchors the frame"});
+  size_t Elided = 0;
+  for (uint32_t B : Path) {
+    ValueState S = VIn[B];
+    MemState M = MIn[B];
+    const CfgBlock &Blk = C.Blocks[B];
+    uint32_t End = B == DefBlock ? DefInst : Blk.End;
+    for (uint32_t I = Blk.Begin; I < End; ++I) {
+      const SymInst &SI = Proc.Insts[I];
+      bool Relevant = false;
+      if (!SI.Nullified && !S.Unreachable) {
+        unsigned Wr = regUnitWritten(SI.I);
+        if (Wr != ~0u && (WatchUnits & unitBit(Wr)))
+          Relevant = true;
+        if (isCall(SI) && WatchUnits != 0)
+          Relevant = true;
+        if (WatchSlot && isStore(SI.I.Op)) {
+          MemAccess A = accessOf(SI.I);
+          const MemVal Base = M.R[intUnit(SI.I.Rb)];
+          if (Base.Kind == MemVal::K::SpRel) {
+            int64_t Addr = Base.Off + SI.I.Disp;
+            if (Addr < SlotOff + 8 && Addr + A.Size > SlotOff)
+              Relevant = true;
+          }
+        }
+      }
+      if (Relevant) {
+        if (W.size() < MaxSteps)
+          W.push_back({I, describeStep(SI)});
+        else
+          ++Elided;
+      }
+      applyMem(Ctx, Proc, SI, S, M);
+      applyInst(Ctx, Proc, SI, S);
+    }
+  }
+  if (Elided)
+    W.push_back({DefInst, formatString("... %zu more steps elided",
+                                       Elided)});
+  W.push_back({DefInst, std::move(DefectNote)});
+  return W;
+}
+
+/// Lints one procedure, appending its findings (sorted by instruction,
+/// then code) to \p Out. Runs a procedure-local value+memory fixpoint with
+/// the converged entry-GP summary resolved in, so GAT provenance crosses
+/// procedure boundaries exactly as the L002 proof does.
+void lintProc(const TransferCtx &BaseCtx, const SymbolicProgram &SP,
+              const ProgramAnalysis &PA, uint32_t ProcIdx,
+              std::vector<LintFinding> &Out) {
+  const SymProc &Proc = SP.Procs[ProcIdx];
+  const Cfg &C = PA.Cfgs[ProcIdx];
+  if (Proc.Insts.empty() || C.Blocks.empty())
+    return;
+
+  const GpVal EntryGp = PA.Summaries[ProcIdx].EntryGp;
+  TransferCtx Ctx = BaseCtx;
+  Ctx.ResolveEntry = &EntryGp;
+
+  // Procedure-local combined fixpoint (same shape as analyzeProcRound's,
+  // plus entry-GP resolution for AddressLoad provenance).
+  std::vector<ValueState> VIn(C.Blocks.size());
+  std::vector<MemState> MIn(C.Blocks.size());
+  VIn[0] = entryState(ProcIdx);
+  MIn[0] = entryMemState();
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t B : C.Rpo) {
+      ValueState S = VIn[B];
+      MemState M = MIn[B];
+      if (S.Unreachable)
+        continue;
+      const CfgBlock &Blk = C.Blocks[B];
+      for (uint32_t I = Blk.Begin; I < Blk.End; ++I) {
+        applyMem(Ctx, Proc, Proc.Insts[I], S, M);
+        applyInst(Ctx, Proc, Proc.Insts[I], S);
+      }
+      for (uint32_t SuccI = 0; SuccI < Blk.NumSuccs; ++SuccI) {
+        uint32_t Succ = Blk.Succs[SuccI];
+        ValueState Old = VIn[Succ];
+        meetInto(VIn[Succ], S);
+        if (!sameState(Old, VIn[Succ]))
+          Changed = true;
+        MemState MOld = MIn[Succ];
+        meetMemInto(MIn[Succ], M);
+        if (!sameMem(MOld, MIn[Succ]))
+          Changed = true;
+      }
+    }
+  }
+
+  auto report = [&](uint32_t InstIdx, const char *Code, std::string Msg,
+                    uint64_t WatchUnits, bool WatchSlot, int64_t SlotOff,
+                    std::string DefectNote) {
+    LintFinding F;
+    F.Code = Code;
+    F.ProcIdx = ProcIdx;
+    F.Proc = Proc.Name;
+    F.InstIdx = InstIdx;
+    F.Message = std::move(Msg);
+    uint32_t DefBlock =
+        C.BlockOf[std::min<size_t>(InstIdx, C.BlockOf.size() - 1)];
+    F.Witness = buildWitness(Ctx, Proc, C, VIn, MIn, DefBlock, InstIdx,
+                             WatchUnits, WatchSlot, SlotOff,
+                             std::move(DefectNote));
+    Out.push_back(std::move(F));
+  };
+
+  const size_t FirstFinding = Out.size();
+  for (uint32_t B = 0; B < C.Blocks.size(); ++B) {
+    if (!C.Reachable[B])
+      continue;
+    ValueState S = VIn[B];
+    MemState M = MIn[B];
+    const CfgBlock &Blk = C.Blocks[B];
+    for (uint32_t I = Blk.Begin; I < Blk.End; ++I) {
+      const SymInst &SI = Proc.Insts[I];
+      if (SI.Nullified || S.Unreachable) {
+        applyMem(Ctx, Proc, SI, S, M);
+        applyInst(Ctx, Proc, SI, S);
+        continue;
+      }
+      // L001: a read of a register no path has written since entry.
+      unsigned Units[3];
+      unsigned NR = regUnitsRead(SI.I, Units);
+      for (unsigned K = 0; K < NR; ++K) {
+        unsigned U = Units[K];
+        if (!isZeroUnit(U) && S.R[U].Kind == ValueKind::Uninit) {
+          report(I,
+                 "L001",
+                 formatString("L001: reads uninitialized register %s at +%u",
+                              unitName(U), I * 4),
+                 unitBit(U), false, 0,
+                 formatString("reads %s, which no path has written",
+                              unitName(U)));
+          break;
+        }
+      }
+      // L002: a GAT address load whose GP is not provably this group's.
+      if (SI.Kind == SKind::AddressLoad) {
+        bool NeverEntered = S.Gp.MaybeEntry && EntryGp.isBottom();
+        if (!NeverEntered && !gpProvenAt(Proc, S.Gp, EntryGp))
+          report(I,
+                 "L002",
+                 formatString("L002: GAT address load at +%u is reachable "
+                              "with a wrong or unknown GP",
+                              I * 4),
+                 unitBit(GpUnit), false, 0,
+                 "GAT load here: GP is not provably this group's value");
+      }
+      // L005: call-convention violations.
+      if (SI.Kind == SKind::JsrViaGat && SI.LitId != ~0u) {
+        auto It = SP.Lits.find(SI.LitId);
+        if (It != SP.Lits.end() && It->second.TargetSym < SP.Syms.size() &&
+            !SP.Syms[It->second.TargetSym].IsProc)
+          report(I,
+                 "L005",
+                 formatString("L005: call at +%u targets data symbol '%s'",
+                              I * 4,
+                              SP.Syms[It->second.TargetSym].Name.c_str()),
+                 0, false, 0, "call through a data symbol's GAT slot");
+      }
+      if (SI.I.Op == Opcode::Jsr && SI.I.Ra != RA)
+        report(I,
+               "L005",
+               formatString("L005: call at +%u links through %s instead "
+                            "of ra",
+                            I * 4, intRegName(SI.I.Ra)),
+               0, false, 0, "call links through the wrong register");
+      if (SI.Kind == SKind::DirectCall && SI.I.Op == Opcode::Bsr &&
+          SI.I.Ra != RA)
+        report(I,
+               "L005",
+               formatString("L005: call at +%u links through %s instead "
+                            "of ra",
+                            I * 4, intRegName(SI.I.Ra)),
+               0, false, 0, "call links through the wrong register");
+      if (SI.I.Op == Opcode::Ret && SI.I.Rb != RA)
+        report(I,
+               "L005",
+               formatString("L005: return at +%u through %s instead of ra",
+                            I * 4, intRegName(SI.I.Rb)),
+               0, false, 0, "return through the wrong register");
+
+      // Memory-domain checks. The GAT slot load itself (base GP) never
+      // trips them: GP's MemVal is always Unknown.
+      MemAccess A = accessOf(SI.I);
+      if (A.IsMem) {
+        const MemVal Base = M.R[intUnit(SI.I.Rb)];
+        const MemVal CurSp = M.R[SpUnit];
+        // L006: a provably SP-relative access outside the live frame
+        // [current sp, entry sp). Incoming arguments are register-passed,
+        // so nothing above the entry SP is ever legitimately addressed.
+        if (Base.Kind == MemVal::K::SpRel &&
+            CurSp.Kind == MemVal::K::SpRel) {
+          int64_t Lo = Base.Off + SI.I.Disp;
+          int64_t Hi = Lo + A.Size;
+          if (Lo < CurSp.Off || Hi > 0)
+            report(I,
+                   "L006",
+                   formatString("L006: stack access at +%u is out of frame "
+                                "bounds (entry-sp%+lld, frame is [%lld, 0))",
+                                I * 4, static_cast<long long>(Lo),
+                                static_cast<long long>(CurSp.Off)),
+                   unitBit(intUnit(SI.I.Rb)) | unitBit(SpUnit), false, 0,
+                   formatString("accesses [entry-sp%+lld, entry-sp%+lld) "
+                                "outside the frame",
+                                static_cast<long long>(Lo),
+                                static_cast<long long>(Hi)));
+        }
+        // L009: a GAT-proven data access outside the symbol's bounds or
+        // misaligned for its width.
+        if (Base.Kind == MemVal::K::GatAddr && Base.Id < SP.Syms.size()) {
+          const PSym &Sym = SP.Syms[Base.Id];
+          if (!Sym.IsProc && Sym.Size > 0) {
+            int64_t Lo = Base.Off + SI.I.Disp;
+            int64_t Hi = Lo + A.Size;
+            if (Lo < 0 || Hi > static_cast<int64_t>(Sym.Size))
+              report(I,
+                     "L009",
+                     formatString("L009: access at +%u to '%s'%+lld is "
+                                  "outside the symbol's %llu bytes",
+                                  I * 4, Sym.Name.c_str(),
+                                  static_cast<long long>(Lo),
+                                  static_cast<unsigned long long>(Sym.Size)),
+                     unitBit(intUnit(SI.I.Rb)), false, 0,
+                     formatString("accesses ['%s'%+lld, '%s'%+lld), "
+                                  "outside [0, %llu)",
+                                  Sym.Name.c_str(),
+                                  static_cast<long long>(Lo),
+                                  Sym.Name.c_str(),
+                                  static_cast<long long>(Hi),
+                                  static_cast<unsigned long long>(Sym.Size)));
+            else if (Lo % A.Size != 0)
+              report(I,
+                     "L009",
+                     formatString("L009: access at +%u to '%s'%+lld is "
+                                  "misaligned for its %lld-byte width",
+                                  I * 4, Sym.Name.c_str(),
+                                  static_cast<long long>(Lo),
+                                  static_cast<long long>(A.Size)),
+                     unitBit(intUnit(SI.I.Rb)), false, 0,
+                     "misaligned GAT-relative access");
+          }
+        }
+        if (A.IsStore) {
+          unsigned SU = storedUnit(SI.I);
+          // L008: overwriting a slot that still holds the saved return
+          // address with anything else.
+          if (Base.Kind == MemVal::K::SpRel) {
+            int64_t Lo = Base.Off + SI.I.Disp;
+            for (const auto &[SlotOff, V] : M.Slots) {
+              if (SlotOff >= Lo + A.Size)
+                break;
+              if (SlotOff + 8 <= Lo)
+                continue;
+              if (V == MemVal::savedOf(RaUnit) &&
+                  !(M.R[SU] == MemVal::savedOf(RaUnit)))
+                report(I,
+                       "L008",
+                       formatString("L008: store at +%u overwrites the "
+                                    "saved return address at entry-sp%+lld",
+                                    I * 4, static_cast<long long>(SlotOff)),
+                       unitBit(SpUnit) | unitBit(RaUnit), true, SlotOff,
+                       "overwrites the slot holding the saved ra");
+            }
+          }
+          // L010: a stack address stored through a global-derived base
+          // outlives its frame.
+          bool StackVal = S.R[SU].Kind == ValueKind::Stack ||
+                          M.R[SU].Kind == MemVal::K::SpRel;
+          bool GlobalBase = S.R[intUnit(SI.I.Rb)].isGlobalDerived() ||
+                            Base.Kind == MemVal::K::GatAddr;
+          if (StackVal && GlobalBase)
+            report(I,
+                   "L010",
+                   formatString("L010: store at +%u leaks a stack address "
+                                "to a global location",
+                                I * 4),
+                   unitBit(SU) | unitBit(intUnit(SI.I.Rb)), false, 0,
+                   "stores a stack-derived value through a global base");
+        }
+      }
+      // L007: a callee-saved register not provably holding its entry
+      // value at a return.
+      if (SI.I.Op == Opcode::Ret) {
+        for (unsigned U = 0; U < NumRegUnits; ++U)
+          if ((CalleeSavedMask & unitBit(U)) &&
+              !(M.R[U] == MemVal::savedOf(U)))
+            report(I,
+                   "L007",
+                   formatString("L007: callee-saved register %s is not "
+                                "preserved at the return at +%u",
+                                unitName(U), I * 4),
+                   unitBit(U), false, 0,
+                   formatString("returns with %s not holding its entry "
+                                "value",
+                                unitName(U)));
+      }
+      applyMem(Ctx, Proc, SI, S, M);
+      applyInst(Ctx, Proc, SI, S);
+    }
+  }
+  // L003: blocks no path from the procedure entry reaches. Compiled code
+  // legitimately contains dead register-only straight-line blocks — the
+  // compiler's default-return guard behind an always-taken branch, nop
+  // padding — so only blocks with an observable effect (a store, a call,
+  // or control flow of their own) are reported.
+  for (uint32_t B = 0; B < C.Blocks.size(); ++B) {
+    if (C.Reachable[B])
+      continue;
+    bool Observable = false;
+    for (uint32_t I = C.Blocks[B].Begin; I < C.Blocks[B].End && !Observable;
+         ++I) {
+      const SymInst &SI = Proc.Insts[I];
+      if (SI.Nullified)
+        continue;
+      InstClass Cls = classOf(SI.I.Op);
+      Observable = isStore(SI.I.Op) || Cls == InstClass::Branch ||
+                   Cls == InstClass::Jump || Cls == InstClass::Pal;
+    }
+    if (Observable)
+      report(C.Blocks[B].Begin, "L003",
+             formatString("L003: unreachable block at +%u",
+                          C.Blocks[B].Begin * 4),
+             0, false, 0, "real code with no path from the entry");
+  }
+  // L004: a reachable path runs past the last instruction into whatever
+  // the layout places next.
+  if (C.FallsOffEnd) {
+    uint32_t FallBlock = 0;
+    for (uint32_t B = 0; B < C.Blocks.size(); ++B)
+      if (C.Reachable[B] && C.FallsOff[B]) {
+        FallBlock = B;
+        break;
+      }
+    uint32_t InstIdx = static_cast<uint32_t>(Proc.Insts.size()) - 1;
+    LintFinding F;
+    F.Code = "L004";
+    F.ProcIdx = ProcIdx;
+    F.Proc = Proc.Name;
+    F.InstIdx = InstIdx;
+    F.Message = "L004: control can fall through the end of the procedure";
+    F.Witness = buildWitness(Ctx, Proc, C, VIn, MIn, FallBlock,
+                             C.Blocks[FallBlock].End, 0, false, 0,
+                             "control runs past the last instruction");
+    F.Witness.back().InstIdx = InstIdx; // the defect anchors on the last inst
+    Out.push_back(std::move(F));
+  }
+  std::stable_sort(Out.begin() + FirstFinding, Out.end(),
+                   [](const LintFinding &A, const LintFinding &B) {
+                     if (A.InstIdx != B.InstIdx)
+                       return A.InstIdx < B.InstIdx;
+                     return A.Code < B.Code;
+                   });
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char Ch : S) {
+    switch (Ch) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(Ch) < 0x20)
+        Out += formatString("\\u%04x", static_cast<unsigned>(Ch));
+      else
+        Out += Ch;
+    }
+  }
+  return Out;
+}
+
+const char *lintRuleTitle(unsigned Code) {
+  switch (Code) {
+  case 1:
+    return "read of a provably-uninitialized register";
+  case 2:
+    return "GAT address load reachable with a wrong or unknown GP";
+  case 3:
+    return "unreachable basic block containing real code";
+  case 4:
+    return "control falls through the end of a procedure";
+  case 5:
+    return "call-convention violation";
+  case 6:
+    return "stack access out of frame bounds";
+  case 7:
+    return "callee-saved register clobbered without save/restore";
+  case 8:
+    return "return-address slot overwritten after save";
+  case 9:
+    return "GAT access with mismatched size or alignment";
+  case 10:
+    return "stack address escapes its frame lifetime";
+  default:
+    return "";
+  }
+}
+
+} // namespace
+
+std::vector<LintFinding> analysis::lintProgram(const SymbolicProgram &SP,
+                                               const ProgramAnalysis &PA,
+                                               ThreadPool &Pool) {
+  const size_t N = SP.Procs.size();
   TransferCtx Ctx{SP,
                   PA.Summaries,
                   PA.IndirectExitGp,
                   PA.IndirectClobbersPv,
                   PA.IndirectReturns,
                   PA.IndirectReadsPv};
-  for (uint32_t ProcIdx = 0; ProcIdx < SP.Procs.size(); ++ProcIdx) {
-    const SymProc &Proc = SP.Procs[ProcIdx];
-    const Cfg &C = PA.Cfgs[ProcIdx];
-    if (Proc.Insts.empty())
-      continue;
-    std::string Buffer = "lint:" + Proc.Name;
-    auto report = [&](uint32_t InstIdx, const std::string &Msg) {
-      Diags.warning(Buffer, SourceLoc{InstIdx + 1, 0}, Msg);
-      ++Findings;
-    };
+  std::vector<std::vector<LintFinding>> Per(N);
+  Pool.parallelFor(N, [&](size_t I) {
+    lintProc(Ctx, SP, PA, static_cast<uint32_t>(I), Per[I]);
+  });
+  std::vector<LintFinding> Out;
+  for (std::vector<LintFinding> &V : Per)
+    for (LintFinding &F : V)
+      Out.push_back(std::move(F));
+  return Out;
+}
 
-    for (uint32_t B = 0; B < C.Blocks.size(); ++B) {
-      if (!C.Reachable[B])
-        continue;
-      ValueState S = PA.Values[ProcIdx].In[B];
-      const CfgBlock &Blk = C.Blocks[B];
-      for (uint32_t I = Blk.Begin; I < Blk.End; ++I) {
-        const SymInst &SI = Proc.Insts[I];
-        if (SI.Nullified || S.Unreachable) {
-          applyInst(Ctx, Proc, SI, S);
-          continue;
-        }
-        // L001: a read of a register no path has written since entry.
-        unsigned Units[3];
-        unsigned NR = regUnitsRead(SI.I, Units);
-        for (unsigned K = 0; K < NR; ++K) {
-          unsigned U = Units[K];
-          if (!isZeroUnit(U) && S.R[U].Kind == ValueKind::Uninit) {
-            report(I, formatString(
-                          "L001: reads uninitialized register %s at +%u",
-                          unitName(U), I * 4));
-            break;
-          }
-        }
-        // L002: a GAT address load whose GP is not provably this group's.
-        if (SI.Kind == SKind::AddressLoad) {
-          GpVal G = S.Gp;
-          bool NeverEntered = false;
-          if (G.MaybeEntry) {
-            const GpVal &E = PA.Summaries[ProcIdx].EntryGp;
-            if (E.isBottom()) {
-              NeverEntered = true; // dead procedure: the load can't run
-            } else {
-              G.MaybeEntry = false;
-              G.Groups |= E.Groups;
-              G.MaybeOther |= E.MaybeOther;
-            }
-          }
-          if (!NeverEntered && !G.provenGroup(Proc.GpGroup))
-            report(I, formatString("L002: GAT address load at +%u is "
-                                   "reachable with a wrong or unknown GP",
-                                   I * 4));
-        }
-        // L005: call-convention violations.
-        if (SI.Kind == SKind::JsrViaGat && SI.LitId != ~0u) {
-          auto It = SP.Lits.find(SI.LitId);
-          if (It != SP.Lits.end() && It->second.TargetSym < SP.Syms.size() &&
-              !SP.Syms[It->second.TargetSym].IsProc)
-            report(I,
-                   formatString("L005: call at +%u targets data symbol '%s'",
-                                I * 4,
-                                SP.Syms[It->second.TargetSym].Name.c_str()));
-        }
-        if (SI.I.Op == Opcode::Jsr && SI.I.Ra != RA)
-          report(I, formatString(
-                        "L005: call at +%u links through %s instead of ra",
-                        I * 4, intRegName(SI.I.Ra)));
-        if (SI.Kind == SKind::DirectCall && SI.I.Op == Opcode::Bsr &&
-            SI.I.Ra != RA)
-          report(I, formatString(
-                        "L005: call at +%u links through %s instead of ra",
-                        I * 4, intRegName(SI.I.Ra)));
-        if (SI.I.Op == Opcode::Ret && SI.I.Rb != RA)
-          report(I, formatString(
-                        "L005: return at +%u through %s instead of ra",
-                        I * 4, intRegName(SI.I.Rb)));
-        applyInst(Ctx, Proc, SI, S);
-      }
-    }
-    // L003: blocks no path from the procedure entry reaches. Compiled code
-    // legitimately contains dead register-only straight-line blocks — the
-    // compiler's default-return guard behind an always-taken branch, nop
-    // padding — so only blocks with an observable effect (a store, a call,
-    // or control flow of their own) are reported.
-    for (uint32_t B = 0; B < C.Blocks.size(); ++B) {
-      if (C.Reachable[B])
-        continue;
-      bool Observable = false;
-      for (uint32_t I = C.Blocks[B].Begin;
-           I < C.Blocks[B].End && !Observable; ++I) {
-        const SymInst &SI = Proc.Insts[I];
-        if (SI.Nullified)
-          continue;
-        InstClass Cls = classOf(SI.I.Op);
-        Observable = isStore(SI.I.Op) || Cls == InstClass::Branch ||
-                     Cls == InstClass::Jump || Cls == InstClass::Pal;
-      }
-      if (Observable)
-        report(C.Blocks[B].Begin,
-               formatString("L003: unreachable block at +%u",
-                            C.Blocks[B].Begin * 4));
-    }
-    // L004: a reachable path runs past the last instruction into whatever
-    // the layout places next.
-    if (C.FallsOffEnd)
-      report(static_cast<uint32_t>(Proc.Insts.size()) - 1,
-             "L004: control can fall through the end of the procedure");
+std::string analysis::renderLintText(const std::vector<LintFinding> &Findings,
+                                     bool Explain) {
+  std::string Out;
+  for (const LintFinding &F : Findings) {
+    Out += formatString("lint:%s:%u:0: warning: %s\n", F.Proc.c_str(),
+                        F.InstIdx + 1, F.Message.c_str());
+    if (!Explain)
+      continue;
+    unsigned N = 0;
+    for (const LintWitnessStep &St : F.Witness)
+      Out += formatString("  #%u +%u: %s\n", N++, St.InstIdx * 4,
+                          St.Note.c_str());
   }
-  return Findings;
+  return Out;
+}
+
+std::string
+analysis::renderLintJson(const std::vector<LintFinding> &Findings) {
+  std::string Out = "{\"findings\":[";
+  bool First = true;
+  for (const LintFinding &F : Findings) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += formatString(
+        "{\"code\":\"%s\",\"proc\":\"%s\",\"offset\":%u,\"message\":\"%s\"}",
+        jsonEscape(F.Code).c_str(), jsonEscape(F.Proc).c_str(),
+        F.InstIdx * 4, jsonEscape(F.Message).c_str());
+  }
+  Out += "]}\n";
+  return Out;
+}
+
+std::string
+analysis::renderLintSarif(const std::vector<LintFinding> &Findings) {
+  std::string Out =
+      "{\"$schema\":"
+      "\"https://json.schemastore.org/sarif-2.1.0.json\","
+      "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+      "\"name\":\"aaxlint\",\"rules\":[";
+  for (unsigned Code = 1; Code <= 10; ++Code) {
+    if (Code > 1)
+      Out += ',';
+    Out += formatString("{\"id\":\"L%03u\",\"shortDescription\":{"
+                        "\"text\":\"%s\"}}",
+                        Code, jsonEscape(lintRuleTitle(Code)).c_str());
+  }
+  Out += "]}},\"results\":[";
+  bool First = true;
+  for (const LintFinding &F : Findings) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += formatString(
+        "{\"ruleId\":\"%s\",\"level\":\"warning\","
+        "\"message\":{\"text\":\"%s\"},\"locations\":[{"
+        "\"physicalLocation\":{\"artifactLocation\":{\"uri\":\"%s\"},"
+        "\"region\":{\"startLine\":%u}}}]}",
+        jsonEscape(F.Code).c_str(), jsonEscape(F.Message).c_str(),
+        jsonEscape(F.Proc).c_str(), F.InstIdx + 1);
+  }
+  Out += "]}]}\n";
+  return Out;
+}
+
+unsigned analysis::runLint(const SymbolicProgram &SP,
+                           const ProgramAnalysis &PA,
+                           DiagnosticEngine &Diags) {
+  ThreadPool Pool(1);
+  std::vector<LintFinding> Findings = lintProgram(SP, PA, Pool);
+  for (const LintFinding &F : Findings)
+    Diags.warning("lint:" + F.Proc, SourceLoc{F.InstIdx + 1, 0}, F.Message);
+  return static_cast<unsigned>(Findings.size());
 }
 
 //===----------------------------------------------------------------------===//
@@ -1516,6 +2299,99 @@ std::vector<LintCase> analysis::lintCorpus() {
                      makeJump(Opcode::Ret, Zero, RA)},
                     false};
     Cases.push_back({"L005", "bad_link_reg", makeCorpusObject({Main})});
+  }
+
+  // L006: the store lands at entry-sp-24, below the 16-byte frame.
+  {
+    CorpusProc Main{"main",
+                    {makeMem(Opcode::Lda, SP, -16, SP),
+                     makeMem(Opcode::Stq, Zero, -8, SP),
+                     makeMem(Opcode::Lda, SP, 16, SP),
+                     makeJump(Opcode::Ret, Zero, RA)},
+                    false};
+    Cases.push_back({"L006", "stack_oob", makeCorpusObject({Main})});
+  }
+
+  // L007: s0 is overwritten and never restored before the return.
+  {
+    CorpusProc Main{"main",
+                    {makeMem(Opcode::Lda, S0, 1, Zero),
+                     makeJump(Opcode::Ret, Zero, RA)},
+                    false};
+    Cases.push_back(
+        {"L007", "clobbered_saved_reg", makeCorpusObject({Main})});
+  }
+
+  // L008: ra is saved at entry-sp-16, then the same slot is overwritten
+  // with zero before the restore — the reload yields garbage.
+  {
+    CorpusProc Main{"main",
+                    {makeMem(Opcode::Lda, SP, -16, SP),
+                     makeMem(Opcode::Stq, RA, 0, SP),
+                     makeMem(Opcode::Stq, Zero, 0, SP),
+                     makeMem(Opcode::Ldq, RA, 0, SP),
+                     makeMem(Opcode::Lda, SP, 16, SP),
+                     makeJump(Opcode::Ret, Zero, RA)},
+                    false};
+    Cases.push_back({"L008", "ra_slot_overwrite", makeCorpusObject({Main})});
+  }
+
+  // L009: the GAT slot resolves to the 8-byte symbol d, but the second
+  // load reads [d+8, d+16) — past the end.
+  {
+    CorpusProc Main{"main",
+                    {makeMem(Opcode::Ldq, T1, 0, GP),
+                     makeMem(Opcode::Ldq, T0, 8, T1),
+                     makeJump(Opcode::Ret, Zero, RA)},
+                    true};
+    obj::ObjectFile O = makeCorpusObject({Main});
+    obj::Symbol D;
+    D.Name = "lintcase.d";
+    D.Section = obj::SectionKind::Data;
+    D.Offset = 0;
+    D.Size = 8;
+    D.IsDefined = true;
+    uint32_t DIdx = static_cast<uint32_t>(O.Symbols.size());
+    O.Symbols.push_back(std::move(D));
+    O.Data.assign(8, 0);
+    O.Gat.push_back({DIdx, 0});
+    obj::Reloc R;
+    R.Kind = obj::RelocKind::Literal;
+    R.Section = obj::SectionKind::Text;
+    R.Offset = 0; // main's first LDQ
+    R.GatIndex = 0;
+    R.LiteralId = 0;
+    O.Relocs.push_back(R);
+    Cases.push_back({"L009", "gat_oob", std::move(O)});
+  }
+
+  // L010: the frame pointer value (sp itself) is stored into the global
+  // d — a stack address escaping its frame's lifetime.
+  {
+    CorpusProc Main{"main",
+                    {makeMem(Opcode::Ldq, T1, 0, GP),
+                     makeMem(Opcode::Stq, SP, 0, T1),
+                     makeJump(Opcode::Ret, Zero, RA)},
+                    true};
+    obj::ObjectFile O = makeCorpusObject({Main});
+    obj::Symbol D;
+    D.Name = "lintcase.d";
+    D.Section = obj::SectionKind::Data;
+    D.Offset = 0;
+    D.Size = 8;
+    D.IsDefined = true;
+    uint32_t DIdx = static_cast<uint32_t>(O.Symbols.size());
+    O.Symbols.push_back(std::move(D));
+    O.Data.assign(8, 0);
+    O.Gat.push_back({DIdx, 0});
+    obj::Reloc R;
+    R.Kind = obj::RelocKind::Literal;
+    R.Section = obj::SectionKind::Text;
+    R.Offset = 0; // main's first LDQ
+    R.GatIndex = 0;
+    R.LiteralId = 0;
+    O.Relocs.push_back(R);
+    Cases.push_back({"L010", "stack_escape", std::move(O)});
   }
 
   return Cases;

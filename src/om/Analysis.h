@@ -23,9 +23,14 @@
 ///     summaries, seeded from the loader contract (the simulator enters
 ///     the entry procedure with PV = entry address and GP = its group's
 ///     GP value),
+///   * an interprocedural memory abstract domain layered on the same
+///     fixpoint: byte-interval stack-frame tracking (MemVal::SpRel), GAT
+///     slot provenance (MemVal::GatAddr), and callee-saved preservation
+///     proofs composed bottom-up through ProcSummary::PreservedSaved,
 ///   * a binary lint (`omlink --lint`, tools/aaxlint) reporting convention
-///     violations as L001..L005 diagnostics, with a built-in corpus of
-///     broken modules that seed exactly one finding each.
+///     violations as L001..L010 diagnostics with witness paths, with a
+///     built-in corpus of broken modules that seed exactly one finding
+///     each, plus JSON and SARIF 2.1.0 renderers.
 ///
 /// Everything here is a pure function of the SymbolicProgram: per-procedure
 /// passes fan out on the ThreadPool into per-index slots and are reduced in
@@ -150,6 +155,59 @@ enum class GpProof : uint8_t {
 };
 
 //===----------------------------------------------------------------------===//
+// Memory abstract domain
+//===----------------------------------------------------------------------===//
+
+/// The memory-side abstract value of a register: where it points (or what
+/// it holds) relative to the procedure's entry state. This is the domain
+/// under lint codes L006..L010 — byte-precise stack-frame tracking, GAT
+/// slot provenance, and callee-saved preservation proofs. Unknown is top;
+/// the meet of disagreeing values is Unknown.
+struct MemVal {
+  enum class K : uint8_t {
+    Unknown,
+    SpRel,   // entry-SP + Off (the frame pointer family)
+    SavedOf, // still holds the entry value of register unit Id
+    GatAddr, // &Syms[Id] + Off, proven through a GAT load
+  };
+  K Kind = K::Unknown;
+  int64_t Off = 0; // SpRel / GatAddr byte offset
+  uint32_t Id = 0; // SavedOf: register unit; GatAddr: symbol id
+
+  static MemVal unknown() { return {}; }
+  static MemVal spRel(int64_t O) { return {K::SpRel, O, 0}; }
+  static MemVal savedOf(unsigned U) { return {K::SavedOf, 0, U}; }
+  static MemVal gatAddr(uint32_t Sym, int64_t O) {
+    return {K::GatAddr, O, Sym};
+  }
+
+  bool operator==(const MemVal &O) const = default;
+
+  static MemVal meet(const MemVal &A, const MemVal &B) {
+    return A == B ? A : unknown();
+  }
+};
+
+/// Memory abstract state at a program point: one MemVal per register unit
+/// plus the tracked frame slots. Slots are keyed by entry-SP-relative byte
+/// offset and record full-width (8-byte) stores through a provably
+/// SP-relative base; any overlapping store invalidates them, and joins
+/// keep only slots both paths agree on. Unreachable mirrors
+/// ValueState::Unreachable exactly (the two states advance in lockstep).
+struct MemState {
+  std::array<MemVal, 64> R;
+  std::vector<std::pair<int64_t, MemVal>> Slots; // sorted by offset
+  bool Unreachable = true;
+
+  /// Returns the tracked value at \p Off, or null.
+  const MemVal *slot(int64_t Off) const;
+  /// Sets (or inserts) the slot at \p Off, keeping the vector sorted.
+  void setSlot(int64_t Off, const MemVal &V);
+  /// Drops every tracked slot overlapping [Off, Off + Size).
+  void invalidateSlots(int64_t Off, int64_t Size);
+};
+
+//===----------------------------------------------------------------------===//
 // Control-flow graph
 //===----------------------------------------------------------------------===//
 
@@ -245,6 +303,13 @@ struct ProcSummary {
   /// Entering at instruction 0 executes a live prologue GP-set pair,
   /// whose LDAH reads PV.
   bool ReadsPvAtEntry = false;
+  /// Bit per register unit: the unit provably holds its entry value again
+  /// at every reachable RET (only callee-saved units are ever examined).
+  /// Composed bottom-up: a call keeps a callee-saved register's fact only
+  /// when the callee's bit is set. Computed-jump exits and invisible
+  /// callees are assumed convention-abiding (bits stay set), so a cleared
+  /// bit is always a positive proof of clobbering — the basis of L007.
+  uint64_t PreservedSaved = ~0ull;
 };
 
 namespace detail {
@@ -386,10 +451,32 @@ std::vector<uint8_t> memBaseRegions(const SymbolicProgram &SP,
 // Lint
 //===----------------------------------------------------------------------===//
 
-/// Runs the binary lint over an analyzed program and appends one warning
-/// per finding to \p Diags (buffer "lint:<procedure>", line = 1-based
-/// instruction index, message prefixed with the L-code). Returns the
-/// number of findings. Codes (see docs/LINT.md):
+/// One step of a finding's witness path: an instruction on the shortest
+/// abstract-interpretation trace from the procedure entry to the defect,
+/// with a note saying what fact it establishes.
+struct LintWitnessStep {
+  uint32_t InstIdx = 0;
+  std::string Note;
+};
+
+/// One lint finding, with enough structure for every renderer (text,
+/// --explain, --json, --sarif): the code, the procedure (index and name),
+/// the defect instruction, the formatted message, and the witness path
+/// (never empty — at minimum the entry and the defect site).
+struct LintFinding {
+  std::string Code; // "L001".."L010"
+  uint32_t ProcIdx = 0;
+  std::string Proc;
+  uint32_t InstIdx = 0;
+  std::string Message;
+  std::vector<LintWitnessStep> Witness;
+};
+
+/// Runs the binary lint over an analyzed program. Pure per procedure: the
+/// per-procedure passes fan out on the ThreadPool into per-index slots and
+/// are reduced in procedure order, with each procedure's findings sorted
+/// by (instruction, code), so the result is byte-identical for any pool
+/// size. Codes (see docs/LINT.md):
 ///
 ///   L001  read of a provably-uninitialized register
 ///   L002  GAT address load reachable with a wrong or unknown GP
@@ -400,11 +487,44 @@ std::vector<uint8_t> memBaseRegions(const SymbolicProgram &SP,
 ///   L005  call-convention violation (call linking through a register
 ///         other than RA, return through a register other than RA, or a
 ///         GAT call through a data symbol)
+///   L006  stack access provably outside the frame bounds
+///   L007  callee-saved register not preserved at a return
+///   L008  saved-return-address slot overwritten after the save
+///   L009  GAT-proven data access outside the symbol's bounds or
+///         misaligned for its width
+///   L010  stack address stored to a global/GAT location (escapes the
+///         frame's lifetime)
+std::vector<LintFinding> lintProgram(const SymbolicProgram &SP,
+                                     const ProgramAnalysis &PA,
+                                     ThreadPool &Pool);
+
+/// Renders findings in the classic diagnostic format, one line per
+/// finding: "lint:<proc>:<inst+1>:0: warning: <message>". With \p Explain,
+/// each finding is followed by its witness path, one "  #<n> +<off>:
+/// <note>" line per step.
+std::string renderLintText(const std::vector<LintFinding> &Findings,
+                           bool Explain);
+
+/// Renders findings as a stable machine-readable JSON document:
+/// {"findings":[{"code","proc","offset","message"},...]} where offset is
+/// the defect instruction's byte offset within the procedure.
+std::string renderLintJson(const std::vector<LintFinding> &Findings);
+
+/// Renders findings as a SARIF 2.1.0 document: one run, driver "aaxlint"
+/// with one reportingDescriptor per code L001..L010, one result per
+/// finding (ruleId = code, artifactLocation.uri = procedure name,
+/// region.startLine = 1-based instruction index).
+std::string renderLintSarif(const std::vector<LintFinding> &Findings);
+
+/// Compatibility wrapper over lintProgram: appends one warning per finding
+/// to \p Diags (buffer "lint:<procedure>", line = 1-based instruction
+/// index, message prefixed with the L-code) and returns the number of
+/// findings. Runs the per-procedure passes serially.
 unsigned runLint(const SymbolicProgram &SP, const ProgramAnalysis &PA,
                  DiagnosticEngine &Diags);
 
 /// One corpus case: a complete, linkable module seeded with exactly one
-/// lint defect (Code "L001".."L005"), or none (Code empty, Name "clean").
+/// lint defect (Code "L001".."L010"), or none (Code empty, Name "clean").
 struct LintCase {
   std::string Code;
   std::string Name;

@@ -43,6 +43,11 @@ uint64_t om64::om::linkConfigKey(const OmOptions &Opts) {
   // bytes. Two profiles with different heat reorder procedures
   // differently, which changes which BSRs the relaxation admits.
   W.writeU8(Opts.HotColdLayout ? 1 : 0);
+  // Lint options change which diagnostics a relink reports: a warm state
+  // keyed without them could serve a lint-less answer to a --lint request
+  // (stale silence) or vice versa.
+  W.writeU8(Opts.Lint ? 1 : 0);
+  W.writeU8(Opts.LintExplain ? 1 : 0);
   std::vector<uint8_t> Prof = Opts.Profile.serialize();
   W.writeU64(Prof.size());
   for (uint8_t B : Prof)
@@ -84,6 +89,8 @@ IncrementalLinker::relink(const std::vector<std::vector<uint8_t>> &Modules) {
   if (!AnyChanged && HaveImage) {
     Out.Stats.InputUnchanged = true;
     Out.ImageBytes = LastImageBytes;
+    Out.LintReport = LastLintReport;
+    Out.LintFindings = LastLintFindings;
     Out.Stats.Seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       Start)
@@ -128,7 +135,11 @@ IncrementalLinker::relink(const std::vector<std::vector<uint8_t>> &Modules) {
   Out.Stats.Om = R->Stats;
 
   Out.ImageBytes = R->Image.serialize();
+  Out.LintReport = R->LintReport;
+  Out.LintFindings = R->LintFindings;
   LastImageBytes = Out.ImageBytes;
+  LastLintReport = Out.LintReport;
+  LastLintFindings = Out.LintFindings;
   HaveImage = true;
   Cold = false;
 

@@ -73,6 +73,11 @@ struct RelinkStats {
 struct RelinkResult {
   std::vector<uint8_t> ImageBytes; ///< serialized obj::Image
   RelinkStats Stats;
+  /// Rendered lint findings (Opts.Lint only; see OmResult::LintReport).
+  /// The no-op fast path replays the previous report: same bytes, same
+  /// options, same findings by pipeline determinism.
+  std::string LintReport;
+  unsigned LintFindings = 0;
 };
 
 /// One image's warm state. Not thread-safe: the daemon serializes relinks
@@ -110,6 +115,8 @@ private:
 
   bool HaveImage = false;
   std::vector<uint8_t> LastImageBytes;
+  std::string LastLintReport;
+  unsigned LastLintFindings = 0;
   bool Cold = true;
 };
 

@@ -103,6 +103,16 @@ Result<OmResult> om64::om::runPipeline(const std::vector<obj::ObjectFile> &Objs,
 
   OmContext Ctx(*SP, Pool, SC);
 
+  if (Opts.Lint) {
+    // Lint the lifted inputs (pre-transform, same view omlink --lint
+    // reports on) against the epoch-cached analysis: on a warm relink the
+    // SummaryCache means only edited procedures re-derive their fixpoints.
+    std::vector<analysis::LintFinding> Findings =
+        analysis::lintProgram(*SP, Ctx.program(), Pool);
+    Out.LintFindings = static_cast<unsigned>(Findings.size());
+    Out.LintReport = analysis::renderLintText(Findings, Opts.LintExplain);
+  }
+
   auto TransformStart = std::chrono::steady_clock::now();
   runCallTransforms(*SP, Opts, Out.Stats, Ctx);
   Out.Stats.Seconds.CallTransforms = secondsSince(TransformStart);

@@ -111,6 +111,15 @@ struct OmOptions {
   /// branch count) are left byte-identical; an empty profile therefore
   /// leaves the whole image byte-identical to a no-layout link.
   bool HotColdLayout = false;
+  /// Run the L001..L010 lint over the lifted program and report findings
+  /// as warnings (omlink --lint). Part of the link configuration key:
+  /// flipping it invalidates warm daemon state so cached links can never
+  /// suppress (or duplicate) diagnostics.
+  bool Lint = false;
+  /// With Lint: append each finding's witness path — the shortest
+  /// abstract-interpretation trace from the procedure entry to the defect
+  /// site (omlink --lint --explain).
+  bool LintExplain = false;
   /// The execution profile driving HotColdLayout (ignored otherwise).
   prof::Profile Profile;
 };
@@ -201,6 +210,13 @@ struct OmResult {
   OmStats Stats;
   /// Procedure owning each profile counter (instrumented runs only).
   std::vector<std::string> ProfiledProcedures;
+  /// Rendered L001..L010 findings over the lifted inputs (Opts.Lint only;
+  /// with Opts.LintExplain each finding carries its witness path). Empty
+  /// text means the link is lint-clean. Warm relinks recompute this from
+  /// the summary-cached analysis, so only edited procedures re-derive
+  /// their fixpoints.
+  std::string LintReport;
+  unsigned LintFindings = 0;
 };
 
 /// Links and optimizes the given objects.

@@ -209,5 +209,12 @@ Response Daemon::handleRelink(const RelinkRequest &Req) {
       static_cast<unsigned long long>(S.ModulesTotal),
       static_cast<unsigned long long>(S.ProcsRelifted),
       static_cast<unsigned long long>(S.ProcsTotal));
+  if (Req.Opts.Lint) {
+    // The rendered findings travel in the message so omlinkc can print
+    // them; an empty report means the relink is lint-clean.
+    Resp.Message += formatString("\nlint: %u finding(s)", R->LintFindings);
+    if (!R->LintReport.empty())
+      Resp.Message += "\n" + R->LintReport;
+  }
   return Resp;
 }

@@ -80,6 +80,8 @@ enum OptFlagBits : uint8_t {
   FlagAnalysis = 1 << 3,
   FlagVerify = 1 << 4,
   FlagVerifyEachStage = 1 << 5,
+  FlagLint = 1 << 6,
+  FlagLintExplain = 1 << 7,
 };
 
 void writeOptions(ByteWriter &W, const om::OmOptions &O) {
@@ -91,6 +93,8 @@ void writeOptions(ByteWriter &W, const om::OmOptions &O) {
   Flags |= O.Analysis ? FlagAnalysis : 0;
   Flags |= O.Verify ? FlagVerify : 0;
   Flags |= O.VerifyEachStage ? FlagVerifyEachStage : 0;
+  Flags |= O.Lint ? FlagLint : 0;
+  Flags |= O.LintExplain ? FlagLintExplain : 0;
   W.writeU8(Flags);
   W.writeU32(O.Jobs);
   W.writeU32(O.MaxGatEntriesPerGroup);
@@ -108,6 +112,8 @@ om::OmOptions readOptions(ByteReader &R) {
   O.Analysis = Flags & FlagAnalysis;
   O.Verify = Flags & FlagVerify;
   O.VerifyEachStage = Flags & FlagVerifyEachStage;
+  O.Lint = Flags & FlagLint;
+  O.LintExplain = Flags & FlagLintExplain;
   O.Jobs = R.readU32();
   O.MaxGatEntriesPerGroup = R.readU32();
   O.SerialFallbackInsts = R.readU64();

@@ -349,7 +349,7 @@ TEST(AnalysisTest, SchedulerUsesBaseRegionsUnderAnalysis) {
 
 TEST(LintTest, CorpusReportsExactlyTheSeededDefect) {
   std::vector<LintCase> Corpus = lintCorpus();
-  ASSERT_EQ(Corpus.size(), 6u);
+  ASSERT_EQ(Corpus.size(), 11u);
   std::set<std::string> Codes;
   for (const LintCase &Case : Corpus) {
     ThreadPool Pool(1);
@@ -373,7 +373,7 @@ TEST(LintTest, CorpusReportsExactlyTheSeededDefect) {
     // Exactly one defect is seeded per corpus module.
     EXPECT_EQ(N, 1u) << Case.Name << " over-reported:\n" << Rendered;
   }
-  EXPECT_EQ(Codes.size(), 5u) << "corpus must cover L001..L005";
+  EXPECT_EQ(Codes.size(), 10u) << "corpus must cover L001..L010";
 }
 
 } // namespace

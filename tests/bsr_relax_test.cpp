@@ -221,6 +221,15 @@ TEST(BsrRelaxTest, LinkConfigKeyCoversRelaxationInputs) {
   OmOptions E = A;
   E.InstrumentProcedureCounts = true;
   EXPECT_NE(linkConfigKey(A), linkConfigKey(E));
+
+  // Lint options change the diagnostics a relink reports; a warm state
+  // must never be shared across a --lint flip.
+  OmOptions F = A;
+  F.Lint = true;
+  EXPECT_NE(linkConfigKey(A), linkConfigKey(F));
+  OmOptions G = F;
+  G.LintExplain = true;
+  EXPECT_NE(linkConfigKey(F), linkConfigKey(G));
 }
 
 } // namespace

@@ -182,6 +182,17 @@ TEST(FramingTest, OptionsKeySeparatesOptionSets) {
   B = A;
   B.EntryName = "other.main";
   EXPECT_NE(service::optionsKey(A), service::optionsKey(B));
+  // Lint flags ride the wire (bits 6/7) and must split the key, or a warm
+  // daemon could serve stale (or missing) diagnostics.
+  B = A;
+  B.Lint = true;
+  EXPECT_NE(service::optionsKey(A), service::optionsKey(B));
+  B.LintExplain = true;
+  EXPECT_NE(service::optionsKey(A),
+            service::optionsKey(B)); // both bits distinct
+  om::OmOptions C = A;
+  C.Lint = true;
+  EXPECT_NE(service::optionsKey(B), service::optionsKey(C));
 }
 
 //===----------------------------------------------------------------------===//
@@ -450,6 +461,51 @@ TEST_F(DaemonTest, ColdEditWarmRelinkByteIdentical) {
   ASSERT_TRUE(bool(R)) << R.message();
   ASSERT_EQ(R->Status, 0) << R->Message;
   EXPECT_TRUE(R->InputUnchanged);
+}
+
+TEST_F(DaemonTest, LintOptionFlipForcesColdRestart) {
+  // Warm state is keyed on the full option set; flipping --lint must not
+  // reuse it — a lint-less warm answer would silently drop diagnostics.
+  megagen::MegaSpec Spec;
+  Spec.Modules = 3;
+  Spec.ProcsPerModule = 6;
+  Spec.TargetInstructions = 2000;
+  megagen::MegaProgram MP = megagen::generate(Spec);
+  service::RelinkRequest Req;
+  Req.Opts.Level = om::OmLevel::Full;
+  Req.OutputPath = Dir + "/out.aaxe";
+  for (size_t I = 0; I < MP.Objects.size(); ++I) {
+    std::string Path = Dir + "/m" + std::to_string(I) + ".aaxo";
+    ASSERT_FALSE(bool(writeFileBytes(Path, MP.Objects[I].serialize())));
+    Req.InputPaths.push_back(Path);
+  }
+
+  startDaemon({});
+
+  Result<service::Response> R = service::requestRelink(Socket, Req);
+  ASSERT_TRUE(bool(R)) << R.message();
+  ASSERT_EQ(R->Status, 0) << R->Message;
+  EXPECT_FALSE(R->Warm);
+
+  // Unchanged options and inputs: warm.
+  R = service::requestRelink(Socket, Req);
+  ASSERT_TRUE(bool(R)) << R.message();
+  ASSERT_EQ(R->Status, 0) << R->Message;
+  EXPECT_TRUE(R->Warm);
+
+  // --lint flipped on: a different configuration — cold restart.
+  Req.Opts.Lint = true;
+  R = service::requestRelink(Socket, Req);
+  ASSERT_TRUE(bool(R)) << R.message();
+  ASSERT_EQ(R->Status, 0) << R->Message;
+  EXPECT_FALSE(R->Warm);
+
+  // And flipping --explain on top is yet another configuration.
+  Req.Opts.LintExplain = true;
+  R = service::requestRelink(Socket, Req);
+  ASSERT_TRUE(bool(R)) << R.message();
+  ASSERT_EQ(R->Status, 0) << R->Message;
+  EXPECT_FALSE(R->Warm);
 }
 
 TEST_F(DaemonTest, MissingInputIsARequestErrorNotACrash) {

@@ -408,6 +408,74 @@ TEST_F(ToolchainTest, LintModeAndStandaloneLinter) {
       << Out;
 }
 
+/// Counts non-overlapping occurrences of \p Needle in \p Hay.
+size_t countOccurrences(const std::string &Hay, const std::string &Needle) {
+  size_t N = 0;
+  for (size_t At = Hay.find(Needle); At != std::string::npos;
+       At = Hay.find(Needle, At + Needle.size()))
+    ++N;
+  return N;
+}
+
+TEST_F(ToolchainTest, LintJsonSarifAndExplainOutputs) {
+  std::string Out;
+  ASSERT_EQ(runCommand(toolsDir() + "/aaxlint --emit-corpus " + Dir +
+                           "/corpus",
+                       Out),
+            0)
+      << Out;
+
+  // --json: machine-readable schema shape with all four keys per finding.
+  EXPECT_EQ(runCommand(toolsDir() + "/aaxlint --json " + Dir +
+                           "/corpus/L006_stack_oob.aaxo",
+                       Out),
+            0);
+  EXPECT_NE(Out.find("{\"findings\":["), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"code\":\"L006\""), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"proc\":\"lintcase.main\""), std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("\"offset\":"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"message\":"), std::string::npos) << Out;
+  // A clean module yields an empty findings array, still valid JSON.
+  EXPECT_EQ(runCommand(toolsDir() + "/aaxlint --json " + Dir +
+                           "/corpus/clean_clean.aaxo",
+                       Out),
+            0);
+  EXPECT_NE(Out.find("{\"findings\":[]}"), std::string::npos) << Out;
+
+  // --explain: the witness trace follows the finding, numbered from #0.
+  EXPECT_EQ(runCommand(toolsDir() + "/aaxlint --explain " + Dir +
+                           "/corpus/L008_ra_slot_overwrite.aaxo",
+                       Out),
+            0);
+  EXPECT_NE(Out.find("  #0 "), std::string::npos) << Out;
+  EXPECT_NE(Out.find("  #1 "), std::string::npos) << Out;
+
+  // --sarif: valid JSON (json.tool is the arbiter) with one result per
+  // corpus finding and the full L001..L010 rule table.
+  std::string Sarif = Dir + "/findings.sarif";
+  EXPECT_EQ(runCommand(toolsDir() + "/aaxlint --sarif " + Sarif + " " +
+                           Dir + "/corpus/L006_stack_oob.aaxo",
+                       Out),
+            0);
+  EXPECT_EQ(runCommand("python3 -m json.tool " + Sarif, Out), 0)
+      << "SARIF output is not valid JSON:\n"
+      << Out;
+  std::ifstream In(Sarif);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  std::string Doc = SS.str();
+  EXPECT_NE(Doc.find("\"version\":\"2.1.0\""), std::string::npos) << Doc;
+  EXPECT_EQ(countOccurrences(Doc, "\"ruleId\""), 1u) << Doc;
+  EXPECT_NE(Doc.find("\"ruleId\":\"L006\""), std::string::npos) << Doc;
+  for (unsigned Code = 1; Code <= 10; ++Code) {
+    char Id[16];
+    std::snprintf(Id, sizeof(Id), "\"id\":\"L%03u\"", Code);
+    EXPECT_NE(Doc.find(Id), std::string::npos)
+        << "rule table lacks " << Id;
+  }
+}
+
 TEST_F(ToolchainTest, MegagenGeneratesLinkableDeterministicWorkloads) {
   // The CI scaling smoke in tool form: generate a synthetic many-module
   // workload, link it at -j 1 and -j 4, and demand byte-identical

@@ -7,13 +7,21 @@
 /// \file
 /// Lints AAX objects without linking them: lifts the inputs into OM's
 /// symbolic form, runs the OmAnalysis dataflow, and reports the findings
-/// (L001..L005, catalogued in docs/LINT.md) with procedure and instruction
+/// (L001..L010, catalogued in docs/LINT.md) with procedure and instruction
 /// provenance:
 ///
 ///   aaxlint obj1.aaxo obj2.aaxo ...
 ///
 /// Options:
 ///   --werror          exit nonzero if anything was found
+///   --explain         append each finding's witness path (shortest
+///                     abstract-interpretation trace from the procedure
+///                     entry to the defect site)
+///   --json            print findings as JSON
+///                     ({"findings":[{code,proc,offset,message}...]})
+///                     instead of text
+///   --sarif FILE      also write the findings as SARIF 2.1.0 ("-" =
+///                     stdout) for CI annotation
 ///   -j N, --jobs N    worker threads for lift and analysis
 ///   --emit-corpus DIR write the built-in lint corpus (one module per
 ///                     L-code plus one clean module) to DIR as
@@ -45,8 +53,9 @@
 using namespace om64;
 
 static int usage() {
-  std::fprintf(stderr, "usage: aaxlint [--werror] [-j N | --jobs N] "
-                       "obj.aaxo...\n"
+  std::fprintf(stderr, "usage: aaxlint [--werror] [--explain] [--json] "
+                       "[--sarif FILE]\n"
+                       "               [-j N | --jobs N] obj.aaxo...\n"
                        "       aaxlint --emit-corpus DIR\n");
   return 2;
 }
@@ -75,12 +84,21 @@ static int emitCorpus(const std::string &Dir) {
 int main(int argc, char **argv) {
   std::vector<std::string> Inputs;
   bool Werror = false;
+  bool Explain = false;
+  bool Json = false;
+  std::string SarifPath;
   unsigned Jobs = 0;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--werror") {
       Werror = true;
+    } else if (Arg == "--explain") {
+      Explain = true;
+    } else if (Arg == "--json") {
+      Json = true;
+    } else if (Arg == "--sarif" && I + 1 < argc) {
+      SarifPath = argv[++I];
     } else if ((Arg == "-j" || Arg == "--jobs") && I + 1 < argc) {
       Result<uint64_t> V = parseUnsigned(argv[++I], ~0u);
       if (!V) {
@@ -125,11 +143,25 @@ int main(int argc, char **argv) {
     return 1;
   }
   om::analysis::ProgramAnalysis PA = om::analysis::analyzeProgram(*SP, Pool);
-  DiagnosticEngine Diags;
-  unsigned Findings = om::analysis::runLint(*SP, PA, Diags);
-  if (Findings)
-    std::fputs(Diags.render().c_str(), stdout);
-  std::fprintf(stderr, "aaxlint: %u finding(s) in %zu procedure(s)\n",
-               Findings, SP->Procs.size());
-  return (Werror && Findings) ? 1 : 0;
+  std::vector<om::analysis::LintFinding> Findings =
+      om::analysis::lintProgram(*SP, PA, Pool);
+  if (Json)
+    std::fputs(om::analysis::renderLintJson(Findings).c_str(), stdout);
+  else if (!Findings.empty())
+    std::fputs(om::analysis::renderLintText(Findings, Explain).c_str(),
+               stdout);
+  if (!SarifPath.empty()) {
+    std::string Sarif = om::analysis::renderLintSarif(Findings);
+    if (SarifPath == "-") {
+      std::fputs(Sarif.c_str(), stdout);
+    } else if (Error E = writeFileBytes(
+                   SarifPath,
+                   std::vector<uint8_t>(Sarif.begin(), Sarif.end()))) {
+      std::fprintf(stderr, "aaxlint: %s\n", E.message().c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "aaxlint: %zu finding(s) in %zu procedure(s)\n",
+               Findings.size(), SP->Procs.size());
+  return (Werror && !Findings.empty()) ? 1 : 0;
 }

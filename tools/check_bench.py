@@ -168,7 +168,7 @@ def lint_selftest(corpus_dir, aaxlint):
                   "(expected L00x_*.aaxo or clean*.aaxo)")
             failures += 1
 
-    expected = {f"L{n:03d}" for n in range(1, 6)}
+    expected = {f"L{n:03d}" for n in range(1, 11)}
     for code in sorted(expected - seen_codes):
         print(f"FAIL lint-selftest: corpus has no module for {code}")
         failures += 1

@@ -30,9 +30,12 @@
 ///                     the pattern-matched transforms; every deletion is
 ///                     re-proved by an analysis-backed verify stage
 ///   --lint            report-only mode: lift the inputs, run the dataflow,
-///                     and print the binary lint findings (L001..L005, see
+///                     and print the binary lint findings (L001..L010, see
 ///                     docs/LINT.md) instead of linking
 ///   --lint-werror     --lint, and exit nonzero if anything was found
+///   --explain         with --lint: append each finding's witness path
+///                     (the shortest abstract-interpretation trace from
+///                     the procedure entry to the defect site)
 ///   --stats           print OM's Figure 3-5 statistics for this link,
 ///                     plus per-stage wall times and the worker count
 ///   --stats-json FILE write the same statistics as JSON ("-" = stdout)
@@ -66,6 +69,7 @@ static int usage() {
   std::fprintf(stderr,
                "usage: omlink [--standard | -O none|simple|full] [--sched]\n"
                "              [--analysis] [--lint] [--lint-werror]\n"
+               "              [--explain]\n"
                "              [--no-sort] [--gat-max N] [-j N | --jobs N]\n"
                "              [--stats] [--stats-json FILE] [--instrument]\n"
                "              [--profile-in FILE] [--layout none|hot-cold]\n"
@@ -135,6 +139,7 @@ int main(int argc, char **argv) {
   bool Stats = false;
   bool Lint = false;
   bool LintWerror = false;
+  bool LintExplain = false;
   om::OmOptions Opts;
   Opts.Jobs = 0; // hardware concurrency unless -j overrides
 
@@ -178,6 +183,8 @@ int main(int argc, char **argv) {
     } else if (Arg == "--lint-werror") {
       Lint = true;
       LintWerror = true;
+    } else if (Arg == "--explain") {
+      LintExplain = true;
     } else if (Arg == "--no-sort") {
       Opts.SortDataBySize = false;
     } else if (Arg == "--gat-max" && I + 1 < NArgs) {
@@ -255,6 +262,12 @@ int main(int argc, char **argv) {
                          "--standard\n");
     return 2;
   }
+  if (LintExplain && !Lint) {
+    std::fprintf(stderr, "omlink: --explain requires --lint\n");
+    return 2;
+  }
+  Opts.Lint = Lint;
+  Opts.LintExplain = LintExplain;
 
   std::vector<obj::ObjectFile> Objs;
   for (const std::string &Path : Inputs) {
@@ -282,13 +295,15 @@ int main(int argc, char **argv) {
       return 1;
     }
     om::analysis::ProgramAnalysis PA = om::analysis::analyzeProgram(*SP, Pool);
-    DiagnosticEngine Diags;
-    unsigned Findings = om::analysis::runLint(*SP, PA, Diags);
-    if (Findings)
-      std::fputs(Diags.render().c_str(), stdout);
-    std::fprintf(stderr, "omlink: lint: %u finding(s) in %zu procedure(s)\n",
-                 Findings, SP->Procs.size());
-    return (LintWerror && Findings) ? 1 : 0;
+    std::vector<om::analysis::LintFinding> Findings =
+        om::analysis::lintProgram(*SP, PA, Pool);
+    if (!Findings.empty())
+      std::fputs(
+          om::analysis::renderLintText(Findings, LintExplain).c_str(),
+          stdout);
+    std::fprintf(stderr, "omlink: lint: %zu finding(s) in %zu procedure(s)\n",
+                 Findings.size(), SP->Procs.size());
+    return (LintWerror && !Findings.empty()) ? 1 : 0;
   }
 
   obj::Image Img;
